@@ -1,0 +1,237 @@
+//! Machine configuration shared by the compiler, the simulator and the WCET
+//! analyzer: memory map, cache geometry and instruction latencies.
+//!
+//! Defaults model the MPC755 setup of the paper: 32 KiB, 8-way, 32-byte-line
+//! L1 instruction and data caches, an external RAM with a multi-decade-cycle
+//! line fill, and a slow uncached memory-mapped I/O region for hardware signal
+//! acquisitions.
+
+use crate::inst::{Inst, Unit};
+
+/// Geometry of one level-1 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (lines per set).
+    pub ways: u32,
+    /// Line size in bytes (must be a power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// The line-aligned tag of an address (line index within the whole
+    /// address space).
+    pub fn line_of(&self, addr: u32) -> u32 {
+        addr / self.line_bytes
+    }
+
+    /// The set an address maps to.
+    pub fn set_of(&self, addr: u32) -> u32 {
+        self.line_of(addr) % self.sets()
+    }
+}
+
+/// The complete machine model configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// L1 instruction cache geometry.
+    pub icache: CacheConfig,
+    /// L1 data cache geometry.
+    pub dcache: CacheConfig,
+    /// Cycles to fill a cache line from external memory on a demand data
+    /// miss (critical word needed before dependents can proceed).
+    pub mem_latency: u32,
+    /// Effective dispatch stall of an instruction-cache miss. Smaller than
+    /// `mem_latency`: code fetch is a sequential burst and the MPC755
+    /// streams instructions as the line fills.
+    pub fetch_latency: u32,
+    /// Cycles for one access to the uncached memory-mapped I/O region
+    /// (hardware signal acquisition).
+    pub io_latency: u32,
+
+    /// Base address of the text (code) section.
+    pub text_base: u32,
+    /// Base address of the data section (globals, then constant pool).
+    pub data_base: u32,
+    /// Initial stack pointer (stack grows towards lower addresses).
+    pub stack_top: u32,
+    /// Base address of the memory-mapped I/O region.
+    pub io_base: u32,
+    /// Size in bytes of the memory-mapped I/O region.
+    pub io_size: u32,
+
+    /// Result latency of simple integer instructions.
+    pub lat_int: u32,
+    /// Result latency of integer multiply.
+    pub lat_mul: u32,
+    /// Result latency of integer divide (blocking).
+    pub lat_div: u32,
+    /// Result latency of pipelined FP add/sub/mul/compare.
+    pub lat_fp: u32,
+    /// Result latency of fused multiply-add.
+    pub lat_fmadd: u32,
+    /// Result latency of FP divide (blocking).
+    pub lat_fdiv: u32,
+    /// Result latency of FP register moves / negate / abs.
+    pub lat_fmove: u32,
+    /// Result latency of int↔float conversion (blocking).
+    pub lat_conv: u32,
+    /// Result latency of a load that hits in the data cache.
+    pub lat_load: u32,
+    /// Extra dispatch bubble after a taken branch.
+    pub branch_penalty: u32,
+}
+
+impl MachineConfig {
+    /// The MPC755-like default configuration used throughout the experiments.
+    pub fn mpc755() -> Self {
+        MachineConfig {
+            icache: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 32,
+            },
+            dcache: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 32,
+            },
+            mem_latency: 30,
+            fetch_latency: 8,
+            io_latency: 250,
+            text_base: 0x0010_0000,
+            data_base: 0x1000_0000,
+            stack_top: 0x2000_0000,
+            io_base: 0xF000_0000,
+            io_size: 0x1000,
+            lat_int: 1,
+            lat_mul: 3,
+            lat_div: 19,
+            lat_fp: 3,
+            lat_fmadd: 4,
+            lat_fdiv: 18,
+            lat_fmove: 2,
+            lat_conv: 4,
+            lat_load: 2,
+            branch_penalty: 1,
+        }
+    }
+
+    /// A tiny-cache variant used by tests that want to observe capacity
+    /// evictions without generating large programs.
+    pub fn tiny_caches() -> Self {
+        MachineConfig {
+            icache: CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 32,
+            },
+            dcache: CacheConfig {
+                size_bytes: 512,
+                ways: 2,
+                line_bytes: 32,
+            },
+            ..Self::mpc755()
+        }
+    }
+
+    /// Whether `addr` falls in the uncached memory-mapped I/O region.
+    pub fn is_io(&self, addr: u32) -> bool {
+        addr >= self.io_base && addr - self.io_base < self.io_size
+    }
+
+    /// Result latency of an instruction (excluding cache effects).
+    pub fn result_latency(&self, inst: &Inst) -> u32 {
+        use Inst::*;
+        match inst {
+            Mulli { .. } | Mullw { .. } => self.lat_mul,
+            Divw { .. } | Divwu { .. } => self.lat_div,
+            Fadd { .. } | Fsub { .. } | Fmul { .. } | Fcmpu { .. } => self.lat_fp,
+            Fmadd { .. } => self.lat_fmadd,
+            Fdiv { .. } => self.lat_fdiv,
+            Fneg { .. } | Fabs { .. } | Fmr { .. } => self.lat_fmove,
+            Itof { .. } | Ftoi { .. } => self.lat_conv,
+            Lwz { .. } | Lwzx { .. } | Lfd { .. } | Lfdx { .. } => self.lat_load,
+            Stw { .. } | Stwu { .. } | Stwx { .. } | Stfd { .. } | Stfdx { .. } => 1,
+            _ => self.lat_int,
+        }
+    }
+
+    /// Whether the instruction occupies its unit until its result is ready
+    /// (non-pipelined execution: divides and conversions).
+    pub fn is_blocking(&self, inst: &Inst) -> bool {
+        matches!(
+            inst,
+            Inst::Divw { .. }
+                | Inst::Divwu { .. }
+                | Inst::Fdiv { .. }
+                | Inst::Itof { .. }
+                | Inst::Ftoi { .. }
+        )
+    }
+
+    /// Number of instances of the given unit.
+    pub fn unit_count(&self, unit: Unit) -> u32 {
+        match unit {
+            Unit::Iu => 2,
+            Unit::None => 0,
+            _ => 1,
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::mpc755()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{Fpr, Gpr};
+
+    #[test]
+    fn cache_geometry() {
+        let c = MachineConfig::mpc755().icache;
+        assert_eq!(c.sets(), 128);
+        assert_eq!(c.line_of(0x40), 2);
+        assert_eq!(c.set_of(0x40), 2);
+        // addresses one cache-size apart map to the same set
+        assert_eq!(c.set_of(0x1000), c.set_of(0x1000 + 128 * 32));
+    }
+
+    #[test]
+    fn io_region() {
+        let cfg = MachineConfig::mpc755();
+        assert!(cfg.is_io(0xF000_0000));
+        assert!(cfg.is_io(0xF000_0FFF));
+        assert!(!cfg.is_io(0xF000_1000));
+        assert!(!cfg.is_io(0x1000_0000));
+    }
+
+    #[test]
+    fn latencies_by_class() {
+        let cfg = MachineConfig::mpc755();
+        let fdiv = Inst::Fdiv {
+            fd: Fpr::new(1),
+            fa: Fpr::new(2),
+            fb: Fpr::new(3),
+        };
+        assert_eq!(cfg.result_latency(&fdiv), cfg.lat_fdiv);
+        assert!(cfg.is_blocking(&fdiv));
+        let add = Inst::Add {
+            rd: Gpr::new(3),
+            ra: Gpr::new(4),
+            rb: Gpr::new(5),
+        };
+        assert_eq!(cfg.result_latency(&add), 1);
+        assert!(!cfg.is_blocking(&add));
+    }
+}

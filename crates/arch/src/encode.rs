@@ -1,0 +1,865 @@
+//! 32-bit binary instruction encoding and decoding.
+//!
+//! Encodings follow the real PowerPC UISA formats (D, X, XO, A, B, I, M) with
+//! the real primary/extended opcodes, so that the WCET analyzer genuinely
+//! reconstructs programs from binary words rather than from compiler IR. The
+//! three extension instructions (`itof`, `ftoi`, `annot`) use primary opcode 2,
+//! which is illegal on 32-bit PowerPC implementations.
+//!
+//! Branch targets are resolved absolute addresses in [`Inst`]; encoding
+//! converts them to PC-relative displacements and decoding converts back,
+//! which is why both functions take the instruction's address.
+
+use std::fmt;
+
+use crate::inst::{Cond, Inst};
+use crate::reg::{Cr, Fpr, Gpr};
+
+/// Error produced when a word cannot be decoded into a known instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+    /// The address the word was fetched from.
+    pub addr: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot decode word {:#010x} at address {:#010x}",
+            self.word, self.addr
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const OPCD_EXT: u32 = 2; // implementation-defined extension space
+const EXT_ANNOT: u32 = 0;
+const EXT_ITOF: u32 = 1;
+const EXT_FTOI: u32 = 2;
+
+fn d_form(op: u32, rt: u32, ra: u32, imm: u32) -> u32 {
+    (op << 26) | (rt << 21) | (ra << 16) | (imm & 0xFFFF)
+}
+
+fn x_form(op: u32, rt: u32, ra: u32, rb: u32, xo: u32) -> u32 {
+    (op << 26) | (rt << 21) | (ra << 16) | (rb << 11) | (xo << 1)
+}
+
+fn a_form(frt: u32, fra: u32, frb: u32, frc: u32, xo: u32) -> u32 {
+    (63 << 26) | (frt << 21) | (fra << 16) | (frb << 11) | (frc << 6) | (xo << 1)
+}
+
+fn g(i: u32) -> Gpr {
+    Gpr::new(i as u8)
+}
+fn fp(i: u32) -> Fpr {
+    Fpr::new(i as u8)
+}
+
+fn cond_to_bo_bi(cond: Cond, cr: Cr) -> (u32, u32) {
+    // CR field bits: 0 = LT, 1 = GT, 2 = EQ. BO 12 = branch if true, 4 = if false.
+    let (bo, bit) = match cond {
+        Cond::Lt => (12, 0),
+        Cond::Gt => (12, 1),
+        Cond::Eq => (12, 2),
+        Cond::Ge => (4, 0),
+        Cond::Le => (4, 1),
+        Cond::Ne => (4, 2),
+    };
+    (bo, u32::from(cr.index()) * 4 + bit)
+}
+
+fn bo_bi_to_cond(bo: u32, bi: u32) -> Option<(Cond, Cr)> {
+    let cr = Cr::try_new((bi / 4) as u8)?;
+    let cond = match (bo, bi % 4) {
+        (12, 0) => Cond::Lt,
+        (12, 1) => Cond::Gt,
+        (12, 2) => Cond::Eq,
+        (4, 0) => Cond::Ge,
+        (4, 1) => Cond::Le,
+        (4, 2) => Cond::Ne,
+        _ => return None,
+    };
+    Some((cond, cr))
+}
+
+/// Encodes an instruction located at byte address `addr` into its binary word.
+///
+/// # Panics
+///
+/// Panics if a branch displacement does not fit its encoding field
+/// (±32 KiB for conditional branches, ±32 MiB for unconditional ones), which
+/// indicates a compiler layout bug rather than a recoverable condition.
+pub fn encode(inst: &Inst, addr: u32) -> u32 {
+    use Inst::*;
+    let r = |x: Gpr| u32::from(x.index());
+    let fr = |x: Fpr| u32::from(x.index());
+    match *inst {
+        Addi { rd, ra, imm } => d_form(14, r(rd), r(ra), imm as u16 as u32),
+        Addis { rd, ra, imm } => d_form(15, r(rd), r(ra), imm as u16 as u32),
+        Mulli { rd, ra, imm } => d_form(7, r(rd), r(ra), imm as u16 as u32),
+        // D-form logical instructions put the source in the rt slot and the
+        // destination in the ra slot.
+        Andi { rd, ra, imm } => d_form(28, r(ra), r(rd), u32::from(imm)),
+        Ori { rd, ra, imm } => d_form(24, r(ra), r(rd), u32::from(imm)),
+        Xori { rd, ra, imm } => d_form(26, r(ra), r(rd), u32::from(imm)),
+        Add { rd, ra, rb } => x_form(31, r(rd), r(ra), r(rb), 266),
+        Subf { rd, ra, rb } => x_form(31, r(rd), r(ra), r(rb), 40),
+        Mullw { rd, ra, rb } => x_form(31, r(rd), r(ra), r(rb), 235),
+        Divw { rd, ra, rb } => x_form(31, r(rd), r(ra), r(rb), 491),
+        Divwu { rd, ra, rb } => x_form(31, r(rd), r(ra), r(rb), 459),
+        Neg { rd, ra } => x_form(31, r(rd), r(ra), 0, 104),
+        And { rd, ra, rb } => x_form(31, r(ra), r(rd), r(rb), 28),
+        Or { rd, ra, rb } => x_form(31, r(ra), r(rd), r(rb), 444),
+        Xor { rd, ra, rb } => x_form(31, r(ra), r(rd), r(rb), 316),
+        Slw { rd, ra, rb } => x_form(31, r(ra), r(rd), r(rb), 24),
+        Srw { rd, ra, rb } => x_form(31, r(ra), r(rd), r(rb), 536),
+        Sraw { rd, ra, rb } => x_form(31, r(ra), r(rd), r(rb), 792),
+        Srawi { rd, ra, sh } => x_form(31, r(ra), r(rd), u32::from(sh), 824),
+        Rlwinm { rd, ra, sh, mb, me } => {
+            (21 << 26)
+                | (r(ra) << 21)
+                | (r(rd) << 16)
+                | (u32::from(sh) << 11)
+                | (u32::from(mb) << 6)
+                | (u32::from(me) << 1)
+        }
+        Lwz { rd, d, ra } => d_form(32, r(rd), r(ra), d as u16 as u32),
+        Stw { rs, d, ra } => d_form(36, r(rs), r(ra), d as u16 as u32),
+        Stwu { rs, d, ra } => d_form(37, r(rs), r(ra), d as u16 as u32),
+        Lfd { fd, d, ra } => d_form(50, fr(fd), r(ra), d as u16 as u32),
+        Stfd { fs, d, ra } => d_form(54, fr(fs), r(ra), d as u16 as u32),
+        Lwzx { rd, ra, rb } => x_form(31, r(rd), r(ra), r(rb), 23),
+        Stwx { rs, ra, rb } => x_form(31, r(rs), r(ra), r(rb), 151),
+        Lfdx { fd, ra, rb } => x_form(31, fr(fd), r(ra), r(rb), 599),
+        Stfdx { fs, ra, rb } => x_form(31, fr(fs), r(ra), r(rb), 727),
+        Fadd { fd, fa, fb } => a_form(fr(fd), fr(fa), fr(fb), 0, 21),
+        Fsub { fd, fa, fb } => a_form(fr(fd), fr(fa), fr(fb), 0, 20),
+        Fmul { fd, fa, fc } => a_form(fr(fd), fr(fa), 0, fr(fc), 25),
+        Fdiv { fd, fa, fb } => a_form(fr(fd), fr(fa), fr(fb), 0, 18),
+        Fmadd { fd, fa, fc, fb } => a_form(fr(fd), fr(fa), fr(fb), fr(fc), 29),
+        Fneg { fd, fa } => x_form(63, fr(fd), 0, fr(fa), 40),
+        Fabs { fd, fa } => x_form(63, fr(fd), 0, fr(fa), 264),
+        Fmr { fd, fa } => x_form(63, fr(fd), 0, fr(fa), 72),
+        Cmpw { cr, ra, rb } => x_form(31, u32::from(cr.index()) << 2, r(ra), r(rb), 0),
+        Cmpwi { cr, ra, imm } => d_form(11, u32::from(cr.index()) << 2, r(ra), imm as u16 as u32),
+        Fcmpu { cr, fa, fb } => x_form(63, u32::from(cr.index()) << 2, fr(fa), fr(fb), 0),
+        B { target } => {
+            let rel = target.wrapping_sub(addr) as i32;
+            assert!(
+                (-(1 << 25)..(1 << 25)).contains(&rel),
+                "b displacement out of range"
+            );
+            (18 << 26) | ((rel as u32) & 0x03FF_FFFC)
+        }
+        Bl { target } => {
+            let rel = target.wrapping_sub(addr) as i32;
+            assert!(
+                (-(1 << 25)..(1 << 25)).contains(&rel),
+                "bl displacement out of range"
+            );
+            (18 << 26) | ((rel as u32) & 0x03FF_FFFC) | 1
+        }
+        Bc { cond, cr, target } => {
+            let rel = target.wrapping_sub(addr) as i32;
+            assert!(
+                (-(1 << 15)..(1 << 15)).contains(&rel),
+                "bc displacement out of range"
+            );
+            let (bo, bi) = cond_to_bo_bi(cond, cr);
+            (16 << 26) | (bo << 21) | (bi << 16) | ((rel as u32) & 0xFFFC)
+        }
+        Blr => 0x4E80_0020,
+        Mflr { rd } => (31 << 26) | (r(rd) << 21) | (0x100 << 11) | (339 << 1),
+        Mtlr { rs } => (31 << 26) | (r(rs) << 21) | (0x100 << 11) | (467 << 1),
+        Itof { fd, ra } => (OPCD_EXT << 26) | (EXT_ITOF << 21) | (fr(fd) << 16) | (r(ra) << 11),
+        Ftoi { rd, fa } => (OPCD_EXT << 26) | (EXT_FTOI << 21) | (r(rd) << 16) | (fr(fa) << 11),
+        Annot { id } => (OPCD_EXT << 26) | (EXT_ANNOT << 21) | u32::from(id),
+        Nop => 0x6000_0000, // ori r0, r0, 0
+    }
+}
+
+/// Decodes the binary word fetched from byte address `addr`.
+///
+/// Decoding is the inverse of [`encode`] on every instruction the compiler
+/// can produce; the one canonicalization is that `ori r0, r0, 0` decodes as
+/// [`Inst::Nop`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word does not correspond to any instruction
+/// of the subset.
+pub fn decode(word: u32, addr: u32) -> Result<Inst, DecodeError> {
+    use Inst::*;
+    let err = Err(DecodeError { word, addr });
+    let op = word >> 26;
+    let rt = (word >> 21) & 31;
+    let ra = (word >> 16) & 31;
+    let rb = (word >> 11) & 31;
+    let imm_u = word & 0xFFFF;
+    let imm_s = imm_u as u16 as i16;
+    Ok(match op {
+        2 => match rt {
+            EXT_ANNOT => Annot {
+                id: (word & 0xFFFF) as u16,
+            },
+            EXT_ITOF => Itof {
+                fd: fp(ra),
+                ra: g(rb),
+            },
+            EXT_FTOI => Ftoi {
+                rd: g(ra),
+                fa: fp(rb),
+            },
+            _ => return err,
+        },
+        7 => Mulli {
+            rd: g(rt),
+            ra: g(ra),
+            imm: imm_s,
+        },
+        11 => {
+            if rt & 3 != 0 {
+                return err;
+            }
+            Cmpwi {
+                cr: Cr::new((rt >> 2) as u8),
+                ra: g(ra),
+                imm: imm_s,
+            }
+        }
+        14 => Addi {
+            rd: g(rt),
+            ra: g(ra),
+            imm: imm_s,
+        },
+        15 => Addis {
+            rd: g(rt),
+            ra: g(ra),
+            imm: imm_s,
+        },
+        16 => {
+            let bo = rt;
+            let bi = ra;
+            let Some((cond, cr)) = bo_bi_to_cond(bo, bi) else {
+                return err;
+            };
+            let bd = ((word & 0xFFFC) as u16 as i16) as i32;
+            Bc {
+                cond,
+                cr,
+                target: addr.wrapping_add(bd as u32),
+            }
+        }
+        18 => {
+            let li = {
+                let v = word & 0x03FF_FFFC;
+                // sign-extend 26-bit value
+                ((v << 6) as i32) >> 6
+            };
+            let target = addr.wrapping_add(li as u32);
+            if word & 1 == 1 {
+                Bl { target }
+            } else {
+                B { target }
+            }
+        }
+        19 if word == 0x4E80_0020 => Blr,
+        19 => return err,
+        21 => {
+            if word & 1 != 0 {
+                return err;
+            }
+            Rlwinm {
+                rd: g(ra),
+                ra: g(rt),
+                sh: rb as u8,
+                mb: ((word >> 6) & 31) as u8,
+                me: ((word >> 1) & 31) as u8,
+            }
+        }
+        24 => {
+            if word == 0x6000_0000 {
+                Nop
+            } else {
+                Ori {
+                    rd: g(ra),
+                    ra: g(rt),
+                    imm: imm_u as u16,
+                }
+            }
+        }
+        26 => Xori {
+            rd: g(ra),
+            ra: g(rt),
+            imm: imm_u as u16,
+        },
+        28 => Andi {
+            rd: g(ra),
+            ra: g(rt),
+            imm: imm_u as u16,
+        },
+        32 => Lwz {
+            rd: g(rt),
+            d: imm_s,
+            ra: g(ra),
+        },
+        36 => Stw {
+            rs: g(rt),
+            d: imm_s,
+            ra: g(ra),
+        },
+        37 => Stwu {
+            rs: g(rt),
+            d: imm_s,
+            ra: g(ra),
+        },
+        50 => Lfd {
+            fd: fp(rt),
+            d: imm_s,
+            ra: g(ra),
+        },
+        54 => Stfd {
+            fs: fp(rt),
+            d: imm_s,
+            ra: g(ra),
+        },
+        31 => {
+            let xo = (word >> 1) & 0x3FF;
+            match xo {
+                0 => {
+                    if rt & 3 != 0 {
+                        return err;
+                    }
+                    Cmpw {
+                        cr: Cr::new((rt >> 2) as u8),
+                        ra: g(ra),
+                        rb: g(rb),
+                    }
+                }
+                23 => Lwzx {
+                    rd: g(rt),
+                    ra: g(ra),
+                    rb: g(rb),
+                },
+                151 => Stwx {
+                    rs: g(rt),
+                    ra: g(ra),
+                    rb: g(rb),
+                },
+                599 => Lfdx {
+                    fd: fp(rt),
+                    ra: g(ra),
+                    rb: g(rb),
+                },
+                727 => Stfdx {
+                    fs: fp(rt),
+                    ra: g(ra),
+                    rb: g(rb),
+                },
+                28 => And {
+                    rd: g(ra),
+                    ra: g(rt),
+                    rb: g(rb),
+                },
+                444 => Or {
+                    rd: g(ra),
+                    ra: g(rt),
+                    rb: g(rb),
+                },
+                316 => Xor {
+                    rd: g(ra),
+                    ra: g(rt),
+                    rb: g(rb),
+                },
+                24 => Slw {
+                    rd: g(ra),
+                    ra: g(rt),
+                    rb: g(rb),
+                },
+                536 => Srw {
+                    rd: g(ra),
+                    ra: g(rt),
+                    rb: g(rb),
+                },
+                792 => Sraw {
+                    rd: g(ra),
+                    ra: g(rt),
+                    rb: g(rb),
+                },
+                824 => Srawi {
+                    rd: g(ra),
+                    ra: g(rt),
+                    sh: rb as u8,
+                },
+                339 => {
+                    if ((word >> 11) & 0x3FF) != 0x100 {
+                        return err;
+                    }
+                    Mflr { rd: g(rt) }
+                }
+                467 => {
+                    if ((word >> 11) & 0x3FF) != 0x100 {
+                        return err;
+                    }
+                    Mtlr { rs: g(rt) }
+                }
+                // XO-form: OE bit occupies bit 21 of the extended opcode space
+                _ => match xo & 0x1FF {
+                    266 => Add {
+                        rd: g(rt),
+                        ra: g(ra),
+                        rb: g(rb),
+                    },
+                    40 => Subf {
+                        rd: g(rt),
+                        ra: g(ra),
+                        rb: g(rb),
+                    },
+                    235 => Mullw {
+                        rd: g(rt),
+                        ra: g(ra),
+                        rb: g(rb),
+                    },
+                    491 => Divw {
+                        rd: g(rt),
+                        ra: g(ra),
+                        rb: g(rb),
+                    },
+                    459 => Divwu {
+                        rd: g(rt),
+                        ra: g(ra),
+                        rb: g(rb),
+                    },
+                    104 => {
+                        if rb != 0 {
+                            return err;
+                        }
+                        Neg {
+                            rd: g(rt),
+                            ra: g(ra),
+                        }
+                    }
+                    _ => return err,
+                },
+            }
+        }
+        63 => {
+            let xo5 = (word >> 1) & 0x1F;
+            let frc = (word >> 6) & 31;
+            match xo5 {
+                21 if frc == 0 => Fadd {
+                    fd: fp(rt),
+                    fa: fp(ra),
+                    fb: fp(rb),
+                },
+                20 if frc == 0 => Fsub {
+                    fd: fp(rt),
+                    fa: fp(ra),
+                    fb: fp(rb),
+                },
+                25 if rb == 0 => Fmul {
+                    fd: fp(rt),
+                    fa: fp(ra),
+                    fc: fp(frc),
+                },
+                18 if frc == 0 => Fdiv {
+                    fd: fp(rt),
+                    fa: fp(ra),
+                    fb: fp(rb),
+                },
+                29 => Fmadd {
+                    fd: fp(rt),
+                    fa: fp(ra),
+                    fc: fp(frc),
+                    fb: fp(rb),
+                },
+                _ => {
+                    let xo10 = (word >> 1) & 0x3FF;
+                    match xo10 {
+                        0 => {
+                            if rt & 3 != 0 {
+                                return err;
+                            }
+                            Fcmpu {
+                                cr: Cr::new((rt >> 2) as u8),
+                                fa: fp(ra),
+                                fb: fp(rb),
+                            }
+                        }
+                        40 if ra == 0 => Fneg {
+                            fd: fp(rt),
+                            fa: fp(rb),
+                        },
+                        264 if ra == 0 => Fabs {
+                            fd: fp(rt),
+                            fa: fp(rb),
+                        },
+                        72 if ra == 0 => Fmr {
+                            fd: fp(rt),
+                            fa: fp(rb),
+                        },
+                        _ => return err,
+                    }
+                }
+            }
+        }
+        _ => return err,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{Cr, Fpr, Gpr};
+
+    fn roundtrip(inst: Inst, addr: u32) {
+        let word = encode(&inst, addr);
+        let back = decode(word, addr).unwrap_or_else(|e| panic!("{e} (for {inst})"));
+        assert_eq!(
+            back, inst,
+            "round-trip failed for {inst}: word {word:#010x}"
+        );
+    }
+
+    fn g(i: u8) -> Gpr {
+        Gpr::new(i)
+    }
+    fn fp(i: u8) -> Fpr {
+        Fpr::new(i)
+    }
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        let addr = 0x0010_0040;
+        let c = Cr::new(3);
+        let insts = vec![
+            Inst::Addi {
+                rd: g(3),
+                ra: g(4),
+                imm: -32768,
+            },
+            Inst::Addis {
+                rd: g(31),
+                ra: g(0),
+                imm: 0x7FFF,
+            },
+            Inst::Mulli {
+                rd: g(5),
+                ra: g(6),
+                imm: 100,
+            },
+            Inst::Andi {
+                rd: g(7),
+                ra: g(8),
+                imm: 0xFFFF,
+            },
+            Inst::Ori {
+                rd: g(9),
+                ra: g(10),
+                imm: 1,
+            },
+            Inst::Xori {
+                rd: g(11),
+                ra: g(12),
+                imm: 0x8000,
+            },
+            Inst::Add {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Subf {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Mullw {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Divw {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Divwu {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Neg { rd: g(3), ra: g(4) },
+            Inst::And {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Or {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Xor {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Slw {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Srw {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Sraw {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Srawi {
+                rd: g(3),
+                ra: g(4),
+                sh: 31,
+            },
+            Inst::Rlwinm {
+                rd: g(3),
+                ra: g(4),
+                sh: 5,
+                mb: 0,
+                me: 26,
+            },
+            Inst::Lwz {
+                rd: g(3),
+                d: -4,
+                ra: g(1),
+            },
+            Inst::Stw {
+                rs: g(3),
+                d: 4,
+                ra: g(1),
+            },
+            Inst::Stwu {
+                rs: g(1),
+                d: -64,
+                ra: g(1),
+            },
+            Inst::Lfd {
+                fd: fp(1),
+                d: 8,
+                ra: g(2),
+            },
+            Inst::Stfd {
+                fs: fp(2),
+                d: -8,
+                ra: g(1),
+            },
+            Inst::Lwzx {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Stwx {
+                rs: g(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Lfdx {
+                fd: fp(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Stfdx {
+                fs: fp(3),
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Fadd {
+                fd: fp(1),
+                fa: fp(2),
+                fb: fp(3),
+            },
+            Inst::Fsub {
+                fd: fp(1),
+                fa: fp(2),
+                fb: fp(3),
+            },
+            Inst::Fmul {
+                fd: fp(1),
+                fa: fp(2),
+                fc: fp(3),
+            },
+            Inst::Fdiv {
+                fd: fp(1),
+                fa: fp(2),
+                fb: fp(3),
+            },
+            Inst::Fmadd {
+                fd: fp(1),
+                fa: fp(2),
+                fc: fp(3),
+                fb: fp(4),
+            },
+            Inst::Fneg {
+                fd: fp(1),
+                fa: fp(2),
+            },
+            Inst::Fabs {
+                fd: fp(1),
+                fa: fp(2),
+            },
+            Inst::Fmr {
+                fd: fp(1),
+                fa: fp(2),
+            },
+            Inst::Cmpw {
+                cr: c,
+                ra: g(4),
+                rb: g(5),
+            },
+            Inst::Cmpwi {
+                cr: c,
+                ra: g(4),
+                imm: -1,
+            },
+            Inst::Fcmpu {
+                cr: c,
+                fa: fp(4),
+                fb: fp(5),
+            },
+            Inst::B {
+                target: addr + 0x400,
+            },
+            Inst::Bl {
+                target: addr.wrapping_sub(0x400),
+            },
+            Inst::Bc {
+                cond: Cond::Le,
+                cr: c,
+                target: addr + 0x100,
+            },
+            Inst::Bc {
+                cond: Cond::Eq,
+                cr: Cr::CR0,
+                target: addr.wrapping_sub(0x7FF8),
+            },
+            Inst::Blr,
+            Inst::Mflr { rd: g(0) },
+            Inst::Mtlr { rs: g(0) },
+            Inst::Itof {
+                fd: fp(1),
+                ra: g(3),
+            },
+            Inst::Ftoi {
+                rd: g(3),
+                fa: fp(1),
+            },
+            Inst::Annot { id: 0xABCD },
+            Inst::Nop,
+        ];
+        for inst in insts {
+            roundtrip(inst, addr);
+        }
+    }
+
+    #[test]
+    fn all_conditions_roundtrip() {
+        for cond in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            for crf in 0..8 {
+                roundtrip(
+                    Inst::Bc {
+                        cond,
+                        cr: Cr::new(crf),
+                        target: 0x0010_0000,
+                    },
+                    0x0010_0200,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_encodings() {
+        // Cross-checked against the PowerPC architecture manual.
+        assert_eq!(encode(&Inst::Blr, 0), 0x4E80_0020);
+        assert_eq!(encode(&Inst::Nop, 0), 0x6000_0000);
+        // addi r3, r4, 1 => 0x38640001
+        assert_eq!(
+            encode(
+                &Inst::Addi {
+                    rd: g(3),
+                    ra: g(4),
+                    imm: 1
+                },
+                0
+            ),
+            0x3864_0001
+        );
+        // lwz r3, 8(r1) => 0x80610008
+        assert_eq!(
+            encode(
+                &Inst::Lwz {
+                    rd: g(3),
+                    d: 8,
+                    ra: g(1)
+                },
+                0
+            ),
+            0x8061_0008
+        );
+        // mflr r0 => 0x7C0802A6
+        assert_eq!(encode(&Inst::Mflr { rd: g(0) }, 0), 0x7C08_02A6);
+        // mtlr r0 => 0x7C0803A6
+        assert_eq!(encode(&Inst::Mtlr { rs: g(0) }, 0), 0x7C08_03A6);
+        // fadd f1, f2, f3 => 0xFC22182A
+        assert_eq!(
+            encode(
+                &Inst::Fadd {
+                    fd: fp(1),
+                    fa: fp(2),
+                    fb: fp(3)
+                },
+                0
+            ),
+            0xFC22_182A
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(decode(0xFFFF_FFFF, 0).is_err());
+        assert!(decode(0x0000_0000, 0).is_err());
+        // opcode 31 with unknown xo
+        assert!(decode((31 << 26) | (999 << 1), 0).is_err());
+    }
+
+    #[test]
+    fn branch_displacements_are_relative() {
+        let inst = Inst::B {
+            target: 0x0010_0000,
+        };
+        let w1 = encode(&inst, 0x0010_0100);
+        let w2 = encode(&inst, 0x0010_0200);
+        assert_ne!(w1, w2);
+        assert_eq!(decode(w1, 0x0010_0100).unwrap(), inst);
+        assert_eq!(decode(w2, 0x0010_0200).unwrap(), inst);
+    }
+
+    #[test]
+    #[should_panic(expected = "bc displacement out of range")]
+    fn bc_range_checked() {
+        let inst = Inst::Bc {
+            cond: Cond::Eq,
+            cr: Cr::CR0,
+            target: 0x0020_0000,
+        };
+        let _ = encode(&inst, 0x0010_0000);
+    }
+}

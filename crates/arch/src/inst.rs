@@ -1,0 +1,817 @@
+//! The instruction set: a subset of the 32-bit PowerPC ISA as implemented by
+//! the MPC755, plus three implementation-defined extension instructions
+//! (`itof`, `ftoi`, `annot`) documented in `DESIGN.md`.
+//!
+//! Branch targets are stored as *resolved absolute byte addresses*; the
+//! [`crate::encode`] module converts them to/from the PC-relative displacement
+//! fields of the binary encoding.
+
+use std::fmt;
+
+use crate::reg::{Cr, Fpr, Gpr};
+
+/// A branch condition, evaluated against a condition-register field that was
+/// set by `cmpw`, `cmpwi` or `fcmpu`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl Cond {
+    /// The condition testing the opposite outcome.
+    pub fn negate(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Le => Cond::Gt,
+            Cond::Gt => Cond::Le,
+            Cond::Ge => Cond::Lt,
+        }
+    }
+
+    /// The condition that holds for `b ? a` whenever `self` holds for `a ? b`.
+    pub fn swap(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Eq,
+            Cond::Ne => Cond::Ne,
+            Cond::Lt => Cond::Gt,
+            Cond::Le => Cond::Ge,
+            Cond::Gt => Cond::Lt,
+            Cond::Ge => Cond::Le,
+        }
+    }
+
+    /// Evaluates the condition on a three-way comparison outcome.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Cond::Eq => ord == Equal,
+            Cond::Ne => ord != Equal,
+            Cond::Lt => ord == Less,
+            Cond::Le => ord != Greater,
+            Cond::Gt => ord == Greater,
+            Cond::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Le => "le",
+            Cond::Gt => "gt",
+            Cond::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Any architectural register, for def/use reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Reg {
+    /// A general-purpose register.
+    G(Gpr),
+    /// A floating-point register.
+    F(Fpr),
+    /// A condition-register field.
+    C(Cr),
+    /// The link register.
+    Lr,
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::G(r) => r.fmt(f),
+            Reg::F(r) => r.fmt(f),
+            Reg::C(r) => r.fmt(f),
+            Reg::Lr => f.write_str("lr"),
+        }
+    }
+}
+
+/// The execution unit an instruction dispatches to.
+///
+/// The MPC755 dispatches up to two instructions per cycle to distinct units,
+/// with two simple integer units available (`Iu` instructions may pair with
+/// each other).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unit {
+    /// Simple integer unit (two instances: IU1, IU2).
+    Iu,
+    /// Multi-cycle integer unit (multiply, divide; one instance).
+    Mci,
+    /// Floating-point unit.
+    Fpu,
+    /// Load/store unit.
+    Lsu,
+    /// Branch processing unit.
+    Bpu,
+    /// No unit (annotation markers consume no resources).
+    None,
+}
+
+/// Kind of data-memory access performed by an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemAccess {
+    /// A load of `bytes` bytes.
+    Load {
+        /// Access width in bytes (4 or 8).
+        bytes: u8,
+    },
+    /// A store of `bytes` bytes.
+    Store {
+        /// Access width in bytes (4 or 8).
+        bytes: u8,
+    },
+}
+
+impl MemAccess {
+    /// Whether this access reads from memory.
+    pub fn is_load(self) -> bool {
+        matches!(self, MemAccess::Load { .. })
+    }
+}
+
+/// Control-flow effect of an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlFlow {
+    /// Sequential fall-through.
+    Fallthrough,
+    /// Unconditional jump to an absolute address.
+    Jump(u32),
+    /// Conditional branch: taken target (falls through otherwise).
+    CondBranch(u32),
+    /// Function call (branch and link).
+    Call(u32),
+    /// Return (branch to LR).
+    Return,
+}
+
+/// A machine instruction.
+///
+/// Field conventions follow the PowerPC UISA: `rd`/`fd` destination,
+/// `ra`/`rb`/`fa`/`fb`/`fc` sources, `rs`/`fs` store sources, `d` signed
+/// 16-bit displacement, `imm` immediate. In `addi`, `addis` and all
+/// displacement-form memory instructions, an `ra` of `r0` reads as literal
+/// zero (the PowerPC convention), not as the contents of `r0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings follow the PowerPC UISA, documented above
+pub enum Inst {
+    // ---- integer immediate (D-form) ----
+    /// `rd = (ra|0) + imm`
+    Addi { rd: Gpr, ra: Gpr, imm: i16 },
+    /// `rd = (ra|0) + (imm << 16)`
+    Addis { rd: Gpr, ra: Gpr, imm: i16 },
+    /// `rd = ra * imm` (low 32 bits)
+    Mulli { rd: Gpr, ra: Gpr, imm: i16 },
+    /// `rd = ra & imm` (zero-extended immediate)
+    Andi { rd: Gpr, ra: Gpr, imm: u16 },
+    /// `rd = ra | imm` (zero-extended immediate)
+    Ori { rd: Gpr, ra: Gpr, imm: u16 },
+    /// `rd = ra ^ imm` (zero-extended immediate)
+    Xori { rd: Gpr, ra: Gpr, imm: u16 },
+
+    // ---- integer register (X/XO-form) ----
+    /// `rd = ra + rb`
+    Add { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = rb - ra` (PowerPC subtract-from)
+    Subf { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = ra * rb` (low 32 bits)
+    Mullw { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = ra / rb` (signed; division by zero yields 0, overflow yields `i32::MIN`)
+    Divw { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = ra / rb` (unsigned; division by zero yields 0)
+    Divwu { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = -ra`
+    Neg { rd: Gpr, ra: Gpr },
+    /// `rd = ra & rb`
+    And { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = ra | rb`
+    Or { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = ra ^ rb`
+    Xor { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = ra << (rb & 63)` (0 if shift ≥ 32)
+    Slw { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = ra >> (rb & 63)` logical (0 if shift ≥ 32)
+    Srw { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = ra >> (rb & 63)` arithmetic
+    Sraw { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `rd = ra >> sh` arithmetic, immediate shift
+    Srawi { rd: Gpr, ra: Gpr, sh: u8 },
+    /// `rd = rotl32(ra, sh) & mask(mb, me)` — rotate-left-then-mask
+    Rlwinm {
+        rd: Gpr,
+        ra: Gpr,
+        sh: u8,
+        mb: u8,
+        me: u8,
+    },
+
+    // ---- loads and stores ----
+    /// `rd = mem32[(ra|0) + d]`
+    Lwz { rd: Gpr, d: i16, ra: Gpr },
+    /// `mem32[(ra|0) + d] = rs`
+    Stw { rs: Gpr, d: i16, ra: Gpr },
+    /// `mem32[(ra|0) + d] = rs; ra = ra + d` (stack-frame push)
+    Stwu { rs: Gpr, d: i16, ra: Gpr },
+    /// `fd = mem64[(ra|0) + d]`
+    Lfd { fd: Fpr, d: i16, ra: Gpr },
+    /// `mem64[(ra|0) + d] = fs`
+    Stfd { fs: Fpr, d: i16, ra: Gpr },
+    /// `rd = mem32[ra + rb]`
+    Lwzx { rd: Gpr, ra: Gpr, rb: Gpr },
+    /// `mem32[ra + rb] = rs`
+    Stwx { rs: Gpr, ra: Gpr, rb: Gpr },
+    /// `fd = mem64[ra + rb]`
+    Lfdx { fd: Fpr, ra: Gpr, rb: Gpr },
+    /// `mem64[ra + rb] = fs`
+    Stfdx { fs: Fpr, ra: Gpr, rb: Gpr },
+
+    // ---- floating point (double precision) ----
+    /// `fd = fa + fb`
+    Fadd { fd: Fpr, fa: Fpr, fb: Fpr },
+    /// `fd = fa - fb`
+    Fsub { fd: Fpr, fa: Fpr, fb: Fpr },
+    /// `fd = fa * fc`
+    Fmul { fd: Fpr, fa: Fpr, fc: Fpr },
+    /// `fd = fa / fb`
+    Fdiv { fd: Fpr, fa: Fpr, fb: Fpr },
+    /// `fd = fa * fc + fb` (fused multiply-add)
+    Fmadd { fd: Fpr, fa: Fpr, fc: Fpr, fb: Fpr },
+    /// `fd = -fa`
+    Fneg { fd: Fpr, fa: Fpr },
+    /// `fd = |fa|`
+    Fabs { fd: Fpr, fa: Fpr },
+    /// `fd = fa` (register move)
+    Fmr { fd: Fpr, fa: Fpr },
+
+    // ---- comparisons ----
+    /// `cr = compare_signed(ra, rb)`
+    Cmpw { cr: Cr, ra: Gpr, rb: Gpr },
+    /// `cr = compare_signed(ra, imm)`
+    Cmpwi { cr: Cr, ra: Gpr, imm: i16 },
+    /// `cr = compare_unordered(fa, fb)` (any NaN ⇒ unordered, no condition holds except `ne`)
+    Fcmpu { cr: Cr, fa: Fpr, fb: Fpr },
+
+    // ---- control flow (targets are resolved absolute addresses) ----
+    /// Unconditional branch.
+    B { target: u32 },
+    /// Conditional branch on `cond` in `cr`.
+    Bc { cond: Cond, cr: Cr, target: u32 },
+    /// Branch and link (function call); sets LR to the return address.
+    Bl { target: u32 },
+    /// Branch to LR (function return).
+    Blr,
+    /// `rd = LR`
+    Mflr { rd: Gpr },
+    /// `LR = rs`
+    Mtlr { rs: Gpr },
+
+    // ---- implementation-defined extensions ----
+    /// `fd = (f64)(i32)ra` — int-to-double conversion.
+    ///
+    /// The real MPC755 performs this through a store/load sequence; we model
+    /// it as one multi-cycle instruction (see `DESIGN.md`).
+    Itof { fd: Fpr, ra: Gpr },
+    /// `rd = sat_trunc(fa)` — double-to-int, truncating, saturating
+    /// (NaN yields `i32::MIN`, like `fctiwz`).
+    Ftoi { rd: Gpr, fa: Fpr },
+    /// Annotation marker: a pro-forma effect carrying the id of an entry in
+    /// the program's annotation table. Consumes no pipeline resources and no
+    /// time; semantically it "observes" its arguments' locations.
+    Annot { id: u16 },
+    /// No operation (`ori r0, r0, 0` in the real encoding space).
+    Nop,
+}
+
+impl Inst {
+    /// `li rd, imm` — load a sign-extended 16-bit immediate (encoded as
+    /// `addi rd, r0, imm`).
+    pub fn li(rd: Gpr, imm: i16) -> Inst {
+        Inst::Addi {
+            rd,
+            ra: Gpr::R0,
+            imm,
+        }
+    }
+
+    /// `lis rd, imm` — load a shifted immediate (encoded as `addis rd, r0, imm`).
+    pub fn lis(rd: Gpr, imm: i16) -> Inst {
+        Inst::Addis {
+            rd,
+            ra: Gpr::R0,
+            imm,
+        }
+    }
+
+    /// `slwi rd, ra, sh` — shift left by an immediate, as the canonical
+    /// `rlwinm` form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sh >= 32`.
+    pub fn slwi(rd: Gpr, ra: Gpr, sh: u8) -> Inst {
+        assert!(sh < 32, "shift amount out of range: {sh}");
+        Inst::Rlwinm {
+            rd,
+            ra,
+            sh,
+            mb: 0,
+            me: 31 - sh,
+        }
+    }
+
+    /// `srwi rd, ra, sh` — logical shift right by an immediate, as the
+    /// canonical `rlwinm` form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sh == 0 || sh >= 32` (PowerPC encodes `srwi 0` as `mr`).
+    pub fn srwi(rd: Gpr, ra: Gpr, sh: u8) -> Inst {
+        assert!(sh > 0 && sh < 32, "shift amount out of range: {sh}");
+        Inst::Rlwinm {
+            rd,
+            ra,
+            sh: 32 - sh,
+            mb: sh,
+            me: 31,
+        }
+    }
+
+    /// `mr rd, ra` — register move (encoded as `or rd, ra, ra`).
+    pub fn mr(rd: Gpr, ra: Gpr) -> Inst {
+        Inst::Or { rd, ra, rb: ra }
+    }
+
+    /// The execution unit this instruction dispatches to.
+    pub fn unit(&self) -> Unit {
+        use Inst::*;
+        match self {
+            Addi { .. }
+            | Addis { .. }
+            | Andi { .. }
+            | Ori { .. }
+            | Xori { .. }
+            | Add { .. }
+            | Subf { .. }
+            | Neg { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Slw { .. }
+            | Srw { .. }
+            | Sraw { .. }
+            | Srawi { .. }
+            | Rlwinm { .. }
+            | Cmpw { .. }
+            | Cmpwi { .. }
+            | Mflr { .. }
+            | Mtlr { .. }
+            | Nop => Unit::Iu,
+            Mulli { .. }
+            | Mullw { .. }
+            | Divw { .. }
+            | Divwu { .. }
+            | Itof { .. }
+            | Ftoi { .. } => Unit::Mci,
+            Fadd { .. }
+            | Fsub { .. }
+            | Fmul { .. }
+            | Fdiv { .. }
+            | Fmadd { .. }
+            | Fneg { .. }
+            | Fabs { .. }
+            | Fmr { .. }
+            | Fcmpu { .. } => Unit::Fpu,
+            Lwz { .. }
+            | Stw { .. }
+            | Stwu { .. }
+            | Lfd { .. }
+            | Stfd { .. }
+            | Lwzx { .. }
+            | Stwx { .. }
+            | Lfdx { .. }
+            | Stfdx { .. } => Unit::Lsu,
+            B { .. } | Bc { .. } | Bl { .. } | Blr => Unit::Bpu,
+            Annot { .. } => Unit::None,
+        }
+    }
+
+    /// The registers this instruction reads.
+    ///
+    /// `r0`-as-zero operands of `addi`/`addis` and displacement-form memory
+    /// instructions are *not* reported as uses.
+    pub fn uses(&self) -> Vec<Reg> {
+        use Inst::*;
+        fn base(ra: Gpr) -> Vec<Reg> {
+            if ra == Gpr::R0 {
+                vec![]
+            } else {
+                vec![Reg::G(ra)]
+            }
+        }
+        match *self {
+            Addi { ra, .. } | Addis { ra, .. } => base(ra),
+            Mulli { ra, .. }
+            | Andi { ra, .. }
+            | Ori { ra, .. }
+            | Xori { ra, .. }
+            | Neg { ra, .. }
+            | Srawi { ra, .. }
+            | Rlwinm { ra, .. } => vec![Reg::G(ra)],
+            Add { ra, rb, .. }
+            | Subf { ra, rb, .. }
+            | Mullw { ra, rb, .. }
+            | Divw { ra, rb, .. }
+            | Divwu { ra, rb, .. }
+            | And { ra, rb, .. }
+            | Or { ra, rb, .. }
+            | Xor { ra, rb, .. }
+            | Slw { ra, rb, .. }
+            | Srw { ra, rb, .. }
+            | Sraw { ra, rb, .. } => {
+                if ra == rb {
+                    vec![Reg::G(ra)]
+                } else {
+                    vec![Reg::G(ra), Reg::G(rb)]
+                }
+            }
+            Lwz { ra, .. } | Lfd { ra, .. } => base(ra),
+            Stw { rs, ra, .. } | Stwu { rs, ra, .. } => {
+                let mut v = vec![Reg::G(rs)];
+                v.extend(base(ra));
+                v
+            }
+            Stfd { fs, ra, .. } => {
+                let mut v = vec![Reg::F(fs)];
+                v.extend(base(ra));
+                v
+            }
+            Lwzx { ra, rb, .. } | Lfdx { ra, rb, .. } => vec![Reg::G(ra), Reg::G(rb)],
+            Stwx { rs, ra, rb } => vec![Reg::G(rs), Reg::G(ra), Reg::G(rb)],
+            Stfdx { fs, ra, rb } => vec![Reg::F(fs), Reg::G(ra), Reg::G(rb)],
+            Fadd { fa, fb, .. } | Fsub { fa, fb, .. } | Fdiv { fa, fb, .. } => {
+                vec![Reg::F(fa), Reg::F(fb)]
+            }
+            Fmul { fa, fc, .. } => vec![Reg::F(fa), Reg::F(fc)],
+            Fmadd { fa, fc, fb, .. } => vec![Reg::F(fa), Reg::F(fc), Reg::F(fb)],
+            Fneg { fa, .. } | Fabs { fa, .. } | Fmr { fa, .. } => vec![Reg::F(fa)],
+            Cmpw { ra, rb, .. } => vec![Reg::G(ra), Reg::G(rb)],
+            Cmpwi { ra, .. } => vec![Reg::G(ra)],
+            Fcmpu { fa, fb, .. } => vec![Reg::F(fa), Reg::F(fb)],
+            B { .. } | Bl { .. } | Nop | Annot { .. } | Mflr { .. } => vec![],
+            Bc { cr, .. } => vec![Reg::C(cr)],
+            Blr => vec![Reg::Lr],
+            Mtlr { rs } => vec![Reg::G(rs)],
+            Itof { ra, .. } => vec![Reg::G(ra)],
+            Ftoi { fa, .. } => vec![Reg::F(fa)],
+        }
+    }
+
+    /// The registers this instruction writes.
+    pub fn defs(&self) -> Vec<Reg> {
+        use Inst::*;
+        match *self {
+            Addi { rd, .. }
+            | Addis { rd, .. }
+            | Mulli { rd, .. }
+            | Andi { rd, .. }
+            | Ori { rd, .. }
+            | Xori { rd, .. }
+            | Add { rd, .. }
+            | Subf { rd, .. }
+            | Mullw { rd, .. }
+            | Divw { rd, .. }
+            | Divwu { rd, .. }
+            | Neg { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Slw { rd, .. }
+            | Srw { rd, .. }
+            | Sraw { rd, .. }
+            | Srawi { rd, .. }
+            | Rlwinm { rd, .. }
+            | Lwz { rd, .. }
+            | Lwzx { rd, .. }
+            | Mflr { rd }
+            | Ftoi { rd, .. } => {
+                vec![Reg::G(rd)]
+            }
+            Lfd { fd, .. }
+            | Lfdx { fd, .. }
+            | Fadd { fd, .. }
+            | Fsub { fd, .. }
+            | Fmul { fd, .. }
+            | Fdiv { fd, .. }
+            | Fmadd { fd, .. }
+            | Fneg { fd, .. }
+            | Fabs { fd, .. }
+            | Fmr { fd, .. }
+            | Itof { fd, .. } => vec![Reg::F(fd)],
+            Stwu { ra, .. } => vec![Reg::G(ra)],
+            Stw { .. } | Stfd { .. } | Stwx { .. } | Stfdx { .. } => vec![],
+            Cmpw { cr, .. } | Cmpwi { cr, .. } | Fcmpu { cr, .. } => vec![Reg::C(cr)],
+            B { .. } | Bc { .. } | Blr | Nop | Annot { .. } => vec![],
+            Bl { .. } | Mtlr { .. } => vec![Reg::Lr],
+        }
+    }
+
+    /// The data-memory access performed, if any.
+    pub fn mem_access(&self) -> Option<MemAccess> {
+        use Inst::*;
+        match self {
+            Lwz { .. } | Lwzx { .. } => Some(MemAccess::Load { bytes: 4 }),
+            Lfd { .. } | Lfdx { .. } => Some(MemAccess::Load { bytes: 8 }),
+            Stw { .. } | Stwu { .. } | Stwx { .. } => Some(MemAccess::Store { bytes: 4 }),
+            Stfd { .. } | Stfdx { .. } => Some(MemAccess::Store { bytes: 8 }),
+            _ => None,
+        }
+    }
+
+    /// The control-flow effect of this instruction.
+    pub fn control_flow(&self) -> ControlFlow {
+        match *self {
+            Inst::B { target } => ControlFlow::Jump(target),
+            Inst::Bc { target, .. } => ControlFlow::CondBranch(target),
+            Inst::Bl { target } => ControlFlow::Call(target),
+            Inst::Blr => ControlFlow::Return,
+            _ => ControlFlow::Fallthrough,
+        }
+    }
+
+    /// Whether this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        !matches!(self.control_flow(), ControlFlow::Fallthrough)
+    }
+}
+
+/// The PowerPC `rlwinm` mask from `mb` to `me` (big-endian bit numbering,
+/// wrapping when `mb > me`).
+pub fn rlwinm_mask(mb: u8, me: u8) -> u32 {
+    let bit = |n: u8| 1u32 << (31 - n);
+    if mb <= me {
+        let hi = bit(mb);
+        let lo = bit(me);
+        (hi | (hi - 1)) & !(lo - 1)
+    } else {
+        !rlwinm_mask(me.wrapping_add(1) % 32, mb.wrapping_sub(1) % 32)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Inst::*;
+        match *self {
+            Addi { rd, ra, imm } if ra == Gpr::R0 => write!(f, "li {rd}, {imm}"),
+            Addi { rd, ra, imm } => write!(f, "addi {rd}, {ra}, {imm}"),
+            Addis { rd, ra, imm } if ra == Gpr::R0 => write!(f, "lis {rd}, {imm}"),
+            Addis { rd, ra, imm } => write!(f, "addis {rd}, {ra}, {imm}"),
+            Mulli { rd, ra, imm } => write!(f, "mulli {rd}, {ra}, {imm}"),
+            Andi { rd, ra, imm } => write!(f, "andi. {rd}, {ra}, {imm}"),
+            Ori { rd, ra, imm } => write!(f, "ori {rd}, {ra}, {imm}"),
+            Xori { rd, ra, imm } => write!(f, "xori {rd}, {ra}, {imm}"),
+            Add { rd, ra, rb } => write!(f, "add {rd}, {ra}, {rb}"),
+            Subf { rd, ra, rb } => write!(f, "subf {rd}, {ra}, {rb}"),
+            Mullw { rd, ra, rb } => write!(f, "mullw {rd}, {ra}, {rb}"),
+            Divw { rd, ra, rb } => write!(f, "divw {rd}, {ra}, {rb}"),
+            Divwu { rd, ra, rb } => write!(f, "divwu {rd}, {ra}, {rb}"),
+            Neg { rd, ra } => write!(f, "neg {rd}, {ra}"),
+            And { rd, ra, rb } => write!(f, "and {rd}, {ra}, {rb}"),
+            Or { rd, ra, rb } if ra == rb => write!(f, "mr {rd}, {ra}"),
+            Or { rd, ra, rb } => write!(f, "or {rd}, {ra}, {rb}"),
+            Xor { rd, ra, rb } => write!(f, "xor {rd}, {ra}, {rb}"),
+            Slw { rd, ra, rb } => write!(f, "slw {rd}, {ra}, {rb}"),
+            Srw { rd, ra, rb } => write!(f, "srw {rd}, {ra}, {rb}"),
+            Sraw { rd, ra, rb } => write!(f, "sraw {rd}, {ra}, {rb}"),
+            Srawi { rd, ra, sh } => write!(f, "srawi {rd}, {ra}, {sh}"),
+            Rlwinm { rd, ra, sh, mb, me } if mb == 0 && me == 31 - sh && sh != 0 => {
+                write!(f, "slwi {rd}, {ra}, {sh}")
+            }
+            Rlwinm { rd, ra, sh, mb, me } if me == 31 && sh == 32 - mb && mb != 0 => {
+                write!(f, "srwi {rd}, {ra}, {mb}")
+            }
+            Rlwinm { rd, ra, sh, mb, me } => write!(f, "rlwinm {rd}, {ra}, {sh}, {mb}, {me}"),
+            Lwz { rd, d, ra } => write!(f, "lwz {rd}, {d}({ra})"),
+            Stw { rs, d, ra } => write!(f, "stw {rs}, {d}({ra})"),
+            Stwu { rs, d, ra } => write!(f, "stwu {rs}, {d}({ra})"),
+            Lfd { fd, d, ra } => write!(f, "lfd {fd}, {d}({ra})"),
+            Stfd { fs, d, ra } => write!(f, "stfd {fs}, {d}({ra})"),
+            Lwzx { rd, ra, rb } => write!(f, "lwzx {rd}, {ra}, {rb}"),
+            Stwx { rs, ra, rb } => write!(f, "stwx {rs}, {ra}, {rb}"),
+            Lfdx { fd, ra, rb } => write!(f, "lfdx {fd}, {ra}, {rb}"),
+            Stfdx { fs, ra, rb } => write!(f, "stfdx {fs}, {ra}, {rb}"),
+            Fadd { fd, fa, fb } => write!(f, "fadd {fd}, {fa}, {fb}"),
+            Fsub { fd, fa, fb } => write!(f, "fsub {fd}, {fa}, {fb}"),
+            Fmul { fd, fa, fc } => write!(f, "fmul {fd}, {fa}, {fc}"),
+            Fdiv { fd, fa, fb } => write!(f, "fdiv {fd}, {fa}, {fb}"),
+            Fmadd { fd, fa, fc, fb } => write!(f, "fmadd {fd}, {fa}, {fc}, {fb}"),
+            Fneg { fd, fa } => write!(f, "fneg {fd}, {fa}"),
+            Fabs { fd, fa } => write!(f, "fabs {fd}, {fa}"),
+            Fmr { fd, fa } => write!(f, "fmr {fd}, {fa}"),
+            Cmpw { cr, ra, rb } => write!(f, "cmpw {cr}, {ra}, {rb}"),
+            Cmpwi { cr, ra, imm } => write!(f, "cmpwi {cr}, {ra}, {imm}"),
+            Fcmpu { cr, fa, fb } => write!(f, "fcmpu {cr}, {fa}, {fb}"),
+            B { target } => write!(f, "b {target:#x}"),
+            Bc { cond, cr, target } => write!(f, "b{cond} {cr}, {target:#x}"),
+            Bl { target } => write!(f, "bl {target:#x}"),
+            Blr => f.write_str("blr"),
+            Mflr { rd } => write!(f, "mflr {rd}"),
+            Mtlr { rs } => write!(f, "mtlr {rs}"),
+            Itof { fd, ra } => write!(f, "itof {fd}, {ra}"),
+            Ftoi { rd, fa } => write!(f, "ftoi {rd}, {fa}"),
+            Annot { id } => write!(f, "annot {id}"),
+            Nop => f.write_str("nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u8) -> Gpr {
+        Gpr::new(i)
+    }
+    fn fp(i: u8) -> Fpr {
+        Fpr::new(i)
+    }
+
+    #[test]
+    fn cond_negate_and_swap() {
+        assert_eq!(Cond::Lt.negate(), Cond::Ge);
+        assert_eq!(Cond::Le.swap(), Cond::Ge);
+        assert_eq!(Cond::Eq.swap(), Cond::Eq);
+        for c in [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge] {
+            assert_eq!(c.negate().negate(), c);
+            assert_eq!(c.swap().swap(), c);
+        }
+    }
+
+    #[test]
+    fn cond_eval() {
+        use std::cmp::Ordering::*;
+        assert!(Cond::Lt.eval(Less));
+        assert!(!Cond::Lt.eval(Equal));
+        assert!(Cond::Le.eval(Equal));
+        assert!(Cond::Ge.eval(Greater));
+        assert!(Cond::Ne.eval(Less));
+    }
+
+    #[test]
+    fn r0_as_zero_not_a_use() {
+        assert!(Inst::li(g(5), 7).uses().is_empty());
+        assert_eq!(
+            Inst::Lwz {
+                rd: g(4),
+                d: 0,
+                ra: Gpr::R0
+            }
+            .uses(),
+            Vec::<Reg>::new()
+        );
+        assert_eq!(
+            Inst::Lwz {
+                rd: g(4),
+                d: 0,
+                ra: g(1)
+            }
+            .uses(),
+            vec![Reg::G(g(1))]
+        );
+    }
+
+    #[test]
+    fn defs_and_uses_cover_stores() {
+        let st = Inst::Stfd {
+            fs: fp(2),
+            d: 8,
+            ra: g(1),
+        };
+        assert_eq!(st.defs(), vec![]);
+        assert_eq!(st.uses(), vec![Reg::F(fp(2)), Reg::G(g(1))]);
+        let stwu = Inst::Stwu {
+            rs: g(1),
+            d: -32,
+            ra: g(1),
+        };
+        assert_eq!(stwu.defs(), vec![Reg::G(g(1))]);
+    }
+
+    #[test]
+    fn units() {
+        assert_eq!(
+            Inst::Add {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5)
+            }
+            .unit(),
+            Unit::Iu
+        );
+        assert_eq!(
+            Inst::Mullw {
+                rd: g(3),
+                ra: g(4),
+                rb: g(5)
+            }
+            .unit(),
+            Unit::Mci
+        );
+        assert_eq!(
+            Inst::Fadd {
+                fd: fp(1),
+                fa: fp(2),
+                fb: fp(3)
+            }
+            .unit(),
+            Unit::Fpu
+        );
+        assert_eq!(
+            Inst::Lwz {
+                rd: g(3),
+                d: 0,
+                ra: g(1)
+            }
+            .unit(),
+            Unit::Lsu
+        );
+        assert_eq!(Inst::Blr.unit(), Unit::Bpu);
+        assert_eq!(Inst::Annot { id: 0 }.unit(), Unit::None);
+    }
+
+    #[test]
+    fn rlwinm_masks() {
+        assert_eq!(rlwinm_mask(0, 31), u32::MAX);
+        assert_eq!(rlwinm_mask(31, 31), 1);
+        assert_eq!(rlwinm_mask(0, 0), 0x8000_0000);
+        assert_eq!(rlwinm_mask(24, 31), 0xFF);
+        // wrapping mask
+        assert_eq!(rlwinm_mask(31, 0), 0x8000_0001);
+    }
+
+    #[test]
+    fn shift_helpers_match_rlwinm_semantics() {
+        // slwi 3: rotate left 3, keep bits 0..28
+        let slwi = Inst::slwi(g(3), g(4), 3);
+        match slwi {
+            Inst::Rlwinm { sh, mb, me, .. } => {
+                assert_eq!((sh, mb, me), (3, 0, 28));
+                let x: u32 = 0xDEAD_BEEF;
+                let rot = x.rotate_left(3);
+                assert_eq!(rot & rlwinm_mask(mb, me), x << 3);
+            }
+            _ => panic!("expected rlwinm"),
+        }
+        let srwi = Inst::srwi(g(3), g(4), 5);
+        match srwi {
+            Inst::Rlwinm { sh, mb, me, .. } => {
+                let x: u32 = 0xDEAD_BEEF;
+                let rot = x.rotate_left(sh as u32);
+                assert_eq!(rot & rlwinm_mask(mb, me), x >> 5);
+            }
+            _ => panic!("expected rlwinm"),
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Inst::li(g(3), -1).to_string(), "li r3, -1");
+        assert_eq!(Inst::mr(g(3), g(4)).to_string(), "mr r3, r4");
+        assert_eq!(Inst::slwi(g(3), g(4), 2).to_string(), "slwi r3, r4, 2");
+        assert_eq!(Inst::srwi(g(3), g(4), 2).to_string(), "srwi r3, r4, 2");
+        assert_eq!(
+            Inst::Bc {
+                cond: Cond::Lt,
+                cr: Cr::CR0,
+                target: 0x100
+            }
+            .to_string(),
+            "blt cr0, 0x100"
+        );
+    }
+
+    #[test]
+    fn control_flow_classification() {
+        assert_eq!(Inst::B { target: 4 }.control_flow(), ControlFlow::Jump(4));
+        assert_eq!(Inst::Blr.control_flow(), ControlFlow::Return);
+        assert!(Inst::Bl { target: 8 }.is_terminator());
+        assert!(!Inst::Nop.is_terminator());
+    }
+}

@@ -1,0 +1,44 @@
+//! PowerPC-750/755-subset target architecture.
+//!
+//! This crate defines everything both sides of the toolchain agree on:
+//!
+//! * the register files and instruction set ([`reg`], [`inst`]),
+//! * the 32-bit binary instruction encoding ([`encode`]),
+//! * the linked program container produced by the compiler and consumed by the
+//!   simulator and the WCET analyzer ([`program`]),
+//! * the machine configuration — memory map, cache geometry, latencies
+//!   ([`config`]),
+//! * the shared in-order dual-issue pipeline timing core ([`timing`]) used both
+//!   concretely (simulator) and abstractly (WCET analysis).
+//!
+//! The instruction subset follows the MPC755 (PowerPC 603e/750 family) with the
+//! documented deviations listed in `DESIGN.md` (extension opcodes for
+//! int↔float conversion and annotation markers).
+//!
+//! # Example
+//!
+//! ```
+//! use vericomp_arch::inst::Inst;
+//! use vericomp_arch::reg::Gpr;
+//! use vericomp_arch::encode::{encode, decode};
+//!
+//! let inst = Inst::Addi { rd: Gpr::new(3), ra: Gpr::new(4), imm: -8 };
+//! let word = encode(&inst, 0x0010_0000);
+//! assert_eq!(decode(word, 0x0010_0000).unwrap(), inst);
+//! assert_eq!(inst.to_string(), "addi r3, r4, -8");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod encode;
+pub mod inst;
+pub mod program;
+pub mod reg;
+pub mod timing;
+
+pub use config::MachineConfig;
+pub use inst::{Cond, Inst};
+pub use program::Program;
+pub use reg::{Cr, Fpr, Gpr};

@@ -1,0 +1,142 @@
+//! Register files of the PowerPC-subset target.
+//!
+//! The MPC755 has 32 general-purpose registers (GPRs), 32 floating-point
+//! registers (FPRs), eight 4-bit condition register fields (CR0–CR7), and the
+//! special-purpose registers LR and CTR. We model GPRs, FPRs and CR fields as
+//! validated newtypes; LR is modelled implicitly by the branch-and-link /
+//! branch-to-LR instructions.
+//!
+//! # Software conventions (EABI-like, used by the compiler)
+//!
+//! | register | role |
+//! |---|---|
+//! | `r0` | scratch, may read as literal zero in `addi`/`addis`/`lwz`-style `ra` fields |
+//! | `r1` | stack pointer |
+//! | `r2` | constant-pool (TOC) base |
+//! | `r3..r10` | integer arguments / return value / volatile |
+//! | `r11, r12` | volatile scratch |
+//! | `r13` | small-data-area base |
+//! | `r14..r31` | callee-saved |
+//! | `f0` | scratch |
+//! | `f1..f13` | FP arguments / return value / volatile |
+//! | `f14..f31` | callee-saved |
+
+use std::fmt;
+
+/// A general-purpose (integer) register, `r0`–`r31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpr(u8);
+
+/// A floating-point register, `f0`–`f31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fpr(u8);
+
+/// A condition-register field, `cr0`–`cr7`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cr(u8);
+
+macro_rules! impl_reg {
+    ($ty:ident, $max:expr, $prefix:literal, $what:literal) => {
+        impl $ty {
+            /// Creates the register with the given index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` is not below the register-file size.
+            pub const fn new(index: u8) -> Self {
+                assert!(index < $max, concat!($what, " index out of range"));
+                Self(index)
+            }
+
+            /// Creates the register if `index` is in range.
+            pub fn try_new(index: u8) -> Option<Self> {
+                (index < $max).then_some(Self(index))
+            }
+
+            /// The register index within its file.
+            pub fn index(self) -> u8 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_reg!(Gpr, 32, "r", "GPR");
+impl_reg!(Fpr, 32, "f", "FPR");
+impl_reg!(Cr, 8, "cr", "CR field");
+
+impl Gpr {
+    /// `r0`: scratch; reads as literal zero in displacement-form `ra` fields.
+    pub const R0: Gpr = Gpr(0);
+    /// `r1`: the stack pointer.
+    pub const SP: Gpr = Gpr(1);
+    /// `r2`: the constant-pool (TOC) base pointer.
+    pub const TOC: Gpr = Gpr(2);
+    /// `r13`: the small-data-area base pointer.
+    pub const SDA: Gpr = Gpr(13);
+
+    /// Whether the register is volatile (caller-saved) under the software
+    /// conventions used by the compiler.
+    pub fn is_volatile(self) -> bool {
+        self.0 == 0 || (3..=12).contains(&self.0)
+    }
+}
+
+impl Fpr {
+    /// `f0`: scratch.
+    pub const F0: Fpr = Fpr(0);
+
+    /// Whether the register is volatile (caller-saved) under the software
+    /// conventions used by the compiler.
+    pub fn is_volatile(self) -> bool {
+        self.0 <= 13
+    }
+}
+
+impl Cr {
+    /// `cr0`, the default condition field.
+    pub const CR0: Cr = Cr(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Gpr::new(3).to_string(), "r3");
+        assert_eq!(Fpr::new(31).to_string(), "f31");
+        assert_eq!(Cr::new(7).to_string(), "cr7");
+    }
+
+    #[test]
+    fn ranges() {
+        assert!(Gpr::try_new(32).is_none());
+        assert!(Fpr::try_new(32).is_none());
+        assert!(Cr::try_new(8).is_none());
+        assert_eq!(Gpr::try_new(31).map(Gpr::index), Some(31));
+    }
+
+    #[test]
+    #[should_panic(expected = "GPR index out of range")]
+    fn gpr_out_of_range_panics() {
+        let _ = Gpr::new(32);
+    }
+
+    #[test]
+    fn volatility_convention() {
+        assert!(Gpr::new(3).is_volatile());
+        assert!(Gpr::new(12).is_volatile());
+        assert!(!Gpr::new(14).is_volatile());
+        assert!(!Gpr::SP.is_volatile());
+        assert!(!Gpr::TOC.is_volatile());
+        assert!(Fpr::new(1).is_volatile());
+        assert!(!Fpr::new(14).is_volatile());
+    }
+}

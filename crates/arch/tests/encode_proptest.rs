@@ -1,0 +1,114 @@
+//! Property test: every constructible instruction round-trips through the
+//! binary encoding at arbitrary (word-aligned) addresses.
+
+use proptest::prelude::*;
+use vericomp_arch::encode::{decode, encode};
+use vericomp_arch::inst::{Cond, Inst};
+use vericomp_arch::reg::{Cr, Fpr, Gpr};
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..32).prop_map(Gpr::new)
+}
+
+fn fpr() -> impl Strategy<Value = Fpr> {
+    (0u8..32).prop_map(Fpr::new)
+}
+
+fn cr() -> impl Strategy<Value = Cr> {
+    (0u8..8).prop_map(Cr::new)
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+        Just(Cond::Ge),
+    ]
+}
+
+/// A random instruction together with an address at which its displacement
+/// fields are encodable.
+fn inst_at() -> impl Strategy<Value = (Inst, u32)> {
+    let addr = (0x0010_0000u32..0x0020_0000).prop_map(|a| a & !3);
+    let simple = prop_oneof![
+        (gpr(), gpr(), any::<i16>()).prop_map(|(rd, ra, imm)| Inst::Addi { rd, ra, imm }),
+        (gpr(), gpr(), any::<i16>()).prop_map(|(rd, ra, imm)| Inst::Addis { rd, ra, imm }),
+        (gpr(), gpr(), any::<i16>()).prop_map(|(rd, ra, imm)| Inst::Mulli { rd, ra, imm }),
+        (gpr(), gpr(), any::<u16>()).prop_map(|(rd, ra, imm)| Inst::Ori { rd, ra, imm }),
+        (gpr(), gpr(), any::<u16>()).prop_map(|(rd, ra, imm)| Inst::Andi { rd, ra, imm }),
+        (gpr(), gpr(), any::<u16>()).prop_map(|(rd, ra, imm)| Inst::Xori { rd, ra, imm }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, ra, rb)| Inst::Add { rd, ra, rb }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, ra, rb)| Inst::Subf { rd, ra, rb }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, ra, rb)| Inst::Mullw { rd, ra, rb }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, ra, rb)| Inst::Divw { rd, ra, rb }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, ra, rb)| Inst::And { rd, ra, rb }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, ra, rb)| Inst::Or { rd, ra, rb }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, ra, rb)| Inst::Xor { rd, ra, rb }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, ra, rb)| Inst::Slw { rd, ra, rb }),
+        (gpr(), gpr(), 0u8..32).prop_map(|(rd, ra, sh)| Inst::Srawi { rd, ra, sh }),
+        (gpr(), gpr(), 0u8..32, 0u8..32, 0u8..32).prop_map(|(rd, ra, sh, mb, me)| Inst::Rlwinm {
+            rd,
+            ra,
+            sh,
+            mb,
+            me
+        }),
+        (gpr(), any::<i16>(), gpr()).prop_map(|(rd, d, ra)| Inst::Lwz { rd, d, ra }),
+        (gpr(), any::<i16>(), gpr()).prop_map(|(rs, d, ra)| Inst::Stw { rs, d, ra }),
+        (gpr(), any::<i16>(), gpr()).prop_map(|(rs, d, ra)| Inst::Stwu { rs, d, ra }),
+        (fpr(), any::<i16>(), gpr()).prop_map(|(fd, d, ra)| Inst::Lfd { fd, d, ra }),
+        (fpr(), any::<i16>(), gpr()).prop_map(|(fs, d, ra)| Inst::Stfd { fs, d, ra }),
+        (gpr(), gpr(), gpr()).prop_map(|(rd, ra, rb)| Inst::Lwzx { rd, ra, rb }),
+        (fpr(), gpr(), gpr()).prop_map(|(fd, ra, rb)| Inst::Lfdx { fd, ra, rb }),
+        (fpr(), fpr(), fpr()).prop_map(|(fd, fa, fb)| Inst::Fadd { fd, fa, fb }),
+        (fpr(), fpr(), fpr()).prop_map(|(fd, fa, fb)| Inst::Fsub { fd, fa, fb }),
+        (fpr(), fpr(), fpr()).prop_map(|(fd, fa, fc)| Inst::Fmul { fd, fa, fc }),
+        (fpr(), fpr(), fpr()).prop_map(|(fd, fa, fb)| Inst::Fdiv { fd, fa, fb }),
+        (fpr(), fpr(), fpr(), fpr()).prop_map(|(fd, fa, fc, fb)| Inst::Fmadd { fd, fa, fc, fb }),
+        (fpr(), fpr()).prop_map(|(fd, fa)| Inst::Fneg { fd, fa }),
+        (fpr(), fpr()).prop_map(|(fd, fa)| Inst::Fabs { fd, fa }),
+        (fpr(), fpr()).prop_map(|(fd, fa)| Inst::Fmr { fd, fa }),
+        (cr(), gpr(), gpr()).prop_map(|(cr, ra, rb)| Inst::Cmpw { cr, ra, rb }),
+        (cr(), gpr(), any::<i16>()).prop_map(|(cr, ra, imm)| Inst::Cmpwi { cr, ra, imm }),
+        (cr(), fpr(), fpr()).prop_map(|(cr, fa, fb)| Inst::Fcmpu { cr, fa, fb }),
+        (fpr(), gpr()).prop_map(|(fd, ra)| Inst::Itof { fd, ra }),
+        (gpr(), fpr()).prop_map(|(rd, fa)| Inst::Ftoi { rd, fa }),
+        any::<u16>().prop_map(|id| Inst::Annot { id }),
+        gpr().prop_map(|rd| Inst::Mflr { rd }),
+        gpr().prop_map(|rs| Inst::Mtlr { rs }),
+        Just(Inst::Blr),
+        Just(Inst::Nop),
+    ];
+    (addr, simple, -0x1000i32..0x1000, cond(), cr()).prop_map(|(addr, base, rel, cond, cr)| {
+        // overwrite branch shapes with in-range targets tied to addr
+        let target = addr.wrapping_add((rel & !3) as u32);
+        let inst = match base {
+            Inst::Nop if rel % 5 == 0 => Inst::B { target },
+            Inst::Nop if rel % 5 == 1 => Inst::Bl { target },
+            Inst::Nop if rel % 5 == 2 => Inst::Bc { cond, cr, target },
+            other => other,
+        };
+        (inst, addr)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn encode_decode_roundtrip((inst, addr) in inst_at()) {
+        // the one documented canonicalization
+        prop_assume!(inst != Inst::Ori { rd: Gpr::R0, ra: Gpr::R0, imm: 0 });
+        let word = encode(&inst, addr);
+        let back = decode(word, addr).expect("decodable");
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn decode_never_panics(word in any::<u32>(), addr in (0u32..0x1000_0000).prop_map(|a| a & !3)) {
+        let _ = decode(word, addr);
+    }
+}

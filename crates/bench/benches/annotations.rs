@@ -1,0 +1,73 @@
+//! E4 — regenerates the §3.4 annotation-pipeline comparison and benchmarks
+//! the annotation machinery (file generation/parsing, analysis with the
+//! constraints applied).
+
+use criterion::{criterion_group, Criterion};
+use vericomp_bench::annotations;
+use vericomp_core::{Compiler, OptLevel};
+use vericomp_dataflow::NodeBuilder;
+use vericomp_wcet::annot::AnnotationFile;
+use vericomp_wcet::{analyze_with, AnalysisOptions};
+
+fn scan_node_binary() -> vericomp_arch::Program {
+    let mut b = NodeBuilder::new("annot");
+    let x = b.global_input("annot_x");
+    let y = b.lookup_search(
+        x,
+        vec![0.0, 10.0, 40.0, 90.0, 160.0, 250.0, 360.0],
+        vec![1.0, 0.9, 0.7, 0.55, 0.4, 0.3, 0.25],
+    );
+    b.output("annot_y", y);
+    let node = b.build().expect("fixed node is valid");
+    Compiler::new(OptLevel::Verified)
+        .compile(&node.to_minic(), "step")
+        .expect("compiles")
+}
+
+fn bench_annotations(c: &mut Criterion) {
+    let bin = scan_node_binary();
+    let mut g = c.benchmark_group("annotations");
+    g.bench_function("file/generate+serialize", |b| {
+        b.iter(|| AnnotationFile::from_program(&bin).to_text());
+    });
+    let text = AnnotationFile::from_program(&bin).to_text();
+    g.bench_function("file/parse", |b| {
+        b.iter(|| AnnotationFile::parse(&text).expect("roundtrip"));
+    });
+    g.bench_function("analyze/with_annotations", |b| {
+        b.iter(|| {
+            analyze_with(
+                &bin,
+                "step",
+                &AnalysisOptions {
+                    use_annotations: true,
+                },
+            )
+            .expect("bounded")
+        });
+    });
+    g.bench_function("analyze/without_annotations_fails", |b| {
+        b.iter(|| {
+            analyze_with(
+                &bin,
+                "step",
+                &AnalysisOptions {
+                    use_annotations: false,
+                },
+            )
+            .expect_err("must be unbounded")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_annotations);
+
+fn main() {
+    let e = annotations::run();
+    println!("{}", annotations::render(&e));
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

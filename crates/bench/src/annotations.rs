@@ -1,0 +1,139 @@
+//! E4 — §3.4: the annotation pipeline.
+//!
+//! A node with a data-dependent scan loop (breakpoint-table interpolation
+//! whose scan length comes from a configuration global) is compiled at
+//! every level. The compiler transmits the source `__builtin_annotation`
+//! to the binary and the annotation file is generated automatically; the
+//! analyzer is then run twice:
+//!
+//! * **without** the annotation file — the loop cannot be bounded and the
+//!   analysis fails (what the paper's process would face with a dumb
+//!   toolchain);
+//! * **with** it — the loop is bounded and a finite WCET results.
+
+use std::collections::BTreeMap;
+
+use vericomp_core::{Compiler, OptLevel};
+use vericomp_dataflow::NodeBuilder;
+use vericomp_wcet::{analyze_with, annot::AnnotationFile, AnalysisError, AnalysisOptions};
+
+/// Outcome for one compiler configuration.
+#[derive(Debug, Clone)]
+pub struct AnnotationOutcome {
+    /// The annotation comment as it appears in the assembly listing
+    /// (`# annotation: 1 <= r5 <= 4` style — final locations substituted).
+    pub resolved: String,
+    /// Analysis error without annotations (expected: unbounded loop).
+    pub without: Result<u64, String>,
+    /// WCET with the generated annotation file.
+    pub with: u64,
+    /// The derived scan-loop bound.
+    pub loop_bound: u64,
+}
+
+/// The experiment across configurations, plus the annotation file text.
+#[derive(Debug, Clone)]
+pub struct AnnotationsExperiment {
+    /// Outcomes by configuration.
+    pub outcomes: BTreeMap<OptLevel, AnnotationOutcome>,
+    /// The generated annotation-file text (verified-compiler build).
+    pub file_text: String,
+}
+
+/// Builds and runs the experiment.
+///
+/// # Panics
+///
+/// Panics if the with-annotations analysis fails (it must succeed).
+pub fn run() -> AnnotationsExperiment {
+    let mut b = NodeBuilder::new("annot");
+    let x = b.global_input("annot_x");
+    let y = b.lookup_search(
+        x,
+        vec![0.0, 10.0, 40.0, 90.0, 160.0, 250.0, 360.0],
+        vec![1.0, 0.9, 0.7, 0.55, 0.4, 0.3, 0.25],
+    );
+    b.output("annot_y", y);
+    let node = b.build().expect("fixed node is valid");
+    let src = node.to_minic();
+
+    let mut outcomes = BTreeMap::new();
+    let mut file_text = String::new();
+    for &level in &crate::LEVELS {
+        let bin = Compiler::new(level)
+            .compile(&src, "step")
+            .expect("compiles");
+        let resolved = bin
+            .annotations
+            .first()
+            .map(|a| a.resolved_text())
+            .unwrap_or_default();
+        if level == OptLevel::Verified {
+            file_text = AnnotationFile::from_program(&bin).to_text();
+        }
+        let without = match analyze_with(
+            &bin,
+            "step",
+            &AnalysisOptions {
+                use_annotations: false,
+            },
+        ) {
+            Ok(r) => Ok(r.wcet),
+            Err(AnalysisError::UnboundedLoop { header }) => {
+                Err(format!("unbounded loop at {header:#x}"))
+            }
+            Err(e) => Err(e.to_string()),
+        };
+        let with = analyze_with(
+            &bin,
+            "step",
+            &AnalysisOptions {
+                use_annotations: true,
+            },
+        )
+        .unwrap_or_else(|e| panic!("with-annotations analysis at {level}: {e}"));
+        let loop_bound = with.loop_bounds.values().copied().max().unwrap_or(0);
+        outcomes.insert(
+            level,
+            AnnotationOutcome {
+                resolved,
+                without,
+                with: with.wcet,
+                loop_bound,
+            },
+        );
+    }
+    AnnotationsExperiment {
+        outcomes,
+        file_text,
+    }
+}
+
+/// Renders the experiment.
+pub fn render(e: &AnnotationsExperiment) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "annotation pipeline (breakpoint-scan node, table of 7 entries):"
+    );
+    for (level, o) in &e.outcomes {
+        let _ = writeln!(out, "  {level}:");
+        let _ = writeln!(out, "    assembly comment : # annotation: {}", o.resolved);
+        match &o.without {
+            Ok(w) => {
+                let _ = writeln!(out, "    without file     : WCET {w} (unexpected!)");
+            }
+            Err(msg) => {
+                let _ = writeln!(out, "    without file     : FAILS — {msg}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "    with file        : WCET {} (scan bound {})",
+            o.with, o.loop_bound
+        );
+    }
+    let _ = writeln!(out, "generated annotation file:\n{}", e.file_text);
+    out
+}

@@ -1,0 +1,5 @@
+//! Prints the ablation study (E5).
+fn main() {
+    let a = vericomp_bench::ablation::run();
+    print!("{}", vericomp_bench::ablation::render(&a));
+}

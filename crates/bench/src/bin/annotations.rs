@@ -1,0 +1,5 @@
+//! Prints the §3.4 annotation-pipeline reproduction.
+fn main() {
+    let e = vericomp_bench::annotations::run();
+    print!("{}", vericomp_bench::annotations::render(&e));
+}

@@ -1,0 +1,5 @@
+//! Prints the Figure 2 reproduction.
+fn main() {
+    let fig = vericomp_bench::figure2::run();
+    print!("{}", vericomp_bench::figure2::render(&fig));
+}

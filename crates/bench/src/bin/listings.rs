@@ -1,0 +1,5 @@
+//! Prints the Listings 1–2 reproduction.
+fn main() {
+    let l = vericomp_bench::listings::run();
+    print!("{}", vericomp_bench::listings::render(&l));
+}

@@ -1,0 +1,5 @@
+//! Prints the Table 1 / §3.3 reproduction.
+fn main() {
+    let t = vericomp_bench::table1::run();
+    print!("{}", vericomp_bench::table1::render(&t));
+}

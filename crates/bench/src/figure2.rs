@@ -1,0 +1,117 @@
+//! E2 — Figure 2: per-node WCET under the four compiler configurations.
+//!
+//! The paper computes the WCET of every node with a³ for the default
+//! compiler (non-optimized, optimized-without-regalloc, fully optimized)
+//! and CompCert, normalizes to the non-optimized default, and reports mean
+//! WCET deltas of −0.5 %, −18.4 % and −12.0 % respectively, with the gains
+//! non-uniform across nodes (acquisition-bound nodes barely improve).
+
+use std::collections::BTreeMap;
+
+use vericomp_core::{Compiler, OptLevel};
+use vericomp_dataflow::fleet;
+use vericomp_dataflow::Node;
+
+/// WCET of one node under every configuration.
+#[derive(Debug, Clone)]
+pub struct NodeWcet {
+    /// Node name.
+    pub node: String,
+    /// WCET bound in cycles, by configuration.
+    pub wcet: BTreeMap<OptLevel, u64>,
+}
+
+impl NodeWcet {
+    /// WCET relative to the pattern-compiler baseline.
+    pub fn ratio(&self, level: OptLevel) -> f64 {
+        self.wcet[&level] as f64 / self.wcet[&OptLevel::PatternO0] as f64
+    }
+}
+
+/// The whole experiment: per-node WCETs plus means.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// Per-node results, in suite order.
+    pub nodes: Vec<NodeWcet>,
+}
+
+impl Figure2 {
+    /// Mean WCET ratio (vs. the pattern baseline) of a configuration.
+    pub fn mean_ratio(&self, level: OptLevel) -> f64 {
+        let s: f64 = self.nodes.iter().map(|n| n.ratio(level)).sum();
+        s / self.nodes.len() as f64
+    }
+}
+
+/// Computes WCETs of a node list under every configuration.
+///
+/// # Panics
+///
+/// Panics if any node fails to compile or analyze (the suite is curated).
+pub fn run_nodes(nodes: &[Node]) -> Figure2 {
+    let results = nodes
+        .iter()
+        .map(|node| {
+            let src = node.to_minic();
+            let wcet = crate::LEVELS
+                .iter()
+                .map(|&level| {
+                    let bin = Compiler::new(level)
+                        .compile(&src, "step")
+                        .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+                    let report = vericomp_wcet::analyze(&bin, "step")
+                        .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+                    (level, report.wcet)
+                })
+                .collect();
+            NodeWcet {
+                node: node.name().to_owned(),
+                wcet,
+            }
+        })
+        .collect();
+    Figure2 { nodes: results }
+}
+
+/// Runs the experiment on the paper-analog named suite.
+pub fn run() -> Figure2 {
+    run_nodes(&fleet::named_suite())
+}
+
+/// Renders the figure as the text table printed by the harness.
+pub fn render(fig: &Figure2) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>16} {:>12} {:>12}",
+        "node", "pattern-O0", "opt-no-regalloc", "verified", "opt-full"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(80));
+    for n in &fig.nodes {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>15.3}x {:>11.3}x {:>11.3}x",
+            n.node,
+            n.wcet[&OptLevel::PatternO0],
+            n.ratio(OptLevel::OptNoRegalloc),
+            n.ratio(OptLevel::Verified),
+            n.ratio(OptLevel::OptFull),
+        );
+    }
+    let _ = writeln!(out, "{}", "-".repeat(80));
+    let _ = writeln!(
+        out,
+        "{:<24} {:>12} {:>15} {:>12} {:>12}",
+        "mean WCET delta",
+        "(baseline)",
+        crate::delta_pct(fig.mean_ratio(OptLevel::OptNoRegalloc), 1.0),
+        crate::delta_pct(fig.mean_ratio(OptLevel::Verified), 1.0),
+        crate::delta_pct(fig.mean_ratio(OptLevel::OptFull), 1.0),
+    );
+    let _ = writeln!(
+        out,
+        "paper (Fig. 2):          (baseline)            -0.5%       -12.0%       -18.4%"
+    );
+    out
+}

@@ -1,0 +1,1178 @@
+//! Instruction selection and emission: allocated RTL → PowerPC machine
+//! blocks.
+//!
+//! Emission handles the target's addressing realities: `lis`/`ori` immediate
+//! materialization, `ha`/`lo` global address formation (with optional
+//! small-data-area addressing through `r13` — the optimization the paper
+//! notes CompCert did *not* use, §3.3), the `r2`-relative floating constant
+//! pool, stack frames with callee-saved spill areas, the EABI-style calling
+//! convention with parallel-move resolution, and the annotation table
+//! carrying final argument locations (§3.4).
+//!
+//! Reserved registers: `r0` (prologue scratch), `r1` (SP), `r2` (TOC),
+//! `r11`/`r12` (address/parallel-move scratch), `r13` (SDA), `f12`/`f13`
+//! (FP scratch). The allocator never hands these out; emission may use them
+//! freely between RTL instructions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vericomp_arch::inst::{Cond, Inst as M};
+use vericomp_arch::program::{AnnotationEntry, ArgLoc, ElemTy};
+use vericomp_arch::reg::{Cr, Fpr, Gpr};
+use vericomp_arch::MachineConfig;
+use vericomp_minic::ast::Cmp;
+
+use crate::layout::{ConstPool, Layout};
+use crate::regalloc::{Allocation, PReg};
+use crate::rtl::{
+    Addr, AnnotArg, BlockId, FBin, FUn, Func, IBin, IUnop, Inst, RegClass, SlotId, Term, Vreg,
+};
+use crate::CompileError;
+
+const SCRATCH_A: Gpr = Gpr::new(12);
+const SCRATCH_B: Gpr = Gpr::new(11);
+const SCRATCH_F: Fpr = Fpr::new(13);
+
+/// A machine-level block terminator with still-symbolic targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmTerm {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Conditional branch on CR0 (set by the compare emitted at the end of
+    /// the block). `float` records that the compare was `fcmpu`: float
+    /// conditions must never be negated during layout (NaN!).
+    Cond {
+        /// Branch condition.
+        cond: Cond,
+        /// Whether the comparison was floating (IEEE unordered possible).
+        float: bool,
+        /// Target when the condition holds.
+        then_: BlockId,
+        /// Target otherwise.
+        else_: BlockId,
+    },
+    /// Function return (`blr` after the inlined epilogue).
+    Ret,
+}
+
+/// A machine-level basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsmBlock {
+    /// The RTL block this was emitted from.
+    pub id: BlockId,
+    /// Machine instructions (calls appear as `bl 0` placeholders).
+    pub insts: Vec<M>,
+    /// Terminator.
+    pub term: AsmTerm,
+    /// `(index into insts, callee name)` for every call placeholder.
+    pub calls: Vec<(usize, String)>,
+}
+
+/// A machine-level function awaiting layout.
+#[derive(Debug, Clone)]
+pub struct AsmFunc {
+    /// Function name.
+    pub name: String,
+    /// Blocks in layout order (reverse post-order of the RTL).
+    pub blocks: Vec<AsmBlock>,
+    /// Stack frame size in bytes (0 = frameless leaf).
+    pub frame: u32,
+}
+
+/// Emission options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmitOptions {
+    /// Use small-data-area addressing for globals within reach of `r13`.
+    pub sda: bool,
+}
+
+fn cond_of(c: Cmp) -> Cond {
+    match c {
+        Cmp::Eq => Cond::Eq,
+        Cmp::Ne => Cond::Ne,
+        Cmp::Lt => Cond::Lt,
+        Cmp::Le => Cond::Le,
+        Cmp::Gt => Cond::Gt,
+        Cmp::Ge => Cond::Ge,
+    }
+}
+
+fn ha(addr: u32) -> i16 {
+    ((addr.wrapping_add(0x8000)) >> 16) as u16 as i16
+}
+
+fn lo(addr: u32) -> i16 {
+    addr as u16 as i16
+}
+
+/// Emits `li`/`lis`/`ori` to materialize an arbitrary 32-bit constant.
+fn load_imm(out: &mut Vec<M>, rd: Gpr, v: i32) {
+    if i16::try_from(v).is_ok() {
+        out.push(M::li(rd, v as i16));
+    } else if v as u32 & 0xFFFF == 0 {
+        out.push(M::lis(rd, (v >> 16) as i16));
+    } else {
+        out.push(M::lis(rd, (v >> 16) as i16));
+        out.push(M::Ori {
+            rd,
+            ra: rd,
+            imm: v as u32 as u16,
+        });
+    }
+}
+
+struct Emitter<'a> {
+    f: &'a Func,
+    alloc: &'a Allocation,
+    layout: &'a Layout,
+    pool: &'a mut ConstPool,
+    annots: &'a mut Vec<AnnotationEntry>,
+    cfg: &'a MachineConfig,
+    opts: EmitOptions,
+    slot_off: BTreeMap<SlotId, u32>,
+    saved_g: Vec<Gpr>,
+    saved_f: Vec<Fpr>,
+    has_call: bool,
+    frame: u32,
+}
+
+impl<'a> Emitter<'a> {
+    fn gpr(&self, v: Vreg) -> Result<Gpr, CompileError> {
+        match self.alloc.preg(v) {
+            PReg::G(g) => Ok(g),
+            PReg::F(_) => Err(CompileError::Emit(format!(
+                "class mismatch: {v} expected in a GPR in `{}`",
+                self.f.name
+            ))),
+        }
+    }
+
+    fn fpr(&self, v: Vreg) -> Result<Fpr, CompileError> {
+        match self.alloc.preg(v) {
+            PReg::F(r) => Ok(r),
+            PReg::G(_) => Err(CompileError::Emit(format!(
+                "class mismatch: {v} expected in an FPR in `{}`",
+                self.f.name
+            ))),
+        }
+    }
+
+    fn slot_offset(&self, s: SlotId) -> i16 {
+        self.slot_off[&s] as i16
+    }
+
+    /// Emits the address formation for a global and returns `(displacement,
+    /// base register)` for the subsequent access.
+    fn global_base(&self, out: &mut Vec<M>, addr: u32) -> (i16, Gpr) {
+        if self.opts.sda {
+            if let Some(off) = self.layout.sda_offset(addr) {
+                return (off, Gpr::SDA);
+            }
+        }
+        out.push(M::Addis {
+            rd: SCRATCH_A,
+            ra: Gpr::R0,
+            imm: ha(addr),
+        });
+        (lo(addr), SCRATCH_A)
+    }
+
+    /// Emits a load or store of the value register `data` at `addr`.
+    fn mem_access(
+        &mut self,
+        out: &mut Vec<M>,
+        addr: &Addr,
+        data: Vreg,
+        is_load: bool,
+    ) -> Result<(), CompileError> {
+        let class = self.f.class_of(data);
+        let simple = |d: i16, ra: Gpr, this: &Self| -> Result<M, CompileError> {
+            Ok(match (class, is_load) {
+                (RegClass::I, true) => M::Lwz {
+                    rd: this.gpr(data)?,
+                    d,
+                    ra,
+                },
+                (RegClass::I, false) => M::Stw {
+                    rs: this.gpr(data)?,
+                    d,
+                    ra,
+                },
+                (RegClass::F, true) => M::Lfd {
+                    fd: this.fpr(data)?,
+                    d,
+                    ra,
+                },
+                (RegClass::F, false) => M::Stfd {
+                    fs: this.fpr(data)?,
+                    d,
+                    ra,
+                },
+            })
+        };
+        match addr {
+            Addr::Stack(s) => {
+                let d = self.slot_offset(*s);
+                let inst = simple(d, Gpr::SP, self)?;
+                out.push(inst);
+            }
+            Addr::Global { name, offset } => {
+                let base = self.layout.global(name).addr + offset;
+                let (d, ra) = self.global_base(out, base);
+                let inst = simple(d, ra, self)?;
+                out.push(inst);
+            }
+            Addr::Io(port) => {
+                let a = self.cfg.io_base + 8 * port;
+                out.push(M::Addis {
+                    rd: SCRATCH_A,
+                    ra: Gpr::R0,
+                    imm: ha(a),
+                });
+                let inst = simple(lo(a), SCRATCH_A, self)?;
+                out.push(inst);
+            }
+            Addr::GlobalIndex { name, index, scale } => {
+                let base = self.layout.global(name).addr;
+                let sh = match scale {
+                    4 => 2u8,
+                    8 => 3,
+                    other => {
+                        return Err(CompileError::Emit(format!("bad scale {other}")));
+                    }
+                };
+                out.push(M::slwi(SCRATCH_B, self.gpr(*index)?, sh));
+                let base_reg = if self.opts.sda {
+                    match self.layout.sda_offset(base) {
+                        Some(off) => {
+                            out.push(M::Addi {
+                                rd: SCRATCH_B,
+                                ra: SCRATCH_B,
+                                imm: off,
+                            });
+                            Gpr::SDA
+                        }
+                        None => {
+                            out.push(M::Addis {
+                                rd: SCRATCH_A,
+                                ra: Gpr::R0,
+                                imm: ha(base),
+                            });
+                            out.push(M::Addi {
+                                rd: SCRATCH_A,
+                                ra: SCRATCH_A,
+                                imm: lo(base),
+                            });
+                            SCRATCH_A
+                        }
+                    }
+                } else {
+                    out.push(M::Addis {
+                        rd: SCRATCH_A,
+                        ra: Gpr::R0,
+                        imm: ha(base),
+                    });
+                    out.push(M::Addi {
+                        rd: SCRATCH_A,
+                        ra: SCRATCH_A,
+                        imm: lo(base),
+                    });
+                    SCRATCH_A
+                };
+                let inst = match (class, is_load) {
+                    (RegClass::I, true) => M::Lwzx {
+                        rd: self.gpr(data)?,
+                        ra: base_reg,
+                        rb: SCRATCH_B,
+                    },
+                    (RegClass::I, false) => M::Stwx {
+                        rs: self.gpr(data)?,
+                        ra: base_reg,
+                        rb: SCRATCH_B,
+                    },
+                    (RegClass::F, true) => M::Lfdx {
+                        fd: self.fpr(data)?,
+                        ra: base_reg,
+                        rb: SCRATCH_B,
+                    },
+                    (RegClass::F, false) => M::Stfdx {
+                        fs: self.fpr(data)?,
+                        ra: base_reg,
+                        rb: SCRATCH_B,
+                    },
+                };
+                out.push(inst);
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_move(out: &mut Vec<M>, dst: PReg, src: PReg) {
+        match (dst, src) {
+            (PReg::G(d), PReg::G(s)) => {
+                if d != s {
+                    out.push(M::mr(d, s));
+                }
+            }
+            (PReg::F(d), PReg::F(s)) => {
+                if d != s {
+                    out.push(M::Fmr { fd: d, fa: s });
+                }
+            }
+            _ => unreachable!("parallel moves never mix classes"),
+        }
+    }
+
+    /// Resolves a parallel move (distinct destinations), breaking cycles
+    /// with the class scratch register.
+    fn parallel_move(out: &mut Vec<M>, moves: Vec<(PReg, PReg)>) {
+        let mut pending: Vec<(PReg, PReg)> = moves.into_iter().filter(|(d, s)| d != s).collect();
+        while !pending.is_empty() {
+            if let Some(i) = pending
+                .iter()
+                .position(|(d, _)| !pending.iter().any(|(_, s)| s == d))
+            {
+                let (d, s) = pending.remove(i);
+                Self::emit_move(out, d, s);
+            } else {
+                // every destination is also a pending source: a cycle
+                let d = pending[0].0;
+                let scratch = match d {
+                    PReg::G(_) => PReg::G(SCRATCH_A),
+                    PReg::F(_) => PReg::F(SCRATCH_F),
+                };
+                Self::emit_move(out, scratch, d);
+                for (_, s) in &mut pending {
+                    if *s == d {
+                        *s = scratch;
+                    }
+                }
+            }
+        }
+    }
+
+    /// ABI locations for a list of argument classes.
+    fn abi_locs(&self, classes: &[RegClass]) -> Result<Vec<PReg>, CompileError> {
+        let mut next_g = 3u8;
+        let mut next_f = 1u8;
+        let mut locs = Vec::with_capacity(classes.len());
+        for c in classes {
+            match c {
+                RegClass::I => {
+                    if next_g > 10 {
+                        return Err(CompileError::Emit("too many integer arguments".into()));
+                    }
+                    locs.push(PReg::G(Gpr::new(next_g)));
+                    next_g += 1;
+                }
+                RegClass::F => {
+                    if next_f > 8 {
+                        return Err(CompileError::Emit("too many FP arguments".into()));
+                    }
+                    locs.push(PReg::F(Fpr::new(next_f)));
+                    next_f += 1;
+                }
+            }
+        }
+        Ok(locs)
+    }
+
+    fn inst(
+        &mut self,
+        out: &mut Vec<M>,
+        calls: &mut Vec<(usize, String)>,
+        inst: &Inst,
+    ) -> Result<(), CompileError> {
+        match inst {
+            Inst::ImmI { dst, value } => load_imm(out, self.gpr(*dst)?, *value),
+            Inst::ImmF { dst, value } => {
+                let off = self.pool.offset_of(*value);
+                let d = i16::try_from(off)
+                    .map_err(|_| CompileError::Emit("constant pool exceeds 32 KiB".into()))?;
+                out.push(M::Lfd {
+                    fd: self.fpr(*dst)?,
+                    d,
+                    ra: Gpr::TOC,
+                });
+            }
+            Inst::MovI { dst, src } => {
+                Self::emit_move(out, PReg::G(self.gpr(*dst)?), PReg::G(self.gpr(*src)?));
+            }
+            Inst::MovF { dst, src } => {
+                Self::emit_move(out, PReg::F(self.fpr(*dst)?), PReg::F(self.fpr(*src)?));
+            }
+            Inst::UnI {
+                op: IUnop::Neg,
+                dst,
+                a,
+            } => {
+                out.push(M::Neg {
+                    rd: self.gpr(*dst)?,
+                    ra: self.gpr(*a)?,
+                });
+            }
+            Inst::BinI { op, dst, a, b } => {
+                let rd = self.gpr(*dst)?;
+                let ra = self.gpr(*a)?;
+                let rb = self.gpr(*b)?;
+                out.push(match op {
+                    IBin::Add => M::Add { rd, ra, rb },
+                    // rd = rb - ra on PowerPC; we want a - b
+                    IBin::Sub => M::Subf { rd, ra: rb, rb: ra },
+                    IBin::Mul => M::Mullw { rd, ra, rb },
+                    IBin::Div => M::Divw { rd, ra, rb },
+                    IBin::And => M::And { rd, ra, rb },
+                    IBin::Or => M::Or { rd, ra, rb },
+                    IBin::Xor => M::Xor { rd, ra, rb },
+                    IBin::Shl => M::Slw { rd, ra, rb },
+                    IBin::Shr => M::Srw { rd, ra, rb },
+                    IBin::Sar => M::Sraw { rd, ra, rb },
+                });
+            }
+            Inst::BinIImm { op, dst, a, imm } => {
+                let rd = self.gpr(*dst)?;
+                let ra = self.gpr(*a)?;
+                let bad =
+                    |op: &IBin| CompileError::Emit(format!("illegal immediate {imm} for {op:?}"));
+                out.push(match op {
+                    IBin::Add => M::Addi {
+                        rd,
+                        ra,
+                        imm: i16::try_from(*imm).map_err(|_| bad(op))?,
+                    },
+                    IBin::Mul => M::Mulli {
+                        rd,
+                        ra,
+                        imm: i16::try_from(*imm).map_err(|_| bad(op))?,
+                    },
+                    IBin::And => M::Andi {
+                        rd,
+                        ra,
+                        imm: u16::try_from(*imm).map_err(|_| bad(op))?,
+                    },
+                    IBin::Or => M::Ori {
+                        rd,
+                        ra,
+                        imm: u16::try_from(*imm).map_err(|_| bad(op))?,
+                    },
+                    IBin::Xor => M::Xori {
+                        rd,
+                        ra,
+                        imm: u16::try_from(*imm).map_err(|_| bad(op))?,
+                    },
+                    IBin::Shl if (1..32).contains(imm) => M::slwi(rd, ra, *imm as u8),
+                    IBin::Shr if (1..32).contains(imm) => M::srwi(rd, ra, *imm as u8),
+                    IBin::Sar if (0..32).contains(imm) => M::Srawi {
+                        rd,
+                        ra,
+                        sh: *imm as u8,
+                    },
+                    IBin::Shl | IBin::Shr if *imm == 0 => M::mr(rd, ra),
+                    _ => return Err(bad(op)),
+                });
+            }
+            Inst::UnF { op, dst, a } => {
+                let fd = self.fpr(*dst)?;
+                let fa = self.fpr(*a)?;
+                out.push(match op {
+                    FUn::Neg => M::Fneg { fd, fa },
+                    FUn::Abs => M::Fabs { fd, fa },
+                });
+            }
+            Inst::BinF { op, dst, a, b } => {
+                let fd = self.fpr(*dst)?;
+                let fa = self.fpr(*a)?;
+                let fb = self.fpr(*b)?;
+                out.push(match op {
+                    FBin::Add => M::Fadd { fd, fa, fb },
+                    FBin::Sub => M::Fsub { fd, fa, fb },
+                    FBin::Mul => M::Fmul { fd, fa, fc: fb },
+                    FBin::Div => M::Fdiv { fd, fa, fb },
+                });
+            }
+            Inst::MaddF { dst, a, b, c } => {
+                out.push(M::Fmadd {
+                    fd: self.fpr(*dst)?,
+                    fa: self.fpr(*a)?,
+                    fc: self.fpr(*b)?,
+                    fb: self.fpr(*c)?,
+                });
+            }
+            Inst::Itof { dst, src } => {
+                out.push(M::Itof {
+                    fd: self.fpr(*dst)?,
+                    ra: self.gpr(*src)?,
+                });
+            }
+            Inst::Ftoi { dst, src } => {
+                out.push(M::Ftoi {
+                    rd: self.gpr(*dst)?,
+                    fa: self.fpr(*src)?,
+                });
+            }
+            Inst::Load { dst, addr } => self.mem_access(out, addr, *dst, true)?,
+            Inst::Store { src, addr } => self.mem_access(out, addr, *src, false)?,
+            Inst::Call { dst, callee, args } => {
+                let classes: Vec<RegClass> = args.iter().map(|&a| self.f.class_of(a)).collect();
+                let dests = self.abi_locs(&classes)?;
+                let moves = args
+                    .iter()
+                    .zip(&dests)
+                    .map(|(&a, &d)| (d, self.alloc.preg(a)))
+                    .collect();
+                Self::parallel_move(out, moves);
+                calls.push((out.len(), callee.clone()));
+                out.push(M::Bl { target: 0 });
+                if let Some(d) = dst {
+                    let abi = match self.f.class_of(*d) {
+                        RegClass::I => PReg::G(Gpr::new(3)),
+                        RegClass::F => PReg::F(Fpr::new(1)),
+                    };
+                    Self::emit_move(out, self.alloc.preg(*d), abi);
+                }
+            }
+            Inst::Annot { format, args } => {
+                let id = u16::try_from(self.annots.len())
+                    .map_err(|_| CompileError::Emit("too many annotations".into()))?;
+                let mut locs = Vec::with_capacity(args.len());
+                for a in args {
+                    locs.push(match a {
+                        AnnotArg::Reg(v) => match self.alloc.preg(*v) {
+                            PReg::G(g) => ArgLoc::Gpr(g),
+                            PReg::F(fp) => ArgLoc::Fpr(fp),
+                        },
+                        AnnotArg::Mem(Addr::Stack(s), class) => ArgLoc::Stack(
+                            self.slot_offset(*s),
+                            match class {
+                                RegClass::I => ElemTy::I32,
+                                RegClass::F => ElemTy::F64,
+                            },
+                        ),
+                        AnnotArg::Mem(Addr::Global { name, offset }, class) => ArgLoc::Global(
+                            self.layout.global(name).addr + offset,
+                            match class {
+                                RegClass::I => ElemTy::I32,
+                                RegClass::F => ElemTy::F64,
+                            },
+                        ),
+                        AnnotArg::Mem(other, _) => {
+                            return Err(CompileError::Emit(format!(
+                                "unsupported annotation location {other}"
+                            )));
+                        }
+                    });
+                }
+                self.annots.push(AnnotationEntry {
+                    id,
+                    format: format.clone(),
+                    args: locs,
+                });
+                out.push(M::Annot { id });
+            }
+        }
+        Ok(())
+    }
+
+    fn prologue(&mut self, out: &mut Vec<M>) -> Result<(), CompileError> {
+        if self.frame > 0 {
+            out.push(M::Stwu {
+                rs: Gpr::SP,
+                d: -(self.frame as i32) as i16,
+                ra: Gpr::SP,
+            });
+            if self.has_call {
+                out.push(M::Mflr { rd: Gpr::R0 });
+                out.push(M::Stw {
+                    rs: Gpr::R0,
+                    d: (self.frame - 4) as i16,
+                    ra: Gpr::SP,
+                });
+            }
+            let mut off = self.saved_area_base();
+            for &g in &self.saved_g {
+                out.push(M::Stw {
+                    rs: g,
+                    d: off as i16,
+                    ra: Gpr::SP,
+                });
+                off += 4;
+            }
+            off = off.next_multiple_of(8);
+            for &fp in &self.saved_f {
+                out.push(M::Stfd {
+                    fs: fp,
+                    d: off as i16,
+                    ra: Gpr::SP,
+                });
+                off += 8;
+            }
+        }
+        // parameter moves: ABI registers → allocated registers
+        let classes: Vec<RegClass> = self.f.params.iter().map(|&p| self.f.class_of(p)).collect();
+        let sources = self.abi_locs(&classes)?;
+        let moves = self
+            .f
+            .params
+            .iter()
+            .zip(sources)
+            .map(|(&p, s)| (self.alloc.preg(p), s))
+            .collect();
+        Self::parallel_move(out, moves);
+        Ok(())
+    }
+
+    fn epilogue(&self, out: &mut Vec<M>) {
+        if self.frame == 0 {
+            return;
+        }
+        let mut off = self.saved_area_base();
+        for &g in &self.saved_g {
+            out.push(M::Lwz {
+                rd: g,
+                d: off as i16,
+                ra: Gpr::SP,
+            });
+            off += 4;
+        }
+        off = off.next_multiple_of(8);
+        for &fp in &self.saved_f {
+            out.push(M::Lfd {
+                fd: fp,
+                d: off as i16,
+                ra: Gpr::SP,
+            });
+            off += 8;
+        }
+        if self.has_call {
+            out.push(M::Lwz {
+                rd: Gpr::R0,
+                d: (self.frame - 4) as i16,
+                ra: Gpr::SP,
+            });
+            out.push(M::Mtlr { rs: Gpr::R0 });
+        }
+        out.push(M::Addi {
+            rd: Gpr::SP,
+            ra: Gpr::SP,
+            imm: self.frame as i16,
+        });
+    }
+
+    fn saved_area_base(&self) -> u32 {
+        self.slot_off
+            .values()
+            .zip(self.slot_off.keys())
+            .map(|(&off, &s)| {
+                off + match self.f.slots[s.0 as usize].class {
+                    RegClass::I => 4,
+                    RegClass::F => 8,
+                }
+            })
+            .max()
+            .unwrap_or(8)
+    }
+}
+
+/// Emits one function.
+///
+/// # Errors
+///
+/// [`CompileError::Emit`] on backend limitations (immediate overflow, too
+/// many arguments or annotations) — none are reachable from generated
+/// flight-control code, but hand-written programs may hit them.
+pub fn emit_function(
+    f: &Func,
+    alloc: &Allocation,
+    layout: &Layout,
+    pool: &mut ConstPool,
+    annots: &mut Vec<AnnotationEntry>,
+    cfg: &MachineConfig,
+    opts: EmitOptions,
+) -> Result<AsmFunc, CompileError> {
+    // ---- frame computation ----
+    let mut used_slots: BTreeSet<SlotId> = BTreeSet::new();
+    let mut has_call = false;
+    for b in f.rpo() {
+        for inst in &f.block(b).insts {
+            match inst {
+                Inst::Load { addr, .. } | Inst::Store { addr, .. } => {
+                    if let Addr::Stack(s) = addr {
+                        used_slots.insert(*s);
+                    }
+                }
+                Inst::Call { .. } => has_call = true,
+                Inst::Annot { args, .. } => {
+                    for a in args {
+                        if let AnnotArg::Mem(Addr::Stack(s), _) = a {
+                            used_slots.insert(*s);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut slot_off = BTreeMap::new();
+    let mut cursor = 8u32;
+    for &s in &used_slots {
+        match f.slots[s.0 as usize].class {
+            RegClass::I => {
+                cursor = cursor.next_multiple_of(4);
+                slot_off.insert(s, cursor);
+                cursor += 4;
+            }
+            RegClass::F => {
+                cursor = cursor.next_multiple_of(8);
+                slot_off.insert(s, cursor);
+                cursor += 8;
+            }
+        }
+    }
+    let mut saved_g: Vec<Gpr> = alloc
+        .map
+        .values()
+        .filter_map(|p| match p {
+            PReg::G(g) if !g.is_volatile() && g.index() >= 14 => Some(*g),
+            _ => None,
+        })
+        .collect();
+    saved_g.sort();
+    saved_g.dedup();
+    let mut saved_f: Vec<Fpr> = alloc
+        .map
+        .values()
+        .filter_map(|p| match p {
+            PReg::F(r) if !r.is_volatile() => Some(*r),
+            _ => None,
+        })
+        .collect();
+    saved_f.sort();
+    saved_f.dedup();
+
+    cursor += 4 * saved_g.len() as u32;
+    cursor = cursor.next_multiple_of(8);
+    cursor += 8 * saved_f.len() as u32;
+    let frame = if cursor > 8 || has_call || !saved_g.is_empty() || !saved_f.is_empty() {
+        (cursor + 4).next_multiple_of(16)
+    } else {
+        0
+    };
+
+    let mut em = Emitter {
+        f,
+        alloc,
+        layout,
+        pool,
+        annots,
+        cfg,
+        opts,
+        slot_off,
+        saved_g,
+        saved_f,
+        has_call,
+        frame,
+    };
+
+    let mut blocks = Vec::new();
+    let order = f.rpo();
+    for (i, &bid) in order.iter().enumerate() {
+        let rtl_block = f.block(bid);
+        let mut out = Vec::new();
+        let mut calls = Vec::new();
+        if i == 0 {
+            em.prologue(&mut out)?;
+        }
+        for inst in &rtl_block.insts {
+            em.inst(&mut out, &mut calls, inst)?;
+        }
+        let term = match &rtl_block.term {
+            Term::Goto(t) => AsmTerm::Goto(*t),
+            Term::BrI {
+                cmp,
+                a,
+                b,
+                then_,
+                else_,
+            } => {
+                out.push(M::Cmpw {
+                    cr: Cr::CR0,
+                    ra: em.gpr(*a)?,
+                    rb: em.gpr(*b)?,
+                });
+                AsmTerm::Cond {
+                    cond: cond_of(*cmp),
+                    float: false,
+                    then_: *then_,
+                    else_: *else_,
+                }
+            }
+            Term::BrIImm {
+                cmp,
+                a,
+                imm,
+                then_,
+                else_,
+            } => {
+                match i16::try_from(*imm) {
+                    Ok(si) => {
+                        out.push(M::Cmpwi {
+                            cr: Cr::CR0,
+                            ra: em.gpr(*a)?,
+                            imm: si,
+                        });
+                    }
+                    Err(_) => {
+                        load_imm(&mut out, SCRATCH_B, *imm);
+                        out.push(M::Cmpw {
+                            cr: Cr::CR0,
+                            ra: em.gpr(*a)?,
+                            rb: SCRATCH_B,
+                        });
+                    }
+                }
+                AsmTerm::Cond {
+                    cond: cond_of(*cmp),
+                    float: false,
+                    then_: *then_,
+                    else_: *else_,
+                }
+            }
+            Term::BrF {
+                cmp,
+                a,
+                b,
+                then_,
+                else_,
+            } => {
+                out.push(M::Fcmpu {
+                    cr: Cr::CR0,
+                    fa: em.fpr(*a)?,
+                    fb: em.fpr(*b)?,
+                });
+                AsmTerm::Cond {
+                    cond: cond_of(*cmp),
+                    float: true,
+                    then_: *then_,
+                    else_: *else_,
+                }
+            }
+            Term::Ret(v) => {
+                if let Some(v) = v {
+                    match f.class_of(*v) {
+                        RegClass::I => {
+                            Emitter::emit_move(&mut out, PReg::G(Gpr::new(3)), PReg::G(em.gpr(*v)?))
+                        }
+                        RegClass::F => {
+                            Emitter::emit_move(&mut out, PReg::F(Fpr::new(1)), PReg::F(em.fpr(*v)?))
+                        }
+                    }
+                }
+                em.epilogue(&mut out);
+                AsmTerm::Ret
+            }
+        };
+        blocks.push(AsmBlock {
+            id: bid,
+            insts: out,
+            term,
+            calls,
+        });
+    }
+
+    Ok(AsmFunc {
+        name: f.name.clone(),
+        blocks,
+        frame: em.frame,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regalloc::{allocate, Palette};
+    use crate::rtl::Block;
+
+    fn mk_layout() -> Layout {
+        let prog = vericomp_minic::ast::Program {
+            globals: vec![
+                vericomp_minic::ast::Global {
+                    name: "g".into(),
+                    def: vericomp_minic::ast::GlobalDef::ScalarF64(None),
+                },
+                vericomp_minic::ast::Global {
+                    name: "tab".into(),
+                    def: vericomp_minic::ast::GlobalDef::ArrayF64(vec![0.0; 4]),
+                },
+            ],
+            functions: vec![],
+        };
+        crate::layout::layout_globals(&prog, &MachineConfig::mpc755())
+    }
+
+    fn emit_one(f: &mut Func, opts: EmitOptions) -> (AsmFunc, ConstPool, Vec<AnnotationEntry>) {
+        let alloc = allocate(f, &Palette::full()).unwrap();
+        let layout = mk_layout();
+        let mut pool = ConstPool::new();
+        let mut annots = Vec::new();
+        let cfg = MachineConfig::mpc755();
+        let af = emit_function(f, &alloc, &layout, &mut pool, &mut annots, &cfg, opts).unwrap();
+        (af, pool, annots)
+    }
+
+    fn empty_func(name: &str) -> Func {
+        Func {
+            name: name.into(),
+            params: vec![],
+            ret: None,
+            vregs: vec![],
+            slots: vec![],
+            blocks: vec![],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn listing_1_shape_pattern_code() {
+        // The paper's Listing 1: lfd, lfd, fadd, stfd — from slot-based RTL.
+        let mut f = empty_func("sym_add");
+        let sa = f.new_slot(RegClass::F, "a");
+        let sb = f.new_slot(RegClass::F, "b");
+        let sc = f.new_slot(RegClass::F, "c");
+        let (va, vb, vc) = (
+            f.new_vreg(RegClass::F),
+            f.new_vreg(RegClass::F),
+            f.new_vreg(RegClass::F),
+        );
+        let b = f.new_block();
+        f.entry = b;
+        f.blocks[0] = Block {
+            insts: vec![
+                Inst::Load {
+                    dst: va,
+                    addr: Addr::Stack(sa),
+                },
+                Inst::Load {
+                    dst: vb,
+                    addr: Addr::Stack(sb),
+                },
+                Inst::BinF {
+                    op: FBin::Add,
+                    dst: vc,
+                    a: va,
+                    b: vb,
+                },
+                Inst::Store {
+                    src: vc,
+                    addr: Addr::Stack(sc),
+                },
+            ],
+            term: Term::Ret(None),
+        };
+        let (af, ..) = emit_one(&mut f, EmitOptions::default());
+        let texts: Vec<String> = af.blocks[0].insts.iter().map(|i| i.to_string()).collect();
+        let joined = texts.join("; ");
+        assert!(joined.contains("lfd"), "{joined}");
+        assert!(joined.contains("fadd"), "{joined}");
+        assert!(joined.contains("stfd"), "{joined}");
+        // frame exists for the three slots
+        assert!(af.frame >= 16 + 8);
+    }
+
+    #[test]
+    fn global_access_without_sda_takes_two_instructions() {
+        let mut f = empty_func("g1");
+        let v = f.new_vreg(RegClass::F);
+        let b = f.new_block();
+        f.entry = b;
+        f.blocks[0] = Block {
+            insts: vec![Inst::Load {
+                dst: v,
+                addr: Addr::Global {
+                    name: "g".into(),
+                    offset: 0,
+                },
+            }],
+            term: Term::Ret(None),
+        };
+        let (af, ..) = emit_one(&mut f, EmitOptions { sda: false });
+        let kinds: Vec<String> = af.blocks[0].insts.iter().map(|i| i.to_string()).collect();
+        assert!(kinds[0].starts_with("lis"), "{kinds:?}");
+        assert!(kinds[1].starts_with("lfd"), "{kinds:?}");
+    }
+
+    #[test]
+    fn global_access_with_sda_takes_one_instruction() {
+        let mut f = empty_func("g2");
+        let v = f.new_vreg(RegClass::F);
+        let b = f.new_block();
+        f.entry = b;
+        f.blocks[0] = Block {
+            insts: vec![Inst::Load {
+                dst: v,
+                addr: Addr::Global {
+                    name: "g".into(),
+                    offset: 0,
+                },
+            }],
+            term: Term::Ret(None),
+        };
+        let (af, ..) = emit_one(&mut f, EmitOptions { sda: true });
+        let kinds: Vec<String> = af.blocks[0].insts.iter().map(|i| i.to_string()).collect();
+        assert!(kinds[0].starts_with("lfd"), "{kinds:?}");
+        assert!(kinds[0].contains("(r13)"), "{kinds:?}");
+    }
+
+    #[test]
+    fn float_constants_go_through_the_pool() {
+        let mut f = empty_func("fc");
+        let v = f.new_vreg(RegClass::F);
+        let b = f.new_block();
+        f.entry = b;
+        f.blocks[0] = Block {
+            insts: vec![Inst::ImmF {
+                dst: v,
+                value: 3.25,
+            }],
+            term: Term::Ret(None),
+        };
+        let (af, pool, _) = emit_one(&mut f, EmitOptions::default());
+        assert_eq!(pool.size(), 8);
+        let s = af.blocks[0].insts[0].to_string();
+        assert!(s.starts_with("lfd") && s.contains("(r2)"), "{s}");
+    }
+
+    #[test]
+    fn annotation_locations_resolved() {
+        let mut f = empty_func("an");
+        let s = f.new_slot(RegClass::F, "x");
+        let v = f.new_vreg(RegClass::I);
+        let b = f.new_block();
+        f.entry = b;
+        let t = f.new_vreg(RegClass::F);
+        f.blocks[0] = Block {
+            insts: vec![
+                Inst::ImmF { dst: t, value: 0.0 },
+                Inst::ImmI { dst: v, value: 1 },
+                Inst::Annot {
+                    format: "0 <= %1 and %2".into(),
+                    args: vec![AnnotArg::Reg(v), AnnotArg::Mem(Addr::Stack(s), RegClass::F)],
+                },
+                // keep the slot used so it gets a frame offset
+                Inst::Store {
+                    src: t,
+                    addr: Addr::Stack(s),
+                },
+            ],
+            term: Term::Ret(None),
+        };
+        let (af, _, annots) = emit_one(&mut f, EmitOptions::default());
+        assert_eq!(annots.len(), 1);
+        assert!(matches!(annots[0].args[0], ArgLoc::Gpr(_)));
+        assert!(matches!(annots[0].args[1], ArgLoc::Stack(_, ElemTy::F64)));
+        let has_marker = af.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, M::Annot { id: 0 }));
+        assert!(has_marker);
+    }
+
+    #[test]
+    fn call_emits_placeholder_and_result_move() {
+        let mut f = empty_func("cl");
+        let a = f.new_vreg(RegClass::F);
+        let r = f.new_vreg(RegClass::F);
+        let b = f.new_block();
+        f.entry = b;
+        f.blocks[0] = Block {
+            insts: vec![
+                Inst::ImmF { dst: a, value: 1.0 },
+                Inst::Call {
+                    dst: Some(r),
+                    callee: "h".into(),
+                    args: vec![a],
+                },
+            ],
+            term: Term::Ret(Some(r)),
+        };
+        f.ret = Some(RegClass::F);
+        let (af, ..) = emit_one(&mut f, EmitOptions::default());
+        assert_eq!(af.blocks[0].calls.len(), 1);
+        assert_eq!(af.blocks[0].calls[0].1, "h");
+        // non-leaf: LR is saved
+        let s = af.blocks[0]
+            .insts
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        assert!(s.contains("mflr r0"), "{s}");
+        assert!(s.contains("mtlr r0"), "{s}");
+        assert!(af.frame > 0);
+    }
+
+    #[test]
+    fn parallel_move_breaks_cycles() {
+        let mut out = Vec::new();
+        // swap r3 <-> r4
+        Emitter::parallel_move(
+            &mut out,
+            vec![
+                (PReg::G(Gpr::new(3)), PReg::G(Gpr::new(4))),
+                (PReg::G(Gpr::new(4)), PReg::G(Gpr::new(3))),
+            ],
+        );
+        assert_eq!(out.len(), 3, "{out:?}");
+        // simulate the moves on a tiny register map
+        let mut regs = std::collections::BTreeMap::from([(3u8, 30), (4u8, 40)]);
+        for m in &out {
+            match m {
+                M::Or { rd, ra, rb } if ra == rb => {
+                    let v = regs[&ra.index()];
+                    regs.insert(rd.index(), v);
+                }
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert_eq!(regs[&3], 40);
+        assert_eq!(regs[&4], 30);
+    }
+
+    #[test]
+    fn branch_terminators_emit_compare() {
+        let mut f = empty_func("br");
+        let v = f.new_vreg(RegClass::I);
+        let b0 = f.new_block();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.entry = b0;
+        f.blocks[0] = Block {
+            insts: vec![Inst::ImmI { dst: v, value: 5 }],
+            term: Term::BrIImm {
+                cmp: Cmp::Lt,
+                a: v,
+                imm: 10,
+                then_: b1,
+                else_: b2,
+            },
+        };
+        f.blocks[1] = Block {
+            insts: vec![],
+            term: Term::Ret(None),
+        };
+        f.blocks[2] = Block {
+            insts: vec![],
+            term: Term::Ret(None),
+        };
+        let (af, ..) = emit_one(&mut f, EmitOptions::default());
+        let last = af.blocks[0].insts.last().unwrap().to_string();
+        assert!(last.starts_with("cmpwi"), "{last}");
+        assert!(matches!(
+            af.blocks[0].term,
+            AsmTerm::Cond {
+                cond: Cond::Lt,
+                float: false,
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,171 @@
+//! Data-section layout: assigns addresses to global variables, the
+//! floating-point constant pool and the small-data-area base register.
+
+use std::collections::BTreeMap;
+
+use vericomp_arch::program::ElemTy;
+use vericomp_arch::MachineConfig;
+use vericomp_minic::ast::{GlobalDef, Program};
+
+/// Placement of one global variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalInfo {
+    /// Base address.
+    pub addr: u32,
+    /// Element type (booleans are stored as `I32` words).
+    pub elem: ElemTy,
+    /// Number of elements (1 for scalars).
+    pub len: u32,
+}
+
+/// The data-section layout of a program.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Global placements by name.
+    pub globals: BTreeMap<String, GlobalInfo>,
+    /// Base address of the floating-point constant pool (`r2` at run time).
+    pub pool_base: u32,
+    /// Value of the small-data-area base register `r13`. Chosen at
+    /// `data_base + 0x8000` so every data-section address within the first
+    /// 64 KiB is reachable with a signed 16-bit displacement.
+    pub sda_base: u32,
+}
+
+impl Layout {
+    /// The placement of a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is unknown (programs are typechecked first).
+    pub fn global(&self, name: &str) -> GlobalInfo {
+        self.globals[name]
+    }
+
+    /// Signed displacement of `addr` from the SDA base, if it fits the
+    /// 16-bit field.
+    pub fn sda_offset(&self, addr: u32) -> Option<i16> {
+        let off = i64::from(addr) - i64::from(self.sda_base);
+        i16::try_from(off).ok()
+    }
+}
+
+/// Computes the layout for a program's globals.
+pub fn layout_globals(prog: &Program, cfg: &MachineConfig) -> Layout {
+    let mut addr = cfg.data_base;
+    let mut globals = BTreeMap::new();
+    for g in &prog.globals {
+        let (elem, len) = match &g.def {
+            GlobalDef::ScalarI32(_) | GlobalDef::ScalarBool(_) => (ElemTy::I32, 1),
+            GlobalDef::ScalarF64(_) => (ElemTy::F64, 1),
+            GlobalDef::ArrayI32(v) => (ElemTy::I32, v.len() as u32),
+            GlobalDef::ArrayF64(v) => (ElemTy::F64, v.len() as u32),
+        };
+        addr = addr.next_multiple_of(8);
+        globals.insert(g.name.clone(), GlobalInfo { addr, elem, len });
+        addr += elem.size() * len;
+    }
+    let pool_base = addr.next_multiple_of(8);
+    Layout {
+        globals,
+        pool_base,
+        sda_base: cfg.data_base + 0x8000,
+    }
+}
+
+/// The deduplicating floating-point constant pool, addressed `r2`-relative.
+#[derive(Debug, Clone, Default)]
+pub struct ConstPool {
+    entries: Vec<f64>,
+    index: BTreeMap<u64, u32>,
+}
+
+impl ConstPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Byte offset of `value` within the pool, interning it if new.
+    /// Deduplication is bitwise, so `0.0` and `-0.0` get distinct entries.
+    pub fn offset_of(&mut self, value: f64) -> u32 {
+        let bits = value.to_bits();
+        if let Some(&off) = self.index.get(&bits) {
+            return off;
+        }
+        let off = 8 * self.entries.len() as u32;
+        self.entries.push(value);
+        self.index.insert(bits, off);
+        off
+    }
+
+    /// `(byte offset, value)` pairs in pool order.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (8 * i as u32, v))
+    }
+
+    /// Pool size in bytes.
+    pub fn size(&self) -> u32 {
+        8 * self.entries.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vericomp_minic::ast::Global;
+
+    #[test]
+    fn layout_aligns_and_orders() {
+        let prog = Program {
+            globals: vec![
+                Global {
+                    name: "a".into(),
+                    def: GlobalDef::ScalarI32(None),
+                },
+                Global {
+                    name: "b".into(),
+                    def: GlobalDef::ScalarF64(None),
+                },
+                Global {
+                    name: "t".into(),
+                    def: GlobalDef::ArrayF64(vec![0.0; 3]),
+                },
+            ],
+            functions: vec![],
+        };
+        let cfg = MachineConfig::mpc755();
+        let l = layout_globals(&prog, &cfg);
+        assert_eq!(l.global("a").addr, cfg.data_base);
+        assert_eq!(l.global("b").addr, cfg.data_base + 8);
+        assert_eq!(l.global("t").addr, cfg.data_base + 16);
+        assert_eq!(l.pool_base, cfg.data_base + 40);
+        assert_eq!(l.global("t").len, 3);
+    }
+
+    #[test]
+    fn sda_offsets() {
+        let cfg = MachineConfig::mpc755();
+        let l = layout_globals(&Program::default(), &cfg);
+        assert_eq!(l.sda_offset(cfg.data_base), Some(-0x8000));
+        assert_eq!(l.sda_offset(cfg.data_base + 0x8000), Some(0));
+        assert_eq!(l.sda_offset(cfg.data_base + 0xFFFF).unwrap(), 0x7FFF);
+        assert_eq!(l.sda_offset(cfg.data_base + 0x1_0000), None);
+    }
+
+    #[test]
+    fn pool_dedup_is_bitwise() {
+        let mut p = ConstPool::new();
+        let a = p.offset_of(1.5);
+        let b = p.offset_of(1.5);
+        let c = p.offset_of(-0.0);
+        let d = p.offset_of(0.0);
+        assert_eq!(a, b);
+        assert_ne!(c, d);
+        assert_eq!(p.size(), 24);
+        let vals: Vec<f64> = p.entries().map(|(_, v)| v).collect();
+        assert_eq!(vals.len(), 3);
+    }
+}

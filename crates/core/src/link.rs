@@ -1,0 +1,182 @@
+//! Layout and linking: machine functions → an executable [`Program`].
+//!
+//! Two passes: the first fixes block sizes and addresses (fall-through
+//! elision decisions depend only on block order, which is fixed), the second
+//! materializes branch and call targets and the data section.
+//!
+//! Floating-point branch layout note: a conditional arm is *never* emitted by
+//! negating a float condition — `!(a < b)` is not `a ≥ b` under IEEE
+//! unordered results — so float conditionals always branch on the original
+//! condition and fall through (or jump) to the `else` arm.
+
+use std::collections::BTreeMap;
+
+use vericomp_arch::inst::Inst as M;
+use vericomp_arch::program::{AnnotationEntry, DataValue, FuncSym, GlobalSym, Program};
+use vericomp_arch::reg::Cr;
+use vericomp_arch::MachineConfig;
+use vericomp_minic::ast::{GlobalDef, Program as SrcProgram};
+
+use crate::emit::{AsmFunc, AsmTerm};
+use crate::layout::{ConstPool, Layout};
+use crate::rtl::BlockId;
+use crate::CompileError;
+
+fn term_size(term: &AsmTerm, next: Option<BlockId>) -> u32 {
+    match term {
+        AsmTerm::Goto(t) => u32::from(Some(*t) != next),
+        AsmTerm::Cond { else_, .. } => 1 + u32::from(Some(*else_) != next),
+        AsmTerm::Ret => 1,
+    }
+}
+
+/// Links machine functions into an executable program.
+///
+/// # Errors
+///
+/// [`CompileError::Link`] on unknown callees or a missing entry function.
+pub fn link(
+    cfg: &MachineConfig,
+    funcs: &[AsmFunc],
+    layout: &Layout,
+    pool: &ConstPool,
+    annotations: Vec<AnnotationEntry>,
+    src: &SrcProgram,
+    entry: &str,
+) -> Result<Program, CompileError> {
+    // ---- pass 1: addresses ----
+    let mut cursor = cfg.text_base;
+    let mut fn_entry: BTreeMap<&str, u32> = BTreeMap::new();
+    let mut fn_len: BTreeMap<&str, u32> = BTreeMap::new();
+    // block addresses per function
+    let mut block_addr: Vec<BTreeMap<BlockId, u32>> = Vec::with_capacity(funcs.len());
+    for f in funcs {
+        let start = cursor;
+        fn_entry.insert(&f.name, start);
+        let mut addrs = BTreeMap::new();
+        for (i, b) in f.blocks.iter().enumerate() {
+            addrs.insert(b.id, cursor);
+            let next = f.blocks.get(i + 1).map(|nb| nb.id);
+            cursor += 4 * (b.insts.len() as u32 + term_size(&b.term, next));
+        }
+        fn_len.insert(&f.name, (cursor - start) / 4);
+        block_addr.push(addrs);
+    }
+
+    // ---- pass 2: code ----
+    let mut code: Vec<M> = Vec::with_capacity(((cursor - cfg.text_base) / 4) as usize);
+    for (fi, f) in funcs.iter().enumerate() {
+        let addrs = &block_addr[fi];
+        for (i, b) in f.blocks.iter().enumerate() {
+            let next = f.blocks.get(i + 1).map(|nb| nb.id);
+            let mut insts = b.insts.clone();
+            for &(idx, ref callee) in &b.calls {
+                let target = *fn_entry.get(callee.as_str()).ok_or_else(|| {
+                    CompileError::Link(format!("call to unknown function `{callee}`"))
+                })?;
+                match &mut insts[idx] {
+                    M::Bl { target: t } => *t = target,
+                    other => {
+                        return Err(CompileError::Link(format!(
+                            "call record points at non-call instruction {other}"
+                        )));
+                    }
+                }
+            }
+            code.extend(insts);
+            match &b.term {
+                AsmTerm::Goto(t) => {
+                    if Some(*t) != next {
+                        code.push(M::B { target: addrs[t] });
+                    }
+                }
+                AsmTerm::Cond {
+                    cond,
+                    then_,
+                    else_,
+                    float: _,
+                } => {
+                    code.push(M::Bc {
+                        cond: *cond,
+                        cr: Cr::CR0,
+                        target: addrs[then_],
+                    });
+                    if Some(*else_) != next {
+                        code.push(M::B {
+                            target: addrs[else_],
+                        });
+                    }
+                }
+                AsmTerm::Ret => code.push(M::Blr),
+            }
+        }
+    }
+    debug_assert_eq!(cfg.text_base + 4 * code.len() as u32, cursor);
+
+    // ---- data section ----
+    let mut data = BTreeMap::new();
+    for g in &src.globals {
+        let info = layout.global(&g.name);
+        match &g.def {
+            GlobalDef::ScalarI32(Some(v)) => {
+                data.insert(info.addr, DataValue::I32(*v));
+            }
+            GlobalDef::ScalarBool(Some(v)) => {
+                data.insert(info.addr, DataValue::I32(i32::from(*v)));
+            }
+            GlobalDef::ScalarF64(Some(v)) => {
+                data.insert(info.addr, DataValue::F64(*v));
+            }
+            GlobalDef::ArrayI32(vs) => {
+                for (i, v) in vs.iter().enumerate() {
+                    data.insert(info.addr + 4 * i as u32, DataValue::I32(*v));
+                }
+            }
+            GlobalDef::ArrayF64(vs) => {
+                for (i, v) in vs.iter().enumerate() {
+                    data.insert(info.addr + 8 * i as u32, DataValue::F64(*v));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (off, v) in pool.entries() {
+        data.insert(layout.pool_base + off, DataValue::F64(v));
+    }
+
+    let globals = layout
+        .globals
+        .iter()
+        .map(|(name, info)| GlobalSym {
+            name: name.clone(),
+            addr: info.addr,
+            elem: info.elem,
+            len: info.len,
+        })
+        .collect();
+
+    let functions = funcs
+        .iter()
+        .map(|f| FuncSym {
+            name: f.name.clone(),
+            entry: fn_entry[f.name.as_str()],
+            len_words: fn_len[f.name.as_str()],
+        })
+        .collect();
+
+    let entry_addr = *fn_entry
+        .get(entry)
+        .ok_or_else(|| CompileError::Link(format!("entry function `{entry}` not found")))?;
+
+    Ok(Program {
+        config: cfg.clone(),
+        code,
+        entry: entry_addr,
+        functions,
+        globals,
+        data,
+        const_pool_base: layout.pool_base,
+        sda_base: layout.sda_base,
+        annotations,
+    })
+}

@@ -1,0 +1,182 @@
+//! Backward liveness dataflow analysis over RTL.
+//!
+//! Used by dead-code elimination, the register allocator, and the
+//! register-allocation validator (each recomputes independently — the
+//! validator must not trust the allocator's own analysis).
+
+use std::collections::BTreeSet;
+
+use crate::rtl::{Func, Vreg};
+
+/// Per-block live-in/live-out sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Live virtual registers at block entry, indexed by block id.
+    pub live_in: Vec<BTreeSet<Vreg>>,
+    /// Live virtual registers at block exit, indexed by block id.
+    pub live_out: Vec<BTreeSet<Vreg>>,
+}
+
+/// Computes liveness by round-robin backward iteration to a fixpoint.
+pub fn analyze(f: &Func) -> Liveness {
+    let n = f.blocks.len();
+    let mut live_in = vec![BTreeSet::new(); n];
+    let mut live_out = vec![BTreeSet::new(); n];
+    let order: Vec<_> = f.rpo().into_iter().rev().collect();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            let bi = b.0 as usize;
+            let mut out = BTreeSet::new();
+            for s in f.block(b).term.successors() {
+                out.extend(live_in[s.0 as usize].iter().copied());
+            }
+            let mut live = out.clone();
+            let block = f.block(b);
+            for u in block.term.uses() {
+                live.insert(u);
+            }
+            for inst in block.insts.iter().rev() {
+                if let Some(d) = inst.def() {
+                    live.remove(&d);
+                }
+                for u in inst.uses() {
+                    live.insert(u);
+                }
+            }
+            if out != live_out[bi] {
+                live_out[bi] = out;
+                changed = true;
+            }
+            if live != live_in[bi] {
+                live_in[bi] = live;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::{Block, BlockId, IBin, Inst, RegClass, Term};
+    use vericomp_minic::ast::Cmp;
+
+    fn empty_func() -> Func {
+        Func {
+            name: "t".into(),
+            params: vec![],
+            ret: None,
+            vregs: vec![],
+            slots: vec![],
+            blocks: vec![],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn straight_line() {
+        let mut f = empty_func();
+        let a = f.new_vreg(RegClass::I);
+        let b = f.new_vreg(RegClass::I);
+        let c = f.new_vreg(RegClass::I);
+        let b0 = f.new_block();
+        f.entry = b0;
+        f.blocks[0] = Block {
+            insts: vec![
+                Inst::ImmI { dst: a, value: 1 },
+                Inst::ImmI { dst: b, value: 2 },
+                Inst::BinI {
+                    op: IBin::Add,
+                    dst: c,
+                    a,
+                    b,
+                },
+            ],
+            term: Term::Ret(Some(c)),
+        };
+        let l = analyze(&f);
+        assert!(l.live_in[0].is_empty());
+        assert!(l.live_out[0].is_empty());
+    }
+
+    #[test]
+    fn loop_keeps_induction_variable_live() {
+        // b0: i = 0 -> b1 ; b1: if i < 10 -> b2 else b3 ; b2: i = i + 1 -> b1 ; b3: ret
+        let mut f = empty_func();
+        let i = f.new_vreg(RegClass::I);
+        let b0 = f.new_block();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let b3 = f.new_block();
+        f.entry = b0;
+        f.blocks[b0.0 as usize] = Block {
+            insts: vec![Inst::ImmI { dst: i, value: 0 }],
+            term: Term::Goto(b1),
+        };
+        f.blocks[b1.0 as usize] = Block {
+            insts: vec![],
+            term: Term::BrIImm {
+                cmp: Cmp::Lt,
+                a: i,
+                imm: 10,
+                then_: b2,
+                else_: b3,
+            },
+        };
+        f.blocks[b2.0 as usize] = Block {
+            insts: vec![Inst::BinIImm {
+                op: IBin::Add,
+                dst: i,
+                a: i,
+                imm: 1,
+            }],
+            term: Term::Goto(b1),
+        };
+        f.blocks[b3.0 as usize] = Block {
+            insts: vec![],
+            term: Term::Ret(None),
+        };
+        let l = analyze(&f);
+        assert!(l.live_in[b1.0 as usize].contains(&i));
+        assert!(l.live_out[b2.0 as usize].contains(&i));
+        assert!(l.live_in[b2.0 as usize].contains(&i));
+        assert!(!l.live_in[b3.0 as usize].contains(&i));
+        assert!(!l.live_in[b0.0 as usize].contains(&i));
+    }
+
+    #[test]
+    fn branch_operands_are_live() {
+        let mut f = empty_func();
+        let x = f.new_vreg(RegClass::I);
+        let y = f.new_vreg(RegClass::I);
+        let b0 = f.new_block();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.entry = b0;
+        f.blocks[b0.0 as usize] = Block {
+            insts: vec![],
+            term: Term::BrI {
+                cmp: Cmp::Eq,
+                a: x,
+                b: y,
+                then_: b1,
+                else_: b2,
+            },
+        };
+        f.blocks[b1.0 as usize] = Block {
+            insts: vec![],
+            term: Term::Ret(None),
+        };
+        f.blocks[b2.0 as usize] = Block {
+            insts: vec![],
+            term: Term::Ret(None),
+        };
+        let l = analyze(&f);
+        assert!(l.live_in[0].contains(&x));
+        assert!(l.live_in[0].contains(&y));
+    }
+}

@@ -1,0 +1,519 @@
+//! Local constant propagation, copy propagation and constant folding.
+//!
+//! Facts are tracked per basic block (each block starts from ⊤). Folding of
+//! floating-point constants is *exact*: the folder applies the very same
+//! host IEEE-754 double operations the target machine executes, so the
+//! transformation is semantics-preserving to the bit.
+//!
+//! The pass also canonicalizes immediate forms: `v + 5` becomes an
+//! `addi`-shaped [`Inst::BinIImm`] when the constant fits the instruction's
+//! immediate field, and integer compare-branches against constants become
+//! compare-immediate branches.
+
+use std::collections::BTreeMap;
+
+use vericomp_minic::interp::sat_trunc;
+
+use crate::rtl::{FBin, FUn, Func, IBin, IUnop, Inst, Term, Vreg};
+
+/// An abstract value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Abs {
+    ConstI(i32),
+    ConstF(f64),
+    Copy(Vreg),
+}
+
+/// Machine division semantics (`divw`).
+pub(crate) fn divw(a: i32, b: i32) -> i32 {
+    if b == 0 {
+        0
+    } else {
+        a.wrapping_div(b)
+    }
+}
+
+/// Evaluates an integer binary operation with machine semantics.
+pub(crate) fn eval_ibin(op: IBin, a: i32, b: i32) -> i32 {
+    match op {
+        IBin::Add => a.wrapping_add(b),
+        IBin::Sub => a.wrapping_sub(b),
+        IBin::Mul => a.wrapping_mul(b),
+        IBin::Div => divw(a, b),
+        IBin::And => a & b,
+        IBin::Or => a | b,
+        IBin::Xor => a ^ b,
+        // `slw`/`srw` semantics: shift amounts are masked to 6 bits and
+        // amounts ≥ 32 produce 0; `sraw` saturates to the sign.
+        IBin::Shl => {
+            let sh = (b as u32) & 63;
+            if sh >= 32 {
+                0
+            } else {
+                ((a as u32) << sh) as i32
+            }
+        }
+        IBin::Shr => {
+            let sh = (b as u32) & 63;
+            if sh >= 32 {
+                0
+            } else {
+                ((a as u32) >> sh) as i32
+            }
+        }
+        IBin::Sar => {
+            let sh = (b as u32) & 63;
+            if sh >= 32 {
+                a >> 31
+            } else {
+                a >> sh
+            }
+        }
+    }
+}
+
+/// Evaluates a floating binary operation (exactly the machine's).
+pub(crate) fn eval_fbin(op: FBin, a: f64, b: f64) -> f64 {
+    match op {
+        FBin::Add => a + b,
+        FBin::Sub => a - b,
+        FBin::Mul => a * b,
+        FBin::Div => a / b,
+    }
+}
+
+/// Whether `imm` is encodable as the immediate operand of `op`.
+pub(crate) fn imm_legal(op: IBin, imm: i32) -> bool {
+    match op {
+        IBin::Add | IBin::Mul => i16::try_from(imm).is_ok(),
+        IBin::And | IBin::Or | IBin::Xor => (0..=0xFFFF).contains(&imm),
+        IBin::Shl | IBin::Shr | IBin::Sar => (0..=31).contains(&imm),
+        IBin::Sub | IBin::Div => false,
+    }
+}
+
+fn commutative(op: IBin) -> bool {
+    matches!(op, IBin::Add | IBin::Mul | IBin::And | IBin::Or | IBin::Xor)
+}
+
+struct State {
+    facts: BTreeMap<Vreg, Abs>,
+}
+
+impl State {
+    fn resolve(&self, v: Vreg) -> Vreg {
+        match self.facts.get(&v) {
+            Some(Abs::Copy(w)) => *w,
+            _ => v,
+        }
+    }
+
+    fn const_i(&self, v: Vreg) -> Option<i32> {
+        match self.facts.get(&v) {
+            Some(Abs::ConstI(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn const_f(&self, v: Vreg) -> Option<f64> {
+        match self.facts.get(&v) {
+            Some(Abs::ConstF(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Invalidates facts that mention `d` (it is being redefined).
+    fn kill(&mut self, d: Vreg) {
+        self.facts.remove(&d);
+        self.facts
+            .retain(|_, a| !matches!(a, Abs::Copy(w) if *w == d));
+    }
+
+    fn learn(&mut self, d: Vreg, a: Abs) {
+        self.facts.insert(d, a);
+    }
+}
+
+/// Runs the pass over every block.
+pub fn run(f: &mut Func) {
+    for block in &mut f.blocks {
+        let mut st = State {
+            facts: BTreeMap::new(),
+        };
+        for inst in &mut block.insts {
+            // 1. copy-propagate uses
+            inst.map_uses(&mut |v| st.resolve(v));
+
+            // 2. fold / canonicalize
+            let folded: Option<Inst> = match &*inst {
+                Inst::MovI { dst, src } => st.const_i(*src).map(|c| Inst::ImmI {
+                    dst: *dst,
+                    value: c,
+                }),
+                Inst::MovF { dst, src } => st.const_f(*src).map(|c| Inst::ImmF {
+                    dst: *dst,
+                    value: c,
+                }),
+                Inst::UnI {
+                    op: IUnop::Neg,
+                    dst,
+                    a,
+                } => st.const_i(*a).map(|c| Inst::ImmI {
+                    dst: *dst,
+                    value: c.wrapping_neg(),
+                }),
+                Inst::UnF { op, dst, a } => st.const_f(*a).map(|c| Inst::ImmF {
+                    dst: *dst,
+                    value: match op {
+                        FUn::Neg => -c,
+                        FUn::Abs => c.abs(),
+                    },
+                }),
+                Inst::BinI { op, dst, a, b } => match (st.const_i(*a), st.const_i(*b)) {
+                    (Some(x), Some(y)) => Some(Inst::ImmI {
+                        dst: *dst,
+                        value: eval_ibin(*op, x, y),
+                    }),
+                    (None, Some(y)) if imm_legal(*op, y) => Some(Inst::BinIImm {
+                        op: *op,
+                        dst: *dst,
+                        a: *a,
+                        imm: y,
+                    }),
+                    (None, Some(y))
+                        if *op == IBin::Sub && i16::try_from(y.wrapping_neg()).is_ok() =>
+                    {
+                        Some(Inst::BinIImm {
+                            op: IBin::Add,
+                            dst: *dst,
+                            a: *a,
+                            imm: y.wrapping_neg(),
+                        })
+                    }
+                    (Some(x), None) if commutative(*op) && imm_legal(*op, x) => {
+                        Some(Inst::BinIImm {
+                            op: *op,
+                            dst: *dst,
+                            a: *b,
+                            imm: x,
+                        })
+                    }
+                    _ => None,
+                },
+                Inst::BinIImm { op, dst, a, imm } => st.const_i(*a).map(|x| Inst::ImmI {
+                    dst: *dst,
+                    value: eval_ibin(*op, x, *imm),
+                }),
+                Inst::BinF { op, dst, a, b } => match (st.const_f(*a), st.const_f(*b)) {
+                    (Some(x), Some(y)) => Some(Inst::ImmF {
+                        dst: *dst,
+                        value: eval_fbin(*op, x, y),
+                    }),
+                    _ => None,
+                },
+                Inst::Itof { dst, src } => st.const_i(*src).map(|c| Inst::ImmF {
+                    dst: *dst,
+                    value: f64::from(c),
+                }),
+                Inst::Ftoi { dst, src } => st.const_f(*src).map(|c| Inst::ImmI {
+                    dst: *dst,
+                    value: sat_trunc(c),
+                }),
+                _ => None,
+            };
+            if let Some(n) = folded {
+                *inst = n;
+            }
+
+            // 3. update facts
+            if let Some(d) = inst.def() {
+                st.kill(d);
+                match &*inst {
+                    Inst::ImmI { value, .. } => st.learn(d, Abs::ConstI(*value)),
+                    Inst::ImmF { value, .. } => st.learn(d, Abs::ConstF(*value)),
+                    // Self-moves (possible after copy propagation of a
+                    // store-to-self) carry no information.
+                    Inst::MovI { src, .. } | Inst::MovF { src, .. } if *src != d => {
+                        st.learn(d, Abs::Copy(*src));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // 4. terminator
+        match &mut block.term {
+            Term::BrI {
+                cmp,
+                a,
+                b,
+                then_,
+                else_,
+            } => {
+                *a = st.resolve(*a);
+                *b = st.resolve(*b);
+                match (st.const_i(*a), st.const_i(*b)) {
+                    (Some(x), Some(y)) => {
+                        let t = if cmp.eval(Some(x.cmp(&y))) {
+                            *then_
+                        } else {
+                            *else_
+                        };
+                        block.term = Term::Goto(t);
+                    }
+                    (None, Some(y)) if i16::try_from(y).is_ok() => {
+                        block.term = Term::BrIImm {
+                            cmp: *cmp,
+                            a: *a,
+                            imm: y,
+                            then_: *then_,
+                            else_: *else_,
+                        };
+                    }
+                    (Some(x), None) if i16::try_from(x).is_ok() => {
+                        block.term = Term::BrIImm {
+                            cmp: cmp.swap(),
+                            a: *b,
+                            imm: x,
+                            then_: *then_,
+                            else_: *else_,
+                        };
+                    }
+                    _ => {}
+                }
+            }
+            Term::BrIImm {
+                cmp,
+                a,
+                imm,
+                then_,
+                else_,
+            } => {
+                *a = st.resolve(*a);
+                if let Some(x) = st.const_i(*a) {
+                    let t = if cmp.eval(Some(x.cmp(imm))) {
+                        *then_
+                    } else {
+                        *else_
+                    };
+                    block.term = Term::Goto(t);
+                }
+            }
+            Term::BrF { a, b, .. } => {
+                *a = st.resolve(*a);
+                *b = st.resolve(*b);
+            }
+            Term::Ret(Some(v)) => *v = st.resolve(*v),
+            Term::Goto(_) | Term::Ret(None) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::{Block, BlockId, RegClass};
+    use vericomp_minic::ast::Cmp;
+
+    fn func1(insts: Vec<Inst>, term: Term, nvregs: u32) -> Func {
+        Func {
+            name: "t".into(),
+            params: vec![],
+            ret: None,
+            vregs: vec![RegClass::I; nvregs as usize],
+            slots: vec![],
+            blocks: vec![Block { insts, term }],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn folds_constant_addition() {
+        let (a, b, c) = (Vreg(0), Vreg(1), Vreg(2));
+        let mut f = func1(
+            vec![
+                Inst::ImmI { dst: a, value: 40 },
+                Inst::ImmI { dst: b, value: 2 },
+                Inst::BinI {
+                    op: IBin::Add,
+                    dst: c,
+                    a,
+                    b,
+                },
+            ],
+            Term::Ret(Some(c)),
+            3,
+        );
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[2], Inst::ImmI { dst: c, value: 42 });
+    }
+
+    #[test]
+    fn forms_immediate_operand() {
+        let (a, b, c) = (Vreg(0), Vreg(1), Vreg(2));
+        let mut f = func1(
+            vec![
+                Inst::ImmI { dst: b, value: 5 },
+                Inst::BinI {
+                    op: IBin::Add,
+                    dst: c,
+                    a,
+                    b,
+                },
+            ],
+            Term::Ret(Some(c)),
+            3,
+        );
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].insts[1],
+            Inst::BinIImm {
+                op: IBin::Add,
+                dst: c,
+                a,
+                imm: 5
+            }
+        );
+    }
+
+    #[test]
+    fn sub_constant_becomes_addi_negative() {
+        let (a, b, c) = (Vreg(0), Vreg(1), Vreg(2));
+        let mut f = func1(
+            vec![
+                Inst::ImmI { dst: b, value: 7 },
+                Inst::BinI {
+                    op: IBin::Sub,
+                    dst: c,
+                    a,
+                    b,
+                },
+            ],
+            Term::Ret(Some(c)),
+            3,
+        );
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].insts[1],
+            Inst::BinIImm {
+                op: IBin::Add,
+                dst: c,
+                a,
+                imm: -7
+            }
+        );
+    }
+
+    #[test]
+    fn copy_propagates_through_moves() {
+        let (a, b, c) = (Vreg(0), Vreg(1), Vreg(2));
+        let mut f = func1(
+            vec![
+                Inst::MovI { dst: b, src: a },
+                Inst::BinI {
+                    op: IBin::Add,
+                    dst: c,
+                    a: b,
+                    b,
+                },
+            ],
+            Term::Ret(Some(c)),
+            3,
+        );
+        run(&mut f);
+        assert_eq!(
+            f.blocks[0].insts[1],
+            Inst::BinI {
+                op: IBin::Add,
+                dst: c,
+                a,
+                b: a
+            }
+        );
+    }
+
+    #[test]
+    fn copy_fact_dies_when_source_redefined() {
+        let (a, b) = (Vreg(0), Vreg(1));
+        let mut f = func1(
+            vec![
+                Inst::MovI { dst: b, src: a },
+                Inst::ImmI { dst: a, value: 9 }, // a redefined: b != a now
+                Inst::MovI { dst: a, src: b },   // must NOT become ImmI 9
+            ],
+            Term::Ret(Some(a)),
+            2,
+        );
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[2], Inst::MovI { dst: a, src: b });
+    }
+
+    #[test]
+    fn folds_float_exactly() {
+        let (a, b, c) = (Vreg(0), Vreg(1), Vreg(2));
+        let mut f = Func {
+            vregs: vec![RegClass::F; 3],
+            ..func1(vec![], Term::Ret(None), 0)
+        };
+        f.blocks[0].insts = vec![
+            Inst::ImmF { dst: a, value: 0.1 },
+            Inst::ImmF { dst: b, value: 0.2 },
+            Inst::BinF {
+                op: FBin::Add,
+                dst: c,
+                a,
+                b,
+            },
+        ];
+        run(&mut f);
+        match f.blocks[0].insts[2] {
+            Inst::ImmF { value, .. } => assert_eq!(value.to_bits(), (0.1f64 + 0.2).to_bits()),
+            ref other => panic!("expected fold, got {other}"),
+        }
+    }
+
+    #[test]
+    fn branch_on_constants_becomes_goto() {
+        let a = Vreg(0);
+        let mut f = Func {
+            name: "t".into(),
+            params: vec![],
+            ret: None,
+            vregs: vec![RegClass::I],
+            slots: vec![],
+            blocks: vec![
+                Block {
+                    insts: vec![Inst::ImmI { dst: a, value: 3 }],
+                    term: Term::BrIImm {
+                        cmp: Cmp::Lt,
+                        a,
+                        imm: 10,
+                        then_: BlockId(1),
+                        else_: BlockId(2),
+                    },
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(None),
+                },
+                Block {
+                    insts: vec![],
+                    term: Term::Ret(None),
+                },
+            ],
+            entry: BlockId(0),
+        };
+        run(&mut f);
+        assert_eq!(f.blocks[0].term, Term::Goto(BlockId(1)));
+    }
+
+    #[test]
+    fn machine_semantics_in_folder() {
+        assert_eq!(eval_ibin(IBin::Div, 5, 0), 0);
+        assert_eq!(eval_ibin(IBin::Div, i32::MIN, -1), i32::MIN);
+        assert_eq!(eval_ibin(IBin::Shl, 1, 40), 0);
+        assert_eq!(eval_ibin(IBin::Sar, -8, 2), -2);
+        assert_eq!(eval_ibin(IBin::Sar, -1, 45), -1);
+        assert_eq!(eval_ibin(IBin::Add, i32::MAX, 1), i32::MIN);
+    }
+}

@@ -1,0 +1,400 @@
+//! Local common-subexpression elimination by value numbering.
+//!
+//! Within each basic block, pure computations and cacheable loads are
+//! remembered; a repeated computation is replaced by a move from the first
+//! result. Remembered loads are invalidated by potentially-aliasing stores
+//! and by calls (which may write any global); stack slots survive calls
+//! because MiniC has no pointers into frames. I/O loads are volatile and are
+//! never remembered — an acquisition must be performed every time the source
+//! says so.
+
+use std::collections::BTreeMap;
+
+use crate::rtl::{Addr, FBin, FUn, Func, IBin, IUnop, Inst, RegClass, Vreg};
+
+/// A value-numbering key for a pure computation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Key {
+    UnI(IUnop, Vreg),
+    BinI(IBin, Vreg, Vreg),
+    BinIImm(IBin, Vreg, i32),
+    UnF(FUn, Vreg),
+    BinF(FBin, Vreg, Vreg),
+    MaddF(Vreg, Vreg, Vreg),
+    Itof(Vreg),
+    Ftoi(Vreg),
+    ImmF(u64),
+    Load(LoadKey),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum LoadKey {
+    Stack(u32),
+    Global(String, u32),
+    GlobalIndex(String, Vreg, u8),
+}
+
+fn load_key(addr: &Addr) -> Option<LoadKey> {
+    match addr {
+        Addr::Stack(s) => Some(LoadKey::Stack(s.0)),
+        Addr::Global { name, offset } => Some(LoadKey::Global(name.clone(), *offset)),
+        Addr::GlobalIndex { name, index, scale } => {
+            Some(LoadKey::GlobalIndex(name.clone(), *index, *scale))
+        }
+        Addr::Io(_) => None, // volatile
+    }
+}
+
+fn key_of(inst: &Inst) -> Option<Key> {
+    match inst {
+        Inst::UnI { op, a, .. } => Some(Key::UnI(*op, *a)),
+        Inst::BinI { op, dst: _, a, b } => {
+            // normalize commutative operands
+            let (x, y) = if matches!(op, IBin::Add | IBin::Mul | IBin::And | IBin::Or | IBin::Xor)
+                && b < a
+            {
+                (*b, *a)
+            } else {
+                (*a, *b)
+            };
+            Some(Key::BinI(*op, x, y))
+        }
+        Inst::BinIImm { op, a, imm, .. } => Some(Key::BinIImm(*op, *a, *imm)),
+        Inst::UnF { op, a, .. } => Some(Key::UnF(*op, *a)),
+        Inst::BinF { op, a, b, .. } => {
+            let (x, y) = if matches!(op, FBin::Add | FBin::Mul) && b < a {
+                (*b, *a)
+            } else {
+                (*a, *b)
+            };
+            Some(Key::BinF(*op, x, y))
+        }
+        Inst::MaddF { a, b, c, .. } => Some(Key::MaddF(*a, *b, *c)),
+        Inst::Itof { src, .. } => Some(Key::Itof(*src)),
+        Inst::Ftoi { src, .. } => Some(Key::Ftoi(*src)),
+        Inst::ImmF { value, .. } => Some(Key::ImmF(value.to_bits())),
+        Inst::Load { addr, .. } => load_key(addr).map(Key::Load),
+        _ => None,
+    }
+}
+
+fn key_mentions(key: &Key, v: Vreg) -> bool {
+    match key {
+        Key::UnI(_, a) | Key::BinIImm(_, a, _) | Key::UnF(_, a) | Key::Itof(a) | Key::Ftoi(a) => {
+            *a == v
+        }
+        Key::BinI(_, a, b) | Key::BinF(_, a, b) => *a == v || *b == v,
+        Key::MaddF(a, b, c) => *a == v || *b == v || *c == v,
+        Key::ImmF(_) => false,
+        Key::Load(LoadKey::GlobalIndex(_, i, _)) => *i == v,
+        Key::Load(_) => false,
+    }
+}
+
+/// Runs local CSE over every block.
+pub fn run(f: &mut Func) {
+    let classes = f.vregs.clone();
+    for block in &mut f.blocks {
+        let mut table: BTreeMap<Key, Vreg> = BTreeMap::new();
+        for inst in &mut block.insts {
+            // Invalidate on memory effects.
+            match &*inst {
+                Inst::Store { addr, .. } => {
+                    table.retain(|k, _| match k {
+                        Key::Load(lk) => !store_kills(addr, lk),
+                        _ => true,
+                    });
+                }
+                Inst::Call { .. } => {
+                    // calls may write any global (but not our stack slots)
+                    table.retain(|k, _| {
+                        !matches!(
+                            k,
+                            Key::Load(LoadKey::Global(..)) | Key::Load(LoadKey::GlobalIndex(..))
+                        )
+                    });
+                }
+                _ => {}
+            }
+
+            // Lookup against the pre-definition state.
+            if let Some(key) = key_of(inst) {
+                if let Some(&prev) = table.get(&key) {
+                    let dst = inst.def().expect("keyed instructions define a register");
+                    *inst = match classes[dst.0 as usize] {
+                        RegClass::I => Inst::MovI { dst, src: prev },
+                        RegClass::F => Inst::MovF { dst, src: prev },
+                    };
+                }
+            }
+
+            // Redefinition invalidates entries mentioning or produced by dst.
+            if let Some(d) = inst.def() {
+                table.retain(|k, v| *v != d && !key_mentions(k, d));
+            }
+
+            // Remember the (possibly unchanged) computation, unless its key
+            // refers to the value it just overwrote (e.g. `a = a + b`).
+            if let Some(key) = key_of(inst) {
+                if let Some(d) = inst.def() {
+                    if !key_mentions(&key, d) {
+                        table.insert(key, d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn store_kills(store_addr: &Addr, loaded: &LoadKey) -> bool {
+    match (store_addr, loaded) {
+        (Addr::Stack(s), LoadKey::Stack(l)) => s.0 == *l,
+        (Addr::Global { name, offset }, LoadKey::Global(n, o)) => name == n && offset == o,
+        (Addr::Global { name, .. }, LoadKey::GlobalIndex(n, ..))
+        | (Addr::GlobalIndex { name, .. }, LoadKey::Global(n, ..))
+        | (Addr::GlobalIndex { name, .. }, LoadKey::GlobalIndex(n, ..)) => name == n,
+        (Addr::Io(_), _) => false,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::{Block, BlockId, SlotId, Term};
+
+    fn func(insts: Vec<Inst>, vregs: Vec<RegClass>) -> Func {
+        Func {
+            name: "t".into(),
+            params: vec![],
+            ret: None,
+            vregs,
+            slots: vec![],
+            blocks: vec![Block {
+                insts,
+                term: Term::Ret(None),
+            }],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn repeated_computation_becomes_move() {
+        let (a, b, c, d) = (Vreg(0), Vreg(1), Vreg(2), Vreg(3));
+        let mut f = func(
+            vec![
+                Inst::BinI {
+                    op: IBin::Add,
+                    dst: c,
+                    a,
+                    b,
+                },
+                Inst::BinI {
+                    op: IBin::Add,
+                    dst: d,
+                    a,
+                    b,
+                },
+            ],
+            vec![RegClass::I; 4],
+        );
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[1], Inst::MovI { dst: d, src: c });
+    }
+
+    #[test]
+    fn commutative_operands_normalized() {
+        let (a, b, c, d) = (Vreg(0), Vreg(1), Vreg(2), Vreg(3));
+        let mut f = func(
+            vec![
+                Inst::BinF {
+                    op: FBin::Mul,
+                    dst: c,
+                    a: b,
+                    b: a,
+                },
+                Inst::BinF {
+                    op: FBin::Mul,
+                    dst: d,
+                    a,
+                    b,
+                },
+            ],
+            vec![RegClass::F; 4],
+        );
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[1], Inst::MovF { dst: d, src: c });
+    }
+
+    #[test]
+    fn load_reused_until_aliasing_store() {
+        let (v, w, x, y) = (Vreg(0), Vreg(1), Vreg(2), Vreg(3));
+        let g = Addr::Global {
+            name: "g".into(),
+            offset: 0,
+        };
+        let mut f = func(
+            vec![
+                Inst::Load {
+                    dst: v,
+                    addr: g.clone(),
+                },
+                Inst::Load {
+                    dst: w,
+                    addr: g.clone(),
+                }, // CSE'd
+                Inst::Store {
+                    src: x,
+                    addr: g.clone(),
+                },
+                Inst::Load {
+                    dst: y,
+                    addr: g.clone(),
+                }, // must reload
+            ],
+            vec![RegClass::I; 4],
+        );
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[1], Inst::MovI { dst: w, src: v });
+        assert!(matches!(f.blocks[0].insts[3], Inst::Load { .. }));
+    }
+
+    #[test]
+    fn call_kills_globals_but_not_stack() {
+        let (v, w, s, t) = (Vreg(0), Vreg(1), Vreg(2), Vreg(3));
+        let g = Addr::Global {
+            name: "g".into(),
+            offset: 0,
+        };
+        let sl = Addr::Stack(SlotId(0));
+        let mut f = func(
+            vec![
+                Inst::Load {
+                    dst: v,
+                    addr: g.clone(),
+                },
+                Inst::Load {
+                    dst: s,
+                    addr: sl.clone(),
+                },
+                Inst::Call {
+                    dst: None,
+                    callee: "h".into(),
+                    args: vec![],
+                },
+                Inst::Load {
+                    dst: w,
+                    addr: g.clone(),
+                }, // must reload
+                Inst::Load {
+                    dst: t,
+                    addr: sl.clone(),
+                }, // still available
+            ],
+            vec![RegClass::I; 4],
+        );
+        f.slots.push(crate::rtl::Slot {
+            class: RegClass::I,
+            origin: "local",
+        });
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[3], Inst::Load { .. }));
+        assert_eq!(f.blocks[0].insts[4], Inst::MovI { dst: t, src: s });
+    }
+
+    #[test]
+    fn io_loads_never_merged() {
+        let (v, w) = (Vreg(0), Vreg(1));
+        let mut f = func(
+            vec![
+                Inst::Load {
+                    dst: v,
+                    addr: Addr::Io(1),
+                },
+                Inst::Load {
+                    dst: w,
+                    addr: Addr::Io(1),
+                },
+            ],
+            vec![RegClass::F; 2],
+        );
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[1], Inst::Load { .. }));
+    }
+
+    #[test]
+    fn redefinition_invalidates_expression() {
+        let (a, b, c, d) = (Vreg(0), Vreg(1), Vreg(2), Vreg(3));
+        let mut f = func(
+            vec![
+                Inst::BinI {
+                    op: IBin::Add,
+                    dst: c,
+                    a,
+                    b,
+                },
+                Inst::ImmI { dst: a, value: 5 },
+                Inst::BinI {
+                    op: IBin::Add,
+                    dst: d,
+                    a,
+                    b,
+                }, // different `a` now
+            ],
+            vec![RegClass::I; 4],
+        );
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], Inst::BinI { .. }));
+    }
+
+    #[test]
+    fn indexed_load_invalidated_when_index_changes() {
+        let (i, v, w) = (Vreg(0), Vreg(1), Vreg(2));
+        let addr = Addr::GlobalIndex {
+            name: "tab".into(),
+            index: i,
+            scale: 8,
+        };
+        let mut f = func(
+            vec![
+                Inst::Load {
+                    dst: v,
+                    addr: addr.clone(),
+                },
+                Inst::BinIImm {
+                    op: IBin::Add,
+                    dst: i,
+                    a: i,
+                    imm: 1,
+                },
+                Inst::Load {
+                    dst: w,
+                    addr: addr.clone(),
+                },
+            ],
+            vec![RegClass::I, RegClass::F, RegClass::F],
+        );
+        run(&mut f);
+        assert!(matches!(f.blocks[0].insts[2], Inst::Load { .. }));
+    }
+
+    #[test]
+    fn float_constants_deduplicated() {
+        let (a, b) = (Vreg(0), Vreg(1));
+        let mut f = func(
+            vec![
+                Inst::ImmF {
+                    dst: a,
+                    value: 3.25,
+                },
+                Inst::ImmF {
+                    dst: b,
+                    value: 3.25,
+                },
+            ],
+            vec![RegClass::F; 2],
+        );
+        run(&mut f);
+        assert_eq!(f.blocks[0].insts[1], Inst::MovF { dst: b, src: a });
+    }
+}

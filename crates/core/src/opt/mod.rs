@@ -1,0 +1,15 @@
+//! Optimization passes over RTL.
+//!
+//! The pass inventory matches the paper's description of CompCert §3.2
+//! ("basic optimizations such as constant propagation, common subexpression
+//! elimination and register allocation by graph coloring, but no loop
+//! optimizations"), plus the extra passes the fully-optimizing reference
+//! compiler is allowed to use (strength reduction, `fmadd` fusion; list
+//! scheduling lives in the emitter since it works on machine instructions).
+
+pub mod constprop;
+pub mod cse;
+pub mod dce;
+pub mod mem2reg;
+pub mod strength;
+pub mod tunnel;

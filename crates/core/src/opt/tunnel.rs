@@ -1,0 +1,149 @@
+//! Branch tunneling: retargets jumps through chains of empty
+//! unconditional-goto blocks, and folds conditional branches whose arms
+//! coincide. One of CompCert's cleanup passes; also a validation target
+//! ([`crate::validate::check_tunnel`]).
+
+use crate::rtl::{BlockId, Func, Term};
+
+/// Resolves `b` through empty-goto chains, with a visited guard against
+/// pathological goto cycles (an empty infinite loop is left in place).
+pub fn resolve(f: &Func, mut b: BlockId) -> BlockId {
+    let mut hops = 0;
+    loop {
+        let block = f.block(b);
+        match block.term {
+            Term::Goto(next) if block.insts.is_empty() && next != b => {
+                hops += 1;
+                if hops > f.blocks.len() {
+                    return b; // cycle of empty gotos: give up, keep semantics
+                }
+                b = next;
+            }
+            _ => return b,
+        }
+    }
+}
+
+/// Runs tunneling over every terminator.
+pub fn run(f: &mut Func) {
+    let ids = f.rpo();
+    for b in ids {
+        let mut term = f.block(b).term.clone();
+        term.map_successors(|s| resolve(f, s));
+        // A conditional with identical arms is a goto.
+        match term {
+            Term::BrI { then_, else_, .. }
+            | Term::BrIImm { then_, else_, .. }
+            | Term::BrF { then_, else_, .. }
+                if then_ == else_ =>
+            {
+                term = Term::Goto(then_);
+            }
+            _ => {}
+        }
+        f.block_mut(b).term = term;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtl::{Block, Inst, RegClass, Vreg};
+    use vericomp_minic::ast::Cmp;
+
+    fn empty_block(term: Term) -> Block {
+        Block {
+            insts: vec![],
+            term,
+        }
+    }
+
+    #[test]
+    fn chains_collapse() {
+        // b0 -> b1 -> b2 -> ret
+        let f = &mut Func {
+            name: "t".into(),
+            params: vec![],
+            ret: None,
+            vregs: vec![RegClass::I],
+            slots: vec![],
+            blocks: vec![
+                empty_block(Term::Goto(BlockId(1))),
+                empty_block(Term::Goto(BlockId(2))),
+                empty_block(Term::Ret(None)),
+            ],
+            entry: BlockId(0),
+        };
+        run(f);
+        assert_eq!(f.blocks[0].term, Term::Goto(BlockId(2)));
+    }
+
+    #[test]
+    fn nonempty_blocks_not_skipped() {
+        let v = Vreg(0);
+        let f = &mut Func {
+            name: "t".into(),
+            params: vec![],
+            ret: None,
+            vregs: vec![RegClass::I],
+            slots: vec![],
+            blocks: vec![
+                empty_block(Term::Goto(BlockId(1))),
+                Block {
+                    insts: vec![Inst::ImmI { dst: v, value: 1 }],
+                    term: Term::Goto(BlockId(2)),
+                },
+                empty_block(Term::Ret(Some(v))),
+            ],
+            entry: BlockId(0),
+        };
+        run(f);
+        assert_eq!(f.blocks[0].term, Term::Goto(BlockId(1)), "b1 has effects");
+    }
+
+    #[test]
+    fn equal_arms_fold_to_goto() {
+        let v = Vreg(0);
+        let f = &mut Func {
+            name: "t".into(),
+            params: vec![],
+            ret: None,
+            vregs: vec![RegClass::I],
+            slots: vec![],
+            blocks: vec![
+                empty_block(Term::BrIImm {
+                    cmp: Cmp::Lt,
+                    a: v,
+                    imm: 0,
+                    then_: BlockId(1),
+                    else_: BlockId(2),
+                }),
+                empty_block(Term::Goto(BlockId(3))),
+                empty_block(Term::Goto(BlockId(3))),
+                empty_block(Term::Ret(None)),
+            ],
+            entry: BlockId(0),
+        };
+        run(f);
+        assert_eq!(f.blocks[0].term, Term::Goto(BlockId(3)));
+    }
+
+    #[test]
+    fn empty_goto_cycle_survives() {
+        let f = &mut Func {
+            name: "t".into(),
+            params: vec![],
+            ret: None,
+            vregs: vec![],
+            slots: vec![],
+            blocks: vec![
+                empty_block(Term::Goto(BlockId(1))),
+                empty_block(Term::Goto(BlockId(2))),
+                empty_block(Term::Goto(BlockId(1))),
+            ],
+            entry: BlockId(0),
+        };
+        run(f); // must terminate
+        assert!(matches!(f.blocks[0].term, Term::Goto(_)));
+    }
+}

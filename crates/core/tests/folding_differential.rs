@@ -1,0 +1,153 @@
+//! Property test targeting the constant folder: a function returning a
+//! randomly generated *constant* expression is fully folded by the verified
+//! configuration, and the folded result must be bit-identical to the
+//! interpreter's — the folder applies the exact machine semantics
+//! (wrapping, `divw` corner cases, IEEE doubles, saturating conversion).
+
+use proptest::prelude::*;
+use vericomp_core::{Compiler, OptLevel};
+use vericomp_mach::Simulator;
+use vericomp_minic::ast::*;
+use vericomp_minic::interp::{Interp, Value};
+
+/// Random constant integer expressions.
+fn int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i32>().prop_map(Expr::IntLit),
+        (-100i32..100).prop_map(Expr::IntLit),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(Binop::AddI, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(Binop::SubI, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(Binop::MulI, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(Binop::DivI, a, b)),
+            inner.clone().prop_map(|a| Expr::unop(Unop::NegI, a)),
+        ]
+    })
+}
+
+/// Random constant floating expressions (including non-finite results).
+fn float_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-1e6f64..1e6).prop_map(Expr::FloatLit),
+        Just(Expr::FloatLit(0.0)),
+        Just(Expr::FloatLit(-0.0)),
+        Just(Expr::FloatLit(1e300)),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(Binop::AddF, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(Binop::SubF, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(Binop::MulF, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::binop(Binop::DivF, a, b)),
+            inner.clone().prop_map(|a| Expr::unop(Unop::NegF, a)),
+            inner.clone().prop_map(|a| Expr::unop(Unop::AbsF, a)),
+        ]
+    })
+}
+
+fn run_both_i(expr: Expr) -> (i32, i32) {
+    let prog = Program {
+        globals: vec![Global {
+            name: "out".into(),
+            def: GlobalDef::ScalarI32(None),
+        }],
+        functions: vec![Function {
+            name: "step".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: vec![Stmt::Assign("out".into(), expr)],
+        }],
+    };
+    let mut it = Interp::new(&prog);
+    it.call("step", &[]).expect("interprets");
+    let expect = match it.global("out").expect("out") {
+        Value::I(v) => v,
+        _ => unreachable!(),
+    };
+    let bin = Compiler::new(OptLevel::Verified)
+        .compile(&prog, "step")
+        .expect("compiles");
+    let mut sim = Simulator::new(bin);
+    sim.run(1_000_000).expect("runs");
+    (expect, sim.global_i32("out", 0).expect("out"))
+}
+
+fn run_both_f(expr: Expr) -> (f64, f64) {
+    let prog = Program {
+        globals: vec![Global {
+            name: "out".into(),
+            def: GlobalDef::ScalarF64(None),
+        }],
+        functions: vec![Function {
+            name: "step".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: vec![Stmt::Assign("out".into(), expr)],
+        }],
+    };
+    let mut it = Interp::new(&prog);
+    it.call("step", &[]).expect("interprets");
+    let expect = match it.global("out").expect("out") {
+        Value::F(v) => v,
+        _ => unreachable!(),
+    };
+    let bin = Compiler::new(OptLevel::Verified)
+        .compile(&prog, "step")
+        .expect("compiles");
+    let mut sim = Simulator::new(bin);
+    sim.run(1_000_000).expect("runs");
+    (expect, sim.global_f64("out", 0).expect("out"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn integer_folding_matches_interpreter(e in int_expr()) {
+        let (expect, got) = run_both_i(e);
+        prop_assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn float_folding_matches_interpreter_bitwise(e in float_expr()) {
+        let (expect, got) = run_both_f(e);
+        prop_assert_eq!(expect.to_bits(), got.to_bits());
+    }
+
+    #[test]
+    fn conversion_roundtrips_match(v in any::<f64>()) {
+        // out = (int) v — saturating truncation corner cases
+        let e = Expr::unop(Unop::F2I, Expr::FloatLit(v));
+        let (expect, got) = run_both_i(e);
+        prop_assert_eq!(expect, got);
+    }
+}
+
+#[test]
+fn folder_handles_known_corner_cases() {
+    for (e, want) in [
+        (
+            Expr::binop(Binop::DivI, Expr::IntLit(i32::MIN), Expr::IntLit(-1)),
+            i32::MIN,
+        ),
+        (
+            Expr::binop(Binop::DivI, Expr::IntLit(17), Expr::IntLit(0)),
+            0,
+        ),
+        (
+            Expr::binop(Binop::AddI, Expr::IntLit(i32::MAX), Expr::IntLit(1)),
+            i32::MIN,
+        ),
+        (Expr::unop(Unop::NegI, Expr::IntLit(i32::MIN)), i32::MIN),
+        (Expr::unop(Unop::F2I, Expr::FloatLit(f64::NAN)), i32::MIN),
+        (Expr::unop(Unop::F2I, Expr::FloatLit(1e300)), i32::MAX),
+    ] {
+        let (expect, got) = run_both_i(e);
+        assert_eq!(expect, want);
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,151 @@
+//! Linker-level properties: layout, fall-through elision, call patching,
+//! data-section initialization and float-branch direction preservation.
+
+use vericomp_core::{Compiler, OptLevel};
+use vericomp_mach::Simulator;
+use vericomp_minic::parse;
+
+fn compile(src: &str, level: OptLevel) -> vericomp_arch::Program {
+    let prog = parse::parse(src).expect("parses");
+    Compiler::new(level)
+        .compile(&prog, "step")
+        .expect("compiles")
+}
+
+#[test]
+fn functions_laid_out_contiguously() {
+    let src = r#"
+        double y;
+        double helper(double v) {
+            return (v * 2.0);
+        }
+        void step() {
+            y = helper(y);
+        }
+    "#;
+    let bin = compile(src, OptLevel::Verified);
+    let mut fns = bin.functions.clone();
+    fns.sort_by_key(|f| f.entry);
+    assert_eq!(fns.len(), 2);
+    // contiguous, no gaps or overlaps
+    assert_eq!(fns[0].entry, bin.config.text_base);
+    assert_eq!(fns[0].entry + 4 * fns[0].len_words, fns[1].entry);
+    assert_eq!(
+        fns[1].entry + 4 * fns[1].len_words,
+        bin.config.text_base + bin.text_size()
+    );
+    // the entry symbol is the requested one
+    assert_eq!(bin.entry, bin.function("step").expect("symbol").entry);
+}
+
+#[test]
+fn call_targets_patched_to_function_entries() {
+    let src = r#"
+        double y;
+        double h(double v) { return (v + 1.0); }
+        void step() { y = h(h(y)); }
+    "#;
+    let bin = compile(src, OptLevel::Verified);
+    let h_entry = bin.function("h").expect("symbol").entry;
+    let calls: Vec<u32> = bin
+        .code
+        .iter()
+        .filter_map(|i| match i {
+            vericomp_arch::Inst::Bl { target } => Some(*target),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(calls, vec![h_entry, h_entry]);
+}
+
+#[test]
+fn unknown_entry_is_a_link_error() {
+    let prog = parse::parse("double x; void step() { x = 1.0; }").expect("parses");
+    let err = Compiler::new(OptLevel::Verified)
+        .compile(&prog, "nonexistent")
+        .unwrap_err();
+    assert!(matches!(err, vericomp_core::CompileError::Link(_)), "{err}");
+}
+
+#[test]
+fn initialized_data_lands_in_memory() {
+    let src = r#"
+        double k = 2.5;
+        int n = -7;
+        bool armed = true;
+        double tab[3] = {1.0, -2.0, 3.0};
+        double y;
+        void step() { y = (k * tab[1]); }
+    "#;
+    let bin = compile(src, OptLevel::PatternO0);
+    let mut sim = Simulator::new(bin);
+    assert_eq!(sim.global_f64("k", 0).expect("k"), 2.5);
+    assert_eq!(sim.global_i32("n", 0).expect("n"), -7);
+    assert_eq!(sim.global_i32("armed", 0).expect("armed"), 1);
+    assert_eq!(sim.global_f64("tab", 2).expect("tab"), 3.0);
+    sim.run(100_000).expect("runs");
+    assert_eq!(sim.global_f64("y", 0).expect("y"), -5.0);
+}
+
+#[test]
+fn nan_branches_take_the_else_arm_under_all_layouts() {
+    // !(x < 1.0) is not (x >= 1.0) for NaN: the linker must never invert a
+    // float condition while choosing the fall-through arm.
+    let src = r#"
+        double x;
+        double y;
+        void step() {
+            if (x < 1.0) {
+                y = 1.0;
+            } else {
+                y = 2.0;
+            }
+        }
+    "#;
+    for level in [OptLevel::PatternO0, OptLevel::Verified, OptLevel::OptFull] {
+        let bin = compile(src, level);
+        let mut sim = Simulator::new(bin);
+        sim.set_global_f64("x", 0, f64::NAN).expect("x");
+        sim.run(100_000).expect("runs");
+        assert_eq!(
+            sim.global_f64("y", 0).expect("y"),
+            2.0,
+            "{level}: NaN must not compare less"
+        );
+        sim.set_global_f64("x", 0, 0.5).expect("x");
+        sim.run(100_000).expect("runs");
+        assert_eq!(sim.global_f64("y", 0).expect("y"), 1.0, "{level}");
+    }
+}
+
+#[test]
+fn const_pool_is_addressable_and_deduplicated() {
+    let src = r#"
+        double a;
+        double b;
+        void step() {
+            a = (a + 1.5);
+            b = (b + 1.5);
+            a = (a * -0.0);
+        }
+    "#;
+    let bin = compile(src, OptLevel::Verified);
+    // pool holds 1.5 and -0.0 (bitwise distinct from 0.0), deduplicated
+    let pool_values: Vec<u64> = bin
+        .data
+        .iter()
+        .filter(|(addr, _)| **addr >= bin.const_pool_base)
+        .map(|(_, v)| match v {
+            vericomp_arch::program::DataValue::F64(x) => x.to_bits(),
+            vericomp_arch::program::DataValue::I32(_) => panic!("pool holds doubles"),
+        })
+        .collect();
+    assert!(pool_values.contains(&1.5f64.to_bits()));
+    assert!(pool_values.contains(&(-0.0f64).to_bits()));
+    let unique: std::collections::BTreeSet<u64> = pool_values.iter().copied().collect();
+    assert_eq!(
+        unique.len(),
+        pool_values.len(),
+        "pool entries are deduplicated"
+    );
+}

@@ -1,0 +1,300 @@
+//! End-to-end pipeline tests: MiniC source → compile at every level →
+//! simulate, differentially checked against the reference interpreter.
+
+use vericomp_core::{Compiler, OptLevel};
+use vericomp_mach::{AnnotValue, Simulator};
+use vericomp_minic::ast::*;
+use vericomp_minic::interp::{Interp, Value};
+
+fn gf(name: &str) -> Global {
+    Global {
+        name: name.into(),
+        def: GlobalDef::ScalarF64(None),
+    }
+}
+
+fn gi(name: &str) -> Global {
+    Global {
+        name: name.into(),
+        def: GlobalDef::ScalarI32(None),
+    }
+}
+
+/// A small but representative node: arithmetic, comparison diamond, loop
+/// over a lookup table, annotation, I/O.
+fn sample_program() -> Program {
+    Program {
+        globals: vec![
+            gf("in1"),
+            gf("state"),
+            gf("out"),
+            gi("count"),
+            Global {
+                name: "tab".into(),
+                def: GlobalDef::ArrayF64(vec![0.5, 1.5, 2.5, 3.5]),
+            },
+        ],
+        functions: vec![Function {
+            name: "step".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![
+                ("x".into(), Ty::F64),
+                ("acc".into(), Ty::F64),
+                ("i".into(), Ty::I32),
+            ],
+            body: vec![
+                Stmt::Assign(
+                    "x".into(),
+                    Expr::binop(Binop::MulF, Expr::IoRead(0), Expr::FloatLit(0.25)),
+                ),
+                Stmt::Annot("input %1".into(), vec![Expr::var("x")]),
+                // saturation
+                Stmt::If(
+                    Expr::binop(Binop::CmpF(Cmp::Gt), Expr::var("x"), Expr::FloatLit(10.0)),
+                    vec![Stmt::Assign("x".into(), Expr::FloatLit(10.0))],
+                    vec![],
+                ),
+                // table sum loop
+                Stmt::While(
+                    Expr::binop(Binop::CmpI(Cmp::Lt), Expr::var("i"), Expr::IntLit(4)),
+                    vec![
+                        Stmt::Assign(
+                            "acc".into(),
+                            Expr::binop(
+                                Binop::AddF,
+                                Expr::var("acc"),
+                                Expr::Index("tab".into(), Box::new(Expr::var("i"))),
+                            ),
+                        ),
+                        Stmt::Assign(
+                            "i".into(),
+                            Expr::binop(Binop::AddI, Expr::var("i"), Expr::IntLit(1)),
+                        ),
+                    ],
+                ),
+                // first-order filter on the state
+                Stmt::Assign(
+                    "state".into(),
+                    Expr::binop(
+                        Binop::AddF,
+                        Expr::var("state"),
+                        Expr::binop(
+                            Binop::MulF,
+                            Expr::FloatLit(0.125),
+                            Expr::binop(Binop::SubF, Expr::var("x"), Expr::var("state")),
+                        ),
+                    ),
+                ),
+                Stmt::Assign(
+                    "out".into(),
+                    Expr::binop(
+                        Binop::AddF,
+                        Expr::binop(Binop::MulF, Expr::var("state"), Expr::var("in1")),
+                        Expr::var("acc"),
+                    ),
+                ),
+                Stmt::Assign(
+                    "count".into(),
+                    Expr::binop(Binop::AddI, Expr::var("count"), Expr::IntLit(1)),
+                ),
+                Stmt::Annot(
+                    "out %1 count %2".into(),
+                    vec![Expr::var("out"), Expr::var("count")],
+                ),
+                Stmt::IoWrite(1, Expr::var("out")),
+            ],
+        }],
+    }
+}
+
+fn value_of(v: AnnotValue) -> Value {
+    match v {
+        AnnotValue::I32(i) => Value::I(i),
+        AnnotValue::F64(f) => Value::F(f),
+    }
+}
+
+fn run_both(level: OptLevel, input: f64, in1: f64) {
+    let prog = sample_program();
+
+    // reference
+    let mut interp = Interp::new(&prog);
+    interp.set_io(0, input);
+    interp.set_global("in1", Value::F(in1)).unwrap();
+    interp.call("step", &[]).unwrap();
+    let ref_out = interp.global("out").unwrap();
+    let ref_state = interp.global("state").unwrap();
+    let ref_count = interp.global("count").unwrap();
+    let ref_io = interp.io(1);
+    let ref_trace = interp.take_trace();
+
+    // machine
+    let binary = Compiler::new(level).compile(&prog, "step").unwrap();
+    let mut sim = Simulator::new(binary);
+    sim.set_io_f64(0, input);
+    sim.set_global_f64("in1", 0, in1).unwrap();
+    let outcome = sim.run(100_000).unwrap();
+
+    assert_eq!(
+        Value::F(sim.global_f64("out", 0).unwrap()),
+        ref_out,
+        "out mismatch at {level}"
+    );
+    assert_eq!(
+        Value::F(sim.global_f64("state", 0).unwrap()),
+        ref_state,
+        "state mismatch at {level}"
+    );
+    assert_eq!(
+        Value::I(sim.global_i32("count", 0).unwrap()),
+        ref_count,
+        "count mismatch at {level}"
+    );
+    assert_eq!(
+        sim.io_f64(1).to_bits(),
+        ref_io.to_bits(),
+        "io mismatch at {level}"
+    );
+
+    // annotation traces agree: same events, same order, same values
+    assert_eq!(
+        outcome.annotations.len(),
+        ref_trace.len(),
+        "trace length at {level}"
+    );
+    for (m, r) in outcome.annotations.iter().zip(&ref_trace) {
+        assert_eq!(m.format, r.format, "trace format at {level}");
+        let mvals: Vec<Value> = m.values.iter().map(|&v| value_of(v)).collect();
+        assert_eq!(mvals, r.values, "trace values at {level}");
+    }
+}
+
+#[test]
+fn pattern_o0_end_to_end() {
+    run_both(OptLevel::PatternO0, 8.0, 2.0);
+}
+
+#[test]
+fn opt_no_regalloc_end_to_end() {
+    run_both(OptLevel::OptNoRegalloc, 8.0, 2.0);
+}
+
+#[test]
+fn verified_end_to_end() {
+    run_both(OptLevel::Verified, 8.0, 2.0);
+}
+
+#[test]
+fn opt_full_end_to_end() {
+    run_both(OptLevel::OptFull, 8.0, 2.0);
+}
+
+#[test]
+fn saturation_branch_both_ways() {
+    for level in OptLevel::all() {
+        run_both(level, 100.0, -1.5); // saturates
+        run_both(level, 0.0, 0.0); // zero path
+        run_both(level, -3.0, 7.25);
+    }
+}
+
+#[test]
+fn verified_is_smaller_and_quieter_on_cache_than_o0() {
+    let prog = sample_program();
+    let o0 = Compiler::new(OptLevel::PatternO0)
+        .compile(&prog, "step")
+        .unwrap();
+    let vr = Compiler::new(OptLevel::Verified)
+        .compile(&prog, "step")
+        .unwrap();
+    assert!(
+        vr.text_size() < o0.text_size(),
+        "verified {} vs O0 {}",
+        vr.text_size(),
+        o0.text_size()
+    );
+
+    let run = |p: vericomp_arch::Program| {
+        let mut sim = Simulator::new(p);
+        sim.set_io_f64(0, 4.0);
+        sim.set_global_f64("in1", 0, 1.0).unwrap();
+        sim.run(100_000).unwrap().stats
+    };
+    let s0 = run(o0);
+    let sv = run(vr);
+    assert!(
+        sv.dcache_reads < s0.dcache_reads / 2,
+        "verified reads {} vs O0 reads {}",
+        sv.dcache_reads,
+        s0.dcache_reads
+    );
+    assert!(
+        sv.dcache_writes < s0.dcache_writes,
+        "verified writes {} vs O0 writes {}",
+        sv.dcache_writes,
+        s0.dcache_writes
+    );
+    assert!(
+        sv.cycles < s0.cycles,
+        "verified {} vs O0 {} cycles",
+        sv.cycles,
+        s0.cycles
+    );
+}
+
+#[test]
+fn function_calls_work_across_levels() {
+    // helper with parameters and return value, called twice
+    let helper = Function {
+        name: "scale".into(),
+        params: vec![("v".into(), Ty::F64), ("k".into(), Ty::F64)],
+        ret: Some(Ty::F64),
+        locals: vec![],
+        body: vec![Stmt::Return(Some(Expr::binop(
+            Binop::MulF,
+            Expr::var("v"),
+            Expr::var("k"),
+        )))],
+    };
+    let main = Function {
+        name: "step".into(),
+        params: vec![],
+        ret: None,
+        locals: vec![("a".into(), Ty::F64)],
+        body: vec![
+            Stmt::Assign(
+                "a".into(),
+                Expr::Call("scale".into(), vec![Expr::var("x"), Expr::FloatLit(3.0)]),
+            ),
+            Stmt::Assign(
+                "y".into(),
+                Expr::binop(
+                    Binop::AddF,
+                    Expr::Call("scale".into(), vec![Expr::var("a"), Expr::FloatLit(0.5)]),
+                    Expr::var("a"),
+                ),
+            ),
+        ],
+    };
+    let prog = Program {
+        globals: vec![gf("x"), gf("y")],
+        functions: vec![main, helper],
+    };
+    for level in OptLevel::all() {
+        let mut interp = Interp::new(&prog);
+        interp.set_global("x", Value::F(7.0)).unwrap();
+        interp.call("step", &[]).unwrap();
+        let expect = interp.global("y").unwrap();
+
+        let binary = Compiler::new(level).compile(&prog, "step").unwrap();
+        let mut sim = Simulator::new(binary);
+        sim.set_global_f64("x", 0, 7.0).unwrap();
+        sim.run(100_000).unwrap();
+        assert_eq!(
+            Value::F(sim.global_f64("y", 0).unwrap()),
+            expect,
+            "at {level}"
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Multi-node applications: the cyclic executive.
+//!
+//! The paper's flight software is not one node but a large set of them,
+//! executed every scheduling cycle. An [`Application`] links several nodes
+//! into a single image: each node gets its own `<name>_step` function and a
+//! generated `step` entry calls them in order — which also makes the
+//! generated code exercise *function calls* (prologues, LR save, callee
+//! WCET composition).
+//!
+//! Inter-node signals need no extra machinery: a node's
+//! [`Symbol::Output`](crate::symbol::Symbol::Output) writes a named global
+//! that another node can consume with
+//! [`Symbol::GlobalInput`](crate::symbol::Symbol::GlobalInput) — the shared
+//! global *is* the wire, evaluated in application order like SCADE's
+//! node-level dataflow.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vericomp_minic::ast::{Function, Global, Program, Stmt};
+
+use crate::node::Node;
+
+/// Errors raised when assembling an application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApplicationError {
+    /// Two nodes share a name.
+    DuplicateNode(String),
+    /// Two nodes declare the same global with different definitions
+    /// (different type or different initializer).
+    GlobalConflict {
+        /// The conflicting global.
+        name: String,
+    },
+}
+
+impl fmt::Display for ApplicationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplicationError::DuplicateNode(n) => write!(f, "duplicate node `{n}`"),
+            ApplicationError::GlobalConflict { name } => {
+                write!(f, "global `{name}` declared incompatibly by two nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplicationError {}
+
+/// A set of nodes executed once per scheduling cycle.
+#[derive(Debug, Clone)]
+pub struct Application {
+    name: String,
+    nodes: Vec<Node>,
+}
+
+impl Application {
+    /// Assembles an application, validating node-name uniqueness.
+    ///
+    /// # Errors
+    ///
+    /// [`ApplicationError::DuplicateNode`].
+    pub fn new(name: impl Into<String>, nodes: Vec<Node>) -> Result<Application, ApplicationError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for n in &nodes {
+            if !seen.insert(n.name().to_owned()) {
+                return Err(ApplicationError::DuplicateNode(n.name().to_owned()));
+            }
+        }
+        Ok(Application {
+            name: name.into(),
+            nodes,
+        })
+    }
+
+    /// The application name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The nodes, in execution order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The entry function the compiler should be pointed at.
+    pub fn step_name(&self) -> &'static str {
+        "step"
+    }
+
+    /// The per-node step-function name within the application image.
+    pub fn node_step_name(node: &Node) -> String {
+        format!("{}_step", node.name())
+    }
+
+    /// Generates the application's MiniC translation unit: one function per
+    /// node plus the cyclic-executive `step`.
+    ///
+    /// # Errors
+    ///
+    /// [`ApplicationError::GlobalConflict`] when two nodes declare the same
+    /// global incompatibly (sharing *identical* declarations is the
+    /// inter-node wiring mechanism and is fine).
+    pub fn to_minic(&self) -> Result<Program, ApplicationError> {
+        let mut globals: BTreeMap<String, Global> = BTreeMap::new();
+        let mut ordered_globals: Vec<String> = Vec::new();
+        let mut functions = Vec::with_capacity(self.nodes.len() + 1);
+        let mut calls = Vec::with_capacity(self.nodes.len());
+
+        for node in &self.nodes {
+            let fname = Self::node_step_name(node);
+            let unit = node.to_minic_named(&fname);
+            for g in unit.globals {
+                match globals.get(&g.name) {
+                    None => {
+                        ordered_globals.push(g.name.clone());
+                        globals.insert(g.name.clone(), g);
+                    }
+                    Some(existing) if existing.def == g.def => {}
+                    Some(_) => {
+                        return Err(ApplicationError::GlobalConflict { name: g.name });
+                    }
+                }
+            }
+            functions.extend(unit.functions);
+            calls.push(Stmt::CallStmt(fname, vec![]));
+        }
+
+        functions.push(Function {
+            name: self.step_name().into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: calls,
+        });
+
+        Ok(Program {
+            globals: ordered_globals
+                .into_iter()
+                .map(|n| globals.remove(&n).expect("tracked"))
+                .collect(),
+            functions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeBuilder;
+    use vericomp_minic::interp::{Interp, Value};
+
+    fn producer() -> Node {
+        let mut b = NodeBuilder::new("producer");
+        let x = b.acquisition(0);
+        let f = b.first_order_filter(x, 0.5);
+        b.output("shared_signal", f);
+        b.build().expect("valid")
+    }
+
+    fn consumer() -> Node {
+        let mut b = NodeBuilder::new("consumer");
+        let x = b.global_input("shared_signal");
+        let g = b.gain(x, 3.0);
+        b.output("consumer_out", g);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn nodes_wire_through_shared_globals() {
+        let app = Application::new("app", vec![producer(), consumer()]).unwrap();
+        let p = app.to_minic().unwrap();
+        vericomp_minic::typeck::check(&p).unwrap();
+        assert_eq!(p.functions.len(), 3);
+        let mut it = Interp::new(&p);
+        it.set_io(0, 4.0);
+        it.call("step", &[]).unwrap();
+        // producer: filter 0 + 0.5*(4-0) = 2; consumer: 2*3 = 6
+        assert_eq!(it.global("consumer_out").unwrap(), Value::F(6.0));
+    }
+
+    #[test]
+    fn execution_order_is_declaration_order() {
+        // consumer before producer sees the previous cycle's value
+        let app = Application::new("app", vec![consumer(), producer()]).unwrap();
+        let p = app.to_minic().unwrap();
+        let mut it = Interp::new(&p);
+        it.set_io(0, 4.0);
+        it.call("step", &[]).unwrap();
+        assert_eq!(it.global("consumer_out").unwrap(), Value::F(0.0));
+        it.call("step", &[]).unwrap();
+        assert_eq!(it.global("consumer_out").unwrap(), Value::F(6.0));
+    }
+
+    #[test]
+    fn duplicate_node_names_rejected() {
+        let err = Application::new("app", vec![producer(), producer()]).unwrap_err();
+        assert_eq!(err, ApplicationError::DuplicateNode("producer".into()));
+    }
+
+    #[test]
+    fn conflicting_globals_rejected() {
+        // one node outputs a bool, the other a double, under the same name
+        let mut b = NodeBuilder::new("a");
+        let x = b.global_input("sig");
+        let c = b.cmp_const(x, vericomp_minic::ast::Cmp::Gt, 0.0);
+        b.output_b("clash", c);
+        let a = b.build().unwrap();
+        let mut b2 = NodeBuilder::new("b");
+        let y = b2.global_input("sig");
+        b2.output("clash", y);
+        let bb = b2.build().unwrap();
+        let app = Application::new("app", vec![a, bb]).unwrap();
+        assert!(matches!(
+            app.to_minic(),
+            Err(ApplicationError::GlobalConflict { .. })
+        ));
+    }
+}

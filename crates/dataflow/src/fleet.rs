@@ -1,0 +1,459 @@
+//! Workloads: the named node suite of the Figure 2 reproduction and a
+//! seeded random fleet generator for the Table 1 statistics.
+//!
+//! The named suite mirrors the paper's observations: most nodes are pure
+//! dataflow (filters, gains, saturations — these benefit most from register
+//! allocation), a few are logic-heavy, and some are dominated by hardware
+//! signal acquisitions, whose fixed long latency is *not* improved by code
+//! optimization — the paper's explanation for the non-uniform WCET gains in
+//! Figure 2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vericomp_minic::ast::Cmp;
+
+use crate::node::{FWire, Node, NodeBuilder};
+
+/// Builds the named evaluation suite (26 nodes).
+pub fn named_suite() -> Vec<Node> {
+    vec![
+        pitch_law("pitch_normal_law", 4, 3, 1),
+        pitch_law("roll_normal_law", 3, 3, 1),
+        pitch_law("yaw_damper", 2, 2, 1),
+        pitch_law("pitch_alt_law", 3, 2, 1),
+        pitch_law("direct_law_el", 2, 1, 1),
+        pitch_law("direct_law_ail", 2, 1, 1),
+        filter_bank("accel_filter_x", 5),
+        filter_bank("accel_filter_y", 5),
+        filter_bank("accel_filter_z", 6),
+        filter_bank("gyro_filter_p", 4),
+        filter_bank("gyro_filter_q", 4),
+        protection("aoa_protection"),
+        protection("overspeed_protection"),
+        protection("bank_angle_protection"),
+        logic_node("gear_logic"),
+        logic_node("flap_interlock"),
+        mode_voter("lateral_mode_voter"),
+        acquisition_node("airdata_acquisition", 6),
+        acquisition_node("ir_acquisition", 4),
+        acquisition_node("radio_alt_monitor", 3),
+        envelope_node("envelope_schedule"),
+        envelope_node("gain_schedule"),
+        trim_node("pitch_trim"),
+        trim_node("rudder_trim"),
+        stall_warning("stall_warning"),
+        stall_warning("windshear_warning"),
+    ]
+}
+
+/// A warning channel built on the confirmation symbols: band-pass the
+/// signal, remove jitter with a deadband, confirm exceedance over several
+/// cycles, and latch the alarm until an explicit reset discrete.
+fn stall_warning(name: &str) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let aoa = b.acquisition(0);
+    let shaped = b.second_order_filter(aoa, 0.4, 0.2, -0.35);
+    let centered = b.deadband(shaped, 0.75);
+    let exceeded = b.cmp_const(centered, Cmp::Gt, 6.0);
+    let confirmed = b.debounce(exceeded, 3);
+    let reset_in = b.global_input(format!("{name}_reset"));
+    let reset = b.cmp_const(reset_in, Cmp::Gt, 0.5);
+    let alarm = b.sr_latch(confirmed, reset);
+    b.output_b(format!("{name}_alarm"), alarm);
+    let zero = b.constant(0.0);
+    let one = b.constant(1.0);
+    let indicator = b.switch_if(alarm, one, zero);
+    b.actuator(11, indicator);
+    b.build().expect("suite nodes are well-formed")
+}
+
+/// A classic inner-loop control law: acquisitions, filtered errors, PID,
+/// scheduling gain, rate/authority limits, actuator command.
+fn pitch_law(name: &str, n_filters: usize, n_gains: usize, acqs: u32) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let cmd = b.global_input(format!("{name}_cmd"));
+    let mut meas = b.acquisition(0);
+    for port in 1..acqs {
+        let m2 = b.acquisition(port);
+        let s = b.sum(meas, m2);
+        meas = b.gain(s, 1.0 / f64::from(port + 1));
+    }
+    let mut x = b.sub(cmd, meas);
+    for i in 0..n_filters {
+        x = b.first_order_filter(x, 0.2 + 0.1 * i as f64);
+    }
+    let mut u = b.pid(x, 2.0, 0.25, 0.5);
+    for i in 0..n_gains {
+        u = b.gain(u, 1.1 - 0.05 * i as f64);
+    }
+    let lim = b.rate_limiter(u, 0.5);
+    let sat = b.saturation(lim, -30.0, 30.0);
+    b.output(format!("{name}_surface"), sat);
+    b.actuator(8, sat);
+    b.build().expect("suite nodes are well-formed")
+}
+
+/// A chain of filters with mixing — pure dataflow, no control flow.
+fn filter_bank(name: &str, depth: usize) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let raw = b.global_input(format!("{name}_raw"));
+    let mut x = raw;
+    let mut taps: Vec<FWire> = Vec::new();
+    for i in 0..depth {
+        x = b.first_order_filter(x, 0.05 + 0.07 * i as f64);
+        taps.push(x);
+    }
+    // weighted recombination of the taps
+    let mut acc = b.gain(taps[0], 0.5);
+    for (i, &tap) in taps.iter().enumerate().skip(1) {
+        let w = b.gain(tap, 0.5 / (i as f64 + 1.0));
+        acc = b.sum(acc, w);
+    }
+    let d = b.delay(acc);
+    let blend = b.sum(acc, d);
+    let out = b.gain(blend, 0.5);
+    b.output(format!("{name}_out"), out);
+    b.build().expect("suite nodes are well-formed")
+}
+
+/// An envelope-protection node: comparators, hysteresis, switched authority.
+fn protection(name: &str) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let v = b.acquisition(0);
+    let vf = b.first_order_filter(v, 0.3);
+    let high = b.hysteresis(vf, 18.0, 22.0);
+    let extreme = b.cmp_const(vf, Cmp::Gt, 28.0);
+    let active = b.or(high, extreme);
+    let cmd = b.global_input(format!("{name}_cmd"));
+    let authority = b.gain(cmd, 0.3);
+    let limited = b.saturation(authority, -5.0, 5.0);
+    let out = b.switch_if(active, limited, cmd);
+    let arm = b.not(extreme);
+    b.output_b(format!("{name}_armed"), arm);
+    b.output_b(format!("{name}_active"), active);
+    b.output(format!("{name}_out"), out);
+    b.build().expect("suite nodes are well-formed")
+}
+
+/// Boolean-heavy interlock logic.
+fn logic_node(name: &str) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let w1 = b.global_input(format!("{name}_w1"));
+    let w2 = b.global_input(format!("{name}_w2"));
+    let w3 = b.global_input(format!("{name}_w3"));
+    let c1 = b.cmp_const(w1, Cmp::Gt, 0.5);
+    let c2 = b.cmp_const(w2, Cmp::Gt, 0.5);
+    let c3 = b.cmp_const(w3, Cmp::Lt, 120.0);
+    let two_of_three_a = b.and(c1, c2);
+    let n1 = b.not(c1);
+    let guard = b.and(n1, c3);
+    let vote = b.or(two_of_three_a, guard);
+    let latch = b.xor(vote, c3);
+    let ok = b.and(vote, c3);
+    b.output_b(format!("{name}_cmd"), ok);
+    b.output_b(format!("{name}_warn"), latch);
+    b.build().expect("suite nodes are well-formed")
+}
+
+/// Triplex voter: median of three sources by min/max composition.
+fn mode_voter(name: &str) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let a = b.acquisition(0);
+    let c = b.acquisition(1);
+    let d = b.acquisition(2);
+    let hi1 = b.max(a, c);
+    let lo1 = b.min(a, c);
+    let hi2 = b.min(hi1, d);
+    let median = b.max(lo1, hi2);
+    let f = b.first_order_filter(median, 0.5);
+    b.output(format!("{name}_value"), f);
+    b.build().expect("suite nodes are well-formed")
+}
+
+/// Acquisition-dominated monitor: many I/O reads, light processing — the
+/// Figure 2 nodes whose WCET barely improves under optimization.
+fn acquisition_node(name: &str, ports: u32) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let mut acc = b.acquisition(0);
+    for p in 1..ports {
+        let v = b.acquisition(p);
+        acc = b.sum(acc, v);
+    }
+    let avg = b.gain(acc, 1.0 / f64::from(ports));
+    let ok = b.cmp_const(avg, Cmp::Lt, 1000.0);
+    b.output(format!("{name}_avg"), avg);
+    b.output_b(format!("{name}_valid"), ok);
+    b.actuator(9, avg);
+    b.build().expect("suite nodes are well-formed")
+}
+
+/// Gain scheduling through interpolation tables, including the annotated
+/// breakpoint search (the §3.4 experiment lives here).
+fn envelope_node(name: &str) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let mach = b.global_input(format!("{name}_mach"));
+    let alt = b.global_input(format!("{name}_alt"));
+    let k1 = b.lookup1d(
+        mach,
+        vec![1.0, 0.95, 0.85, 0.7, 0.6, 0.55, 0.5, 0.48],
+        0.0,
+        0.125,
+    );
+    let k2 = b.lookup_search(
+        alt,
+        vec![0.0, 1500.0, 5000.0, 12000.0, 25000.0, 41000.0],
+        vec![1.0, 0.98, 0.9, 0.75, 0.6, 0.5],
+    );
+    let k = b.mul(k1, k2);
+    let cmd = b.global_input(format!("{name}_cmd"));
+    let scheduled = b.mul(cmd, k);
+    let sat = b.saturation(scheduled, -25.0, 25.0);
+    b.output(format!("{name}_out"), sat);
+    b.build().expect("suite nodes are well-formed")
+}
+
+/// Slow trim integrator with authority logic.
+fn trim_node(name: &str) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let err = b.global_input(format!("{name}_err"));
+    let dead = b.abs(err);
+    let active = b.cmp_const(dead, Cmp::Gt, 0.25);
+    let rate = b.saturation(err, -1.0, 1.0);
+    let slow = b.gain(rate, 0.05);
+    let zero = b.constant(0.0);
+    let drive = b.switch_if(active, slow, zero);
+    let pos = b.integrator(drive, 0.02, -12.0, 12.0);
+    b.output(format!("{name}_pos"), pos);
+    b.actuator(10, pos);
+    b.build().expect("suite nodes are well-formed")
+}
+
+/// Configuration of the random fleet generator.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Minimum symbols per node.
+    pub min_symbols: usize,
+    /// Maximum symbols per node.
+    pub max_symbols: usize,
+    /// RNG seed (the fleet is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            nodes: 100,
+            min_symbols: 20,
+            max_symbols: 80,
+            seed: 0xF11C,
+        }
+    }
+}
+
+/// Generates a deterministic random fleet with a symbol census modeled on
+/// flight-control laws (dominated by gains/sums/filters).
+pub fn random_fleet(cfg: &FleetConfig) -> Vec<Node> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.nodes)
+        .map(|i| random_node(&format!("node{i:03}"), &mut rng, cfg))
+        .collect()
+}
+
+fn random_node(name: &str, rng: &mut StdRng, cfg: &FleetConfig) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let target = rng.gen_range(cfg.min_symbols..=cfg.max_symbols);
+    let mut fw: Vec<FWire> = Vec::new();
+    let mut bw = Vec::new();
+
+    // sources
+    let n_inputs = rng.gen_range(1..=3);
+    for k in 0..n_inputs {
+        fw.push(b.global_input(format!("{name}_in{k}")));
+    }
+    if rng.gen_bool(0.4) {
+        fw.push(b.acquisition(rng.gen_range(0..4)));
+    }
+
+    let mut count = fw.len();
+    while count < target {
+        let pick = |rng: &mut StdRng, v: &Vec<FWire>| v[rng.gen_range(0..v.len())];
+        let roll: f64 = rng.gen();
+        if roll < 0.22 {
+            let x = pick(rng, &fw);
+            fw.push(b.gain(x, rng.gen_range(-3.0..3.0)));
+        } else if roll < 0.40 {
+            let x = pick(rng, &fw);
+            let y = pick(rng, &fw);
+            let w = match rng.gen_range(0..4) {
+                0 => b.sum(x, y),
+                1 => b.sub(x, y),
+                2 => b.mul(x, y),
+                _ => b.min(x, y),
+            };
+            fw.push(w);
+        } else if roll < 0.60 {
+            let x = pick(rng, &fw);
+            fw.push(b.first_order_filter(x, rng.gen_range(0.05..0.6)));
+        } else if roll < 0.70 {
+            let x = pick(rng, &fw);
+            let lo = rng.gen_range(-20.0..-1.0);
+            let hi = rng.gen_range(1.0..20.0);
+            fw.push(b.saturation(x, lo, hi));
+        } else if roll < 0.76 {
+            let x = pick(rng, &fw);
+            fw.push(b.rate_limiter(x, rng.gen_range(0.1..2.0)));
+        } else if roll < 0.82 {
+            let x = pick(rng, &fw);
+            fw.push(b.delay(x));
+        } else if roll < 0.86 {
+            let x = pick(rng, &fw);
+            fw.push(b.pid(
+                x,
+                rng.gen_range(0.5..3.0),
+                rng.gen_range(0.0..0.5),
+                rng.gen_range(0.0..0.5),
+            ));
+        } else if roll < 0.90 {
+            let x = pick(rng, &fw);
+            let n = rng.gen_range(4..9);
+            let table: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            fw.push(b.lookup1d(x, table, -5.0, 10.0 / (n as f64 - 1.0)));
+        } else if roll < 0.92 {
+            let x = pick(rng, &fw);
+            bw.push(b.cmp_const(x, Cmp::Gt, rng.gen_range(-5.0..5.0)));
+        } else if roll < 0.94 {
+            let x = pick(rng, &fw);
+            let w = match rng.gen_range(0..3) {
+                0 => b.deadband(x, rng.gen_range(0.1..2.0)),
+                1 => b.second_order_filter(
+                    x,
+                    rng.gen_range(0.1..0.8),
+                    rng.gen_range(-0.4..0.4),
+                    rng.gen_range(-0.6..0.6),
+                ),
+                _ => b.abs(x),
+            };
+            fw.push(w);
+        } else if roll < 0.95 && !bw.is_empty() {
+            let c = bw[rng.gen_range(0..bw.len())];
+            bw.push(b.debounce(c, rng.gen_range(1..5)));
+        } else if roll < 0.97 && !bw.is_empty() {
+            let c = bw[rng.gen_range(0..bw.len())];
+            let x = pick(rng, &fw);
+            let y = pick(rng, &fw);
+            fw.push(b.switch_if(c, x, y));
+        } else if bw.len() >= 2 {
+            let c1 = bw[rng.gen_range(0..bw.len())];
+            let c2 = bw[rng.gen_range(0..bw.len())];
+            bw.push(match rng.gen_range(0..3) {
+                0 => b.and(c1, c2),
+                1 => b.or(c1, c2),
+                _ => b.xor(c1, c2),
+            });
+        } else {
+            let x = pick(rng, &fw);
+            fw.push(b.abs(x));
+        }
+        count += 1;
+    }
+
+    // sinks: a couple of outputs and maybe an actuator
+    let outs = rng.gen_range(1..=2);
+    for k in 0..outs {
+        let x = fw[fw.len() - 1 - k * 2 % fw.len()];
+        b.output(format!("{name}_out{k}"), x);
+    }
+    if rng.gen_bool(0.3) {
+        let x = fw[fw.len() - 1];
+        b.actuator(rng.gen_range(8..12), x);
+    }
+    if let Some(&c) = bw.last() {
+        b.output_b(format!("{name}_flag"), c);
+    }
+    b.build()
+        .expect("generated nodes are well-formed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vericomp_minic::interp::{Interp, Value};
+
+    #[test]
+    fn named_suite_is_valid_and_diverse() {
+        let suite = named_suite();
+        assert_eq!(suite.len(), 26);
+        for node in &suite {
+            let p = node.to_minic();
+            vericomp_minic::typeck::check(&p).unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+            assert!(node.len() >= 5, "{} too small", node.name());
+        }
+        // acquisition-heavy nodes exist (Figure 2's flat cases)
+        assert!(suite.iter().any(|n| n.name().contains("acquisition")));
+    }
+
+    #[test]
+    fn named_suite_nodes_run() {
+        for node in named_suite() {
+            let p = node.to_minic();
+            let mut it = Interp::new(&p);
+            for _ in 0..3 {
+                it.call("step", &[])
+                    .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn random_fleet_is_deterministic() {
+        let cfg = FleetConfig {
+            nodes: 5,
+            ..FleetConfig::default()
+        };
+        let a = random_fleet(&cfg);
+        let b = random_fleet(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_minic(), y.to_minic());
+        }
+        let c = random_fleet(&FleetConfig { seed: 999, ..cfg });
+        assert_ne!(a[0].to_minic(), c[0].to_minic());
+    }
+
+    #[test]
+    fn random_fleet_typechecks_and_runs() {
+        let cfg = FleetConfig {
+            nodes: 20,
+            min_symbols: 10,
+            max_symbols: 40,
+            ..Default::default()
+        };
+        for node in random_fleet(&cfg) {
+            let p = node.to_minic();
+            vericomp_minic::typeck::check(&p).unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+            let mut it = Interp::new(&p);
+            // set declared inputs to something nonzero
+            for g in &p.globals {
+                if g.name.contains("_in") {
+                    let _ = it.set_global(&g.name, Value::F(1.5));
+                }
+            }
+            it.call("step", &[])
+                .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+        }
+    }
+
+    #[test]
+    fn fleet_sizes_respect_bounds() {
+        let cfg = FleetConfig {
+            nodes: 10,
+            min_symbols: 15,
+            max_symbols: 30,
+            seed: 7,
+        };
+        for n in random_fleet(&cfg) {
+            assert!(n.len() >= 15, "{} has {}", n.name(), n.len());
+        }
+    }
+}

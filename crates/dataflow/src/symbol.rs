@@ -1,0 +1,314 @@
+//! The flight-control symbol library.
+//!
+//! Every symbol consumes typed input wires and produces one output wire
+//! (sinks produce none). `F` wires carry `double` signals, `B` wires carry
+//! booleans. Stateful symbols (filters, delays, integrators, …) own state
+//! globals generated per instance by the code generator.
+
+/// Signal type of a wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigTy {
+    /// A `double` signal.
+    F,
+    /// A boolean signal.
+    B,
+}
+
+/// Comparison predicate of a comparator symbol.
+pub use vericomp_minic::ast::Cmp;
+
+/// A dataflow symbol (one block of the graphical specification).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Symbol {
+    // ---- sources ----
+    /// Hardware signal acquisition from an I/O port (uncached, slow).
+    Acquisition(u32),
+    /// Input read from a named global (set by the scheduler/harness).
+    GlobalInput(String),
+    /// Constant source.
+    Const(f64),
+    /// Constant boolean source.
+    ConstB(bool),
+
+    // ---- arithmetic (F inputs, F output) ----
+    /// `k * x`.
+    Gain(f64),
+    /// `a + b`.
+    Sum2,
+    /// `a - b`.
+    Sub2,
+    /// `a * b`.
+    Mul2,
+    /// `a / b` (IEEE semantics; division by zero yields ±inf).
+    Div2,
+    /// `min(a, b)`.
+    Min2,
+    /// `max(a, b)`.
+    Max2,
+    /// `|x|`.
+    Abs,
+    /// `-x`.
+    Neg,
+    /// Clamp into `[lo, hi]`.
+    Saturation(f64, f64),
+
+    // ---- stateful (F) ----
+    /// First-order low-pass: `y += alpha * (x - y)`.
+    FirstOrderFilter(f64),
+    /// Unit delay: outputs the previous cycle's input (initially 0).
+    Delay1,
+    /// Rate limiter: output follows the input by at most `step` per cycle.
+    RateLimiter(f64),
+    /// Trapezoid-free integrator with saturation: `s = clamp(s + dt*x)`.
+    Integrator {
+        /// Integration step.
+        dt: f64,
+        /// Lower output clamp.
+        lo: f64,
+        /// Upper output clamp.
+        hi: f64,
+    },
+    /// PID controller on the error input: `kp*e + ki*∫e + kd*(e - e_prev)`.
+    Pid {
+        /// Proportional gain.
+        kp: f64,
+        /// Integral gain (per cycle).
+        ki: f64,
+        /// Derivative gain (per cycle).
+        kd: f64,
+    },
+
+    // ---- interpolation tables ----
+    /// Uniform-grid linear interpolation: index computed arithmetically
+    /// (no loop). `y = lerp(table, (x - x0) / dx)`.
+    Lookup1d {
+        /// Sample values at `x0 + k*dx`.
+        table: Vec<f64>,
+        /// Grid origin.
+        x0: f64,
+        /// Grid spacing.
+        dx: f64,
+    },
+    /// Non-uniform breakpoint interpolation with a **data-dependent search
+    /// loop** seeded from the previous cycle's index (a state global). The
+    /// generated code carries a `__builtin_annotation` bounding the start
+    /// index — the paper's §3.4 use case: without the annotation the WCET
+    /// analyzer cannot bound the loop.
+    Lookup1dSearch {
+        /// Breakpoint abscissae (strictly increasing, ≥ 2 entries).
+        breakpoints: Vec<f64>,
+        /// Sample values (same length).
+        values: Vec<f64>,
+    },
+
+    /// First-order IIR section with a zero:
+    /// `y = b0*x + b1*x_prev - a1*y_prev` (two states).
+    SecondOrderFilter {
+        /// Feed-forward coefficient on the current sample.
+        b0: f64,
+        /// Feed-forward coefficient on the previous sample.
+        b1: f64,
+        /// Feedback coefficient on the previous output.
+        a1: f64,
+    },
+    /// Deadband: zero inside `±width`, offset-removed signal outside.
+    Deadband(f64),
+
+    // ---- comparison & logic ----
+    /// Compare the input against a constant: F → B.
+    CmpConst(Cmp, f64),
+    /// Hysteresis (Schmitt trigger): true above `hi`, false below `lo`,
+    /// otherwise the previous output (state).
+    Hysteresis {
+        /// Falling threshold.
+        lo: f64,
+        /// Rising threshold.
+        hi: f64,
+    },
+    /// Confirmation / debounce: true once the input has been true for
+    /// `cycles` consecutive activations (integer counter state).
+    Debounce(u32),
+    /// Set/reset latch (reset priority), boolean state.
+    SrLatch,
+    /// Boolean conjunction.
+    And2,
+    /// Boolean disjunction.
+    Or2,
+    /// Boolean exclusive or.
+    Xor2,
+    /// Boolean negation.
+    Not,
+    /// `cond ? a : b` — inputs `(B, F, F)`, output F.
+    SwitchIf,
+
+    // ---- sinks ----
+    /// Write the signal to a named global output.
+    Output(String),
+    /// Write the boolean signal to a named global output (stored as 0/1).
+    OutputB(String),
+    /// Actuator command: write to an I/O port.
+    Actuator(u32),
+}
+
+impl Symbol {
+    /// Input wire types, in order.
+    pub fn input_types(&self) -> Vec<SigTy> {
+        use SigTy::*;
+        match self {
+            Symbol::Acquisition(_)
+            | Symbol::GlobalInput(_)
+            | Symbol::Const(_)
+            | Symbol::ConstB(_) => vec![],
+            Symbol::Gain(_)
+            | Symbol::Abs
+            | Symbol::Neg
+            | Symbol::Saturation(..)
+            | Symbol::FirstOrderFilter(_)
+            | Symbol::Delay1
+            | Symbol::RateLimiter(_)
+            | Symbol::Integrator { .. }
+            | Symbol::Pid { .. }
+            | Symbol::Lookup1d { .. }
+            | Symbol::Lookup1dSearch { .. }
+            | Symbol::SecondOrderFilter { .. }
+            | Symbol::Deadband(_)
+            | Symbol::CmpConst(..)
+            | Symbol::Hysteresis { .. }
+            | Symbol::Output(_)
+            | Symbol::Actuator(_) => vec![F],
+            Symbol::Sum2
+            | Symbol::Sub2
+            | Symbol::Mul2
+            | Symbol::Div2
+            | Symbol::Min2
+            | Symbol::Max2 => vec![F, F],
+            Symbol::And2 | Symbol::Or2 | Symbol::Xor2 | Symbol::SrLatch => vec![B, B],
+            Symbol::Not | Symbol::OutputB(_) | Symbol::Debounce(_) => vec![B],
+            Symbol::SwitchIf => vec![B, F, F],
+        }
+    }
+
+    /// Output wire type (`None` for sinks).
+    pub fn output_type(&self) -> Option<SigTy> {
+        use SigTy::*;
+        match self {
+            Symbol::Output(_) | Symbol::OutputB(_) | Symbol::Actuator(_) => None,
+            Symbol::ConstB(_)
+            | Symbol::CmpConst(..)
+            | Symbol::Hysteresis { .. }
+            | Symbol::Debounce(_)
+            | Symbol::SrLatch
+            | Symbol::And2
+            | Symbol::Or2
+            | Symbol::Xor2
+            | Symbol::Not => Some(B),
+            _ => Some(F),
+        }
+    }
+
+    /// Whether the output at cycle `t` depends on an input at cycle `t`
+    /// (direct feedthrough). Only non-feedthrough symbols (the unit delay)
+    /// may break dataflow cycles.
+    pub fn is_feedthrough(&self) -> bool {
+        !matches!(self, Symbol::Delay1)
+    }
+
+    /// Whether this symbol owns persistent state across cycles.
+    pub fn is_stateful(&self) -> bool {
+        matches!(
+            self,
+            Symbol::FirstOrderFilter(_)
+                | Symbol::Delay1
+                | Symbol::RateLimiter(_)
+                | Symbol::Integrator { .. }
+                | Symbol::Pid { .. }
+                | Symbol::Lookup1dSearch { .. }
+                | Symbol::Hysteresis { .. }
+                | Symbol::SecondOrderFilter { .. }
+                | Symbol::Debounce(_)
+                | Symbol::SrLatch
+        )
+    }
+
+    /// A short lowercase tag for diagnostics and generated names.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Symbol::Acquisition(_) => "acq",
+            Symbol::GlobalInput(_) => "in",
+            Symbol::Const(_) => "const",
+            Symbol::ConstB(_) => "constb",
+            Symbol::Gain(_) => "gain",
+            Symbol::Sum2 => "sum",
+            Symbol::Sub2 => "sub",
+            Symbol::Mul2 => "mul",
+            Symbol::Div2 => "div",
+            Symbol::Min2 => "min",
+            Symbol::Max2 => "max",
+            Symbol::Abs => "abs",
+            Symbol::Neg => "neg",
+            Symbol::Saturation(..) => "sat",
+            Symbol::FirstOrderFilter(_) => "fof",
+            Symbol::Delay1 => "delay",
+            Symbol::RateLimiter(_) => "rlim",
+            Symbol::Integrator { .. } => "integ",
+            Symbol::Pid { .. } => "pid",
+            Symbol::SecondOrderFilter { .. } => "sof",
+            Symbol::Deadband(_) => "dead",
+            Symbol::Debounce(_) => "debounce",
+            Symbol::SrLatch => "latch",
+            Symbol::Lookup1d { .. } => "lut",
+            Symbol::Lookup1dSearch { .. } => "lutsearch",
+            Symbol::CmpConst(..) => "cmp",
+            Symbol::Hysteresis { .. } => "hyst",
+            Symbol::And2 => "and",
+            Symbol::Or2 => "or",
+            Symbol::Xor2 => "xor",
+            Symbol::Not => "not",
+            Symbol::SwitchIf => "switch",
+            Symbol::Output(_) => "out",
+            Symbol::OutputB(_) => "outb",
+            Symbol::Actuator(_) => "act",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_and_types() {
+        assert_eq!(Symbol::Sum2.input_types(), vec![SigTy::F, SigTy::F]);
+        assert_eq!(
+            Symbol::SwitchIf.input_types(),
+            vec![SigTy::B, SigTy::F, SigTy::F]
+        );
+        assert_eq!(Symbol::Acquisition(0).input_types(), vec![]);
+        assert_eq!(Symbol::CmpConst(Cmp::Gt, 1.0).output_type(), Some(SigTy::B));
+        assert_eq!(Symbol::Output("x".into()).output_type(), None);
+    }
+
+    #[test]
+    fn only_delay_breaks_cycles() {
+        assert!(!Symbol::Delay1.is_feedthrough());
+        assert!(Symbol::FirstOrderFilter(0.5).is_feedthrough());
+        assert!(Symbol::Pid {
+            kp: 1.0,
+            ki: 0.0,
+            kd: 0.0
+        }
+        .is_feedthrough());
+    }
+
+    #[test]
+    fn statefulness() {
+        assert!(Symbol::Delay1.is_stateful());
+        assert!(Symbol::Hysteresis { lo: 0.0, hi: 1.0 }.is_stateful());
+        assert!(!Symbol::Gain(2.0).is_stateful());
+        assert!(Symbol::Lookup1dSearch {
+            breakpoints: vec![0.0, 1.0],
+            values: vec![0.0, 1.0]
+        }
+        .is_stateful());
+    }
+}

@@ -1,0 +1,166 @@
+//! Set-associative LRU cache model.
+//!
+//! Used for both the L1 instruction and data caches. The real MPC755 uses a
+//! pseudo-LRU replacement; we use true LRU in both the simulator and the
+//! WCET analyzer so the must-analysis is sound with respect to the simulator
+//! (documented substitution in `DESIGN.md`).
+
+use vericomp_arch::config::CacheConfig;
+
+/// Hit/miss counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of accesses that hit.
+    pub hits: u64,
+    /// Number of accesses that missed (and allocated).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total number of accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A set-associative cache with true-LRU replacement and write-allocate
+/// behaviour.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: resident line tags, most recently used first.
+    sets: Vec<Vec<u32>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = vec![Vec::with_capacity(config.ways as usize); config.sets() as usize];
+        Cache {
+            config,
+            sets,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses the line containing `addr`: returns `true` on a hit. On a
+    /// miss the line is allocated, evicting the least recently used line of
+    /// its set if the set is full. Both loads and stores use this
+    /// (write-allocate).
+    pub fn access(&mut self, addr: u32) -> bool {
+        let line = self.config.line_of(addr);
+        let set = &mut self.sets[(line % self.config.sets()) as usize];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            let l = set.remove(pos);
+            set.insert(0, l);
+            self.stats.hits += 1;
+            true
+        } else {
+            if set.len() == self.config.ways as usize {
+                set.pop();
+            }
+            set.insert(0, line);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Whether the line containing `addr` is currently resident (no
+    /// side effects).
+    pub fn contains(&self, addr: u32) -> bool {
+        let line = self.config.line_of(addr);
+        self.sets[(line % self.config.sets()) as usize].contains(&line)
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Empties the cache and clears the counters.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 ways, 32-byte lines, 4 sets
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 32,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x11C)); // same 32-byte line
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // three lines mapping to the same set (4 sets * 32 bytes = 128 stride)
+        let a = 0x000;
+        let b = 0x080;
+        let d = 0x100;
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is now MRU, b LRU
+        c.access(d); // evicts b
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        c.access(0x00);
+        c.access(0x20); // next set
+        assert!(c.contains(0x00));
+        assert!(c.contains(0x20));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = tiny();
+        c.access(0x40);
+        c.reset();
+        assert!(!c.contains(0x40));
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn mpc755_geometry_accepts_many_lines() {
+        let mut c = Cache::new(vericomp_arch::MachineConfig::mpc755().dcache);
+        // 8 ways per set: 8 conflicting lines all fit
+        let stride = c.config().sets() * c.config().line_bytes;
+        for i in 0..8 {
+            c.access(i * stride);
+        }
+        for i in 0..8 {
+            assert!(c.contains(i * stride), "way {i} should be resident");
+        }
+        // the ninth evicts the LRU (line 0)
+        c.access(8 * stride);
+        assert!(!c.contains(0));
+    }
+}

@@ -1,0 +1,29 @@
+//! MPC755-like machine model: memory system, L1 caches and a
+//! performance-counting simulator for [`vericomp_arch`] programs.
+//!
+//! The simulator is the *concrete* half of the timing story: it executes the
+//! linked binary with real LRU caches and the shared pipeline timing core of
+//! [`vericomp_arch::timing`], producing
+//!
+//! * the architectural result (global-variable values),
+//! * an **annotation trace** — the ordered observation of every `annot`
+//!   marker with the values read from its arguments' final locations, which
+//!   must equal the source-level trace of the MiniC interpreter (CompCert's
+//!   §3.4 guarantee),
+//! * performance counters: cycles, data-cache reads/writes/misses,
+//!   instruction-cache misses and I/O acquisitions — the quantities of the
+//!   paper's Table 1.
+//!
+//! The WCET analyzer's bound must dominate the cycle count reported here on
+//! every input (tested property).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod mem;
+pub mod sim;
+
+pub use cache::Cache;
+pub use mem::Memory;
+pub use sim::{AnnotEvent, AnnotValue, RunOutcome, RunStats, SimError, Simulator};

@@ -1,0 +1,122 @@
+//! Sparse big-endian byte-addressable memory.
+//!
+//! Backed by 4 KiB pages allocated on first touch; unwritten locations read
+//! as zero (globals are zero-initialized, matching the MiniC semantics).
+
+use std::collections::BTreeMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse memory with big-endian word accessors.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    pages: BTreeMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    fn write_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a big-endian 32-bit word.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v = (v << 8) | u32::from(self.read_u8(addr.wrapping_add(i)));
+        }
+        v
+    }
+
+    /// Writes a big-endian 32-bit word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        for i in 0..4 {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * (3 - i))) as u8);
+        }
+    }
+
+    /// Reads a big-endian IEEE-754 double.
+    pub fn read_f64(&self, addr: u32) -> f64 {
+        let hi = u64::from(self.read_u32(addr));
+        let lo = u64::from(self.read_u32(addr.wrapping_add(4)));
+        f64::from_bits((hi << 32) | lo)
+    }
+
+    /// Writes a big-endian IEEE-754 double.
+    pub fn write_f64(&mut self, addr: u32, value: f64) {
+        let bits = value.to_bits();
+        self.write_u32(addr, (bits >> 32) as u32);
+        self.write_u32(addr.wrapping_add(4), bits as u32);
+    }
+
+    /// Number of pages currently allocated (for tests and diagnostics).
+    pub fn allocated_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = Memory::new();
+        assert_eq!(m.read_u32(0x1234_5678), 0);
+        assert_eq!(m.read_f64(0x1000_0000), 0.0);
+        assert_eq!(m.allocated_pages(), 0);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut m = Memory::new();
+        m.write_u32(0x1000_0000, 0xDEAD_BEEF);
+        assert_eq!(m.read_u32(0x1000_0000), 0xDEAD_BEEF);
+        // big-endian layout
+        assert_eq!(m.read_u32(0x1000_0001) >> 24, 0xAD);
+    }
+
+    #[test]
+    fn double_roundtrip() {
+        let mut m = Memory::new();
+        for v in [0.0, -0.0, 1.5, f64::NEG_INFINITY, f64::MIN_POSITIVE, 1e300] {
+            m.write_f64(0x2000_0008, v);
+            assert_eq!(m.read_f64(0x2000_0008).to_bits(), v.to_bits());
+        }
+        m.write_f64(0x2000_0008, f64::NAN);
+        assert!(m.read_f64(0x2000_0008).is_nan());
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        m.write_u32(0x0000_0FFE, 0xAABB_CCDD); // spans two pages
+        assert_eq!(m.read_u32(0x0000_0FFE), 0xAABB_CCDD);
+        assert_eq!(m.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn distinct_pages_independent() {
+        let mut m = Memory::new();
+        m.write_u32(0x1000, 1);
+        m.write_u32(0x1000 + (1 << 12), 2);
+        assert_eq!(m.read_u32(0x1000), 1);
+        assert_eq!(m.read_u32(0x1000 + (1 << 12)), 2);
+    }
+}

@@ -1,0 +1,1022 @@
+//! The machine simulator: executes a linked [`Program`] with concrete LRU
+//! caches and the shared pipeline timing core, collecting performance
+//! counters and the annotation trace.
+//!
+//! # Startup convention
+//!
+//! A run initializes `r1` to just below `stack_top`, `r2` to the constant
+//! pool base, `r13` to the small-data-area base, and LR to the halt sentinel;
+//! execution stops when control returns to the sentinel. Global variables
+//! (and the I/O region backing store) persist across runs, so workloads can
+//! set inputs, run a node's `step` function, and read back outputs — exactly
+//! like one scheduling cycle of the flight control computer.
+
+use std::fmt;
+
+use vericomp_arch::inst::{Cond, Inst};
+use vericomp_arch::program::{ArgLoc, DataValue, ElemTy, Program};
+use vericomp_arch::reg::{Cr, Fpr, Gpr};
+use vericomp_arch::timing::PipeState;
+
+use crate::cache::Cache;
+use crate::mem::Memory;
+
+/// Sentinel return address: a `blr` to this address halts the run.
+pub const HALT_ADDR: u32 = 0xFFFF_FFF0;
+
+/// Size of the valid window below `stack_top` considered stack memory.
+const STACK_WINDOW: u32 = 0x10_0000;
+/// Size of the valid window above `data_base` considered data memory.
+const DATA_WINDOW: u32 = 0x10_0000;
+
+/// A value observed by an annotation marker or read from a global.
+///
+/// Equality on the `F64` variant is *bitwise*, so traces containing NaNs can
+/// be compared reliably.
+#[derive(Debug, Clone, Copy)]
+pub enum AnnotValue {
+    /// A 32-bit integer (also used for booleans: 0 or 1).
+    I32(i32),
+    /// A 64-bit IEEE double.
+    F64(f64),
+}
+
+impl PartialEq for AnnotValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (AnnotValue::I32(a), AnnotValue::I32(b)) => a == b,
+            (AnnotValue::F64(a), AnnotValue::F64(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for AnnotValue {}
+
+impl fmt::Display for AnnotValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnotValue::I32(v) => v.fmt(f),
+            AnnotValue::F64(v) => v.fmt(f),
+        }
+    }
+}
+
+/// One observed annotation marker: the pro-forma "print" of CompCert's
+/// `__builtin_annotation` semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnnotEvent {
+    /// Marker id (index into the program's annotation table).
+    pub id: u16,
+    /// The annotation's format string.
+    pub format: String,
+    /// The values read from the arguments' final machine locations, in order.
+    pub values: Vec<AnnotValue>,
+}
+
+/// Performance counters of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Instructions executed (annotation markers excluded — they are free).
+    pub instructions: u64,
+    /// Total cycles until the pipeline drained.
+    pub cycles: u64,
+    /// Data-cache read accesses (cache loads; I/O excluded).
+    pub dcache_reads: u64,
+    /// Data-cache write accesses (cache stores; I/O excluded).
+    pub dcache_writes: u64,
+    /// Read accesses that missed.
+    pub dcache_read_misses: u64,
+    /// Write accesses that missed.
+    pub dcache_write_misses: u64,
+    /// Instruction fetches that missed the instruction cache.
+    pub icache_misses: u64,
+    /// Uncached I/O reads (hardware signal acquisitions).
+    pub io_reads: u64,
+    /// Uncached I/O writes (actuator commands).
+    pub io_writes: u64,
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Performance counters.
+    pub stats: RunStats,
+    /// The annotation trace, in execution order.
+    pub annotations: Vec<AnnotEvent>,
+}
+
+/// Errors raised during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A data access fell outside the data, stack and I/O regions.
+    UnmappedAccess {
+        /// Faulting effective address.
+        addr: u32,
+        /// Program counter of the access.
+        pc: u32,
+    },
+    /// A data access was not naturally aligned.
+    UnalignedAccess {
+        /// Faulting effective address.
+        addr: u32,
+        /// Program counter of the access.
+        pc: u32,
+    },
+    /// Control transferred outside the text section.
+    PcOutOfText {
+        /// The invalid program counter.
+        pc: u32,
+    },
+    /// The instruction budget was exhausted before the program halted.
+    StepLimit {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// A named global does not exist in the program's symbol table.
+    UnknownGlobal {
+        /// The looked-up name.
+        name: String,
+    },
+    /// A global was accessed with the wrong element type or index.
+    BadGlobalAccess {
+        /// The looked-up name.
+        name: String,
+    },
+    /// An `annot` marker's id has no entry in the annotation table.
+    MissingAnnotation {
+        /// The unresolved id.
+        id: u16,
+        /// Program counter of the marker.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnmappedAccess { addr, pc } => {
+                write!(f, "unmapped data access to {addr:#010x} at pc {pc:#010x}")
+            }
+            SimError::UnalignedAccess { addr, pc } => {
+                write!(f, "unaligned data access to {addr:#010x} at pc {pc:#010x}")
+            }
+            SimError::PcOutOfText { pc } => write!(f, "pc left the text section: {pc:#010x}"),
+            SimError::StepLimit { limit } => write!(f, "instruction budget exhausted: {limit}"),
+            SimError::UnknownGlobal { name } => write!(f, "unknown global: {name}"),
+            SimError::BadGlobalAccess { name } => write!(f, "bad access to global: {name}"),
+            SimError::MissingAnnotation { id, pc } => {
+                write!(f, "annotation id {id} at pc {pc:#010x} has no table entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Condition-register field value; `Un` is the unordered outcome of `fcmpu`
+/// on NaN operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CrVal {
+    Lt,
+    Gt,
+    Eq,
+    Un,
+}
+
+impl CrVal {
+    fn of_ord(ord: std::cmp::Ordering) -> CrVal {
+        match ord {
+            std::cmp::Ordering::Less => CrVal::Lt,
+            std::cmp::Ordering::Greater => CrVal::Gt,
+            std::cmp::Ordering::Equal => CrVal::Eq,
+        }
+    }
+
+    fn satisfies(self, cond: Cond) -> bool {
+        match self {
+            CrVal::Lt => matches!(cond, Cond::Lt | Cond::Le | Cond::Ne),
+            CrVal::Gt => matches!(cond, Cond::Gt | Cond::Ge | Cond::Ne),
+            CrVal::Eq => matches!(cond, Cond::Eq | Cond::Le | Cond::Ge),
+            // unordered: only "not equal" holds (IEEE-754 comparison semantics)
+            CrVal::Un => matches!(cond, Cond::Ne),
+        }
+    }
+}
+
+/// The MPC755-like simulator.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    program: Program,
+    mem: Memory,
+    icache: Cache,
+    dcache: Cache,
+    gpr: [u32; 32],
+    fpr: [f64; 32],
+    cr: [CrVal; 8],
+    lr: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Region {
+    Cacheable,
+    Io,
+}
+
+impl Simulator {
+    /// Creates a simulator with the program's data section loaded and cold
+    /// caches.
+    pub fn new(program: Program) -> Self {
+        let mut mem = Memory::new();
+        for (&addr, value) in &program.data {
+            match *value {
+                DataValue::I32(v) => mem.write_u32(addr, v as u32),
+                DataValue::F64(v) => mem.write_f64(addr, v),
+            }
+        }
+        let icache = Cache::new(program.config.icache);
+        let dcache = Cache::new(program.config.dcache);
+        Simulator {
+            program,
+            mem,
+            icache,
+            dcache,
+            gpr: [0; 32],
+            fpr: [0.0; 32],
+            cr: [CrVal::Eq; 8],
+            lr: 0,
+        }
+    }
+
+    /// The program being simulated.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Empties both caches (next run observes a cold machine).
+    pub fn reset_caches(&mut self) {
+        self.icache.reset();
+        self.dcache.reset();
+    }
+
+    fn global_addr(&self, name: &str, index: u32, elem: ElemTy) -> Result<u32, SimError> {
+        let sym = self
+            .program
+            .global(name)
+            .ok_or_else(|| SimError::UnknownGlobal {
+                name: name.to_owned(),
+            })?;
+        if sym.elem != elem || index >= sym.len {
+            return Err(SimError::BadGlobalAccess {
+                name: name.to_owned(),
+            });
+        }
+        Ok(sym.addr + index * elem.size())
+    }
+
+    /// Writes an `i32` global (element `index` for arrays, 0 for scalars).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the global does not exist, has a different element type, or
+    /// the index is out of range.
+    pub fn set_global_i32(&mut self, name: &str, index: u32, value: i32) -> Result<(), SimError> {
+        let addr = self.global_addr(name, index, ElemTy::I32)?;
+        self.mem.write_u32(addr, value as u32);
+        Ok(())
+    }
+
+    /// Writes an `f64` global.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::set_global_i32`].
+    pub fn set_global_f64(&mut self, name: &str, index: u32, value: f64) -> Result<(), SimError> {
+        let addr = self.global_addr(name, index, ElemTy::F64)?;
+        self.mem.write_f64(addr, value);
+        Ok(())
+    }
+
+    /// Reads an `i32` global.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::set_global_i32`].
+    pub fn global_i32(&self, name: &str, index: u32) -> Result<i32, SimError> {
+        let addr = self.global_addr(name, index, ElemTy::I32)?;
+        Ok(self.mem.read_u32(addr) as i32)
+    }
+
+    /// Reads an `f64` global.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::set_global_i32`].
+    pub fn global_f64(&self, name: &str, index: u32) -> Result<f64, SimError> {
+        let addr = self.global_addr(name, index, ElemTy::F64)?;
+        Ok(self.mem.read_f64(addr))
+    }
+
+    /// Sets the value returned by hardware-acquisition reads of `port`
+    /// (each port is one 8-byte I/O location).
+    pub fn set_io_f64(&mut self, port: u32, value: f64) {
+        let addr = self.program.config.io_base + 8 * port;
+        self.mem.write_f64(addr, value);
+    }
+
+    /// Reads back the value last written to an I/O port (actuator output).
+    pub fn io_f64(&self, port: u32) -> f64 {
+        self.mem.read_f64(self.program.config.io_base + 8 * port)
+    }
+
+    fn classify(&self, addr: u32, pc: u32) -> Result<Region, SimError> {
+        let cfg = &self.program.config;
+        let in_data = addr >= cfg.data_base && addr - cfg.data_base < DATA_WINDOW;
+        let in_stack = addr < cfg.stack_top && cfg.stack_top - addr <= STACK_WINDOW;
+        if cfg.is_io(addr) {
+            Ok(Region::Io)
+        } else if in_data || in_stack {
+            Ok(Region::Cacheable)
+        } else {
+            Err(SimError::UnmappedAccess { addr, pc })
+        }
+    }
+
+    /// Runs the program from its entry point with the given instruction
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during execution.
+    pub fn run(&mut self, max_steps: u64) -> Result<RunOutcome, SimError> {
+        let entry = self.program.entry;
+        self.run_from(entry, max_steps, None)
+    }
+
+    /// Like [`Simulator::run`], but also returns the issue timeline: one
+    /// `(pc, issue cycle)` pair per executed instruction (annotation markers
+    /// excluded). Useful for timing diagnostics and for validating the WCET
+    /// analyzer's per-block accounting.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during execution.
+    pub fn run_traced(
+        &mut self,
+        max_steps: u64,
+    ) -> Result<(RunOutcome, Vec<(u32, u64)>), SimError> {
+        let entry = self.program.entry;
+        let mut trace = Vec::new();
+        let outcome = self.run_from(entry, max_steps, Some(&mut trace))?;
+        Ok((outcome, trace))
+    }
+
+    /// Runs a named function with the given instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownGlobal`] if the function does not exist (reported
+    /// with the function name), or any [`SimError`] raised during execution.
+    pub fn run_function(&mut self, name: &str, max_steps: u64) -> Result<RunOutcome, SimError> {
+        let entry = self
+            .program
+            .function(name)
+            .ok_or_else(|| SimError::UnknownGlobal {
+                name: name.to_owned(),
+            })?
+            .entry;
+        self.run_from(entry, max_steps, None)
+    }
+
+    fn run_from(
+        &mut self,
+        entry: u32,
+        max_steps: u64,
+        mut trace: Option<&mut Vec<(u32, u64)>>,
+    ) -> Result<RunOutcome, SimError> {
+        let cfg = self.program.config.clone();
+        self.gpr = [0; 32];
+        self.fpr = [0.0; 32];
+        self.cr = [CrVal::Eq; 8];
+        self.gpr[1] = cfg.stack_top - 64;
+        self.gpr[2] = self.program.const_pool_base;
+        self.gpr[13] = self.program.sda_base;
+        self.lr = HALT_ADDR;
+        let mut pc = entry;
+
+        let mut pipe = PipeState::new();
+        let mut stats = RunStats::default();
+        let mut annotations = Vec::new();
+
+        while pc != HALT_ADDR {
+            if stats.instructions >= max_steps {
+                return Err(SimError::StepLimit { limit: max_steps });
+            }
+            let inst = *self
+                .program
+                .inst_at(pc)
+                .ok_or(SimError::PcOutOfText { pc })?;
+
+            if let Inst::Annot { id } = inst {
+                let entry = self
+                    .program
+                    .annotation(id)
+                    .ok_or(SimError::MissingAnnotation { id, pc })?
+                    .clone();
+                let values = entry
+                    .args
+                    .iter()
+                    .map(|arg| self.observe(arg))
+                    .collect::<Vec<_>>();
+                annotations.push(AnnotEvent {
+                    id,
+                    format: entry.format,
+                    values,
+                });
+                pc += 4;
+                continue;
+            }
+
+            // Instruction fetch.
+            let fetch_hit = self.icache.access(pc);
+            let fetch_extra = if fetch_hit { 0 } else { cfg.fetch_latency };
+            if !fetch_hit {
+                stats.icache_misses += 1;
+            }
+
+            let mut mem_extra = 0u32;
+            let mut taken = false;
+            let mut next_pc = pc.wrapping_add(4);
+
+            macro_rules! ea_access {
+                ($ea:expr, $align:expr, $is_load:expr) => {{
+                    let ea: u32 = $ea;
+                    if ea % $align != 0 {
+                        return Err(SimError::UnalignedAccess { addr: ea, pc });
+                    }
+                    match self.classify(ea, pc)? {
+                        Region::Io => {
+                            mem_extra = cfg.io_latency;
+                            if $is_load {
+                                stats.io_reads += 1;
+                            } else {
+                                stats.io_writes += 1;
+                            }
+                        }
+                        Region::Cacheable => {
+                            let hit = self.dcache.access(ea);
+                            if !hit {
+                                mem_extra = cfg.mem_latency;
+                            }
+                            if $is_load {
+                                stats.dcache_reads += 1;
+                                if !hit {
+                                    stats.dcache_read_misses += 1;
+                                }
+                            } else {
+                                stats.dcache_writes += 1;
+                                if !hit {
+                                    stats.dcache_write_misses += 1;
+                                }
+                            }
+                        }
+                    }
+                    ea
+                }};
+            }
+
+            let base = |r: Gpr, gpr: &[u32; 32]| -> u32 {
+                if r == Gpr::R0 {
+                    0
+                } else {
+                    gpr[r.index() as usize]
+                }
+            };
+
+            use Inst::*;
+            match inst {
+                Addi { rd, ra, imm } => {
+                    self.wr(rd, base(ra, &self.gpr).wrapping_add(imm as i32 as u32));
+                }
+                Addis { rd, ra, imm } => {
+                    self.wr(
+                        rd,
+                        base(ra, &self.gpr).wrapping_add((imm as i32 as u32) << 16),
+                    );
+                }
+                Mulli { rd, ra, imm } => {
+                    self.wr(rd, (self.rd_i(ra).wrapping_mul(imm as i32)) as u32);
+                }
+                Andi { rd, ra, imm } => self.wr(rd, self.rd_u(ra) & u32::from(imm)),
+                Ori { rd, ra, imm } => self.wr(rd, self.rd_u(ra) | u32::from(imm)),
+                Xori { rd, ra, imm } => self.wr(rd, self.rd_u(ra) ^ u32::from(imm)),
+                Add { rd, ra, rb } => self.wr(rd, self.rd_u(ra).wrapping_add(self.rd_u(rb))),
+                Subf { rd, ra, rb } => self.wr(rd, self.rd_u(rb).wrapping_sub(self.rd_u(ra))),
+                Mullw { rd, ra, rb } => {
+                    self.wr(rd, self.rd_i(ra).wrapping_mul(self.rd_i(rb)) as u32)
+                }
+                Divw { rd, ra, rb } => {
+                    let (a, b) = (self.rd_i(ra), self.rd_i(rb));
+                    let q = if b == 0 { 0 } else { a.wrapping_div(b) };
+                    self.wr(rd, q as u32);
+                }
+                Divwu { rd, ra, rb } => {
+                    let (a, b) = (self.rd_u(ra), self.rd_u(rb));
+                    self.wr(rd, a.checked_div(b).unwrap_or(0));
+                }
+                Neg { rd, ra } => self.wr(rd, (self.rd_i(ra).wrapping_neg()) as u32),
+                And { rd, ra, rb } => self.wr(rd, self.rd_u(ra) & self.rd_u(rb)),
+                Or { rd, ra, rb } => self.wr(rd, self.rd_u(ra) | self.rd_u(rb)),
+                Xor { rd, ra, rb } => self.wr(rd, self.rd_u(ra) ^ self.rd_u(rb)),
+                Slw { rd, ra, rb } => {
+                    let sh = self.rd_u(rb) & 63;
+                    self.wr(rd, if sh >= 32 { 0 } else { self.rd_u(ra) << sh });
+                }
+                Srw { rd, ra, rb } => {
+                    let sh = self.rd_u(rb) & 63;
+                    self.wr(rd, if sh >= 32 { 0 } else { self.rd_u(ra) >> sh });
+                }
+                Sraw { rd, ra, rb } => {
+                    let sh = self.rd_u(rb) & 63;
+                    let v = self.rd_i(ra);
+                    self.wr(rd, (if sh >= 32 { v >> 31 } else { v >> sh }) as u32);
+                }
+                Srawi { rd, ra, sh } => self.wr(rd, (self.rd_i(ra) >> sh) as u32),
+                Rlwinm { rd, ra, sh, mb, me } => {
+                    let rot = self.rd_u(ra).rotate_left(u32::from(sh));
+                    self.wr(rd, rot & vericomp_arch::inst::rlwinm_mask(mb, me));
+                }
+                Lwz { rd, d, ra } => {
+                    let ea = ea_access!(base(ra, &self.gpr).wrapping_add(d as i32 as u32), 4, true);
+                    self.wr(rd, self.mem.read_u32(ea));
+                }
+                Lwzx { rd, ra, rb } => {
+                    let ea = ea_access!(self.rd_u(ra).wrapping_add(self.rd_u(rb)), 4, true);
+                    self.wr(rd, self.mem.read_u32(ea));
+                }
+                Stw { rs, d, ra } => {
+                    let ea =
+                        ea_access!(base(ra, &self.gpr).wrapping_add(d as i32 as u32), 4, false);
+                    self.mem.write_u32(ea, self.rd_u(rs));
+                }
+                Stwx { rs, ra, rb } => {
+                    let ea = ea_access!(self.rd_u(ra).wrapping_add(self.rd_u(rb)), 4, false);
+                    self.mem.write_u32(ea, self.rd_u(rs));
+                }
+                Stwu { rs, d, ra } => {
+                    let ea = ea_access!(self.rd_u(ra).wrapping_add(d as i32 as u32), 4, false);
+                    self.mem.write_u32(ea, self.rd_u(rs));
+                    self.wr(ra, ea);
+                }
+                Lfd { fd, d, ra } => {
+                    let ea = ea_access!(base(ra, &self.gpr).wrapping_add(d as i32 as u32), 8, true);
+                    self.fpr[fd.index() as usize] = self.mem.read_f64(ea);
+                }
+                Lfdx { fd, ra, rb } => {
+                    let ea = ea_access!(self.rd_u(ra).wrapping_add(self.rd_u(rb)), 8, true);
+                    self.fpr[fd.index() as usize] = self.mem.read_f64(ea);
+                }
+                Stfd { fs, d, ra } => {
+                    let ea =
+                        ea_access!(base(ra, &self.gpr).wrapping_add(d as i32 as u32), 8, false);
+                    self.mem.write_f64(ea, self.fpr[fs.index() as usize]);
+                }
+                Stfdx { fs, ra, rb } => {
+                    let ea = ea_access!(self.rd_u(ra).wrapping_add(self.rd_u(rb)), 8, false);
+                    self.mem.write_f64(ea, self.fpr[fs.index() as usize]);
+                }
+                Fadd { fd, fa, fb } => self.wf(fd, self.rf(fa) + self.rf(fb)),
+                Fsub { fd, fa, fb } => self.wf(fd, self.rf(fa) - self.rf(fb)),
+                Fmul { fd, fa, fc } => self.wf(fd, self.rf(fa) * self.rf(fc)),
+                Fdiv { fd, fa, fb } => self.wf(fd, self.rf(fa) / self.rf(fb)),
+                // Our machine defines fmadd with intermediate rounding, so the
+                // compiler's fusion is exactly semantics-preserving.
+                Fmadd { fd, fa, fc, fb } => self.wf(fd, self.rf(fa) * self.rf(fc) + self.rf(fb)),
+                Fneg { fd, fa } => self.wf(fd, -self.rf(fa)),
+                Fabs { fd, fa } => self.wf(fd, self.rf(fa).abs()),
+                Fmr { fd, fa } => self.wf(fd, self.rf(fa)),
+                Itof { fd, ra } => self.wf(fd, f64::from(self.rd_i(ra))),
+                Ftoi { rd, fa } => self.wr(rd, sat_trunc(self.rf(fa)) as u32),
+                Cmpw { cr, ra, rb } => {
+                    self.cr[cr.index() as usize] = CrVal::of_ord(self.rd_i(ra).cmp(&self.rd_i(rb)));
+                }
+                Cmpwi { cr, ra, imm } => {
+                    self.cr[cr.index() as usize] =
+                        CrVal::of_ord(self.rd_i(ra).cmp(&i32::from(imm)));
+                }
+                Fcmpu { cr, fa, fb } => {
+                    self.cr[cr.index() as usize] = match self.rf(fa).partial_cmp(&self.rf(fb)) {
+                        Some(ord) => CrVal::of_ord(ord),
+                        None => CrVal::Un,
+                    };
+                }
+                B { target } => {
+                    taken = true;
+                    next_pc = target;
+                }
+                Bc { cond, cr, target } => {
+                    if self.cr[cr.index() as usize].satisfies(cond) {
+                        taken = true;
+                        next_pc = target;
+                    }
+                }
+                Bl { target } => {
+                    self.lr = pc.wrapping_add(4);
+                    taken = true;
+                    next_pc = target;
+                }
+                Blr => {
+                    taken = true;
+                    next_pc = self.lr;
+                }
+                Mflr { rd } => self.wr(rd, self.lr),
+                Mtlr { rs } => self.lr = self.rd_u(rs),
+                Nop => {}
+                Annot { .. } => unreachable!("handled above"),
+            }
+
+            let issued = pipe.advance(&cfg, &inst, fetch_extra, mem_extra, taken);
+            if let Some(t) = trace.as_deref_mut() {
+                t.push((pc, issued));
+            }
+            stats.instructions += 1;
+            pc = next_pc;
+        }
+
+        stats.cycles = pipe.drain_time();
+        Ok(RunOutcome { stats, annotations })
+    }
+
+    fn rd_u(&self, r: Gpr) -> u32 {
+        self.gpr[r.index() as usize]
+    }
+
+    fn rd_i(&self, r: Gpr) -> i32 {
+        self.gpr[r.index() as usize] as i32
+    }
+
+    fn wr(&mut self, r: Gpr, v: u32) {
+        self.gpr[r.index() as usize] = v;
+    }
+
+    fn rf(&self, r: Fpr) -> f64 {
+        self.fpr[r.index() as usize]
+    }
+
+    fn wf(&mut self, r: Fpr, v: f64) {
+        self.fpr[r.index() as usize] = v;
+    }
+
+    fn observe(&self, arg: &ArgLoc) -> AnnotValue {
+        match *arg {
+            ArgLoc::Gpr(r) => AnnotValue::I32(self.rd_i(r)),
+            ArgLoc::Fpr(r) => AnnotValue::F64(self.rf(r)),
+            ArgLoc::Stack(off, ty) => {
+                let addr = self.gpr[1].wrapping_add(off as i32 as u32);
+                self.observe_mem(addr, ty)
+            }
+            ArgLoc::Global(addr, ty) => self.observe_mem(addr, ty),
+        }
+    }
+
+    fn observe_mem(&self, addr: u32, ty: ElemTy) -> AnnotValue {
+        match ty {
+            ElemTy::I32 => AnnotValue::I32(self.mem.read_u32(addr) as i32),
+            ElemTy::F64 => AnnotValue::F64(self.mem.read_f64(addr)),
+        }
+    }
+
+    /// Condition-register helper for tests: whether `cond` holds in `cr`.
+    pub fn cr_satisfies(&self, cr: Cr, cond: Cond) -> bool {
+        self.cr[cr.index() as usize].satisfies(cond)
+    }
+}
+
+/// `fctiwz`-style saturating truncation of a double to `i32` (NaN maps to
+/// `i32::MIN`).
+pub fn sat_trunc(v: f64) -> i32 {
+    if v.is_nan() {
+        i32::MIN
+    } else if v >= 2147483647.0 {
+        i32::MAX
+    } else if v <= -2147483648.0 {
+        i32::MIN
+    } else {
+        v.trunc() as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vericomp_arch::program::{AnnotationEntry, FuncSym, GlobalSym};
+    use vericomp_arch::MachineConfig;
+
+    fn g(i: u8) -> Gpr {
+        Gpr::new(i)
+    }
+    fn fp(i: u8) -> Fpr {
+        Fpr::new(i)
+    }
+
+    /// Builds a single-function program from raw instructions plus globals.
+    fn program(code: Vec<Inst>, globals: Vec<(&str, ElemTy, u32)>) -> Program {
+        let config = MachineConfig::mpc755();
+        let mut addr = config.data_base;
+        let mut syms = Vec::new();
+        for (name, elem, len) in globals {
+            addr = addr.next_multiple_of(8);
+            syms.push(GlobalSym {
+                name: name.into(),
+                addr,
+                elem,
+                len,
+            });
+            addr += elem.size() * len;
+        }
+        let len_words = code.len() as u32;
+        Program {
+            entry: config.text_base,
+            functions: vec![FuncSym {
+                name: "main".into(),
+                entry: config.text_base,
+                len_words,
+            }],
+            globals: syms,
+            data: BTreeMap::new(),
+            const_pool_base: config.data_base + 0x8000,
+            sda_base: config.data_base + 0x4000,
+            annotations: Vec::new(),
+            code,
+            config,
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_store() {
+        // x = 5 + 7, stored via SDA-relative addressing (r13 points at x)
+        let code = vec![
+            Inst::li(g(3), 5),
+            Inst::li(g(4), 7),
+            Inst::Add {
+                rd: g(5),
+                ra: g(3),
+                rb: g(4),
+            },
+            Inst::Stw {
+                rs: g(5),
+                d: 0,
+                ra: Gpr::SDA,
+            },
+            Inst::Blr,
+        ];
+        let mut p = program(code, vec![("x", ElemTy::I32, 1)]);
+        p.sda_base = p.global("x").unwrap().addr;
+        let mut sim = Simulator::new(p);
+        let out = sim.run(1000).unwrap();
+        assert_eq!(sim.global_i32("x", 0).unwrap(), 12);
+        assert_eq!(out.stats.dcache_writes, 1);
+        assert_eq!(out.stats.dcache_write_misses, 1);
+        assert!(out.stats.cycles > 0);
+    }
+
+    #[test]
+    fn counted_loop_executes_correctly() {
+        // sum = 0; for i in 0..10 { sum += i } ; store sum
+        let base = MachineConfig::mpc755().text_base;
+        let code = vec![
+            /* 0 */ Inst::li(g(3), 0), // sum
+            /* 1 */ Inst::li(g(4), 0), // i
+            /* 2 */
+            Inst::Cmpwi {
+                cr: Cr::CR0,
+                ra: g(4),
+                imm: 10,
+            }, // loop:
+            /* 3 */
+            Inst::Bc {
+                cond: Cond::Ge,
+                cr: Cr::CR0,
+                target: base + 7 * 4,
+            },
+            /* 4 */
+            Inst::Add {
+                rd: g(3),
+                ra: g(3),
+                rb: g(4),
+            },
+            /* 5 */
+            Inst::Addi {
+                rd: g(4),
+                ra: g(4),
+                imm: 1,
+            },
+            /* 6 */ Inst::B {
+                target: base + 2 * 4,
+            },
+            /* 7 */
+            Inst::Stw {
+                rs: g(3),
+                d: 0,
+                ra: Gpr::SDA,
+            },
+            /* 8 */ Inst::Blr,
+        ];
+        let mut p = program(code, vec![("sum", ElemTy::I32, 1)]);
+        p.sda_base = p.global("sum").unwrap().addr;
+        let mut sim = Simulator::new(p);
+        let out = sim.run(1000).unwrap();
+        assert_eq!(sim.global_i32("sum", 0).unwrap(), 45);
+        assert_eq!(out.stats.instructions, 2 + 10 * 5 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn fp_constant_pool_and_io() {
+        // y = io[0] * k, k from the constant pool; y stored to a global
+        let code = vec![
+            Inst::Lfd {
+                fd: fp(1),
+                d: 0,
+                ra: Gpr::TOC,
+            }, // k
+            Inst::Lfd {
+                fd: fp(2),
+                d: 0,
+                ra: g(10),
+            }, // io[0] — r10 set below
+            Inst::Fmul {
+                fd: fp(3),
+                fa: fp(2),
+                fc: fp(1),
+            },
+            Inst::Stfd {
+                fs: fp(3),
+                d: 0,
+                ra: Gpr::SDA,
+            },
+            Inst::Blr,
+        ];
+        let mut p = program(code, vec![("y", ElemTy::F64, 1)]);
+        p.sda_base = p.global("y").unwrap().addr;
+        p.data.insert(p.const_pool_base, DataValue::F64(2.5));
+        // materialize io base in r10: lis + ori
+        let io = p.config.io_base;
+        p.code.insert(0, Inst::lis(g(10), (io >> 16) as i16));
+        p.code.insert(
+            1,
+            Inst::Ori {
+                rd: g(10),
+                ra: g(10),
+                imm: (io & 0xFFFF) as u16,
+            },
+        );
+        p.functions[0].len_words += 2;
+        let mut sim = Simulator::new(p);
+        sim.set_io_f64(0, 4.0);
+        let out = sim.run(1000).unwrap();
+        assert_eq!(sim.global_f64("y", 0).unwrap(), 10.0);
+        assert_eq!(out.stats.io_reads, 1);
+        // IO access must cost at least the IO latency
+        assert!(out.stats.cycles >= u64::from(sim.program().config.io_latency));
+    }
+
+    #[test]
+    fn repeated_loads_hit_the_cache() {
+        let code = vec![
+            Inst::Lwz {
+                rd: g(3),
+                d: 0,
+                ra: Gpr::SDA,
+            },
+            Inst::Lwz {
+                rd: g(4),
+                d: 0,
+                ra: Gpr::SDA,
+            },
+            Inst::Lwz {
+                rd: g(5),
+                d: 4,
+                ra: Gpr::SDA,
+            }, // same line
+            Inst::Blr,
+        ];
+        let mut p = program(code, vec![("arr", ElemTy::I32, 8)]);
+        p.sda_base = p.global("arr").unwrap().addr;
+        let mut sim = Simulator::new(p);
+        let out = sim.run(100).unwrap();
+        assert_eq!(out.stats.dcache_reads, 3);
+        assert_eq!(out.stats.dcache_read_misses, 1);
+    }
+
+    #[test]
+    fn annotation_trace_reads_final_locations() {
+        let code = vec![Inst::li(g(5), 42), Inst::Annot { id: 0 }, Inst::Blr];
+        let mut p = program(code, vec![]);
+        p.annotations.push(AnnotationEntry {
+            id: 0,
+            format: "0 <= %1 < 360".into(),
+            args: vec![ArgLoc::Gpr(g(5))],
+        });
+        let mut sim = Simulator::new(p);
+        let out = sim.run(100).unwrap();
+        assert_eq!(out.annotations.len(), 1);
+        assert_eq!(out.annotations[0].values, vec![AnnotValue::I32(42)]);
+        assert_eq!(out.annotations[0].format, "0 <= %1 < 360");
+    }
+
+    #[test]
+    fn unmapped_access_is_an_error() {
+        let code = vec![
+            Inst::Lwz {
+                rd: g(3),
+                d: 0,
+                ra: g(9),
+            },
+            Inst::Blr,
+        ];
+        let p = program(code, vec![]);
+        let mut sim = Simulator::new(p);
+        // r9 is zero → address 0 is unmapped
+        match sim.run(100) {
+            Err(SimError::UnmappedAccess { addr: 0, .. }) => {}
+            other => panic!("expected unmapped access, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_detects_runaway() {
+        let base = MachineConfig::mpc755().text_base;
+        let code = vec![Inst::B { target: base }];
+        let p = program(code, vec![]);
+        let mut sim = Simulator::new(p);
+        assert_eq!(sim.run(50), Err(SimError::StepLimit { limit: 50 }));
+    }
+
+    #[test]
+    fn call_and_return() {
+        let base = MachineConfig::mpc755().text_base;
+        // main: mflr r0; bl f; mtlr r0; stw r3 -> sda; blr    f: li r3, 9; blr
+        let code = vec![
+            /* 0 main */ Inst::Mflr { rd: g(0) },
+            /* 1 */ Inst::Bl { target: base + 20 },
+            /* 2 */ Inst::Mtlr { rs: g(0) },
+            /* 3 */
+            Inst::Stw {
+                rs: g(3),
+                d: 0,
+                ra: Gpr::SDA,
+            },
+            /* 4 */ Inst::Blr,
+            /* 5 f */ Inst::li(g(3), 9),
+            /* 6 */ Inst::Blr,
+        ];
+        let mut p = program(code, vec![("out", ElemTy::I32, 1)]);
+        p.sda_base = p.global("out").unwrap().addr;
+        let mut sim = Simulator::new(p);
+        sim.run(100).unwrap();
+        assert_eq!(sim.global_i32("out", 0).unwrap(), 9);
+    }
+
+    #[test]
+    fn fcmpu_nan_is_unordered() {
+        let code = vec![
+            Inst::Fdiv {
+                fd: fp(1),
+                fa: fp(0),
+                fb: fp(0),
+            }, // 0/0 = NaN
+            Inst::Fcmpu {
+                cr: Cr::CR0,
+                fa: fp(1),
+                fb: fp(1),
+            },
+            Inst::Blr,
+        ];
+        let p = program(code, vec![]);
+        let mut sim = Simulator::new(p);
+        sim.run(100).unwrap();
+        assert!(sim.cr_satisfies(Cr::CR0, Cond::Ne));
+        assert!(!sim.cr_satisfies(Cr::CR0, Cond::Eq));
+        assert!(!sim.cr_satisfies(Cr::CR0, Cond::Lt));
+        assert!(!sim.cr_satisfies(Cr::CR0, Cond::Le));
+    }
+
+    #[test]
+    fn sat_trunc_matches_fctiwz() {
+        assert_eq!(sat_trunc(1.9), 1);
+        assert_eq!(sat_trunc(-1.9), -1);
+        assert_eq!(sat_trunc(f64::NAN), i32::MIN);
+        assert_eq!(sat_trunc(1e300), i32::MAX);
+        assert_eq!(sat_trunc(-1e300), i32::MIN);
+        assert_eq!(sat_trunc(2147483646.5), 2147483646);
+    }
+
+    #[test]
+    fn annot_value_equality_is_bitwise_for_doubles() {
+        assert_eq!(AnnotValue::F64(f64::NAN), AnnotValue::F64(f64::NAN));
+        assert_ne!(AnnotValue::F64(0.0), AnnotValue::F64(-0.0));
+        assert_eq!(AnnotValue::I32(3), AnnotValue::I32(3));
+        assert_ne!(AnnotValue::I32(0), AnnotValue::F64(0.0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Simulator feature tests: the issue-timeline trace, cache warm-up across
+//! activations, and running individual functions.
+
+use vericomp_core::{Compiler, OptLevel};
+use vericomp_mach::Simulator;
+use vericomp_minic::parse;
+
+fn binary(src: &str) -> vericomp_arch::Program {
+    let prog = parse::parse(src).expect("parses");
+    Compiler::new(OptLevel::Verified)
+        .compile(&prog, "step")
+        .expect("compiles")
+}
+
+#[test]
+fn traced_run_matches_plain_run() {
+    let bin = binary(
+        r#"
+        double x;
+        void step() {
+            x = ((x * 1.5) + 2.0);
+        }
+    "#,
+    );
+    let mut a = Simulator::new(bin.clone());
+    let plain = a.run(100_000).expect("runs");
+    let mut b = Simulator::new(bin);
+    let (traced, timeline) = b.run_traced(100_000).expect("runs");
+    assert_eq!(plain.stats, traced.stats);
+    assert_eq!(timeline.len() as u64, traced.stats.instructions);
+    // issue times are monotone per program order within a block... globally
+    // they are not (queued issue), but never exceed the drain time
+    assert!(timeline.iter().all(|&(_, t)| t <= traced.stats.cycles));
+    // the first instruction issues after its cold fetch stall
+    assert!(timeline[0].1 >= u64::from(a.program().config.fetch_latency));
+}
+
+#[test]
+fn caches_warm_up_across_activations_and_reset() {
+    let bin = binary(
+        r#"
+        double acc;
+        void step() {
+            acc = (acc + 1.25);
+        }
+    "#,
+    );
+    let mut sim = Simulator::new(bin);
+    let cold = sim.run(100_000).expect("runs").stats;
+    let warm = sim.run(100_000).expect("runs").stats;
+    assert!(
+        warm.cycles < cold.cycles,
+        "warm {} vs cold {}",
+        warm.cycles,
+        cold.cycles
+    );
+    assert_eq!(warm.icache_misses, 0, "all code resident on the second run");
+    assert_eq!(warm.dcache_read_misses + warm.dcache_write_misses, 0);
+
+    sim.reset_caches();
+    let recold = sim.run(100_000).expect("runs").stats;
+    assert_eq!(recold.cycles, cold.cycles, "reset restores the cold timing");
+}
+
+#[test]
+fn run_function_targets_named_entries() {
+    let bin = binary(
+        r#"
+        double a;
+        double b;
+        void touch_a() { a = (a + 1.0); }
+        void touch_b() { b = (b + 1.0); }
+        void step() {
+            touch_a();
+            touch_b();
+        }
+    "#,
+    );
+    let mut sim = Simulator::new(bin);
+    sim.run_function("touch_a", 100_000).expect("runs");
+    sim.run_function("touch_a", 100_000).expect("runs");
+    sim.run_function("touch_b", 100_000).expect("runs");
+    assert_eq!(sim.global_f64("a", 0).expect("a"), 2.0);
+    assert_eq!(sim.global_f64("b", 0).expect("b"), 1.0);
+    assert!(sim.run_function("missing", 100_000).is_err());
+}
+
+#[test]
+fn state_persists_but_registers_do_not() {
+    // each activation starts from the startup convention; only memory
+    // persists — two identical activations with identical inputs give
+    // identical outputs
+    let bin = binary(
+        r#"
+        double x;
+        double y;
+        void step() {
+            y = (x * 3.0);
+        }
+    "#,
+    );
+    let mut sim = Simulator::new(bin);
+    sim.set_global_f64("x", 0, 2.0).expect("x");
+    sim.run(100_000).expect("runs");
+    let y1 = sim.global_f64("y", 0).expect("y");
+    sim.run(100_000).expect("runs");
+    let y2 = sim.global_f64("y", 0).expect("y");
+    assert_eq!(y1.to_bits(), y2.to_bits());
+    assert_eq!(y1, 6.0);
+}

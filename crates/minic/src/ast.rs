@@ -1,0 +1,331 @@
+//! Abstract syntax of MiniC.
+//!
+//! The language deliberately mirrors what the pattern-based automatic code
+//! generator emits (one flat three-address statement per dataflow symbol) but
+//! is general enough for hand-written helper functions: nested expressions,
+//! `if`/`while`, calls, global arrays.
+
+/// An identifier (variable or function name).
+pub type Ident = String;
+
+/// Scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 32-bit signed integer with wrap-around arithmetic.
+    I32,
+    /// IEEE-754 double.
+    F64,
+    /// Boolean (represented as a 0/1 machine word).
+    Bool,
+}
+
+/// Comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Cmp {
+    /// The predicate testing the opposite outcome. Note that for floating
+    /// comparisons `!(a < b)` is *not* `a >= b` in the presence of NaN; the
+    /// negation is only meaningful for total (integer) orders.
+    pub fn negate(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Ne,
+            Cmp::Ne => Cmp::Eq,
+            Cmp::Lt => Cmp::Ge,
+            Cmp::Le => Cmp::Gt,
+            Cmp::Gt => Cmp::Le,
+            Cmp::Ge => Cmp::Lt,
+        }
+    }
+
+    /// The predicate that holds for `(b, a)` whenever `self` holds for
+    /// `(a, b)`.
+    pub fn swap(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Eq,
+            Cmp::Ne => Cmp::Ne,
+            Cmp::Lt => Cmp::Gt,
+            Cmp::Le => Cmp::Ge,
+            Cmp::Gt => Cmp::Lt,
+            Cmp::Ge => Cmp::Le,
+        }
+    }
+
+    /// Evaluates the predicate on a three-way comparison outcome; `None`
+    /// (IEEE unordered) satisfies only `Ne`.
+    pub fn eval(self, ord: Option<std::cmp::Ordering>) -> bool {
+        use std::cmp::Ordering::*;
+        match ord {
+            None => self == Cmp::Ne,
+            Some(o) => match self {
+                Cmp::Eq => o == Equal,
+                Cmp::Ne => o != Equal,
+                Cmp::Lt => o == Less,
+                Cmp::Le => o != Greater,
+                Cmp::Gt => o == Greater,
+                Cmp::Ge => o != Less,
+            },
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unop {
+    /// Integer negation.
+    NegI,
+    /// Boolean negation.
+    NotB,
+    /// Floating negation.
+    NegF,
+    /// Floating absolute value.
+    AbsF,
+    /// `int` → `double` conversion.
+    I2F,
+    /// `double` → `int` conversion (truncating, saturating, NaN → `i32::MIN`).
+    F2I,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binop {
+    /// Integer addition (wrapping).
+    AddI,
+    /// Integer subtraction (wrapping).
+    SubI,
+    /// Integer multiplication (wrapping).
+    MulI,
+    /// Integer division (`x/0 == 0`, `MIN/-1 == MIN` — the machine's `divw`).
+    DivI,
+    /// Floating addition.
+    AddF,
+    /// Floating subtraction.
+    SubF,
+    /// Floating multiplication.
+    MulF,
+    /// Floating division.
+    DivF,
+    /// Integer comparison producing a boolean.
+    CmpI(Cmp),
+    /// Floating comparison producing a boolean (IEEE semantics on NaN).
+    CmpF(Cmp),
+    /// Boolean conjunction (non-short-circuit).
+    AndB,
+    /// Boolean disjunction (non-short-circuit).
+    OrB,
+    /// Boolean exclusive or.
+    XorB,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i32),
+    /// Double literal.
+    FloatLit(f64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// Variable read (local, parameter or global scalar).
+    Var(Ident),
+    /// Read of element `index` of a global array.
+    Index(Ident, Box<Expr>),
+    /// Unary operation.
+    Unop(Unop, Box<Expr>),
+    /// Binary operation.
+    Binop(Binop, Box<Expr>, Box<Expr>),
+    /// Call of a value-returning function.
+    Call(Ident, Vec<Expr>),
+    /// Hardware signal acquisition: reads the `double` at I/O port `n`
+    /// (uncached, long latency on the target).
+    IoRead(u32),
+}
+
+impl Expr {
+    /// Convenience constructor for binary operations.
+    pub fn binop(op: Binop, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binop(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for unary operations.
+    pub fn unop(op: Unop, e: Expr) -> Expr {
+        Expr::Unop(op, Box::new(e))
+    }
+
+    /// Convenience constructor for variable reads.
+    pub fn var(name: impl Into<Ident>) -> Expr {
+        Expr::Var(name.into())
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `x = e;` — assignment to a local, parameter or global scalar.
+    Assign(Ident, Expr),
+    /// `a[i] = e;` — store into a global array.
+    StoreIndex(Ident, Expr, Expr),
+    /// `if (c) { … } else { … }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (c) { … }`.
+    While(Expr, Vec<Stmt>),
+    /// `return;` / `return e;`.
+    Return(Option<Expr>),
+    /// `__builtin_annotation("fmt", e1, e2, …);` — CompCert's pro-forma
+    /// effect (paper §3.4). Semantically observes the argument values in
+    /// order; compiles to a zero-cost marker carrying final locations.
+    Annot(String, Vec<Expr>),
+    /// Actuator command: writes a `double` to I/O port `n`.
+    IoWrite(u32, Expr),
+    /// Call of a `void` (or ignored-result) function for its effects.
+    CallStmt(Ident, Vec<Expr>),
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalDef {
+    /// A scalar with an optional initializer (zero otherwise).
+    ScalarI32(Option<i32>),
+    /// A scalar double with an optional initializer.
+    ScalarF64(Option<f64>),
+    /// A boolean scalar with an optional initializer.
+    ScalarBool(Option<bool>),
+    /// An integer array with explicit initializers (length = `len()`).
+    ArrayI32(Vec<i32>),
+    /// A double array with explicit initializers (lookup tables).
+    ArrayF64(Vec<f64>),
+}
+
+impl GlobalDef {
+    /// The scalar type of this global, or of its elements for arrays.
+    pub fn elem_ty(&self) -> Ty {
+        match self {
+            GlobalDef::ScalarI32(_) | GlobalDef::ArrayI32(_) => Ty::I32,
+            GlobalDef::ScalarF64(_) | GlobalDef::ArrayF64(_) => Ty::F64,
+            GlobalDef::ScalarBool(_) => Ty::Bool,
+        }
+    }
+
+    /// Whether this global is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, GlobalDef::ArrayI32(_) | GlobalDef::ArrayF64(_))
+    }
+
+    /// Number of elements (1 for scalars).
+    pub fn len(&self) -> usize {
+        match self {
+            GlobalDef::ArrayI32(v) => v.len(),
+            GlobalDef::ArrayF64(v) => v.len(),
+            _ => 1,
+        }
+    }
+
+    /// Whether the global has zero elements (only possible for arrays, and
+    /// rejected by the typechecker).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A named global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Variable name.
+    pub name: Ident,
+    /// Shape and initializer.
+    pub def: GlobalDef,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: Ident,
+    /// Parameters, in order.
+    pub params: Vec<(Ident, Ty)>,
+    /// Return type (`None` = void).
+    pub ret: Option<Ty>,
+    /// Local variables.
+    pub locals: Vec<(Ident, Ty)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// A complete MiniC translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Functions.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval_ieee_unordered() {
+        assert!(Cmp::Ne.eval(None));
+        assert!(!Cmp::Eq.eval(None));
+        assert!(!Cmp::Le.eval(None));
+        assert!(Cmp::Le.eval(Some(std::cmp::Ordering::Equal)));
+        assert!(Cmp::Gt.eval(Some(std::cmp::Ordering::Greater)));
+    }
+
+    #[test]
+    fn global_shapes() {
+        let a = GlobalDef::ArrayF64(vec![1.0, 2.0]);
+        assert!(a.is_array());
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.elem_ty(), Ty::F64);
+        let s = GlobalDef::ScalarBool(Some(true));
+        assert!(!s.is_array());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn program_lookup() {
+        let p = Program {
+            globals: vec![Global {
+                name: "x".into(),
+                def: GlobalDef::ScalarI32(None),
+            }],
+            functions: vec![Function {
+                name: "f".into(),
+                params: vec![],
+                ret: None,
+                locals: vec![],
+                body: vec![],
+            }],
+        };
+        assert!(p.function("f").is_some());
+        assert!(p.function("g").is_none());
+        assert!(p.global("x").is_some());
+    }
+}

@@ -1,0 +1,789 @@
+//! Big-step reference interpreter for MiniC.
+//!
+//! The interpreter defines the *source semantics* every compiler
+//! configuration must preserve. Its arithmetic deliberately equals the target
+//! machine's, down to the corner cases (`divw` on zero/overflow, saturating
+//! `double`→`int` truncation, IEEE comparisons on NaN), so that differential
+//! tests between interpreter and simulator are exact rather than
+//! approximate.
+//!
+//! Observable behaviour of a run:
+//!
+//! * final global-variable values,
+//! * I/O port writes (actuator commands),
+//! * the **annotation trace**: the ordered sequence of
+//!   `__builtin_annotation` observations with argument values — the
+//!   source-level counterpart of the machine's annotation-marker trace.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ast::{Binop, Expr, Function, GlobalDef, Program, Stmt, Ty, Unop};
+
+/// A MiniC runtime value.
+///
+/// Equality on `F` is *bitwise* so traces containing NaN compare reliably.
+#[derive(Debug, Clone, Copy)]
+pub enum Value {
+    /// 32-bit integer.
+    I(i32),
+    /// IEEE double.
+    F(f64),
+    /// Boolean.
+    B(bool),
+}
+
+impl Value {
+    /// The default (zero) value of a type.
+    pub fn zero(ty: Ty) -> Value {
+        match ty {
+            Ty::I32 => Value::I(0),
+            Ty::F64 => Value::F(0.0),
+            Ty::Bool => Value::B(false),
+        }
+    }
+
+    /// The type of this value.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::I(_) => Ty::I32,
+            Value::F(_) => Ty::F64,
+            Value::B(_) => Ty::Bool,
+        }
+    }
+
+    /// Normalizes booleans to the 0/1 integers the machine observes (used
+    /// when recording annotation traces).
+    pub fn normalized(self) -> Value {
+        match self {
+            Value::B(b) => Value::I(i32::from(b)),
+            v => v,
+        }
+    }
+
+    fn as_i(self) -> i32 {
+        match self {
+            Value::I(v) => v,
+            _ => unreachable!("typechecked program produced non-int"),
+        }
+    }
+
+    fn as_f(self) -> f64 {
+        match self {
+            Value::F(v) => v,
+            _ => unreachable!("typechecked program produced non-double"),
+        }
+    }
+
+    fn as_b(self) -> bool {
+        match self {
+            Value::B(v) => v,
+            _ => unreachable!("typechecked program produced non-bool"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::I(a), Value::I(b)) => a == b,
+            (Value::B(a), Value::B(b)) => a == b,
+            (Value::F(a), Value::F(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I(v) => v.fmt(f),
+            Value::F(v) => v.fmt(f),
+            Value::B(v) => v.fmt(f),
+        }
+    }
+}
+
+/// One `__builtin_annotation` observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The annotation's format string.
+    pub format: String,
+    /// The observed argument values (booleans normalized to 0/1 integers).
+    pub values: Vec<Value>,
+}
+
+/// Errors raised during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The step budget was exhausted (runaway loop).
+    Fuel,
+    /// The called function does not exist.
+    UnknownFunction(String),
+    /// An array access was out of bounds.
+    IndexOutOfBounds {
+        /// Array name.
+        name: String,
+        /// Faulting index.
+        index: i32,
+        /// Array length.
+        len: usize,
+    },
+    /// `call` was given arguments not matching the signature.
+    ArgMismatch(String),
+    /// A host access named an unknown global or used the wrong type.
+    BadGlobal(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Fuel => write!(f, "step budget exhausted"),
+            InterpError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            InterpError::IndexOutOfBounds { name, index, len } => {
+                write!(f, "index {index} out of bounds for `{name}` (len {len})")
+            }
+            InterpError::ArgMismatch(n) => write!(f, "argument mismatch calling `{n}`"),
+            InterpError::BadGlobal(n) => write!(f, "bad global access `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+#[derive(Debug, Clone)]
+enum GVal {
+    I(i32),
+    F(f64),
+    B(bool),
+    Ai(Vec<i32>),
+    Af(Vec<f64>),
+}
+
+enum Flow {
+    Normal,
+    Return(Option<Value>),
+}
+
+/// `fctiwz`-style saturating truncation (must equal the machine's; the
+/// compiler's constant folder uses this definition too).
+pub fn sat_trunc(v: f64) -> i32 {
+    if v.is_nan() {
+        i32::MIN
+    } else if v >= 2147483647.0 {
+        i32::MAX
+    } else if v <= -2147483648.0 {
+        i32::MIN
+    } else {
+        v.trunc() as i32
+    }
+}
+
+fn divi(a: i32, b: i32) -> i32 {
+    if b == 0 {
+        0
+    } else {
+        a.wrapping_div(b)
+    }
+}
+
+/// The interpreter. Holds the mutable global store, the I/O ports and the
+/// annotation trace; functions are called against this persistent state,
+/// mirroring how the simulator runs `step` functions against persistent
+/// memory.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    prog: &'p Program,
+    globals: BTreeMap<String, GVal>,
+    io: BTreeMap<u32, f64>,
+    trace: Vec<TraceEvent>,
+    fuel: u64,
+    spent: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter with globals initialized from their
+    /// definitions (zero when absent) and a generous default step budget.
+    pub fn new(prog: &'p Program) -> Self {
+        let globals = prog
+            .globals
+            .iter()
+            .map(|g| {
+                let v = match &g.def {
+                    GlobalDef::ScalarI32(i) => GVal::I(i.unwrap_or(0)),
+                    GlobalDef::ScalarF64(x) => GVal::F(x.unwrap_or(0.0)),
+                    GlobalDef::ScalarBool(b) => GVal::B(b.unwrap_or(false)),
+                    GlobalDef::ArrayI32(v) => GVal::Ai(v.clone()),
+                    GlobalDef::ArrayF64(v) => GVal::Af(v.clone()),
+                };
+                (g.name.clone(), v)
+            })
+            .collect();
+        Interp {
+            prog,
+            globals,
+            io: BTreeMap::new(),
+            trace: Vec::new(),
+            fuel: 10_000_000,
+            spent: 0,
+        }
+    }
+
+    /// Sets the step budget for subsequent calls.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+        self.spent = 0;
+    }
+
+    /// Sets the value acquired from I/O port `port`.
+    pub fn set_io(&mut self, port: u32, value: f64) {
+        self.io.insert(port, value);
+    }
+
+    /// The current value of I/O port `port` (0.0 if never written).
+    pub fn io(&self, port: u32) -> f64 {
+        self.io.get(&port).copied().unwrap_or(0.0)
+    }
+
+    /// Reads a global scalar.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::BadGlobal`] if the name is unknown or is an array.
+    pub fn global(&self, name: &str) -> Result<Value, InterpError> {
+        match self.globals.get(name) {
+            Some(GVal::I(v)) => Ok(Value::I(*v)),
+            Some(GVal::F(v)) => Ok(Value::F(*v)),
+            Some(GVal::B(v)) => Ok(Value::B(*v)),
+            _ => Err(InterpError::BadGlobal(name.to_owned())),
+        }
+    }
+
+    /// Writes a global scalar.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::BadGlobal`] on unknown name or type mismatch.
+    pub fn set_global(&mut self, name: &str, value: Value) -> Result<(), InterpError> {
+        match (self.globals.get_mut(name), value) {
+            (Some(GVal::I(v)), Value::I(x)) => *v = x,
+            (Some(GVal::F(v)), Value::F(x)) => *v = x,
+            (Some(GVal::B(v)), Value::B(x)) => *v = x,
+            _ => return Err(InterpError::BadGlobal(name.to_owned())),
+        }
+        Ok(())
+    }
+
+    /// Reads element `index` of a global array.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::BadGlobal`] or [`InterpError::IndexOutOfBounds`].
+    pub fn global_elem(&self, name: &str, index: usize) -> Result<Value, InterpError> {
+        let oob = |len| InterpError::IndexOutOfBounds {
+            name: name.to_owned(),
+            index: index as i32,
+            len,
+        };
+        match self.globals.get(name) {
+            Some(GVal::Ai(v)) => v.get(index).map(|&x| Value::I(x)).ok_or(oob(v.len())),
+            Some(GVal::Af(v)) => v.get(index).map(|&x| Value::F(x)).ok_or(oob(v.len())),
+            _ => Err(InterpError::BadGlobal(name.to_owned())),
+        }
+    }
+
+    /// The annotation trace accumulated so far.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    /// Removes and returns the accumulated annotation trace.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Calls a function with the given argument values.
+    ///
+    /// # Errors
+    ///
+    /// [`InterpError::UnknownFunction`], [`InterpError::ArgMismatch`], or any
+    /// runtime error raised by the body.
+    pub fn call(&mut self, name: &str, args: &[Value]) -> Result<Option<Value>, InterpError> {
+        self.spent = 0;
+        let f = self
+            .prog
+            .function(name)
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_owned()))?;
+        self.invoke(f, args)
+    }
+
+    fn invoke(&mut self, f: &'p Function, args: &[Value]) -> Result<Option<Value>, InterpError> {
+        if args.len() != f.params.len()
+            || args.iter().zip(&f.params).any(|(v, (_, ty))| v.ty() != *ty)
+        {
+            return Err(InterpError::ArgMismatch(f.name.clone()));
+        }
+        let mut frame: BTreeMap<&str, Value> = f
+            .params
+            .iter()
+            .zip(args)
+            .map(|((n, _), v)| (n.as_str(), *v))
+            .chain(
+                f.locals
+                    .iter()
+                    .map(|(n, ty)| (n.as_str(), Value::zero(*ty))),
+            )
+            .collect();
+        match self.exec_block(f, &mut frame, &f.body)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(None), // void function falling off the end
+        }
+    }
+
+    fn burn(&mut self) -> Result<(), InterpError> {
+        self.spent += 1;
+        if self.spent > self.fuel {
+            return Err(InterpError::Fuel);
+        }
+        Ok(())
+    }
+
+    fn exec_block(
+        &mut self,
+        f: &'p Function,
+        frame: &mut BTreeMap<&'p str, Value>,
+        body: &'p [Stmt],
+    ) -> Result<Flow, InterpError> {
+        for s in body {
+            if let Flow::Return(v) = self.exec(f, frame, s)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec(
+        &mut self,
+        f: &'p Function,
+        frame: &mut BTreeMap<&'p str, Value>,
+        s: &'p Stmt,
+    ) -> Result<Flow, InterpError> {
+        self.burn()?;
+        match s {
+            Stmt::Assign(name, e) => {
+                let v = self.eval(f, frame, e)?;
+                if let Some(slot) = frame.get_mut(name.as_str()) {
+                    *slot = v;
+                } else {
+                    self.set_global(name, v)?;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::StoreIndex(name, idx, e) => {
+                let i = self.eval(f, frame, idx)?.as_i();
+                let v = self.eval(f, frame, e)?;
+                let gv = self
+                    .globals
+                    .get_mut(name.as_str())
+                    .ok_or_else(|| InterpError::BadGlobal(name.clone()))?;
+                let len = match gv {
+                    GVal::Ai(a) => a.len(),
+                    GVal::Af(a) => a.len(),
+                    _ => return Err(InterpError::BadGlobal(name.clone())),
+                };
+                if i < 0 || i as usize >= len {
+                    return Err(InterpError::IndexOutOfBounds {
+                        name: name.clone(),
+                        index: i,
+                        len,
+                    });
+                }
+                match (gv, v) {
+                    (GVal::Ai(a), Value::I(x)) => a[i as usize] = x,
+                    (GVal::Af(a), Value::F(x)) => a[i as usize] = x,
+                    _ => return Err(InterpError::BadGlobal(name.clone())),
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If(c, then, els) => {
+                if self.eval(f, frame, c)?.as_b() {
+                    self.exec_block(f, frame, then)
+                } else {
+                    self.exec_block(f, frame, els)
+                }
+            }
+            Stmt::While(c, body) => {
+                while self.eval(f, frame, c)?.as_b() {
+                    self.burn()?;
+                    if let Flow::Return(v) = self.exec_block(f, frame, body)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(None) => Ok(Flow::Return(None)),
+            Stmt::Return(Some(e)) => {
+                let v = self.eval(f, frame, e)?;
+                Ok(Flow::Return(Some(v)))
+            }
+            Stmt::Annot(fmt, args) => {
+                let values = args
+                    .iter()
+                    .map(|a| self.eval(f, frame, a).map(Value::normalized))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.trace.push(TraceEvent {
+                    format: fmt.clone(),
+                    values,
+                });
+                Ok(Flow::Normal)
+            }
+            Stmt::IoWrite(port, e) => {
+                let v = self.eval(f, frame, e)?.as_f();
+                self.io.insert(*port, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::CallStmt(name, args) => {
+                let argv = args
+                    .iter()
+                    .map(|a| self.eval(f, frame, a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let callee = self
+                    .prog
+                    .function(name)
+                    .ok_or_else(|| InterpError::UnknownFunction(name.clone()))?;
+                self.invoke(callee, &argv)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    #[allow(clippy::only_used_in_recursion)]
+    fn eval(
+        &mut self,
+        f: &'p Function,
+        frame: &mut BTreeMap<&'p str, Value>,
+        e: &'p Expr,
+    ) -> Result<Value, InterpError> {
+        Ok(match e {
+            Expr::IntLit(v) => Value::I(*v),
+            Expr::FloatLit(v) => Value::F(*v),
+            Expr::BoolLit(v) => Value::B(*v),
+            Expr::Var(name) => match frame.get(name.as_str()) {
+                Some(v) => *v,
+                None => self.global(name)?,
+            },
+            Expr::Index(name, idx) => {
+                let i = self.eval(f, frame, idx)?.as_i();
+                if i < 0 {
+                    return Err(InterpError::IndexOutOfBounds {
+                        name: name.clone(),
+                        index: i,
+                        len: 0,
+                    });
+                }
+                self.global_elem(name, i as usize)?
+            }
+            Expr::IoRead(port) => Value::F(self.io(*port)),
+            Expr::Unop(op, a) => {
+                let v = self.eval(f, frame, a)?;
+                match op {
+                    Unop::NegI => Value::I(v.as_i().wrapping_neg()),
+                    Unop::NotB => Value::B(!v.as_b()),
+                    Unop::NegF => Value::F(-v.as_f()),
+                    Unop::AbsF => Value::F(v.as_f().abs()),
+                    Unop::I2F => Value::F(f64::from(v.as_i())),
+                    Unop::F2I => Value::I(sat_trunc(v.as_f())),
+                }
+            }
+            Expr::Binop(op, a, b) => {
+                let x = self.eval(f, frame, a)?;
+                let y = self.eval(f, frame, b)?;
+                match op {
+                    Binop::AddI => Value::I(x.as_i().wrapping_add(y.as_i())),
+                    Binop::SubI => Value::I(x.as_i().wrapping_sub(y.as_i())),
+                    Binop::MulI => Value::I(x.as_i().wrapping_mul(y.as_i())),
+                    Binop::DivI => Value::I(divi(x.as_i(), y.as_i())),
+                    Binop::AddF => Value::F(x.as_f() + y.as_f()),
+                    Binop::SubF => Value::F(x.as_f() - y.as_f()),
+                    Binop::MulF => Value::F(x.as_f() * y.as_f()),
+                    Binop::DivF => Value::F(x.as_f() / y.as_f()),
+                    Binop::CmpI(c) => Value::B(c.eval(Some(x.as_i().cmp(&y.as_i())))),
+                    Binop::CmpF(c) => Value::B(c.eval(x.as_f().partial_cmp(&y.as_f()))),
+                    Binop::AndB => Value::B(x.as_b() & y.as_b()),
+                    Binop::OrB => Value::B(x.as_b() | y.as_b()),
+                    Binop::XorB => Value::B(x.as_b() ^ y.as_b()),
+                }
+            }
+            Expr::Call(name, args) => {
+                let argv = args
+                    .iter()
+                    .map(|a| self.eval(f, frame, a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let callee = self
+                    .prog
+                    .function(name)
+                    .ok_or_else(|| InterpError::UnknownFunction(name.clone()))?;
+                self.invoke(callee, &argv)?
+                    .expect("typechecker rejects void calls in expressions")
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn check_and_run(p: &Program, f: &str, args: &[Value]) -> (Option<Value>, Vec<TraceEvent>) {
+        crate::typeck::check(p).expect("test program must typecheck");
+        let mut it = Interp::new(p);
+        let r = it.call(f, args).expect("test program must run");
+        let t = it.take_trace();
+        (r, t)
+    }
+
+    #[test]
+    fn arithmetic_corner_cases_match_machine() {
+        // return a / b (machine divw semantics)
+        let f = Function {
+            name: "div".into(),
+            params: vec![("a".into(), Ty::I32), ("b".into(), Ty::I32)],
+            ret: Some(Ty::I32),
+            locals: vec![],
+            body: vec![Stmt::Return(Some(Expr::binop(
+                Binop::DivI,
+                Expr::var("a"),
+                Expr::var("b"),
+            )))],
+        };
+        let p = Program {
+            globals: vec![],
+            functions: vec![f],
+        };
+        let run = |a, b| check_and_run(&p, "div", &[Value::I(a), Value::I(b)]).0;
+        assert_eq!(run(7, 2), Some(Value::I(3)));
+        assert_eq!(run(-7, 2), Some(Value::I(-3)));
+        assert_eq!(run(5, 0), Some(Value::I(0)));
+        assert_eq!(run(i32::MIN, -1), Some(Value::I(i32::MIN)));
+    }
+
+    #[test]
+    fn while_loop_and_array() {
+        // sum = t[0] + … + t[3]
+        let p = Program {
+            globals: vec![
+                Global {
+                    name: "t".into(),
+                    def: GlobalDef::ArrayI32(vec![3, 1, 4, 1]),
+                },
+                Global {
+                    name: "sum".into(),
+                    def: GlobalDef::ScalarI32(None),
+                },
+            ],
+            functions: vec![Function {
+                name: "f".into(),
+                params: vec![],
+                ret: None,
+                locals: vec![("i".into(), Ty::I32)],
+                body: vec![Stmt::While(
+                    Expr::binop(Binop::CmpI(Cmp::Lt), Expr::var("i"), Expr::IntLit(4)),
+                    vec![
+                        Stmt::Assign(
+                            "sum".into(),
+                            Expr::binop(
+                                Binop::AddI,
+                                Expr::var("sum"),
+                                Expr::Index("t".into(), Box::new(Expr::var("i"))),
+                            ),
+                        ),
+                        Stmt::Assign(
+                            "i".into(),
+                            Expr::binop(Binop::AddI, Expr::var("i"), Expr::IntLit(1)),
+                        ),
+                    ],
+                )],
+            }],
+        };
+        crate::typeck::check(&p).unwrap();
+        let mut it = Interp::new(&p);
+        it.call("f", &[]).unwrap();
+        assert_eq!(it.global("sum").unwrap(), Value::I(9));
+    }
+
+    #[test]
+    fn annotation_trace_records_values_in_order() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![("x".into(), Ty::I32)],
+            ret: None,
+            locals: vec![],
+            body: vec![
+                Stmt::Annot("0 <= %1 < 10".into(), vec![Expr::var("x")]),
+                Stmt::Annot("flag %1".into(), vec![Expr::BoolLit(true)]),
+            ],
+        };
+        let p = Program {
+            globals: vec![],
+            functions: vec![f],
+        };
+        let (_, trace) = check_and_run(&p, "f", &[Value::I(7)]);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].values, vec![Value::I(7)]);
+        // booleans are normalized to 0/1 integers
+        assert_eq!(trace[1].values, vec![Value::I(1)]);
+    }
+
+    #[test]
+    fn fuel_stops_runaway_loops() {
+        let f = Function {
+            name: "spin".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: vec![Stmt::While(Expr::BoolLit(true), vec![])],
+        };
+        let p = Program {
+            globals: vec![],
+            functions: vec![f],
+        };
+        let mut it = Interp::new(&p);
+        it.set_fuel(1000);
+        assert_eq!(it.call("spin", &[]), Err(InterpError::Fuel));
+    }
+
+    #[test]
+    fn io_roundtrip() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: vec![Stmt::IoWrite(
+                3,
+                Expr::binop(Binop::MulF, Expr::IoRead(1), Expr::FloatLit(2.0)),
+            )],
+        };
+        let p = Program {
+            globals: vec![],
+            functions: vec![f],
+        };
+        crate::typeck::check(&p).unwrap();
+        let mut it = Interp::new(&p);
+        it.set_io(1, 10.5);
+        it.call("f", &[]).unwrap();
+        assert_eq!(it.io(3), 21.0);
+    }
+
+    #[test]
+    fn nan_comparisons_are_ieee() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![("x".into(), Ty::F64)],
+            ret: Some(Ty::Bool),
+            locals: vec![],
+            body: vec![Stmt::Return(Some(Expr::binop(
+                Binop::CmpF(Cmp::Ne),
+                Expr::var("x"),
+                Expr::var("x"),
+            )))],
+        };
+        let p = Program {
+            globals: vec![],
+            functions: vec![f],
+        };
+        let (r, _) = check_and_run(&p, "f", &[Value::F(f64::NAN)]);
+        assert_eq!(r, Some(Value::B(true)));
+        let (r, _) = check_and_run(&p, "f", &[Value::F(1.0)]);
+        assert_eq!(r, Some(Value::B(false)));
+    }
+
+    #[test]
+    fn f2i_saturates() {
+        let f = Function {
+            name: "f".into(),
+            params: vec![("x".into(), Ty::F64)],
+            ret: Some(Ty::I32),
+            locals: vec![],
+            body: vec![Stmt::Return(Some(Expr::unop(Unop::F2I, Expr::var("x"))))],
+        };
+        let p = Program {
+            globals: vec![],
+            functions: vec![f],
+        };
+        let run = |x| check_and_run(&p, "f", &[Value::F(x)]).0;
+        assert_eq!(run(2.9), Some(Value::I(2)));
+        assert_eq!(run(-2.9), Some(Value::I(-2)));
+        assert_eq!(run(1e30), Some(Value::I(i32::MAX)));
+        assert_eq!(run(f64::NAN), Some(Value::I(i32::MIN)));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let p = Program {
+            globals: vec![Global {
+                name: "t".into(),
+                def: GlobalDef::ArrayF64(vec![1.0]),
+            }],
+            functions: vec![Function {
+                name: "f".into(),
+                params: vec![("i".into(), Ty::I32)],
+                ret: Some(Ty::F64),
+                locals: vec![],
+                body: vec![Stmt::Return(Some(Expr::Index(
+                    "t".into(),
+                    Box::new(Expr::var("i")),
+                )))],
+            }],
+        };
+        crate::typeck::check(&p).unwrap();
+        let mut it = Interp::new(&p);
+        assert!(matches!(
+            it.call("f", &[Value::I(5)]),
+            Err(InterpError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            it.call("f", &[Value::I(-1)]),
+            Err(InterpError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_calls_and_state_persistence() {
+        let helper = Function {
+            name: "inc".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: vec![Stmt::Assign(
+                "count".into(),
+                Expr::binop(Binop::AddI, Expr::var("count"), Expr::IntLit(1)),
+            )],
+        };
+        let main = Function {
+            name: "step".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: vec![
+                Stmt::CallStmt("inc".into(), vec![]),
+                Stmt::CallStmt("inc".into(), vec![]),
+            ],
+        };
+        let p = Program {
+            globals: vec![Global {
+                name: "count".into(),
+                def: GlobalDef::ScalarI32(None),
+            }],
+            functions: vec![main, helper],
+        };
+        crate::typeck::check(&p).unwrap();
+        let mut it = Interp::new(&p);
+        it.call("step", &[]).unwrap();
+        it.call("step", &[]).unwrap(); // state persists across calls
+        assert_eq!(it.global("count").unwrap(), Value::I(4));
+    }
+}

@@ -1,0 +1,58 @@
+//! MiniC — the C-subset source language of the toolchain.
+//!
+//! MiniC models the C code produced by the qualified automatic code generator
+//! of the paper's process (§2.1): scalar `int`/`double`/`bool` variables,
+//! global scalars and arrays (lookup tables), structured control flow,
+//! non-recursive function calls, hardware-acquisition reads, and CompCert's
+//! `__builtin_annotation` special form (§3.4).
+//!
+//! The crate provides
+//!
+//! * the abstract syntax ([`ast`]),
+//! * a typechecker enforcing the MISRA-like restrictions the flight-control
+//!   process assumes — no recursion, statically typed, structured loops only
+//!   ([`typeck`]),
+//! * a big-step reference interpreter ([`interp`]) whose observable behaviour
+//!   (global state, I/O writes and the **annotation trace**) is the
+//!   specification every compiler configuration must preserve,
+//! * a C-like pretty printer ([`pretty`]) so generated programs can be
+//!   inspected as the "C code" of the paper's pipeline, and a parser
+//!   ([`parse`]) for the same concrete syntax (round-trip tested).
+//!
+//! # Example
+//!
+//! ```
+//! use vericomp_minic::ast::*;
+//! use vericomp_minic::interp::{Interp, Value};
+//!
+//! // double gain(double x) { return 2.0 * x; }
+//! let f = Function {
+//!     name: "gain".into(),
+//!     params: vec![("x".into(), Ty::F64)],
+//!     ret: Some(Ty::F64),
+//!     locals: vec![],
+//!     body: vec![Stmt::Return(Some(Expr::binop(
+//!         Binop::MulF,
+//!         Expr::FloatLit(2.0),
+//!         Expr::Var("x".into()),
+//!     )))],
+//! };
+//! let prog = Program { globals: vec![], functions: vec![f] };
+//! vericomp_minic::typeck::check(&prog)?;
+//! let mut it = Interp::new(&prog);
+//! let r = it.call("gain", &[Value::F(21.0)])?;
+//! assert_eq!(r, Some(Value::F(42.0)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod interp;
+pub mod parse;
+pub mod pretty;
+pub mod typeck;
+
+pub use ast::{Binop, Cmp, Expr, Function, Global, GlobalDef, Program, Stmt, Ty, Unop};
+pub use interp::{Interp, InterpError, TraceEvent, Value};

@@ -1,0 +1,713 @@
+//! The MiniC typechecker.
+//!
+//! Besides ordinary static typing, the checker enforces the structural
+//! restrictions the flight-control process relies on (cf. the MISRA-C rules
+//! discussed in the same proceedings): no recursion — direct or indirect
+//! (rule 16.2), no zero-length arrays, and every name statically resolved.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::ast::{Binop, Expr, Function, Program, Stmt, Ty, Unop};
+
+/// Errors reported by [`check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Two globals share a name.
+    DuplicateGlobal(String),
+    /// Two functions share a name.
+    DuplicateFunction(String),
+    /// A parameter or local is declared twice (or shadows a parameter).
+    DuplicateVar {
+        /// Enclosing function.
+        func: String,
+        /// Offending name.
+        name: String,
+    },
+    /// A variable is not in scope.
+    UnknownVar {
+        /// Enclosing function.
+        func: String,
+        /// The unresolved name.
+        name: String,
+    },
+    /// A called function does not exist.
+    UnknownFunction {
+        /// Enclosing function.
+        func: String,
+        /// The unresolved callee.
+        callee: String,
+    },
+    /// Indexing applied to something that is not a global array.
+    NotAnArray {
+        /// Enclosing function.
+        func: String,
+        /// The indexed name.
+        name: String,
+    },
+    /// A global array used as a scalar.
+    ArrayAsScalar {
+        /// Enclosing function.
+        func: String,
+        /// The misused name.
+        name: String,
+    },
+    /// An expression has the wrong type.
+    Mismatch {
+        /// Enclosing function.
+        func: String,
+        /// Expected type.
+        expected: Ty,
+        /// Actual type.
+        found: Ty,
+        /// What was being checked.
+        context: &'static str,
+    },
+    /// A call passes the wrong number of arguments.
+    Arity {
+        /// Enclosing function.
+        func: String,
+        /// The callee.
+        callee: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Actual argument count.
+        found: usize,
+    },
+    /// A void function used in expression position.
+    VoidInExpr {
+        /// Enclosing function.
+        func: String,
+        /// The callee.
+        callee: String,
+    },
+    /// `return e;` in a void function or `return;` in a non-void one.
+    ReturnShape {
+        /// Enclosing function.
+        func: String,
+    },
+    /// The call graph contains a cycle (MISRA-C rule 16.2).
+    Recursion {
+        /// A function on the cycle.
+        func: String,
+    },
+    /// A global array has no elements.
+    EmptyArray(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::DuplicateGlobal(n) => write!(f, "duplicate global `{n}`"),
+            TypeError::DuplicateFunction(n) => write!(f, "duplicate function `{n}`"),
+            TypeError::DuplicateVar { func, name } => {
+                write!(f, "duplicate variable `{name}` in `{func}`")
+            }
+            TypeError::UnknownVar { func, name } => {
+                write!(f, "unknown variable `{name}` in `{func}`")
+            }
+            TypeError::UnknownFunction { func, callee } => {
+                write!(f, "unknown function `{callee}` called from `{func}`")
+            }
+            TypeError::NotAnArray { func, name } => {
+                write!(f, "`{name}` indexed in `{func}` but is not a global array")
+            }
+            TypeError::ArrayAsScalar { func, name } => {
+                write!(f, "array `{name}` used as a scalar in `{func}`")
+            }
+            TypeError::Mismatch {
+                func,
+                expected,
+                found,
+                context,
+            } => write!(
+                f,
+                "type mismatch in `{func}` ({context}): expected {expected:?}, found {found:?}"
+            ),
+            TypeError::Arity {
+                func,
+                callee,
+                expected,
+                found,
+            } => write!(
+                f,
+                "call to `{callee}` in `{func}` passes {found} arguments, expected {expected}"
+            ),
+            TypeError::VoidInExpr { func, callee } => {
+                write!(
+                    f,
+                    "void function `{callee}` used in an expression in `{func}`"
+                )
+            }
+            TypeError::ReturnShape { func } => {
+                write!(
+                    f,
+                    "return statement shape does not match signature of `{func}`"
+                )
+            }
+            TypeError::Recursion { func } => {
+                write!(f, "recursion involving `{func}` (forbidden, MISRA-C 16.2)")
+            }
+            TypeError::EmptyArray(n) => write!(f, "global array `{n}` has no elements"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+struct Env<'p> {
+    prog: &'p Program,
+    func: &'p Function,
+    vars: BTreeMap<&'p str, Ty>,
+}
+
+impl<'p> Env<'p> {
+    fn mismatch(&self, expected: Ty, found: Ty, context: &'static str) -> TypeError {
+        TypeError::Mismatch {
+            func: self.func.name.clone(),
+            expected,
+            found,
+            context,
+        }
+    }
+
+    fn scalar_var(&self, name: &str) -> Result<Ty, TypeError> {
+        if let Some(&ty) = self.vars.get(name) {
+            return Ok(ty);
+        }
+        match self.prog.global(name) {
+            Some(g) if g.def.is_array() => Err(TypeError::ArrayAsScalar {
+                func: self.func.name.clone(),
+                name: name.to_owned(),
+            }),
+            Some(g) => Ok(g.def.elem_ty()),
+            None => Err(TypeError::UnknownVar {
+                func: self.func.name.clone(),
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    fn array_elem(&self, name: &str) -> Result<Ty, TypeError> {
+        match self.prog.global(name) {
+            Some(g) if g.def.is_array() => Ok(g.def.elem_ty()),
+            _ => Err(TypeError::NotAnArray {
+                func: self.func.name.clone(),
+                name: name.to_owned(),
+            }),
+        }
+    }
+
+    fn expr(&self, e: &Expr) -> Result<Ty, TypeError> {
+        match e {
+            Expr::IntLit(_) => Ok(Ty::I32),
+            Expr::FloatLit(_) => Ok(Ty::F64),
+            Expr::BoolLit(_) => Ok(Ty::Bool),
+            Expr::Var(name) => self.scalar_var(name),
+            Expr::Index(name, idx) => {
+                let it = self.expr(idx)?;
+                if it != Ty::I32 {
+                    return Err(self.mismatch(Ty::I32, it, "array index"));
+                }
+                self.array_elem(name)
+            }
+            Expr::IoRead(_) => Ok(Ty::F64),
+            Expr::Unop(op, a) => {
+                let t = self.expr(a)?;
+                let (want, out) = match op {
+                    Unop::NegI => (Ty::I32, Ty::I32),
+                    Unop::NotB => (Ty::Bool, Ty::Bool),
+                    Unop::NegF | Unop::AbsF => (Ty::F64, Ty::F64),
+                    Unop::I2F => (Ty::I32, Ty::F64),
+                    Unop::F2I => (Ty::F64, Ty::I32),
+                };
+                if t != want {
+                    return Err(self.mismatch(want, t, "unary operand"));
+                }
+                Ok(out)
+            }
+            Expr::Binop(op, a, b) => {
+                let ta = self.expr(a)?;
+                let tb = self.expr(b)?;
+                let (want, out) = match op {
+                    Binop::AddI | Binop::SubI | Binop::MulI | Binop::DivI => (Ty::I32, Ty::I32),
+                    Binop::AddF | Binop::SubF | Binop::MulF | Binop::DivF => (Ty::F64, Ty::F64),
+                    Binop::CmpI(_) => (Ty::I32, Ty::Bool),
+                    Binop::CmpF(_) => (Ty::F64, Ty::Bool),
+                    Binop::AndB | Binop::OrB | Binop::XorB => (Ty::Bool, Ty::Bool),
+                };
+                if ta != want {
+                    return Err(self.mismatch(want, ta, "left operand"));
+                }
+                if tb != want {
+                    return Err(self.mismatch(want, tb, "right operand"));
+                }
+                Ok(out)
+            }
+            Expr::Call(callee, args) => {
+                let ret = self.call(callee, args)?;
+                ret.ok_or_else(|| TypeError::VoidInExpr {
+                    func: self.func.name.clone(),
+                    callee: callee.clone(),
+                })
+            }
+        }
+    }
+
+    fn call(&self, callee: &str, args: &[Expr]) -> Result<Option<Ty>, TypeError> {
+        let target = self
+            .prog
+            .function(callee)
+            .ok_or_else(|| TypeError::UnknownFunction {
+                func: self.func.name.clone(),
+                callee: callee.to_owned(),
+            })?;
+        if target.params.len() != args.len() {
+            return Err(TypeError::Arity {
+                func: self.func.name.clone(),
+                callee: callee.to_owned(),
+                expected: target.params.len(),
+                found: args.len(),
+            });
+        }
+        for (arg, (_, want)) in args.iter().zip(&target.params) {
+            let t = self.expr(arg)?;
+            if t != *want {
+                return Err(self.mismatch(*want, t, "call argument"));
+            }
+        }
+        Ok(target.ret)
+    }
+
+    fn stmts(&self, body: &[Stmt]) -> Result<(), TypeError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&self, s: &Stmt) -> Result<(), TypeError> {
+        match s {
+            Stmt::Assign(name, e) => {
+                let want = self.scalar_var(name)?;
+                let t = self.expr(e)?;
+                if t != want {
+                    return Err(self.mismatch(want, t, "assignment"));
+                }
+                Ok(())
+            }
+            Stmt::StoreIndex(name, idx, e) => {
+                let it = self.expr(idx)?;
+                if it != Ty::I32 {
+                    return Err(self.mismatch(Ty::I32, it, "array index"));
+                }
+                let want = self.array_elem(name)?;
+                let t = self.expr(e)?;
+                if t != want {
+                    return Err(self.mismatch(want, t, "array store"));
+                }
+                Ok(())
+            }
+            Stmt::If(c, then, els) => {
+                let t = self.expr(c)?;
+                if t != Ty::Bool {
+                    return Err(self.mismatch(Ty::Bool, t, "if condition"));
+                }
+                self.stmts(then)?;
+                self.stmts(els)
+            }
+            Stmt::While(c, body) => {
+                let t = self.expr(c)?;
+                if t != Ty::Bool {
+                    return Err(self.mismatch(Ty::Bool, t, "while condition"));
+                }
+                self.stmts(body)
+            }
+            Stmt::Return(e) => match (e, self.func.ret) {
+                (None, None) => Ok(()),
+                (Some(e), Some(want)) => {
+                    let t = self.expr(e)?;
+                    if t != want {
+                        return Err(self.mismatch(want, t, "return value"));
+                    }
+                    Ok(())
+                }
+                _ => Err(TypeError::ReturnShape {
+                    func: self.func.name.clone(),
+                }),
+            },
+            Stmt::Annot(_, args) => {
+                for a in args {
+                    self.expr(a)?; // any scalar type is observable
+                }
+                Ok(())
+            }
+            Stmt::IoWrite(_, e) => {
+                let t = self.expr(e)?;
+                if t != Ty::F64 {
+                    return Err(self.mismatch(Ty::F64, t, "I/O write"));
+                }
+                Ok(())
+            }
+            Stmt::CallStmt(callee, args) => {
+                self.call(callee, args)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+fn callees(body: &[Stmt], acc: &mut BTreeSet<String>) {
+    fn in_expr(e: &Expr, acc: &mut BTreeSet<String>) {
+        match e {
+            Expr::Call(name, args) => {
+                acc.insert(name.clone());
+                for a in args {
+                    in_expr(a, acc);
+                }
+            }
+            Expr::Unop(_, a) => in_expr(a, acc),
+            Expr::Binop(_, a, b) => {
+                in_expr(a, acc);
+                in_expr(b, acc);
+            }
+            Expr::Index(_, i) => in_expr(i, acc),
+            _ => {}
+        }
+    }
+    for s in body {
+        match s {
+            Stmt::Assign(_, e) | Stmt::IoWrite(_, e) => in_expr(e, acc),
+            Stmt::StoreIndex(_, i, e) => {
+                in_expr(i, acc);
+                in_expr(e, acc);
+            }
+            Stmt::If(c, a, b) => {
+                in_expr(c, acc);
+                callees(a, acc);
+                callees(b, acc);
+            }
+            Stmt::While(c, b) => {
+                in_expr(c, acc);
+                callees(b, acc);
+            }
+            Stmt::Return(Some(e)) => in_expr(e, acc),
+            Stmt::Return(None) => {}
+            Stmt::Annot(_, args) => {
+                for a in args {
+                    in_expr(a, acc);
+                }
+            }
+            Stmt::CallStmt(name, args) => {
+                acc.insert(name.clone());
+                for a in args {
+                    in_expr(a, acc);
+                }
+            }
+        }
+    }
+}
+
+fn check_no_recursion(prog: &Program) -> Result<(), TypeError> {
+    // DFS over the call graph with colors.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Grey,
+        Black,
+    }
+    let mut color: BTreeMap<&str, Color> = prog
+        .functions
+        .iter()
+        .map(|f| (f.name.as_str(), Color::White))
+        .collect();
+    let graph: BTreeMap<&str, BTreeSet<String>> = prog
+        .functions
+        .iter()
+        .map(|f| {
+            let mut c = BTreeSet::new();
+            callees(&f.body, &mut c);
+            (f.name.as_str(), c)
+        })
+        .collect();
+
+    fn visit<'a>(
+        name: &'a str,
+        graph: &'a BTreeMap<&str, BTreeSet<String>>,
+        color: &mut BTreeMap<&'a str, Color>,
+    ) -> Result<(), TypeError> {
+        match color.get(name).copied() {
+            Some(Color::Black) | None => return Ok(()), // unknown callees caught elsewhere
+            Some(Color::Grey) => {
+                return Err(TypeError::Recursion {
+                    func: name.to_owned(),
+                })
+            }
+            Some(Color::White) => {}
+        }
+        color.insert(name, Color::Grey);
+        if let Some(cs) = graph.get(name) {
+            for callee in cs {
+                if let Some((&key, _)) = graph.get_key_value(callee.as_str()) {
+                    visit(key, graph, color)?;
+                }
+            }
+        }
+        color.insert(name, Color::Black);
+        Ok(())
+    }
+
+    let names: Vec<&str> = prog.functions.iter().map(|f| f.name.as_str()).collect();
+    for name in names {
+        visit(name, &graph, &mut color)?;
+    }
+    Ok(())
+}
+
+/// Typechecks a program.
+///
+/// # Errors
+///
+/// The first [`TypeError`] found, in declaration order.
+pub fn check(prog: &Program) -> Result<(), TypeError> {
+    let mut seen = BTreeSet::new();
+    for g in &prog.globals {
+        if !seen.insert(g.name.as_str()) {
+            return Err(TypeError::DuplicateGlobal(g.name.clone()));
+        }
+        if g.def.is_array() && g.def.is_empty() {
+            return Err(TypeError::EmptyArray(g.name.clone()));
+        }
+    }
+    let mut seen = BTreeSet::new();
+    for f in &prog.functions {
+        if !seen.insert(f.name.as_str()) {
+            return Err(TypeError::DuplicateFunction(f.name.clone()));
+        }
+    }
+
+    for f in &prog.functions {
+        let mut vars: BTreeMap<&str, crate::ast::Ty> = BTreeMap::new();
+        for (name, ty) in f.params.iter().chain(&f.locals) {
+            if vars.insert(name.as_str(), *ty).is_some() {
+                return Err(TypeError::DuplicateVar {
+                    func: f.name.clone(),
+                    name: name.clone(),
+                });
+            }
+        }
+        let env = Env {
+            prog,
+            func: f,
+            vars,
+        };
+        env.stmts(&f.body)?;
+    }
+
+    check_no_recursion(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+
+    fn func(name: &str, body: Vec<Stmt>) -> Function {
+        Function {
+            name: name.into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body,
+        }
+    }
+
+    fn prog_with(f: Function) -> Program {
+        Program {
+            globals: vec![],
+            functions: vec![f],
+        }
+    }
+
+    #[test]
+    fn accepts_well_typed() {
+        let mut f = func("f", vec![]);
+        f.locals = vec![("x".into(), Ty::F64), ("b".into(), Ty::Bool)];
+        f.body = vec![
+            Stmt::Assign(
+                "x".into(),
+                Expr::binop(Binop::AddF, Expr::FloatLit(1.0), Expr::var("x")),
+            ),
+            Stmt::Assign(
+                "b".into(),
+                Expr::binop(Binop::CmpF(Cmp::Lt), Expr::var("x"), Expr::FloatLit(2.0)),
+            ),
+            Stmt::If(Expr::var("b"), vec![Stmt::Return(None)], vec![]),
+        ];
+        check(&prog_with(f)).unwrap();
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut f = func("f", vec![]);
+        f.locals = vec![("x".into(), Ty::F64)];
+        f.body = vec![Stmt::Assign("x".into(), Expr::IntLit(1))];
+        assert!(matches!(
+            check(&prog_with(f)),
+            Err(TypeError::Mismatch {
+                expected: Ty::F64,
+                found: Ty::I32,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_var() {
+        let f = func("f", vec![Stmt::Assign("nope".into(), Expr::IntLit(1))]);
+        assert!(matches!(
+            check(&prog_with(f)),
+            Err(TypeError::UnknownVar { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_bool_condition() {
+        let f = func("f", vec![Stmt::While(Expr::IntLit(1), vec![])]);
+        assert!(matches!(
+            check(&prog_with(f)),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_direct_recursion() {
+        let f = func("f", vec![Stmt::CallStmt("f".into(), vec![])]);
+        assert!(matches!(
+            check(&prog_with(f)),
+            Err(TypeError::Recursion { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indirect_recursion() {
+        let f = func("f", vec![Stmt::CallStmt("g".into(), vec![])]);
+        let g = func("g", vec![Stmt::CallStmt("f".into(), vec![])]);
+        let p = Program {
+            globals: vec![],
+            functions: vec![f, g],
+        };
+        assert!(matches!(check(&p), Err(TypeError::Recursion { .. })));
+    }
+
+    #[test]
+    fn accepts_dag_calls() {
+        let mut h = func("h", vec![Stmt::Return(Some(Expr::IntLit(3)))]);
+        h.ret = Some(Ty::I32);
+        let mut f = func("f", vec![]);
+        f.locals = vec![("x".into(), Ty::I32)];
+        f.body = vec![
+            Stmt::Assign("x".into(), Expr::Call("h".into(), vec![])),
+            Stmt::Assign(
+                "x".into(),
+                Expr::binop(Binop::AddI, Expr::Call("h".into(), vec![]), Expr::var("x")),
+            ),
+        ];
+        let p = Program {
+            globals: vec![],
+            functions: vec![f, h],
+        };
+        check(&p).unwrap();
+    }
+
+    #[test]
+    fn rejects_void_in_expression() {
+        let g = func("g", vec![]);
+        let mut f = func("f", vec![]);
+        f.locals = vec![("x".into(), Ty::I32)];
+        f.body = vec![Stmt::Assign("x".into(), Expr::Call("g".into(), vec![]))];
+        let p = Program {
+            globals: vec![],
+            functions: vec![f, g],
+        };
+        assert!(matches!(check(&p), Err(TypeError::VoidInExpr { .. })));
+    }
+
+    #[test]
+    fn rejects_array_misuse() {
+        let p = Program {
+            globals: vec![Global {
+                name: "t".into(),
+                def: GlobalDef::ArrayF64(vec![1.0]),
+            }],
+            functions: vec![func(
+                "f",
+                vec![Stmt::Annot("v %1".into(), vec![Expr::var("t")])],
+            )],
+        };
+        assert!(matches!(check(&p), Err(TypeError::ArrayAsScalar { .. })));
+    }
+
+    #[test]
+    fn rejects_indexing_scalar() {
+        let p = Program {
+            globals: vec![Global {
+                name: "s".into(),
+                def: GlobalDef::ScalarF64(None),
+            }],
+            functions: vec![func(
+                "f",
+                vec![Stmt::Annot(
+                    "v %1".into(),
+                    vec![Expr::Index("s".into(), Box::new(Expr::IntLit(0)))],
+                )],
+            )],
+        };
+        assert!(matches!(check(&p), Err(TypeError::NotAnArray { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_array_and_duplicates() {
+        let p = Program {
+            globals: vec![Global {
+                name: "t".into(),
+                def: GlobalDef::ArrayI32(vec![]),
+            }],
+            functions: vec![],
+        };
+        assert!(matches!(check(&p), Err(TypeError::EmptyArray(_))));
+        let p = Program {
+            globals: vec![
+                Global {
+                    name: "x".into(),
+                    def: GlobalDef::ScalarI32(None),
+                },
+                Global {
+                    name: "x".into(),
+                    def: GlobalDef::ScalarI32(None),
+                },
+            ],
+            functions: vec![],
+        };
+        assert!(matches!(check(&p), Err(TypeError::DuplicateGlobal(_))));
+    }
+
+    #[test]
+    fn rejects_bad_arity_and_return_shape() {
+        let mut g = func("g", vec![Stmt::Return(Some(Expr::IntLit(1)))]);
+        g.params = vec![("a".into(), Ty::I32)];
+        g.ret = Some(Ty::I32);
+        let f = func("f", vec![Stmt::CallStmt("g".into(), vec![])]);
+        let p = Program {
+            globals: vec![],
+            functions: vec![f, g.clone()],
+        };
+        assert!(matches!(check(&p), Err(TypeError::Arity { .. })));
+
+        let bad = func("v", vec![Stmt::Return(Some(Expr::IntLit(1)))]);
+        assert!(matches!(
+            check(&prog_with(bad)),
+            Err(TypeError::ReturnShape { .. })
+        ));
+    }
+}

@@ -1,0 +1,509 @@
+//! Abstract cache analysis: LRU must-analysis for guaranteed hits, plus a
+//! per-loop persistence analysis for first-miss accounting.
+//!
+//! The must-cache maps resident lines to an upper bound on their LRU age;
+//! joins intersect the domains and take the maximum age, so a line present
+//! in the must-cache is present in every concrete cache reachable at that
+//! point — classifying its access **always-hit**. Everything else is
+//! treated as a miss (*not-classified* accesses are misses for timing,
+//! which is safe in our anomaly-free pipeline model).
+//!
+//! Inside loops the must-analysis alone classifies most accesses as misses
+//! (the join with the cold entry state loses them), so a **persistence**
+//! refinement runs per innermost loop: if every line a set receives during
+//! the loop is known and they all fit the associativity, none can be
+//! evicted, so each such line misses at most once per loop entry. The loop
+//! is then charged one flat line-fill penalty per persistent line, and the
+//! per-iteration cost treats those accesses as hits — a sound accounting
+//! because one miss delays the in-order pipeline by at most the fill
+//! latency.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vericomp_arch::config::CacheConfig;
+use vericomp_arch::inst::Inst;
+use vericomp_arch::MachineConfig;
+
+use crate::annot::AnnotationFile;
+use crate::cfg::{Cfg, NaturalLoop};
+use crate::value::{access_addr, transfer, AbsState, AccessAddr, ValueAnalysis};
+
+/// Abstract must-cache: per set, resident lines with maximal LRU age.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MustCache {
+    ways: u8,
+    sets: Vec<BTreeMap<u32, u8>>,
+}
+
+impl MustCache {
+    /// An empty (no guaranteed content) must-cache.
+    pub fn new(config: &CacheConfig) -> MustCache {
+        MustCache {
+            ways: config.ways as u8,
+            sets: vec![BTreeMap::new(); config.sets() as usize],
+        }
+    }
+
+    fn set_of(&self, line: u32) -> usize {
+        (line as usize) % self.sets.len()
+    }
+
+    /// Whether an access to `line` is a guaranteed hit.
+    pub fn contains(&self, line: u32) -> bool {
+        self.sets[self.set_of(line)].contains_key(&line)
+    }
+
+    /// LRU update for a definite access to `line`.
+    pub fn access(&mut self, line: u32) {
+        let ways = self.ways;
+        let si = self.set_of(line);
+        let set = &mut self.sets[si];
+        let old_age = set.get(&line).copied().unwrap_or(ways);
+        set.retain(|_, age| {
+            if *age < old_age {
+                *age += 1;
+            }
+            *age < ways
+        });
+        set.insert(line, 0);
+    }
+
+    /// Conservative update for an access that may touch any line of `set`.
+    pub fn age_set(&mut self, si: usize) {
+        let ways = self.ways;
+        let set = &mut self.sets[si];
+        set.retain(|_, age| {
+            *age += 1;
+            *age < ways
+        });
+    }
+
+    /// Conservative update for an access with a completely unknown address.
+    pub fn age_all(&mut self) {
+        for si in 0..self.sets.len() {
+            self.age_set(si);
+        }
+    }
+
+    /// Applies a possibly-imprecise data access.
+    pub fn apply(&mut self, config: &CacheConfig, addr: AccessAddr, bytes: u32) {
+        match addr {
+            AccessAddr::Exact(a) => {
+                // aligned accesses never straddle a line
+                self.access(config.line_of(a));
+            }
+            AccessAddr::Range { lo, hi } => {
+                let first = config.line_of(lo);
+                let last = config.line_of(hi + bytes - 1);
+                let nsets = self.sets.len() as u32;
+                if last - first + 1 >= nsets {
+                    self.age_all();
+                } else {
+                    let affected: BTreeSet<usize> =
+                        (first..=last).map(|l| (l % nsets) as usize).collect();
+                    for si in affected {
+                        self.age_set(si);
+                    }
+                }
+            }
+            AccessAddr::Unknown => self.age_all(),
+        }
+    }
+
+    /// Join: intersect domains, take the maximum age.
+    pub fn join(&self, other: &MustCache) -> MustCache {
+        let sets = self
+            .sets
+            .iter()
+            .zip(&other.sets)
+            .map(|(a, b)| {
+                a.iter()
+                    .filter_map(|(&l, &age)| b.get(&l).map(|&bg| (l, age.max(bg))))
+                    .collect()
+            })
+            .collect();
+        MustCache {
+            ways: self.ways,
+            sets,
+        }
+    }
+}
+
+/// Classification of one data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataClass {
+    /// Guaranteed cache hit.
+    Hit,
+    /// Possible miss (charged the line fill every execution, unless
+    /// rescued by persistence).
+    Miss,
+    /// Uncached I/O access (fixed long latency).
+    Io,
+}
+
+/// Result of the combined I/D cache analysis.
+#[derive(Debug, Clone)]
+pub struct CacheClassification {
+    /// Guaranteed-hit instruction fetches, by instruction address.
+    pub fetch_hit: BTreeSet<u32>,
+    /// Data-access classification by instruction address.
+    pub data: BTreeMap<u32, DataClass>,
+    /// Instruction addresses whose access (fetch and/or data) is persistent
+    /// in its innermost loop.
+    pub persistent_fetch: BTreeSet<u32>,
+    /// Data accesses persistent in their innermost loop.
+    pub persistent_data: BTreeSet<u32>,
+    /// Flat per-entry fill penalty (cycles) of each innermost loop, by
+    /// header address.
+    pub loop_fill_penalty: BTreeMap<u32, u64>,
+}
+
+fn data_bytes(inst: &Inst) -> u32 {
+    match inst.mem_access() {
+        Some(vericomp_arch::inst::MemAccess::Load { bytes })
+        | Some(vericomp_arch::inst::MemAccess::Store { bytes }) => u32::from(bytes),
+        None => 0,
+    }
+}
+
+/// Runs the cache analyses over one function.
+pub fn analyze(
+    cfg: &Cfg,
+    machine: &MachineConfig,
+    va: &ValueAnalysis,
+    annots: Option<&AnnotationFile>,
+) -> CacheClassification {
+    // ---- must-analysis fixpoint ----
+    let mut at_entry: BTreeMap<u32, (MustCache, MustCache)> = BTreeMap::new();
+    at_entry.insert(
+        cfg.entry,
+        (
+            MustCache::new(&machine.icache),
+            MustCache::new(&machine.dcache),
+        ),
+    );
+    let rpo = cfg.rpo();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            let Some((mut ic, mut dc)) = at_entry.get(&b).cloned() else {
+                continue;
+            };
+            let mut vs = va.at_entry.get(&b).cloned().unwrap_or_default();
+            walk_block(
+                cfg,
+                machine,
+                b,
+                &mut ic,
+                &mut dc,
+                &mut vs,
+                annots,
+                |_, _, _| {},
+            );
+            for &succ in &cfg.blocks[&b].succs {
+                let merged = match at_entry.get(&succ) {
+                    None => (ic.clone(), dc.clone()),
+                    Some((oi, od)) => (oi.join(&ic), od.join(&dc)),
+                };
+                if at_entry.get(&succ) != Some(&merged) {
+                    at_entry.insert(succ, merged);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // ---- classification pass ----
+    let mut fetch_hit = BTreeSet::new();
+    let mut data = BTreeMap::new();
+    for &b in &rpo {
+        let Some((mut ic, mut dc)) = at_entry.get(&b).cloned() else {
+            continue;
+        };
+        let mut vs = va.at_entry.get(&b).cloned().unwrap_or_default();
+        walk_block(
+            cfg,
+            machine,
+            b,
+            &mut ic,
+            &mut dc,
+            &mut vs,
+            annots,
+            |addr, fetch, dclass| {
+                if fetch {
+                    fetch_hit.insert(addr);
+                }
+                if let Some(d) = dclass {
+                    data.insert(addr, d);
+                }
+            },
+        );
+    }
+
+    // ---- persistence per innermost loop ----
+    let mut persistent_fetch = BTreeSet::new();
+    let mut persistent_data = BTreeSet::new();
+    let mut loop_fill_penalty = BTreeMap::new();
+    for l in &cfg.loops {
+        let is_innermost = !cfg
+            .loops
+            .iter()
+            .any(|o| o.header != l.header && o.blocks.is_subset(&l.blocks));
+        if !is_innermost {
+            continue;
+        }
+        let (pf, pd, penalty) = loop_persistence(cfg, machine, va, annots, l);
+        persistent_fetch.extend(pf);
+        persistent_data.extend(pd);
+        loop_fill_penalty.insert(l.header, penalty);
+    }
+
+    CacheClassification {
+        fetch_hit,
+        data,
+        persistent_fetch,
+        persistent_data,
+        loop_fill_penalty,
+    }
+}
+
+/// Walks one block, updating cache and value states and reporting
+/// per-instruction classifications through `report(addr, fetch_hit,
+/// data_class)`.
+#[allow(clippy::too_many_arguments)]
+fn walk_block(
+    cfg: &Cfg,
+    machine: &MachineConfig,
+    block: u32,
+    ic: &mut MustCache,
+    dc: &mut MustCache,
+    vs: &mut AbsState,
+    annots: Option<&AnnotationFile>,
+    mut report: impl FnMut(u32, bool, Option<DataClass>),
+) {
+    let blk = &cfg.blocks[&block];
+    let mut addr = blk.start;
+    for inst in &blk.insts {
+        // fetch
+        let line = machine.icache.line_of(addr);
+        let f_hit = ic.contains(line);
+        ic.access(line);
+        // data
+        let mut dclass = None;
+        if inst.mem_access().is_some() {
+            let a = access_addr(vs, inst).expect("mem instruction has an address");
+            let io = match a {
+                AccessAddr::Exact(x) => machine.is_io(x),
+                AccessAddr::Range { lo, hi } => {
+                    // a range overlapping I/O is treated as I/O-or-miss:
+                    // classify Io only when fully inside
+                    machine.is_io(lo) && machine.is_io(hi)
+                }
+                AccessAddr::Unknown => false,
+            };
+            if io {
+                dclass = Some(DataClass::Io);
+            } else {
+                let hit = match a {
+                    AccessAddr::Exact(x) => dc.contains(machine.dcache.line_of(x)),
+                    _ => false,
+                };
+                dc.apply(&machine.dcache, a, data_bytes(inst));
+                dclass = Some(if hit { DataClass::Hit } else { DataClass::Miss });
+            }
+        }
+        report(addr, f_hit, dclass);
+        // value state last (so the access used the pre-state)
+        transfer(vs, inst, machine, annots);
+        if matches!(inst, Inst::Bl { .. }) {
+            // the callee may touch anything: caches are unknown afterwards
+            *ic = MustCache::new(&machine.icache);
+            *dc = MustCache::new(&machine.dcache);
+        }
+        addr += 4;
+    }
+}
+
+/// Persistence for one innermost loop: returns the persistent fetch
+/// addresses, persistent data-access addresses, and the flat per-entry fill
+/// penalty.
+fn loop_persistence(
+    cfg: &Cfg,
+    machine: &MachineConfig,
+    va: &ValueAnalysis,
+    annots: Option<&AnnotationFile>,
+    l: &NaturalLoop,
+) -> (BTreeSet<u32>, BTreeSet<u32>, u64) {
+    let insets = machine.icache.sets();
+    let dsets = machine.dcache.sets();
+    // per set: known lines; bool = overflowed by imprecise access
+    let mut ilines: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    let mut dlines: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    let mut d_overflow: BTreeSet<u32> = BTreeSet::new();
+    let mut all_overflow = false;
+
+    // access sites
+    let mut fetch_sites: Vec<(u32, u32)> = Vec::new(); // (inst addr, line)
+    let mut data_sites: Vec<(u32, Vec<u32>)> = Vec::new(); // (inst addr, lines)
+
+    for &baddr in &l.blocks {
+        let blk = &cfg.blocks[&baddr];
+        let mut vs = va.at_entry.get(&baddr).cloned().unwrap_or_default();
+        let mut addr = baddr;
+        for inst in &blk.insts {
+            if matches!(inst, Inst::Bl { .. }) {
+                all_overflow = true; // callee pollutes both caches
+            }
+            let line = machine.icache.line_of(addr);
+            ilines.entry(line % insets).or_default().insert(line);
+            fetch_sites.push((addr, line));
+            if inst.mem_access().is_some() {
+                match access_addr(&vs, inst).expect("mem instruction has an address") {
+                    AccessAddr::Exact(x) if !machine.is_io(x) => {
+                        let line = machine.dcache.line_of(x);
+                        dlines.entry(line % dsets).or_default().insert(line);
+                        data_sites.push((addr, vec![line]));
+                    }
+                    AccessAddr::Exact(_) => {}
+                    AccessAddr::Range { lo, hi } if !machine.is_io(lo) => {
+                        let first = machine.dcache.line_of(lo);
+                        let last = machine.dcache.line_of(hi + data_bytes(inst) - 1);
+                        if last - first < 2 * machine.dcache.ways {
+                            let lines: Vec<u32> = (first..=last).collect();
+                            for &li in &lines {
+                                dlines.entry(li % dsets).or_default().insert(li);
+                            }
+                            data_sites.push((addr, lines));
+                        } else {
+                            for li in first..=last.min(first + dsets) {
+                                d_overflow.insert(li % dsets);
+                            }
+                        }
+                    }
+                    _ => {
+                        all_overflow = true;
+                    }
+                }
+            }
+            transfer(&mut vs, inst, machine, annots);
+            addr += 4;
+        }
+    }
+
+    if all_overflow {
+        return (BTreeSet::new(), BTreeSet::new(), 0);
+    }
+
+    let iways = machine.icache.ways as usize;
+    let dways = machine.dcache.ways as usize;
+    let safe_iset = |s: u32| ilines.get(&s).map(|v| v.len() <= iways).unwrap_or(true);
+    let safe_dset = |s: u32| {
+        !d_overflow.contains(&s) && dlines.get(&s).map(|v| v.len() <= dways).unwrap_or(true)
+    };
+
+    let mut persistent_fetch = BTreeSet::new();
+    let mut pers_ilines = BTreeSet::new();
+    for (site, line) in fetch_sites {
+        if safe_iset(line % insets) {
+            persistent_fetch.insert(site);
+            pers_ilines.insert(line);
+        }
+    }
+    let mut persistent_data = BTreeSet::new();
+    let mut pers_dlines = BTreeSet::new();
+    for (site, lines) in data_sites {
+        if lines.iter().all(|&li| safe_dset(li % dsets)) {
+            persistent_data.insert(site);
+            pers_dlines.extend(lines);
+        }
+    }
+    let penalty = pers_ilines.len() as u64 * u64::from(machine.fetch_latency)
+        + pers_dlines.len() as u64 * u64::from(machine.mem_latency);
+    (persistent_fetch, persistent_data, penalty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 32,
+        } // 4 sets
+    }
+
+    #[test]
+    fn must_cache_hits_after_access() {
+        let mut m = MustCache::new(&tiny());
+        assert!(!m.contains(3));
+        m.access(3);
+        assert!(m.contains(3));
+    }
+
+    #[test]
+    fn must_cache_eviction_by_age() {
+        let mut m = MustCache::new(&tiny());
+        // lines 0, 4, 8 map to set 0 (4 sets)
+        m.access(0);
+        m.access(4);
+        assert!(m.contains(0) && m.contains(4));
+        m.access(8); // 2 ways: line 0 (age 1 → 2) leaves the must set
+        assert!(!m.contains(0));
+        assert!(m.contains(4) && m.contains(8));
+    }
+
+    #[test]
+    fn repeated_access_refreshes_age() {
+        let mut m = MustCache::new(&tiny());
+        m.access(0);
+        m.access(4);
+        m.access(0); // 0 young again
+        m.access(8); // evicts 4
+        assert!(m.contains(0));
+        assert!(!m.contains(4));
+    }
+
+    #[test]
+    fn join_is_intersection_with_max_age() {
+        let c = tiny();
+        let mut a = MustCache::new(&c);
+        a.access(0);
+        a.access(4); // 0 has age 1 in a
+        let mut b = MustCache::new(&c);
+        b.access(0); // 0 has age 0 in b
+        let j = a.join(&b);
+        assert!(j.contains(0));
+        assert!(!j.contains(4));
+        // age must be the max: one more conflicting access evicts 0 in j
+        let mut j2 = j.clone();
+        j2.access(8);
+        assert!(!j2.contains(0), "join must keep the pessimistic age");
+    }
+
+    #[test]
+    fn unknown_access_ages_everything() {
+        let mut m = MustCache::new(&tiny());
+        m.access(0);
+        m.access(1);
+        m.age_all();
+        m.age_all();
+        assert!(!m.contains(0));
+        assert!(!m.contains(1));
+    }
+
+    #[test]
+    fn range_access_only_affects_its_sets() {
+        let c = tiny();
+        let mut m = MustCache::new(&c);
+        m.access(0); // set 0
+        m.access(1); // set 1
+                     // a range covering lines 1..=2 (sets 1 and 2)
+        m.apply(&c, AccessAddr::Range { lo: 32, hi: 64 }, 4);
+        m.apply(&c, AccessAddr::Range { lo: 32, hi: 64 }, 4);
+        assert!(m.contains(0), "set 0 untouched");
+        assert!(!m.contains(1), "set 1 aged out");
+    }
+}

@@ -1,0 +1,532 @@
+//! Control-flow reconstruction from the binary, dominators and natural
+//! loops — the analyzer's first phase ("decoding / CFG reconstruction" in
+//! the aiT pipeline).
+//!
+//! The analyzer deliberately starts from the *encoded words*: the program's
+//! text section is re-encoded and decoded here, so analysis results are
+//! statements about the binary, not about compiler IR.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vericomp_arch::inst::{ControlFlow, Inst};
+use vericomp_arch::program::Program;
+
+use crate::AnalysisError;
+
+/// A reconstructed basic block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Address of the first instruction.
+    pub start: u32,
+    /// Decoded instructions (including the terminating branch, if any).
+    pub insts: Vec<Inst>,
+    /// Successor block start addresses (within the function).
+    pub succs: Vec<u32>,
+    /// Callees invoked by `bl` instructions in this block, in order.
+    pub calls: Vec<String>,
+    /// Whether the block ends the function (`blr`).
+    pub is_return: bool,
+}
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// Header block address.
+    pub header: u32,
+    /// All blocks of the loop (header included).
+    pub blocks: BTreeSet<u32>,
+    /// Sources of back edges (latches).
+    pub latches: BTreeSet<u32>,
+    /// Blocks inside the loop with a successor outside it.
+    pub exits: BTreeSet<u32>,
+}
+
+/// The reconstructed control-flow graph of one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Function name.
+    pub name: String,
+    /// Entry address.
+    pub entry: u32,
+    /// Blocks by start address.
+    pub blocks: BTreeMap<u32, Block>,
+    /// Natural loops, innermost last (sorted by increasing block count).
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl Cfg {
+    /// Predecessor map.
+    pub fn predecessors(&self) -> BTreeMap<u32, Vec<u32>> {
+        let mut preds: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for (&a, b) in &self.blocks {
+            for &s in &b.succs {
+                preds.entry(s).or_default().push(a);
+            }
+        }
+        preds
+    }
+
+    /// Reverse post-order of block addresses from the entry.
+    pub fn rpo(&self) -> Vec<u32> {
+        let mut visited = BTreeSet::new();
+        let mut post = Vec::new();
+        let mut stack = vec![(self.entry, 0usize)];
+        visited.insert(self.entry);
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            let succs = &self.blocks[&b].succs;
+            if *i < succs.len() {
+                let s = succs[*i];
+                *i += 1;
+                if visited.insert(s) {
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// The innermost loop containing `addr`, if any.
+    pub fn innermost_loop_of(&self, addr: u32) -> Option<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|l| l.blocks.contains(&addr))
+            .min_by_key(|l| l.blocks.len())
+    }
+}
+
+/// Reconstructs the CFG of the named function from the program's encoded
+/// binary.
+///
+/// # Errors
+///
+/// [`AnalysisError`] on unknown functions, decode failures, control flow
+/// leaving the function, or irreducible loops.
+pub fn reconstruct(program: &Program, func: &str) -> Result<Cfg, AnalysisError> {
+    let sym = program
+        .function(func)
+        .ok_or_else(|| AnalysisError::UnknownFunction(func.to_owned()))?;
+    let lo = sym.entry;
+    let hi = sym.entry + 4 * sym.len_words;
+
+    // Decode from the binary words.
+    let words = program.encode_text();
+    let decode_at = |addr: u32| -> Result<Inst, AnalysisError> {
+        let idx = ((addr - program.config.text_base) / 4) as usize;
+        vericomp_arch::encode::decode(words[idx], addr).map_err(AnalysisError::Decode)
+    };
+
+    // Pass 1: leaders.
+    let mut leaders: BTreeSet<u32> = BTreeSet::new();
+    leaders.insert(lo);
+    let mut addr = lo;
+    while addr < hi {
+        let inst = decode_at(addr)?;
+        match inst.control_flow() {
+            ControlFlow::Jump(t) => {
+                in_range(t, lo, hi, addr)?;
+                leaders.insert(t);
+                if addr + 4 < hi {
+                    leaders.insert(addr + 4);
+                }
+            }
+            ControlFlow::CondBranch(t) => {
+                in_range(t, lo, hi, addr)?;
+                leaders.insert(t);
+                if addr + 4 < hi {
+                    leaders.insert(addr + 4);
+                }
+            }
+            ControlFlow::Return => {
+                if addr + 4 < hi {
+                    leaders.insert(addr + 4);
+                }
+            }
+            ControlFlow::Call(_) | ControlFlow::Fallthrough => {}
+        }
+        addr += 4;
+    }
+
+    // Pass 2: blocks.
+    let leader_list: Vec<u32> = leaders.iter().copied().collect();
+    let mut blocks = BTreeMap::new();
+    for (i, &start) in leader_list.iter().enumerate() {
+        let end = leader_list.get(i + 1).copied().unwrap_or(hi);
+        let mut insts = Vec::with_capacity(((end - start) / 4) as usize);
+        let mut calls = Vec::new();
+        let mut succs = Vec::new();
+        let mut is_return = false;
+        let mut a = start;
+        while a < end {
+            let inst = decode_at(a)?;
+            match inst.control_flow() {
+                ControlFlow::Call(t) => {
+                    let callee = program
+                        .function_at(t)
+                        .filter(|f| f.entry == t)
+                        .ok_or(AnalysisError::CallOutsideText { at: a, target: t })?;
+                    calls.push(callee.name.clone());
+                }
+                ControlFlow::Jump(t) => {
+                    succs.push(t);
+                }
+                ControlFlow::CondBranch(t) => {
+                    succs.push(t); // taken first
+                    if a + 4 < hi {
+                        succs.push(a + 4);
+                    }
+                }
+                ControlFlow::Return => is_return = true,
+                ControlFlow::Fallthrough => {}
+            }
+            insts.push(inst);
+            a += 4;
+        }
+        let last_cf = insts.last().map(Inst::control_flow);
+        if matches!(
+            last_cf,
+            Some(ControlFlow::Fallthrough) | Some(ControlFlow::Call(_)) | None
+        ) && end < hi
+        {
+            succs.push(end);
+        }
+        blocks.insert(
+            start,
+            Block {
+                start,
+                insts,
+                succs,
+                calls,
+                is_return,
+            },
+        );
+    }
+
+    let mut cfg = Cfg {
+        name: func.to_owned(),
+        entry: lo,
+        blocks,
+        loops: Vec::new(),
+    };
+    cfg.loops = find_loops(&cfg)?;
+    Ok(cfg)
+}
+
+fn in_range(t: u32, lo: u32, hi: u32, at: u32) -> Result<(), AnalysisError> {
+    if t < lo || t >= hi {
+        return Err(AnalysisError::BranchOutsideFunction { at, target: t });
+    }
+    Ok(())
+}
+
+/// Computes immediate dominators (Cooper–Harvey–Kennedy).
+pub fn dominators(cfg: &Cfg) -> BTreeMap<u32, u32> {
+    let rpo = cfg.rpo();
+    let index: BTreeMap<u32, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    let preds = cfg.predecessors();
+    let mut idom: BTreeMap<u32, u32> = BTreeMap::new();
+    idom.insert(cfg.entry, cfg.entry);
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<u32> = None;
+            for &p in preds.get(&b).into_iter().flatten() {
+                if !idom.contains_key(&p) {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(p, cur, &idom, &index),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom.get(&b) != Some(&ni) {
+                    idom.insert(b, ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    mut a: u32,
+    mut b: u32,
+    idom: &BTreeMap<u32, u32>,
+    index: &BTreeMap<u32, usize>,
+) -> u32 {
+    while a != b {
+        while index[&a] > index[&b] {
+            a = idom[&a];
+        }
+        while index[&b] > index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Whether `a` dominates `b`.
+fn dominates(a: u32, mut b: u32, idom: &BTreeMap<u32, u32>, entry: u32) -> bool {
+    loop {
+        if a == b {
+            return true;
+        }
+        if b == entry {
+            return false;
+        }
+        b = idom[&b];
+    }
+}
+
+fn find_loops(cfg: &Cfg) -> Result<Vec<NaturalLoop>, AnalysisError> {
+    let idom = dominators(cfg);
+    let reachable: BTreeSet<u32> = cfg.rpo().into_iter().collect();
+    let mut loops: BTreeMap<u32, NaturalLoop> = BTreeMap::new();
+
+    for &b in &reachable {
+        for &s in &cfg.blocks[&b].succs {
+            if !reachable.contains(&s) {
+                continue;
+            }
+            // back edge b -> s?
+            if dominates(s, b, &idom, cfg.entry) {
+                let entry_loop = loops.entry(s).or_insert_with(|| NaturalLoop {
+                    header: s,
+                    blocks: BTreeSet::from([s]),
+                    latches: BTreeSet::new(),
+                    exits: BTreeSet::new(),
+                });
+                entry_loop.latches.insert(b);
+                // natural loop body: reverse reachability from latch to header
+                let mut stack = vec![b];
+                while let Some(x) = stack.pop() {
+                    if !loops.get_mut(&s).expect("just inserted").blocks.insert(x) {
+                        continue;
+                    }
+                    for (&p, blk) in &cfg.blocks {
+                        if blk.succs.contains(&x) && x != s {
+                            let _ = p;
+                            stack.push(p);
+                        }
+                    }
+                }
+            } else if retreats(s, b, cfg) {
+                return Err(AnalysisError::IrreducibleLoop { at: s });
+            }
+        }
+    }
+
+    let mut result: Vec<NaturalLoop> = loops.into_values().collect();
+    for l in &mut result {
+        for &b in &l.blocks {
+            if cfg.blocks[&b].succs.iter().any(|s| !l.blocks.contains(s)) {
+                l.exits.insert(b);
+            }
+        }
+    }
+    // sort outermost (largest) first
+    result.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
+    Ok(result)
+}
+
+/// Detects a retreating edge that is not a back edge (irreducibility hint):
+/// target appears before source in RPO but does not dominate it.
+fn retreats(target: u32, source: u32, cfg: &Cfg) -> bool {
+    let rpo = cfg.rpo();
+    let pos: BTreeMap<u32, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
+    match (pos.get(&target), pos.get(&source)) {
+        (Some(t), Some(s)) => t <= s,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+    use vericomp_arch::inst::{Cond, Inst as M};
+    use vericomp_arch::program::FuncSym;
+    use vericomp_arch::reg::{Cr, Gpr};
+    use vericomp_arch::MachineConfig;
+
+    fn g(i: u8) -> Gpr {
+        Gpr::new(i)
+    }
+
+    fn program(code: Vec<M>) -> Program {
+        let config = MachineConfig::mpc755();
+        let len_words = code.len() as u32;
+        Program {
+            entry: config.text_base,
+            functions: vec![FuncSym {
+                name: "f".into(),
+                entry: config.text_base,
+                len_words,
+            }],
+            globals: vec![],
+            data: Map::new(),
+            const_pool_base: config.data_base,
+            sda_base: config.data_base,
+            annotations: vec![],
+            code,
+            config,
+        }
+    }
+
+    #[test]
+    fn straight_line_single_block() {
+        let p = program(vec![M::li(g(3), 1), M::li(g(4), 2), M::Blr]);
+        let cfg = reconstruct(&p, "f").unwrap();
+        assert_eq!(cfg.blocks.len(), 1);
+        assert!(cfg.blocks[&cfg.entry].is_return);
+        assert!(cfg.loops.is_empty());
+    }
+
+    #[test]
+    fn diamond_reconstructed() {
+        let base = MachineConfig::mpc755().text_base;
+        let p = program(vec![
+            /* 0 */
+            M::Cmpwi {
+                cr: Cr::CR0,
+                ra: g(3),
+                imm: 0,
+            },
+            /* 4 */
+            M::Bc {
+                cond: Cond::Lt,
+                cr: Cr::CR0,
+                target: base + 16,
+            },
+            /* 8 */ M::li(g(4), 1),
+            /* 12 */ M::B { target: base + 20 },
+            /* 16 */ M::li(g(4), 2),
+            /* 20 */ M::Blr,
+        ]);
+        let cfg = reconstruct(&p, "f").unwrap();
+        assert_eq!(cfg.blocks.len(), 4);
+        let entry = &cfg.blocks[&base];
+        assert_eq!(entry.succs, vec![base + 16, base + 8]);
+        assert!(cfg.loops.is_empty());
+        let idom = dominators(&cfg);
+        assert_eq!(idom[&(base + 20)], base);
+    }
+
+    #[test]
+    fn loop_detected_with_latch_and_exit() {
+        let base = MachineConfig::mpc755().text_base;
+        let p = program(vec![
+            /* 0  */ M::li(g(4), 0),
+            /* 4 head */
+            M::Cmpwi {
+                cr: Cr::CR0,
+                ra: g(4),
+                imm: 10,
+            },
+            /* 8  */
+            M::Bc {
+                cond: Cond::Ge,
+                cr: Cr::CR0,
+                target: base + 24,
+            },
+            /* 12 body */
+            M::Addi {
+                rd: g(4),
+                ra: g(4),
+                imm: 1,
+            },
+            /* 16 */ M::B { target: base + 4 },
+            /* 20 dead */ M::Nop,
+            /* 24 exit */ M::Blr,
+        ]);
+        let cfg = reconstruct(&p, "f").unwrap();
+        assert_eq!(cfg.loops.len(), 1);
+        let l = &cfg.loops[0];
+        assert_eq!(l.header, base + 4);
+        assert!(l.blocks.contains(&(base + 12)));
+        assert!(!l.blocks.contains(&(base + 24)));
+        assert_eq!(l.latches, BTreeSet::from([base + 12]));
+        assert_eq!(l.exits, BTreeSet::from([base + 4]));
+    }
+
+    #[test]
+    fn calls_recorded_not_block_ending() {
+        let base = MachineConfig::mpc755().text_base;
+        let config = MachineConfig::mpc755();
+        let code = vec![
+            /* 0 */ M::Bl { target: base + 12 },
+            /* 4 */ M::li(g(3), 1),
+            /* 8 */ M::Blr,
+            /* 12 g */ M::Blr,
+        ];
+        let p = Program {
+            entry: base,
+            functions: vec![
+                FuncSym {
+                    name: "f".into(),
+                    entry: base,
+                    len_words: 3,
+                },
+                FuncSym {
+                    name: "g".into(),
+                    entry: base + 12,
+                    len_words: 1,
+                },
+            ],
+            globals: vec![],
+            data: Map::new(),
+            const_pool_base: config.data_base,
+            sda_base: config.data_base,
+            annotations: vec![],
+            code,
+            config,
+        };
+        let cfg = reconstruct(&p, "f").unwrap();
+        assert_eq!(cfg.blocks.len(), 1);
+        assert_eq!(cfg.blocks[&base].calls, vec!["g".to_owned()]);
+    }
+
+    #[test]
+    fn branch_outside_function_rejected() {
+        let base = MachineConfig::mpc755().text_base;
+        let p = program(vec![
+            M::B {
+                target: base + 0x1000,
+            },
+            M::Blr,
+        ]);
+        assert!(matches!(
+            reconstruct(&p, "f"),
+            Err(AnalysisError::BranchOutsideFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let base = MachineConfig::mpc755().text_base;
+        let p = program(vec![
+            M::Cmpwi {
+                cr: Cr::CR0,
+                ra: g(3),
+                imm: 0,
+            },
+            M::Bc {
+                cond: Cond::Eq,
+                cr: Cr::CR0,
+                target: base + 12,
+            },
+            M::Blr,
+            M::Blr,
+        ]);
+        let cfg = reconstruct(&p, "f").unwrap();
+        let rpo = cfg.rpo();
+        assert_eq!(rpo[0], base);
+        assert_eq!(rpo.len(), 3);
+    }
+}

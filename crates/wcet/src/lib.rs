@@ -1,0 +1,784 @@
+//! Static worst-case execution-time analysis in the style of AbsInt aiT
+//! (the measurement instrument of the paper's evaluation).
+//!
+//! The analyzer follows the classic phase structure:
+//!
+//! 1. **decoding & CFG reconstruction** from the binary ([`mod@cfg`]),
+//! 2. **value analysis** — intervals over registers and memory cells,
+//!    sharpened by the annotation file generated from the compiler's
+//!    `__builtin_annotation` table ([`value`], [`annot`]),
+//! 3. **loop-bound analysis** ([`bounds`]),
+//! 4. **cache analysis** — LRU must-analysis plus per-loop persistence
+//!    ([`cache`]),
+//! 5. **pipeline analysis** — the shared anomaly-free dual-issue timing
+//!    core, run abstractly with max-joined residual states,
+//! 6. **path analysis** — longest path with loops collapsed by their
+//!    bounds.
+//!
+//! The produced bound is safe with respect to the machine model of
+//! `vericomp-mach`: for every input, `analyze(p, f)?.wcet ≥` the cycle
+//! count the simulator reports for `f` (a tested property).
+//!
+//! # Example
+//!
+//! ```
+//! use vericomp_core::{Compiler, OptLevel};
+//! use vericomp_minic::ast::*;
+//!
+//! let prog = Program {
+//!     globals: vec![Global { name: "x".into(), def: GlobalDef::ScalarF64(None) }],
+//!     functions: vec![Function {
+//!         name: "step".into(),
+//!         params: vec![],
+//!         ret: None,
+//!         locals: vec![],
+//!         body: vec![Stmt::Assign(
+//!             "x".into(),
+//!             Expr::binop(Binop::MulF, Expr::var("x"), Expr::FloatLit(2.0)),
+//!         )],
+//!     }],
+//! };
+//! let binary = Compiler::new(OptLevel::Verified).compile(&prog, "step")?;
+//! let report = vericomp_wcet::analyze(&binary, "step")?;
+//! assert!(report.wcet > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod annot;
+pub mod bounds;
+pub mod cache;
+pub mod cfg;
+pub mod value;
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use vericomp_arch::encode::DecodeError;
+use vericomp_arch::inst::{Inst, Reg};
+use vericomp_arch::program::Program;
+use vericomp_arch::reg::{Cr, Fpr, Gpr};
+use vericomp_arch::timing::{PipeResiduals, PipeState};
+
+use annot::AnnotationFile;
+use cache::DataClass;
+use cfg::Cfg;
+
+/// Analysis options.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalysisOptions {
+    /// Whether to use the program's annotation table (§3.4). Disabling it
+    /// reproduces the "analysis without annotations" scenario, where
+    /// data-dependent loops cannot be bounded.
+    pub use_annotations: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            use_annotations: true,
+        }
+    }
+}
+
+/// The computed WCET bound and its supporting facts.
+#[derive(Debug, Clone)]
+pub struct WcetReport {
+    /// The bound, in machine cycles.
+    pub wcet: u64,
+    /// Loop bounds by loop-header address (entry function only).
+    pub loop_bounds: BTreeMap<u32, u64>,
+    /// Number of reconstructed basic blocks (entry function only).
+    pub block_count: usize,
+    /// WCET bounds of callees, by name.
+    pub callees: BTreeMap<String, u64>,
+    /// Per-block cycle bounds (entry function only), by block address —
+    /// diagnostic output for precision studies.
+    pub block_costs: BTreeMap<u32, u64>,
+}
+
+/// Analysis failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The requested function is not in the symbol table.
+    UnknownFunction(String),
+    /// A word of the text section could not be decoded.
+    Decode(DecodeError),
+    /// A branch targets an address outside its function.
+    BranchOutsideFunction {
+        /// Branch address.
+        at: u32,
+        /// Branch target.
+        target: u32,
+    },
+    /// A call targets something that is not a function entry.
+    CallOutsideText {
+        /// Call address.
+        at: u32,
+        /// Call target.
+        target: u32,
+    },
+    /// The control flow is irreducible (cannot bound such loops —
+    /// the MISRA-C discussion in the same proceedings, rules 14.4/20.7).
+    IrreducibleLoop {
+        /// Address in the offending region.
+        at: u32,
+    },
+    /// No witness bounds the loop with the given header: the paper's
+    /// "annotation required" situation.
+    UnboundedLoop {
+        /// Loop-header address.
+        header: u32,
+    },
+    /// The stack pointer is not statically known at a call site.
+    UnknownStackPointer {
+        /// Call address.
+        at: u32,
+    },
+    /// Recursion detected (forbidden upstream, double-checked here).
+    CallCycle(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            AnalysisError::Decode(e) => write!(f, "decode failure: {e}"),
+            AnalysisError::BranchOutsideFunction { at, target } => {
+                write!(
+                    f,
+                    "branch at {at:#x} leaves its function (target {target:#x})"
+                )
+            }
+            AnalysisError::CallOutsideText { at, target } => {
+                write!(f, "call at {at:#x} targets no function entry ({target:#x})")
+            }
+            AnalysisError::IrreducibleLoop { at } => {
+                write!(f, "irreducible control flow near {at:#x}")
+            }
+            AnalysisError::UnboundedLoop { header } => write!(
+                f,
+                "cannot bound loop with header {header:#x} (an annotation may be required)"
+            ),
+            AnalysisError::UnknownStackPointer { at } => {
+                write!(f, "stack pointer unknown at call site {at:#x}")
+            }
+            AnalysisError::CallCycle(n) => write!(f, "recursion through `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Analyzes a function with default options (annotations enabled).
+///
+/// # Errors
+///
+/// Any [`AnalysisError`].
+pub fn analyze(program: &Program, func: &str) -> Result<WcetReport, AnalysisError> {
+    analyze_with(program, func, &AnalysisOptions::default())
+}
+
+/// Analyzes a function with explicit options.
+///
+/// # Errors
+///
+/// Any [`AnalysisError`].
+pub fn analyze_with(
+    program: &Program,
+    func: &str,
+    opts: &AnalysisOptions,
+) -> Result<WcetReport, AnalysisError> {
+    let file = opts
+        .use_annotations
+        .then(|| AnnotationFile::from_program(program));
+    let sp = program.config.stack_top - 64;
+    let mut memo = BTreeMap::new();
+    let mut stack = Vec::new();
+    let fr = analyze_function(
+        program,
+        func,
+        sp,
+        true,
+        file.as_ref(),
+        &mut memo,
+        &mut stack,
+    )?;
+    Ok(WcetReport {
+        wcet: fr.wcet,
+        loop_bounds: fr.loop_bounds,
+        block_count: fr.block_count,
+        callees: memo.into_iter().map(|((name, _), w)| (name, w)).collect(),
+        block_costs: fr.block_costs,
+    })
+}
+
+struct FuncResult {
+    wcet: u64,
+    loop_bounds: BTreeMap<u32, u64>,
+    block_count: usize,
+    block_costs: BTreeMap<u32, u64>,
+}
+
+/// Residual assumed for every register at a non-top-level function entry:
+/// larger than any single-instruction completion latency of the machine, so
+/// values still in flight in the caller are covered.
+const ENTRY_RESIDUAL: u64 = 64;
+
+fn conservative_entry_residuals() -> PipeResiduals {
+    let mut regs = BTreeMap::new();
+    for i in 0..32 {
+        regs.insert(Reg::G(Gpr::new(i)), ENTRY_RESIDUAL);
+        regs.insert(Reg::F(Fpr::new(i)), ENTRY_RESIDUAL);
+    }
+    for i in 0..8 {
+        regs.insert(Reg::C(Cr::new(i)), ENTRY_RESIDUAL);
+    }
+    regs.insert(Reg::Lr, ENTRY_RESIDUAL);
+    PipeResiduals {
+        regs,
+        ..PipeResiduals::default()
+    }
+}
+
+fn analyze_function(
+    program: &Program,
+    func: &str,
+    sp: u32,
+    top_level: bool,
+    file: Option<&AnnotationFile>,
+    memo: &mut BTreeMap<(String, u32), u64>,
+    call_stack: &mut Vec<String>,
+) -> Result<FuncResult, AnalysisError> {
+    if call_stack.iter().any(|f| f == func) {
+        return Err(AnalysisError::CallCycle(func.to_owned()));
+    }
+    call_stack.push(func.to_owned());
+    let result = analyze_function_inner(program, func, sp, top_level, file, memo, call_stack);
+    call_stack.pop();
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_function_inner(
+    program: &Program,
+    func: &str,
+    sp: u32,
+    top_level: bool,
+    file: Option<&AnnotationFile>,
+    memo: &mut BTreeMap<(String, u32), u64>,
+    call_stack: &mut Vec<String>,
+) -> Result<FuncResult, AnalysisError> {
+    let machine = &program.config;
+    let graph = cfg::reconstruct(program, func)?;
+    let va0 = value::analyze(&graph, machine, program, sp, file);
+    let (loop_bounds, facts) = bounds::loop_bounds_with_facts(&graph, &va0, machine, file)?;
+    // Feed the derived induction windows back: the refined value analysis
+    // keeps indexed table accesses bounded for the cache analysis.
+    let va = if facts.is_empty() {
+        va0
+    } else {
+        value::analyze_with_facts(&graph, machine, program, sp, file, &facts)
+    };
+    let cls = cache::analyze(&graph, machine, &va, file);
+
+    // ---- callee costs per block ----
+    let rpo = graph.rpo();
+    let mut callee_cost: BTreeMap<u32, u64> = BTreeMap::new();
+    for &b in &rpo {
+        let blk = &graph.blocks[&b];
+        if blk.calls.is_empty() {
+            continue;
+        }
+        // replay the value state to each call to learn the callee's sp
+        let mut vs = va.at_entry.get(&b).cloned().unwrap_or_default();
+        let mut addr = b;
+        let mut total = 0u64;
+        for inst in &blk.insts {
+            if let Inst::Bl { target } = inst {
+                let callee = program
+                    .function_at(*target)
+                    .expect("validated during reconstruction")
+                    .name
+                    .clone();
+                let callee_sp = vs
+                    .reg(Gpr::SP)
+                    .as_exact()
+                    .ok_or(AnalysisError::UnknownStackPointer { at: addr })?
+                    as u32;
+                let key = (callee.clone(), callee_sp);
+                let w = match memo.get(&key) {
+                    Some(&w) => w,
+                    None => {
+                        let fr = analyze_function(
+                            program, &callee, callee_sp, false, file, memo, call_stack,
+                        )?;
+                        memo.insert(key, fr.wcet);
+                        fr.wcet
+                    }
+                };
+                total += w;
+            }
+            value::transfer(&mut vs, inst, machine, file);
+            addr += 4;
+        }
+        callee_cost.insert(b, total);
+    }
+
+    // ---- pipeline residual fixpoint ----
+    let entry_res = if top_level {
+        PipeResiduals::default()
+    } else {
+        conservative_entry_residuals()
+    };
+    let mut in_res: BTreeMap<u32, PipeResiduals> = BTreeMap::new();
+    in_res.insert(graph.entry, entry_res);
+    let block_time = |b: u32, res: &PipeResiduals| -> (u64, PipeResiduals) {
+        let blk = &graph.blocks[&b];
+        let mut st = PipeState::from_residuals(res);
+        let mut addr = b;
+        for inst in &blk.insts {
+            let fetch_extra =
+                if cls.fetch_hit.contains(&addr) || cls.persistent_fetch.contains(&addr) {
+                    0
+                } else {
+                    machine.fetch_latency
+                };
+            let mem_extra = match cls.data.get(&addr) {
+                Some(DataClass::Hit) => 0,
+                Some(DataClass::Io) => machine.io_latency,
+                Some(DataClass::Miss) => {
+                    if cls.persistent_data.contains(&addr) {
+                        0
+                    } else {
+                        machine.mem_latency
+                    }
+                }
+                None => 0,
+            };
+            st.advance(machine, inst, fetch_extra, mem_extra, inst.is_terminator());
+            addr += 4;
+        }
+        let cost = if blk.is_return {
+            st.drain_time() + 1
+        } else {
+            st.dispatch_time() + 1
+        };
+        (
+            cost + callee_cost.get(&b).copied().unwrap_or(0),
+            st.residuals(),
+        )
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &rpo {
+            let Some(res) = in_res.get(&b).cloned() else {
+                continue;
+            };
+            let (_, out) = block_time(b, &res);
+            for &succ in &graph.blocks[&b].succs {
+                let merged = match in_res.get(&succ) {
+                    None => out.clone(),
+                    Some(old) => old.join(&out),
+                };
+                if in_res.get(&succ) != Some(&merged) {
+                    in_res.insert(succ, merged);
+                    changed = true;
+                }
+            }
+        }
+    }
+    let costs: BTreeMap<u32, u64> = rpo
+        .iter()
+        .filter_map(|&b| in_res.get(&b).map(|r| (b, block_time(b, r).0)))
+        .collect();
+
+    // ---- path analysis with loop collapsing ----
+    let wcet = longest_path(&graph, &costs, &loop_bounds, &cls.loop_fill_penalty)?;
+
+    Ok(FuncResult {
+        wcet,
+        loop_bounds,
+        block_count: graph.blocks.len(),
+        block_costs: costs,
+    })
+}
+
+/// Longest-path computation over the loop-collapsed DAG.
+fn longest_path(
+    graph: &Cfg,
+    costs: &BTreeMap<u32, u64>,
+    bounds: &BTreeMap<u32, u64>,
+    fill_penalty: &BTreeMap<u32, u64>,
+) -> Result<u64, AnalysisError> {
+    // loops sorted innermost-first (fewest blocks)
+    let mut loops: Vec<&cfg::NaturalLoop> = graph.loops.iter().collect();
+    loops.sort_by_key(|l| l.blocks.len());
+
+    // total cost of each loop, computed innermost-first
+    let mut loop_total: BTreeMap<u32, u64> = BTreeMap::new();
+    for l in &loops {
+        // children: maximal proper sub-loops
+        let children: Vec<&cfg::NaturalLoop> = loops
+            .iter()
+            .filter(|c| c.header != l.header && c.blocks.is_subset(&l.blocks))
+            .filter(|c| {
+                !loops.iter().any(|m| {
+                    m.header != c.header
+                        && m.header != l.header
+                        && c.blocks.is_subset(&m.blocks)
+                        && m.blocks.is_subset(&l.blocks)
+                })
+            })
+            .copied()
+            .collect();
+        let iter = region_longest(
+            graph,
+            costs,
+            &loop_total,
+            &l.blocks,
+            &children,
+            Some(l.header),
+        )?;
+        let b = bounds.get(&l.header).copied().unwrap_or(0);
+        let total = (b + 1) * iter + fill_penalty.get(&l.header).copied().unwrap_or(0);
+        loop_total.insert(l.header, total);
+    }
+
+    // function level: all reachable blocks, outermost loops as children
+    let all: BTreeSet<u32> = graph.rpo().into_iter().collect();
+    let outermost: Vec<&cfg::NaturalLoop> = loops
+        .iter()
+        .filter(|l| {
+            !loops
+                .iter()
+                .any(|m| m.header != l.header && l.blocks.is_subset(&m.blocks))
+        })
+        .copied()
+        .collect();
+    region_longest(graph, costs, &loop_total, &all, &outermost, None)
+}
+
+/// Longest path over a region's DAG with child loops collapsed to single
+/// nodes. `skip_header` removes the region's own back edges.
+fn region_longest(
+    graph: &Cfg,
+    costs: &BTreeMap<u32, u64>,
+    loop_total: &BTreeMap<u32, u64>,
+    blocks: &BTreeSet<u32>,
+    children: &[&cfg::NaturalLoop],
+    skip_header: Option<u32>,
+) -> Result<u64, AnalysisError> {
+    // representative of a block: the child loop containing it, else itself
+    let rep = |b: u32| -> u32 {
+        for c in children {
+            if c.blocks.contains(&b) {
+                return c.header; // loop node named by its header
+            }
+        }
+        b
+    };
+    let is_loop_node = |r: u32| children.iter().any(|c| c.header == r);
+
+    // node set and edges
+    let mut nodes: BTreeSet<u32> = BTreeSet::new();
+    let mut edges: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+    for &b in blocks {
+        nodes.insert(rep(b));
+        for &s in &graph.blocks[&b].succs {
+            if !blocks.contains(&s) {
+                continue;
+            }
+            if Some(s) == skip_header {
+                continue; // region back edge
+            }
+            let (ru, rv) = (rep(b), rep(s));
+            if ru != rv {
+                edges.entry(ru).or_default().insert(rv);
+            }
+        }
+    }
+
+    // Kahn topological order with cycle detection.
+    let mut indeg: BTreeMap<u32, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+    for tos in edges.values() {
+        for &t in tos {
+            *indeg.get_mut(&t).expect("edge targets are nodes") += 1;
+        }
+    }
+    let mut queue: Vec<u32> = indeg
+        .iter()
+        .filter_map(|(&n, &d)| (d == 0).then_some(n))
+        .collect();
+    let node_cost = |n: u32| -> u64 {
+        if is_loop_node(n) {
+            loop_total.get(&n).copied().unwrap_or(0)
+        } else {
+            costs.get(&n).copied().unwrap_or(0)
+        }
+    };
+    let mut dist: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut seen = 0usize;
+    let mut best = 0u64;
+    while let Some(n) = queue.pop() {
+        seen += 1;
+        let d = dist.get(&n).copied().unwrap_or(0) + node_cost(n);
+        best = best.max(d);
+        for &t in edges.get(&n).into_iter().flatten() {
+            let e = dist.entry(t).or_insert(0);
+            *e = (*e).max(d);
+            let deg = indeg.get_mut(&t).expect("edge targets are nodes");
+            *deg -= 1;
+            if *deg == 0 {
+                queue.push(t);
+            }
+        }
+    }
+    if seen != nodes.len() {
+        return Err(AnalysisError::IrreducibleLoop {
+            at: *nodes.iter().next().expect("non-empty region"),
+        });
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+    use vericomp_arch::inst::{Cond, Inst as M};
+    use vericomp_arch::program::FuncSym;
+    use vericomp_arch::MachineConfig;
+
+    fn g(i: u8) -> Gpr {
+        Gpr::new(i)
+    }
+
+    fn program(code: Vec<M>) -> Program {
+        let config = MachineConfig::mpc755();
+        let len_words = code.len() as u32;
+        Program {
+            entry: config.text_base,
+            functions: vec![FuncSym {
+                name: "f".into(),
+                entry: config.text_base,
+                len_words,
+            }],
+            globals: vec![],
+            data: Map::new(),
+            const_pool_base: config.data_base,
+            sda_base: config.data_base,
+            annotations: vec![],
+            code,
+            config,
+        }
+    }
+
+    #[test]
+    fn straight_line_has_positive_wcet() {
+        let p = program(vec![M::li(g(3), 1), M::li(g(4), 2), M::Blr]);
+        let r = analyze(&p, "f").unwrap();
+        assert!(r.wcet >= 3, "{}", r.wcet);
+        assert_eq!(r.block_count, 1);
+        assert!(r.loop_bounds.is_empty());
+    }
+
+    #[test]
+    fn counted_loop_bounded_and_charged() {
+        let base = MachineConfig::mpc755().text_base;
+        let p = program(vec![
+            /* 0  */ M::li(g(4), 0),
+            /* 4 head */
+            M::Cmpwi {
+                cr: vericomp_arch::reg::Cr::CR0,
+                ra: g(4),
+                imm: 10,
+            },
+            /* 8  */
+            M::Bc {
+                cond: Cond::Ge,
+                cr: vericomp_arch::reg::Cr::CR0,
+                target: base + 20,
+            },
+            /* 12 */
+            M::Addi {
+                rd: g(4),
+                ra: g(4),
+                imm: 1,
+            },
+            /* 16 */ M::B { target: base + 4 },
+            /* 20 */ M::Blr,
+        ]);
+        let r = analyze(&p, "f").unwrap();
+        assert_eq!(r.loop_bounds.get(&(base + 4)), Some(&10));
+        // at least ten iterations of ≥ 3 cycles each
+        assert!(r.wcet >= 30, "{}", r.wcet);
+        // and not absurdly above (12 bounded iterations of a tiny body with
+        // one cold fetch line)
+        assert!(r.wcet < 40 + 11 * 20, "{}", r.wcet);
+    }
+
+    #[test]
+    fn unbounded_loop_is_an_error() {
+        let base = MachineConfig::mpc755().text_base;
+        // while (r4 != r5) — no recognizable witness
+        let p = program(vec![
+            /* 0 head */
+            M::Cmpw {
+                cr: vericomp_arch::reg::Cr::CR0,
+                ra: g(4),
+                rb: g(5),
+            },
+            /* 4 */
+            M::Bc {
+                cond: Cond::Eq,
+                cr: vericomp_arch::reg::Cr::CR0,
+                target: base + 16,
+            },
+            /* 8 */
+            M::Addi {
+                rd: g(4),
+                ra: g(6),
+                imm: 1,
+            }, // not an induction update
+            /* 12 */ M::B { target: base },
+            /* 16 */ M::Blr,
+        ]);
+        assert!(matches!(
+            analyze(&p, "f"),
+            Err(AnalysisError::UnboundedLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn io_latency_dominates_acquisition_blocks() {
+        // lfd from the I/O region must cost at least io_latency
+        let cfgm = MachineConfig::mpc755();
+        let io_hi = ((cfgm.io_base.wrapping_add(0x8000)) >> 16) as u16 as i16;
+        let p = program(vec![
+            M::Addis {
+                rd: g(12),
+                ra: Gpr::R0,
+                imm: io_hi,
+            },
+            M::Lfd {
+                fd: Fpr::new(1),
+                d: 0,
+                ra: g(12),
+            },
+            M::Blr,
+        ]);
+        let r = analyze(&p, "f").unwrap();
+        assert!(r.wcet >= u64::from(cfgm.io_latency), "{}", r.wcet);
+    }
+
+    #[test]
+    fn call_cost_included_and_memoized() {
+        let base = MachineConfig::mpc755().text_base;
+        let config = MachineConfig::mpc755();
+        let code = vec![
+            /* 0 f */ M::Mflr { rd: g(0) },
+            /* 4 */
+            M::Stwu {
+                rs: Gpr::SP,
+                d: -16,
+                ra: Gpr::SP,
+            },
+            /* 8 */
+            M::Stw {
+                rs: g(0),
+                d: 12,
+                ra: Gpr::SP,
+            },
+            /* 12 */ M::Bl { target: base + 40 },
+            /* 16 */ M::Bl { target: base + 40 },
+            /* 20 */
+            M::Lwz {
+                rd: g(0),
+                d: 12,
+                ra: Gpr::SP,
+            },
+            /* 24 */ M::Mtlr { rs: g(0) },
+            /* 28 */
+            M::Addi {
+                rd: Gpr::SP,
+                ra: Gpr::SP,
+                imm: 16,
+            },
+            /* 32 */ M::Blr,
+            /* 36 pad */ M::Nop,
+            /* 40 leaf */ M::li(g(3), 1),
+            /* 44 */ M::Blr,
+        ];
+        let p = Program {
+            entry: base,
+            functions: vec![
+                FuncSym {
+                    name: "f".into(),
+                    entry: base,
+                    len_words: 10,
+                },
+                FuncSym {
+                    name: "leaf".into(),
+                    entry: base + 40,
+                    len_words: 2,
+                },
+            ],
+            globals: vec![],
+            data: Map::new(),
+            const_pool_base: config.data_base,
+            sda_base: config.data_base,
+            annotations: vec![],
+            code,
+            config,
+        };
+        let r = analyze(&p, "f").unwrap();
+        let leaf_w = r.callees.get("leaf").copied().unwrap();
+        assert!(leaf_w > 0);
+        assert!(r.wcet >= 2 * leaf_w, "wcet {} leaf {}", r.wcet, leaf_w);
+    }
+
+    use vericomp_arch::reg::Fpr;
+
+    #[test]
+    fn diamond_takes_the_longer_arm() {
+        let base = MachineConfig::mpc755().text_base;
+        // one arm has a divide (19 cycles), the other a single li
+        let p = program(vec![
+            /* 0 */
+            M::Cmpwi {
+                cr: vericomp_arch::reg::Cr::CR0,
+                ra: g(3),
+                imm: 0,
+            },
+            /* 4 */
+            M::Bc {
+                cond: Cond::Lt,
+                cr: vericomp_arch::reg::Cr::CR0,
+                target: base + 20,
+            },
+            /* 8 */
+            M::Divw {
+                rd: g(4),
+                ra: g(5),
+                rb: g(6),
+            },
+            /* 12 */
+            M::Divw {
+                rd: g(7),
+                ra: g(4),
+                rb: g(6),
+            },
+            /* 16 */ M::B { target: base + 24 },
+            /* 20 */ M::li(g(4), 1),
+            /* 24 */ M::Blr,
+        ]);
+        let r = analyze(&p, "f").unwrap();
+        // two dependent divides alone take ≥ 38 cycles
+        assert!(r.wcet >= 38, "{}", r.wcet);
+    }
+}

@@ -1,0 +1,113 @@
+//! Persistence analysis effectiveness: accesses inside a loop that touch a
+//! bounded set of lines must be charged one fill per line per loop entry,
+//! not one miss per iteration — otherwise the analyzer's bounds on loopy
+//! code would be uselessly pessimistic (the paper's precision story).
+
+use vericomp_core::{Compiler, OptLevel};
+use vericomp_mach::Simulator;
+use vericomp_minic::parse;
+
+#[test]
+fn repeated_global_load_in_loop_charged_once() {
+    let src = r#"
+        double g;
+        double acc;
+        void step() {
+            int k;
+            while (k < 50) {
+                acc = (acc + g);
+                k = (k + 1);
+            }
+        }
+    "#;
+    let prog = parse::parse(src).expect("parses");
+    for level in [OptLevel::PatternO0, OptLevel::Verified] {
+        let bin = Compiler::new(level)
+            .compile(&prog, "step")
+            .expect("compiles");
+        let mem_latency = u64::from(bin.config.mem_latency);
+        let report = vericomp_wcet::analyze(&bin, "step").expect("bounded");
+        // soundness first
+        let mut sim = Simulator::new(bin);
+        let out = sim.run(10_000_000).expect("runs");
+        assert!(report.wcet >= out.stats.cycles, "{level}");
+        // precision: without persistence every iteration would pay the
+        // fill for `g` (and at -O0 also for the stack slots):
+        // 50 iterations x 30 cycles = 1500 on top of execution. The bound
+        // must stay well below that.
+        assert!(
+            report.wcet < 50 * mem_latency + 600,
+            "{level}: WCET {} suggests per-iteration miss charging",
+            report.wcet
+        );
+        // and within 3x of the concrete run
+        assert!(
+            report.wcet <= out.stats.cycles * 3,
+            "{level}: WCET {} vs measured {}",
+            report.wcet,
+            out.stats.cycles
+        );
+    }
+}
+
+#[test]
+fn table_scan_loop_stays_tight() {
+    // the breakpoint-style scan: per-iteration indexed loads over one small
+    // table — the whole table fits two lines and must be charged as fills,
+    // not 30-cycle misses each round
+    let src = r#"
+        double tab[8] = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0};
+        double acc;
+        void step() {
+            int k;
+            while (k < 8) {
+                acc = (acc + tab[k]);
+                k = (k + 1);
+            }
+        }
+    "#;
+    let prog = parse::parse(src).expect("parses");
+    let bin = Compiler::new(OptLevel::Verified)
+        .compile(&prog, "step")
+        .expect("compiles");
+    let report = vericomp_wcet::analyze(&bin, "step").expect("bounded");
+    let mut sim = Simulator::new(bin);
+    let out = sim.run(10_000_000).expect("runs");
+    assert!(report.wcet >= out.stats.cycles);
+    assert!(
+        report.wcet <= out.stats.cycles * 3 + 120,
+        "WCET {} vs measured {}",
+        report.wcet,
+        out.stats.cycles
+    );
+}
+
+#[test]
+fn io_in_loop_is_never_persistent() {
+    // acquisitions are uncached: every iteration pays the full latency, in
+    // the bound and in the simulation alike
+    let src = r#"
+        double acc;
+        void step() {
+            int k;
+            while (k < 10) {
+                acc = (acc + __io_read(0));
+                k = (k + 1);
+            }
+        }
+    "#;
+    let prog = parse::parse(src).expect("parses");
+    let bin = Compiler::new(OptLevel::Verified)
+        .compile(&prog, "step")
+        .expect("compiles");
+    let io = u64::from(bin.config.io_latency);
+    let report = vericomp_wcet::analyze(&bin, "step").expect("bounded");
+    let mut sim = Simulator::new(bin);
+    let out = sim.run(10_000_000).expect("runs");
+    assert!(report.wcet >= out.stats.cycles);
+    assert!(
+        report.wcet >= 10 * io,
+        "all ten acquisitions must be charged"
+    );
+    assert!(out.stats.cycles >= 10 * io, "and concretely paid");
+}

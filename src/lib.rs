@@ -1,0 +1,326 @@
+//! # vericomp — verified optimizing compilation for flight control software
+//!
+//! A from-scratch Rust reproduction of *"Towards Formally Verified
+//! Optimizing Compilation in Flight Control Software"* (Bedin França,
+//! Favre-Félix, Leroy, Pantel, Souyris — PPES/DATE 2011). The workspace
+//! rebuilds the paper's entire experimental stack:
+//!
+//! * [`dataflow`] — SCADE-like control-law specifications and the
+//!   pattern-based automatic code generator,
+//! * [`minic`] — the C-subset source language with a reference interpreter
+//!   (the semantics compilers must preserve) and CompCert's
+//!   `__builtin_annotation`,
+//! * [`core`] — the optimizing compiler in the paper's four configurations,
+//!   with translation validators standing in for CompCert's Coq proofs,
+//! * [`arch`] — the PowerPC-750/755-subset ISA with real binary encodings,
+//! * [`mach`] — the MPC755-like simulator (dual-issue pipeline, L1 caches,
+//!   slow acquisitions) with cache/cycle performance counters,
+//! * [`wcet`] — the aiT-like static WCET analyzer consuming the binary and
+//!   the generated annotation file.
+//!
+//! The [`harness`] module glues these into the experiment pipelines used by
+//! the examples, integration tests and benchmarks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vericomp::harness;
+//! use vericomp::core::OptLevel;
+//! use vericomp::dataflow::NodeBuilder;
+//!
+//! // a small control law
+//! let mut b = NodeBuilder::new("demo");
+//! let x = b.acquisition(0);
+//! let f = b.first_order_filter(x, 0.25);
+//! let s = b.saturation(f, -10.0, 10.0);
+//! b.output("demo_out", s);
+//! let node = b.build()?;
+//!
+//! // compile like CompCert, run one activation, bound its WCET
+//! let binary = harness::compile_node(&node, OptLevel::Verified)?;
+//! let mut sim = vericomp::mach::Simulator::new(binary.clone());
+//! sim.set_io_f64(0, 3.5);
+//! let outcome = sim.run(1_000_000)?;
+//! let report = vericomp::wcet::analyze(&binary, "step")?;
+//! assert!(report.wcet >= outcome.stats.cycles);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use vericomp_arch as arch;
+pub use vericomp_core as core;
+pub use vericomp_dataflow as dataflow;
+pub use vericomp_mach as mach;
+pub use vericomp_minic as minic;
+pub use vericomp_wcet as wcet;
+
+pub mod harness {
+    //! Convenience pipelines tying the crates together.
+
+    use std::fmt;
+
+    use crate::arch::Program;
+    use crate::core::{CompileError, Compiler, OptLevel, PassConfig};
+    use crate::dataflow::Node;
+    use crate::mach::{AnnotEvent, AnnotValue, Simulator};
+    use crate::minic::interp::{Interp, TraceEvent, Value};
+    use crate::wcet::AnalysisError;
+
+    /// Compiles a dataflow node with the given compiler configuration.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`].
+    pub fn compile_node(node: &Node, level: OptLevel) -> Result<Program, CompileError> {
+        Compiler::new(level).compile(&node.to_minic(), node.step_name())
+    }
+
+    /// Error of the WCET-driven compilation driver.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum WcetDrivenError {
+        /// A candidate failed to compile.
+        Compile(CompileError),
+        /// A candidate failed to analyze.
+        Analyze(AnalysisError),
+    }
+
+    impl fmt::Display for WcetDrivenError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                WcetDrivenError::Compile(e) => write!(f, "compile: {e}"),
+                WcetDrivenError::Analyze(e) => write!(f, "analyze: {e}"),
+            }
+        }
+    }
+
+    impl std::error::Error for WcetDrivenError {}
+
+    /// One evaluated candidate of the WCET-driven compilation.
+    #[derive(Debug, Clone)]
+    pub struct WcetCandidate {
+        /// Candidate name.
+        pub name: &'static str,
+        /// Its WCET bound.
+        pub wcet: u64,
+    }
+
+    /// **WCET-driven compilation** — the direction the paper's §4 sketches,
+    /// after the WCC compiler of Falk et al.: "optimizations are evaluated
+    /// using a WCET analysis tool and only applied when shown to be
+    /// beneficial".
+    ///
+    /// The driver compiles the program under a set of validated pass
+    /// configurations (the verified baseline plus each full-optimizer extra
+    /// in isolation and in combination), bounds each candidate's WCET with
+    /// the static analyzer, and returns the binary with the smallest bound
+    /// together with the evaluated candidates. Every candidate keeps the
+    /// translation validators enabled, so the selection never trades
+    /// correctness for time.
+    ///
+    /// # Errors
+    ///
+    /// [`WcetDrivenError`] if any candidate fails to compile or analyze.
+    pub fn compile_wcet_driven(
+        prog: &crate::minic::ast::Program,
+        entry: &str,
+    ) -> Result<(Program, Vec<WcetCandidate>), WcetDrivenError> {
+        let verified = PassConfig::for_level(OptLevel::Verified);
+        let full = PassConfig::for_level(OptLevel::OptFull);
+        let candidates: [(&'static str, PassConfig); 5] = [
+            ("verified", verified),
+            (
+                "verified+sda",
+                PassConfig {
+                    sda: true,
+                    validators: true,
+                    ..verified
+                },
+            ),
+            (
+                "verified+sched",
+                PassConfig {
+                    schedule: true,
+                    validators: true,
+                    ..verified
+                },
+            ),
+            (
+                "verified+strength",
+                PassConfig {
+                    strength: true,
+                    validators: true,
+                    ..verified
+                },
+            ),
+            (
+                "opt-full(validated)",
+                PassConfig {
+                    validators: true,
+                    ..full
+                },
+            ),
+        ];
+        let compiler = Compiler::new(OptLevel::Verified);
+        let mut best: Option<(u64, Program)> = None;
+        let mut report = Vec::with_capacity(candidates.len());
+        for (name, passes) in candidates {
+            let binary = compiler
+                .compile_with_passes(prog, entry, &passes)
+                .map_err(WcetDrivenError::Compile)?;
+            let wcet = crate::wcet::analyze(&binary, entry)
+                .map_err(WcetDrivenError::Analyze)?
+                .wcet;
+            report.push(WcetCandidate { name, wcet });
+            if best.as_ref().map(|(w, _)| wcet < *w).unwrap_or(true) {
+                best = Some((wcet, binary));
+            }
+        }
+        let (_, binary) = best.expect("at least one candidate");
+        Ok((binary, report))
+    }
+
+    /// Whether a machine annotation trace equals a source-level trace
+    /// (formats, order, and values — `f64` compared bitwise).
+    pub fn traces_match(machine: &[AnnotEvent], source: &[TraceEvent]) -> bool {
+        machine.len() == source.len()
+            && machine.iter().zip(source).all(|(m, s)| {
+                m.format == s.format
+                    && m.values.len() == s.values.len()
+                    && m.values
+                        .iter()
+                        .zip(&s.values)
+                        .all(|(mv, sv)| match (mv, sv) {
+                            (AnnotValue::I32(a), Value::I(b)) => a == b,
+                            (AnnotValue::F64(a), Value::F(b)) => a.to_bits() == b.to_bits(),
+                            _ => false,
+                        })
+            })
+    }
+
+    /// A differential run of one node activation: the interpreter and the
+    /// simulator execute the same step with the same inputs; outputs and
+    /// annotation traces must agree.
+    #[derive(Debug)]
+    pub struct DiffRun {
+        /// Simulator statistics of the activation.
+        pub stats: crate::mach::RunStats,
+    }
+
+    /// Runs `steps` activations of `node` at `level` with per-activation
+    /// inputs supplied by `inputs(step, port_or_global, is_io)` and checks
+    /// interpreter/simulator agreement on every output global, actuator
+    /// port and annotation trace.
+    ///
+    /// Returns the simulator statistics of the **last** activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with context) on any disagreement — this is a test harness.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`] from compilation.
+    pub fn differential_run(
+        node: &Node,
+        level: OptLevel,
+        steps: u32,
+        mut input_for: impl FnMut(u32, u32) -> f64,
+    ) -> Result<DiffRun, CompileError> {
+        let src = node.to_minic();
+        let binary = compile_node(node, level)?;
+        let mut interp = Interp::new(&src);
+        let mut sim = Simulator::new(binary.clone());
+
+        let io_ports: Vec<u32> = node
+            .instances()
+            .iter()
+            .filter_map(|i| match i.kind {
+                crate::dataflow::Symbol::Acquisition(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        let inputs: Vec<String> = src
+            .globals
+            .iter()
+            .filter(|g| g.name.contains("_in") || g.name.ends_with("_cmd"))
+            .map(|g| g.name.clone())
+            .collect();
+
+        let mut last_stats = None;
+        for step in 0..steps {
+            for (k, port) in io_ports.iter().enumerate() {
+                let v = input_for(step, k as u32);
+                interp.set_io(*port, v);
+                sim.set_io_f64(*port, v);
+            }
+            for (k, name) in inputs.iter().enumerate() {
+                let v = input_for(step, 100 + k as u32);
+                if matches!(
+                    src.global(name).map(|g| &g.def),
+                    Some(crate::minic::ast::GlobalDef::ScalarF64(_))
+                ) {
+                    interp
+                        .set_global(name, Value::F(v))
+                        .expect("input global exists");
+                    sim.set_global_f64(name, 0, v).expect("input global exists");
+                }
+            }
+
+            interp.call(node.step_name(), &[]).unwrap_or_else(|e| {
+                panic!("{} interpreter failed at step {step}: {e}", node.name())
+            });
+            let outcome = sim.run(10_000_000).unwrap_or_else(|e| {
+                panic!(
+                    "{} simulator failed at step {step} ({level}): {e}",
+                    node.name()
+                )
+            });
+
+            // outputs agree
+            for g in &src.globals {
+                match g.def {
+                    crate::minic::ast::GlobalDef::ScalarF64(_) => {
+                        let a = match interp.global(&g.name).expect("declared") {
+                            Value::F(v) => v,
+                            _ => unreachable!(),
+                        };
+                        let b = sim.global_f64(&g.name, 0).expect("declared");
+                        assert!(
+                            a.to_bits() == b.to_bits(),
+                            "{} step {step} ({level}): global {} differs: {a} vs {b}",
+                            node.name(),
+                            g.name
+                        );
+                    }
+                    crate::minic::ast::GlobalDef::ScalarI32(_) => {
+                        let a = match interp.global(&g.name).expect("declared") {
+                            Value::I(v) => v,
+                            _ => unreachable!(),
+                        };
+                        let b = sim.global_i32(&g.name, 0).expect("declared");
+                        assert_eq!(
+                            a,
+                            b,
+                            "{} step {step} ({level}): global {} differs",
+                            node.name(),
+                            g.name
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            // annotation traces agree
+            let src_trace = interp.take_trace();
+            assert!(
+                traces_match(&outcome.annotations, &src_trace),
+                "{} step {step} ({level}): annotation traces diverge",
+                node.name()
+            );
+            last_stats = Some(outcome.stats);
+        }
+        Ok(DiffRun {
+            stats: last_stats.expect("steps >= 1"),
+        })
+    }
+}

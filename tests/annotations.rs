@@ -1,0 +1,139 @@
+//! Integration tests of the §3.4 annotation pipeline across the whole
+//! toolchain: source builtin → RTL pro-forma effect → marker + table in the
+//! binary → annotation file → value-analysis constraint → loop bound.
+
+use vericomp::core::{Compiler, OptLevel};
+use vericomp::dataflow::NodeBuilder;
+use vericomp::harness;
+use vericomp::wcet::annot::AnnotationFile;
+use vericomp::wcet::{analyze_with, AnalysisError, AnalysisOptions};
+
+fn scan_node() -> vericomp::dataflow::Node {
+    let mut b = NodeBuilder::new("annot");
+    let x = b.global_input("annot_x");
+    let y = b.lookup_search(
+        x,
+        vec![0.0, 1.0, 2.0, 4.0, 8.0, 16.0],
+        vec![0.0, 1.0, 4.0, 16.0, 64.0, 256.0],
+    );
+    b.output("annot_y", y);
+    b.build().expect("valid node")
+}
+
+#[test]
+fn annotation_survives_every_configuration() {
+    let node = scan_node();
+    for level in OptLevel::all() {
+        let binary = harness::compile_node(&node, level).expect("compiles");
+        assert_eq!(binary.annotations.len(), 1, "{level}");
+        let entry = &binary.annotations[0];
+        assert!(
+            entry.format.starts_with("1 <= %1 <= 4"),
+            "{level}: {}",
+            entry.format
+        );
+        // the marker instruction is present in the text section
+        let markers = binary
+            .code
+            .iter()
+            .filter(|i| matches!(i, vericomp::arch::Inst::Annot { .. }))
+            .count();
+        assert_eq!(markers, 1, "{level}");
+        // the listing shows the paper-style resolved comment
+        assert!(
+            binary.disassemble().contains("# annotation: 1 <= "),
+            "{level}"
+        );
+    }
+}
+
+#[test]
+fn argument_location_shifts_from_memory_to_register() {
+    let node = scan_node();
+    let o0 = harness::compile_node(&node, OptLevel::PatternO0).expect("compiles");
+    let verified = harness::compile_node(&node, OptLevel::Verified).expect("compiles");
+    use vericomp::arch::program::ArgLoc;
+    assert!(
+        matches!(o0.annotations[0].args[0], ArgLoc::Stack(..)),
+        "at -O0 the scan bound lives in a stack slot"
+    );
+    assert!(
+        matches!(verified.annotations[0].args[0], ArgLoc::Gpr(_)),
+        "after register allocation it lives in a register"
+    );
+}
+
+#[test]
+fn analysis_fails_without_and_succeeds_with_annotations() {
+    let node = scan_node();
+    for level in OptLevel::all() {
+        let binary = harness::compile_node(&node, level).expect("compiles");
+        match analyze_with(
+            &binary,
+            "step",
+            &AnalysisOptions {
+                use_annotations: false,
+            },
+        ) {
+            Err(AnalysisError::UnboundedLoop { .. }) => {}
+            other => panic!("{level}: expected unbounded loop, got {other:?}"),
+        }
+        let report = analyze_with(
+            &binary,
+            "step",
+            &AnalysisOptions {
+                use_annotations: true,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{level}: {e}"));
+        assert_eq!(
+            report.loop_bounds.values().copied().max(),
+            Some(4),
+            "{level}"
+        );
+    }
+}
+
+#[test]
+fn annotation_file_text_roundtrip_through_all_levels() {
+    let node = scan_node();
+    for level in OptLevel::all() {
+        let binary = harness::compile_node(&node, level).expect("compiles");
+        let file = AnnotationFile::from_program(&binary);
+        let text = file.to_text();
+        let parsed =
+            AnnotationFile::parse(&text).unwrap_or_else(|e| panic!("{level}: {e}\n{text}"));
+        assert_eq!(parsed, file, "{level}");
+        assert_eq!(parsed.entries[&0].constraints.len(), 1, "{level}");
+        assert_eq!(parsed.entries[&0].constraints[0].lo, 1, "{level}");
+        assert_eq!(parsed.entries[&0].constraints[0].hi, 4, "{level}");
+    }
+}
+
+#[test]
+fn wider_scan_configuration_raises_the_wcet() {
+    // The annotated bound is a *fact about the configuration global*; a
+    // larger table means a larger bound and a larger WCET.
+    let small = {
+        let mut b = NodeBuilder::new("annot");
+        let x = b.global_input("annot_x");
+        let y = b.lookup_search(x, vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]);
+        b.output("annot_y", y);
+        b.build().expect("valid")
+    };
+    let big = {
+        let mut b = NodeBuilder::new("annot");
+        let x = b.global_input("annot_x");
+        let bp: Vec<f64> = (0..12).map(f64::from).collect();
+        let y = b.lookup_search(x, bp.clone(), bp);
+        b.output("annot_y", y);
+        b.build().expect("valid")
+    };
+    let wcet = |node: &vericomp::dataflow::Node| {
+        let bin = Compiler::new(OptLevel::Verified)
+            .compile(&node.to_minic(), "step")
+            .expect("compiles");
+        vericomp::wcet::analyze(&bin, "step").expect("bounded").wcet
+    };
+    assert!(wcet(&big) > wcet(&small));
+}

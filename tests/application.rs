@@ -1,0 +1,110 @@
+//! Whole-application tests: the 26-node named suite linked into a single
+//! image with a cyclic executive — the shape of the paper's actual flight
+//! software (many nodes, executed every cycle, compiled together).
+
+use vericomp::core::{Compiler, OptLevel};
+use vericomp::dataflow::{fleet, Application};
+use vericomp::mach::Simulator;
+use vericomp::minic::interp::{Interp, Value};
+
+fn suite_app() -> Application {
+    Application::new("fcs", fleet::named_suite()).expect("unique node names")
+}
+
+#[test]
+fn application_compiles_runs_and_is_differentially_correct() {
+    let app = suite_app();
+    let src = app.to_minic().expect("assembles");
+    vericomp::minic::typeck::check(&src).expect("typechecks");
+
+    for level in [OptLevel::PatternO0, OptLevel::Verified, OptLevel::OptFull] {
+        let binary = Compiler::new(level)
+            .compile(&src, "step")
+            .expect("compiles");
+        let mut interp = Interp::new(&src);
+        let mut sim = Simulator::new(binary);
+        for step in 0..3u32 {
+            for port in 0..8 {
+                let v = f64::from(step * 5 + port) * 0.83 - 3.0;
+                interp.set_io(port, v);
+                sim.set_io_f64(port, v);
+            }
+            interp.call("step", &[]).expect("interprets");
+            sim.run(50_000_000).expect("simulates");
+            for g in &src.globals {
+                if let vericomp::minic::ast::GlobalDef::ScalarF64(_) = g.def {
+                    let a = match interp.global(&g.name).expect("declared") {
+                        Value::F(v) => v,
+                        _ => unreachable!(),
+                    };
+                    let b = sim.global_f64(&g.name, 0).expect("declared");
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "{level} step {step}: {} differs ({a} vs {b})",
+                        g.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn application_wcet_is_interprocedural_and_sound() {
+    let app = suite_app();
+    let src = app.to_minic().expect("assembles");
+    let binary = Compiler::new(OptLevel::Verified)
+        .compile(&src, "step")
+        .expect("compiles");
+    let report = vericomp::wcet::analyze(&binary, "step").expect("analyzable");
+
+    // every node's step function was analyzed as a callee
+    assert_eq!(report.callees.len(), app.nodes().len());
+    // the application bound covers the sum of the work: at least the sum of
+    // the callee bounds' dominating parts is within it (weak sanity), and it
+    // dominates a concrete cold run (the real contract)
+    let mut sim = Simulator::new(binary);
+    for port in 0..8 {
+        sim.set_io_f64(port, 2.5);
+    }
+    let out = sim.run(100_000_000).expect("runs");
+    assert!(
+        report.wcet >= out.stats.cycles,
+        "application WCET {} < measured {}",
+        report.wcet,
+        out.stats.cycles
+    );
+    // and it should not be more than ~4x a cold run of this loop-light code
+    assert!(
+        report.wcet <= out.stats.cycles * 4,
+        "application WCET {} looks unreasonably loose vs {}",
+        report.wcet,
+        out.stats.cycles
+    );
+}
+
+#[test]
+fn application_wcet_splits_by_node() {
+    // per-callee bounds give the per-node WCET decomposition the process
+    // needs for scheduling (cheap aiT-style per-task analyses)
+    let app = suite_app();
+    let src = app.to_minic().expect("assembles");
+    let binary = Compiler::new(OptLevel::Verified)
+        .compile(&src, "step")
+        .expect("compiles");
+    let report = vericomp::wcet::analyze(&binary, "step").expect("analyzable");
+    let acquisition = report
+        .callees
+        .get("airdata_acquisition_step")
+        .copied()
+        .expect("callee");
+    let logic = report
+        .callees
+        .get("gear_logic_step")
+        .copied()
+        .expect("callee");
+    assert!(
+        acquisition > logic,
+        "acquisition-bound node ({acquisition}) must dominate pure logic ({logic})"
+    );
+}

@@ -1,0 +1,64 @@
+//! Every compiled binary must round-trip through the real 32-bit encoding —
+//! the WCET analyzer depends on it (it reconstructs programs from the
+//! words), and it demonstrates the assembler/disassembler pair is total on
+//! the compiler's output.
+
+use vericomp::arch::Program;
+use vericomp::core::OptLevel;
+use vericomp::dataflow::fleet::{self, FleetConfig};
+use vericomp::harness::compile_node;
+
+#[test]
+fn named_suite_encodes_and_decodes_identically() {
+    for node in fleet::named_suite() {
+        for level in OptLevel::all() {
+            let binary = compile_node(&node, level)
+                .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+            let words = binary.encode_text();
+            assert_eq!(words.len(), binary.code.len());
+            let decoded = Program::decode_text(&binary.config, &words)
+                .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+            assert_eq!(decoded, binary.code, "{} at {level}", node.name());
+        }
+    }
+}
+
+#[test]
+fn random_fleet_encodes_and_decodes_identically() {
+    let cfg = FleetConfig {
+        nodes: 15,
+        min_symbols: 10,
+        max_symbols: 50,
+        seed: 77,
+    };
+    for node in fleet::random_fleet(&cfg) {
+        for level in [OptLevel::PatternO0, OptLevel::OptFull] {
+            let binary = compile_node(&node, level)
+                .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+            let decoded = Program::decode_text(&binary.config, &binary.encode_text())
+                .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+            assert_eq!(decoded, binary.code, "{} at {level}", node.name());
+        }
+    }
+}
+
+#[test]
+fn listings_match_the_paper_shape() {
+    // Listing 1 vs Listing 2 (§3.3): the pattern code is strictly larger
+    // and has strictly more memory accesses.
+    let l = vericomp_bench::listings::run();
+    assert!(
+        l.counts.0 > l.counts.1,
+        "pattern {} vs verified {}",
+        l.counts.0,
+        l.counts.1
+    );
+    assert!(
+        l.mem_ops.0 > 2 * l.mem_ops.1,
+        "memory traffic must collapse"
+    );
+    assert!(l.pattern.contains("lfd"));
+    assert!(l.pattern.contains("fadd"));
+    assert!(l.pattern.contains("stfd"));
+    assert!(l.verified.contains("fadd"));
+}

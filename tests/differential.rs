@@ -1,0 +1,62 @@
+//! Differential testing: the compiled binary running on the machine model
+//! must agree with the MiniC reference interpreter on outputs, actuator
+//! commands and annotation traces — for every compiler configuration, over
+//! generated nodes and randomized inputs (including non-finite values).
+//!
+//! This is the executable stand-in for CompCert's semantic-preservation
+//! theorem (DESIGN.md, E5).
+
+use proptest::prelude::*;
+use vericomp::core::OptLevel;
+use vericomp::dataflow::fleet::{self, FleetConfig};
+use vericomp::harness::differential_run;
+
+#[test]
+fn named_suite_differential_all_levels() {
+    for node in fleet::named_suite() {
+        for level in OptLevel::all() {
+            differential_run(&node, level, 3, |step, k| {
+                f64::from(step * 11 + 3 * k) * 0.619 - 7.0
+            })
+            .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+        }
+    }
+}
+
+#[test]
+fn non_finite_inputs_preserved() {
+    // NaN and infinities must flow identically through both semantics
+    // (the IEEE comparison corner cases are where compilers break).
+    let specials = [
+        f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        -0.0,
+        1e308,
+        5e-324,
+    ];
+    for node in fleet::named_suite().into_iter().take(8) {
+        for level in [OptLevel::PatternO0, OptLevel::Verified, OptLevel::OptFull] {
+            differential_run(&node, level, specials.len() as u32, |step, k| {
+                specials[((step + k) as usize) % specials.len()]
+            })
+            .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_nodes_random_inputs(seed in any::<u64>(), scale in 0.01f64..1000.0) {
+        let cfg = FleetConfig { nodes: 1, min_symbols: 10, max_symbols: 40, seed };
+        let node = fleet::random_fleet(&cfg).remove(0);
+        for level in OptLevel::all() {
+            differential_run(&node, level, 2, |step, k| {
+                (f64::from(step) - 0.5) * scale + f64::from(k) * 0.37
+            })
+            .unwrap_or_else(|e| panic!("seed {seed} at {level}: {e}"));
+        }
+    }
+}

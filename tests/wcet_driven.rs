@@ -1,0 +1,67 @@
+//! WCET-driven compilation (paper §4 / WCC-style): the driver must return
+//! the candidate with the smallest analyzed bound, never exceed the plain
+//! verified configuration, and stay semantics-preserving.
+
+use vericomp::core::OptLevel;
+use vericomp::dataflow::fleet;
+use vericomp::harness::{compile_node, compile_wcet_driven};
+use vericomp::mach::Simulator;
+
+#[test]
+fn driver_never_worse_than_verified() {
+    for node in fleet::named_suite().into_iter().take(10) {
+        let src = node.to_minic();
+        let (best, report) =
+            compile_wcet_driven(&src, "step").unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+        let best_wcet = vericomp::wcet::analyze(&best, "step")
+            .expect("analyzable")
+            .wcet;
+
+        let verified = compile_node(&node, OptLevel::Verified).expect("compiles");
+        let verified_wcet = vericomp::wcet::analyze(&verified, "step")
+            .expect("analyzable")
+            .wcet;
+
+        assert!(
+            best_wcet <= verified_wcet,
+            "{}: driver chose {} over verified {}",
+            node.name(),
+            best_wcet,
+            verified_wcet
+        );
+        assert_eq!(report.len(), 5, "{}", node.name());
+        assert_eq!(
+            report.iter().map(|c| c.wcet).min(),
+            Some(best_wcet),
+            "{}: report minimum must be the chosen binary",
+            node.name()
+        );
+    }
+}
+
+#[test]
+fn driver_result_is_semantics_preserving() {
+    let node = fleet::named_suite()
+        .into_iter()
+        .find(|n| n.name() == "pitch_normal_law")
+        .expect("suite node");
+    let src = node.to_minic();
+    let (best, _) = compile_wcet_driven(&src, "step").expect("drives");
+
+    // compare against the verified binary activation by activation
+    let verified = compile_node(&node, OptLevel::Verified).expect("compiles");
+    let mut a = Simulator::new(best);
+    let mut b = Simulator::new(verified);
+    for step in 0..5u32 {
+        for port in 0..4 {
+            let v = f64::from(step * 3 + port) * 0.41 - 1.0;
+            a.set_io_f64(port, v);
+            b.set_io_f64(port, v);
+        }
+        a.run(1_000_000).expect("runs");
+        b.run(1_000_000).expect("runs");
+        let ga = a.global_f64("pitch_normal_law_surface", 0).expect("output");
+        let gb = b.global_f64("pitch_normal_law_surface", 0).expect("output");
+        assert_eq!(ga.to_bits(), gb.to_bits(), "step {step}");
+    }
+}

@@ -1,0 +1,108 @@
+//! The analyzer's core contract: on every tested node, input and compiler
+//! configuration, the static WCET bound dominates the simulator's measured
+//! cycle count — including cold and warm caches.
+
+use vericomp::core::OptLevel;
+use vericomp::dataflow::fleet;
+use vericomp::harness::compile_node;
+use vericomp::mach::Simulator;
+use vericomp::wcet;
+
+#[test]
+fn wcet_dominates_simulation_on_named_suite() {
+    for node in fleet::named_suite() {
+        for level in OptLevel::all() {
+            let binary = compile_node(&node, level)
+                .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+            let report = wcet::analyze(&binary, "step")
+                .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+            let mut sim = Simulator::new(binary);
+            // several activations with varied inputs; caches warm up, the
+            // bound must hold regardless
+            for step in 0..4u32 {
+                for port in 0..8 {
+                    sim.set_io_f64(port, f64::from(step * 7 + port) * 1.37 - 9.0);
+                }
+                let outcome = sim
+                    .run(10_000_000)
+                    .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+                assert!(
+                    report.wcet >= outcome.stats.cycles,
+                    "{} at {level}: WCET {} < measured {} (step {step})",
+                    node.name(),
+                    report.wcet,
+                    outcome.stats.cycles,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wcet_dominates_simulation_on_random_fleet() {
+    let cfg = fleet::FleetConfig {
+        nodes: 12,
+        min_symbols: 15,
+        max_symbols: 45,
+        seed: 42,
+    };
+    for node in fleet::random_fleet(&cfg) {
+        for level in [OptLevel::PatternO0, OptLevel::Verified] {
+            let binary = compile_node(&node, level)
+                .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+            let report = wcet::analyze(&binary, "step")
+                .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+            let mut sim = Simulator::new(binary);
+            for step in 0..3u32 {
+                for port in 0..4 {
+                    sim.set_io_f64(port, f64::from(step) * 2.5 - f64::from(port));
+                }
+                for g in sim.program().globals.clone() {
+                    if g.name.contains("_in") {
+                        let _ = sim.set_global_f64(&g.name, 0, f64::from(step) - 0.5);
+                    }
+                }
+                let outcome = sim
+                    .run(10_000_000)
+                    .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+                assert!(
+                    report.wcet >= outcome.stats.cycles,
+                    "{} at {level}: WCET {} < measured {}",
+                    node.name(),
+                    report.wcet,
+                    outcome.stats.cycles
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wcet_not_absurdly_loose_on_straightline_nodes() {
+    // For loop-free, acquisition-free nodes the bound should be within a
+    // small factor of a cold-cache measurement (sanity against gross
+    // pessimism; precision is part of the paper's story).
+    for node in fleet::named_suite() {
+        let has_loops_or_io = node.instances().iter().any(|i| {
+            matches!(
+                i.kind,
+                vericomp::dataflow::Symbol::Lookup1dSearch { .. }
+                    | vericomp::dataflow::Symbol::Acquisition(_)
+            )
+        });
+        if has_loops_or_io {
+            continue;
+        }
+        let binary = compile_node(&node, OptLevel::Verified).expect("compiles");
+        let report = wcet::analyze(&binary, "step").expect("analyzable");
+        let mut sim = Simulator::new(binary);
+        let outcome = sim.run(10_000_000).expect("runs");
+        assert!(
+            report.wcet <= outcome.stats.cycles * 4 + 200,
+            "{}: WCET {} vs cold measurement {} — suspiciously loose",
+            node.name(),
+            report.wcet,
+            outcome.stats.cycles
+        );
+    }
+}
