@@ -1,0 +1,26 @@
+#!/bin/sh
+# The full offline gate. No network, no external crates: everything the
+# checks need ships in the workspace (see crates/testkit).
+#
+#   ci/check.sh            # fmt + build + tests + 1k-case fuzz smoke
+#
+# The fuzz seed is fixed so the smoke run is reproducible; the full
+# acceptance run is `--cases 10000 --seed 0xCC2011` (see README).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo build --workspace --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test --workspace -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> fuzz smoke: 1000 cases, seed 0xC1"
+cargo run --release --offline -p vericomp-testkit --bin fuzz_pipeline -- \
+    --cases 1000 --seed 0xC1
+
+echo "==> all checks passed"

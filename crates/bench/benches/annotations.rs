@@ -1,11 +1,13 @@
 //! E4 — regenerates the §3.4 annotation-pipeline comparison and benchmarks
 //! the annotation machinery (file generation/parsing, analysis with the
-//! constraints applied).
+//! constraints applied). Emits `BENCH_annotations.json`.
 
-use criterion::{criterion_group, Criterion};
+use std::path::Path;
+
 use vericomp_bench::annotations;
 use vericomp_core::{Compiler, OptLevel};
 use vericomp_dataflow::NodeBuilder;
+use vericomp_testkit::bench::Bench;
 use vericomp_wcet::annot::AnnotationFile;
 use vericomp_wcet::{analyze_with, AnalysisOptions};
 
@@ -24,50 +26,44 @@ fn scan_node_binary() -> vericomp_arch::Program {
         .expect("compiles")
 }
 
-fn bench_annotations(c: &mut Criterion) {
+fn benches() -> Bench {
     let bin = scan_node_binary();
-    let mut g = c.benchmark_group("annotations");
-    g.bench_function("file/generate+serialize", |b| {
-        b.iter(|| AnnotationFile::from_program(&bin).to_text());
+    let mut g = Bench::group("annotations");
+    g.bench("file/generate+serialize", || {
+        AnnotationFile::from_program(&bin).to_text()
     });
     let text = AnnotationFile::from_program(&bin).to_text();
-    g.bench_function("file/parse", |b| {
-        b.iter(|| AnnotationFile::parse(&text).expect("roundtrip"));
+    g.bench("file/parse", || {
+        AnnotationFile::parse(&text).expect("roundtrip")
     });
-    g.bench_function("analyze/with_annotations", |b| {
-        b.iter(|| {
-            analyze_with(
-                &bin,
-                "step",
-                &AnalysisOptions {
-                    use_annotations: true,
-                },
-            )
-            .expect("bounded")
-        });
+    g.bench("analyze/with_annotations", || {
+        analyze_with(
+            &bin,
+            "step",
+            &AnalysisOptions {
+                use_annotations: true,
+            },
+        )
+        .expect("bounded")
     });
-    g.bench_function("analyze/without_annotations_fails", |b| {
-        b.iter(|| {
-            analyze_with(
-                &bin,
-                "step",
-                &AnalysisOptions {
-                    use_annotations: false,
-                },
-            )
-            .expect_err("must be unbounded")
-        });
+    g.bench("analyze/without_annotations_fails", || {
+        analyze_with(
+            &bin,
+            "step",
+            &AnalysisOptions {
+                use_annotations: false,
+            },
+        )
+        .expect_err("must be unbounded")
     });
-    g.finish();
+    g
 }
-
-criterion_group!(benches, bench_annotations);
 
 fn main() {
     let e = annotations::run();
     println!("{}", annotations::render(&e));
-    benches();
-    criterion::Criterion::default()
-        .configure_from_args()
-        .final_summary();
+    let g = benches();
+    println!("{}", g.render());
+    let path = g.write_json(Path::new(".")).expect("writes summary");
+    println!("wrote {}", path.display());
 }

@@ -1,37 +1,38 @@
 //! E2 — regenerates the Figure 2 series (per-node WCET under the four
-//! compiler configurations) and benchmarks the WCET analyzer.
+//! compiler configurations) and benchmarks the WCET analyzer. Emits
+//! `BENCH_figure2.json`.
 
-use criterion::{criterion_group, Criterion};
+use std::path::Path;
+
 use vericomp_bench::figure2;
 use vericomp_core::{Compiler, OptLevel};
 use vericomp_dataflow::fleet;
+use vericomp_testkit::bench::Bench;
 
-fn bench_wcet_analysis(c: &mut Criterion) {
+fn benches() -> Bench {
     let node = fleet::named_suite()
         .into_iter()
         .find(|n| n.name() == "pitch_normal_law")
         .expect("suite contains the pitch law");
     let src = node.to_minic();
 
-    let mut g = c.benchmark_group("figure2");
+    let mut g = Bench::group("figure2");
     for level in OptLevel::all() {
         let bin = Compiler::new(level)
             .compile(&src, "step")
             .expect("compiles");
-        g.bench_function(format!("wcet_analyze/{level}"), |b| {
-            b.iter(|| vericomp_wcet::analyze(&bin, "step").expect("analyzable"));
+        g.bench(&format!("wcet_analyze/{level}"), || {
+            vericomp_wcet::analyze(&bin, "step").expect("analyzable")
         });
     }
-    g.finish();
+    g
 }
-
-criterion_group!(benches, bench_wcet_analysis);
 
 fn main() {
     let fig = figure2::run();
     println!("{}", figure2::render(&fig));
-    benches();
-    criterion::Criterion::default()
-        .configure_from_args()
-        .final_summary();
+    let g = benches();
+    println!("{}", g.render());
+    let path = g.write_json(Path::new(".")).expect("writes summary");
+    println!("wrote {}", path.display());
 }

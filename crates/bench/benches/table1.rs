@@ -1,46 +1,46 @@
 //! E1 — regenerates the §3.3 / Table 1 rows (code size, cache reads, cache
 //! writes per compiler configuration) and benchmarks the measurement
-//! pipeline itself.
+//! pipeline itself. Emits `BENCH_table1.json`.
 
-use criterion::{criterion_group, Criterion};
+use std::path::Path;
+
 use vericomp_bench::table1;
 use vericomp_core::{Compiler, OptLevel};
-use vericomp_dataflow::fleet::{self, FleetConfig};
 use vericomp_mach::Simulator;
+use vericomp_testkit::bench::Bench;
+use vericomp_testkit::fleet::{self, FleetConfig};
 
-fn bench_compile_and_simulate(c: &mut Criterion) {
+fn benches() -> Bench {
     let node = &fleet::random_fleet(&FleetConfig {
         nodes: 1,
         ..FleetConfig::default()
     })[0];
     let src = node.to_minic();
 
-    let mut g = c.benchmark_group("table1");
+    let mut g = Bench::group("table1");
     for level in [OptLevel::PatternO0, OptLevel::Verified, OptLevel::OptFull] {
-        g.bench_function(format!("compile/{level}"), |b| {
-            let compiler = Compiler::new(level);
-            b.iter(|| compiler.compile(&src, "step").expect("compiles"));
+        let compiler = Compiler::new(level);
+        g.bench(&format!("compile/{level}"), || {
+            compiler.compile(&src, "step").expect("compiles")
         });
     }
     let bin = Compiler::new(OptLevel::Verified)
         .compile(&src, "step")
         .expect("compiles");
-    g.bench_function("simulate/one_activation", |b| {
-        let mut sim = Simulator::new(bin.clone());
-        sim.set_io_f64(0, 1.5);
-        b.iter(|| sim.run(10_000_000).expect("runs"));
+    let mut sim = Simulator::new(bin);
+    sim.set_io_f64(0, 1.5);
+    g.bench("simulate/one_activation", || {
+        sim.run(10_000_000).expect("runs")
     });
-    g.finish();
+    g
 }
-
-criterion_group!(benches, bench_compile_and_simulate);
 
 fn main() {
     // Regenerate the table first (the artifact), then time the pipeline.
     let t = table1::run_fleet(40, 4);
     println!("{}", table1::render(&t));
-    benches();
-    criterion::Criterion::default()
-        .configure_from_args()
-        .final_summary();
+    let g = benches();
+    println!("{}", g.render());
+    let path = g.write_json(Path::new(".")).expect("writes summary");
+    println!("wrote {}", path.display());
 }

@@ -1,13 +1,16 @@
 //! E5 + component microbenchmarks: regenerates the ablation table of the
 //! compiler's design choices and times the individual toolchain stages
 //! (lowering, optimization, register allocation + validation, emission,
-//! binary encode/decode, simulator throughput).
+//! binary encode/decode, simulator throughput). Emits
+//! `BENCH_toolchain.json`.
 
-use criterion::{criterion_group, Criterion};
+use std::path::Path;
+
 use vericomp_bench::ablation;
 use vericomp_core::{lower, opt, regalloc, validate, Compiler, OptLevel};
 use vericomp_dataflow::fleet;
 use vericomp_mach::Simulator;
+use vericomp_testkit::bench::Bench;
 
 fn pitch_src() -> vericomp_minic::ast::Program {
     fleet::named_suite()
@@ -17,25 +20,23 @@ fn pitch_src() -> vericomp_minic::ast::Program {
         .to_minic()
 }
 
-fn bench_stages(c: &mut Criterion) {
+fn benches() -> Bench {
     let src = pitch_src();
     let func = &src.functions[0];
-    let mut g = c.benchmark_group("toolchain");
+    let mut g = Bench::group("toolchain");
 
-    g.bench_function("lower", |b| {
-        b.iter(|| lower::lower_function(&src, func).expect("lowers"));
+    g.bench("lower", || {
+        lower::lower_function(&src, func).expect("lowers")
     });
 
     let lowered = lower::lower_function(&src, func).expect("lowers");
-    g.bench_function("opt/mem2reg+cse+dce", |b| {
-        b.iter(|| {
-            let mut f = lowered.clone();
-            opt::mem2reg::run(&mut f);
-            opt::constprop::run(&mut f);
-            opt::cse::run(&mut f);
-            opt::dce::run(&mut f);
-            f
-        });
+    g.bench("opt/mem2reg+cse+dce", || {
+        let mut f = lowered.clone();
+        opt::mem2reg::run(&mut f);
+        opt::constprop::run(&mut f);
+        opt::cse::run(&mut f);
+        opt::dce::run(&mut f);
+        f
     });
 
     let mut optimized = lowered.clone();
@@ -43,43 +44,37 @@ fn bench_stages(c: &mut Criterion) {
     opt::constprop::run(&mut optimized);
     opt::cse::run(&mut optimized);
     opt::dce::run(&mut optimized);
-    g.bench_function("regalloc+validate", |b| {
-        b.iter(|| {
-            let mut f = optimized.clone();
-            let alloc = regalloc::allocate(&mut f, &regalloc::Palette::full()).expect("colors");
-            validate::check_allocation(&f, &alloc).expect("valid");
-            alloc
-        });
+    g.bench("regalloc+validate", || {
+        let mut f = optimized.clone();
+        let alloc = regalloc::allocate(&mut f, &regalloc::Palette::full()).expect("colors");
+        validate::check_allocation(&f, &alloc).expect("valid");
+        alloc
     });
 
     let bin = Compiler::new(OptLevel::Verified)
         .compile(&src, "step")
         .expect("compiles");
-    g.bench_function("binary/encode_text", |b| {
-        b.iter(|| bin.encode_text());
-    });
+    g.bench("binary/encode_text", || bin.encode_text());
     let words = bin.encode_text();
-    g.bench_function("binary/decode_text", |b| {
-        b.iter(|| vericomp_arch::Program::decode_text(&bin.config, &words).expect("decodes"));
+    g.bench("binary/decode_text", || {
+        vericomp_arch::Program::decode_text(&bin.config, &words).expect("decodes")
     });
 
-    g.bench_function("simulator/activation_throughput", |b| {
-        let mut sim = Simulator::new(bin.clone());
-        for p in 0..4 {
-            sim.set_io_f64(p, 2.0);
-        }
-        b.iter(|| sim.run(10_000_000).expect("runs"));
+    let mut sim = Simulator::new(bin.clone());
+    for p in 0..4 {
+        sim.set_io_f64(p, 2.0);
+    }
+    g.bench("simulator/activation_throughput", || {
+        sim.run(10_000_000).expect("runs")
     });
-    g.finish();
+    g
 }
-
-criterion_group!(benches, bench_stages);
 
 fn main() {
     let a = ablation::run();
     println!("{}", ablation::render(&a));
-    benches();
-    criterion::Criterion::default()
-        .configure_from_args()
-        .final_summary();
+    let g = benches();
+    println!("{}", g.render());
+    let path = g.write_json(Path::new(".")).expect("writes summary");
+    println!("wrote {}", path.display());
 }

@@ -14,8 +14,8 @@
 use std::collections::BTreeMap;
 
 use vericomp_core::{Compiler, OptLevel};
-use vericomp_dataflow::fleet::{self, FleetConfig};
 use vericomp_mach::Simulator;
+use vericomp_testkit::fleet::{self, FleetConfig};
 
 /// Aggregate measurements of one compiler configuration over the fleet.
 #[derive(Debug, Clone, Copy, Default)]

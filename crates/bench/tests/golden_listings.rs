@@ -1,0 +1,90 @@
+//! Golden snapshot tests for the paper's Listing 1 / Listing 2 comparison
+//! (§3.3): the exact assembly the two compilers produce for the ADD-symbol
+//! experiment is pinned, so any codegen change shows up as a readable
+//! diff against `tests/golden/listing{1,2}.txt`.
+//!
+//! To accept an intentional codegen change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p vericomp-bench --test golden_listings
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use vericomp_bench::listings;
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v == "1") {
+        fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        fs::write(&path, actual).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the golden snapshot; \
+         re-run with UPDATE_GOLDEN=1 if the codegen change is intentional"
+    );
+}
+
+#[test]
+fn listing1_pattern_assembly_is_pinned() {
+    let l = listings::run();
+    check_golden("listing1.txt", &l.pattern);
+}
+
+#[test]
+fn listing2_verified_assembly_is_pinned() {
+    let l = listings::run();
+    check_golden("listing2.txt", &l.verified);
+}
+
+/// The paper's qualitative claim, independent of exact register numbers:
+/// the pattern compiler loads both operands, adds, and stores the result
+/// (`lfd`/`lfd`/`fadd`/`stfd` in order), while the verified compiler's
+/// statement region keeps values in registers — a bare `fadd` with no
+/// surrounding reload/spill of the operands.
+#[test]
+fn listings_match_the_paper_shape() {
+    let l = listings::run();
+
+    // Listing 1: an lfd/lfd/fadd/stfd sequence appears in order.
+    let lines: Vec<&str> = l.pattern.lines().collect();
+    let mut want = ["lfd", "lfd", "fadd", "stfd"].iter();
+    let mut next = want.next();
+    for line in &lines {
+        if let Some(op) = next {
+            if line.contains(op) {
+                next = want.next();
+            }
+        }
+    }
+    assert!(
+        next.is_none(),
+        "Listing 1 lacks the lfd/lfd/fadd/stfd pattern:\n{}",
+        l.pattern
+    );
+
+    // Listing 2: the add survives, the memory traffic around it does not.
+    assert!(l.verified.contains("fadd"), "{}", l.verified);
+    let pattern_mem = l.mem_ops.0;
+    let verified_mem = l.mem_ops.1;
+    assert!(
+        pattern_mem > 2 * verified_mem,
+        "memory traffic must collapse: pattern {pattern_mem} vs verified {verified_mem}"
+    );
+}

@@ -102,6 +102,13 @@ pub fn reduce(f: &mut Func) -> usize {
 /// Fuses `t = a *f b; d = t +f c` into `d = fmadd a, b, c` when `t` is used
 /// exactly once, defined in the same block, and not redefined in between.
 /// Returns the number of fusions (the dead multiply is left for DCE).
+///
+/// The commuted form `d = c +f t` is deliberately *not* fused: `fmadd`
+/// evaluates the product as the first addend, and addition is not bitwise
+/// commutative when both operands are NaN (the first NaN's payload
+/// propagates). Fusing the commuted form was observed to flip NaN bit
+/// patterns between the reference interpreter and the machine, so only the
+/// order-preserving case — which is bit-exact by construction — is taken.
 pub fn fuse_fmadd(f: &mut Func) -> usize {
     // Global use counts.
     let mut uses: BTreeMap<Vreg, usize> = BTreeMap::new();
@@ -130,10 +137,9 @@ pub fn fuse_fmadd(f: &mut Func) -> usize {
                 b,
             } = inst
             {
+                // Only the product-first form: see the NaN note above.
                 let pick = if muls.contains_key(&a) && uses.get(&a) == Some(&1) {
                     Some((a, b))
-                } else if muls.contains_key(&b) && uses.get(&b) == Some(&1) {
-                    Some((b, a))
                 } else {
                     None
                 };
@@ -270,6 +276,42 @@ mod tests {
         );
         assert_eq!(fuse_fmadd(&mut f), 1);
         assert_eq!(f.blocks[0].insts[1], Inst::MaddF { dst: d, a, b, c });
+    }
+
+    #[test]
+    fn no_fusion_when_product_is_second_addend() {
+        // `d = c + t` must stay an add: fmadd would compute `t + c`, and
+        // when both are NaN the first operand's payload wins, so the
+        // commuted fusion is not bit-exact.
+        let (a, b, c, t, d) = (Vreg(0), Vreg(1), Vreg(2), Vreg(3), Vreg(4));
+        let mut f = func(
+            vec![
+                Inst::BinF {
+                    op: FBin::Mul,
+                    dst: t,
+                    a,
+                    b,
+                },
+                Inst::BinF {
+                    op: FBin::Add,
+                    dst: d,
+                    a: c,
+                    b: t,
+                },
+            ],
+            vec![RegClass::F; 5],
+            Some(d),
+        );
+        assert_eq!(fuse_fmadd(&mut f), 0);
+        assert_eq!(
+            f.blocks[0].insts[1],
+            Inst::BinF {
+                op: FBin::Add,
+                dst: d,
+                a: c,
+                b: t
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Seeded random workload fleets for the Table 1 statistics, fuzzing and
+//! soak tests (moved here from `vericomp-dataflow` so the dataflow crate
+//! stays dependency-free; the curated `named_suite` remains in
+//! `vericomp_dataflow::fleet`).
+//!
+//! The symbol census is modeled on flight-control laws: dominated by
+//! gains, sums and filters, with a sprinkling of saturations, limiters,
+//! lookups, comparators and boolean logic.
+
+use vericomp_dataflow::node::{FWire, Node, NodeBuilder};
+use vericomp_minic::ast::Cmp;
+
+use crate::rng::Rng;
+
+/// Configuration of the random fleet generator.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Minimum symbols per node.
+    pub min_symbols: usize,
+    /// Maximum symbols per node.
+    pub max_symbols: usize,
+    /// RNG seed (the fleet is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            nodes: 100,
+            min_symbols: 20,
+            max_symbols: 80,
+            seed: 0xF11C,
+        }
+    }
+}
+
+/// Generates a deterministic random fleet with a symbol census modeled on
+/// flight-control laws (dominated by gains/sums/filters).
+pub fn random_fleet(cfg: &FleetConfig) -> Vec<Node> {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    (0..cfg.nodes)
+        .map(|i| random_node(&format!("node{i:03}"), &mut rng, cfg))
+        .collect()
+}
+
+fn random_node(name: &str, rng: &mut Rng, cfg: &FleetConfig) -> Node {
+    let mut b = NodeBuilder::new(name);
+    let target = rng.gen_range(cfg.min_symbols..=cfg.max_symbols);
+    let mut fw: Vec<FWire> = Vec::new();
+    let mut bw = Vec::new();
+
+    // sources
+    let n_inputs = rng.gen_range(1..=3);
+    for k in 0..n_inputs {
+        fw.push(b.global_input(format!("{name}_in{k}")));
+    }
+    if rng.gen_bool(0.4) {
+        fw.push(b.acquisition(rng.gen_range(0..4)));
+    }
+
+    let mut count = fw.len();
+    while count < target {
+        let pick = |rng: &mut Rng, v: &Vec<FWire>| v[rng.gen_range(0..v.len())];
+        let roll: f64 = rng.f64();
+        if roll < 0.22 {
+            let x = pick(rng, &fw);
+            fw.push(b.gain(x, rng.gen_range(-3.0..3.0)));
+        } else if roll < 0.40 {
+            let x = pick(rng, &fw);
+            let y = pick(rng, &fw);
+            let w = match rng.gen_range(0..4) {
+                0 => b.sum(x, y),
+                1 => b.sub(x, y),
+                2 => b.mul(x, y),
+                _ => b.min(x, y),
+            };
+            fw.push(w);
+        } else if roll < 0.60 {
+            let x = pick(rng, &fw);
+            fw.push(b.first_order_filter(x, rng.gen_range(0.05..0.6)));
+        } else if roll < 0.70 {
+            let x = pick(rng, &fw);
+            let lo = rng.gen_range(-20.0..-1.0);
+            let hi = rng.gen_range(1.0..20.0);
+            fw.push(b.saturation(x, lo, hi));
+        } else if roll < 0.76 {
+            let x = pick(rng, &fw);
+            fw.push(b.rate_limiter(x, rng.gen_range(0.1..2.0)));
+        } else if roll < 0.82 {
+            let x = pick(rng, &fw);
+            fw.push(b.delay(x));
+        } else if roll < 0.86 {
+            let x = pick(rng, &fw);
+            fw.push(b.pid(
+                x,
+                rng.gen_range(0.5..3.0),
+                rng.gen_range(0.0..0.5),
+                rng.gen_range(0.0..0.5),
+            ));
+        } else if roll < 0.90 {
+            let x = pick(rng, &fw);
+            let n = rng.gen_range(4..9);
+            let table: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            fw.push(b.lookup1d(x, table, -5.0, 10.0 / (n as f64 - 1.0)));
+        } else if roll < 0.92 {
+            let x = pick(rng, &fw);
+            bw.push(b.cmp_const(x, Cmp::Gt, rng.gen_range(-5.0..5.0)));
+        } else if roll < 0.94 {
+            let x = pick(rng, &fw);
+            let w = match rng.gen_range(0..3) {
+                0 => b.deadband(x, rng.gen_range(0.1..2.0)),
+                1 => b.second_order_filter(
+                    x,
+                    rng.gen_range(0.1..0.8),
+                    rng.gen_range(-0.4..0.4),
+                    rng.gen_range(-0.6..0.6),
+                ),
+                _ => b.abs(x),
+            };
+            fw.push(w);
+        } else if roll < 0.95 && !bw.is_empty() {
+            let c = bw[rng.gen_range(0..bw.len())];
+            bw.push(b.debounce(c, rng.gen_range(1..5)));
+        } else if roll < 0.97 && !bw.is_empty() {
+            let c = bw[rng.gen_range(0..bw.len())];
+            let x = pick(rng, &fw);
+            let y = pick(rng, &fw);
+            fw.push(b.switch_if(c, x, y));
+        } else if bw.len() >= 2 {
+            let c1 = bw[rng.gen_range(0..bw.len())];
+            let c2 = bw[rng.gen_range(0..bw.len())];
+            bw.push(match rng.gen_range(0..3) {
+                0 => b.and(c1, c2),
+                1 => b.or(c1, c2),
+                _ => b.xor(c1, c2),
+            });
+        } else {
+            let x = pick(rng, &fw);
+            fw.push(b.abs(x));
+        }
+        count += 1;
+    }
+
+    // sinks: a couple of outputs and maybe an actuator
+    let outs = rng.gen_range(1..=2);
+    for k in 0..outs {
+        let x = fw[fw.len() - 1 - k * 2 % fw.len()];
+        b.output(format!("{name}_out{k}"), x);
+    }
+    if rng.gen_bool(0.3) {
+        let x = fw[fw.len() - 1];
+        b.actuator(rng.gen_range(8..12), x);
+    }
+    if let Some(&c) = bw.last() {
+        b.output_b(format!("{name}_flag"), c);
+    }
+    b.build()
+        .expect("generated nodes are well-formed by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vericomp_minic::interp::{Interp, Value};
+
+    #[test]
+    fn random_fleet_is_deterministic() {
+        let cfg = FleetConfig {
+            nodes: 5,
+            ..FleetConfig::default()
+        };
+        let a = random_fleet(&cfg);
+        let b = random_fleet(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_minic(), y.to_minic());
+        }
+        let c = random_fleet(&FleetConfig { seed: 999, ..cfg });
+        assert_ne!(a[0].to_minic(), c[0].to_minic());
+    }
+
+    #[test]
+    fn random_fleet_typechecks_and_runs() {
+        let cfg = FleetConfig {
+            nodes: 20,
+            min_symbols: 10,
+            max_symbols: 40,
+            ..Default::default()
+        };
+        for node in random_fleet(&cfg) {
+            let p = node.to_minic();
+            vericomp_minic::typeck::check(&p).unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+            let mut it = Interp::new(&p);
+            // set declared inputs to something nonzero
+            for g in &p.globals {
+                if g.name.contains("_in") {
+                    let _ = it.set_global(&g.name, Value::F(1.5));
+                }
+            }
+            it.call("step", &[])
+                .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+        }
+    }
+
+    #[test]
+    fn fleet_sizes_respect_bounds() {
+        let cfg = FleetConfig {
+            nodes: 10,
+            min_symbols: 15,
+            max_symbols: 30,
+            seed: 7,
+        };
+        for n in random_fleet(&cfg) {
+            assert!(n.len() >= 15, "{} has {}", n.name(), n.len());
+        }
+    }
+}

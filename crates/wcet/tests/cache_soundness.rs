@@ -2,9 +2,9 @@
 //! concrete LRU cache — whatever the access sequence, a line the
 //! must-analysis claims resident is resident in the concrete cache.
 
-use proptest::prelude::*;
 use vericomp_arch::config::CacheConfig;
 use vericomp_mach::Cache;
+use vericomp_testkit::prop::{check, gens, Config, Gen};
 use vericomp_wcet::cache::MustCache;
 
 fn tiny() -> CacheConfig {
@@ -15,84 +15,108 @@ fn tiny() -> CacheConfig {
     } // 4 sets, 2 ways
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(500))]
+/// A sequence of cache-line indices in `0..64`.
+fn lines(len_lo: usize, len_hi: usize) -> Gen<Vec<u32>> {
+    gens::vec_of(gens::u32_range(0, 64), len_lo, len_hi)
+}
 
-    #[test]
-    fn must_cache_subset_of_concrete(accesses in proptest::collection::vec(0u32..64, 1..200)) {
-        let cfg = tiny();
-        let mut concrete = Cache::new(cfg);
-        let mut must = MustCache::new(&cfg);
-        for &line in &accesses {
-            let addr = line * cfg.line_bytes;
-            // claim before the access: resident in must ⇒ concrete hit
-            if must.contains(line) {
-                prop_assert!(
-                    concrete.contains(addr),
-                    "line {line} claimed resident but concretely absent"
-                );
-            }
-            concrete.access(addr);
-            must.access(line);
-        }
-    }
-
-    #[test]
-    fn join_is_sound_for_either_history(
-        a in proptest::collection::vec(0u32..64, 1..100),
-        b in proptest::collection::vec(0u32..64, 1..100),
-        tail in proptest::collection::vec(0u32..64, 0..50),
-    ) {
-        // Two abstract histories joined, then a common tail: the joined
-        // state's claims must hold for the concrete cache of BOTH histories.
-        let cfg = tiny();
-        let run = |seq: &[u32]| {
+#[test]
+fn must_cache_subset_of_concrete() {
+    check(
+        "must_cache_subset_of_concrete",
+        &Config::with_cases(500),
+        &lines(1, 200),
+        |accesses| {
+            let cfg = tiny();
             let mut concrete = Cache::new(cfg);
             let mut must = MustCache::new(&cfg);
-            for &line in seq {
+            for &line in accesses {
+                let addr = line * cfg.line_bytes;
+                // claim before the access: resident in must ⇒ concrete hit
+                if must.contains(line) && !concrete.contains(addr) {
+                    return Err(format!(
+                        "line {line} claimed resident but concretely absent"
+                    ));
+                }
+                concrete.access(addr);
+                must.access(line);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn join_is_sound_for_either_history() {
+    let histories = gens::pair(gens::pair(lines(1, 100), lines(1, 100)), lines(0, 50));
+    check(
+        "join_is_sound_for_either_history",
+        &Config::with_cases(500),
+        &histories,
+        |((a, b), tail)| {
+            // Two abstract histories joined, then a common tail: the joined
+            // state's claims must hold for the concrete cache of BOTH
+            // histories.
+            let cfg = tiny();
+            let run = |seq: &[u32]| {
+                let mut concrete = Cache::new(cfg);
+                let mut must = MustCache::new(&cfg);
+                for &line in seq {
+                    concrete.access(line * cfg.line_bytes);
+                    must.access(line);
+                }
+                (concrete, must)
+            };
+            let (mut ca, ma) = run(a);
+            let (mut cb, mb) = run(b);
+            let mut joined = ma.join(&mb);
+            for &line in tail {
+                if joined.contains(line) {
+                    if !ca.contains(line * cfg.line_bytes) {
+                        return Err(format!("line {line}: unsound vs history A"));
+                    }
+                    if !cb.contains(line * cfg.line_bytes) {
+                        return Err(format!("line {line}: unsound vs history B"));
+                    }
+                }
+                ca.access(line * cfg.line_bytes);
+                cb.access(line * cfg.line_bytes);
+                joined.access(line);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn imprecise_aging_is_sound() {
+    let seqs = gens::pair(lines(1, 60), lines(0, 20));
+    check(
+        "imprecise_aging_is_sound",
+        &Config::with_cases(500),
+        &seqs,
+        |(known, wild)| {
+            // Interleave known accesses with wild (unknown-address) ones:
+            // the abstraction ages conservatively, the concrete cache
+            // performs the wild accesses literally.
+            let cfg = tiny();
+            let mut concrete = Cache::new(cfg);
+            let mut must = MustCache::new(&cfg);
+            let mut wi = wild.iter();
+            for (i, &line) in known.iter().enumerate() {
+                if i % 3 == 2 {
+                    if let Some(&w) = wi.next() {
+                        concrete.access(w * cfg.line_bytes);
+                        must.age_all(); // analyzer saw "unknown address"
+                    }
+                }
+                if must.contains(line) && !concrete.contains(line * cfg.line_bytes) {
+                    return Err(format!("line {line} claimed resident after aging"));
+                }
                 concrete.access(line * cfg.line_bytes);
                 must.access(line);
             }
-            (concrete, must)
-        };
-        let (mut ca, ma) = run(&a);
-        let (mut cb, mb) = run(&b);
-        let mut joined = ma.join(&mb);
-        for &line in &tail {
-            if joined.contains(line) {
-                prop_assert!(ca.contains(line * cfg.line_bytes), "unsound vs history A");
-                prop_assert!(cb.contains(line * cfg.line_bytes), "unsound vs history B");
-            }
-            ca.access(line * cfg.line_bytes);
-            cb.access(line * cfg.line_bytes);
-            joined.access(line);
-        }
-    }
-
-    #[test]
-    fn imprecise_aging_is_sound(
-        known in proptest::collection::vec(0u32..64, 1..60),
-        wild in proptest::collection::vec(0u32..64, 0..20),
-    ) {
-        // Interleave known accesses with wild (unknown-address) ones: the
-        // abstraction ages conservatively, the concrete cache performs the
-        // wild accesses literally.
-        let cfg = tiny();
-        let mut concrete = Cache::new(cfg);
-        let mut must = MustCache::new(&cfg);
-        let mut wi = wild.iter();
-        for (i, &line) in known.iter().enumerate() {
-            if i % 3 == 2 {
-                if let Some(&w) = wi.next() {
-                    concrete.access(w * cfg.line_bytes);
-                    must.age_all(); // analyzer saw "unknown address"
-                }
-            }
-            if must.contains(line) {
-                prop_assert!(concrete.contains(line * cfg.line_bytes));
-            }
-            concrete.access(line * cfg.line_bytes);
-            must.access(line);
-        }
-    }
+            Ok(())
+        },
+    );
 }

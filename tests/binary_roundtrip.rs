@@ -5,8 +5,9 @@
 
 use vericomp::arch::Program;
 use vericomp::core::OptLevel;
-use vericomp::dataflow::fleet::{self, FleetConfig};
+use vericomp::dataflow::fleet;
 use vericomp::harness::compile_node;
+use vericomp_testkit::fleet::{random_fleet, FleetConfig};
 
 #[test]
 fn named_suite_encodes_and_decodes_identically() {
@@ -31,7 +32,7 @@ fn random_fleet_encodes_and_decodes_identically() {
         max_symbols: 50,
         seed: 77,
     };
-    for node in fleet::random_fleet(&cfg) {
+    for node in random_fleet(&cfg) {
         for level in [OptLevel::PatternO0, OptLevel::OptFull] {
             let binary = compile_node(&node, level)
                 .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));

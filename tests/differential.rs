@@ -6,10 +6,11 @@
 //! This is the executable stand-in for CompCert's semantic-preservation
 //! theorem (DESIGN.md, E5).
 
-use proptest::prelude::*;
 use vericomp::core::OptLevel;
-use vericomp::dataflow::fleet::{self, FleetConfig};
+use vericomp::dataflow::fleet;
 use vericomp::harness::differential_run;
+use vericomp_testkit::fleet::{random_fleet, FleetConfig};
+use vericomp_testkit::prop::{check, gens, Config};
 
 #[test]
 fn named_suite_differential_all_levels() {
@@ -45,18 +46,28 @@ fn non_finite_inputs_preserved() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_nodes_random_inputs(seed in any::<u64>(), scale in 0.01f64..1000.0) {
-        let cfg = FleetConfig { nodes: 1, min_symbols: 10, max_symbols: 40, seed };
-        let node = fleet::random_fleet(&cfg).remove(0);
-        for level in OptLevel::all() {
-            differential_run(&node, level, 2, |step, k| {
-                (f64::from(step) - 0.5) * scale + f64::from(k) * 0.37
-            })
-            .unwrap_or_else(|e| panic!("seed {seed} at {level}: {e}"));
-        }
-    }
+#[test]
+fn random_nodes_random_inputs() {
+    let inputs = gens::pair(gens::any_u64(), gens::f64_range(0.01, 1000.0));
+    check(
+        "random_nodes_random_inputs",
+        &Config::with_cases(24),
+        &inputs,
+        |&(seed, scale)| {
+            let cfg = FleetConfig {
+                nodes: 1,
+                min_symbols: 10,
+                max_symbols: 40,
+                seed,
+            };
+            let node = random_fleet(&cfg).remove(0);
+            for level in OptLevel::all() {
+                differential_run(&node, level, 2, |step, k| {
+                    (f64::from(step) - 0.5) * scale + f64::from(k) * 0.37
+                })
+                .map_err(|e| format!("node seed {seed} at {level}: {e}"))?;
+            }
+            Ok(())
+        },
+    );
 }

@@ -3,8 +3,9 @@
 //! to the identical AST — so generated sources can be reviewed, stored and
 //! re-ingested like the paper's C files.
 
-use vericomp::dataflow::fleet::{self, FleetConfig};
+use vericomp::dataflow::fleet;
 use vericomp::minic::{parse, pretty, typeck};
+use vericomp_testkit::fleet::{random_fleet, FleetConfig};
 
 #[test]
 fn named_suite_pretty_parse_identity() {
@@ -25,7 +26,7 @@ fn random_fleet_pretty_parse_identity() {
         max_symbols: 60,
         seed: 2024,
     };
-    for node in fleet::random_fleet(&cfg) {
+    for node in random_fleet(&cfg) {
         let p1 = node.to_minic();
         let text = pretty::program_to_c(&p1);
         let p2 = parse::parse(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", node.name()));

@@ -7,6 +7,7 @@ use vericomp::dataflow::fleet;
 use vericomp::harness::compile_node;
 use vericomp::mach::Simulator;
 use vericomp::wcet;
+use vericomp_testkit::fleet as rfleet;
 
 #[test]
 fn wcet_dominates_simulation_on_named_suite() {
@@ -40,13 +41,13 @@ fn wcet_dominates_simulation_on_named_suite() {
 
 #[test]
 fn wcet_dominates_simulation_on_random_fleet() {
-    let cfg = fleet::FleetConfig {
+    let cfg = rfleet::FleetConfig {
         nodes: 12,
         min_symbols: 15,
         max_symbols: 45,
         seed: 42,
     };
-    for node in fleet::random_fleet(&cfg) {
+    for node in rfleet::random_fleet(&cfg) {
         for level in [OptLevel::PatternO0, OptLevel::Verified] {
             let binary = compile_node(&node, level)
                 .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
