@@ -19,8 +19,24 @@ cargo build --workspace --release --offline
 echo "==> cargo test --workspace -q --offline"
 cargo test --workspace -q --offline
 
-echo "==> fuzz smoke: 1000 cases, seed 0xC1"
+echo "==> fuzz smoke: 1000 cases, seed 0xC1, 4 workers"
 cargo run --release --offline -p vericomp-testkit --bin fuzz_pipeline -- \
-    --cases 1000 --seed 0xC1
+    --cases 1000 --seed 0xC1 --jobs 4
+
+echo "==> pipeline smoke: cold+warm fleet builds, bit-identical, >=90% hits"
+CACHE_DIR=target/vericomp-ci-cache
+rm -rf "$CACHE_DIR"
+cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+    --cache-dir "$CACHE_DIR" | tee target/vericomp-ci-cold.txt
+cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+    --cache-dir "$CACHE_DIR" --min-hit-rate 0.9 | tee target/vericomp-ci-warm.txt
+cold_digest=$(grep '^fleet digest:' target/vericomp-ci-cold.txt)
+warm_digest=$(grep '^fleet digest:' target/vericomp-ci-warm.txt)
+if [ "$cold_digest" != "$warm_digest" ]; then
+    echo "pipeline smoke FAILED: warm rebuild not bit-identical to cold build" >&2
+    echo "  cold: $cold_digest" >&2
+    echo "  warm: $warm_digest" >&2
+    exit 1
+fi
 
 echo "==> all checks passed"

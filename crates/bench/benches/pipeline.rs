@@ -1,0 +1,102 @@
+//! E6 — cold vs. warm vs. parallel fleet compilation through the
+//! vericomp-pipeline service. Emits `BENCH_pipeline.json`.
+//!
+//! Regimes timed over the 26-node named suite at `verified`:
+//!
+//! * `fleet26/cold_serial` — the pre-pipeline path (plain compile+analyze
+//!   loop), the baseline;
+//! * `fleet26/cold_parallel` — fresh pipeline per iteration, empty cache,
+//!   units overlap on the pool (pool spawn cost included);
+//! * `fleet26/warm_cached` — persistent pipeline, every unit replays its
+//!   stored verdict and WCET report;
+//! * `fleet26/warm_one_dirty` — one node's spec changes every iteration
+//!   (distinct revision => distinct artifact key), 25 replay, 1 recompiles.
+//!
+//! The acceptance bar asserted below: warm-cache recompilation with one
+//! dirty node at least 5x faster than the cold serial baseline.
+
+use std::path::Path;
+
+use vericomp_bench::pipeline::{self, dirty_node};
+use vericomp_core::{Compiler, OptLevel, PassConfig};
+use vericomp_dataflow::fleet;
+use vericomp_pipeline::Pipeline;
+use vericomp_testkit::bench::Bench;
+
+fn benches() -> Bench {
+    let nodes = fleet::named_suite();
+    let passes = PassConfig::for_level(OptLevel::Verified);
+    let mut g = Bench::group("pipeline");
+
+    let compiler = Compiler::new(OptLevel::Verified);
+    g.bench("fleet26/cold_serial", || {
+        for node in &nodes {
+            let bin = compiler
+                .compile(&node.to_minic(), "step")
+                .expect("compiles");
+            vericomp_wcet::analyze(&bin, "step").expect("analyzes");
+        }
+    });
+
+    g.bench("fleet26/cold_parallel", || {
+        let pipeline = Pipeline::in_memory();
+        pipeline
+            .compile_fleet(&nodes, &passes, "verified")
+            .expect("cold fleet")
+            .stats
+            .jobs_run
+    });
+
+    let warm = Pipeline::in_memory();
+    warm.compile_fleet(&nodes, &passes, "verified")
+        .expect("prewarm");
+    g.bench("fleet26/warm_cached", || {
+        let r = warm
+            .compile_fleet(&nodes, &passes, "verified")
+            .expect("warm fleet");
+        assert_eq!(r.stats.jobs_cached, nodes.len() as u64);
+        r.stats.jobs_cached
+    });
+
+    // each iteration edits the probe node to a never-seen revision, so the
+    // run is always 25 hits + 1 genuine recompile
+    let mut revision = 0u32;
+    let mut edited = nodes.clone();
+    g.bench("fleet26/warm_one_dirty", || {
+        edited[0] = dirty_node(revision);
+        revision += 1;
+        let r = warm
+            .compile_fleet(&edited, &passes, "verified")
+            .expect("dirty fleet");
+        assert_eq!(r.stats.jobs_run, 1);
+        r.stats.jobs_cached
+    });
+    g
+}
+
+fn mean_of(g: &Bench, name: &str) -> f64 {
+    g.results()
+        .iter()
+        .find(|r| r.name == name)
+        .expect("bench ran")
+        .mean_ns
+}
+
+fn main() {
+    // the experiment artifact first (single-shot walls + hit rates)...
+    let e6 = pipeline::run(0);
+    println!("{}", pipeline::render(&e6));
+
+    // ...then the calibrated benchmark rows
+    let g = benches();
+    println!("{}", g.render());
+    let path = g.write_json(Path::new(".")).expect("writes summary");
+    println!("wrote {}", path.display());
+
+    let speedup = mean_of(&g, "fleet26/cold_serial") / mean_of(&g, "fleet26/warm_one_dirty");
+    println!("warm one-dirty rebuild speedup vs cold serial: {speedup:.1}x (bar: 5x)");
+    assert!(
+        speedup >= 5.0,
+        "incremental rebuild speedup regressed below 5x: {speedup:.2}x"
+    );
+}

@@ -9,8 +9,9 @@
 //! ingredient is removed in isolation and the mean WCET over the named
 //! suite is recomputed.
 
-use vericomp_core::{Compiler, OptLevel, PassConfig};
+use vericomp_core::{OptLevel, PassConfig};
 use vericomp_dataflow::fleet;
+use vericomp_pipeline::Pipeline;
 
 /// One ablation row.
 #[derive(Debug, Clone)]
@@ -30,19 +31,16 @@ pub struct Ablation {
     pub rows: Vec<AblationRow>,
 }
 
-fn mean_wcet(passes: &PassConfig, suite: &[vericomp_dataflow::Node]) -> f64 {
-    let compiler = Compiler::new(OptLevel::Verified); // level irrelevant here
-    let total: u64 = suite
-        .iter()
-        .map(|node| {
-            let bin = compiler
-                .compile_with_passes(&node.to_minic(), "step", passes)
-                .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
-            vericomp_wcet::analyze(&bin, "step")
-                .unwrap_or_else(|e| panic!("{}: {e}", node.name()))
-                .wcet
-        })
-        .sum();
+fn mean_wcet(
+    pipeline: &Pipeline,
+    passes: &PassConfig,
+    label: &str,
+    suite: &[vericomp_dataflow::Node],
+) -> f64 {
+    let result = pipeline
+        .compile_fleet(suite, passes, label)
+        .unwrap_or_else(|e| panic!("ablation pipeline: {e}"));
+    let total: u64 = result.outcomes.iter().map(|o| o.artifact.report.wcet).sum();
     total as f64 / suite.len() as f64
 }
 
@@ -111,11 +109,14 @@ pub fn run() -> Ablation {
         ),
     ];
 
-    let baseline = mean_wcet(&variants[0].1, &suite);
+    // one pipeline across all variants: the baseline row is compiled once
+    // here and replayed from the artifact cache inside the loop below
+    let pipeline = Pipeline::in_memory();
+    let baseline = mean_wcet(&pipeline, &variants[0].1, variants[0].0, &suite);
     let rows = variants
         .into_iter()
         .map(|(name, passes)| {
-            let mean = mean_wcet(&passes, &suite);
+            let mean = mean_wcet(&pipeline, &passes, name, &suite);
             AblationRow {
                 name,
                 mean_wcet: mean,

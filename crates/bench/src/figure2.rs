@@ -8,9 +8,10 @@
 
 use std::collections::BTreeMap;
 
-use vericomp_core::{Compiler, OptLevel};
+use vericomp_core::OptLevel;
 use vericomp_dataflow::fleet;
 use vericomp_dataflow::Node;
+use vericomp_pipeline::{CompileUnit, Pipeline};
 
 /// WCET of one node under every configuration.
 #[derive(Debug, Clone)]
@@ -43,25 +44,44 @@ impl Figure2 {
     }
 }
 
-/// Computes WCETs of a node list under every configuration.
+/// Computes WCETs of a node list under every configuration on an
+/// in-memory pipeline (node × configuration units overlap on the pool).
 ///
 /// # Panics
 ///
 /// Panics if any node fails to compile or analyze (the suite is curated).
 pub fn run_nodes(nodes: &[Node]) -> Figure2 {
+    run_nodes_with(&Pipeline::in_memory(), nodes)
+}
+
+/// [`run_nodes`] on a caller-provided pipeline, so repeated runs hit its
+/// artifact cache.
+///
+/// # Panics
+///
+/// Panics if any node fails to compile or analyze (the suite is curated).
+pub fn run_nodes_with(pipeline: &Pipeline, nodes: &[Node]) -> Figure2 {
+    let units: Vec<CompileUnit> = nodes
+        .iter()
+        .flat_map(|node| {
+            crate::LEVELS
+                .iter()
+                .map(move |&level| CompileUnit::for_node(node, level))
+        })
+        .collect();
+    let result = pipeline
+        .compile_units(units)
+        .unwrap_or_else(|e| panic!("figure2 pipeline: {e}"));
+    let mut outcomes = result.outcomes.into_iter();
     let results = nodes
         .iter()
         .map(|node| {
-            let src = node.to_minic();
             let wcet = crate::LEVELS
                 .iter()
                 .map(|&level| {
-                    let bin = Compiler::new(level)
-                        .compile(&src, "step")
-                        .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
-                    let report = vericomp_wcet::analyze(&bin, "step")
-                        .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
-                    (level, report.wcet)
+                    let o = outcomes.next().expect("one outcome per unit");
+                    debug_assert_eq!(o.name, node.name());
+                    (level, o.artifact.report.wcet)
                 })
                 .collect();
             NodeWcet {

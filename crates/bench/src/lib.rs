@@ -7,6 +7,7 @@
 //! | E3 | Listings 1–2 code patterns | [`listings`] |
 //! | E4 | §3.4 annotation pipeline | [`annotations`] |
 //! | E5 | ablation of compiler design choices | [`ablation`] |
+//! | E6 | parallel/cached fleet compilation throughput | [`pipeline`] |
 //!
 //! Each module computes structured results; the `bin` targets and criterion
 //! benches print the same rows/series the paper reports.
@@ -15,6 +16,7 @@ pub mod ablation;
 pub mod annotations;
 pub mod figure2;
 pub mod listings;
+pub mod pipeline;
 pub mod table1;
 
 use vericomp_core::OptLevel;

@@ -1,0 +1,155 @@
+//! E6 — throughput of the parallel compilation service.
+//!
+//! The paper's production setting compiles thousands of generated files
+//! per release (§2.1: "about 2,500 files are compiled"); the pipeline
+//! subsystem exists so that regenerating the evaluation — and, in the
+//! modeled process, rebuilding the fleet after a control-law edit — is
+//! bounded by the dirty cone, not the fleet size. This experiment
+//! measures the four interesting regimes over the 26-node named suite:
+//!
+//! * **cold serial** — the pre-pipeline path: every node compiled and
+//!   analyzed in a plain loop (the baseline every speedup is against);
+//! * **cold parallel** — empty cache, all units overlap on the pool;
+//! * **warm cached** — nothing changed, every unit replays its stored
+//!   validator verdict and WCET report;
+//! * **warm, one dirty node** — the incremental-rebuild case: one node's
+//!   specification changed, 25 replay, 1 recompiles.
+
+use std::time::Instant;
+
+use vericomp_core::{Compiler, OptLevel, PassConfig};
+use vericomp_dataflow::{fleet, Node, NodeBuilder};
+use vericomp_pipeline::{Pipeline, PipelineOptions};
+
+/// One measured regime.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Regime name.
+    pub name: &'static str,
+    /// End-to-end wall time in nanoseconds.
+    pub wall_ns: u64,
+    /// Cache hit rate of the run (0 for the serial baseline).
+    pub hit_rate: f64,
+    /// Speedup against the cold-serial baseline.
+    pub speedup: f64,
+}
+
+/// The whole experiment.
+#[derive(Debug, Clone)]
+pub struct PipelineBench {
+    /// Rows: cold serial, cold parallel, warm cached, warm one-dirty.
+    pub rows: Vec<PipelineRow>,
+    /// Worker threads the parallel regimes used.
+    pub jobs: usize,
+    /// Fleet size.
+    pub nodes: usize,
+}
+
+/// A stand-in for "the engineer edited one control law": a small node
+/// whose gain constant carries `revision`, so every revision has a
+/// distinct generated source and therefore a distinct artifact key.
+#[must_use]
+pub fn dirty_node(revision: u32) -> Node {
+    let mut b = NodeBuilder::new("dirty_probe");
+    let x = b.acquisition(0);
+    let g = b.gain(x, 1.0 + f64::from(revision) * 0.125);
+    let f = b.first_order_filter(g, 0.25);
+    let s = b.saturation(f, -10.0, 10.0);
+    b.output("dirty_probe_out", s);
+    b.build().expect("probe node is well-formed")
+}
+
+/// Runs the four regimes over the named suite at `verified`.
+///
+/// # Panics
+///
+/// Panics if the curated suite fails to compile or analyze.
+#[must_use]
+pub fn run(jobs: usize) -> PipelineBench {
+    let nodes = fleet::named_suite();
+    let passes = PassConfig::for_level(OptLevel::Verified);
+
+    // cold serial: the pre-pipeline path
+    let t0 = Instant::now();
+    let compiler = Compiler::new(OptLevel::Verified);
+    for node in &nodes {
+        let bin = compiler
+            .compile(&node.to_minic(), "step")
+            .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+        vericomp_wcet::analyze(&bin, "step").unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+    }
+    let serial_ns = t0.elapsed().as_nanos() as u64;
+
+    let pipeline = Pipeline::new(&PipelineOptions {
+        jobs,
+        ..PipelineOptions::default()
+    })
+    .expect("in-memory pipeline");
+
+    // cold parallel: empty cache
+    let cold = pipeline
+        .compile_fleet(&nodes, &passes, "verified")
+        .expect("cold fleet");
+
+    // warm: everything replays
+    let warm = pipeline
+        .compile_fleet(&nodes, &passes, "verified")
+        .expect("warm fleet");
+
+    // warm + 1 dirty: one edited node misses, the rest replay
+    let mut edited = nodes.clone();
+    edited[0] = dirty_node(0);
+    let dirty = pipeline
+        .compile_fleet(&edited, &passes, "verified")
+        .expect("dirty fleet");
+
+    let row = |name, wall_ns: u64, hit_rate| PipelineRow {
+        name,
+        wall_ns,
+        hit_rate,
+        speedup: serial_ns as f64 / wall_ns as f64,
+    };
+    PipelineBench {
+        rows: vec![
+            row("cold serial (pre-pipeline)", serial_ns, 0.0),
+            row("cold parallel", cold.stats.wall_ns, cold.stats.hit_rate()),
+            row("warm cached", warm.stats.wall_ns, warm.stats.hit_rate()),
+            row(
+                "warm, 1 dirty node",
+                dirty.stats.wall_ns,
+                dirty.stats.hit_rate(),
+            ),
+        ],
+        jobs: pipeline.jobs(),
+        nodes: nodes.len(),
+    }
+}
+
+/// Renders the comparison table.
+#[must_use]
+pub fn render(b: &PipelineBench) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fleet compilation over {} nodes, {} workers (verified config):",
+        b.nodes, b.jobs
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>10} {:>9}",
+        "regime", "wall time", "hit rate", "speedup"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(62));
+    for r in &b.rows {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>9.2} ms {:>9.1}% {:>8.2}x",
+            r.name,
+            r.wall_ns as f64 / 1e6,
+            r.hit_rate * 100.0,
+            r.speedup,
+        );
+    }
+    out
+}

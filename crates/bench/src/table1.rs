@@ -13,8 +13,9 @@
 
 use std::collections::BTreeMap;
 
-use vericomp_core::{Compiler, OptLevel};
+use vericomp_core::OptLevel;
 use vericomp_mach::Simulator;
+use vericomp_pipeline::{CompileUnit, Pipeline};
 use vericomp_testkit::fleet::{self, FleetConfig};
 
 /// Aggregate measurements of one compiler configuration over the fleet.
@@ -56,6 +57,19 @@ impl Table1 {
 /// Panics if a generated node fails to compile or run (generation is
 /// correct by construction; a panic indicates a toolchain bug).
 pub fn run_fleet(nodes: usize, steps: u32) -> Table1 {
+    run_fleet_with(&Pipeline::in_memory(), nodes, steps)
+}
+
+/// [`run_fleet`] with compilation going through a caller-provided
+/// pipeline: the node × configuration compile/analyze units overlap on the
+/// pool, then the measurement activations run serially (the simulator is
+/// stateful).
+///
+/// # Panics
+///
+/// Panics if a generated node fails to compile or run (generation is
+/// correct by construction; a panic indicates a toolchain bug).
+pub fn run_fleet_with(pipeline: &Pipeline, nodes: usize, steps: u32) -> Table1 {
     let fleet = fleet::random_fleet(&FleetConfig {
         nodes,
         ..FleetConfig::default()
@@ -65,12 +79,27 @@ pub fn run_fleet(nodes: usize, steps: u32) -> Table1 {
         .map(|&l| (l, ConfigTotals::default()))
         .collect();
 
+    let units: Vec<CompileUnit> = fleet
+        .iter()
+        .flat_map(|node| {
+            crate::LEVELS
+                .iter()
+                .map(move |&level| CompileUnit::for_node(node, level))
+        })
+        .collect();
+    let compiled = pipeline
+        .compile_units(units)
+        .unwrap_or_else(|e| panic!("table1 pipeline: {e}"));
+    let mut outcomes = compiled.outcomes.into_iter();
+
     for node in &fleet {
-        let src = node.to_minic();
         for &level in &crate::LEVELS {
-            let bin = Compiler::new(level)
-                .compile(&src, "step")
-                .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
+            let bin = outcomes
+                .next()
+                .expect("one outcome per unit")
+                .artifact
+                .program
+                .clone();
             let t = totals.get_mut(&level).expect("all levels present");
             t.code_bytes += u64::from(bin.text_size());
             let mut sim = Simulator::new(bin);

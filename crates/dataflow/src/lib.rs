@@ -53,3 +53,11 @@ pub mod symbol;
 pub use application::{Application, ApplicationError};
 pub use node::{Node, NodeBuilder, NodeError};
 pub use symbol::Symbol;
+
+/// Generation stamp of the symbol library and its code generator.
+///
+/// Downstream caches (the pipeline's content-addressed artifact store) mix
+/// this into their keys: bump it whenever a symbol's *generated code*
+/// changes shape without the node specification changing, so stale cached
+/// binaries stop hitting.
+pub const SYMBOL_LIBRARY_VERSION: u32 = 1;

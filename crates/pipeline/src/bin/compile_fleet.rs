@@ -1,0 +1,140 @@
+//! Parallel, cached compilation of the paper-analog 26-node fleet.
+//!
+//! ```text
+//! cargo run --release -p vericomp-pipeline --bin compile_fleet -- \
+//!     --jobs 8 --cache-dir target/vericomp-cache
+//! ```
+//!
+//! Compiles every node of the named suite under the selected configuration
+//! on the work-stealing pool, serving unchanged nodes from the
+//! content-addressed artifact cache, then prints per-node WCET bounds, the
+//! run's [`vericomp_pipeline::PipelineStats`] and the fleet output digest
+//! (bit-identical runs print identical digests — the CI smoke compares
+//! them).
+
+use std::process::ExitCode;
+
+use vericomp_core::{OptLevel, PassConfig};
+use vericomp_dataflow::fleet;
+use vericomp_pipeline::{Pipeline, PipelineOptions};
+
+struct Args {
+    jobs: usize,
+    cache_dir: Option<String>,
+    level: OptLevel,
+    min_hit_rate: Option<f64>,
+}
+
+const USAGE: &str =
+    "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--level L] [--min-hit-rate F]
+  --jobs N          worker threads (default: available parallelism)
+  --cache-dir DIR   persistent artifact cache (default: in-memory only)
+  --level L         pattern-O0 | opt-no-regalloc | verified | opt-full (default verified)
+  --min-hit-rate F  fail unless the cache hit rate is at least F (0..1)";
+
+fn parse_level(s: &str) -> Option<OptLevel> {
+    OptLevel::all().into_iter().find(|l| l.to_string() == s)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        jobs: 0,
+        cache_dir: None,
+        level: OptLevel::Verified,
+        min_hit_rate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs an argument"))
+        };
+        match flag.as_str() {
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a number".to_string())?;
+            }
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--level" => {
+                let v = value("--level")?;
+                args.level =
+                    parse_level(&v).ok_or_else(|| format!("unknown level `{v}`\n{USAGE}"))?;
+            }
+            "--min-hit-rate" => {
+                args.min_hit_rate = Some(
+                    value("--min-hit-rate")?
+                        .parse()
+                        .map_err(|_| "--min-hit-rate needs a number in 0..1".to_string())?,
+                );
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let options = PipelineOptions {
+        jobs: args.jobs,
+        cache_dir: args.cache_dir.clone().map(Into::into),
+        ..PipelineOptions::default()
+    };
+    let pipeline = match Pipeline::new(&options) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("compile_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let nodes = fleet::named_suite();
+    let passes = PassConfig::for_level(args.level);
+    println!(
+        "compile_fleet: {} nodes at {} on {} workers, cache {}",
+        nodes.len(),
+        args.level,
+        pipeline.jobs(),
+        args.cache_dir.as_deref().unwrap_or("(memory)"),
+    );
+
+    let result = match pipeline.compile_fleet(&nodes, &passes, &args.level.to_string()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("compile_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{:<24} {:>8} {:>9}  verdict", "node", "WCET", "source");
+    for o in &result.outcomes {
+        println!(
+            "{:<24} {:>8} {:>9}  {}",
+            o.name,
+            o.artifact.report.wcet,
+            if o.cached { "cache" } else { "compiled" },
+            o.artifact.verdict.describe(),
+        );
+    }
+    println!("{}", result.stats.render());
+    println!("fleet digest: {}", result.digest());
+
+    if let Some(min) = args.min_hit_rate {
+        if result.stats.hit_rate() < min {
+            eprintln!(
+                "compile_fleet: hit rate {:.3} below required {min:.3}",
+                result.stats.hit_rate()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

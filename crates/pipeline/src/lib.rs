@@ -1,0 +1,61 @@
+//! # vericomp-pipeline — the parallel compilation service
+//!
+//! The paper's evaluation compiles and WCET-analyzes dozens of nodes per
+//! experiment, and the production setting it models (§2: thousands of
+//! generated files per flight-control release) makes compilation
+//! *throughput* part of the adoption story. This crate turns the repo's
+//! node → binary → WCET pipeline into schedulable, cacheable jobs:
+//!
+//! * [`pool`] — a std-only work-stealing thread pool and a
+//!   dependency-aware [`JobGraph`], no external crates;
+//! * [`hash`] — stable 128-bit content digests ([`Digest`]);
+//! * [`store`] — the content-addressed [`ArtifactStore`]: compiled
+//!   binaries, translation-validator verdicts and WCET reports keyed by
+//!   [`artifact_key`], with optional on-disk persistence;
+//! * [`stats`] — [`PipelineStats`] run metrics (jobs run/cached, per-stage
+//!   wall time, cache hit rate);
+//! * [`service`] — the [`Pipeline`] driver tying them together, plus the
+//!   `compile_fleet` binary.
+//!
+//! ## Correctness story
+//!
+//! Translation validation (paper §3.5) already makes every compilation
+//! carry its own evidence: the validators accept or the compiler fails.
+//! The cache preserves that story by construction — an artifact is
+//! inserted only on the success path, *after* the validators accepted, and
+//! a cache hit replays the stored [`Verdict`] for inputs whose digest is
+//! identical to the validated run's. Incremental rebuilds need no dirty
+//! bits: a changed node changes its generated source and therefore its
+//! key, so exactly the dirty cone misses.
+//!
+//! ```
+//! use vericomp_pipeline::{CompileUnit, Pipeline};
+//! use vericomp_core::{OptLevel, PassConfig};
+//! use vericomp_dataflow::fleet;
+//!
+//! let pipeline = Pipeline::in_memory();
+//! let nodes = fleet::named_suite();
+//! let passes = PassConfig::for_level(OptLevel::Verified);
+//! let cold = pipeline.compile_fleet(&nodes[..4], &passes, "verified")?;
+//! let warm = pipeline.compile_fleet(&nodes[..4], &passes, "verified")?;
+//! assert_eq!(warm.stats.jobs_cached, 4);       // everything replayed
+//! assert_eq!(cold.digest(), warm.digest());    // bit-identical outputs
+//! # Ok::<(), vericomp_pipeline::PipelineError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod hash;
+pub mod pool;
+pub mod service;
+pub mod stats;
+pub mod store;
+
+pub use hash::{Digest, Hasher};
+pub use pool::{JobGraph, JobId, ThreadPool};
+pub use service::{
+    CompileUnit, FleetResult, Pipeline, PipelineError, PipelineOptions, UnitOutcome,
+};
+pub use stats::{PipelineStats, StatsCell};
+pub use store::{artifact_key, machine_digest, Artifact, ArtifactStore, Verdict, FORMAT_VERSION};

@@ -1,0 +1,535 @@
+//! The compilation service: schedulable, cacheable compile→analyze jobs.
+//!
+//! A [`Pipeline`] owns a work-stealing [`ThreadPool`](crate::pool::ThreadPool)
+//! and an [`ArtifactStore`]. Work arrives as [`CompileUnit`]s — (source
+//! translation unit, entry, pass configuration) triples — and each unit
+//! becomes a two-stage chain in a [`JobGraph`]: a *compile* job (cache
+//! lookup, then compile + translation-validate on a miss) feeding an
+//! *analyze* job (WCET analysis + cache insert). Chains of different units
+//! are independent, so the stages of separate nodes overlap freely while
+//! each unit's stages stay ordered.
+//!
+//! **Incrementality falls out of content addressing**: there is no
+//! explicit dirty-bit protocol. A changed node changes its generated
+//! source, which changes its [`artifact_key`], which misses; every
+//! untouched node hits and replays its stored verdict and WCET report.
+//! The dirty *cone* is exactly the set of units whose key changed —
+//! shared-global rewiring shows up in the consumer node's generated
+//! source, so consumers of a changed signal miss too.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use vericomp_arch::MachineConfig;
+use vericomp_core::{CompileError, Compiler, OptLevel, PassConfig};
+use vericomp_dataflow::{Application, ApplicationError, Node};
+use vericomp_minic::ast::Program as SrcProgram;
+use vericomp_minic::pretty::program_to_c;
+use vericomp_wcet::AnalysisError;
+
+use crate::hash::{Digest, Hasher};
+use crate::pool::{JobGraph, ThreadPool};
+use crate::stats::{PipelineStats, StatsCell};
+use crate::store::{artifact_key, Artifact, ArtifactStore, Verdict};
+
+/// Configuration of a [`Pipeline`].
+#[derive(Debug, Clone)]
+pub struct PipelineOptions {
+    /// Worker threads; `0` selects the machine's available parallelism.
+    pub jobs: usize,
+    /// Artifact-cache directory; `None` keeps the cache in memory only.
+    pub cache_dir: Option<PathBuf>,
+    /// Target machine the units compile for (part of every cache key).
+    pub machine: MachineConfig,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        PipelineOptions {
+            jobs: 0,
+            cache_dir: None,
+            machine: MachineConfig::mpc755(),
+        }
+    }
+}
+
+impl PipelineOptions {
+    /// The conventional persistent cache location, `target/vericomp-cache/`.
+    #[must_use]
+    pub fn default_cache_dir() -> PathBuf {
+        PathBuf::from("target/vericomp-cache")
+    }
+}
+
+/// One schedulable unit of work: compile `source`'s `entry` under
+/// `passes`, then bound its WCET.
+#[derive(Debug, Clone)]
+pub struct CompileUnit {
+    /// Display name (node name, application name, …).
+    pub name: String,
+    /// Configuration label (e.g. `verified`), part of the artifact.
+    pub label: String,
+    /// The MiniC translation unit.
+    pub source: SrcProgram,
+    /// Entry-point function.
+    pub entry: String,
+    /// Pass selection the unit compiles under.
+    pub passes: PassConfig,
+}
+
+impl CompileUnit {
+    /// The unit compiling `node` at an [`OptLevel`] preset.
+    #[must_use]
+    pub fn for_node(node: &Node, level: OptLevel) -> CompileUnit {
+        CompileUnit::node_with_passes(node, &PassConfig::for_level(level), &level.to_string())
+    }
+
+    /// The unit compiling `node` under an explicit pass selection.
+    #[must_use]
+    pub fn node_with_passes(node: &Node, passes: &PassConfig, label: &str) -> CompileUnit {
+        CompileUnit {
+            name: node.name().to_owned(),
+            label: label.to_owned(),
+            source: node.to_minic(),
+            entry: node.step_name().to_owned(),
+            passes: *passes,
+        }
+    }
+
+    /// The unit compiling a whole linked [`Application`] image.
+    ///
+    /// # Errors
+    ///
+    /// [`ApplicationError`] from linking the application's translation unit.
+    pub fn for_application(
+        app: &Application,
+        passes: &PassConfig,
+        label: &str,
+    ) -> Result<CompileUnit, ApplicationError> {
+        Ok(CompileUnit {
+            name: app.name().to_owned(),
+            label: label.to_owned(),
+            source: app.to_minic()?,
+            entry: app.step_name().to_owned(),
+            passes: *passes,
+        })
+    }
+}
+
+/// How one unit was produced.
+#[derive(Debug, Clone)]
+pub struct UnitOutcome {
+    /// Unit display name.
+    pub name: String,
+    /// Configuration label.
+    pub label: String,
+    /// Whether the artifact came from the cache (verdict replayed).
+    pub cached: bool,
+    /// The validated artifact: binary + verdict + WCET report.
+    pub artifact: Arc<Artifact>,
+}
+
+/// Result of one pipeline run: per-unit outcomes in submission order plus
+/// run metrics.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Outcomes, in the order the units were submitted.
+    pub outcomes: Vec<UnitOutcome>,
+    /// Run metrics.
+    pub stats: PipelineStats,
+}
+
+impl FleetResult {
+    /// A digest of every unit's outputs, in submission order — equal
+    /// digests mean bit-identical binaries, annotation tables and WCET
+    /// bounds, which is how the determinism gates compare serial and
+    /// parallel builds.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        let mut h = Hasher::new();
+        for o in &self.outcomes {
+            h.str(&o.name).str(&o.label);
+            let d = o.artifact.output_digest();
+            h.u64(d.0 as u64).u64((d.0 >> 64) as u64);
+        }
+        h.finish()
+    }
+}
+
+/// Errors of a pipeline run. The first failing unit wins; the run still
+/// drains (no job is left queued).
+#[derive(Debug)]
+pub enum PipelineError {
+    /// A unit failed to compile (including translation-validator
+    /// rejections — nothing is cached for it).
+    Compile {
+        /// Unit display name.
+        unit: String,
+        /// The underlying compiler error.
+        error: CompileError,
+    },
+    /// A unit compiled but its WCET analysis failed.
+    Analyze {
+        /// Unit display name.
+        unit: String,
+        /// The underlying analysis error.
+        error: AnalysisError,
+    },
+    /// The artifact cache could not be read or written.
+    Cache(io::Error),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Compile { unit, error } => write!(f, "{unit}: compile: {error}"),
+            PipelineError::Analyze { unit, error } => write!(f, "{unit}: analyze: {error}"),
+            PipelineError::Cache(e) => write!(f, "artifact cache: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The parallel compilation service.
+#[derive(Debug)]
+pub struct Pipeline {
+    pool: ThreadPool,
+    store: Arc<ArtifactStore>,
+    machine: MachineConfig,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from options.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Cache`] when the cache directory cannot be created.
+    pub fn new(options: &PipelineOptions) -> Result<Pipeline, PipelineError> {
+        let store = match &options.cache_dir {
+            Some(dir) => ArtifactStore::persistent(dir).map_err(PipelineError::Cache)?,
+            None => ArtifactStore::in_memory(),
+        };
+        Ok(Pipeline {
+            pool: ThreadPool::new(options.jobs),
+            store: Arc::new(store),
+            machine: options.machine.clone(),
+        })
+    }
+
+    /// An in-memory pipeline with default parallelism (the drop-in for
+    /// drivers that previously compiled serially).
+    #[must_use]
+    pub fn in_memory() -> Pipeline {
+        Pipeline::new(&PipelineOptions::default()).expect("in-memory pipeline cannot fail")
+    }
+
+    /// Worker-thread count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// The artifact store.
+    #[must_use]
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// The target machine configuration.
+    #[must_use]
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Compiles a batch of units, overlapping independent units' stages on
+    /// the pool and serving unchanged units from the artifact cache.
+    /// Outcomes come back in submission order regardless of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// The first [`PipelineError`] any unit hit.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from compiler/analyzer internals (toolchain bugs).
+    pub fn compile_units(&self, units: Vec<CompileUnit>) -> Result<FleetResult, PipelineError> {
+        enum Stage1 {
+            Hit(Arc<Artifact>),
+            Fresh(Digest, vericomp_arch::Program),
+            Failed,
+        }
+
+        let started = Instant::now();
+        let n = units.len();
+        let stats = Arc::new(StatsCell::new());
+        let slots: Arc<Vec<Mutex<Option<Stage1>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let outcomes: Arc<Vec<Mutex<Option<UnitOutcome>>>> =
+            Arc::new((0..n).map(|_| Mutex::new(None)).collect());
+        let first_error: Arc<Mutex<Option<PipelineError>>> = Arc::new(Mutex::new(None));
+
+        let mut graph = JobGraph::new();
+        for (i, unit) in units.into_iter().enumerate() {
+            let unit = Arc::new(unit);
+            let machine = self.machine.clone();
+            let store = Arc::clone(&self.store);
+            let stats1 = Arc::clone(&stats);
+            let slots1 = Arc::clone(&slots);
+            let errs1 = Arc::clone(&first_error);
+            let unit1 = Arc::clone(&unit);
+            // Stage 1: cache lookup, compile + validate on a miss.
+            let compile = graph.add(&[], move || {
+                let source = program_to_c(&unit1.source);
+                let key = artifact_key(&source, &unit1.entry, &unit1.passes, &machine);
+                let t = Instant::now();
+                let hit = store.lookup(key, &machine);
+                stats1.add_store(t.elapsed());
+                let stage = match hit {
+                    Some(artifact) => {
+                        stats1.count_cached();
+                        Stage1::Hit(artifact)
+                    }
+                    None => {
+                        let t = Instant::now();
+                        let compiled = Compiler::with_config(OptLevel::Verified, machine)
+                            .compile_with_passes(&unit1.source, &unit1.entry, &unit1.passes);
+                        stats1.add_compile(t.elapsed());
+                        match compiled {
+                            Ok(program) => Stage1::Fresh(key, program),
+                            Err(error) => {
+                                errs1.lock().expect("error lock").get_or_insert(
+                                    PipelineError::Compile {
+                                        unit: unit1.name.clone(),
+                                        error,
+                                    },
+                                );
+                                Stage1::Failed
+                            }
+                        }
+                    }
+                };
+                *slots1[i].lock().expect("slot lock") = Some(stage);
+            });
+            let stats2 = Arc::clone(&stats);
+            let slots2 = Arc::clone(&slots);
+            let outcomes2 = Arc::clone(&outcomes);
+            let errs2 = Arc::clone(&first_error);
+            let store2 = Arc::clone(&self.store);
+            // Stage 2: WCET analysis + cache insert (fresh units only).
+            // Insertion happens strictly after stage 1 succeeded, i.e.
+            // after the translation validators accepted the compilation.
+            graph.add(&[compile], move || {
+                let stage = slots2[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("stage 1 ran");
+                let outcome = match stage {
+                    Stage1::Failed => return,
+                    Stage1::Hit(artifact) => UnitOutcome {
+                        name: unit.name.clone(),
+                        label: unit.label.clone(),
+                        cached: true,
+                        artifact,
+                    },
+                    Stage1::Fresh(key, program) => {
+                        let t = Instant::now();
+                        let analyzed = vericomp_wcet::analyze(&program, &unit.entry);
+                        stats2.add_analyze(t.elapsed());
+                        let report = match analyzed {
+                            Ok(report) => report,
+                            Err(error) => {
+                                errs2.lock().expect("error lock").get_or_insert(
+                                    PipelineError::Analyze {
+                                        unit: unit.name.clone(),
+                                        error,
+                                    },
+                                );
+                                return;
+                            }
+                        };
+                        stats2.count_run();
+                        let artifact = Artifact {
+                            key,
+                            entry: unit.entry.clone(),
+                            label: unit.label.clone(),
+                            program,
+                            verdict: Verdict::from_passes(&unit.passes),
+                            report,
+                        };
+                        let t = Instant::now();
+                        let inserted = store2.insert(artifact);
+                        stats2.add_store(t.elapsed());
+                        match inserted {
+                            Ok(artifact) => UnitOutcome {
+                                name: unit.name.clone(),
+                                label: unit.label.clone(),
+                                cached: false,
+                                artifact,
+                            },
+                            Err(error) => {
+                                errs2
+                                    .lock()
+                                    .expect("error lock")
+                                    .get_or_insert(PipelineError::Cache(error));
+                                return;
+                            }
+                        }
+                    }
+                };
+                *outcomes2[i].lock().expect("outcome lock") = Some(outcome);
+            });
+        }
+        graph.run(&self.pool);
+
+        if let Some(error) = first_error.lock().expect("error lock").take() {
+            return Err(error);
+        }
+        let outcomes = outcomes
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("outcome lock")
+                    .take()
+                    .expect("every unit succeeded")
+            })
+            .collect();
+        Ok(FleetResult {
+            outcomes,
+            stats: stats.snapshot(started.elapsed()),
+        })
+    }
+
+    /// Compiles every node of a fleet under one pass selection.
+    ///
+    /// # Errors
+    ///
+    /// The first [`PipelineError`] any node hit.
+    pub fn compile_fleet(
+        &self,
+        nodes: &[Node],
+        passes: &PassConfig,
+        label: &str,
+    ) -> Result<FleetResult, PipelineError> {
+        self.compile_units(
+            nodes
+                .iter()
+                .map(|n| CompileUnit::node_with_passes(n, passes, label))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vericomp_dataflow::fleet;
+
+    fn suite_prefix(n: usize) -> Vec<Node> {
+        let mut nodes = fleet::named_suite();
+        nodes.truncate(n);
+        nodes
+    }
+
+    #[test]
+    fn fleet_compiles_and_matches_serial_compiler() {
+        let nodes = suite_prefix(6);
+        let pipeline = Pipeline::in_memory();
+        let passes = PassConfig::for_level(OptLevel::Verified);
+        let result = pipeline
+            .compile_fleet(&nodes, &passes, "verified")
+            .expect("fleet compiles");
+        assert_eq!(result.outcomes.len(), nodes.len());
+        assert_eq!(result.stats.jobs_run, nodes.len() as u64);
+        assert_eq!(result.stats.jobs_cached, 0);
+        for (node, outcome) in nodes.iter().zip(&result.outcomes) {
+            assert_eq!(outcome.name, node.name());
+            assert!(!outcome.cached);
+            let serial = Compiler::new(OptLevel::Verified)
+                .compile(&node.to_minic(), "step")
+                .expect("serial compiles");
+            assert_eq!(serial.encode_text(), outcome.artifact.program.encode_text());
+            let report = vericomp_wcet::analyze(&serial, "step").expect("serial analyzes");
+            assert_eq!(report.wcet, outcome.artifact.report.wcet);
+        }
+    }
+
+    #[test]
+    fn second_run_is_fully_cached_and_identical() {
+        let nodes = suite_prefix(5);
+        let pipeline = Pipeline::in_memory();
+        let passes = PassConfig::for_level(OptLevel::OptFull);
+        let cold = pipeline
+            .compile_fleet(&nodes, &passes, "opt-full")
+            .expect("cold run");
+        let warm = pipeline
+            .compile_fleet(&nodes, &passes, "opt-full")
+            .expect("warm run");
+        assert_eq!(cold.stats.jobs_run, nodes.len() as u64);
+        assert_eq!(warm.stats.jobs_cached, nodes.len() as u64);
+        assert_eq!(warm.stats.jobs_run, 0);
+        assert!((warm.stats.hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(cold.digest(), warm.digest());
+        for o in &warm.outcomes {
+            assert!(o.cached);
+            assert!(o.artifact.verdict.allocation_checked);
+        }
+    }
+
+    #[test]
+    fn dirty_node_recompiles_only_its_cone() {
+        let mut nodes = suite_prefix(6);
+        let pipeline = Pipeline::in_memory();
+        let passes = PassConfig::for_level(OptLevel::Verified);
+        pipeline
+            .compile_fleet(&nodes, &passes, "verified")
+            .expect("cold run");
+        // "edit" one node: swap it for a differently-shaped node under the
+        // same name slot in the fleet vector.
+        nodes[2] = fleet::named_suite().swap_remove(10);
+        let warm = pipeline
+            .compile_fleet(&nodes, &passes, "verified")
+            .expect("warm run");
+        // one dirty unit... unless the swapped-in node was already cached
+        // under its own key from the cold run — it was not (index 10 is not
+        // in the first 6).
+        assert_eq!(warm.stats.jobs_run, 1);
+        assert_eq!(warm.stats.jobs_cached, 5);
+    }
+
+    #[test]
+    fn validator_rejection_caches_nothing() {
+        // A compile failure must leave the store empty for that key.
+        // `full_palette: false` with schedule+validators is fine, so force a
+        // failure instead with an entry point that does not exist.
+        let node = &suite_prefix(1)[0];
+        let pipeline = Pipeline::in_memory();
+        let unit = CompileUnit {
+            name: "broken".into(),
+            label: "verified".into(),
+            source: node.to_minic(),
+            entry: "no_such_entry".into(),
+            passes: PassConfig::for_level(OptLevel::Verified),
+        };
+        let err = pipeline.compile_units(vec![unit]).expect_err("must fail");
+        assert!(matches!(err, PipelineError::Compile { .. }));
+        assert_eq!(pipeline.store().resident(), 0);
+    }
+
+    #[test]
+    fn application_image_is_cacheable() {
+        let app = Application::new("fcs-slice", suite_prefix(4)).expect("app links");
+        let pipeline = Pipeline::in_memory();
+        let passes = PassConfig::for_level(OptLevel::Verified);
+        let unit = CompileUnit::for_application(&app, &passes, "verified").expect("unit");
+        let cold = pipeline.compile_units(vec![unit.clone()]).expect("cold");
+        let warm = pipeline.compile_units(vec![unit]).expect("warm");
+        assert_eq!(warm.stats.jobs_cached, 1);
+        assert_eq!(cold.digest(), warm.digest());
+        assert!(cold.outcomes[0].artifact.report.callees.len() >= 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Pipeline metrics: job counts, cache hit rate, per-stage wall time.
+//!
+//! Collection happens through [`StatsCell`], a lock-free atomic collector
+//! shared by every worker; drivers snapshot it into the plain
+//! [`PipelineStats`] value at the end of a run and print it with
+//! [`PipelineStats::render`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A snapshot of one pipeline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Units compiled from scratch (compile + validate + analyze ran).
+    pub jobs_run: u64,
+    /// Units served from the artifact cache (verdict replayed).
+    pub jobs_cached: u64,
+    /// Wall time summed across workers in the compile+validate stage.
+    pub compile_ns: u64,
+    /// Wall time summed across workers in the WCET-analysis stage.
+    pub analyze_ns: u64,
+    /// Wall time summed across workers in cache lookup/insert.
+    pub store_ns: u64,
+    /// End-to-end wall time of the run (single clock, not summed).
+    pub wall_ns: u64,
+}
+
+impl PipelineStats {
+    /// Total units processed.
+    #[must_use]
+    pub fn jobs_total(&self) -> u64 {
+        self.jobs_run + self.jobs_cached
+    }
+
+    /// Fraction of units served from cache, in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.jobs_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.jobs_cached as f64 / total as f64
+        }
+    }
+
+    /// Multi-line human-readable report, one `pipeline:`-prefixed line per
+    /// metric so driver output stays greppable.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ms = |ns: u64| Duration::from_nanos(ns).as_secs_f64() * 1e3;
+        format!(
+            "pipeline: jobs {} run, {} cached ({:.1}% hit rate)\n\
+             pipeline: stage wall time: compile {:.2} ms, analyze {:.2} ms, store {:.2} ms\n\
+             pipeline: end-to-end {:.2} ms",
+            self.jobs_run,
+            self.jobs_cached,
+            self.hit_rate() * 100.0,
+            ms(self.compile_ns),
+            ms(self.analyze_ns),
+            ms(self.store_ns),
+            ms(self.wall_ns),
+        )
+    }
+}
+
+/// Thread-safe stats collector. All counters are relaxed — they are
+/// telemetry, not synchronization.
+#[derive(Debug, Default)]
+pub struct StatsCell {
+    jobs_run: AtomicU64,
+    jobs_cached: AtomicU64,
+    compile_ns: AtomicU64,
+    analyze_ns: AtomicU64,
+    store_ns: AtomicU64,
+}
+
+impl StatsCell {
+    /// A zeroed collector.
+    #[must_use]
+    pub fn new() -> StatsCell {
+        StatsCell::default()
+    }
+
+    /// Records one from-scratch compilation.
+    pub fn count_run(&self) {
+        self.jobs_run.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one cache hit.
+    pub fn count_cached(&self) {
+        self.jobs_cached.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds compile-stage wall time.
+    pub fn add_compile(&self, d: Duration) {
+        self.compile_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds analysis-stage wall time.
+    pub fn add_analyze(&self, d: Duration) {
+        self.analyze_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Adds store lookup/insert wall time.
+    pub fn add_store(&self, d: Duration) {
+        self.store_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshots the counters, stamping `wall` as the end-to-end time.
+    #[must_use]
+    pub fn snapshot(&self, wall: Duration) -> PipelineStats {
+        PipelineStats {
+            jobs_run: self.jobs_run.load(Ordering::Relaxed),
+            jobs_cached: self.jobs_cached.load(Ordering::Relaxed),
+            compile_ns: self.compile_ns.load(Ordering::Relaxed),
+            analyze_ns: self.analyze_ns.load(Ordering::Relaxed),
+            store_ns: self.store_ns.load(Ordering::Relaxed),
+            wall_ns: wall.as_nanos() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_render() {
+        let cell = StatsCell::new();
+        for _ in 0..3 {
+            cell.count_run();
+        }
+        cell.count_cached();
+        cell.add_compile(Duration::from_millis(2));
+        let stats = cell.snapshot(Duration::from_millis(5));
+        assert_eq!(stats.jobs_total(), 4);
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-12);
+        let text = stats.render();
+        assert!(text.contains("3 run"));
+        assert!(text.contains("1 cached"));
+        assert!(text.contains("25.0% hit rate"));
+    }
+
+    #[test]
+    fn empty_run_has_zero_hit_rate() {
+        assert_eq!(PipelineStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,725 @@
+//! The content-addressed artifact store.
+//!
+//! An **artifact** is everything the pipeline produces for one compilation
+//! unit: the linked binary, the translation-validator verdict it was
+//! accepted under, and its WCET report. Artifacts are addressed by a
+//! [`Digest`] of everything that determines them — the generated source
+//! text, the entry point, the exact [`PassConfig`], the full
+//! [`MachineConfig`], and the toolchain generation stamps
+//! ([`FORMAT_VERSION`], [`vericomp_dataflow::SYMBOL_LIBRARY_VERSION`]) —
+//! so a hit is a proof-carrying replay, never a guess.
+//!
+//! **Correctness invariant (paper §3.5 / translation validation):** an
+//! artifact is only ever inserted *after* its translation validators
+//! accepted the compilation — the compiler fails closed on rejection, so a
+//! stored binary carries the same credibility token as a fresh one. Cache
+//! hits replay the stored [`Verdict`] instead of re-running the
+//! validators; the [`Artifact::key`] ties that verdict to the exact inputs.
+//!
+//! Persistence is a directory of `<digest-hex>.vcart` files in a plain
+//! line-oriented text format (no serde in the workspace). Instructions are
+//! stored as the *encoded* 32-bit words and decoded on load through the
+//! same `decode` the WCET analyzer uses, so a disk round-trip exercises
+//! the tested binary round-trip path. Unreadable, truncated or
+//! version-skewed files are treated as misses, never as errors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use vericomp_arch::program::{
+    AnnotationEntry, ArgLoc, DataValue, ElemTy, FuncSym, GlobalSym, Program,
+};
+use vericomp_arch::reg::{Fpr, Gpr};
+use vericomp_arch::MachineConfig;
+use vericomp_core::PassConfig;
+use vericomp_wcet::WcetReport;
+
+use crate::hash::{Digest, Hasher};
+
+/// Version stamp of the cache key derivation *and* the on-disk artifact
+/// format. Bump it whenever either changes — stale files then simply stop
+/// hitting.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Digest of a machine configuration (every field).
+#[must_use]
+pub fn machine_digest(config: &MachineConfig) -> Digest {
+    let mut h = Hasher::new();
+    h.u32(config.icache.size_bytes)
+        .u32(config.icache.ways)
+        .u32(config.icache.line_bytes)
+        .u32(config.dcache.size_bytes)
+        .u32(config.dcache.ways)
+        .u32(config.dcache.line_bytes)
+        .u32(config.mem_latency)
+        .u32(config.fetch_latency)
+        .u32(config.io_latency)
+        .u32(config.text_base)
+        .u32(config.data_base)
+        .u32(config.stack_top)
+        .u32(config.io_base)
+        .u32(config.io_size)
+        .u32(config.lat_int)
+        .u32(config.lat_mul)
+        .u32(config.lat_div)
+        .u32(config.lat_fp)
+        .u32(config.lat_fmadd)
+        .u32(config.lat_fdiv)
+        .u32(config.lat_fmove)
+        .u32(config.lat_conv)
+        .u32(config.lat_load)
+        .u32(config.branch_penalty);
+    h.finish()
+}
+
+/// The content-addressed cache key of one compilation unit.
+///
+/// `source` is the pretty-printed MiniC translation unit — the compiler's
+/// exact input, which makes the key insensitive to *how* the unit was
+/// produced (hand-written, node codegen, application linking) and
+/// sensitive to *any* change in what gets compiled.
+#[must_use]
+pub fn artifact_key(
+    source: &str,
+    entry: &str,
+    passes: &PassConfig,
+    config: &MachineConfig,
+) -> Digest {
+    let mut h = Hasher::new();
+    h.u32(FORMAT_VERSION)
+        .u32(vericomp_dataflow::SYMBOL_LIBRARY_VERSION)
+        .str(source)
+        .str(entry)
+        .bool(passes.mem2reg)
+        .bool(passes.constprop)
+        .bool(passes.cse)
+        .bool(passes.dce)
+        .bool(passes.tunnel)
+        .bool(passes.strength)
+        .bool(passes.schedule)
+        .bool(passes.sda)
+        .bool(passes.full_palette)
+        .bool(passes.validators)
+        .u64(machine_digest(config).0 as u64)
+        .u64((machine_digest(config).0 >> 64) as u64);
+    h.finish()
+}
+
+/// The translation-validation verdict an artifact was accepted under.
+///
+/// Derived from the [`PassConfig`] the unit compiled with: the allocation
+/// checker runs unconditionally (the backend's safety net), the tunneling
+/// and scheduling validators run when the corresponding pass ran with
+/// `validators` set. A cache hit replays this verdict instead of
+/// re-validating — sound because the key covers every compilation input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// The register-allocation checker accepted (always runs).
+    pub allocation_checked: bool,
+    /// The branch-tunneling validator ran and accepted.
+    pub tunnel_validated: bool,
+    /// The list-scheduling validator ran and accepted.
+    pub schedule_validated: bool,
+}
+
+impl Verdict {
+    /// The verdict implied by a successful compilation under `passes`.
+    #[must_use]
+    pub fn from_passes(passes: &PassConfig) -> Verdict {
+        Verdict {
+            allocation_checked: true,
+            tunnel_validated: passes.tunnel && passes.validators,
+            schedule_validated: passes.schedule && passes.validators,
+        }
+    }
+
+    /// Human-readable form, e.g. `allocation+tunnel validated`.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if self.allocation_checked {
+            parts.push("allocation");
+        }
+        if self.tunnel_validated {
+            parts.push("tunnel");
+        }
+        if self.schedule_validated {
+            parts.push("schedule");
+        }
+        format!("{} validated", parts.join("+"))
+    }
+}
+
+/// One cached compilation product: binary + verdict + WCET report.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// The content-addressed key this artifact was stored under.
+    pub key: Digest,
+    /// Entry-point function name.
+    pub entry: String,
+    /// Display label of the configuration (e.g. `verified`).
+    pub label: String,
+    /// The linked binary.
+    pub program: Program,
+    /// The validator verdict the compilation was accepted under.
+    pub verdict: Verdict,
+    /// The static WCET report of `entry`.
+    pub report: WcetReport,
+}
+
+impl Artifact {
+    /// A digest of the artifact's *outputs* (encoded text, annotation
+    /// table, WCET bound) — used by determinism gates to compare serial
+    /// and parallel builds bit-for-bit.
+    #[must_use]
+    pub fn output_digest(&self) -> Digest {
+        let mut h = Hasher::new();
+        h.str(&self.entry).str(&self.label);
+        for w in self.program.encode_text() {
+            h.u32(w);
+        }
+        for a in &self.program.annotations {
+            h.u32(u32::from(a.id)).str(&a.resolved_text());
+        }
+        h.u64(self.report.wcet);
+        for (addr, bound) in &self.report.loop_bounds {
+            h.u32(*addr).u64(*bound);
+        }
+        for (name, w) in &self.report.callees {
+            h.str(name).u64(*w);
+        }
+        h.finish()
+    }
+}
+
+/// The artifact store: an in-memory map, optionally backed by a cache
+/// directory so repeated runs are warm.
+pub struct ArtifactStore {
+    dir: Option<PathBuf>,
+    mem: Mutex<BTreeMap<u128, Arc<Artifact>>>,
+}
+
+impl fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("dir", &self.dir)
+            .field("entries", &self.mem.lock().expect("store lock").len())
+            .finish()
+    }
+}
+
+impl ArtifactStore {
+    /// A store without disk persistence (process-lifetime cache).
+    #[must_use]
+    pub fn in_memory() -> ArtifactStore {
+        ArtifactStore {
+            dir: None,
+            mem: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A store persisted under `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn persistent(dir: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ArtifactStore {
+            dir: Some(dir),
+            mem: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The backing directory, if persistent.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Number of artifacts currently resident in memory.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.mem.lock().expect("store lock").len()
+    }
+
+    fn path_of(&self, key: Digest) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{key}.vcart")))
+    }
+
+    /// Looks an artifact up by key: memory first, then the cache
+    /// directory. `config` rebuilds the program container on a disk hit
+    /// and is checked against the stored machine digest; any mismatch or
+    /// parse failure is a miss.
+    #[must_use]
+    pub fn lookup(&self, key: Digest, config: &MachineConfig) -> Option<Arc<Artifact>> {
+        if let Some(hit) = self.mem.lock().expect("store lock").get(&key.0) {
+            return Some(Arc::clone(hit));
+        }
+        let path = self.path_of(key)?;
+        let text = fs::read_to_string(path).ok()?;
+        let artifact = decode_artifact(&text, config)?;
+        if artifact.key != key {
+            return None;
+        }
+        let artifact = Arc::new(artifact);
+        self.mem
+            .lock()
+            .expect("store lock")
+            .insert(key.0, Arc::clone(&artifact));
+        Some(artifact)
+    }
+
+    /// Inserts a **validated** artifact (memory + disk when persistent).
+    ///
+    /// Callers must uphold the store invariant: only artifacts whose
+    /// compilation the translation validators accepted may be inserted —
+    /// the pipeline service only reaches this call on the success path of
+    /// `compile_with_passes`, which fails closed on rejection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk-write failures (the in-memory insert still
+    /// happened).
+    pub fn insert(&self, artifact: Artifact) -> io::Result<Arc<Artifact>> {
+        debug_assert!(artifact.verdict.allocation_checked);
+        let key = artifact.key;
+        let artifact = Arc::new(artifact);
+        self.mem
+            .lock()
+            .expect("store lock")
+            .insert(key.0, Arc::clone(&artifact));
+        if let Some(path) = self.path_of(key) {
+            let text = encode_artifact(&artifact);
+            // Write-then-rename keeps concurrent readers (other build
+            // processes sharing the directory) away from torn files.
+            let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+            fs::write(&tmp, text)?;
+            fs::rename(&tmp, &path)?;
+        }
+        Ok(artifact)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// on-disk format
+// ---------------------------------------------------------------------------
+
+fn elem_name(e: ElemTy) -> &'static str {
+    match e {
+        ElemTy::I32 => "i32",
+        ElemTy::F64 => "f64",
+    }
+}
+
+fn parse_elem(s: &str) -> Option<ElemTy> {
+    match s {
+        "i32" => Some(ElemTy::I32),
+        "f64" => Some(ElemTy::F64),
+        _ => None,
+    }
+}
+
+fn argloc_name(a: &ArgLoc) -> String {
+    match a {
+        ArgLoc::Gpr(r) => format!("g{}", r.index()),
+        ArgLoc::Fpr(r) => format!("f{}", r.index()),
+        ArgLoc::Stack(off, e) => format!("s{off}:{}", elem_name(*e)),
+        ArgLoc::Global(addr, e) => format!("m{addr}:{}", elem_name(*e)),
+    }
+}
+
+fn parse_argloc(s: &str) -> Option<ArgLoc> {
+    let (tag, rest) = s.split_at(1);
+    match tag {
+        "g" => Some(ArgLoc::Gpr(Gpr::try_new(rest.parse().ok()?)?)),
+        "f" => Some(ArgLoc::Fpr(Fpr::try_new(rest.parse().ok()?)?)),
+        "s" => {
+            let (off, e) = rest.split_once(':')?;
+            Some(ArgLoc::Stack(off.parse().ok()?, parse_elem(e)?))
+        }
+        "m" => {
+            let (addr, e) = rest.split_once(':')?;
+            Some(ArgLoc::Global(addr.parse().ok()?, parse_elem(e)?))
+        }
+        _ => None,
+    }
+}
+
+/// Serializes an artifact to the `.vcart` text format.
+#[must_use]
+pub fn encode_artifact(a: &Artifact) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "vericomp-artifact {FORMAT_VERSION}");
+    let _ = writeln!(s, "key {}", a.key);
+    let _ = writeln!(s, "machine {}", machine_digest(&a.program.config));
+    let _ = writeln!(s, "entry {}", a.entry);
+    let _ = writeln!(s, "label {}", a.label);
+    let _ = writeln!(
+        s,
+        "verdict alloc={} tunnel={} sched={}",
+        u8::from(a.verdict.allocation_checked),
+        u8::from(a.verdict.tunnel_validated),
+        u8::from(a.verdict.schedule_validated),
+    );
+    let _ = writeln!(s, "wcet {}", a.report.wcet);
+    let _ = writeln!(s, "blocks {}", a.report.block_count);
+    for (addr, bound) in &a.report.loop_bounds {
+        let _ = writeln!(s, "loopbound {addr} {bound}");
+    }
+    for (name, w) in &a.report.callees {
+        let _ = writeln!(s, "callee {w} {name}");
+    }
+    for (addr, cost) in &a.report.block_costs {
+        let _ = writeln!(s, "blockcost {addr} {cost}");
+    }
+    let _ = writeln!(s, "prog-entry {}", a.program.entry);
+    let _ = writeln!(s, "constpool {}", a.program.const_pool_base);
+    let _ = writeln!(s, "sda {}", a.program.sda_base);
+    let words = a.program.encode_text();
+    let _ = writeln!(s, "code {}", words.len());
+    for chunk in words.chunks(8) {
+        let line: Vec<String> = chunk.iter().map(|w| format!("{w:08x}")).collect();
+        let _ = writeln!(s, "{}", line.join(" "));
+    }
+    for f in &a.program.functions {
+        let _ = writeln!(s, "func {} {} {}", f.entry, f.len_words, f.name);
+    }
+    for g in &a.program.globals {
+        let _ = writeln!(
+            s,
+            "globalsym {} {} {} {}",
+            g.addr,
+            elem_name(g.elem),
+            g.len,
+            g.name
+        );
+    }
+    for (addr, value) in &a.program.data {
+        match value {
+            DataValue::I32(v) => {
+                let _ = writeln!(s, "data {addr} i32 {v}");
+            }
+            DataValue::F64(v) => {
+                let _ = writeln!(s, "data {addr} f64 {:016x}", v.to_bits());
+            }
+        }
+    }
+    for ann in &a.program.annotations {
+        let locs: Vec<String> = ann.args.iter().map(argloc_name).collect();
+        let _ = writeln!(
+            s,
+            "annot {} {} {}| {}",
+            ann.id,
+            ann.args.len(),
+            locs.iter().map(|l| format!("{l} ")).collect::<String>(),
+            ann.format
+        );
+    }
+    s.push_str("end\n");
+    s
+}
+
+/// Parses a `.vcart` document against a machine configuration. Returns
+/// `None` on any malformation or on a machine-digest mismatch — corrupt
+/// cache files degrade to misses.
+#[must_use]
+pub fn decode_artifact(text: &str, config: &MachineConfig) -> Option<Artifact> {
+    let mut lines = text.lines();
+    let header = lines.next()?;
+    if header != format!("vericomp-artifact {FORMAT_VERSION}") {
+        return None;
+    }
+    let mut key = None;
+    let mut entry = None;
+    let mut label = None;
+    let mut verdict = None;
+    let mut wcet = None;
+    let mut block_count = 0usize;
+    let mut loop_bounds = BTreeMap::new();
+    let mut callees = BTreeMap::new();
+    let mut block_costs = BTreeMap::new();
+    let mut prog_entry = None;
+    let mut const_pool_base = None;
+    let mut sda_base = None;
+    let mut code: Option<Vec<u32>> = None;
+    let mut functions = Vec::new();
+    let mut globals = Vec::new();
+    let mut data = BTreeMap::new();
+    let mut annotations = Vec::new();
+    let mut saw_end = false;
+
+    while let Some(line) = lines.next() {
+        let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match tag {
+            "key" => key = Digest::from_hex(rest),
+            "machine" => {
+                if Digest::from_hex(rest)? != machine_digest(config) {
+                    return None;
+                }
+            }
+            "entry" => entry = Some(rest.to_owned()),
+            "label" => label = Some(rest.to_owned()),
+            "verdict" => {
+                let mut flags = [false; 3];
+                for (i, part) in rest.split(' ').enumerate() {
+                    let (_, v) = part.split_once('=')?;
+                    flags[i] = v == "1";
+                }
+                verdict = Some(Verdict {
+                    allocation_checked: flags[0],
+                    tunnel_validated: flags[1],
+                    schedule_validated: flags[2],
+                });
+            }
+            "wcet" => wcet = rest.parse().ok(),
+            "blocks" => block_count = rest.parse().ok()?,
+            "loopbound" => {
+                let (addr, bound) = rest.split_once(' ')?;
+                loop_bounds.insert(addr.parse().ok()?, bound.parse().ok()?);
+            }
+            "callee" => {
+                let (w, name) = rest.split_once(' ')?;
+                callees.insert(name.to_owned(), w.parse().ok()?);
+            }
+            "blockcost" => {
+                let (addr, cost) = rest.split_once(' ')?;
+                block_costs.insert(addr.parse().ok()?, cost.parse().ok()?);
+            }
+            "prog-entry" => prog_entry = rest.parse().ok(),
+            "constpool" => const_pool_base = rest.parse().ok(),
+            "sda" => sda_base = rest.parse().ok(),
+            "code" => {
+                let n: usize = rest.parse().ok()?;
+                let mut words = Vec::with_capacity(n);
+                while words.len() < n {
+                    let line = lines.next()?;
+                    for w in line.split(' ') {
+                        words.push(u32::from_str_radix(w, 16).ok()?);
+                    }
+                }
+                if words.len() != n {
+                    return None;
+                }
+                code = Some(words);
+            }
+            "func" => {
+                let mut it = rest.splitn(3, ' ');
+                let entry = it.next()?.parse().ok()?;
+                let len_words = it.next()?.parse().ok()?;
+                let name = it.next()?.to_owned();
+                functions.push(FuncSym {
+                    name,
+                    entry,
+                    len_words,
+                });
+            }
+            "globalsym" => {
+                let mut it = rest.splitn(4, ' ');
+                let addr = it.next()?.parse().ok()?;
+                let elem = parse_elem(it.next()?)?;
+                let len = it.next()?.parse().ok()?;
+                let name = it.next()?.to_owned();
+                globals.push(GlobalSym {
+                    name,
+                    addr,
+                    elem,
+                    len,
+                });
+            }
+            "data" => {
+                let mut it = rest.splitn(3, ' ');
+                let addr: u32 = it.next()?.parse().ok()?;
+                let kind = it.next()?;
+                let value = it.next()?;
+                let value = match kind {
+                    "i32" => DataValue::I32(value.parse().ok()?),
+                    "f64" => DataValue::F64(f64::from_bits(u64::from_str_radix(value, 16).ok()?)),
+                    _ => return None,
+                };
+                data.insert(addr, value);
+            }
+            "annot" => {
+                let (head, format) = rest.split_once('|')?;
+                let mut it = head.split_whitespace();
+                let id: u16 = it.next()?.parse().ok()?;
+                let nargs: usize = it.next()?.parse().ok()?;
+                let args: Vec<ArgLoc> = it.map(parse_argloc).collect::<Option<_>>()?;
+                if args.len() != nargs {
+                    return None;
+                }
+                annotations.push(AnnotationEntry {
+                    id,
+                    format: format.strip_prefix(' ').unwrap_or(format).to_owned(),
+                    args,
+                });
+            }
+            "end" => {
+                saw_end = true;
+                break;
+            }
+            _ => return None,
+        }
+    }
+    if !saw_end {
+        return None;
+    }
+
+    let words = code?;
+    let insts = Program::decode_text(config, &words).ok()?;
+    let program = Program {
+        config: config.clone(),
+        code: insts,
+        entry: prog_entry?,
+        functions,
+        globals,
+        data,
+        const_pool_base: const_pool_base?,
+        sda_base: sda_base?,
+        annotations,
+    };
+    Some(Artifact {
+        key: key?,
+        entry: entry?,
+        label: label?,
+        program,
+        verdict: verdict?,
+        report: WcetReport {
+            wcet: wcet?,
+            loop_bounds,
+            block_count,
+            callees,
+            block_costs,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vericomp_core::{Compiler, OptLevel};
+    use vericomp_minic::ast::{Binop, Expr, Function, Global, GlobalDef, Program as Src, Stmt};
+
+    fn small_src() -> Src {
+        let gf = |name: &str| Global {
+            name: name.into(),
+            def: GlobalDef::ScalarF64(None),
+        };
+        Src {
+            globals: vec![gf("in1"), gf("in2"), gf("out")],
+            functions: vec![Function {
+                name: "step".into(),
+                params: vec![],
+                ret: None,
+                locals: vec![],
+                body: vec![Stmt::Assign(
+                    "out".into(),
+                    Expr::binop(Binop::AddF, Expr::var("in1"), Expr::var("in2")),
+                )],
+            }],
+        }
+    }
+
+    fn small_artifact() -> Artifact {
+        let src = small_src();
+        let passes = PassConfig::for_level(OptLevel::Verified);
+        let config = MachineConfig::mpc755();
+        let program = Compiler::new(OptLevel::Verified)
+            .compile(&src, "step")
+            .expect("compiles");
+        let report = vericomp_wcet::analyze(&program, "step").expect("analyzes");
+        let source = vericomp_minic::pretty::program_to_c(&src);
+        Artifact {
+            key: artifact_key(&source, "step", &passes, &config),
+            entry: "step".into(),
+            label: "verified".into(),
+            program,
+            verdict: Verdict::from_passes(&passes),
+            report,
+        }
+    }
+
+    #[test]
+    fn artifact_text_roundtrip_is_lossless() {
+        let a = small_artifact();
+        let text = encode_artifact(&a);
+        let b = decode_artifact(&text, &MachineConfig::mpc755()).expect("parses");
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.entry, b.entry);
+        assert_eq!(a.program.code, b.program.code);
+        assert_eq!(a.program.functions, b.program.functions);
+        assert_eq!(a.program.globals, b.program.globals);
+        assert_eq!(a.program.annotations, b.program.annotations);
+        assert_eq!(a.report.wcet, b.report.wcet);
+        assert_eq!(a.report.callees, b.report.callees);
+        assert_eq!(a.output_digest(), b.output_digest());
+        // data section compares via bits (may hold f64 NaNs in general)
+        assert_eq!(a.program.data.len(), b.program.data.len());
+    }
+
+    #[test]
+    fn corrupt_or_skewed_files_degrade_to_misses() {
+        let a = small_artifact();
+        let text = encode_artifact(&a);
+        let config = MachineConfig::mpc755();
+        // truncation
+        assert!(decode_artifact(&text[..text.len() / 2], &config).is_none());
+        // version skew
+        let skewed = text.replace("vericomp-artifact 1", "vericomp-artifact 999");
+        assert!(decode_artifact(&skewed, &config).is_none());
+        // machine mismatch
+        assert!(decode_artifact(&text, &MachineConfig::tiny_caches()).is_none());
+        // garbage
+        assert!(decode_artifact("not an artifact", &config).is_none());
+    }
+
+    #[test]
+    fn persistent_store_roundtrips_and_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("vericomp-store-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let a = small_artifact();
+        let key = a.key;
+        let config = MachineConfig::mpc755();
+        {
+            let store = ArtifactStore::persistent(&dir).expect("creates dir");
+            assert!(store.lookup(key, &config).is_none());
+            store.insert(a.clone()).expect("writes");
+            assert!(store.lookup(key, &config).is_some());
+        }
+        // a fresh store (fresh process, conceptually) reads it back
+        let store = ArtifactStore::persistent(&dir).expect("opens dir");
+        let hit = store.lookup(key, &config).expect("disk hit");
+        assert_eq!(hit.output_digest(), a.output_digest());
+        assert_eq!(hit.verdict, a.verdict);
+        // corrupting the file degrades to a miss
+        let path = dir.join(format!("{key}.vcart"));
+        fs::write(&path, "garbage").expect("overwrite");
+        let store = ArtifactStore::persistent(&dir).expect("opens dir");
+        assert!(store.lookup(key, &config).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn key_separates_source_passes_and_machine() {
+        let src = vericomp_minic::pretty::program_to_c(&small_src());
+        let verified = PassConfig::for_level(OptLevel::Verified);
+        let full = PassConfig::for_level(OptLevel::OptFull);
+        let m755 = MachineConfig::mpc755();
+        let tiny = MachineConfig::tiny_caches();
+        let base = artifact_key(&src, "step", &verified, &m755);
+        assert_ne!(base, artifact_key(&src, "step", &full, &m755));
+        assert_ne!(base, artifact_key(&src, "step", &verified, &tiny));
+        assert_ne!(base, artifact_key(&src, "other", &verified, &m755));
+        let mut src2 = src.clone();
+        src2.push(' ');
+        assert_ne!(base, artifact_key(&src2, "step", &verified, &m755));
+        // and the same inputs agree across calls
+        assert_eq!(base, artifact_key(&src, "step", &verified, &m755));
+    }
+}

@@ -22,13 +22,17 @@ struct Args {
     cases: u64,
     seed: u64,
     steps: u32,
+    jobs: usize,
     replay: Option<u64>,
 }
 
-const USAGE: &str = "usage: fuzz_pipeline [--cases N] [--seed S] [--steps N] [--replay S]
+const USAGE: &str =
+    "usage: fuzz_pipeline [--cases N] [--seed S] [--steps N] [--jobs N] [--replay S]
   --cases N    number of cases to run (default 1000)
   --seed S     base seed, decimal or 0x-hex (default 0xCC2011)
   --steps N    activations simulated per case and config (default 3)
+  --jobs N     worker threads; seeds stay per-case-index, so any reported
+               seed replays identically at any job count (default 1, 0 = all cores)
   --replay S   run exactly one case with this seed (as printed on failure)";
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -44,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         cases: 1000,
         seed: 0xCC2011,
         steps: 3,
+        jobs: 1,
         replay: None,
     };
     let mut it = std::env::args().skip(1);
@@ -57,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
             "--cases" => args.cases = value("--cases")?,
             "--seed" => args.seed = value("--seed")?,
             "--steps" => args.steps = value("--steps")?.min(u64::from(u32::MAX)) as u32,
+            "--jobs" => args.jobs = value("--jobs")?.min(1024) as usize,
             "--replay" => args.replay = Some(value("--replay")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
@@ -101,18 +107,31 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "fuzz_pipeline: {} cases, base seed 0x{:x}, {} activations/case, 4 configs",
-        args.cases, args.seed, cfg.steps
+        "fuzz_pipeline: {} cases, base seed 0x{:x}, {} activations/case, 4 configs, {} job(s)",
+        args.cases,
+        args.seed,
+        cfg.steps,
+        if args.jobs == 0 {
+            "all".to_string()
+        } else {
+            args.jobs.to_string()
+        },
     );
     let tick = (args.cases / 20).max(1);
-    let summary = oracle::run(args.seed, args.cases, &cfg, |done, stats| {
-        if done % tick == 0 || done == args.cases {
+    let cases = args.cases;
+    let progress = move |done: u64, stats: &oracle::OracleStats| {
+        if done % tick == 0 || done == cases {
             println!(
-                "  {done}/{} cases ok ({} compilations, {} activations, {} values)",
-                args.cases, stats.compilations, stats.activations, stats.values_compared
+                "  {done}/{cases} cases ok ({} compilations, {} activations, {} values)",
+                stats.compilations, stats.activations, stats.values_compared
             );
         }
-    });
+    };
+    let summary = if args.jobs == 1 {
+        oracle::run(args.seed, args.cases, &cfg, progress)
+    } else {
+        oracle::run_parallel(args.seed, args.cases, &cfg, args.jobs, progress)
+    };
 
     match summary.failure {
         None => {

@@ -484,6 +484,94 @@ pub fn run(
     }
 }
 
+/// Runs the oracle cases on the pipeline's work-stealing pool.
+///
+/// Replayability is identical to [`run`]: every case's seed is derived
+/// from its **index** (`mix(base_seed, i)`, case 0 = the base seed), never
+/// from the worker executing it, so a printed seed replays with
+/// `--replay` regardless of `jobs`. On failure the *minimum-index*
+/// failing case is reported — cases below that index are never skipped,
+/// so the report is deterministic even under racy scheduling; cases above
+/// it may or may not have run, so aggregate counters can exceed the
+/// serial run's (the verdict never differs).
+///
+/// `jobs = 0` selects the machine's available parallelism.
+pub fn run_parallel(
+    base_seed: u64,
+    cases: u64,
+    cfg: &OracleConfig,
+    jobs: usize,
+    progress: impl FnMut(u64, &OracleStats) + Send + 'static,
+) -> RunSummary {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    use vericomp_pipeline::ThreadPool;
+
+    let pool = ThreadPool::new(jobs);
+    let cfg = *cfg;
+    // Atomic-min of the failing indices: cases at or above it stop being
+    // scheduled, cases below it always complete.
+    let stop_at = Arc::new(AtomicU64::new(u64::MAX));
+    let agg = Arc::new(Mutex::new((
+        OracleStats {
+            min_wcet_slack: u64::MAX,
+            ..OracleStats::default()
+        },
+        0u64,
+    )));
+    let progress = Arc::new(Mutex::new(progress));
+
+    type CaseFailure = (u64, u64, OracleFailure);
+    let tasks: Vec<Box<dyn FnOnce() -> Option<CaseFailure> + Send>> = (0..cases)
+        .map(|i| {
+            let stop_at = Arc::clone(&stop_at);
+            let agg = Arc::clone(&agg);
+            let progress = Arc::clone(&progress);
+            Box::new(move || {
+                if i >= stop_at.load(Ordering::SeqCst) {
+                    return None;
+                }
+                let case_seed = if i == 0 { base_seed } else { mix(base_seed, i) };
+                match run_case(case_seed, &cfg) {
+                    Ok(s) => {
+                        let mut a = agg.lock().expect("oracle stats lock");
+                        a.0.absorb(&s);
+                        a.1 += 1;
+                        let (stats, done) = *a;
+                        drop(a);
+                        (progress.lock().expect("oracle progress lock"))(done, &stats);
+                        None
+                    }
+                    Err(e) => {
+                        stop_at.fetch_min(i, Ordering::SeqCst);
+                        Some((i, case_seed, e))
+                    }
+                }
+            }) as Box<dyn FnOnce() -> Option<CaseFailure> + Send>
+        })
+        .collect();
+
+    let failure = pool
+        .run_all(tasks)
+        .into_iter()
+        .flatten()
+        .min_by_key(|(i, _, _)| *i);
+    let (stats, _) = *agg.lock().expect("oracle stats lock");
+    match failure {
+        Some((i, seed, e)) => RunSummary {
+            passed: i,
+            stats,
+            failure: Some((i, seed, e)),
+        },
+        None => RunSummary {
+            passed: cases,
+            stats,
+            failure: None,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -502,6 +590,24 @@ mod tests {
         assert_eq!(summary.passed, 4);
         assert!(summary.stats.compilations >= 16);
         assert!(summary.stats.activations >= 32);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_on_passing_batch() {
+        let cfg = OracleConfig {
+            steps: 2,
+            min_symbols: 6,
+            max_symbols: 14,
+        };
+        let serial = run(0xBEEF, 4, &cfg, |_, _| {});
+        let parallel = run_parallel(0xBEEF, 4, &cfg, 4, |_, _| {});
+        assert!(serial.failure.is_none() && parallel.failure.is_none());
+        assert_eq!(parallel.passed, serial.passed);
+        // same per-index seeds => identical aggregate counters
+        assert_eq!(parallel.stats.compilations, serial.stats.compilations);
+        assert_eq!(parallel.stats.activations, serial.stats.activations);
+        assert_eq!(parallel.stats.values_compared, serial.stats.values_compared);
+        assert_eq!(parallel.stats.min_wcet_slack, serial.stats.min_wcet_slack);
     }
 
     #[test]

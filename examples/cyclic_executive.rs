@@ -1,15 +1,19 @@
 //! The whole flight-control application in one image: the 26-node suite
 //! linked behind a generated cyclic-executive `step`, compiled with the
 //! WCET-driven driver (paper §4 / WCC-style: each optimization is kept only
-//! if the analyzer proves it beneficial), then decomposed per node.
+//! if the analyzer proves it beneficial) on the parallel pipeline — the
+//! candidate configurations compile and analyze concurrently, each cached
+//! content-addressed in `target/vericomp-cache/`, so a rerun replays the
+//! stored validator verdicts instead of recompiling.
 //!
 //! ```sh
 //! cargo run --release --example cyclic_executive
 //! ```
 
 use vericomp::dataflow::{fleet, Application};
-use vericomp::harness::compile_wcet_driven;
+use vericomp::harness::compile_application_parallel;
 use vericomp::mach::Simulator;
+use vericomp::pipeline::PipelineOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = Application::new("fcs", fleet::named_suite())?;
@@ -21,18 +25,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         src.functions.len()
     );
 
-    // WCET-driven compilation: candidates evaluated with the analyzer
-    let (binary, candidates) = compile_wcet_driven(&src, "step")?;
+    // WCET-driven compilation on the pipeline: candidates evaluated
+    // concurrently, artifacts cached after validator acceptance
+    let options = PipelineOptions {
+        cache_dir: Some(PipelineOptions::default_cache_dir()),
+        ..PipelineOptions::default()
+    };
+    let build = compile_application_parallel(&app, &options)?;
     println!("\nWCET-driven candidate selection:");
-    for c in &candidates {
+    for c in &build.candidates {
         println!("  {:<22} WCET {:>7}", c.name, c.wcet);
     }
+    println!("{}", build.stats.render());
 
-    let report = vericomp::wcet::analyze(&binary, "step")?;
+    let binary = build.artifact.program.clone();
+    let report = &build.artifact.report;
     println!(
-        "\nchosen image: {} bytes of code, cycle WCET {}",
+        "\nchosen image: {} bytes of code, cycle WCET {}, {} ({})",
         binary.text_size(),
-        report.wcet
+        report.wcet,
+        build.artifact.verdict.describe(),
+        if build.stats.jobs_cached > 0 {
+            "replayed from cache"
+        } else {
+            "validated this run"
+        },
     );
 
     println!("\nper-node WCET decomposition (callee bounds):");

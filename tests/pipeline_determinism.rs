@@ -1,0 +1,106 @@
+//! Determinism gate of the parallel compilation service: a fleet compiled
+//! with `--jobs 8` must be bit-identical — binaries, annotation tables and
+//! WCET bounds — to `--jobs 1` and to the pre-pipeline serial path. The
+//! whole §3.5 correctness story rides on this: a cache hit replays the
+//! validator verdict of an earlier run only because the compilation is a
+//! pure function of (source, passes, machine config).
+
+use vericomp::core::{Compiler, OptLevel, PassConfig};
+use vericomp::dataflow::fleet;
+use vericomp::pipeline::{Pipeline, PipelineOptions};
+
+fn pipeline_with_jobs(jobs: usize) -> Pipeline {
+    Pipeline::new(&PipelineOptions {
+        jobs,
+        ..PipelineOptions::default()
+    })
+    .expect("in-memory pipeline")
+}
+
+#[test]
+fn fleet_build_is_bit_identical_across_job_counts_and_vs_serial() {
+    let nodes = fleet::named_suite();
+    assert_eq!(nodes.len(), 26, "the paper-analog suite");
+    let passes = PassConfig::for_level(OptLevel::Verified);
+
+    let serial_pipe = pipeline_with_jobs(1);
+    let parallel_pipe = pipeline_with_jobs(8);
+    let one = serial_pipe
+        .compile_fleet(&nodes, &passes, "verified")
+        .expect("jobs=1 fleet");
+    let eight = parallel_pipe
+        .compile_fleet(&nodes, &passes, "verified")
+        .expect("jobs=8 fleet");
+
+    // the aggregate digests cover encoded text, resolved annotation
+    // tables and the full WCET reports of every node, in order
+    assert_eq!(one.digest(), eight.digest(), "jobs=1 vs jobs=8 diverge");
+
+    // and against the pre-pipeline serial path, artifact by artifact
+    let compiler = Compiler::new(OptLevel::Verified);
+    for (node, o8) in nodes.iter().zip(&eight.outcomes) {
+        let serial = compiler
+            .compile(&node.to_minic(), "step")
+            .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+        let report = vericomp::wcet::analyze(&serial, "step")
+            .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+        let artifact = &o8.artifact;
+        assert_eq!(
+            serial.encode_text(),
+            artifact.program.encode_text(),
+            "{}: binary words differ",
+            node.name()
+        );
+        assert_eq!(
+            serial
+                .annotations
+                .iter()
+                .map(|a| (a.id, a.resolved_text()))
+                .collect::<Vec<_>>(),
+            artifact
+                .program
+                .annotations
+                .iter()
+                .map(|a| (a.id, a.resolved_text()))
+                .collect::<Vec<_>>(),
+            "{}: annotation files differ",
+            node.name()
+        );
+        assert_eq!(
+            report.wcet,
+            artifact.report.wcet,
+            "{}: WCET bounds differ",
+            node.name()
+        );
+        assert_eq!(
+            report.loop_bounds,
+            artifact.report.loop_bounds,
+            "{}: loop bounds differ",
+            node.name()
+        );
+    }
+}
+
+#[test]
+fn warm_replay_is_bit_identical_to_the_cold_build() {
+    let nodes = fleet::named_suite();
+    let passes = PassConfig::for_level(OptLevel::OptFull);
+    let pipeline = pipeline_with_jobs(8);
+    let cold = pipeline
+        .compile_fleet(&nodes, &passes, "opt-full")
+        .expect("cold fleet");
+    let warm = pipeline
+        .compile_fleet(&nodes, &passes, "opt-full")
+        .expect("warm fleet");
+    assert_eq!(cold.stats.jobs_run, 26);
+    assert_eq!(warm.stats.jobs_cached, 26);
+    assert_eq!(cold.digest(), warm.digest(), "replayed artifacts diverge");
+    for o in &warm.outcomes {
+        assert!(o.cached);
+        // opt-full runs tunneling and scheduling under validators: the
+        // replayed verdict must carry exactly that evidence
+        assert!(o.artifact.verdict.allocation_checked);
+        assert!(o.artifact.verdict.tunnel_validated);
+        assert!(o.artifact.verdict.schedule_validated);
+    }
+}
