@@ -39,4 +39,20 @@ if [ "$cold_digest" != "$warm_digest" ]; then
     exit 1
 fi
 
+echo "==> sweep smoke: 2 nodes x 3 configs x 2 machines, parallel == jobs 1"
+cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+    --nodes 2 --configs pattern-O0,verified,opt-full --machines mpc755,tiny-caches \
+    | tee target/vericomp-ci-sweep.txt
+cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+    --nodes 2 --configs pattern-O0,verified,opt-full --machines mpc755,tiny-caches \
+    --jobs 1 | tee target/vericomp-ci-sweep-serial.txt
+sweep_digest=$(grep '^fleet digest:' target/vericomp-ci-sweep.txt)
+serial_digest=$(grep '^fleet digest:' target/vericomp-ci-sweep-serial.txt)
+if [ "$sweep_digest" != "$serial_digest" ]; then
+    echo "sweep smoke FAILED: parallel sweep not bit-identical to --jobs 1" >&2
+    echo "  parallel: $sweep_digest" >&2
+    echo "  serial:   $serial_digest" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

@@ -18,14 +18,14 @@
 use std::path::Path;
 
 use vericomp_bench::pipeline::{self, dirty_node};
-use vericomp_core::{Compiler, OptLevel, PassConfig};
+use vericomp_core::{Compiler, OptLevel};
 use vericomp_dataflow::fleet;
-use vericomp_pipeline::Pipeline;
+use vericomp_pipeline::{Pipeline, SweepSpec};
 use vericomp_testkit::bench::Bench;
 
 fn benches() -> Bench {
     let nodes = fleet::named_suite();
-    let passes = PassConfig::for_level(OptLevel::Verified);
+    let spec = SweepSpec::new().nodes(&nodes).level(OptLevel::Verified);
     let mut g = Bench::group("pipeline");
 
     let compiler = Compiler::new(OptLevel::Verified);
@@ -41,19 +41,16 @@ fn benches() -> Bench {
     g.bench("fleet26/cold_parallel", || {
         let pipeline = Pipeline::in_memory();
         pipeline
-            .compile_fleet(&nodes, &passes, "verified")
-            .expect("cold fleet")
+            .run_sweep(&spec)
+            .expect("cold sweep")
             .stats
             .jobs_run
     });
 
     let warm = Pipeline::in_memory();
-    warm.compile_fleet(&nodes, &passes, "verified")
-        .expect("prewarm");
+    warm.run_sweep(&spec).expect("prewarm");
     g.bench("fleet26/warm_cached", || {
-        let r = warm
-            .compile_fleet(&nodes, &passes, "verified")
-            .expect("warm fleet");
+        let r = warm.run_sweep(&spec).expect("warm sweep");
         assert_eq!(r.stats.jobs_cached, nodes.len() as u64);
         r.stats.jobs_cached
     });
@@ -65,9 +62,8 @@ fn benches() -> Bench {
     g.bench("fleet26/warm_one_dirty", || {
         edited[0] = dirty_node(revision);
         revision += 1;
-        let r = warm
-            .compile_fleet(&edited, &passes, "verified")
-            .expect("dirty fleet");
+        let dirty = SweepSpec::new().nodes(&edited).level(OptLevel::Verified);
+        let r = warm.run_sweep(&dirty).expect("dirty sweep");
         assert_eq!(r.stats.jobs_run, 1);
         r.stats.jobs_cached
     });

@@ -1,0 +1,94 @@
+//! E8 — cold vs. warm sweep-matrix compilation through `run_sweep`.
+//! Emits `BENCH_sweep.json`.
+//!
+//! The matrix is 8 suite nodes × the four compiler configurations × two
+//! machine models (MPC755 and a 4x-slower-memory variant) = 64 cells, the
+//! shape of a WCET sensitivity study. Regimes:
+//!
+//! * `matrix64/cold` — fresh pipeline per iteration, every cell compiles
+//!   and analyzes on the pool (pool spawn cost included);
+//! * `matrix64/warm` — persistent pipeline, every cell replays its stored
+//!   verdict and WCET report from the content-addressed cache;
+//! * `matrix64/widen_machine` — the incremental-study case: a third
+//!   machine axis value is added, 64 cells replay, 32 compile.
+//!
+//! The acceptance bar asserted below: the warm sweep at least 5x faster
+//! than the cold sweep.
+
+use std::path::Path;
+
+use vericomp_arch::MachineConfig;
+use vericomp_bench::LEVELS;
+use vericomp_dataflow::fleet;
+use vericomp_pipeline::{Pipeline, SweepSpec};
+use vericomp_testkit::bench::Bench;
+
+fn slow_mem() -> MachineConfig {
+    let mut m = MachineConfig::mpc755();
+    m.mem_latency *= 4;
+    m
+}
+
+fn benches() -> Bench {
+    let nodes: Vec<_> = fleet::named_suite().into_iter().take(8).collect();
+    let spec = SweepSpec::new()
+        .nodes(&nodes)
+        .levels(LEVELS)
+        .machine("mpc755", &MachineConfig::mpc755())
+        .machine("slow-mem", &slow_mem());
+    let cells = spec.cell_count();
+    let mut g = Bench::group("sweep");
+
+    g.bench("matrix64/cold", || {
+        let r = Pipeline::in_memory().run_sweep(&spec).expect("cold sweep");
+        assert_eq!(r.cell_count(), cells);
+        r.stats.jobs_run
+    });
+
+    let warm = Pipeline::in_memory();
+    warm.run_sweep(&spec).expect("prewarm");
+    g.bench("matrix64/warm", || {
+        let r = warm.run_sweep(&spec).expect("warm sweep");
+        assert_eq!(r.stats.jobs_cached, cells as u64);
+        r.stats.jobs_cached
+    });
+
+    // widening the machine axis: every old cell replays, only the new
+    // machine's column compiles
+    let mut latency = 0u32;
+    g.bench("matrix64/widen_machine", || {
+        let mut extra = MachineConfig::mpc755();
+        // a never-seen latency each iteration => a genuinely new column
+        // (additive so it never collides with the x4 slow-mem axis)
+        latency += 1;
+        extra.mem_latency += latency;
+        let widened = spec.clone().machine("extra", &extra);
+        let r = warm.run_sweep(&widened).expect("widened sweep");
+        assert_eq!(r.stats.jobs_cached, cells as u64);
+        assert_eq!(r.stats.jobs_run, (nodes.len() * LEVELS.len()) as u64);
+        r.stats.jobs_run
+    });
+    g
+}
+
+fn mean_of(g: &Bench, name: &str) -> f64 {
+    g.results()
+        .iter()
+        .find(|r| r.name == name)
+        .expect("bench ran")
+        .mean_ns
+}
+
+fn main() {
+    let g = benches();
+    println!("{}", g.render());
+    let path = g.write_json(Path::new(".")).expect("writes summary");
+    println!("wrote {}", path.display());
+
+    let speedup = mean_of(&g, "matrix64/cold") / mean_of(&g, "matrix64/warm");
+    println!("warm sweep speedup vs cold: {speedup:.1}x (bar: 5x)");
+    assert!(
+        speedup >= 5.0,
+        "warm sweep speedup regressed below 5x: {speedup:.2}x"
+    );
+}

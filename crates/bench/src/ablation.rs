@@ -11,7 +11,7 @@
 
 use vericomp_core::{OptLevel, PassConfig};
 use vericomp_dataflow::fleet;
-use vericomp_pipeline::Pipeline;
+use vericomp_pipeline::{Pipeline, SweepSpec};
 
 /// One ablation row.
 #[derive(Debug, Clone)]
@@ -29,19 +29,6 @@ pub struct AblationRow {
 pub struct Ablation {
     /// Rows, baseline first.
     pub rows: Vec<AblationRow>,
-}
-
-fn mean_wcet(
-    pipeline: &Pipeline,
-    passes: &PassConfig,
-    label: &str,
-    suite: &[vericomp_dataflow::Node],
-) -> f64 {
-    let result = pipeline
-        .compile_fleet(suite, passes, label)
-        .unwrap_or_else(|e| panic!("ablation pipeline: {e}"));
-    let total: u64 = result.outcomes.iter().map(|o| o.artifact.report.wcet).sum();
-    total as f64 / suite.len() as f64
 }
 
 /// Runs the ablation over the named suite.
@@ -109,14 +96,21 @@ pub fn run() -> Ablation {
         ),
     ];
 
-    // one pipeline across all variants: the baseline row is compiled once
-    // here and replayed from the artifact cache inside the loop below
-    let pipeline = Pipeline::in_memory();
-    let baseline = mean_wcet(&pipeline, &variants[0].1, variants[0].0, &suite);
+    // the whole study is one sweep: suite × every variant as the config
+    // axis, sharded across the pool with cross-variant cache reuse
+    let mut spec = SweepSpec::new().nodes(&suite);
+    for (name, passes) in &variants {
+        spec = spec.config(name, passes);
+    }
+    let sweep = Pipeline::in_memory()
+        .run_sweep(&spec)
+        .unwrap_or_else(|e| panic!("ablation pipeline: {e}"));
+    let machine = &sweep.machine_labels()[0];
+    let baseline = sweep.mean_wcet(variants[0].0, machine);
     let rows = variants
-        .into_iter()
-        .map(|(name, passes)| {
-            let mean = mean_wcet(&pipeline, &passes, name, &suite);
+        .iter()
+        .map(|&(name, _)| {
+            let mean = sweep.mean_wcet(name, machine);
             AblationRow {
                 name,
                 mean_wcet: mean,

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use vericomp_core::OptLevel;
 use vericomp_dataflow::fleet;
 use vericomp_dataflow::Node;
-use vericomp_pipeline::{CompileUnit, Pipeline};
+use vericomp_pipeline::{Pipeline, SweepSpec};
 
 /// WCET of one node under every configuration.
 #[derive(Debug, Clone)]
@@ -61,33 +61,19 @@ pub fn run_nodes(nodes: &[Node]) -> Figure2 {
 ///
 /// Panics if any node fails to compile or analyze (the suite is curated).
 pub fn run_nodes_with(pipeline: &Pipeline, nodes: &[Node]) -> Figure2 {
-    let units: Vec<CompileUnit> = nodes
-        .iter()
-        .flat_map(|node| {
-            crate::LEVELS
-                .iter()
-                .map(move |&level| CompileUnit::for_node(node, level))
-        })
-        .collect();
-    let result = pipeline
-        .compile_units(units)
+    let spec = SweepSpec::new().nodes(nodes).levels(crate::LEVELS);
+    let sweep = pipeline
+        .run_sweep(&spec)
         .unwrap_or_else(|e| panic!("figure2 pipeline: {e}"));
-    let mut outcomes = result.outcomes.into_iter();
+    let machine = &sweep.machine_labels()[0];
     let results = nodes
         .iter()
-        .map(|node| {
-            let wcet = crate::LEVELS
+        .map(|node| NodeWcet {
+            node: node.name().to_owned(),
+            wcet: crate::LEVELS
                 .iter()
-                .map(|&level| {
-                    let o = outcomes.next().expect("one outcome per unit");
-                    debug_assert_eq!(o.name, node.name());
-                    (level, o.artifact.report.wcet)
-                })
-                .collect();
-            NodeWcet {
-                node: node.name().to_owned(),
-                wcet,
-            }
+                .map(|&level| (level, sweep.wcet(node.name(), &level.to_string(), machine)))
+                .collect(),
         })
         .collect();
     Figure2 { nodes: results }

@@ -17,9 +17,9 @@
 
 use std::time::Instant;
 
-use vericomp_core::{Compiler, OptLevel, PassConfig};
+use vericomp_core::{Compiler, OptLevel};
 use vericomp_dataflow::{fleet, Node, NodeBuilder};
-use vericomp_pipeline::{Pipeline, PipelineOptions};
+use vericomp_pipeline::{Pipeline, PipelineOptions, SweepSpec};
 
 /// One measured regime.
 #[derive(Debug, Clone)]
@@ -67,7 +67,6 @@ pub fn dirty_node(revision: u32) -> Node {
 #[must_use]
 pub fn run(jobs: usize) -> PipelineBench {
     let nodes = fleet::named_suite();
-    let passes = PassConfig::for_level(OptLevel::Verified);
 
     // cold serial: the pre-pipeline path
     let t0 = Instant::now();
@@ -80,28 +79,26 @@ pub fn run(jobs: usize) -> PipelineBench {
     }
     let serial_ns = t0.elapsed().as_nanos() as u64;
 
-    let pipeline = Pipeline::new(&PipelineOptions {
-        jobs,
-        ..PipelineOptions::default()
-    })
+    let pipeline = Pipeline::new(
+        &PipelineOptions::builder()
+            .jobs(jobs)
+            .build()
+            .expect("valid options"),
+    )
     .expect("in-memory pipeline");
+    let spec = SweepSpec::new().nodes(&nodes).level(OptLevel::Verified);
 
     // cold parallel: empty cache
-    let cold = pipeline
-        .compile_fleet(&nodes, &passes, "verified")
-        .expect("cold fleet");
+    let cold = pipeline.run_sweep(&spec).expect("cold sweep");
 
     // warm: everything replays
-    let warm = pipeline
-        .compile_fleet(&nodes, &passes, "verified")
-        .expect("warm fleet");
+    let warm = pipeline.run_sweep(&spec).expect("warm sweep");
 
     // warm + 1 dirty: one edited node misses, the rest replay
     let mut edited = nodes.clone();
     edited[0] = dirty_node(0);
-    let dirty = pipeline
-        .compile_fleet(&edited, &passes, "verified")
-        .expect("dirty fleet");
+    let dirty_spec = SweepSpec::new().nodes(&edited).level(OptLevel::Verified);
+    let dirty = pipeline.run_sweep(&dirty_spec).expect("dirty sweep");
 
     let row = |name, wall_ns: u64, hit_rate| PipelineRow {
         name,

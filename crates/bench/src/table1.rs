@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use vericomp_core::OptLevel;
 use vericomp_mach::Simulator;
-use vericomp_pipeline::{CompileUnit, Pipeline};
+use vericomp_pipeline::{Pipeline, SweepSpec};
 use vericomp_testkit::fleet::{self, FleetConfig};
 
 /// Aggregate measurements of one compiler configuration over the fleet.
@@ -79,24 +79,19 @@ pub fn run_fleet_with(pipeline: &Pipeline, nodes: usize, steps: u32) -> Table1 {
         .map(|&l| (l, ConfigTotals::default()))
         .collect();
 
-    let units: Vec<CompileUnit> = fleet
-        .iter()
-        .flat_map(|node| {
-            crate::LEVELS
-                .iter()
-                .map(move |&level| CompileUnit::for_node(node, level))
-        })
-        .collect();
-    let compiled = pipeline
-        .compile_units(units)
+    // the whole compile phase is one sweep: nodes × the four levels on
+    // the pipeline's machine (the measurement below runs serially — the
+    // simulator is stateful)
+    let spec = SweepSpec::new().nodes(fleet.iter()).levels(crate::LEVELS);
+    let sweep = pipeline
+        .run_sweep(&spec)
         .unwrap_or_else(|e| panic!("table1 pipeline: {e}"));
-    let mut outcomes = compiled.outcomes.into_iter();
+    let machine = sweep.machine_labels()[0].clone();
 
     for node in &fleet {
         for &level in &crate::LEVELS {
-            let bin = outcomes
-                .next()
-                .expect("one outcome per unit")
+            let bin = sweep[(node.name(), level.to_string().as_str(), machine.as_str())]
+                .outcome
                 .artifact
                 .program
                 .clone();

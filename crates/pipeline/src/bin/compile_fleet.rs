@@ -1,48 +1,72 @@
-//! Parallel, cached compilation of the paper-analog 26-node fleet.
+//! Parallel, cached sweep compilation of the paper-analog 26-node fleet.
 //!
 //! ```text
 //! cargo run --release -p vericomp-pipeline --bin compile_fleet -- \
-//!     --jobs 8 --cache-dir target/vericomp-cache
+//!     --jobs 8 --cache-dir target/vericomp-cache \
+//!     --configs pattern-O0,verified,opt-full --machines mpc755,tiny-caches
 //! ```
 //!
-//! Compiles every node of the named suite under the selected configuration
-//! on the work-stealing pool, serving unchanged nodes from the
-//! content-addressed artifact cache, then prints per-node WCET bounds, the
-//! run's [`vericomp_pipeline::PipelineStats`] and the fleet output digest
+//! Compiles every requested cell of the (nodes × configs × machines) sweep
+//! matrix on the work-stealing pool, serving unchanged cells from the
+//! content-addressed artifact cache, then prints per-cell WCET bounds, the
+//! run's [`vericomp_pipeline::PipelineStats`] and the sweep output digest
 //! (bit-identical runs print identical digests — the CI smoke compares
-//! them).
+//! them across job counts and cache states).
 
 use std::process::ExitCode;
 
-use vericomp_core::{OptLevel, PassConfig};
+use vericomp_arch::MachineConfig;
+use vericomp_core::OptLevel;
 use vericomp_dataflow::fleet;
-use vericomp_pipeline::{Pipeline, PipelineOptions};
+use vericomp_pipeline::{Pipeline, PipelineOptions, SweepSpec};
 
 struct Args {
     jobs: usize,
     cache_dir: Option<String>,
-    level: OptLevel,
+    configs: Vec<OptLevel>,
+    machines: Vec<String>,
+    nodes: Option<usize>,
     min_hit_rate: Option<f64>,
 }
 
-const USAGE: &str =
-    "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--level L] [--min-hit-rate F]
+const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--configs LIST]
+                     [--machines LIST] [--nodes N] [--min-hit-rate F]
   --jobs N          worker threads (default: available parallelism)
   --cache-dir DIR   persistent artifact cache (default: in-memory only)
-  --level L         pattern-O0 | opt-no-regalloc | verified | opt-full (default verified)
-  --min-hit-rate F  fail unless the cache hit rate is at least F (0..1)";
+  --configs LIST    comma-separated config axis out of
+                    pattern-O0,opt-no-regalloc,verified,opt-full (default verified)
+  --level L         deprecated alias for --configs with one entry
+  --machines LIST   comma-separated machine axis out of mpc755,tiny-caches
+                    (default mpc755)
+  --nodes N         sweep only the first N suite nodes (default: all 26)
+  --min-hit-rate F  fail unless the cache hit rate is at least F (0..1)
+
+environment overrides (used when the corresponding flag is absent):
+  VERICOMP_JOBS       default for --jobs
+  VERICOMP_CACHE_DIR  default for --cache-dir";
 
 fn parse_level(s: &str) -> Option<OptLevel> {
     OptLevel::all().into_iter().find(|l| l.to_string() == s)
+}
+
+fn parse_machine(s: &str) -> Option<MachineConfig> {
+    match s {
+        "mpc755" => Some(MachineConfig::mpc755()),
+        "tiny-caches" => Some(MachineConfig::tiny_caches()),
+        _ => None,
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         jobs: 0,
         cache_dir: None,
-        level: OptLevel::Verified,
+        configs: Vec::new(),
+        machines: Vec::new(),
+        nodes: None,
         min_hit_rate: None,
     };
+    let mut jobs_set = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -53,12 +77,28 @@ fn parse_args() -> Result<Args, String> {
                 args.jobs = value("--jobs")?
                     .parse()
                     .map_err(|_| "--jobs needs a number".to_string())?;
+                jobs_set = true;
             }
             "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
-            "--level" => {
-                let v = value("--level")?;
-                args.level =
-                    parse_level(&v).ok_or_else(|| format!("unknown level `{v}`\n{USAGE}"))?;
+            "--configs" | "--level" => {
+                for v in value(&flag)?.split(',') {
+                    args.configs.push(
+                        parse_level(v).ok_or_else(|| format!("unknown config `{v}`\n{USAGE}"))?,
+                    );
+                }
+            }
+            "--machines" => {
+                for v in value("--machines")?.split(',') {
+                    parse_machine(v).ok_or_else(|| format!("unknown machine `{v}`\n{USAGE}"))?;
+                    args.machines.push(v.to_owned());
+                }
+            }
+            "--nodes" => {
+                args.nodes = Some(
+                    value("--nodes")?
+                        .parse()
+                        .map_err(|_| "--nodes needs a number".to_string())?,
+                );
             }
             "--min-hit-rate" => {
                 args.min_hit_rate = Some(
@@ -70,6 +110,27 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
+    }
+    // env overrides fill in unset flags
+    if !jobs_set {
+        if let Ok(v) = std::env::var("VERICOMP_JOBS") {
+            args.jobs = v
+                .parse()
+                .map_err(|_| "VERICOMP_JOBS needs a number".to_string())?;
+        }
+    }
+    if args.cache_dir.is_none() {
+        if let Ok(v) = std::env::var("VERICOMP_CACHE_DIR") {
+            if !v.is_empty() {
+                args.cache_dir = Some(v);
+            }
+        }
+    }
+    if args.configs.is_empty() {
+        args.configs.push(OptLevel::Verified);
+    }
+    if args.machines.is_empty() {
+        args.machines.push("mpc755".to_owned());
     }
     Ok(args)
 }
@@ -83,10 +144,16 @@ fn main() -> ExitCode {
         }
     };
 
-    let options = PipelineOptions {
-        jobs: args.jobs,
-        cache_dir: args.cache_dir.clone().map(Into::into),
-        ..PipelineOptions::default()
+    let mut builder = PipelineOptions::builder().jobs(args.jobs);
+    if let Some(dir) = &args.cache_dir {
+        builder = builder.cache_dir(dir);
+    }
+    let options = match builder.build() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("compile_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
     };
     let pipeline = match Pipeline::new(&options) {
         Ok(p) => p,
@@ -96,17 +163,28 @@ fn main() -> ExitCode {
         }
     };
 
-    let nodes = fleet::named_suite();
-    let passes = PassConfig::for_level(args.level);
+    let mut nodes = fleet::named_suite();
+    if let Some(n) = args.nodes {
+        nodes.truncate(n);
+    }
+    let mut spec = SweepSpec::new().nodes(&nodes);
+    for level in &args.configs {
+        spec = spec.level(*level);
+    }
+    for name in &args.machines {
+        spec = spec.machine(name, &parse_machine(name).expect("validated at parse time"));
+    }
     println!(
-        "compile_fleet: {} nodes at {} on {} workers, cache {}",
+        "compile_fleet: {} nodes × {} configs × {} machines = {} cells on {} workers, cache {}",
         nodes.len(),
-        args.level,
+        args.configs.len(),
+        args.machines.len(),
+        spec.cell_count(),
         pipeline.jobs(),
         args.cache_dir.as_deref().unwrap_or("(memory)"),
     );
 
-    let result = match pipeline.compile_fleet(&nodes, &passes, &args.level.to_string()) {
+    let result = match pipeline.run_sweep(&spec) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("compile_fleet: {e}");
@@ -114,16 +192,26 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("{:<24} {:>8} {:>9}  verdict", "node", "WCET", "source");
-    for o in &result.outcomes {
+    println!(
+        "{:<24} {:<16} {:<12} {:>8} {:>9}  verdict",
+        "node", "config", "machine", "WCET", "source"
+    );
+    for cell in result.cells() {
         println!(
-            "{:<24} {:>8} {:>9}  {}",
-            o.name,
-            o.artifact.report.wcet,
-            if o.cached { "cache" } else { "compiled" },
-            o.artifact.verdict.describe(),
+            "{:<24} {:<16} {:<12} {:>8} {:>9}  {}",
+            cell.unit,
+            cell.config,
+            cell.machine,
+            cell.wcet(),
+            if cell.outcome.cached {
+                "cache"
+            } else {
+                "compiled"
+            },
+            cell.outcome.artifact.verdict.describe(),
         );
     }
+    println!("{result}");
     println!("{}", result.stats.render());
     println!("fleet digest: {}", result.digest());
 

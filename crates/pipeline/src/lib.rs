@@ -15,7 +15,11 @@
 //! * [`stats`] — [`PipelineStats`] run metrics (jobs run/cached, per-stage
 //!   wall time, cache hit rate);
 //! * [`service`] — the [`Pipeline`] driver tying them together, plus the
-//!   `compile_fleet` binary.
+//!   `compile_fleet` binary;
+//! * [`sweep`] — the first-class compile request: a [`SweepSpec`] matrix
+//!   of (units × configs × machines) that [`Pipeline::run_sweep`] shards
+//!   across the pool with full cross-cell cache reuse, returning a
+//!   [`SweepResult`] with indexed lookup and per-axis aggregation.
 //!
 //! ## Correctness story
 //!
@@ -29,17 +33,21 @@
 //! key, so exactly the dirty cone misses.
 //!
 //! ```
-//! use vericomp_pipeline::{CompileUnit, Pipeline};
-//! use vericomp_core::{OptLevel, PassConfig};
+//! use vericomp_pipeline::{Pipeline, SweepSpec};
+//! use vericomp_core::OptLevel;
 //! use vericomp_dataflow::fleet;
 //!
 //! let pipeline = Pipeline::in_memory();
 //! let nodes = fleet::named_suite();
-//! let passes = PassConfig::for_level(OptLevel::Verified);
-//! let cold = pipeline.compile_fleet(&nodes[..4], &passes, "verified")?;
-//! let warm = pipeline.compile_fleet(&nodes[..4], &passes, "verified")?;
-//! assert_eq!(warm.stats.jobs_cached, 4);       // everything replayed
+//! let spec = SweepSpec::new()
+//!     .nodes(&nodes[..4])
+//!     .levels([OptLevel::PatternO0, OptLevel::Verified]);
+//! let cold = pipeline.run_sweep(&spec)?;
+//! let warm = pipeline.run_sweep(&spec)?;
+//! assert_eq!(warm.stats.jobs_cached, 8);       // everything replayed
 //! assert_eq!(cold.digest(), warm.digest());    // bit-identical outputs
+//! let cell = &warm[(nodes[0].name(), "verified", "default")];
+//! assert!(cell.outcome.cached);
 //! # Ok::<(), vericomp_pipeline::PipelineError>(())
 //! ```
 
@@ -51,11 +59,14 @@ pub mod pool;
 pub mod service;
 pub mod stats;
 pub mod store;
+pub mod sweep;
 
 pub use hash::{Digest, Hasher};
 pub use pool::{JobGraph, JobId, ThreadPool};
 pub use service::{
-    CompileUnit, FleetResult, Pipeline, PipelineError, PipelineOptions, UnitOutcome,
+    CompileUnit, CompileUnitBuilder, FleetResult, OptionsError, Pipeline, PipelineError,
+    PipelineOptions, PipelineOptionsBuilder, UnitOutcome, MAX_JOBS,
 };
 pub use stats::{PipelineStats, StatsCell};
 pub use store::{artifact_key, machine_digest, Artifact, ArtifactStore, Verdict, FORMAT_VERSION};
+pub use sweep::{SweepCell, SweepResult, SweepSpec, SweepUnit};

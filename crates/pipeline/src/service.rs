@@ -21,7 +21,7 @@ use std::fmt;
 use std::io;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vericomp_arch::MachineConfig;
 use vericomp_core::{CompileError, Compiler, OptLevel, PassConfig};
@@ -62,6 +62,98 @@ impl PipelineOptions {
     pub fn default_cache_dir() -> PathBuf {
         PathBuf::from("target/vericomp-cache")
     }
+
+    /// A validating builder over the same fields.
+    #[must_use]
+    pub fn builder() -> PipelineOptionsBuilder {
+        PipelineOptionsBuilder {
+            options: PipelineOptions::default(),
+        }
+    }
+}
+
+/// Hard ceiling on `jobs`: beyond this, a typo (e.g. `--jobs 80000`)
+/// would exhaust address space on thread stacks, not add parallelism.
+pub const MAX_JOBS: usize = 512;
+
+/// Rejected [`PipelineOptionsBuilder`] settings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptionsError {
+    /// `jobs` exceeds [`MAX_JOBS`].
+    TooManyJobs(usize),
+    /// The cache directory is the empty path.
+    EmptyCacheDir,
+}
+
+impl fmt::Display for OptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionsError::TooManyJobs(n) => {
+                write!(f, "jobs = {n} exceeds the ceiling of {MAX_JOBS}")
+            }
+            OptionsError::EmptyCacheDir => write!(f, "cache directory must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for OptionsError {}
+
+/// Builder for [`PipelineOptions`] that validates its settings at
+/// [`build`](PipelineOptionsBuilder::build) time instead of letting bad
+/// values surface as thread-spawn or I/O failures deep in a run.
+#[derive(Debug, Clone)]
+pub struct PipelineOptionsBuilder {
+    options: PipelineOptions,
+}
+
+impl PipelineOptionsBuilder {
+    /// Worker threads; `0` (the default) selects the machine's available
+    /// parallelism.
+    #[must_use]
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.options.jobs = jobs;
+        self
+    }
+
+    /// Persist the artifact cache under `dir`.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.options.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Persist the artifact cache under the conventional
+    /// [`PipelineOptions::default_cache_dir`] location.
+    #[must_use]
+    pub fn default_cache_dir(self) -> Self {
+        self.cache_dir(PipelineOptions::default_cache_dir())
+    }
+
+    /// Default target machine of the pipeline (sweeps may override it per
+    /// cell through their machine axis).
+    #[must_use]
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.options.machine = machine;
+        self
+    }
+
+    /// Validates and returns the options.
+    ///
+    /// # Errors
+    ///
+    /// [`OptionsError`] on a `jobs` count above [`MAX_JOBS`] or an empty
+    /// cache-directory path.
+    pub fn build(self) -> Result<PipelineOptions, OptionsError> {
+        if self.options.jobs > MAX_JOBS {
+            return Err(OptionsError::TooManyJobs(self.options.jobs));
+        }
+        if let Some(dir) = &self.options.cache_dir {
+            if dir.as_os_str().is_empty() {
+                return Err(OptionsError::EmptyCacheDir);
+            }
+        }
+        Ok(self.options)
+    }
 }
 
 /// One schedulable unit of work: compile `source`'s `entry` under
@@ -81,22 +173,55 @@ pub struct CompileUnit {
 }
 
 impl CompileUnit {
+    /// Starts building a unit. Select the source with one of
+    /// [`node`](CompileUnitBuilder::node),
+    /// [`application`](CompileUnitBuilder::application) or
+    /// [`source`](CompileUnitBuilder::source), then the configuration with
+    /// [`level`](CompileUnitBuilder::level) or
+    /// [`passes`](CompileUnitBuilder::passes) (+
+    /// [`label`](CompileUnitBuilder::label)).
+    ///
+    /// ```
+    /// # use vericomp_pipeline::CompileUnit;
+    /// # use vericomp_core::OptLevel;
+    /// # use vericomp_dataflow::fleet;
+    /// let node = &fleet::named_suite()[0];
+    /// let unit = CompileUnit::builder().node(node).level(OptLevel::Verified).build();
+    /// assert_eq!(unit.label, "verified");
+    /// ```
+    #[must_use]
+    pub fn builder() -> CompileUnitBuilder {
+        CompileUnitBuilder {
+            name: None,
+            label: None,
+            source: None,
+            entry: None,
+            passes: PassConfig::for_level(OptLevel::Verified),
+        }
+    }
+
     /// The unit compiling `node` at an [`OptLevel`] preset.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CompileUnit::builder().node(..).level(..)"
+    )]
     #[must_use]
     pub fn for_node(node: &Node, level: OptLevel) -> CompileUnit {
-        CompileUnit::node_with_passes(node, &PassConfig::for_level(level), &level.to_string())
+        CompileUnit::builder().node(node).level(level).build()
     }
 
     /// The unit compiling `node` under an explicit pass selection.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CompileUnit::builder().node(..).passes(..).label(..)"
+    )]
     #[must_use]
     pub fn node_with_passes(node: &Node, passes: &PassConfig, label: &str) -> CompileUnit {
-        CompileUnit {
-            name: node.name().to_owned(),
-            label: label.to_owned(),
-            source: node.to_minic(),
-            entry: node.step_name().to_owned(),
-            passes: *passes,
-        }
+        CompileUnit::builder()
+            .node(node)
+            .passes(passes)
+            .label(label)
+            .build()
     }
 
     /// The unit compiling a whole linked [`Application`] image.
@@ -104,18 +229,117 @@ impl CompileUnit {
     /// # Errors
     ///
     /// [`ApplicationError`] from linking the application's translation unit.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CompileUnit::builder().application(..)?.passes(..).label(..)"
+    )]
     pub fn for_application(
         app: &Application,
         passes: &PassConfig,
         label: &str,
     ) -> Result<CompileUnit, ApplicationError> {
-        Ok(CompileUnit {
-            name: app.name().to_owned(),
-            label: label.to_owned(),
-            source: app.to_minic()?,
-            entry: app.step_name().to_owned(),
-            passes: *passes,
-        })
+        Ok(CompileUnit::builder()
+            .application(app)?
+            .passes(passes)
+            .label(label)
+            .build())
+    }
+}
+
+/// Builder unifying the old `for_node` / `node_with_passes` /
+/// `for_application` constructors: pick a source, a pass selection, and a
+/// label, in any order.
+#[derive(Debug, Clone)]
+pub struct CompileUnitBuilder {
+    name: Option<String>,
+    label: Option<String>,
+    source: Option<SrcProgram>,
+    entry: Option<String>,
+    passes: PassConfig,
+}
+
+impl CompileUnitBuilder {
+    /// Compile a dataflow node (name, generated source and entry point all
+    /// come from the node).
+    #[must_use]
+    pub fn node(mut self, node: &Node) -> Self {
+        self.name = Some(node.name().to_owned());
+        self.source = Some(node.to_minic());
+        self.entry = Some(node.step_name().to_owned());
+        self
+    }
+
+    /// Compile a whole linked [`Application`] image.
+    ///
+    /// # Errors
+    ///
+    /// [`ApplicationError`] from linking the application's translation
+    /// unit.
+    pub fn application(mut self, app: &Application) -> Result<Self, ApplicationError> {
+        self.name = Some(app.name().to_owned());
+        self.source = Some(app.to_minic()?);
+        self.entry = Some(app.step_name().to_owned());
+        Ok(self)
+    }
+
+    /// Compile a raw MiniC translation unit.
+    #[must_use]
+    pub fn source(mut self, name: &str, source: SrcProgram, entry: &str) -> Self {
+        self.name = Some(name.to_owned());
+        self.source = Some(source);
+        self.entry = Some(entry.to_owned());
+        self
+    }
+
+    /// Compile under an [`OptLevel`] preset; the label defaults to the
+    /// level's name unless [`label`](Self::label) overrides it.
+    #[must_use]
+    pub fn level(mut self, level: OptLevel) -> Self {
+        self.passes = PassConfig::for_level(level);
+        self.label.get_or_insert_with(|| level.to_string());
+        self
+    }
+
+    /// Compile under an explicit pass selection.
+    #[must_use]
+    pub fn passes(mut self, passes: &PassConfig) -> Self {
+        self.passes = *passes;
+        self
+    }
+
+    /// Configuration label (part of the artifact's display identity).
+    #[must_use]
+    pub fn label(mut self, label: &str) -> Self {
+        self.label = Some(label.to_owned());
+        self
+    }
+
+    /// Override the entry-point function.
+    #[must_use]
+    pub fn entry(mut self, entry: &str) -> Self {
+        self.entry = Some(entry.to_owned());
+        self
+    }
+
+    /// Finishes the unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no source was selected ([`node`](Self::node),
+    /// [`application`](Self::application) or [`source`](Self::source)) —
+    /// that is a driver bug, not input-dependent.
+    #[must_use]
+    pub fn build(self) -> CompileUnit {
+        let source = self.source.expect(
+            "CompileUnit::builder(): select a source with .node()/.application()/.source()",
+        );
+        CompileUnit {
+            name: self.name.expect("source selection sets the name"),
+            label: self.label.unwrap_or_else(|| "verified".to_owned()),
+            source,
+            entry: self.entry.expect("source selection sets the entry"),
+            passes: self.passes,
+        }
     }
 }
 
@@ -249,6 +473,11 @@ impl Pipeline {
     /// the pool and serving unchanged units from the artifact cache.
     /// Outcomes come back in submission order regardless of scheduling.
     ///
+    /// Prefer [`Pipeline::run_sweep`] — it expresses the node × config ×
+    /// machine shape every driver actually wants and subsumes this call
+    /// (a batch is a degenerate sweep). This shim stays for callers with
+    /// genuinely heterogeneous unit lists.
+    ///
     /// # Errors
     ///
     /// The first [`PipelineError`] any unit hit.
@@ -256,7 +485,33 @@ impl Pipeline {
     /// # Panics
     ///
     /// Re-raises panics from compiler/analyzer internals (toolchain bugs).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Pipeline::run_sweep with a SweepSpec request"
+    )]
     pub fn compile_units(&self, units: Vec<CompileUnit>) -> Result<FleetResult, PipelineError> {
+        let cells = units
+            .into_iter()
+            .map(|unit| CellSpec {
+                unit,
+                machine: self.machine.clone(),
+            })
+            .collect();
+        let (outcomes, stats) = self.run_cells(cells)?;
+        Ok(FleetResult {
+            outcomes: outcomes.into_iter().map(|c| c.outcome).collect(),
+            stats,
+        })
+    }
+
+    /// Runs a set of fully-specified cells (unit + target machine) on the
+    /// pool and returns per-cell outcomes **in submission order** plus the
+    /// aggregate run stats. This is the one engine every public entry
+    /// point funnels through.
+    pub(crate) fn run_cells(
+        &self,
+        cells: Vec<CellSpec>,
+    ) -> Result<(Vec<CellOutcome>, PipelineStats), PipelineError> {
         enum Stage1 {
             Hit(Arc<Artifact>),
             Fresh(Digest, vericomp_arch::Program),
@@ -264,8 +519,10 @@ impl Pipeline {
         }
 
         let started = Instant::now();
-        let n = units.len();
-        let stats = Arc::new(StatsCell::new());
+        let n = cells.len();
+        // one collector per cell, so sweeps can report per-cell stage
+        // times; the run aggregate is their merge
+        let stats: Arc<Vec<StatsCell>> = Arc::new((0..n).map(|_| StatsCell::new()).collect());
         let slots: Arc<Vec<Mutex<Option<Stage1>>>> =
             Arc::new((0..n).map(|_| Mutex::new(None)).collect());
         let outcomes: Arc<Vec<Mutex<Option<UnitOutcome>>>> =
@@ -273,31 +530,33 @@ impl Pipeline {
         let first_error: Arc<Mutex<Option<PipelineError>>> = Arc::new(Mutex::new(None));
 
         let mut graph = JobGraph::new();
-        for (i, unit) in units.into_iter().enumerate() {
+        for (i, cell) in cells.into_iter().enumerate() {
+            let CellSpec { unit, machine } = cell;
             let unit = Arc::new(unit);
-            let machine = self.machine.clone();
             let store = Arc::clone(&self.store);
             let stats1 = Arc::clone(&stats);
             let slots1 = Arc::clone(&slots);
             let errs1 = Arc::clone(&first_error);
             let unit1 = Arc::clone(&unit);
-            // Stage 1: cache lookup, compile + validate on a miss.
+            // Stage 1: cache lookup, compile + validate on a miss. The
+            // machine digest is part of `key`, so cells targeting
+            // different machines never alias in the store.
             let compile = graph.add(&[], move || {
                 let source = program_to_c(&unit1.source);
                 let key = artifact_key(&source, &unit1.entry, &unit1.passes, &machine);
                 let t = Instant::now();
                 let hit = store.lookup(key, &machine);
-                stats1.add_store(t.elapsed());
+                stats1[i].add_store(t.elapsed());
                 let stage = match hit {
                     Some(artifact) => {
-                        stats1.count_cached();
+                        stats1[i].count_cached();
                         Stage1::Hit(artifact)
                     }
                     None => {
                         let t = Instant::now();
                         let compiled = Compiler::with_config(OptLevel::Verified, machine)
                             .compile_with_passes(&unit1.source, &unit1.entry, &unit1.passes);
-                        stats1.add_compile(t.elapsed());
+                        stats1[i].add_compile(t.elapsed());
                         match compiled {
                             Ok(program) => Stage1::Fresh(key, program),
                             Err(error) => {
@@ -339,7 +598,7 @@ impl Pipeline {
                     Stage1::Fresh(key, program) => {
                         let t = Instant::now();
                         let analyzed = vericomp_wcet::analyze(&program, &unit.entry);
-                        stats2.add_analyze(t.elapsed());
+                        stats2[i].add_analyze(t.elapsed());
                         let report = match analyzed {
                             Ok(report) => report,
                             Err(error) => {
@@ -352,7 +611,7 @@ impl Pipeline {
                                 return;
                             }
                         };
-                        stats2.count_run();
+                        stats2[i].count_run();
                         let artifact = Artifact {
                             key,
                             entry: unit.entry.clone(),
@@ -363,7 +622,7 @@ impl Pipeline {
                         };
                         let t = Instant::now();
                         let inserted = store2.insert(artifact);
-                        stats2.add_store(t.elapsed());
+                        stats2[i].add_store(t.elapsed());
                         match inserted {
                             Ok(artifact) => UnitOutcome {
                                 name: unit.name.clone(),
@@ -389,19 +648,30 @@ impl Pipeline {
         if let Some(error) = first_error.lock().expect("error lock").take() {
             return Err(error);
         }
-        let outcomes = outcomes
+        let wall = started.elapsed();
+        let mut aggregate = PipelineStats::default();
+        let cell_outcomes: Vec<CellOutcome> = outcomes
             .iter()
-            .map(|slot| {
-                slot.lock()
-                    .expect("outcome lock")
-                    .take()
-                    .expect("every unit succeeded")
+            .zip(stats.iter())
+            .map(|(slot, cell_stats)| {
+                // per-cell wall is the cell's summed stage time (the cells
+                // overlap, so a single clock would be meaningless per cell)
+                let s = cell_stats.snapshot(Duration::default());
+                let stage_sum = Duration::from_nanos(s.compile_ns + s.analyze_ns + s.store_ns);
+                let stats = cell_stats.snapshot(stage_sum);
+                aggregate.merge(&stats);
+                CellOutcome {
+                    outcome: slot
+                        .lock()
+                        .expect("outcome lock")
+                        .take()
+                        .expect("every unit succeeded"),
+                    stats,
+                }
             })
             .collect();
-        Ok(FleetResult {
-            outcomes,
-            stats: stats.snapshot(started.elapsed()),
-        })
+        aggregate.wall_ns = wall.as_nanos() as u64;
+        Ok((cell_outcomes, aggregate))
     }
 
     /// Compiles every node of a fleet under one pass selection.
@@ -409,19 +679,45 @@ impl Pipeline {
     /// # Errors
     ///
     /// The first [`PipelineError`] any node hit.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Pipeline::run_sweep with SweepSpec::new().nodes(..).config(..)"
+    )]
     pub fn compile_fleet(
         &self,
         nodes: &[Node],
         passes: &PassConfig,
         label: &str,
     ) -> Result<FleetResult, PipelineError> {
+        #[allow(deprecated)]
         self.compile_units(
             nodes
                 .iter()
-                .map(|n| CompileUnit::node_with_passes(n, passes, label))
+                .map(|n| {
+                    CompileUnit::builder()
+                        .node(n)
+                        .passes(passes)
+                        .label(label)
+                        .build()
+                })
                 .collect(),
         )
     }
+}
+
+/// One fully-specified engine cell: a unit and the machine it targets.
+#[derive(Debug, Clone)]
+pub(crate) struct CellSpec {
+    pub(crate) unit: CompileUnit,
+    pub(crate) machine: MachineConfig,
+}
+
+/// One engine cell's result: the outcome plus that cell's own stats
+/// (`wall_ns` = the cell's summed stage time, not a wall clock).
+#[derive(Debug, Clone)]
+pub(crate) struct CellOutcome {
+    pub(crate) outcome: UnitOutcome,
+    pub(crate) stats: PipelineStats,
 }
 
 #[cfg(test)]
@@ -439,27 +735,32 @@ mod tests {
     fn fleet_compiles_and_matches_serial_compiler() {
         let nodes = suite_prefix(6);
         let pipeline = Pipeline::in_memory();
-        let passes = PassConfig::for_level(OptLevel::Verified);
         let result = pipeline
-            .compile_fleet(&nodes, &passes, "verified")
+            .run_sweep(&crate::sweep::SweepSpec::new().nodes(&nodes))
             .expect("fleet compiles");
-        assert_eq!(result.outcomes.len(), nodes.len());
+        assert_eq!(result.cell_count(), nodes.len());
         assert_eq!(result.stats.jobs_run, nodes.len() as u64);
         assert_eq!(result.stats.jobs_cached, 0);
-        for (node, outcome) in nodes.iter().zip(&result.outcomes) {
-            assert_eq!(outcome.name, node.name());
-            assert!(!outcome.cached);
+        for (node, cell) in nodes.iter().zip(result.cells()) {
+            assert_eq!(cell.unit, node.name());
+            assert!(!cell.outcome.cached);
             let serial = Compiler::new(OptLevel::Verified)
                 .compile(&node.to_minic(), "step")
                 .expect("serial compiles");
-            assert_eq!(serial.encode_text(), outcome.artifact.program.encode_text());
+            assert_eq!(
+                serial.encode_text(),
+                cell.outcome.artifact.program.encode_text()
+            );
             let report = vericomp_wcet::analyze(&serial, "step").expect("serial analyzes");
-            assert_eq!(report.wcet, outcome.artifact.report.wcet);
+            assert_eq!(report.wcet, cell.outcome.artifact.report.wcet);
         }
     }
 
+    /// The deprecated entry points must stay working shims: same outputs,
+    /// same cache behavior as the sweep path.
     #[test]
-    fn second_run_is_fully_cached_and_identical() {
+    #[allow(deprecated)]
+    fn deprecated_shims_still_compile_fleets_and_hit_cache() {
         let nodes = suite_prefix(5);
         let pipeline = Pipeline::in_memory();
         let passes = PassConfig::for_level(OptLevel::OptFull);
@@ -478,21 +779,44 @@ mod tests {
             assert!(o.cached);
             assert!(o.artifact.verdict.allocation_checked);
         }
+        // the old constructors build the same units as the builder
+        let old = CompileUnit::for_node(&nodes[0], OptLevel::Verified);
+        let new = CompileUnit::builder()
+            .node(&nodes[0])
+            .level(OptLevel::Verified)
+            .build();
+        assert_eq!(old.name, new.name);
+        assert_eq!(old.label, new.label);
+        assert_eq!(old.entry, new.entry);
+        assert_eq!(old.passes, new.passes);
+        // and the sweep result agrees with the fleet shim bit-for-bit
+        let sweep = pipeline
+            .run_sweep(
+                &crate::sweep::SweepSpec::new()
+                    .nodes(&nodes)
+                    .config("opt-full", &passes),
+            )
+            .expect("sweep");
+        for (o, cell) in warm.outcomes.iter().zip(sweep.cells()) {
+            assert_eq!(
+                o.artifact.output_digest(),
+                cell.outcome.artifact.output_digest()
+            );
+        }
     }
 
     #[test]
     fn dirty_node_recompiles_only_its_cone() {
         let mut nodes = suite_prefix(6);
         let pipeline = Pipeline::in_memory();
-        let passes = PassConfig::for_level(OptLevel::Verified);
         pipeline
-            .compile_fleet(&nodes, &passes, "verified")
+            .run_sweep(&crate::sweep::SweepSpec::new().nodes(&nodes))
             .expect("cold run");
         // "edit" one node: swap it for a differently-shaped node under the
         // same name slot in the fleet vector.
         nodes[2] = fleet::named_suite().swap_remove(10);
         let warm = pipeline
-            .compile_fleet(&nodes, &passes, "verified")
+            .run_sweep(&crate::sweep::SweepSpec::new().nodes(&nodes))
             .expect("warm run");
         // one dirty unit... unless the swapped-in node was already cached
         // under its own key from the cold run — it was not (index 10 is not
@@ -508,14 +832,12 @@ mod tests {
         // failure instead with an entry point that does not exist.
         let node = &suite_prefix(1)[0];
         let pipeline = Pipeline::in_memory();
-        let unit = CompileUnit {
-            name: "broken".into(),
-            label: "verified".into(),
-            source: node.to_minic(),
-            entry: "no_such_entry".into(),
-            passes: PassConfig::for_level(OptLevel::Verified),
-        };
-        let err = pipeline.compile_units(vec![unit]).expect_err("must fail");
+        let spec = crate::sweep::SweepSpec::new().unit(crate::sweep::SweepUnit::from_source(
+            "broken",
+            node.to_minic(),
+            "no_such_entry",
+        ));
+        let err = pipeline.run_sweep(&spec).expect_err("must fail");
         assert!(matches!(err, PipelineError::Compile { .. }));
         assert_eq!(pipeline.store().resident(), 0);
     }
@@ -524,12 +846,51 @@ mod tests {
     fn application_image_is_cacheable() {
         let app = Application::new("fcs-slice", suite_prefix(4)).expect("app links");
         let pipeline = Pipeline::in_memory();
-        let passes = PassConfig::for_level(OptLevel::Verified);
-        let unit = CompileUnit::for_application(&app, &passes, "verified").expect("unit");
-        let cold = pipeline.compile_units(vec![unit.clone()]).expect("cold");
-        let warm = pipeline.compile_units(vec![unit]).expect("warm");
+        let spec = crate::sweep::SweepSpec::new()
+            .application(&app)
+            .expect("app links")
+            .level(OptLevel::Verified);
+        let cold = pipeline.run_sweep(&spec).expect("cold");
+        let warm = pipeline.run_sweep(&spec).expect("warm");
         assert_eq!(warm.stats.jobs_cached, 1);
         assert_eq!(cold.digest(), warm.digest());
-        assert!(cold.outcomes[0].artifact.report.callees.len() >= 4);
+        assert!(cold.cells()[0].outcome.artifact.report.callees.len() >= 4);
+    }
+
+    #[test]
+    fn options_builder_validates() {
+        let ok = PipelineOptions::builder()
+            .jobs(4)
+            .cache_dir("target/t")
+            .machine(MachineConfig::tiny_caches())
+            .build()
+            .expect("valid options");
+        assert_eq!(ok.jobs, 4);
+        assert_eq!(
+            ok.cache_dir.as_deref(),
+            Some(std::path::Path::new("target/t"))
+        );
+        assert!(matches!(
+            PipelineOptions::builder().jobs(100_000).build(),
+            Err(OptionsError::TooManyJobs(100_000))
+        ));
+        assert!(matches!(
+            PipelineOptions::builder().cache_dir("").build(),
+            Err(OptionsError::EmptyCacheDir)
+        ));
+        let conventional = PipelineOptions::builder()
+            .default_cache_dir()
+            .build()
+            .expect("valid");
+        assert_eq!(
+            conventional.cache_dir,
+            Some(PipelineOptions::default_cache_dir())
+        );
+    }
+
+    #[test]
+    fn unit_builder_requires_a_source() {
+        let r = std::panic::catch_unwind(|| CompileUnit::builder().build());
+        assert!(r.is_err(), "build() without a source must panic");
     }
 }

@@ -43,6 +43,19 @@ impl PipelineStats {
         }
     }
 
+    /// Accumulates another run's (or cell's) counters into this one.
+    /// Counters and stage times add; `wall_ns` adds too, which makes the
+    /// merge of per-cell stats a *summed* wall (callers tracking a single
+    /// end-to-end clock should overwrite `wall_ns` after merging).
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.jobs_run += other.jobs_run;
+        self.jobs_cached += other.jobs_cached;
+        self.compile_ns += other.compile_ns;
+        self.analyze_ns += other.analyze_ns;
+        self.store_ns += other.store_ns;
+        self.wall_ns += other.wall_ns;
+    }
+
     /// Multi-line human-readable report, one `pipeline:`-prefixed line per
     /// metric so driver output stays greppable.
     #[must_use]

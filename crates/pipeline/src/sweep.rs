@@ -1,0 +1,696 @@
+//! Sweep-matrix requests: (units × configs × machines) as the first-class
+//! compile request.
+//!
+//! The paper's evaluation (§3.3 Table 1, Figure 2) is a sweep — every
+//! symbol-library node compiled under every compiler configuration and
+//! measured against a fixed MPC755 model — and every driver in this repo
+//! used to hand-roll that loop around `compile_units`, duplicating cache
+//! keys, stats handling and determinism tie-breaks. A [`SweepSpec`] names
+//! the three axes once; [`Pipeline::run_sweep`] flattens the cross product
+//! into one sharded job set for the work-stealing pool and returns a
+//! [`SweepResult`] with indexed lookup (`&result[("node", "config",
+//! "machine")]`), per-axis aggregation and per-cell [`PipelineStats`].
+//!
+//! **Key space.** Every cell's artifact key already covers all three axes
+//! — the generated source (unit), the ten `PassConfig` flags (config) and
+//! the machine digest (machine) — so sweep cells share the pipeline's one
+//! [`ArtifactStore`](crate::store::ArtifactStore) with no cross-talk:
+//! cells differing on any axis never alias, and repeating a sweep (or
+//! widening one axis) replays every unchanged cell from cache.
+//!
+//! **Flattening order** is unit-major, then config, then machine; it is
+//! the iteration order of [`SweepResult::cells`] and the order
+//! [`SweepResult::digest`] hashes, so serial and parallel runs of the same
+//! spec produce identical digests (the determinism gates compare exactly
+//! this).
+//!
+//! ```
+//! use vericomp_core::OptLevel;
+//! use vericomp_dataflow::fleet;
+//! use vericomp_pipeline::{Pipeline, SweepSpec};
+//!
+//! let nodes = fleet::named_suite();
+//! let spec = SweepSpec::new()
+//!     .nodes(&nodes[..3])
+//!     .levels([OptLevel::PatternO0, OptLevel::Verified]);
+//! let pipeline = Pipeline::in_memory();
+//! let sweep = pipeline.run_sweep(&spec)?;
+//! assert_eq!(sweep.cell_count(), 6);
+//! let cell = &sweep[(nodes[0].name(), "verified", "default")];
+//! assert!(cell.outcome.artifact.report.wcet > 0);
+//! # Ok::<(), vericomp_pipeline::PipelineError>(())
+//! ```
+
+use std::fmt;
+use std::ops::Index;
+
+use vericomp_arch::MachineConfig;
+use vericomp_core::{OptLevel, PassConfig};
+use vericomp_dataflow::{Application, ApplicationError, Node};
+use vericomp_minic::ast::Program as SrcProgram;
+
+use crate::hash::{Digest, Hasher};
+use crate::service::{CellSpec, CompileUnit, Pipeline, PipelineError, UnitOutcome};
+use crate::stats::PipelineStats;
+
+/// One entry of the sweep's unit axis: a named translation unit with its
+/// entry point. Unlike [`CompileUnit`] it carries **no pass selection** —
+/// configs are their own axis.
+#[derive(Debug, Clone)]
+pub struct SweepUnit {
+    /// Axis label (node or application name) — the `unit` coordinate in
+    /// lookups.
+    pub name: String,
+    /// The MiniC translation unit.
+    pub source: SrcProgram,
+    /// Entry-point function.
+    pub entry: String,
+}
+
+impl SweepUnit {
+    /// The unit axis entry for a dataflow node.
+    #[must_use]
+    pub fn from_node(node: &Node) -> SweepUnit {
+        SweepUnit {
+            name: node.name().to_owned(),
+            source: node.to_minic(),
+            entry: node.step_name().to_owned(),
+        }
+    }
+
+    /// The unit axis entry for a whole linked [`Application`] image.
+    ///
+    /// # Errors
+    ///
+    /// [`ApplicationError`] from linking the application's translation
+    /// unit.
+    pub fn from_application(app: &Application) -> Result<SweepUnit, ApplicationError> {
+        Ok(SweepUnit {
+            name: app.name().to_owned(),
+            source: app.to_minic()?,
+            entry: app.step_name().to_owned(),
+        })
+    }
+
+    /// The unit axis entry for a raw MiniC translation unit.
+    #[must_use]
+    pub fn from_source(name: &str, source: SrcProgram, entry: &str) -> SweepUnit {
+        SweepUnit {
+            name: name.to_owned(),
+            source,
+            entry: entry.to_owned(),
+        }
+    }
+}
+
+/// The builder-style sweep request: three labeled axes.
+///
+/// Axes left empty pick defaults at [`Pipeline::run_sweep`] time: no
+/// configs means the single `verified` preset, no machines means the
+/// pipeline's own machine under the label `default`. An empty unit axis
+/// yields an empty result.
+#[derive(Debug, Clone, Default)]
+pub struct SweepSpec {
+    units: Vec<SweepUnit>,
+    configs: Vec<(String, PassConfig)>,
+    machines: Vec<(String, MachineConfig)>,
+}
+
+impl SweepSpec {
+    /// An empty spec.
+    #[must_use]
+    pub fn new() -> SweepSpec {
+        SweepSpec::default()
+    }
+
+    /// Appends a prepared unit to the unit axis.
+    #[must_use]
+    pub fn unit(mut self, unit: SweepUnit) -> Self {
+        self.units.push(unit);
+        self
+    }
+
+    /// Appends a dataflow node to the unit axis.
+    #[must_use]
+    pub fn node(self, node: &Node) -> Self {
+        self.unit(SweepUnit::from_node(node))
+    }
+
+    /// Appends every node to the unit axis, in order.
+    #[must_use]
+    pub fn nodes<'a>(mut self, nodes: impl IntoIterator<Item = &'a Node>) -> Self {
+        for node in nodes {
+            self = self.node(node);
+        }
+        self
+    }
+
+    /// Appends a linked [`Application`] image to the unit axis.
+    ///
+    /// # Errors
+    ///
+    /// [`ApplicationError`] from linking the application's translation
+    /// unit.
+    pub fn application(self, app: &Application) -> Result<Self, ApplicationError> {
+        Ok(self.unit(SweepUnit::from_application(app)?))
+    }
+
+    /// Appends a labeled pass selection to the config axis.
+    #[must_use]
+    pub fn config(mut self, label: &str, passes: &PassConfig) -> Self {
+        self.configs.push((label.to_owned(), *passes));
+        self
+    }
+
+    /// Appends an [`OptLevel`] preset to the config axis, labeled with the
+    /// level's name.
+    #[must_use]
+    pub fn level(self, level: OptLevel) -> Self {
+        self.config(&level.to_string(), &PassConfig::for_level(level))
+    }
+
+    /// Appends several [`OptLevel`] presets to the config axis, in order.
+    #[must_use]
+    pub fn levels(mut self, levels: impl IntoIterator<Item = OptLevel>) -> Self {
+        for level in levels {
+            self = self.level(level);
+        }
+        self
+    }
+
+    /// Appends a labeled target machine to the machine axis.
+    #[must_use]
+    pub fn machine(mut self, label: &str, machine: &MachineConfig) -> Self {
+        self.machines.push((label.to_owned(), machine.clone()));
+        self
+    }
+
+    /// The unit axis.
+    #[must_use]
+    pub fn units(&self) -> &[SweepUnit] {
+        &self.units
+    }
+
+    /// The config axis (label, passes).
+    #[must_use]
+    pub fn configs(&self) -> &[(String, PassConfig)] {
+        &self.configs
+    }
+
+    /// The machine axis (label, machine).
+    #[must_use]
+    pub fn machines(&self) -> &[(String, MachineConfig)] {
+        &self.machines
+    }
+
+    /// Number of cells the sweep will run (axes left empty count as their
+    /// run-time default of 1).
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.units.len() * self.configs.len().max(1) * self.machines.len().max(1)
+    }
+}
+
+/// One cell of a completed sweep: the three axis labels, the outcome, and
+/// the cell's own stats (`wall_ns` there is the cell's summed stage time —
+/// cells overlap on the pool, so no per-cell wall clock exists).
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Unit-axis label.
+    pub unit: String,
+    /// Config-axis label.
+    pub config: String,
+    /// Machine-axis label.
+    pub machine: String,
+    /// The compilation outcome (artifact, cached flag).
+    pub outcome: UnitOutcome,
+    /// This cell's stats: exactly one of `jobs_run`/`jobs_cached` is 1.
+    pub stats: PipelineStats,
+}
+
+impl SweepCell {
+    /// The cell's WCET bound, in cycles.
+    #[must_use]
+    pub fn wcet(&self) -> u64 {
+        self.outcome.artifact.report.wcet
+    }
+}
+
+/// Result of [`Pipeline::run_sweep`]: the cells in flattening order
+/// (unit-major, then config, then machine) plus aggregate stats.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    units: Vec<String>,
+    configs: Vec<String>,
+    machines: Vec<String>,
+    cells: Vec<SweepCell>,
+    /// Aggregate run metrics (stage times summed over cells, `wall_ns`
+    /// the end-to-end clock of the whole sweep).
+    pub stats: PipelineStats,
+}
+
+impl SweepResult {
+    /// Unit-axis labels, in spec order.
+    #[must_use]
+    pub fn unit_labels(&self) -> &[String] {
+        &self.units
+    }
+
+    /// Config-axis labels, in spec order.
+    #[must_use]
+    pub fn config_labels(&self) -> &[String] {
+        &self.configs
+    }
+
+    /// Machine-axis labels, in spec order.
+    #[must_use]
+    pub fn machine_labels(&self) -> &[String] {
+        &self.machines
+    }
+
+    /// All cells in flattening order.
+    #[must_use]
+    pub fn cells(&self) -> &[SweepCell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn axis_index(axis: &[String], label: &str) -> Option<usize> {
+        axis.iter().position(|l| l == label)
+    }
+
+    fn flat_index(&self, u: usize, c: usize, m: usize) -> usize {
+        (u * self.configs.len() + c) * self.machines.len() + m
+    }
+
+    /// The cell at positional coordinates, if in range.
+    #[must_use]
+    pub fn cell_at(&self, unit: usize, config: usize, machine: usize) -> Option<&SweepCell> {
+        if unit < self.units.len() && config < self.configs.len() && machine < self.machines.len() {
+            self.cells.get(self.flat_index(unit, config, machine))
+        } else {
+            None
+        }
+    }
+
+    /// The cell at labeled coordinates. Labels resolve to their first
+    /// occurrence on each axis (axes are expected label-unique).
+    #[must_use]
+    pub fn get(&self, unit: &str, config: &str, machine: &str) -> Option<&SweepCell> {
+        let u = Self::axis_index(&self.units, unit)?;
+        let c = Self::axis_index(&self.configs, config)?;
+        let m = Self::axis_index(&self.machines, machine)?;
+        self.cell_at(u, c, m)
+    }
+
+    /// The WCET bound of one cell by labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown labels — same contract as indexing.
+    #[must_use]
+    pub fn wcet(&self, unit: &str, config: &str, machine: &str) -> u64 {
+        self[(unit, config, machine)].wcet()
+    }
+
+    /// Iterates the cells of one (config, machine) column in unit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown labels.
+    pub fn column<'a>(
+        &'a self,
+        config: &str,
+        machine: &str,
+    ) -> impl Iterator<Item = &'a SweepCell> + 'a {
+        let c = Self::axis_index(&self.configs, config)
+            .unwrap_or_else(|| panic!("unknown config label `{config}`"));
+        let m = Self::axis_index(&self.machines, machine)
+            .unwrap_or_else(|| panic!("unknown machine label `{machine}`"));
+        (0..self.units.len()).map(move |u| &self.cells[self.flat_index(u, c, m)])
+    }
+
+    /// Mean WCET over the unit axis of one (config, machine) column.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown labels or an empty unit axis.
+    #[must_use]
+    pub fn mean_wcet(&self, config: &str, machine: &str) -> f64 {
+        assert!(!self.units.is_empty(), "mean over an empty unit axis");
+        let total: u64 = self.column(config, machine).map(SweepCell::wcet).sum();
+        total as f64 / self.units.len() as f64
+    }
+
+    /// Total WCET over the unit axis of one (config, machine) column.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown labels.
+    #[must_use]
+    pub fn total_wcet(&self, config: &str, machine: &str) -> u64 {
+        self.column(config, machine).map(SweepCell::wcet).sum()
+    }
+
+    /// Mean of per-unit WCET ratios of `config` against `baseline` on one
+    /// machine — the aggregation Figure 2 reports ("mean WCET delta").
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown labels or an empty unit axis.
+    #[must_use]
+    pub fn mean_ratio(&self, config: &str, baseline: &str, machine: &str) -> f64 {
+        assert!(!self.units.is_empty(), "mean over an empty unit axis");
+        let s: f64 = self
+            .column(config, machine)
+            .zip(self.column(baseline, machine))
+            .map(|(c, b)| c.wcet() as f64 / b.wcet() as f64)
+            .sum();
+        s / self.units.len() as f64
+    }
+
+    /// A digest of every cell's outputs in flattening order — equal
+    /// digests mean bit-identical binaries, annotation tables and WCET
+    /// bounds across the whole matrix; the determinism gates compare
+    /// serial and parallel sweeps with this.
+    #[must_use]
+    pub fn digest(&self) -> Digest {
+        let mut h = Hasher::new();
+        for cell in &self.cells {
+            h.str(&cell.unit).str(&cell.config).str(&cell.machine);
+            let d = cell.outcome.artifact.output_digest();
+            h.u64(d.0 as u64).u64((d.0 >> 64) as u64);
+        }
+        h.finish()
+    }
+}
+
+impl Index<(usize, usize, usize)> for SweepResult {
+    type Output = SweepCell;
+
+    fn index(&self, (u, c, m): (usize, usize, usize)) -> &SweepCell {
+        self.cell_at(u, c, m).unwrap_or_else(|| {
+            panic!(
+                "sweep index ({u}, {c}, {m}) out of range ({} × {} × {})",
+                self.units.len(),
+                self.configs.len(),
+                self.machines.len()
+            )
+        })
+    }
+}
+
+impl Index<(&str, &str, &str)> for SweepResult {
+    type Output = SweepCell;
+
+    fn index(&self, (unit, config, machine): (&str, &str, &str)) -> &SweepCell {
+        self.get(unit, config, machine).unwrap_or_else(|| {
+            panic!("sweep has no cell labeled ({unit:?}, {config:?}, {machine:?})")
+        })
+    }
+}
+
+impl fmt::Display for SweepResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sweep {} units × {} configs × {} machines = {} cells ({} run, {} cached)",
+            self.units.len(),
+            self.configs.len(),
+            self.machines.len(),
+            self.cells.len(),
+            self.stats.jobs_run,
+            self.stats.jobs_cached,
+        )
+    }
+}
+
+impl Pipeline {
+    /// Runs a sweep: flattens the (units × configs × machines) cross
+    /// product into one sharded job set on the work-stealing pool, serving
+    /// every previously-seen cell from the artifact cache (the key already
+    /// separates all three axes). Cells come back in flattening order
+    /// regardless of scheduling, so equal specs yield equal
+    /// [`SweepResult::digest`]s at any job count.
+    ///
+    /// An empty config axis defaults to the single `verified` preset; an
+    /// empty machine axis defaults to the pipeline's own machine labeled
+    /// `default`.
+    ///
+    /// # Errors
+    ///
+    /// The first [`PipelineError`] any cell hit.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises panics from compiler/analyzer internals (toolchain bugs).
+    pub fn run_sweep(&self, spec: &SweepSpec) -> Result<SweepResult, PipelineError> {
+        let configs: Vec<(String, PassConfig)> = if spec.configs.is_empty() {
+            vec![(
+                OptLevel::Verified.to_string(),
+                PassConfig::for_level(OptLevel::Verified),
+            )]
+        } else {
+            spec.configs.clone()
+        };
+        let machines: Vec<(String, MachineConfig)> = if spec.machines.is_empty() {
+            vec![("default".to_owned(), self.machine().clone())]
+        } else {
+            spec.machines.clone()
+        };
+
+        let mut cells = Vec::with_capacity(spec.units.len() * configs.len() * machines.len());
+        for unit in &spec.units {
+            for (config_label, passes) in &configs {
+                for (_, machine) in &machines {
+                    cells.push(CellSpec {
+                        unit: CompileUnit {
+                            name: unit.name.clone(),
+                            label: config_label.clone(),
+                            source: unit.source.clone(),
+                            entry: unit.entry.clone(),
+                            passes: *passes,
+                        },
+                        machine: machine.clone(),
+                    });
+                }
+            }
+        }
+
+        let (outcomes, stats) = self.run_cells(cells)?;
+
+        let machine_labels: Vec<String> = machines.iter().map(|(l, _)| l.clone()).collect();
+        let config_labels: Vec<String> = configs.iter().map(|(l, _)| l.clone()).collect();
+        let mut result_cells = Vec::with_capacity(outcomes.len());
+        let mut it = outcomes.into_iter();
+        for unit in &spec.units {
+            for config_label in &config_labels {
+                for machine_label in &machine_labels {
+                    let cell = it.next().expect("one outcome per cell");
+                    result_cells.push(SweepCell {
+                        unit: unit.name.clone(),
+                        config: config_label.clone(),
+                        machine: machine_label.clone(),
+                        outcome: cell.outcome,
+                        stats: cell.stats,
+                    });
+                }
+            }
+        }
+        Ok(SweepResult {
+            units: spec.units.iter().map(|u| u.name.clone()).collect(),
+            configs: config_labels,
+            machines: machine_labels,
+            cells: result_cells,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::PipelineOptions;
+    use vericomp_dataflow::fleet;
+
+    fn suite_prefix(n: usize) -> Vec<Node> {
+        let mut nodes = fleet::named_suite();
+        nodes.truncate(n);
+        nodes
+    }
+
+    /// A machine whose memory is 4× slower than the MPC755 model — unlike
+    /// `tiny_caches`, this shifts every WCET, which the tests rely on.
+    fn slow_mem() -> MachineConfig {
+        let mut m = MachineConfig::mpc755();
+        m.mem_latency *= 4;
+        m
+    }
+
+    fn small_spec(nodes: &[Node]) -> SweepSpec {
+        SweepSpec::new()
+            .nodes(nodes)
+            .levels([OptLevel::PatternO0, OptLevel::Verified, OptLevel::OptFull])
+            .machine("mpc755", &MachineConfig::mpc755())
+            .machine("slow-mem", &slow_mem())
+    }
+
+    #[test]
+    fn sweep_matches_nested_compile_units_loops_bit_exactly() {
+        let nodes = suite_prefix(3);
+        let spec = small_spec(&nodes);
+        let sweep = Pipeline::in_memory()
+            .run_sweep(&spec)
+            .expect("sweep compiles");
+        assert_eq!(sweep.cell_count(), 3 * 3 * 2);
+
+        // the equivalent hand-rolled loops the drivers used to contain
+        for (machine_label, machine) in spec.machines() {
+            let pipeline = Pipeline::new(
+                &PipelineOptions::builder()
+                    .machine(machine.clone())
+                    .build()
+                    .expect("options"),
+            )
+            .expect("pipeline");
+            for (config_label, passes) in spec.configs() {
+                #[allow(deprecated)]
+                let fleet = pipeline
+                    .compile_fleet(&nodes, passes, config_label)
+                    .expect("fleet compiles");
+                for (node, outcome) in nodes.iter().zip(&fleet.outcomes) {
+                    let cell = &sweep[(node.name(), config_label.as_str(), machine_label.as_str())];
+                    assert_eq!(
+                        cell.outcome.artifact.output_digest(),
+                        outcome.artifact.output_digest(),
+                        "{} × {config_label} × {machine_label} diverges from the nested loop",
+                        node.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_sweep_is_fully_cached_and_bit_identical() {
+        let nodes = suite_prefix(4);
+        let spec = small_spec(&nodes);
+        let pipeline = Pipeline::in_memory();
+        let cold = pipeline.run_sweep(&spec).expect("cold sweep");
+        let warm = pipeline.run_sweep(&spec).expect("warm sweep");
+        assert_eq!(cold.stats.jobs_run, 24);
+        assert_eq!(cold.stats.jobs_cached, 0);
+        assert_eq!(warm.stats.jobs_cached, 24);
+        assert_eq!(warm.stats.jobs_run, 0);
+        assert!(warm.stats.hit_rate() >= 0.9);
+        assert_eq!(cold.digest(), warm.digest());
+        for cell in warm.cells() {
+            assert!(cell.outcome.cached);
+            assert_eq!(cell.stats.jobs_cached, 1);
+            assert_eq!(cell.stats.jobs_run, 0);
+        }
+    }
+
+    #[test]
+    fn widening_an_axis_reuses_every_overlapping_cell() {
+        let nodes = suite_prefix(3);
+        let pipeline = Pipeline::in_memory();
+        let narrow = SweepSpec::new().nodes(&nodes).level(OptLevel::Verified);
+        let cold = pipeline.run_sweep(&narrow).expect("narrow sweep");
+        assert_eq!(cold.stats.jobs_run, 3);
+
+        // widen the config axis: the verified column replays from cache
+        let wide = SweepSpec::new()
+            .nodes(&nodes)
+            .levels([OptLevel::Verified, OptLevel::OptFull]);
+        let widened = pipeline.run_sweep(&wide).expect("wide sweep");
+        assert_eq!(widened.stats.jobs_cached, 3);
+        assert_eq!(widened.stats.jobs_run, 3);
+        for cell in widened.column("verified", "default") {
+            assert!(cell.outcome.cached);
+        }
+        for cell in widened.column("opt-full", "default") {
+            assert!(!cell.outcome.cached);
+        }
+    }
+
+    #[test]
+    fn machines_axis_separates_cells_and_aggregations_work() {
+        let nodes = suite_prefix(2);
+        let spec = small_spec(&nodes);
+        let sweep = Pipeline::in_memory().run_sweep(&spec).expect("sweep");
+
+        // positional and labeled indexing agree
+        let by_pos = &sweep[(0, 1, 0)];
+        let by_label = &sweep[(nodes[0].name(), "verified", "mpc755")];
+        assert_eq!(
+            by_pos.outcome.artifact.output_digest(),
+            by_label.outcome.artifact.output_digest()
+        );
+
+        // the machine axis genuinely changes the analysis: slower memory
+        // must not yield identical WCETs across the whole column
+        let m755: Vec<u64> = sweep
+            .column("verified", "mpc755")
+            .map(SweepCell::wcet)
+            .collect();
+        let slow: Vec<u64> = sweep
+            .column("verified", "slow-mem")
+            .map(SweepCell::wcet)
+            .collect();
+        assert_ne!(m755, slow, "machine axis had no effect on any WCET");
+
+        // aggregations
+        let mean = sweep.mean_wcet("verified", "mpc755");
+        assert!((mean - m755.iter().sum::<u64>() as f64 / 2.0).abs() < 1e-9);
+        assert_eq!(sweep.total_wcet("verified", "mpc755"), m755.iter().sum());
+        let ratio = sweep.mean_ratio("verified", "pattern-O0", "mpc755");
+        assert!(ratio > 0.0 && ratio < 1.0, "verified beats the baseline");
+        assert!(
+            (sweep.mean_ratio("pattern-O0", "pattern-O0", "mpc755") - 1.0).abs() < 1e-12,
+            "self-ratio is 1"
+        );
+
+        // misses
+        assert!(sweep.get("no_such_node", "verified", "mpc755").is_none());
+        assert!(sweep.cell_at(99, 0, 0).is_none());
+    }
+
+    #[test]
+    fn per_cell_stats_sum_to_the_aggregate() {
+        let nodes = suite_prefix(3);
+        let spec = SweepSpec::new().nodes(&nodes).level(OptLevel::Verified);
+        let sweep = Pipeline::in_memory().run_sweep(&spec).expect("sweep");
+        let mut merged = PipelineStats::default();
+        for cell in sweep.cells() {
+            merged.merge(&cell.stats);
+        }
+        assert_eq!(merged.jobs_run, sweep.stats.jobs_run);
+        assert_eq!(merged.jobs_cached, sweep.stats.jobs_cached);
+        assert_eq!(merged.compile_ns, sweep.stats.compile_ns);
+        assert_eq!(merged.analyze_ns, sweep.stats.analyze_ns);
+        assert_eq!(merged.store_ns, sweep.stats.store_ns);
+    }
+
+    #[test]
+    fn empty_axes_default_and_empty_units_yield_empty_result() {
+        let nodes = suite_prefix(1);
+        let sweep = Pipeline::in_memory()
+            .run_sweep(&SweepSpec::new().nodes(&nodes))
+            .expect("defaulted sweep");
+        assert_eq!(sweep.config_labels(), ["verified".to_owned()]);
+        assert_eq!(sweep.machine_labels(), ["default".to_owned()]);
+        assert_eq!(sweep.cell_count(), 1);
+
+        let empty = Pipeline::in_memory()
+            .run_sweep(&SweepSpec::new())
+            .expect("empty sweep");
+        assert_eq!(empty.cell_count(), 0);
+        assert_eq!(empty.stats.jobs_total(), 0);
+    }
+}

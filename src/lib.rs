@@ -115,13 +115,14 @@ pub mod harness {
     /// using a WCET analysis tool and only applied when shown to be
     /// beneficial".
     ///
-    /// The driver compiles the program under a set of validated pass
-    /// configurations (the verified baseline plus each full-optimizer extra
-    /// in isolation and in combination), bounds each candidate's WCET with
-    /// the static analyzer, and returns the binary with the smallest bound
-    /// together with the evaluated candidates. Every candidate keeps the
-    /// translation validators enabled, so the selection never trades
-    /// correctness for time.
+    /// The driver runs one pipeline sweep of the program across the
+    /// candidate pass configurations (the verified baseline plus each
+    /// full-optimizer extra in isolation and in combination), bounds each
+    /// candidate's WCET with the static analyzer, and returns the binary
+    /// with the smallest bound together with the evaluated candidates (the
+    /// first minimum wins ties). Every candidate keeps the translation
+    /// validators enabled, so the selection never trades correctness for
+    /// time.
     ///
     /// # Errors
     ///
@@ -130,23 +131,42 @@ pub mod harness {
         prog: &crate::minic::ast::Program,
         entry: &str,
     ) -> Result<(Program, Vec<WcetCandidate>), WcetDrivenError> {
+        use crate::pipeline::{Pipeline, PipelineError, SweepSpec, SweepUnit};
+
         let candidates = wcet_driven_candidates();
-        let compiler = Compiler::new(OptLevel::Verified);
-        let mut best: Option<(u64, Program)> = None;
-        let mut report = Vec::with_capacity(candidates.len());
-        for (name, passes) in candidates {
-            let binary = compiler
-                .compile_with_passes(prog, entry, &passes)
-                .map_err(WcetDrivenError::Compile)?;
-            let wcet = crate::wcet::analyze(&binary, entry)
-                .map_err(WcetDrivenError::Analyze)?
-                .wcet;
-            report.push(WcetCandidate { name, wcet });
-            if best.as_ref().map(|(w, _)| wcet < *w).unwrap_or(true) {
-                best = Some((wcet, binary));
-            }
+        let mut spec =
+            SweepSpec::new().unit(SweepUnit::from_source("wcet-driven", prog.clone(), entry));
+        for (name, passes) in &candidates {
+            spec = spec.config(name, passes);
         }
-        let (_, binary) = best.expect("at least one candidate");
+        let sweep = Pipeline::in_memory()
+            .run_sweep(&spec)
+            .map_err(|e| match e {
+                PipelineError::Compile { error, .. } => WcetDrivenError::Compile(error),
+                PipelineError::Analyze { error, .. } => WcetDrivenError::Analyze(error),
+                PipelineError::Cache(e) => unreachable!("in-memory pipeline does no IO: {e}"),
+            })?;
+
+        // one unit × one machine: cells come back in candidate order
+        let report: Vec<WcetCandidate> = sweep
+            .cells()
+            .iter()
+            .zip(candidates)
+            .map(|(cell, (name, _))| WcetCandidate {
+                name,
+                wcet: cell.wcet(),
+            })
+            .collect();
+        // strictly-less scan: the first minimum wins ties
+        let binary = sweep
+            .cells()
+            .iter()
+            .fold(None::<&crate::pipeline::SweepCell>, |best, c| match best {
+                Some(b) if b.wcet() <= c.wcet() => Some(b),
+                _ => Some(c),
+            })
+            .map(|c| c.outcome.artifact.program.clone())
+            .expect("at least one candidate");
         Ok((binary, report))
     }
 
@@ -226,11 +246,12 @@ pub mod harness {
     }
 
     /// WCET-driven compilation of a whole [`Application`] image on the
-    /// parallel pipeline: the candidate configurations of
-    /// [`wcet_driven_candidates`] compile and analyze concurrently on the
-    /// work-stealing pool, each cached content-addressed, and the binary
-    /// with the smallest WCET bound wins (first wins ties — the same
-    /// selection rule as the serial [`compile_wcet_driven`]).
+    /// parallel pipeline: one sweep of the linked image across the
+    /// candidate configurations of [`wcet_driven_candidates`]. The cells
+    /// compile and analyze concurrently on the work-stealing pool, each
+    /// cached content-addressed, and the binary with the smallest WCET
+    /// bound wins (first wins ties — the same selection rule as the serial
+    /// [`compile_wcet_driven`]).
     ///
     /// [`Application`]: crate::dataflow::Application
     ///
@@ -241,46 +262,44 @@ pub mod harness {
         app: &crate::dataflow::Application,
         options: &crate::pipeline::PipelineOptions,
     ) -> Result<ParallelBuild, ParallelBuildError> {
-        use crate::pipeline::{CompileUnit, Pipeline};
+        use crate::pipeline::{Pipeline, SweepSpec};
 
         let pipeline = Pipeline::new(options).map_err(ParallelBuildError::Pipeline)?;
-        let units = wcet_driven_candidates()
-            .into_iter()
-            .map(|(name, passes)| {
-                CompileUnit::for_application(app, &passes, name).map_err(ParallelBuildError::Link)
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let candidates = wcet_driven_candidates();
+        let mut spec = SweepSpec::new()
+            .application(app)
+            .map_err(ParallelBuildError::Link)?;
+        for (name, passes) in &candidates {
+            spec = spec.config(name, passes);
+        }
         let result = pipeline
-            .compile_units(units)
+            .run_sweep(&spec)
             .map_err(ParallelBuildError::Pipeline)?;
 
-        let names: Vec<&'static str> = wcet_driven_candidates().iter().map(|(n, _)| *n).collect();
-        let candidates: Vec<WcetCandidate> = result
-            .outcomes
+        // one unit × one machine: cells come back in candidate order
+        let evaluated: Vec<WcetCandidate> = result
+            .cells()
             .iter()
-            .zip(names)
-            .map(|(o, name)| WcetCandidate {
+            .zip(candidates)
+            .map(|(cell, (name, _))| WcetCandidate {
                 name,
-                wcet: o.artifact.report.wcet,
+                wcet: cell.wcet(),
             })
             .collect();
         // strictly-less fold: the first minimum wins ties (min_by_key
         // would keep the last)
         let artifact = result
-            .outcomes
+            .cells()
             .iter()
-            .fold(
-                None::<&crate::pipeline::UnitOutcome>,
-                |best, o| match best {
-                    Some(b) if b.artifact.report.wcet <= o.artifact.report.wcet => Some(b),
-                    _ => Some(o),
-                },
-            )
-            .map(|o| std::sync::Arc::clone(&o.artifact))
+            .fold(None::<&crate::pipeline::SweepCell>, |best, c| match best {
+                Some(b) if b.wcet() <= c.wcet() => Some(b),
+                _ => Some(c),
+            })
+            .map(|c| std::sync::Arc::clone(&c.outcome.artifact))
             .expect("at least one candidate");
         Ok(ParallelBuild {
             artifact,
-            candidates,
+            candidates: evaluated,
             stats: result.stats,
         })
     }

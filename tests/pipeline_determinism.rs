@@ -1,19 +1,22 @@
-//! Determinism gate of the parallel compilation service: a fleet compiled
+//! Determinism gate of the parallel compilation service: a sweep compiled
 //! with `--jobs 8` must be bit-identical — binaries, annotation tables and
 //! WCET bounds — to `--jobs 1` and to the pre-pipeline serial path. The
 //! whole §3.5 correctness story rides on this: a cache hit replays the
 //! validator verdict of an earlier run only because the compilation is a
 //! pure function of (source, passes, machine config).
 
-use vericomp::core::{Compiler, OptLevel, PassConfig};
+use vericomp::arch::MachineConfig;
+use vericomp::core::{Compiler, OptLevel};
 use vericomp::dataflow::fleet;
-use vericomp::pipeline::{Pipeline, PipelineOptions};
+use vericomp::pipeline::{Pipeline, PipelineOptions, SweepSpec};
 
 fn pipeline_with_jobs(jobs: usize) -> Pipeline {
-    Pipeline::new(&PipelineOptions {
-        jobs,
-        ..PipelineOptions::default()
-    })
+    Pipeline::new(
+        &PipelineOptions::builder()
+            .jobs(jobs)
+            .build()
+            .expect("valid options"),
+    )
     .expect("in-memory pipeline")
 }
 
@@ -21,16 +24,14 @@ fn pipeline_with_jobs(jobs: usize) -> Pipeline {
 fn fleet_build_is_bit_identical_across_job_counts_and_vs_serial() {
     let nodes = fleet::named_suite();
     assert_eq!(nodes.len(), 26, "the paper-analog suite");
-    let passes = PassConfig::for_level(OptLevel::Verified);
+    let spec = SweepSpec::new().nodes(&nodes).level(OptLevel::Verified);
 
-    let serial_pipe = pipeline_with_jobs(1);
-    let parallel_pipe = pipeline_with_jobs(8);
-    let one = serial_pipe
-        .compile_fleet(&nodes, &passes, "verified")
-        .expect("jobs=1 fleet");
-    let eight = parallel_pipe
-        .compile_fleet(&nodes, &passes, "verified")
-        .expect("jobs=8 fleet");
+    let one = pipeline_with_jobs(1)
+        .run_sweep(&spec)
+        .expect("jobs=1 sweep");
+    let eight = pipeline_with_jobs(8)
+        .run_sweep(&spec)
+        .expect("jobs=8 sweep");
 
     // the aggregate digests cover encoded text, resolved annotation
     // tables and the full WCET reports of every node, in order
@@ -38,13 +39,13 @@ fn fleet_build_is_bit_identical_across_job_counts_and_vs_serial() {
 
     // and against the pre-pipeline serial path, artifact by artifact
     let compiler = Compiler::new(OptLevel::Verified);
-    for (node, o8) in nodes.iter().zip(&eight.outcomes) {
+    for (node, cell) in nodes.iter().zip(eight.cells()) {
         let serial = compiler
             .compile(&node.to_minic(), "step")
             .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
         let report = vericomp::wcet::analyze(&serial, "step")
             .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
-        let artifact = &o8.artifact;
+        let artifact = &cell.outcome.artifact;
         assert_eq!(
             serial.encode_text(),
             artifact.program.encode_text(),
@@ -82,25 +83,82 @@ fn fleet_build_is_bit_identical_across_job_counts_and_vs_serial() {
 }
 
 #[test]
+fn sweep_matrix_is_bit_identical_across_job_counts_and_vs_serial() {
+    // the full three-axis request: nodes × configs × machines, exactly
+    // what `run_sweep` shards onto the pool in one job set
+    let nodes: Vec<_> = fleet::named_suite().into_iter().take(4).collect();
+    let slow_mem = {
+        let mut m = MachineConfig::mpc755();
+        m.mem_latency *= 4;
+        m
+    };
+    let spec = SweepSpec::new()
+        .nodes(&nodes)
+        .levels([OptLevel::PatternO0, OptLevel::Verified, OptLevel::OptFull])
+        .machine("mpc755", &MachineConfig::mpc755())
+        .machine("slow-mem", &slow_mem);
+    assert_eq!(spec.cell_count(), 4 * 3 * 2);
+
+    let one = pipeline_with_jobs(1)
+        .run_sweep(&spec)
+        .expect("jobs=1 sweep");
+    let eight = pipeline_with_jobs(8)
+        .run_sweep(&spec)
+        .expect("jobs=8 sweep");
+    assert_eq!(
+        one.digest(),
+        eight.digest(),
+        "sweep matrix diverges across job counts"
+    );
+
+    // every cell must equal the serial compiler run with that cell's
+    // passes on that cell's machine, bit for bit
+    for (ui, node) in nodes.iter().enumerate() {
+        for (ci, (config, passes)) in spec.configs().iter().enumerate() {
+            for (mi, (machine, mc)) in spec.machines().iter().enumerate() {
+                let cell = &eight[(ui, ci, mi)];
+                assert_eq!(
+                    (&cell.unit, &cell.config, &cell.machine),
+                    (&node.name().to_owned(), config, machine)
+                );
+                let serial = Compiler::with_config(OptLevel::Verified, mc.clone())
+                    .compile_with_passes(&node.to_minic(), "step", passes)
+                    .unwrap_or_else(|e| panic!("{}/{config}/{machine}: {e}", node.name()));
+                let report = vericomp::wcet::analyze(&serial, "step")
+                    .unwrap_or_else(|e| panic!("{}/{config}/{machine}: {e}", node.name()));
+                assert_eq!(
+                    serial.encode_text(),
+                    cell.outcome.artifact.program.encode_text(),
+                    "{}/{config}/{machine}: binary words differ",
+                    node.name()
+                );
+                assert_eq!(
+                    report.wcet,
+                    cell.wcet(),
+                    "{}/{config}/{machine}: WCET bounds differ",
+                    node.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn warm_replay_is_bit_identical_to_the_cold_build() {
     let nodes = fleet::named_suite();
-    let passes = PassConfig::for_level(OptLevel::OptFull);
+    let spec = SweepSpec::new().nodes(&nodes).level(OptLevel::OptFull);
     let pipeline = pipeline_with_jobs(8);
-    let cold = pipeline
-        .compile_fleet(&nodes, &passes, "opt-full")
-        .expect("cold fleet");
-    let warm = pipeline
-        .compile_fleet(&nodes, &passes, "opt-full")
-        .expect("warm fleet");
+    let cold = pipeline.run_sweep(&spec).expect("cold sweep");
+    let warm = pipeline.run_sweep(&spec).expect("warm sweep");
     assert_eq!(cold.stats.jobs_run, 26);
     assert_eq!(warm.stats.jobs_cached, 26);
     assert_eq!(cold.digest(), warm.digest(), "replayed artifacts diverge");
-    for o in &warm.outcomes {
-        assert!(o.cached);
+    for cell in warm.cells() {
+        assert!(cell.outcome.cached);
         // opt-full runs tunneling and scheduling under validators: the
         // replayed verdict must carry exactly that evidence
-        assert!(o.artifact.verdict.allocation_checked);
-        assert!(o.artifact.verdict.tunnel_validated);
-        assert!(o.artifact.verdict.schedule_validated);
+        assert!(cell.outcome.artifact.verdict.allocation_checked);
+        assert!(cell.outcome.artifact.verdict.tunnel_validated);
+        assert!(cell.outcome.artifact.verdict.schedule_validated);
     }
 }

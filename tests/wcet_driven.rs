@@ -2,10 +2,44 @@
 //! the candidate with the smallest analyzed bound, never exceed the plain
 //! verified configuration, and stay semantics-preserving.
 
-use vericomp::core::OptLevel;
+use vericomp::core::{Compiler, OptLevel};
 use vericomp::dataflow::fleet;
-use vericomp::harness::{compile_node, compile_wcet_driven};
+use vericomp::harness::{compile_node, compile_wcet_driven, wcet_driven_candidates};
 use vericomp::mach::Simulator;
+
+#[test]
+fn sweep_driver_matches_the_serial_candidate_loop_bit_exactly() {
+    // the driver is one pipeline sweep since the matrix API; it must
+    // still produce exactly what a plain loop over the candidates does
+    for node in fleet::named_suite().into_iter().take(3) {
+        let src = node.to_minic();
+        let (best, report) =
+            compile_wcet_driven(&src, "step").unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+
+        let compiler = Compiler::new(OptLevel::Verified);
+        let mut serial_best: Option<(u64, Vec<u32>)> = None;
+        for ((name, passes), evaluated) in wcet_driven_candidates().iter().zip(&report) {
+            let bin = compiler
+                .compile_with_passes(&src, "step", passes)
+                .unwrap_or_else(|e| panic!("{}/{name}: {e}", node.name()));
+            let wcet = vericomp::wcet::analyze(&bin, "step")
+                .unwrap_or_else(|e| panic!("{}/{name}: {e}", node.name()))
+                .wcet;
+            assert_eq!(evaluated.name, *name, "{}", node.name());
+            assert_eq!(evaluated.wcet, wcet, "{}/{name}", node.name());
+            if serial_best.as_ref().map(|(w, _)| wcet < *w).unwrap_or(true) {
+                serial_best = Some((wcet, bin.encode_text()));
+            }
+        }
+        let (_, serial_text) = serial_best.expect("five candidates");
+        assert_eq!(
+            best.encode_text(),
+            serial_text,
+            "{}: chosen binary differs from the serial loop's choice",
+            node.name()
+        );
+    }
+}
 
 #[test]
 fn driver_never_worse_than_verified() {
