@@ -55,4 +55,36 @@ if [ "$sweep_digest" != "$serial_digest" ]; then
     exit 1
 fi
 
+echo "==> search smoke: lattice search, jobs 8 == jobs 1, warm rerun >=90% hits"
+SEARCH_CACHE=target/vericomp-ci-search-cache
+rm -rf "$SEARCH_CACHE"
+cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+    --search --nodes 4 --jobs 8 --cache-dir "$SEARCH_CACHE" \
+    | tee target/vericomp-ci-search.txt
+cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+    --search --nodes 4 --jobs 1 | tee target/vericomp-ci-search-serial.txt
+# every `search:` line (winners, bounds, probe/prune counts) and the trace
+# digest must be identical whatever the job count or cache state
+grep '^search' target/vericomp-ci-search.txt > target/vericomp-ci-search-lines.txt
+grep '^search' target/vericomp-ci-search-serial.txt \
+    > target/vericomp-ci-search-serial-lines.txt
+if ! cmp -s target/vericomp-ci-search-lines.txt \
+        target/vericomp-ci-search-serial-lines.txt; then
+    echo "search smoke FAILED: --jobs 8 search differs from --jobs 1" >&2
+    diff target/vericomp-ci-search-lines.txt \
+        target/vericomp-ci-search-serial-lines.txt >&2 || true
+    exit 1
+fi
+search_digest=$(grep '^search digest:' target/vericomp-ci-search.txt)
+cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+    --search --nodes 4 --jobs 8 --cache-dir "$SEARCH_CACHE" --min-hit-rate 0.9 \
+    | tee target/vericomp-ci-search-warm.txt
+warm_search_digest=$(grep '^search digest:' target/vericomp-ci-search-warm.txt)
+if [ "$search_digest" != "$warm_search_digest" ]; then
+    echo "search smoke FAILED: warm re-search not bit-identical to cold" >&2
+    echo "  cold: $search_digest" >&2
+    echo "  warm: $warm_search_digest" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

@@ -1,0 +1,222 @@
+//! E9 — WCET-guided search over the `PassConfig` lattice through
+//! `search_wcet`. Emits `BENCH_search.json`.
+//!
+//! Regimes, all on a 10-node slice of the paper-analog suite:
+//!
+//! * `suite10/fixed_seeds` — the pre-search driver cost: one sweep of the
+//!   six fixed WCET-driven candidate configs, fresh pipeline per
+//!   iteration;
+//! * `suite10/cold_search` — fresh pipeline per iteration, the full
+//!   dominance-pruned frontier search compiles every probe;
+//! * `suite10/warm_research` — persistent pipeline, the identical search
+//!   replays every probe from the content-addressed cache;
+//! * `suite10/warm_1dirty` — the edit-compile loop: nine nodes unchanged,
+//!   one node's filter coefficient differs per iteration, so exactly that
+//!   node's probes miss.
+//!
+//! Acceptance bars asserted below: warm re-search with one dirty node at
+//! least 10x faster than the cold full search, dominance pruning fires on
+//! at least one node, and on every Table-1 node the search winner is at
+//! least as good as the best fixed candidate (the improvement table is
+//! printed).
+
+use std::path::Path;
+
+use vericomp_core::{OptLevel, PassConfig};
+use vericomp_dataflow::{fleet, Node, NodeBuilder};
+use vericomp_pipeline::{Pipeline, SearchSpec, SweepSpec};
+use vericomp_testkit::bench::Bench;
+
+/// The fixed candidate set of the pre-search WCET-driven driver (the
+/// harness's `wcet_driven_candidates`, replicated here because the bench
+/// crate deliberately depends only on the sub-crates).
+fn fixed_candidates() -> [(&'static str, PassConfig); 6] {
+    let verified = PassConfig::for_level(OptLevel::Verified);
+    let full = PassConfig::for_level(OptLevel::OptFull);
+    [
+        ("verified", verified),
+        (
+            "verified+tunnel",
+            PassConfig {
+                tunnel: true,
+                validators: true,
+                ..verified
+            },
+        ),
+        (
+            "verified+sda",
+            PassConfig {
+                sda: true,
+                validators: true,
+                ..verified
+            },
+        ),
+        (
+            "verified+sched",
+            PassConfig {
+                schedule: true,
+                validators: true,
+                ..verified
+            },
+        ),
+        (
+            "verified+strength",
+            PassConfig {
+                strength: true,
+                validators: true,
+                ..verified
+            },
+        ),
+        (
+            "opt-full(validated)",
+            PassConfig {
+                validators: true,
+                ..full
+            },
+        ),
+    ]
+}
+
+fn search_spec(nodes: &[Node]) -> SearchSpec {
+    let mut spec = SearchSpec::new().nodes(nodes);
+    for (name, passes) in fixed_candidates() {
+        spec = spec.seed(name, &passes);
+    }
+    spec
+}
+
+/// A small filter node whose gain constant varies per step — a distinct
+/// source text, hence a distinct cache key, each iteration.
+fn dirty_node(step: u32) -> Node {
+    let mut b = NodeBuilder::new("dirty_filter");
+    let x = b.acquisition(0);
+    let f = b.second_order_filter(x, 0.2, 0.1, -0.3);
+    let g = b.gain(f, 1.0 + f64::from(step) * 1e-6);
+    b.output("dirty_filter_out", g);
+    b.build().expect("well-formed")
+}
+
+fn benches() -> Bench {
+    let nodes: Vec<_> = fleet::named_suite().into_iter().take(10).collect();
+    let spec = search_spec(&nodes);
+    let mut g = Bench::group("search");
+
+    // the pre-search driver: six fixed configs per node, no expansions
+    let fixed_sweep = {
+        let mut s = SweepSpec::new().nodes(&nodes);
+        for (name, passes) in fixed_candidates() {
+            s = s.config(name, &passes);
+        }
+        s
+    };
+    g.bench("suite10/fixed_seeds", || {
+        let r = Pipeline::in_memory()
+            .run_sweep(&fixed_sweep)
+            .expect("fixed sweep");
+        r.stats.jobs_run
+    });
+
+    g.bench("suite10/cold_search", || {
+        let r = Pipeline::in_memory()
+            .search_wcet(&spec)
+            .expect("cold search");
+        r.stats.jobs_run
+    });
+
+    let warm = Pipeline::in_memory();
+    warm.search_wcet(&spec).expect("prewarm");
+    g.bench("suite10/warm_research", || {
+        let r = warm.search_wcet(&spec).expect("warm re-search");
+        assert_eq!(r.stats.jobs_run, 0, "warm re-search recompiled a probe");
+        r.stats.jobs_cached
+    });
+
+    let mut step = 0u32;
+    g.bench("suite10/warm_1dirty", || {
+        step += 1;
+        let mut dirty = nodes[..9].to_vec();
+        dirty.push(dirty_node(step));
+        let r = warm
+            .search_wcet(&search_spec(&dirty))
+            .expect("1-dirty search");
+        // the nine clean nodes replay; only the dirty node compiles
+        assert!(r.stats.jobs_run > 0, "the dirty node missed no probe");
+        r.stats.jobs_run
+    });
+    g
+}
+
+fn mean_of(g: &Bench, name: &str) -> f64 {
+    g.results()
+        .iter()
+        .find(|r| r.name == name)
+        .expect("bench ran")
+        .mean_ns
+}
+
+fn main() {
+    let g = benches();
+    println!("{}", g.render());
+    let path = g.write_json(Path::new(".")).expect("writes summary");
+    println!("wrote {}", path.display());
+
+    // per-node improvement over the best fixed candidate, Table-1 suite
+    let nodes = fleet::named_suite();
+    let pipeline = Pipeline::in_memory();
+    let fixed = {
+        let mut s = SweepSpec::new().nodes(&nodes);
+        for (name, passes) in fixed_candidates() {
+            s = s.config(name, &passes);
+        }
+        pipeline.run_sweep(&s).expect("fixed sweep")
+    };
+    let searched = pipeline
+        .search_wcet(&search_spec(&nodes))
+        .expect("suite search");
+    println!(
+        "\n{:<24} {:>10} {:>10} {:>7}  winner",
+        "node", "fixed best", "searched", "gain"
+    );
+    for (i, (node, search)) in nodes.iter().zip(&searched.nodes).enumerate() {
+        let fixed_best = (0..fixed_candidates().len())
+            .map(|c| fixed[(i, c, 0)].wcet())
+            .min()
+            .expect("six candidates");
+        assert!(
+            search.winner.wcet <= fixed_best,
+            "{}: search winner {} worse than fixed best {fixed_best}",
+            node.name(),
+            search.winner.wcet
+        );
+        println!(
+            "{:<24} {:>10} {:>10} {:>6.1}%  {}",
+            node.name(),
+            fixed_best,
+            search.winner.wcet,
+            100.0 * (1.0 - search.winner.wcet as f64 / fixed_best as f64),
+            search.winner.label,
+        );
+    }
+    println!(
+        "suite search: {} probes, {} flags dominance-pruned, {} generations max",
+        searched.total_probes(),
+        searched.total_pruned(),
+        searched
+            .nodes
+            .iter()
+            .map(|n| n.generations)
+            .max()
+            .unwrap_or(0),
+    );
+    assert!(
+        searched.total_pruned() > 0,
+        "dominance pruning never fired on the suite"
+    );
+
+    let speedup = mean_of(&g, "suite10/cold_search") / mean_of(&g, "suite10/warm_1dirty");
+    println!("1-dirty re-search speedup vs cold search: {speedup:.1}x (bar: 10x)");
+    assert!(
+        speedup >= 10.0,
+        "1-dirty re-search speedup regressed below 10x: {speedup:.2}x"
+    );
+}

@@ -18,7 +18,7 @@ use std::process::ExitCode;
 use vericomp_arch::MachineConfig;
 use vericomp_core::OptLevel;
 use vericomp_dataflow::fleet;
-use vericomp_pipeline::{Pipeline, PipelineOptions, SweepSpec};
+use vericomp_pipeline::{Pipeline, PipelineOptions, SearchSpec, SweepSpec};
 
 struct Args {
     jobs: usize,
@@ -27,10 +27,11 @@ struct Args {
     machines: Vec<String>,
     nodes: Option<usize>,
     min_hit_rate: Option<f64>,
+    search: bool,
 }
 
 const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--configs LIST]
-                     [--machines LIST] [--nodes N] [--min-hit-rate F]
+                     [--machines LIST] [--nodes N] [--min-hit-rate F] [--search]
   --jobs N          worker threads (default: available parallelism)
   --cache-dir DIR   persistent artifact cache (default: in-memory only)
   --configs LIST    comma-separated config axis out of
@@ -40,6 +41,9 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
                     (default mpc755)
   --nodes N         sweep only the first N suite nodes (default: all 26)
   --min-hit-rate F  fail unless the cache hit rate is at least F (0..1)
+  --search          per-node WCET search over the PassConfig lattice instead
+                    of a fixed-config sweep (single machine; --configs is
+                    rejected — the search seeds its own frontier)
 
 environment overrides (used when the corresponding flag is absent):
   VERICOMP_JOBS       default for --jobs
@@ -65,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
         machines: Vec::new(),
         nodes: None,
         min_hit_rate: None,
+        search: false,
     };
     let mut jobs_set = false;
     let mut it = std::env::args().skip(1);
@@ -107,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--min-hit-rate needs a number in 0..1".to_string())?,
                 );
             }
+            "--search" => args.search = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -126,11 +132,17 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
+    if args.search && !args.configs.is_empty() {
+        return Err("--search seeds its own config frontier; drop --configs/--level".to_string());
+    }
     if args.configs.is_empty() {
         args.configs.push(OptLevel::Verified);
     }
     if args.machines.is_empty() {
         args.machines.push("mpc755".to_owned());
+    }
+    if args.search && args.machines.len() > 1 {
+        return Err("--search probes one machine; pass a single --machines entry".to_string());
     }
     Ok(args)
 }
@@ -166,6 +178,9 @@ fn main() -> ExitCode {
     let mut nodes = fleet::named_suite();
     if let Some(n) = args.nodes {
         nodes.truncate(n);
+    }
+    if args.search {
+        return run_search(&pipeline, &nodes, &args);
     }
     let mut spec = SweepSpec::new().nodes(&nodes);
     for level in &args.configs {
@@ -214,6 +229,64 @@ fn main() -> ExitCode {
     println!("{result}");
     println!("{}", result.stats.render());
     println!("fleet digest: {}", result.digest());
+
+    if let Some(min) = args.min_hit_rate {
+        if result.stats.hit_rate() < min {
+            eprintln!(
+                "compile_fleet: hit rate {:.3} below required {min:.3}",
+                result.stats.hit_rate()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--search`: per-node WCET minimization over the `PassConfig` lattice.
+/// Every `search:`-prefixed line is a pure function of the node set and
+/// machine — the CI smoke greps them (and the digest) and compares across
+/// job counts and cache states; hit rates and timings stay off those lines.
+fn run_search(pipeline: &Pipeline, nodes: &[vericomp_dataflow::Node], args: &Args) -> ExitCode {
+    let machine_name = &args.machines[0];
+    let machine = parse_machine(machine_name).expect("validated at parse time");
+    let spec = SearchSpec::new()
+        .nodes(nodes)
+        .machine(machine_name, &machine);
+    println!(
+        "compile_fleet: lattice search over {} nodes on {machine_name}, {} workers, cache {}",
+        nodes.len(),
+        pipeline.jobs(),
+        args.cache_dir.as_deref().unwrap_or("(memory)"),
+    );
+
+    let result = match pipeline.search_wcet(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("compile_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for node in &result.nodes {
+        println!(
+            "search: {:<24} winner {:<28} wcet {:>7}  probes {:>3}  pruned {}  gens {}",
+            node.unit,
+            node.winner.label,
+            node.winner.wcet,
+            node.probes(),
+            node.pruned.len(),
+            node.generations,
+        );
+        for d in &node.pruned {
+            println!(
+                "search: {:<24}   pruned `{}` after generation {} ({} contexts, never improved)",
+                node.unit, d.flag, d.generation, d.trials,
+            );
+        }
+    }
+    println!("{result}");
+    println!("{}", result.stats.render());
+    println!("search digest: {}", result.digest());
 
     if let Some(min) = args.min_hit_rate {
         if result.stats.hit_rate() < min {

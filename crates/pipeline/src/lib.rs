@@ -19,7 +19,12 @@
 //! * [`sweep`] — the first-class compile request: a [`SweepSpec`] matrix
 //!   of (units × configs × machines) that [`Pipeline::run_sweep`] shards
 //!   across the pool with full cross-cell cache reuse, returning a
-//!   [`SweepResult`] with indexed lookup and per-axis aggregation.
+//!   [`SweepResult`] with indexed lookup and per-axis aggregation;
+//! * [`search`] — the closed-loop optimizer on top of the sweeps:
+//!   [`Pipeline::search_wcet`] runs a deterministic, dominance-pruned
+//!   frontier search over the `PassConfig` lattice per node, probing each
+//!   generation as one batched sweep so re-search after an edit replays
+//!   from cache, with `validators: true` pinned on every probe.
 //!
 //! ## Correctness story
 //!
@@ -56,6 +61,7 @@
 
 pub mod hash;
 pub mod pool;
+pub mod search;
 pub mod service;
 pub mod stats;
 pub mod store;
@@ -63,6 +69,10 @@ pub mod sweep;
 
 pub use hash::{Digest, Hasher};
 pub use pool::{JobGraph, JobId, ThreadPool};
+pub use search::{
+    bits_config, config_bits, describe_bits, NodeSearch, ProbedConfig, PrunedFlag, SearchResult,
+    SearchSpec, LATTICE_FLAGS, LATTICE_SIZE,
+};
 pub use service::{
     CompileUnit, CompileUnitBuilder, FleetResult, OptionsError, Pipeline, PipelineError,
     PipelineOptions, PipelineOptionsBuilder, UnitOutcome, MAX_JOBS,

@@ -74,6 +74,20 @@ impl PipelineStats {
             ms(self.wall_ns),
         )
     }
+
+    /// One-line summary for drivers that print many runs (e.g. the fleet
+    /// binary's `--search` mode prints one line per search). Deliberately
+    /// omits wall times so the line is stable across reruns of identical
+    /// work — only the counters, which are deterministic.
+    #[must_use]
+    pub fn render_compact(&self) -> String {
+        format!(
+            "pipeline: {} run / {} cached ({:.1}% hit rate)",
+            self.jobs_run,
+            self.jobs_cached,
+            self.hit_rate() * 100.0,
+        )
+    }
 }
 
 /// Thread-safe stats collector. All counters are relaxed — they are
@@ -155,6 +169,8 @@ mod tests {
         assert!(text.contains("3 run"));
         assert!(text.contains("1 cached"));
         assert!(text.contains("25.0% hit rate"));
+        let compact = stats.render_compact();
+        assert_eq!(compact, "pipeline: 3 run / 1 cached (25.0% hit rate)");
     }
 
     #[test]

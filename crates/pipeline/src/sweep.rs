@@ -678,6 +678,88 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_config_labels_resolve_to_their_first_occurrence() {
+        // axes are expected label-unique, but a duplicated label must not
+        // corrupt the matrix: both columns compile, and labeled lookup
+        // resolves to the first occurrence in spec order
+        let nodes = suite_prefix(2);
+        let spec = SweepSpec::new()
+            .nodes(&nodes)
+            .config("hot", &PassConfig::for_level(OptLevel::PatternO0))
+            .config("hot", &PassConfig::for_level(OptLevel::OptFull));
+        let sweep = Pipeline::in_memory().run_sweep(&spec).expect("sweep");
+        assert_eq!(sweep.cell_count(), 4);
+        assert_eq!(sweep.config_labels(), ["hot".to_owned(), "hot".to_owned()]);
+
+        for (ui, node) in nodes.iter().enumerate() {
+            let first = &sweep[(ui, 0, 0)];
+            let second = &sweep[(ui, 1, 0)];
+            // both columns genuinely ran their own config
+            assert_ne!(
+                first.outcome.artifact.output_digest(),
+                second.outcome.artifact.output_digest(),
+                "{}: duplicate label collapsed two distinct configs",
+                node.name()
+            );
+            let by_label = sweep.get(node.name(), "hot", "default").expect("cell");
+            assert_eq!(
+                by_label.outcome.artifact.output_digest(),
+                first.outcome.artifact.output_digest(),
+                "{}: labeled lookup must resolve to the first occurrence",
+                node.name()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_config_spec_compiles_the_verified_preset() {
+        // an empty config axis is not an error: it defaults to exactly the
+        // verified preset, bit-for-bit
+        let nodes = suite_prefix(2);
+        let pipeline = Pipeline::in_memory();
+        let defaulted = pipeline
+            .run_sweep(&SweepSpec::new().nodes(&nodes))
+            .expect("defaulted sweep");
+        let explicit = pipeline
+            .run_sweep(&SweepSpec::new().nodes(&nodes).level(OptLevel::Verified))
+            .expect("explicit sweep");
+        assert_eq!(defaulted.config_labels(), explicit.config_labels());
+        assert_eq!(defaulted.digest(), explicit.digest());
+        // same key space too: the second sweep replayed every cell
+        assert_eq!(explicit.stats.jobs_cached, 2);
+    }
+
+    #[test]
+    fn absent_triples_return_none_and_indexing_them_panics() {
+        let nodes = suite_prefix(1);
+        let spec = SweepSpec::new()
+            .nodes(&nodes)
+            .level(OptLevel::Verified)
+            .machine("mpc755", &MachineConfig::mpc755());
+        let sweep = Pipeline::in_memory().run_sweep(&spec).expect("sweep");
+
+        // get(): a miss on any single axis is None, not a panic
+        assert!(sweep.get("no_such_node", "verified", "mpc755").is_none());
+        assert!(sweep.get(nodes[0].name(), "opt-full", "mpc755").is_none());
+        assert!(sweep
+            .get(nodes[0].name(), "verified", "tiny-caches")
+            .is_none());
+        assert!(sweep.cell_at(0, 0, 1).is_none());
+
+        // indexing the same absent triples panics with the lookup contract
+        let by_label = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sweep[(nodes[0].name(), "opt-full", "mpc755")].wcet()
+        }));
+        assert!(
+            by_label.is_err(),
+            "labeled index of absent triple must panic"
+        );
+        let by_pos =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sweep[(0, 0, 1)].wcet()));
+        assert!(by_pos.is_err(), "positional index out of range must panic");
+    }
+
+    #[test]
     fn empty_axes_default_and_empty_units_yield_empty_result() {
         let nodes = suite_prefix(1);
         let sweep = Pipeline::in_memory()

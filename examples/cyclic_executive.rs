@@ -32,9 +32,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..PipelineOptions::default()
     };
     let build = compile_application_parallel(&app, &options)?;
-    println!("\nWCET-driven candidate selection:");
+    println!("\nWCET-driven lattice search (seed frontier first):");
     for c in &build.candidates {
-        println!("  {:<22} WCET {:>7}", c.name, c.wcet);
+        let marker = if c.wcet == build.search.winner.wcet {
+            "  <- winner"
+        } else {
+            ""
+        };
+        println!("  {:<28} WCET {:>7}{marker}", c.name, c.wcet);
+    }
+    println!(
+        "search: {} probes over {} generations, {} flags dominance-pruned, {:.1}% cache hits",
+        build.search.probes(),
+        build.search.generations,
+        build.search.pruned.len(),
+        build.search.hit_rate() * 100.0,
+    );
+    for d in &build.search.pruned {
+        println!(
+            "search: pruned `{}` after generation {} ({} contexts, never reduced the bound)",
+            d.flag, d.generation, d.trials
+        );
     }
     println!("{}", build.stats.render());
 

@@ -88,6 +88,11 @@ pub mod harness {
         Compile(CompileError),
         /// A candidate failed to analyze.
         Analyze(AnalysisError),
+        /// The pipeline failed outside compile/analyze (e.g. an artifact
+        /// cache layer) — rendered, so the error stays cloneable. An
+        /// in-memory pipeline should degrade, not panic, if a cache layer
+        /// is ever added to it.
+        Pipeline(String),
     }
 
     impl fmt::Display for WcetDrivenError {
@@ -95,19 +100,67 @@ pub mod harness {
             match self {
                 WcetDrivenError::Compile(e) => write!(f, "compile: {e}"),
                 WcetDrivenError::Analyze(e) => write!(f, "analyze: {e}"),
+                WcetDrivenError::Pipeline(msg) => write!(f, "pipeline: {msg}"),
             }
         }
     }
 
     impl std::error::Error for WcetDrivenError {}
 
-    /// One evaluated candidate of the WCET-driven compilation.
+    /// One evaluated candidate of the WCET-driven compilation: a seed of
+    /// [`wcet_driven_candidates`] or an expanded lattice point of the
+    /// [`search`](crate::pipeline::search).
     #[derive(Debug, Clone)]
     pub struct WcetCandidate {
-        /// Candidate name.
-        pub name: &'static str,
+        /// Candidate name (seed label or canonical lattice label).
+        pub name: String,
         /// Its WCET bound.
         pub wcet: u64,
+    }
+
+    /// Runs the WCET-guided lattice search of one unit, seeded with
+    /// [`wcet_driven_candidates`], and returns the full [`SearchResult`].
+    ///
+    /// [`SearchResult`]: crate::pipeline::SearchResult
+    fn search_unit(
+        pipeline: &crate::pipeline::Pipeline,
+        unit: crate::pipeline::SweepUnit,
+    ) -> Result<crate::pipeline::SearchResult, crate::pipeline::PipelineError> {
+        let mut spec = crate::pipeline::SearchSpec::new().unit(unit);
+        for (name, passes) in wcet_driven_candidates() {
+            spec = spec.seed(name, &passes);
+        }
+        pipeline.search_wcet(&spec)
+    }
+
+    /// The candidate report of one completed node search: the
+    /// [`wcet_driven_candidates`] seeds first (in seed order, duplicates
+    /// of the same lattice point reported under each seed name), then
+    /// every further lattice point the search probed, in probe order.
+    fn candidate_report(search: &crate::pipeline::NodeSearch) -> Vec<WcetCandidate> {
+        let seeds = wcet_driven_candidates();
+        let seed_bits: Vec<u16> = seeds
+            .iter()
+            .map(|(_, passes)| crate::pipeline::config_bits(passes))
+            .collect();
+        let mut report: Vec<WcetCandidate> = seeds
+            .iter()
+            .map(|(name, passes)| WcetCandidate {
+                name: (*name).to_owned(),
+                wcet: search.wcet_of(passes).expect("every seed is probed"),
+            })
+            .collect();
+        report.extend(
+            search
+                .probed
+                .iter()
+                .filter(|p| !seed_bits.contains(&p.bits))
+                .map(|p| WcetCandidate {
+                    name: p.label.clone(),
+                    wcet: p.wcet,
+                }),
+        );
+        report
     }
 
     /// **WCET-driven compilation** — the direction the paper's §4 sketches,
@@ -115,70 +168,63 @@ pub mod harness {
     /// using a WCET analysis tool and only applied when shown to be
     /// beneficial".
     ///
-    /// The driver runs one pipeline sweep of the program across the
-    /// candidate pass configurations (the verified baseline plus each
-    /// full-optimizer extra in isolation and in combination), bounds each
-    /// candidate's WCET with the static analyzer, and returns the binary
-    /// with the smallest bound together with the evaluated candidates (the
-    /// first minimum wins ties). Every candidate keeps the translation
-    /// validators enabled, so the selection never trades correctness for
-    /// time.
+    /// The driver runs the pipeline's [`search_wcet`] over the `PassConfig`
+    /// lattice, seeded with the fixed [`wcet_driven_candidates`] frontier
+    /// (the verified baseline plus each full-optimizer extra in isolation
+    /// and in combination), and returns the binary with the smallest
+    /// analyzed bound together with every evaluated lattice point — the
+    /// seeds first, then the search's expansions in probe order. Seeds
+    /// probe before expansions and the first minimum wins ties, so
+    /// whenever no expanded config strictly beats the seeds the selection
+    /// is exactly the old fixed-candidate driver's. Every probe keeps the
+    /// translation validators enabled, so the selection never trades
+    /// correctness for time.
+    ///
+    /// [`search_wcet`]: crate::pipeline::Pipeline::search_wcet
     ///
     /// # Errors
     ///
-    /// [`WcetDrivenError`] if any candidate fails to compile or analyze.
+    /// [`WcetDrivenError`] if any probe fails to compile or analyze (or,
+    /// through [`WcetDrivenError::Pipeline`], if a pipeline cache layer
+    /// fails).
     pub fn compile_wcet_driven(
         prog: &crate::minic::ast::Program,
         entry: &str,
     ) -> Result<(Program, Vec<WcetCandidate>), WcetDrivenError> {
-        use crate::pipeline::{Pipeline, PipelineError, SweepSpec, SweepUnit};
+        use crate::pipeline::{Pipeline, PipelineError, SweepUnit};
 
-        let candidates = wcet_driven_candidates();
-        let mut spec =
-            SweepSpec::new().unit(SweepUnit::from_source("wcet-driven", prog.clone(), entry));
-        for (name, passes) in &candidates {
-            spec = spec.config(name, passes);
-        }
-        let sweep = Pipeline::in_memory()
-            .run_sweep(&spec)
-            .map_err(|e| match e {
-                PipelineError::Compile { error, .. } => WcetDrivenError::Compile(error),
-                PipelineError::Analyze { error, .. } => WcetDrivenError::Analyze(error),
-                PipelineError::Cache(e) => unreachable!("in-memory pipeline does no IO: {e}"),
-            })?;
-
-        // one unit × one machine: cells come back in candidate order
-        let report: Vec<WcetCandidate> = sweep
-            .cells()
-            .iter()
-            .zip(candidates)
-            .map(|(cell, (name, _))| WcetCandidate {
-                name,
-                wcet: cell.wcet(),
-            })
-            .collect();
-        // strictly-less scan: the first minimum wins ties
-        let binary = sweep
-            .cells()
-            .iter()
-            .fold(None::<&crate::pipeline::SweepCell>, |best, c| match best {
-                Some(b) if b.wcet() <= c.wcet() => Some(b),
-                _ => Some(c),
-            })
-            .map(|c| c.outcome.artifact.program.clone())
-            .expect("at least one candidate");
-        Ok((binary, report))
+        let unit = SweepUnit::from_source("wcet-driven", prog.clone(), entry);
+        let result = search_unit(&Pipeline::in_memory(), unit).map_err(|e| match e {
+            PipelineError::Compile { error, .. } => WcetDrivenError::Compile(error),
+            PipelineError::Analyze { error, .. } => WcetDrivenError::Analyze(error),
+            e @ PipelineError::Cache(_) => WcetDrivenError::Pipeline(e.to_string()),
+        })?;
+        let node = result.nodes.into_iter().next().expect("one unit searched");
+        let report = candidate_report(&node);
+        Ok((node.artifact.program.clone(), report))
     }
 
-    /// The candidate pass selections the WCET-driven drivers evaluate: the
-    /// verified baseline, each full-optimizer extra in isolation, and the
-    /// validated full optimizer.
+    /// The candidate pass selections the WCET-driven drivers evaluate —
+    /// and, since the lattice search, the drivers' **seed frontier**: the
+    /// verified baseline, each full-optimizer extra probed in isolation
+    /// (`tunnel` included — the verified preset already enables it, so its
+    /// single-extra candidate shares the baseline's lattice point and is
+    /// reported at the baseline's bound), and the validated full
+    /// optimizer.
     #[must_use]
-    pub fn wcet_driven_candidates() -> [(&'static str, PassConfig); 5] {
+    pub fn wcet_driven_candidates() -> [(&'static str, PassConfig); 6] {
         let verified = PassConfig::for_level(OptLevel::Verified);
         let full = PassConfig::for_level(OptLevel::OptFull);
         [
             ("verified", verified),
+            (
+                "verified+tunnel",
+                PassConfig {
+                    tunnel: true,
+                    validators: true,
+                    ..verified
+                },
+            ),
             (
                 "verified+sda",
                 PassConfig {
@@ -239,68 +285,48 @@ pub mod harness {
         /// The winning artifact: binary, replayable validator verdict and
         /// WCET report of the whole image.
         pub artifact: std::sync::Arc<crate::pipeline::Artifact>,
-        /// Every evaluated candidate with its WCET bound.
+        /// Every evaluated lattice point with its WCET bound: the
+        /// [`wcet_driven_candidates`] seeds first, then the search's
+        /// expansions in probe order.
         pub candidates: Vec<WcetCandidate>,
         /// Pipeline run metrics (jobs run/cached, stage times, hit rate).
         pub stats: crate::pipeline::PipelineStats,
+        /// The full search trace of the image: winner, probed lattice
+        /// points, dominance-pruning decisions, generations.
+        pub search: crate::pipeline::NodeSearch,
     }
 
     /// WCET-driven compilation of a whole [`Application`] image on the
-    /// parallel pipeline: one sweep of the linked image across the
-    /// candidate configurations of [`wcet_driven_candidates`]. The cells
-    /// compile and analyze concurrently on the work-stealing pool, each
-    /// cached content-addressed, and the binary with the smallest WCET
-    /// bound wins (first wins ties — the same selection rule as the serial
+    /// parallel pipeline: the [`search_wcet`] lattice search of the linked
+    /// image, seeded with [`wcet_driven_candidates`]. Each frontier
+    /// generation's probes compile and analyze concurrently on the
+    /// work-stealing pool, each cached content-addressed, and the binary
+    /// with the smallest WCET bound wins (seeds probe first and the first
+    /// minimum wins ties — the same selection rule as the serial
     /// [`compile_wcet_driven`]).
     ///
     /// [`Application`]: crate::dataflow::Application
+    /// [`search_wcet`]: crate::pipeline::Pipeline::search_wcet
     ///
     /// # Errors
     ///
-    /// [`ParallelBuildError`] on link, compile or analysis failure.
+    /// [`ParallelBuildError`] on link, compile, analysis or cache failure.
     pub fn compile_application_parallel(
         app: &crate::dataflow::Application,
         options: &crate::pipeline::PipelineOptions,
     ) -> Result<ParallelBuild, ParallelBuildError> {
-        use crate::pipeline::{Pipeline, SweepSpec};
+        use crate::pipeline::{Pipeline, SweepUnit};
 
         let pipeline = Pipeline::new(options).map_err(ParallelBuildError::Pipeline)?;
-        let candidates = wcet_driven_candidates();
-        let mut spec = SweepSpec::new()
-            .application(app)
-            .map_err(ParallelBuildError::Link)?;
-        for (name, passes) in &candidates {
-            spec = spec.config(name, passes);
-        }
-        let result = pipeline
-            .run_sweep(&spec)
-            .map_err(ParallelBuildError::Pipeline)?;
-
-        // one unit × one machine: cells come back in candidate order
-        let evaluated: Vec<WcetCandidate> = result
-            .cells()
-            .iter()
-            .zip(candidates)
-            .map(|(cell, (name, _))| WcetCandidate {
-                name,
-                wcet: cell.wcet(),
-            })
-            .collect();
-        // strictly-less fold: the first minimum wins ties (min_by_key
-        // would keep the last)
-        let artifact = result
-            .cells()
-            .iter()
-            .fold(None::<&crate::pipeline::SweepCell>, |best, c| match best {
-                Some(b) if b.wcet() <= c.wcet() => Some(b),
-                _ => Some(c),
-            })
-            .map(|c| std::sync::Arc::clone(&c.outcome.artifact))
-            .expect("at least one candidate");
+        let unit = SweepUnit::from_application(app).map_err(ParallelBuildError::Link)?;
+        let result = search_unit(&pipeline, unit).map_err(ParallelBuildError::Pipeline)?;
+        let stats = result.stats;
+        let node = result.nodes.into_iter().next().expect("one unit searched");
         Ok(ParallelBuild {
-            artifact,
-            candidates: evaluated,
-            stats: result.stats,
+            artifact: std::sync::Arc::clone(&node.artifact),
+            candidates: candidate_report(&node),
+            stats,
+            search: node,
         })
     }
 

@@ -8,7 +8,7 @@
 use vericomp::arch::MachineConfig;
 use vericomp::core::{Compiler, OptLevel};
 use vericomp::dataflow::fleet;
-use vericomp::pipeline::{Pipeline, PipelineOptions, SweepSpec};
+use vericomp::pipeline::{Pipeline, PipelineOptions, SearchSpec, SweepSpec};
 
 fn pipeline_with_jobs(jobs: usize) -> Pipeline {
     Pipeline::new(
@@ -140,6 +140,56 @@ fn sweep_matrix_is_bit_identical_across_job_counts_and_vs_serial() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn lattice_search_is_bit_identical_across_job_counts_and_vs_serial() {
+    // the search layers generations of sweeps on the pool; its whole
+    // probe trace — labels, lattice points, bounds, pruning decisions —
+    // must be a pure function of the spec, whatever the job count
+    let nodes: Vec<_> = fleet::named_suite().into_iter().take(4).collect();
+    let spec = SearchSpec::new().nodes(&nodes);
+
+    let one = pipeline_with_jobs(1).search_wcet(&spec).expect("jobs=1");
+    let eight = pipeline_with_jobs(8).search_wcet(&spec).expect("jobs=8");
+    assert_eq!(
+        one.digest(),
+        eight.digest(),
+        "search trace diverges across job counts"
+    );
+
+    // serial reference: every probe's bound recomputed with the plain
+    // compiler outside the pipeline, and the winner re-derived as the
+    // first strict minimum in probe order
+    let compiler = Compiler::new(OptLevel::Verified);
+    for (node, search) in nodes.iter().zip(&eight.nodes) {
+        let src = node.to_minic();
+        let mut first_min: Option<(u64, &str)> = None;
+        for probe in &search.probed {
+            let serial = compiler
+                .compile_with_passes(&src, "step", &probe.passes)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", node.name(), probe.label));
+            let report = vericomp::wcet::analyze(&serial, "step")
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", node.name(), probe.label));
+            assert_eq!(
+                report.wcet,
+                probe.wcet,
+                "{}/{}: probe bound differs from the serial compiler",
+                node.name(),
+                probe.label
+            );
+            if first_min.map(|(w, _)| probe.wcet < w).unwrap_or(true) {
+                first_min = Some((probe.wcet, &probe.label));
+            }
+        }
+        let (min_wcet, min_label) = first_min.expect("probes");
+        assert_eq!(
+            (search.winner.wcet, search.winner.label.as_str()),
+            (min_wcet, min_label),
+            "{}: winner is not the first minimum in probe order",
+            node.name()
+        );
     }
 }
 

@@ -1,0 +1,74 @@
+//! Acceptance gate of the lattice search (paper §4, Table 1): on every
+//! node of the paper-analog suite the search winner must be at least as
+//! good as the best of the fixed WCET-driven candidates, every probe must
+//! keep the translation validators pinned on, and dominance pruning must
+//! actually fire somewhere — otherwise the "search" is just the old fixed
+//! loop with extra bookkeeping.
+
+use vericomp::core::{Compiler, OptLevel};
+use vericomp::dataflow::fleet;
+use vericomp::harness::wcet_driven_candidates;
+use vericomp::pipeline::{Pipeline, SearchSpec};
+
+#[test]
+fn winner_beats_every_fixed_candidate_on_every_suite_node() {
+    let nodes = fleet::named_suite();
+    assert_eq!(nodes.len(), 26, "the paper-analog suite");
+    let mut spec = SearchSpec::new().nodes(&nodes);
+    for (name, passes) in wcet_driven_candidates() {
+        spec = spec.seed(name, &passes);
+    }
+    let result = Pipeline::in_memory().search_wcet(&spec).expect("search");
+    assert_eq!(result.nodes.len(), nodes.len());
+
+    let compiler = Compiler::new(OptLevel::Verified);
+    for (node, search) in nodes.iter().zip(&result.nodes) {
+        assert_eq!(search.unit, node.name());
+        // safety invariant: the search may trade any optimization flag,
+        // never the validators
+        for probe in &search.probed {
+            assert!(
+                probe.passes.validators,
+                "{}/{}: probe dropped the validators",
+                node.name(),
+                probe.label
+            );
+        }
+        assert!(search.winner.passes.validators);
+
+        // the winner is at least as good as every fixed candidate,
+        // recomputed serially and independently of the pipeline
+        for (name, passes) in wcet_driven_candidates() {
+            let bin = compiler
+                .compile_with_passes(&node.to_minic(), "step", &passes)
+                .unwrap_or_else(|e| panic!("{}/{name}: {e}", node.name()));
+            let wcet = vericomp::wcet::analyze(&bin, "step")
+                .unwrap_or_else(|e| panic!("{}/{name}: {e}", node.name()))
+                .wcet;
+            assert!(
+                search.winner.wcet <= wcet,
+                "{}: winner {} ({}) worse than fixed candidate {name} ({wcet})",
+                node.name(),
+                search.winner.wcet,
+                search.winner.label,
+            );
+        }
+    }
+
+    // dominance pruning must have cut at least one flag somewhere, and
+    // every decision must be auditable
+    assert!(
+        result.total_pruned() > 0,
+        "no flag was dominance-pruned on any node"
+    );
+    for search in &result.nodes {
+        for d in &search.pruned {
+            assert!(
+                d.trials >= 2,
+                "{}: pruned `{}` on one trial",
+                search.unit,
+                d.flag
+            );
+        }
+    }
+}

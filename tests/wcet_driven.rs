@@ -1,16 +1,64 @@
-//! WCET-driven compilation (paper §4 / WCC-style): the driver must return
-//! the candidate with the smallest analyzed bound, never exceed the plain
-//! verified configuration, and stay semantics-preserving.
+//! WCET-driven compilation (paper §4 / WCC-style): the driver is now the
+//! pipeline's lattice search seeded with the fixed candidates. It must
+//! report every seed at the bound a serial candidate loop computes, never
+//! return a binary worse than any seed, resolve ties exactly like the old
+//! fixed-candidate driver (seeds probe first, first minimum wins), and
+//! stay semantics-preserving.
 
-use vericomp::core::{Compiler, OptLevel};
+use vericomp::core::{Compiler, OptLevel, PassConfig};
 use vericomp::dataflow::fleet;
 use vericomp::harness::{compile_node, compile_wcet_driven, wcet_driven_candidates};
 use vericomp::mach::Simulator;
 
 #[test]
-fn sweep_driver_matches_the_serial_candidate_loop_bit_exactly() {
-    // the driver is one pipeline sweep since the matrix API; it must
-    // still produce exactly what a plain loop over the candidates does
+fn seed_frontier_covers_every_full_optimizer_extra_in_isolation() {
+    let candidates = wcet_driven_candidates();
+    assert_eq!(candidates.len(), 6);
+    let verified = PassConfig::for_level(OptLevel::Verified);
+    let full = PassConfig::for_level(OptLevel::OptFull);
+    // each extra of the full optimizer appears as a single-extra seed
+    for (extra, on) in [
+        ("verified+tunnel", full.tunnel),
+        ("verified+sda", full.sda),
+        ("verified+sched", full.schedule),
+        ("verified+strength", full.strength),
+    ] {
+        assert!(on, "{extra}: not a full-optimizer extra any more?");
+        let (_, passes) = candidates
+            .iter()
+            .find(|(name, _)| *name == extra)
+            .unwrap_or_else(|| panic!("candidate {extra} missing"));
+        assert!(passes.validators, "{extra}: validators must stay pinned");
+        // exactly the verified baseline plus (at most) that one extra
+        let expected = match extra {
+            "verified+tunnel" => PassConfig {
+                tunnel: true,
+                ..verified
+            },
+            "verified+sda" => PassConfig {
+                sda: true,
+                ..verified
+            },
+            "verified+sched" => PassConfig {
+                schedule: true,
+                ..verified
+            },
+            _ => PassConfig {
+                strength: true,
+                ..verified
+            },
+        };
+        assert_eq!(*passes, expected, "{extra}: unexpected pass selection");
+    }
+}
+
+#[test]
+fn search_driver_pins_the_serial_candidate_loop_tie_break() {
+    // the driver is a lattice search seeded with the fixed candidates; it
+    // must (a) report every seed at exactly the bound a plain serial loop
+    // computes, (b) never choose worse than the loop's best, and (c) when
+    // no expanded config strictly improves, return bit-for-bit the loop's
+    // choice (seeds probe first, first minimum wins ties)
     for node in fleet::named_suite().into_iter().take(3) {
         let src = node.to_minic();
         let (best, report) =
@@ -31,13 +79,23 @@ fn sweep_driver_matches_the_serial_candidate_loop_bit_exactly() {
                 serial_best = Some((wcet, bin.encode_text()));
             }
         }
-        let (_, serial_text) = serial_best.expect("five candidates");
-        assert_eq!(
-            best.encode_text(),
-            serial_text,
-            "{}: chosen binary differs from the serial loop's choice",
+        let (serial_wcet, serial_text) = serial_best.expect("six candidates");
+        let best_wcet = vericomp::wcet::analyze(&best, "step")
+            .expect("analyzable")
+            .wcet;
+        assert!(
+            best_wcet <= serial_wcet,
+            "{}: search chose {best_wcet} over the candidate loop's {serial_wcet}",
             node.name()
         );
+        if best_wcet == serial_wcet {
+            assert_eq!(
+                best.encode_text(),
+                serial_text,
+                "{}: tie at {serial_wcet} must resolve to the serial loop's choice",
+                node.name()
+            );
+        }
     }
 }
 
@@ -63,11 +121,27 @@ fn driver_never_worse_than_verified() {
             best_wcet,
             verified_wcet
         );
-        assert_eq!(report.len(), 5, "{}", node.name());
+        // the report carries the six seeds plus the search's expansions
+        assert!(report.len() >= 6, "{}", node.name());
         assert_eq!(
             report.iter().map(|c| c.wcet).min(),
             Some(best_wcet),
             "{}: report minimum must be the chosen binary",
+            node.name()
+        );
+        // the verified preset already tunnels, so the single-extra tunnel
+        // seed shares its lattice point and must report the same bound
+        let wcet_of = |name: &str| {
+            report
+                .iter()
+                .find(|c| c.name == name)
+                .unwrap_or_else(|| panic!("{}: seed {name} missing", node.name()))
+                .wcet
+        };
+        assert_eq!(
+            wcet_of("verified"),
+            wcet_of("verified+tunnel"),
+            "{}",
             node.name()
         );
     }
