@@ -87,4 +87,40 @@ if [ "$search_digest" != "$warm_search_digest" ]; then
     exit 1
 fi
 
+echo "==> trace smoke: Chrome-trace JSON well-formed, profile counters == jobs 1"
+TRACE_JSON=target/vericomp-ci-trace.json
+cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+    --nodes 6 --jobs 8 --trace "$TRACE_JSON" --profile \
+    | tee target/vericomp-ci-trace.txt
+cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+    --nodes 6 --jobs 1 --profile | tee target/vericomp-ci-trace-serial.txt
+python3 - "$TRACE_JSON" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "trace has no events"
+for e in events:
+    for key in ("ph", "ts", "dur", "name"):
+        assert key in e, f"event missing {key}: {e}"
+    assert e["ph"] == "X", f"not a complete event: {e}"
+print(f"trace smoke: {len(events)} well-formed events")
+EOF
+# the profile table must cover every pipeline stage...
+for stage in queue-wait cache-lookup compile validate analyze store; do
+    if ! grep -q "^profile: stage $stage" target/vericomp-ci-trace.txt; then
+        echo "trace smoke FAILED: profile is missing stage row \`$stage\`" >&2
+        exit 1
+    fi
+done
+# ...and its counter digest must not depend on the job count
+profile_digest=$(grep '^profile: counter digest:' target/vericomp-ci-trace.txt)
+serial_profile_digest=$(grep '^profile: counter digest:' \
+    target/vericomp-ci-trace-serial.txt)
+if [ "$profile_digest" != "$serial_profile_digest" ]; then
+    echo "trace smoke FAILED: profile counters differ across job counts" >&2
+    echo "  jobs 8: $profile_digest" >&2
+    echo "  jobs 1: $serial_profile_digest" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

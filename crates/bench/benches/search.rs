@@ -143,6 +143,14 @@ fn benches() -> Bench {
         assert!(r.stats.jobs_run > 0, "the dirty node missed no probe");
         r.stats.jobs_run
     });
+
+    // one representative cold search's stats and span profile (including
+    // the search:* provenance event counts) ride along in the summary
+    let sample = Pipeline::in_memory()
+        .search_wcet(&spec)
+        .expect("sample run");
+    g.note("stats", &sample.stats.to_json());
+    g.note("profile", &sample.trace().profile().to_json());
     g
 }
 

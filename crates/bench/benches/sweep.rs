@@ -68,6 +68,12 @@ fn benches() -> Bench {
         assert_eq!(r.stats.jobs_run, (nodes.len() * LEVELS.len()) as u64);
         r.stats.jobs_run
     });
+
+    // one representative cold run's stats and span profile ride along in
+    // the summary, so every BENCH_*.json shares the same stats schema
+    let sample = Pipeline::in_memory().run_sweep(&spec).expect("sample run");
+    g.note("stats", &sample.stats.to_json());
+    g.note("profile", &sample.trace().profile().to_json());
     g
 }
 

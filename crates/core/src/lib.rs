@@ -50,12 +50,69 @@ pub mod sched;
 pub mod validate;
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use vericomp_arch::{MachineConfig, Program};
 use vericomp_minic::ast::Program as SrcProgram;
 use vericomp_minic::typeck::{self, TypeError};
 
 pub use validate::ValidationError;
+
+/// Canonical names of the observable compiler passes, in execution order.
+/// These are the names a [`PassObserver`] receives and the per-pass rows
+/// of the pipeline's trace profile. The `check-*` entries are the
+/// translation validators (and the always-on allocation checker) — the
+/// pipeline derives its `validate` stage row from them.
+pub const PASS_NAMES: [&str; 14] = [
+    "lower",
+    "mem2reg",
+    "constprop",
+    "cse",
+    "strength",
+    "dce",
+    "tunnel",
+    "check-tunnel",
+    "regalloc",
+    "check-alloc",
+    "emit",
+    "sched",
+    "check-sched",
+    "link",
+];
+
+/// Observes individual compiler passes as they run — the hook the
+/// pipeline's span tracer attaches to. `start` is the offset from the
+/// beginning of the `compile_with_passes_observed` call, `took` the pass
+/// duration; both are wall-clock and carry no determinism guarantee (the
+/// *sequence of names* per input is deterministic, the times are not).
+pub trait PassObserver {
+    /// Called once per executed pass, in execution order. `name` is one
+    /// of [`PASS_NAMES`]; per-function passes report once per function
+    /// (and `check-sched` once per scheduled block).
+    fn pass(&mut self, name: &'static str, start: Duration, took: Duration);
+}
+
+/// The do-nothing observer behind the plain
+/// [`Compiler::compile_with_passes`] entry point.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl PassObserver for NoopObserver {
+    fn pass(&mut self, _name: &'static str, _start: Duration, _took: Duration) {}
+}
+
+/// Runs `f` and reports it to `obs` under `name`.
+fn observed<T>(
+    obs: &mut dyn PassObserver,
+    t0: Instant,
+    name: &'static str,
+    f: impl FnOnce() -> T,
+) -> T {
+    let start = t0.elapsed();
+    let out = f();
+    obs.pass(name, start, t0.elapsed().saturating_sub(start));
+    out
+}
 
 /// The four compiler configurations of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -278,6 +335,25 @@ impl Compiler {
         entry: &str,
         passes: &PassConfig,
     ) -> Result<Program, CompileError> {
+        self.compile_with_passes_observed(prog, entry, passes, &mut NoopObserver)
+    }
+
+    /// [`compile_with_passes`](Compiler::compile_with_passes) with a
+    /// [`PassObserver`] reporting every executed pass — the entry point
+    /// the pipeline's span tracer uses for nested per-pass spans.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`]; passes that ran before the failure are still
+    /// reported to the observer.
+    pub fn compile_with_passes_observed(
+        &self,
+        prog: &SrcProgram,
+        entry: &str,
+        passes: &PassConfig,
+        obs: &mut dyn PassObserver,
+    ) -> Result<Program, CompileError> {
+        let t0 = Instant::now();
         typeck::check(prog)?;
         let layout = layout::layout_globals(prog, &self.config);
         let mut pool = layout::ConstPool::new();
@@ -285,60 +361,78 @@ impl Compiler {
         let mut funcs = Vec::with_capacity(prog.functions.len());
 
         for func in &prog.functions {
-            let mut rtl = lower::lower_function(prog, func)?;
+            let mut rtl = observed(obs, t0, "lower", || lower::lower_function(prog, func))?;
 
             if passes.mem2reg {
-                opt::mem2reg::run(&mut rtl);
+                observed(obs, t0, "mem2reg", || opt::mem2reg::run(&mut rtl));
             }
             if passes.constprop {
-                opt::constprop::run(&mut rtl);
+                observed(obs, t0, "constprop", || opt::constprop::run(&mut rtl));
             }
             if passes.cse {
-                opt::cse::run(&mut rtl);
-                opt::constprop::run(&mut rtl);
+                // the cleanup constprop rerun is part of the CSE span
+                observed(obs, t0, "cse", || {
+                    opt::cse::run(&mut rtl);
+                    opt::constprop::run(&mut rtl);
+                });
             }
             if passes.strength {
-                opt::strength::reduce(&mut rtl);
-                opt::strength::fuse_fmadd(&mut rtl);
-                opt::constprop::run(&mut rtl);
+                observed(obs, t0, "strength", || {
+                    opt::strength::reduce(&mut rtl);
+                    opt::strength::fuse_fmadd(&mut rtl);
+                    opt::constprop::run(&mut rtl);
+                });
             }
             if passes.dce {
-                opt::dce::run(&mut rtl);
+                observed(obs, t0, "dce", || opt::dce::run(&mut rtl));
             }
             if passes.tunnel {
                 let pre_tunnel = passes.validators.then(|| rtl.clone());
-                opt::tunnel::run(&mut rtl);
+                observed(obs, t0, "tunnel", || opt::tunnel::run(&mut rtl));
                 if let Some(pre) = pre_tunnel {
-                    validate::check_tunnel(&pre, &rtl)?;
+                    observed(obs, t0, "check-tunnel", || {
+                        validate::check_tunnel(&pre, &rtl)
+                    })?;
                 }
             }
 
-            let palette = if passes.full_palette {
-                regalloc::Palette::full()
-            } else {
-                regalloc::Palette::scratch_only()
-            };
-            let alloc = regalloc::allocate(&mut rtl, &palette)?;
+            let alloc = observed(obs, t0, "regalloc", || {
+                let palette = if passes.full_palette {
+                    regalloc::Palette::full()
+                } else {
+                    regalloc::Palette::scratch_only()
+                };
+                regalloc::allocate(&mut rtl, &palette)
+            })?;
             // The allocation checker runs for every configuration: it is the
             // safety net of the whole backend, not an optimization.
-            validate::check_allocation(&rtl, &alloc)?;
+            observed(obs, t0, "check-alloc", || {
+                validate::check_allocation(&rtl, &alloc)
+            })?;
 
             let opts = emit::EmitOptions { sda: passes.sda };
-            let mut af = emit::emit_function(
-                &rtl,
-                &alloc,
-                &layout,
-                &mut pool,
-                &mut annots,
-                &self.config,
-                opts,
-            )?;
+            let mut af = observed(obs, t0, "emit", || {
+                emit::emit_function(
+                    &rtl,
+                    &alloc,
+                    &layout,
+                    &mut pool,
+                    &mut annots,
+                    &self.config,
+                    opts,
+                )
+            })?;
 
             if passes.schedule {
+                // one `sched` span per function; the per-block validator
+                // checks report as nested `check-sched` spans inside it
+                let sched_start = t0.elapsed();
                 for block in &mut af.blocks {
                     let scheduled = sched::schedule_block(&block.insts, &self.config);
                     if passes.validators {
-                        validate::check_schedule(&block.insts, &scheduled)?;
+                        observed(obs, t0, "check-sched", || {
+                            validate::check_schedule(&block.insts, &scheduled)
+                        })?;
                     }
                     block.insts = scheduled;
                     // Barrier semantics keep call placeholders at their
@@ -350,10 +444,104 @@ impl Compiler {
                         ));
                     }
                 }
+                obs.pass(
+                    "sched",
+                    sched_start,
+                    t0.elapsed().saturating_sub(sched_start),
+                );
             }
             funcs.push(af);
         }
 
-        link::link(&self.config, &funcs, &layout, &pool, annots, prog, entry)
+        observed(obs, t0, "link", || {
+            link::link(&self.config, &funcs, &layout, &pool, annots, prog, entry)
+        })
+    }
+}
+
+#[cfg(test)]
+mod observer_tests {
+    use super::*;
+    use vericomp_minic::ast::{Binop, Expr, Function, Global, GlobalDef, Program, Stmt};
+
+    fn tiny_prog() -> Program {
+        let gf = |name: &str| Global {
+            name: name.into(),
+            def: GlobalDef::ScalarF64(None),
+        };
+        Program {
+            globals: vec![gf("in1"), gf("in2"), gf("out")],
+            functions: vec![Function {
+                name: "step".into(),
+                params: vec![],
+                ret: None,
+                locals: vec![],
+                body: vec![Stmt::Assign(
+                    "out".into(),
+                    Expr::binop(Binop::AddF, Expr::var("in1"), Expr::var("in2")),
+                )],
+            }],
+        }
+    }
+
+    struct Names(Vec<&'static str>);
+    impl PassObserver for Names {
+        fn pass(&mut self, name: &'static str, _start: Duration, _took: Duration) {
+            self.0.push(name);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_enabled_pass_and_output_is_unchanged() {
+        let prog = tiny_prog();
+        let passes = PassConfig::for_level(OptLevel::OptFull);
+        let compiler = Compiler::new(OptLevel::OptFull);
+        let mut names = Names(Vec::new());
+        let observed = compiler
+            .compile_with_passes_observed(&prog, "step", &passes, &mut names)
+            .expect("compiles");
+        let plain = compiler
+            .compile_with_passes(&prog, "step", &passes)
+            .expect("compiles");
+        assert_eq!(observed.encode_text(), plain.encode_text());
+        for name in &names.0 {
+            assert!(PASS_NAMES.contains(name), "unknown pass name `{name}`");
+        }
+        for expected in [
+            "lower",
+            "mem2reg",
+            "constprop",
+            "cse",
+            "strength",
+            "dce",
+            "tunnel",
+            "check-tunnel",
+            "regalloc",
+            "check-alloc",
+            "emit",
+            "check-sched",
+            "sched",
+            "link",
+        ] {
+            assert!(
+                names.0.contains(&expected),
+                "opt-full never reported `{expected}`: {:?}",
+                names.0
+            );
+        }
+        // the pattern compiler runs no optional passes
+        let mut o0 = Names(Vec::new());
+        compiler
+            .compile_with_passes_observed(
+                &prog,
+                "step",
+                &PassConfig::for_level(OptLevel::PatternO0),
+                &mut o0,
+            )
+            .expect("compiles");
+        assert_eq!(
+            o0.0,
+            vec!["lower", "regalloc", "check-alloc", "emit", "link"]
+        );
     }
 }

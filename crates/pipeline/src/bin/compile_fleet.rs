@@ -28,10 +28,13 @@ struct Args {
     nodes: Option<usize>,
     min_hit_rate: Option<f64>,
     search: bool,
+    trace: Option<String>,
+    profile: bool,
 }
 
 const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--configs LIST]
                      [--machines LIST] [--nodes N] [--min-hit-rate F] [--search]
+                     [--trace FILE] [--profile]
   --jobs N          worker threads (default: available parallelism)
   --cache-dir DIR   persistent artifact cache (default: in-memory only)
   --configs LIST    comma-separated config axis out of
@@ -44,6 +47,10 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
   --search          per-node WCET search over the PassConfig lattice instead
                     of a fixed-config sweep (single machine; --configs is
                     rejected — the search seeds its own frontier)
+  --trace FILE      write the run's span trace as Chrome trace-event JSON
+                    (load in Perfetto / chrome://tracing)
+  --profile         print the per-stage / per-pass profile table; its
+                    counter digest is identical across --jobs values
 
 environment overrides (used when the corresponding flag is absent):
   VERICOMP_JOBS       default for --jobs
@@ -70,6 +77,8 @@ fn parse_args() -> Result<Args, String> {
         nodes: None,
         min_hit_rate: None,
         search: false,
+        trace: None,
+        profile: false,
     };
     let mut jobs_set = false;
     let mut it = std::env::args().skip(1);
@@ -113,6 +122,8 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--search" => args.search = true,
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--profile" => args.profile = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -229,6 +240,9 @@ fn main() -> ExitCode {
     println!("{result}");
     println!("{}", result.stats.render());
     println!("fleet digest: {}", result.digest());
+    if let Err(code) = export_trace(result.trace(), &args) {
+        return code;
+    }
 
     if let Some(min) = args.min_hit_rate {
         if result.stats.hit_rate() < min {
@@ -240,6 +254,24 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `--trace` / `--profile` handling shared by the sweep and search paths:
+/// writes the Chrome trace-event JSON and prints the deterministic profile
+/// table (the CI smoke greps its `profile:` lines and compares the counter
+/// digest across job counts).
+fn export_trace(trace: &vericomp_pipeline::RunTrace, args: &Args) -> Result<(), ExitCode> {
+    if let Some(path) = &args.trace {
+        if let Err(e) = std::fs::write(path, trace.to_chrome_json()) {
+            eprintln!("compile_fleet: writing {path}: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+        println!("trace: {} spans written to {path}", trace.len());
+    }
+    if args.profile {
+        print!("{}", trace.profile().render());
+    }
+    Ok(())
 }
 
 /// `--search`: per-node WCET minimization over the `PassConfig` lattice.
@@ -287,6 +319,9 @@ fn run_search(pipeline: &Pipeline, nodes: &[vericomp_dataflow::Node], args: &Arg
     println!("{result}");
     println!("{}", result.stats.render());
     println!("search digest: {}", result.digest());
+    if let Err(code) = export_trace(result.trace(), &args) {
+        return code;
+    }
 
     if let Some(min) = args.min_hit_rate {
         if result.stats.hit_rate() < min {

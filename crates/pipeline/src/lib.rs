@@ -24,7 +24,11 @@
 //!   [`Pipeline::search_wcet`] runs a deterministic, dominance-pruned
 //!   frontier search over the `PassConfig` lattice per node, probing each
 //!   generation as one batched sweep so re-search after an edit replays
-//!   from cache, with `validators: true` pinned on every probe.
+//!   from cache, with `validators: true` pinned on every probe;
+//! * [`trace`] — structured run telemetry: every sweep and search records
+//!   per-job stage spans, nested per-pass spans and search provenance
+//!   events into a [`RunTrace`], exportable as Chrome trace-event JSON
+//!   (Perfetto-loadable) or a deterministic text [`Profile`].
 //!
 //! ## Correctness story
 //!
@@ -66,6 +70,7 @@ pub mod service;
 pub mod stats;
 pub mod store;
 pub mod sweep;
+pub mod trace;
 
 pub use hash::{Digest, Hasher};
 pub use pool::{JobGraph, JobId, ThreadPool};
@@ -77,6 +82,7 @@ pub use service::{
     CompileUnit, CompileUnitBuilder, FleetResult, OptionsError, Pipeline, PipelineError,
     PipelineOptions, PipelineOptionsBuilder, UnitOutcome, MAX_JOBS,
 };
-pub use stats::{PipelineStats, StatsCell};
+pub use stats::{saturating_nanos, PipelineStats, StatsCell};
 pub use store::{artifact_key, machine_digest, Artifact, ArtifactStore, Verdict, FORMAT_VERSION};
 pub use sweep::{SweepCell, SweepResult, SweepSpec, SweepUnit};
+pub use trace::{Profile, ProfileRow, RunTrace, Span, SpanKind, TraceSink, STAGE_NAMES};

@@ -50,6 +50,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 use vericomp_arch::MachineConfig;
 use vericomp_core::{OptLevel, PassConfig};
@@ -57,9 +58,10 @@ use vericomp_dataflow::{Application, ApplicationError, Node};
 
 use crate::hash::{Digest, Hasher};
 use crate::service::{Pipeline, PipelineError};
-use crate::stats::PipelineStats;
+use crate::stats::{saturating_nanos, PipelineStats};
 use crate::store::Artifact;
 use crate::sweep::{SweepSpec, SweepUnit};
+use crate::trace::{RunTrace, Span};
 
 /// The tunable pass flags of the lattice, in canonical bit order.
 /// `validators` is **not** part of the lattice — it is pinned `true` on
@@ -365,11 +367,22 @@ impl NodeSearch {
 pub struct SearchResult {
     /// Per-unit searches, in unit order.
     pub nodes: Vec<NodeSearch>,
-    /// Aggregate pipeline metrics over every probe sweep of the search.
+    /// Aggregate pipeline metrics over every probe sweep of the search
+    /// (`wall_ns` is the summed wall time of the sequential generations).
     pub stats: PipelineStats,
+    trace: RunTrace,
 }
 
 impl SearchResult {
+    /// The search's span trace on one continuous timeline: every
+    /// generation's stage and per-pass spans, plus the probe-provenance
+    /// events (`search:generation`, `search:probe`, `search:admitted`,
+    /// `search:pruned-flag`).
+    #[must_use]
+    pub fn trace(&self) -> &RunTrace {
+        &self.trace
+    }
+
     /// Total probes across all units.
     #[must_use]
     pub fn total_probes(&self) -> u64 {
@@ -601,27 +614,41 @@ impl Pipeline {
             .clone()
             .unwrap_or_else(|| ("default".to_owned(), self.machine().clone()));
 
+        // one epoch for the whole search: every generation's spans land on
+        // a single timeline
+        let epoch = Instant::now();
         let mut aggregate = PipelineStats::default();
+        let mut wall_sum = 0u64;
+        let mut trace = RunTrace::new();
         let mut nodes = Vec::with_capacity(spec.units.len());
         for unit in &spec.units {
-            let search = self.search_unit(unit, &seeds, &machine, spec)?;
+            let search = self.search_unit(unit, &seeds, &machine, spec, epoch, &mut trace)?;
             aggregate.merge(&search.stats);
+            // units search sequentially: the aggregate wall is their sum,
+            // not the max the concurrent-cell merge takes
+            wall_sum = wall_sum.saturating_add(search.stats.wall_ns);
             nodes.push(search);
         }
+        aggregate.wall_ns = wall_sum;
         Ok(SearchResult {
             nodes,
             stats: aggregate,
+            trace,
         })
     }
 
-    /// One unit's frontier search.
+    /// One unit's frontier search. Sweep spans and provenance events
+    /// append to `trace`, timestamped against the search-wide `epoch`.
     fn search_unit(
         &self,
         unit: &SweepUnit,
         seeds: &[(String, PassConfig)],
         machine: &(String, MachineConfig),
         spec: &SearchSpec,
+        epoch: Instant,
+        trace: &mut RunTrace,
     ) -> Result<NodeSearch, PipelineError> {
+        let now_ns = || saturating_nanos(Instant::now().saturating_duration_since(epoch));
         let mut state = UnitSearch::new();
 
         // Generation 0: the seed frontier. Seeds sharing lattice
@@ -634,8 +661,16 @@ impl Pipeline {
                 seed_batch.push((label.clone(), bits));
             }
         }
-        let results = self.probe_batch(unit, machine, &seed_batch)?;
+        trace.push(Span::event(
+            "search:generation",
+            0,
+            now_ns(),
+            &format!("unit={} gen=0 probes={}", unit.name, seed_batch.len()),
+        ));
+        let results = self.probe_batch(unit, machine, &seed_batch, epoch)?;
         state.stats.merge(&results.stats);
+        let mut wall_sum = results.stats.wall_ns;
+        trace.merge(results.trace);
         for ((label, bits), (wcet, artifact)) in seed_batch.iter().zip(&results.cells) {
             state.record(label.clone(), *bits, *wcet, 0, None, artifact);
             state.frontier.push(*bits);
@@ -645,7 +680,19 @@ impl Pipeline {
         // Expansion generations: flood downhill until the frontier dries
         // up or the probe budget is spent.
         loop {
+            let pruned_before = state.pruned.len();
             state.update_pruning(spec.prune_trials, state.generations - 1);
+            for d in &state.pruned[pruned_before..] {
+                trace.push(Span::event(
+                    "search:pruned-flag",
+                    0,
+                    now_ns(),
+                    &format!(
+                        "unit={} flag={} trials={} gen={}",
+                        unit.name, d.flag, d.trials, d.generation
+                    ),
+                ));
+            }
             let scheduled = state.expansions(spec.max_probes);
             if scheduled.is_empty() {
                 break;
@@ -655,8 +702,16 @@ impl Pipeline {
                 .iter()
                 .map(|&(bits, _)| (state.label_for(bits), bits))
                 .collect();
-            let results = self.probe_batch(unit, machine, &batch)?;
+            trace.push(Span::event(
+                "search:generation",
+                0,
+                now_ns(),
+                &format!("unit={} gen={generation} probes={}", unit.name, batch.len()),
+            ));
+            let results = self.probe_batch(unit, machine, &batch, epoch)?;
             state.stats.merge(&results.stats);
+            wall_sum = wall_sum.saturating_add(results.stats.wall_ns);
+            trace.merge(results.trace);
             let mut next_frontier = Vec::new();
             for (((label, bits), &(_, parent)), (wcet, artifact)) in
                 batch.iter().zip(&scheduled).zip(&results.cells)
@@ -664,6 +719,13 @@ impl Pipeline {
                 let parent_idx = state.index[&parent];
                 let parent_label = state.probed[parent_idx].label.clone();
                 let parent_wcet = state.probed[parent_idx].wcet;
+                let flipped = LATTICE_FLAGS[(bits ^ parent).trailing_zeros() as usize];
+                trace.push(Span::event(
+                    "search:probe",
+                    0,
+                    now_ns(),
+                    &format!("unit={} config={label} flipped={flipped}", unit.name),
+                ));
                 state.record(
                     label.clone(),
                     *bits,
@@ -673,15 +735,22 @@ impl Pipeline {
                     artifact,
                 );
                 if *wcet < parent_wcet {
+                    trace.push(Span::event(
+                        "search:admitted",
+                        0,
+                        now_ns(),
+                        &format!("unit={} config={label}", unit.name),
+                    ));
                     next_frontier.push(*bits);
                 }
             }
             state.frontier = next_frontier;
             state.generations += 1;
         }
-        // the summed per-generation walls double-count nothing, but the
-        // merge also summed per-sweep wall clocks; keep that as the
-        // unit's wall (documented on `NodeSearch::stats`)
+        // the generations ran sequentially, so the unit's wall is the sum
+        // of the per-sweep walls — the concurrent-cell merge above took
+        // the max instead (documented on `NodeSearch::stats`)
+        state.stats.wall_ns = wall_sum;
         Ok(state.finish(unit.name.clone()))
     }
 
@@ -693,6 +762,7 @@ impl Pipeline {
         unit: &SweepUnit,
         machine: &(String, MachineConfig),
         batch: &[(String, u16)],
+        epoch: Instant,
     ) -> Result<ProbeBatch, PipelineError> {
         let mut sweep = SweepSpec::new()
             .unit(unit.clone())
@@ -700,13 +770,14 @@ impl Pipeline {
         for (label, bits) in batch {
             sweep = sweep.config(label, &bits_config(*bits));
         }
-        let result = self.run_sweep(&sweep)?;
+        let mut result = self.run_sweep_at(&sweep, epoch)?;
         Ok(ProbeBatch {
             cells: result
                 .cells()
                 .iter()
                 .map(|c| (c.wcet(), Arc::clone(&c.outcome.artifact)))
                 .collect(),
+            trace: result.take_trace(),
             stats: result.stats,
         })
     }
@@ -716,6 +787,7 @@ impl Pipeline {
 struct ProbeBatch {
     cells: Vec<(u64, Arc<Artifact>)>,
     stats: PipelineStats,
+    trace: RunTrace,
 }
 
 #[cfg(test)]

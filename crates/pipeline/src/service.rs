@@ -32,8 +32,9 @@ use vericomp_wcet::AnalysisError;
 
 use crate::hash::{Digest, Hasher};
 use crate::pool::{JobGraph, ThreadPool};
-use crate::stats::{PipelineStats, StatsCell};
+use crate::stats::{saturating_nanos, PipelineStats, StatsCell};
 use crate::store::{artifact_key, Artifact, ArtifactStore, Verdict};
+use crate::trace::{RunTrace, Span, TraceSink};
 
 /// Configuration of a [`Pipeline`].
 #[derive(Debug, Clone)]
@@ -497,7 +498,7 @@ impl Pipeline {
                 machine: self.machine.clone(),
             })
             .collect();
-        let (outcomes, stats) = self.run_cells(cells)?;
+        let (outcomes, stats, _trace) = self.run_cells(cells, Instant::now())?;
         Ok(FleetResult {
             outcomes: outcomes.into_iter().map(|c| c.outcome).collect(),
             stats,
@@ -506,24 +507,43 @@ impl Pipeline {
 
     /// Runs a set of fully-specified cells (unit + target machine) on the
     /// pool and returns per-cell outcomes **in submission order** plus the
-    /// aggregate run stats. This is the one engine every public entry
-    /// point funnels through.
+    /// aggregate run stats and the run's span trace. This is the one
+    /// engine every public entry point funnels through.
+    ///
+    /// `epoch` anchors every span timestamp: single sweeps pass their own
+    /// submission instant, the lattice search passes one search-wide epoch
+    /// so all generations land on a single timeline.
     pub(crate) fn run_cells(
         &self,
         cells: Vec<CellSpec>,
-    ) -> Result<(Vec<CellOutcome>, PipelineStats), PipelineError> {
+        epoch: Instant,
+    ) -> Result<(Vec<CellOutcome>, PipelineStats, RunTrace), PipelineError> {
         enum Stage1 {
             Hit(Arc<Artifact>),
             Fresh(Digest, vericomp_arch::Program),
             Failed,
         }
 
-        let started = Instant::now();
+        /// Observer buffering (name, start, took) per compiled unit; the
+        /// offsets are rebased onto the compile span after the fact.
+        struct PassTimes(Vec<(&'static str, Duration, Duration)>);
+        impl vericomp_core::PassObserver for PassTimes {
+            fn pass(&mut self, name: &'static str, start: Duration, took: Duration) {
+                self.0.push((name, start, took));
+            }
+        }
+
+        let submitted = Instant::now();
+        let since_epoch = move |at: Instant| saturating_nanos(at.saturating_duration_since(epoch));
         let n = cells.len();
         // one collector per cell, so sweeps can report per-cell stage
         // times; the run aggregate is their merge
         let stats: Arc<Vec<StatsCell>> = Arc::new((0..n).map(|_| StatsCell::new()).collect());
-        let slots: Arc<Vec<Mutex<Option<Stage1>>>> =
+        // same pattern for spans: each sink is touched only by its own
+        // cell's two (strictly ordered) jobs, so collection is
+        // contention-free
+        let sinks: Arc<Vec<TraceSink>> = Arc::new((0..n).map(|_| TraceSink::new()).collect());
+        let slots: Arc<Vec<Mutex<Option<(Stage1, Instant)>>>> =
             Arc::new((0..n).map(|_| Mutex::new(None)).collect());
         let outcomes: Arc<Vec<Mutex<Option<UnitOutcome>>>> =
             Arc::new((0..n).map(|_| Mutex::new(None)).collect());
@@ -532,21 +552,41 @@ impl Pipeline {
         let mut graph = JobGraph::new();
         for (i, cell) in cells.into_iter().enumerate() {
             let CellSpec { unit, machine } = cell;
+            let detail = format!("unit={} config={}", unit.name, unit.label);
             let unit = Arc::new(unit);
             let store = Arc::clone(&self.store);
             let stats1 = Arc::clone(&stats);
+            let sinks1 = Arc::clone(&sinks);
             let slots1 = Arc::clone(&slots);
             let errs1 = Arc::clone(&first_error);
             let unit1 = Arc::clone(&unit);
+            let detail1 = detail.clone();
             // Stage 1: cache lookup, compile + validate on a miss. The
             // machine digest is part of `key`, so cells targeting
             // different machines never alias in the store.
             let compile = graph.add(&[], move || {
+                let job = i as u32;
+                let job_start = Instant::now();
+                sinks1[i].push(Span::stage(
+                    "queue-wait",
+                    job,
+                    since_epoch(submitted),
+                    saturating_nanos(job_start.saturating_duration_since(submitted)),
+                    &detail1,
+                ));
                 let source = program_to_c(&unit1.source);
                 let key = artifact_key(&source, &unit1.entry, &unit1.passes, &machine);
                 let t = Instant::now();
                 let hit = store.lookup(key, &machine);
-                stats1[i].add_store(t.elapsed());
+                let looked = t.elapsed();
+                stats1[i].add_store(looked);
+                sinks1[i].push(Span::stage(
+                    "cache-lookup",
+                    job,
+                    since_epoch(t),
+                    saturating_nanos(looked),
+                    &detail1,
+                ));
                 let stage = match hit {
                     Some(artifact) => {
                         stats1[i].count_cached();
@@ -554,9 +594,33 @@ impl Pipeline {
                     }
                     None => {
                         let t = Instant::now();
+                        let mut pass_times = PassTimes(Vec::new());
                         let compiled = Compiler::with_config(OptLevel::Verified, machine)
-                            .compile_with_passes(&unit1.source, &unit1.entry, &unit1.passes);
-                        stats1[i].add_compile(t.elapsed());
+                            .compile_with_passes_observed(
+                                &unit1.source,
+                                &unit1.entry,
+                                &unit1.passes,
+                                &mut pass_times,
+                            );
+                        let took = t.elapsed();
+                        stats1[i].add_compile(took);
+                        let base = since_epoch(t);
+                        sinks1[i].push(Span::stage(
+                            "compile",
+                            job,
+                            base,
+                            saturating_nanos(took),
+                            &detail1,
+                        ));
+                        for (name, start, dur) in pass_times.0 {
+                            sinks1[i].push(Span::pass(
+                                name,
+                                job,
+                                base.saturating_add(saturating_nanos(start)),
+                                saturating_nanos(dur),
+                                &detail1,
+                            ));
+                        }
                         match compiled {
                             Ok(program) => Stage1::Fresh(key, program),
                             Err(error) => {
@@ -571,9 +635,10 @@ impl Pipeline {
                         }
                     }
                 };
-                *slots1[i].lock().expect("slot lock") = Some(stage);
+                *slots1[i].lock().expect("slot lock") = Some((stage, Instant::now()));
             });
             let stats2 = Arc::clone(&stats);
+            let sinks2 = Arc::clone(&sinks);
             let slots2 = Arc::clone(&slots);
             let outcomes2 = Arc::clone(&outcomes);
             let errs2 = Arc::clone(&first_error);
@@ -582,11 +647,20 @@ impl Pipeline {
             // Insertion happens strictly after stage 1 succeeded, i.e.
             // after the translation validators accepted the compilation.
             graph.add(&[compile], move || {
-                let stage = slots2[i]
+                let job = i as u32;
+                let (stage, stage1_done) = slots2[i]
                     .lock()
                     .expect("slot lock")
                     .take()
                     .expect("stage 1 ran");
+                let job_start = Instant::now();
+                sinks2[i].push(Span::stage(
+                    "queue-wait",
+                    job,
+                    since_epoch(stage1_done),
+                    saturating_nanos(job_start.saturating_duration_since(stage1_done)),
+                    &detail,
+                ));
                 let outcome = match stage {
                     Stage1::Failed => return,
                     Stage1::Hit(artifact) => UnitOutcome {
@@ -598,7 +672,15 @@ impl Pipeline {
                     Stage1::Fresh(key, program) => {
                         let t = Instant::now();
                         let analyzed = vericomp_wcet::analyze(&program, &unit.entry);
-                        stats2[i].add_analyze(t.elapsed());
+                        let took = t.elapsed();
+                        stats2[i].add_analyze(took);
+                        sinks2[i].push(Span::stage(
+                            "analyze",
+                            job,
+                            since_epoch(t),
+                            saturating_nanos(took),
+                            &detail,
+                        ));
                         let report = match analyzed {
                             Ok(report) => report,
                             Err(error) => {
@@ -622,7 +704,15 @@ impl Pipeline {
                         };
                         let t = Instant::now();
                         let inserted = store2.insert(artifact);
-                        stats2[i].add_store(t.elapsed());
+                        let took = t.elapsed();
+                        stats2[i].add_store(took);
+                        sinks2[i].push(Span::stage(
+                            "store",
+                            job,
+                            since_epoch(t),
+                            saturating_nanos(took),
+                            &detail,
+                        ));
                         match inserted {
                             Ok(artifact) => UnitOutcome {
                                 name: unit.name.clone(),
@@ -648,7 +738,7 @@ impl Pipeline {
         if let Some(error) = first_error.lock().expect("error lock").take() {
             return Err(error);
         }
-        let wall = started.elapsed();
+        let wall = submitted.elapsed();
         let mut aggregate = PipelineStats::default();
         let cell_outcomes: Vec<CellOutcome> = outcomes
             .iter()
@@ -670,8 +760,18 @@ impl Pipeline {
                 }
             })
             .collect();
-        aggregate.wall_ns = wall.as_nanos() as u64;
-        Ok((cell_outcomes, aggregate))
+        // the merge maxed per-cell walls (summed stage times); the run
+        // aggregate reports the real end-to-end clock
+        aggregate.wall_ns = saturating_nanos(wall);
+        // drain the sinks in cell order: span order becomes (cell index,
+        // recording order), a pure function of the work
+        let mut trace = RunTrace::new();
+        for sink in sinks.iter() {
+            for span in sink.take() {
+                trace.push(span);
+            }
+        }
+        Ok((cell_outcomes, aggregate, trace))
     }
 
     /// Compiles every node of a fleet under one pass selection.

@@ -8,6 +8,16 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Converts a [`Duration`] to whole nanoseconds, saturating at
+/// `u64::MAX` instead of silently truncating the way `as_nanos() as u64`
+/// does. Shared by every stats counter and trace span in the pipeline —
+/// a `u64` holds ~584 years of nanoseconds, so saturation is the right
+/// behavior for the pathological case, and truncation never is.
+#[must_use]
+pub fn saturating_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// A snapshot of one pipeline run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PipelineStats {
@@ -44,16 +54,19 @@ impl PipelineStats {
     }
 
     /// Accumulates another run's (or cell's) counters into this one.
-    /// Counters and stage times add; `wall_ns` adds too, which makes the
-    /// merge of per-cell stats a *summed* wall (callers tracking a single
-    /// end-to-end clock should overwrite `wall_ns` after merging).
+    /// Counters and stage times add; `wall_ns` takes the **max** — merged
+    /// stats usually come from cells that ran concurrently, where summing
+    /// their walls would fabricate an end-to-end time longer than the run
+    /// itself. Callers merging *sequential* runs (e.g. the per-generation
+    /// sweeps of a search) must accumulate their own wall sum and
+    /// overwrite `wall_ns` after merging.
     pub fn merge(&mut self, other: &PipelineStats) {
         self.jobs_run += other.jobs_run;
         self.jobs_cached += other.jobs_cached;
         self.compile_ns += other.compile_ns;
         self.analyze_ns += other.analyze_ns;
         self.store_ns += other.store_ns;
-        self.wall_ns += other.wall_ns;
+        self.wall_ns = self.wall_ns.max(other.wall_ns);
     }
 
     /// Multi-line human-readable report, one `pipeline:`-prefixed line per
@@ -72,6 +85,25 @@ impl PipelineStats {
             ms(self.analyze_ns),
             ms(self.store_ns),
             ms(self.wall_ns),
+        )
+    }
+
+    /// One-line JSON object over every field plus the derived hit rate —
+    /// the one schema every `BENCH_*.json` stats block shares, so
+    /// benchmark trajectories can be diffed across PRs without scraping
+    /// hand-formatted text.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"jobs_run\": {}, \"jobs_cached\": {}, \"hit_rate\": {:.6}, \
+             \"compile_ns\": {}, \"analyze_ns\": {}, \"store_ns\": {}, \"wall_ns\": {}}}",
+            self.jobs_run,
+            self.jobs_cached,
+            self.hit_rate(),
+            self.compile_ns,
+            self.analyze_ns,
+            self.store_ns,
+            self.wall_ns,
         )
     }
 
@@ -121,19 +153,19 @@ impl StatsCell {
     /// Adds compile-stage wall time.
     pub fn add_compile(&self, d: Duration) {
         self.compile_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(saturating_nanos(d), Ordering::Relaxed);
     }
 
     /// Adds analysis-stage wall time.
     pub fn add_analyze(&self, d: Duration) {
         self.analyze_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(saturating_nanos(d), Ordering::Relaxed);
     }
 
     /// Adds store lookup/insert wall time.
     pub fn add_store(&self, d: Duration) {
         self.store_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(saturating_nanos(d), Ordering::Relaxed);
     }
 
     /// Snapshots the counters, stamping `wall` as the end-to-end time.
@@ -145,7 +177,7 @@ impl StatsCell {
             compile_ns: self.compile_ns.load(Ordering::Relaxed),
             analyze_ns: self.analyze_ns.load(Ordering::Relaxed),
             store_ns: self.store_ns.load(Ordering::Relaxed),
-            wall_ns: wall.as_nanos() as u64,
+            wall_ns: saturating_nanos(wall),
         }
     }
 }
@@ -176,5 +208,70 @@ mod tests {
     #[test]
     fn empty_run_has_zero_hit_rate() {
         assert_eq!(PipelineStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_but_takes_the_max_wall() {
+        let a = PipelineStats {
+            jobs_run: 2,
+            jobs_cached: 1,
+            compile_ns: 100,
+            analyze_ns: 10,
+            store_ns: 1,
+            wall_ns: 500,
+        };
+        let b = PipelineStats {
+            jobs_run: 1,
+            jobs_cached: 3,
+            compile_ns: 50,
+            analyze_ns: 20,
+            store_ns: 2,
+            wall_ns: 300,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.jobs_run, 3);
+        assert_eq!(merged.jobs_cached, 4);
+        assert_eq!(merged.compile_ns, 150);
+        assert_eq!(merged.analyze_ns, 30);
+        assert_eq!(merged.store_ns, 3);
+        // concurrent cells: the merged wall is the longest cell, never the
+        // sum (which would exceed the run's own end-to-end clock)
+        assert_eq!(merged.wall_ns, 500);
+    }
+
+    #[test]
+    fn to_json_is_a_single_line_with_every_field() {
+        let stats = PipelineStats {
+            jobs_run: 3,
+            jobs_cached: 1,
+            compile_ns: 42,
+            analyze_ns: 7,
+            store_ns: 5,
+            wall_ns: 60,
+        };
+        let json = stats.to_json();
+        assert!(!json.contains('\n'));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"jobs_run\": 3"));
+        assert!(json.contains("\"jobs_cached\": 1"));
+        assert!(json.contains("\"hit_rate\": 0.250000"));
+        assert!(json.contains("\"compile_ns\": 42"));
+        assert!(json.contains("\"analyze_ns\": 7"));
+        assert!(json.contains("\"store_ns\": 5"));
+        assert!(json.contains("\"wall_ns\": 60"));
+    }
+
+    #[test]
+    fn nanosecond_conversion_saturates_instead_of_truncating() {
+        assert_eq!(saturating_nanos(Duration::from_nanos(17)), 17);
+        assert_eq!(saturating_nanos(Duration::from_nanos(u64::MAX)), u64::MAX);
+        // past u64::MAX nanoseconds (~584 years) the old cast wrapped;
+        // the helper pins to the ceiling
+        assert_eq!(saturating_nanos(Duration::MAX), u64::MAX);
+        assert_eq!(
+            saturating_nanos(Duration::from_secs(u64::MAX / 1_000_000_000 + 1)),
+            u64::MAX
+        );
     }
 }

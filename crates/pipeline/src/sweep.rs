@@ -43,6 +43,7 @@
 
 use std::fmt;
 use std::ops::Index;
+use std::time::Instant;
 
 use vericomp_arch::MachineConfig;
 use vericomp_core::{OptLevel, PassConfig};
@@ -52,6 +53,7 @@ use vericomp_minic::ast::Program as SrcProgram;
 use crate::hash::{Digest, Hasher};
 use crate::service::{CellSpec, CompileUnit, Pipeline, PipelineError, UnitOutcome};
 use crate::stats::PipelineStats;
+use crate::trace::RunTrace;
 
 /// One entry of the sweep's unit axis: a named translation unit with its
 /// entry point. Unlike [`CompileUnit`] it carries **no pass selection** —
@@ -244,12 +246,26 @@ pub struct SweepResult {
     configs: Vec<String>,
     machines: Vec<String>,
     cells: Vec<SweepCell>,
+    trace: RunTrace,
     /// Aggregate run metrics (stage times summed over cells, `wall_ns`
     /// the end-to-end clock of the whole sweep).
     pub stats: PipelineStats,
 }
 
 impl SweepResult {
+    /// The run's span trace: per-cell stage spans, nested per-pass spans
+    /// for every fresh compilation. Always collected — recording costs a
+    /// handful of allocations per cell, dwarfed by the compile itself.
+    #[must_use]
+    pub fn trace(&self) -> &RunTrace {
+        &self.trace
+    }
+
+    /// Moves the trace out (the search chains generation traces this way).
+    pub(crate) fn take_trace(&mut self) -> RunTrace {
+        std::mem::take(&mut self.trace)
+    }
+
     /// Unit-axis labels, in spec order.
     #[must_use]
     pub fn unit_labels(&self) -> &[String] {
@@ -450,6 +466,18 @@ impl Pipeline {
     ///
     /// Re-raises panics from compiler/analyzer internals (toolchain bugs).
     pub fn run_sweep(&self, spec: &SweepSpec) -> Result<SweepResult, PipelineError> {
+        self.run_sweep_at(spec, Instant::now())
+    }
+
+    /// [`run_sweep`](Pipeline::run_sweep) with an explicit trace epoch:
+    /// every span timestamp is relative to `epoch`, so callers chaining
+    /// several sweeps (the lattice search's generations) get one
+    /// continuous timeline.
+    pub(crate) fn run_sweep_at(
+        &self,
+        spec: &SweepSpec,
+        epoch: Instant,
+    ) -> Result<SweepResult, PipelineError> {
         let configs: Vec<(String, PassConfig)> = if spec.configs.is_empty() {
             vec![(
                 OptLevel::Verified.to_string(),
@@ -482,7 +510,7 @@ impl Pipeline {
             }
         }
 
-        let (outcomes, stats) = self.run_cells(cells)?;
+        let (outcomes, stats, trace) = self.run_cells(cells, epoch)?;
 
         let machine_labels: Vec<String> = machines.iter().map(|(l, _)| l.clone()).collect();
         let config_labels: Vec<String> = configs.iter().map(|(l, _)| l.clone()).collect();
@@ -507,6 +535,7 @@ impl Pipeline {
             configs: config_labels,
             machines: machine_labels,
             cells: result_cells,
+            trace,
             stats,
         })
     }

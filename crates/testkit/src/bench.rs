@@ -41,6 +41,7 @@ pub struct Bench {
     group: String,
     samples_per_bench: u32,
     results: Vec<Sample>,
+    notes: Vec<(String, String)>,
 }
 
 fn target_batch_nanos() -> u128 {
@@ -59,7 +60,17 @@ impl Bench {
             group: name.to_string(),
             samples_per_bench: 10,
             results: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Attaches a named raw-JSON annotation to the group — e.g. a
+    /// representative run's `PipelineStats::to_json()` or a trace
+    /// profile's `Profile::to_json()`. `raw_json` is embedded verbatim
+    /// under `"notes"` in [`Bench::write_json`], so it must already be a
+    /// valid JSON value.
+    pub fn note(&mut self, name: &str, raw_json: &str) {
+        self.notes.push((name.to_string(), raw_json.to_string()));
     }
 
     /// Times one closure: calibrate batch size, then measure.
@@ -168,7 +179,17 @@ impl Bench {
                 r.samples,
             );
         }
-        let _ = writeln!(s, "  ]");
+        if self.notes.is_empty() {
+            let _ = writeln!(s, "  ]");
+        } else {
+            let _ = writeln!(s, "  ],");
+            let _ = writeln!(s, "  \"notes\": {{");
+            for (i, (name, raw)) in self.notes.iter().enumerate() {
+                let comma = if i + 1 == self.notes.len() { "" } else { "," };
+                let _ = writeln!(s, "    \"{}\": {raw}{comma}", escape(name));
+            }
+            let _ = writeln!(s, "  }}");
+        }
         let _ = writeln!(s, "}}");
         let path = dir.join(format!("BENCH_{}.json", self.group));
         fs::write(&path, s)?;
@@ -212,10 +233,13 @@ mod tests {
 
         let dir = std::env::temp_dir().join("vericomp-testkit-bench-test");
         let _ = fs::create_dir_all(&dir);
+        g.note("stats", "{\"jobs_run\": 3}");
         let path = g.write_json(&dir).expect("writes");
         let text = fs::read_to_string(&path).expect("readable");
         assert!(text.contains("\"group\": \"selftest\""));
         assert!(text.contains("\"name\": \"wrapping_sum\""));
+        assert!(text.contains("\"notes\": {"));
+        assert!(text.contains("\"stats\": {\"jobs_run\": 3}"));
         let _ = fs::remove_file(&path);
         std::env::remove_var("TESTKIT_BENCH_MS");
     }

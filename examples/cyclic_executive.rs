@@ -56,6 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{}", build.stats.render());
 
+    // where the build's time went, stage by stage and pass by pass
+    // (the full span trace is also exportable: `build.trace.to_chrome_json()`)
+    println!();
+    print!("{}", build.trace.profile().render());
+
     let binary = build.artifact.program.clone();
     let report = &build.artifact.report;
     println!(

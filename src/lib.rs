@@ -294,6 +294,10 @@ pub mod harness {
         /// The full search trace of the image: winner, probed lattice
         /// points, dominance-pruning decisions, generations.
         pub search: crate::pipeline::NodeSearch,
+        /// Span telemetry of the build: per-stage and per-pass spans plus
+        /// `search:*` provenance events, exportable as Chrome trace-event
+        /// JSON or a deterministic profile table.
+        pub trace: crate::pipeline::RunTrace,
     }
 
     /// WCET-driven compilation of a whole [`Application`] image on the
@@ -320,6 +324,7 @@ pub mod harness {
         let pipeline = Pipeline::new(options).map_err(ParallelBuildError::Pipeline)?;
         let unit = SweepUnit::from_application(app).map_err(ParallelBuildError::Link)?;
         let result = search_unit(&pipeline, unit).map_err(ParallelBuildError::Pipeline)?;
+        let trace = result.trace().clone();
         let stats = result.stats;
         let node = result.nodes.into_iter().next().expect("one unit searched");
         Ok(ParallelBuild {
@@ -327,6 +332,7 @@ pub mod harness {
             candidates: candidate_report(&node),
             stats,
             search: node,
+            trace,
         })
     }
 

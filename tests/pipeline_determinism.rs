@@ -8,7 +8,7 @@
 use vericomp::arch::MachineConfig;
 use vericomp::core::{Compiler, OptLevel};
 use vericomp::dataflow::fleet;
-use vericomp::pipeline::{Pipeline, PipelineOptions, SearchSpec, SweepSpec};
+use vericomp::pipeline::{Pipeline, PipelineOptions, SearchSpec, SpanKind, SweepSpec};
 
 fn pipeline_with_jobs(jobs: usize) -> Pipeline {
     Pipeline::new(
@@ -191,6 +191,45 @@ fn lattice_search_is_bit_identical_across_job_counts_and_vs_serial() {
             node.name()
         );
     }
+}
+
+#[test]
+fn trace_profile_counters_are_deterministic_across_job_counts() {
+    // span *times* vary run to run, but the span/stage/pass *counts* are a
+    // pure function of the spec — the profile's counter digest must be
+    // bit-identical whatever the job count
+    let nodes = fleet::named_suite();
+    let spec = SweepSpec::new().nodes(&nodes).level(OptLevel::Verified);
+
+    let one = pipeline_with_jobs(1)
+        .run_sweep(&spec)
+        .expect("jobs=1 sweep");
+    let eight = pipeline_with_jobs(8)
+        .run_sweep(&spec)
+        .expect("jobs=8 sweep");
+    assert_eq!(
+        one.trace().profile().counter_digest(),
+        eight.trace().profile().counter_digest(),
+        "profile counters diverge across job counts"
+    );
+
+    // a cold run records one compile stage span per cell, with nested
+    // per-pass spans inside it
+    let trace = eight.trace();
+    assert_eq!(trace.count_of(SpanKind::Stage, "compile"), 26);
+    assert_eq!(trace.count_of(SpanKind::Stage, "cache-lookup"), 26);
+    assert_eq!(trace.count_of(SpanKind::Pass, "lower"), 26);
+
+    // a warm rerun replays everything: full cache-lookup coverage, zero
+    // compile stage spans and zero pass spans
+    let pipeline = pipeline_with_jobs(8);
+    pipeline.run_sweep(&spec).expect("cold prewarm");
+    let replay = pipeline.run_sweep(&spec).expect("warm sweep");
+    assert_eq!(replay.stats.jobs_cached, 26);
+    let rt = replay.trace();
+    assert_eq!(rt.count_of(SpanKind::Stage, "cache-lookup"), 26);
+    assert_eq!(rt.count_of(SpanKind::Stage, "compile"), 0);
+    assert_eq!(rt.count_of(SpanKind::Pass, "lower"), 0);
 }
 
 #[test]
