@@ -26,9 +26,9 @@ cargo run --release --offline -p vericomp-testkit --bin fuzz_pipeline -- \
 echo "==> pipeline smoke: cold+warm fleet builds, bit-identical, >=90% hits"
 CACHE_DIR=target/vericomp-ci-cache
 rm -rf "$CACHE_DIR"
-cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
     --cache-dir "$CACHE_DIR" | tee target/vericomp-ci-cold.txt
-cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
     --cache-dir "$CACHE_DIR" --min-hit-rate 0.9 | tee target/vericomp-ci-warm.txt
 cold_digest=$(grep '^fleet digest:' target/vericomp-ci-cold.txt)
 warm_digest=$(grep '^fleet digest:' target/vericomp-ci-warm.txt)
@@ -40,10 +40,10 @@ if [ "$cold_digest" != "$warm_digest" ]; then
 fi
 
 echo "==> sweep smoke: 2 nodes x 3 configs x 2 machines, parallel == jobs 1"
-cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
     --nodes 2 --configs pattern-O0,verified,opt-full --machines mpc755,tiny-caches \
     | tee target/vericomp-ci-sweep.txt
-cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
     --nodes 2 --configs pattern-O0,verified,opt-full --machines mpc755,tiny-caches \
     --jobs 1 | tee target/vericomp-ci-sweep-serial.txt
 sweep_digest=$(grep '^fleet digest:' target/vericomp-ci-sweep.txt)
@@ -58,10 +58,10 @@ fi
 echo "==> search smoke: lattice search, jobs 8 == jobs 1, warm rerun >=90% hits"
 SEARCH_CACHE=target/vericomp-ci-search-cache
 rm -rf "$SEARCH_CACHE"
-cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
     --search --nodes 4 --jobs 8 --cache-dir "$SEARCH_CACHE" \
     | tee target/vericomp-ci-search.txt
-cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
     --search --nodes 4 --jobs 1 | tee target/vericomp-ci-search-serial.txt
 # every `search:` line (winners, bounds, probe/prune counts) and the trace
 # digest must be identical whatever the job count or cache state
@@ -76,7 +76,7 @@ if ! cmp -s target/vericomp-ci-search-lines.txt \
     exit 1
 fi
 search_digest=$(grep '^search digest:' target/vericomp-ci-search.txt)
-cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
     --search --nodes 4 --jobs 8 --cache-dir "$SEARCH_CACHE" --min-hit-rate 0.9 \
     | tee target/vericomp-ci-search-warm.txt
 warm_search_digest=$(grep '^search digest:' target/vericomp-ci-search-warm.txt)
@@ -89,10 +89,10 @@ fi
 
 echo "==> trace smoke: Chrome-trace JSON well-formed, profile counters == jobs 1"
 TRACE_JSON=target/vericomp-ci-trace.json
-cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
     --nodes 6 --jobs 8 --trace "$TRACE_JSON" --profile \
     | tee target/vericomp-ci-trace.txt
-cargo run --release --offline -p vericomp-pipeline --bin compile_fleet -- \
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
     --nodes 6 --jobs 1 --profile | tee target/vericomp-ci-trace-serial.txt
 python3 - "$TRACE_JSON" <<'EOF'
 import json, sys
@@ -120,6 +120,57 @@ if [ "$profile_digest" != "$serial_profile_digest" ]; then
     echo "trace smoke FAILED: profile counters differ across job counts" >&2
     echo "  jobs 8: $profile_digest" >&2
     echo "  jobs 1: $serial_profile_digest" >&2
+    exit 1
+fi
+
+echo "==> scenario smoke: multi-rate matrix, sched report == jobs 1, over-budget reported"
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --scenario 3051 --scenario-tasks 16 --scenario-frames 4 \
+    --configs verified,opt-full --machines mpc755,tiny-caches --jobs 8 \
+    | tee target/vericomp-ci-scenario.txt
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --scenario 3051 --scenario-tasks 16 --scenario-frames 4 \
+    --configs verified,opt-full --machines mpc755,tiny-caches --jobs 1 \
+    | tee target/vericomp-ci-scenario-serial.txt
+# every `sched:` verdict line and both digests must be identical whatever
+# the job count
+grep '^sched' target/vericomp-ci-scenario.txt > target/vericomp-ci-sched-lines.txt
+grep '^sched' target/vericomp-ci-scenario-serial.txt \
+    > target/vericomp-ci-sched-serial-lines.txt
+if ! cmp -s target/vericomp-ci-sched-lines.txt \
+        target/vericomp-ci-sched-serial-lines.txt; then
+    echo "scenario smoke FAILED: --jobs 8 sched report differs from --jobs 1" >&2
+    diff target/vericomp-ci-sched-lines.txt \
+        target/vericomp-ci-sched-serial-lines.txt >&2 || true
+    exit 1
+fi
+scenario_digest=$(grep '^fleet digest:' target/vericomp-ci-scenario.txt)
+scenario_serial_digest=$(grep '^fleet digest:' target/vericomp-ci-scenario-serial.txt)
+if [ "$scenario_digest" != "$scenario_serial_digest" ]; then
+    echo "scenario smoke FAILED: sweep digest differs across job counts" >&2
+    echo "  jobs 8: $scenario_digest" >&2
+    echo "  jobs 1: $scenario_serial_digest" >&2
+    exit 1
+fi
+# generated budgets must fit (the model is calibrated to be sound)...
+if grep -q 'OVER by' target/vericomp-ci-scenario.txt; then
+    echo "scenario smoke FAILED: derived budgets reported over budget" >&2
+    exit 1
+fi
+# ...while an intentionally over-budget mode must come back as infeasible
+# verdicts (exit 0 — reporting, not panicking)...
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --scenario 3051 --scenario-tasks 8 --scenario-overbudget degraded --jobs 8 \
+    | tee target/vericomp-ci-scenario-over.txt
+if ! grep -q 'OVER by' target/vericomp-ci-scenario-over.txt; then
+    echo "scenario smoke FAILED: over-budget mode not reported infeasible" >&2
+    exit 1
+fi
+# ...and must flip the exit code under --require-feasible
+if cargo run --release --offline -p vericomp --bin compile_fleet -- \
+        --scenario 3051 --scenario-tasks 8 --scenario-overbudget degraded \
+        --require-feasible --jobs 8 > /dev/null 2>&1; then
+    echo "scenario smoke FAILED: --require-feasible exited 0 on infeasible run" >&2
     exit 1
 fi
 

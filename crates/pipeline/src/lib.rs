@@ -14,8 +14,9 @@
 //!   [`artifact_key`], with optional on-disk persistence;
 //! * [`stats`] — [`PipelineStats`] run metrics (jobs run/cached, per-stage
 //!   wall time, cache hit rate);
-//! * [`service`] — the [`Pipeline`] driver tying them together, plus the
-//!   `compile_fleet` binary;
+//! * [`service`] — the [`Pipeline`] driver tying them together (the
+//!   `compile_fleet` binary lives in the root `vericomp` crate, where it
+//!   can also reach the testkit scenario suite);
 //! * [`sweep`] — the first-class compile request: a [`SweepSpec`] matrix
 //!   of (units × configs × machines) that [`Pipeline::run_sweep`] shards
 //!   across the pool with full cross-cell cache reuse, returning a

@@ -6,14 +6,39 @@
 //! The symbol census is modeled on flight-control laws: dominated by
 //! gains, sums and filters, with a sprinkling of saturations, limiters,
 //! lookups, comparators and boolean logic.
+//!
+//! # Seed → fleet stability guarantee
+//!
+//! Given equal [`FleetConfig`] values, [`random_fleet`] produces
+//! **byte-identical generated sources** — every downstream artifact digest,
+//! WCET bound and benchmark workload is a pure function of the config. Two
+//! further invariants are part of the contract and pinned by the golden
+//! fleet-digest test in this module (and relied on by every `BENCH_*.json`
+//! trajectory):
+//!
+//! * **Prefix stability** — growing `nodes` never changes earlier nodes:
+//!   the first *k* nodes of a `nodes = n` fleet equal the `nodes = k` fleet
+//!   for every `k <= n` (each node draws from the shared stream only while
+//!   it is being generated).
+//! * **Pinned stream layout** — edits to the generator that change how many
+//!   draws a symbol consumes shift every later symbol and are **breaking**:
+//!   they must update the golden digest below and note the break in
+//!   CHANGELOG.md.
+
+use std::fmt;
 
 use vericomp_dataflow::node::{FWire, Node, NodeBuilder};
 use vericomp_minic::ast::Cmp;
+use vericomp_pipeline::hash::{Digest, Hasher};
 
 use crate::rng::Rng;
 
 /// Configuration of the random fleet generator.
-#[derive(Debug, Clone, Copy)]
+///
+/// Construct with [`FleetConfig::builder`] to get validation up front, or
+/// via struct-update syntax on [`FleetConfig::default`] (in which case
+/// [`random_fleet`] validates and panics on nonsense bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FleetConfig {
     /// Number of nodes.
     pub nodes: usize,
@@ -36,18 +61,176 @@ impl Default for FleetConfig {
     }
 }
 
+/// Why a [`FleetConfig`] was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetConfigError {
+    /// `nodes` was zero.
+    NoNodes,
+    /// `min_symbols` was below the generator's floor of 1.
+    SymbolFloor,
+    /// `min_symbols > max_symbols`.
+    InvertedSymbolRange {
+        /// The declared minimum.
+        min: usize,
+        /// The declared maximum.
+        max: usize,
+    },
+    /// `max_symbols` beyond the supported ceiling (huge nodes make the
+    /// downstream compiler quadratic corners visible long before they make
+    /// interesting workloads).
+    SymbolCeiling {
+        /// The declared maximum.
+        max: usize,
+    },
+}
+
+impl fmt::Display for FleetConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetConfigError::NoNodes => write!(f, "fleet needs at least one node"),
+            FleetConfigError::SymbolFloor => write!(f, "min_symbols must be at least 1"),
+            FleetConfigError::InvertedSymbolRange { min, max } => {
+                write!(f, "inverted symbol range: min {min} > max {max}")
+            }
+            FleetConfigError::SymbolCeiling { max } => {
+                write!(
+                    f,
+                    "max_symbols {max} beyond the supported ceiling {MAX_SYMBOLS_CEILING}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetConfigError {}
+
+/// Upper bound on `max_symbols` accepted by the validator.
+pub const MAX_SYMBOLS_CEILING: usize = 10_000;
+
+impl FleetConfig {
+    /// Starts a validated builder seeded with the defaults.
+    #[must_use]
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder {
+            cfg: FleetConfig::default(),
+        }
+    }
+
+    /// Checks the config against the generator's documented domain.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FleetConfigError`] found.
+    pub fn validate(&self) -> Result<(), FleetConfigError> {
+        if self.nodes == 0 {
+            return Err(FleetConfigError::NoNodes);
+        }
+        if self.min_symbols < 1 {
+            return Err(FleetConfigError::SymbolFloor);
+        }
+        if self.min_symbols > self.max_symbols {
+            return Err(FleetConfigError::InvertedSymbolRange {
+                min: self.min_symbols,
+                max: self.max_symbols,
+            });
+        }
+        if self.max_symbols > MAX_SYMBOLS_CEILING {
+            return Err(FleetConfigError::SymbolCeiling {
+                max: self.max_symbols,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Validated builder for [`FleetConfig`] — the only constructor that can't
+/// hand the generator an out-of-domain config.
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    cfg: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Sets the node count.
+    #[must_use]
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.cfg.nodes = nodes;
+        self
+    }
+
+    /// Sets the per-node symbol-count range (inclusive on both ends).
+    #[must_use]
+    pub fn symbols(mut self, min: usize, max: usize) -> Self {
+        self.cfg.min_symbols = min;
+        self.cfg.max_symbols = max;
+        self
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FleetConfigError`] found.
+    pub fn build(self) -> Result<FleetConfig, FleetConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 /// Generates a deterministic random fleet with a symbol census modeled on
-/// flight-control laws (dominated by gains/sums/filters).
+/// flight-control laws (dominated by gains/sums/filters). See the module
+/// docs for the seed → fleet stability guarantee.
+///
+/// # Panics
+///
+/// Panics when `cfg` fails [`FleetConfig::validate`] — construct configs
+/// through [`FleetConfig::builder`] to get the error as a value instead.
 pub fn random_fleet(cfg: &FleetConfig) -> Vec<Node> {
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid FleetConfig: {e}"));
     let mut rng = Rng::seed_from_u64(cfg.seed);
     (0..cfg.nodes)
-        .map(|i| random_node(&format!("node{i:03}"), &mut rng, cfg))
+        .map(|i| {
+            random_node_named(
+                &format!("node{i:03}"),
+                &mut rng,
+                cfg.min_symbols,
+                cfg.max_symbols,
+            )
+        })
         .collect()
 }
 
-fn random_node(name: &str, rng: &mut Rng, cfg: &FleetConfig) -> Node {
+/// A digest of every node's generated source, in fleet order — the value
+/// the golden-digest test pins, and what benches/scenarios use to assert a
+/// workload hasn't silently shifted.
+#[must_use]
+pub fn fleet_digest(nodes: &[Node]) -> Digest {
+    let mut h = Hasher::new();
+    for node in nodes {
+        h.str(node.name());
+        h.str(&vericomp_minic::pretty::program_to_c(&node.to_minic()));
+    }
+    h.finish()
+}
+
+/// One random node drawn from the shared stream — the symbol census behind
+/// both [`random_fleet`] and the scenario suite's task generator.
+pub(crate) fn random_node_named(
+    name: &str,
+    rng: &mut Rng,
+    min_symbols: usize,
+    max_symbols: usize,
+) -> Node {
     let mut b = NodeBuilder::new(name);
-    let target = rng.gen_range(cfg.min_symbols..=cfg.max_symbols);
+    let target = rng.gen_range(min_symbols..=max_symbols);
     let mut fw: Vec<FWire> = Vec::new();
     let mut bw = Vec::new();
 
@@ -202,6 +385,68 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
         }
     }
+
+    #[test]
+    fn builder_validates_and_round_trips() {
+        let cfg = FleetConfig::builder()
+            .nodes(7)
+            .symbols(5, 9)
+            .seed(42)
+            .build()
+            .expect("valid config");
+        assert_eq!(
+            cfg,
+            FleetConfig {
+                nodes: 7,
+                min_symbols: 5,
+                max_symbols: 9,
+                seed: 42
+            }
+        );
+        assert_eq!(
+            FleetConfig::builder().nodes(0).build(),
+            Err(FleetConfigError::NoNodes)
+        );
+        assert_eq!(
+            FleetConfig::builder().symbols(0, 4).build(),
+            Err(FleetConfigError::SymbolFloor)
+        );
+        assert_eq!(
+            FleetConfig::builder().symbols(9, 5).build(),
+            Err(FleetConfigError::InvertedSymbolRange { min: 9, max: 5 })
+        );
+        assert_eq!(
+            FleetConfig::builder().symbols(5, 20_000).build(),
+            Err(FleetConfigError::SymbolCeiling { max: 20_000 })
+        );
+    }
+
+    #[test]
+    fn growing_the_fleet_is_prefix_stable() {
+        let small = random_fleet(&FleetConfig::builder().nodes(5).build().unwrap());
+        let large = random_fleet(&FleetConfig::builder().nodes(12).build().unwrap());
+        assert_eq!(
+            fleet_digest(&small),
+            fleet_digest(&large[..5]),
+            "first 5 nodes shifted when the fleet grew"
+        );
+    }
+
+    /// The seed → fleet stability guarantee, pinned. If this digest moves,
+    /// the generator's draw stream changed and every downstream bench
+    /// trajectory (BENCH_*.json) and scenario budget resets — update the
+    /// constant only alongside a CHANGELOG.md note.
+    #[test]
+    fn golden_fleet_digest_is_pinned() {
+        let fleet = random_fleet(&FleetConfig::default());
+        assert_eq!(
+            fleet_digest(&fleet).to_string(),
+            GOLDEN_DEFAULT_FLEET_DIGEST,
+            "default fleet drifted from the pinned golden digest"
+        );
+    }
+
+    const GOLDEN_DEFAULT_FLEET_DIGEST: &str = "2d1b7524d648962a51853e67f71ed7af";
 
     #[test]
     fn fleet_sizes_respect_bounds() {

@@ -13,7 +13,13 @@
 //!   that also ingests legacy `proptest-regressions` files.
 //! * [`fleet`] — the seeded random flight-control workload generator
 //!   (moved here from `vericomp-dataflow`, which keeps only the curated
-//!   `named_suite`).
+//!   `named_suite`), with a validated config builder and a golden-digest
+//!   pinned seed → fleet stability guarantee.
+//! * [`scenario`] — the scenario suite: generated multi-rate cyclic
+//!   executives with operating modes (nominal/degraded/fault-handling)
+//!   and declarative per-frame WCET-budget properties, lowered to
+//!   `SweepSpec`s and decided against `run_sweep` bounds into a
+//!   deterministic schedulability report.
 //! * [`bench`] — a plain-`Instant` benchmark harness emitting
 //!   `BENCH_<group>.json` machine-readable summaries.
 //! * [`oracle`] — the cross-layer differential fuzz oracle behind the
@@ -34,3 +40,4 @@ pub mod fleet;
 pub mod oracle;
 pub mod prop;
 pub mod rng;
+pub mod scenario;

@@ -1,0 +1,93 @@
+//! Mode-variant derivation: nominal → degraded / fault-handling control
+//! laws, by post-processing a validated node's instance list. Variants
+//! share the nominal law's structure — only the symbols a mode is about
+//! are touched — and a derivation that changes nothing returns `None` so
+//! the scenario reuses the nominal compilation unit (structural dedup).
+
+use vericomp_dataflow::node::{Node, SymId, SymbolInstance};
+use vericomp_dataflow::symbol::Symbol;
+use vericomp_minic::ast::Cmp;
+
+/// Degraded-mode law: interpolation tables truncated to their cheapest
+/// legal sizes, PID demoted to its proportional term, second-order IIR
+/// sections demoted to first-order low-passes. Returns `None` when the
+/// nominal law contains none of those symbols.
+pub fn degraded(name: &str, nominal: &Node) -> Option<Node> {
+    let mut instances: Vec<SymbolInstance> = nominal.instances().to_vec();
+    let mut changed = false;
+    for inst in &mut instances {
+        match &inst.kind {
+            Symbol::Lookup1dSearch {
+                breakpoints,
+                values,
+            } if breakpoints.len() > 3 => {
+                inst.kind = Symbol::Lookup1dSearch {
+                    breakpoints: breakpoints[..3].to_vec(),
+                    values: values[..3].to_vec(),
+                };
+                changed = true;
+            }
+            Symbol::Lookup1d { table, x0, dx } if table.len() > 4 => {
+                inst.kind = Symbol::Lookup1d {
+                    table: table[..4].to_vec(),
+                    x0: *x0,
+                    dx: *dx,
+                };
+                changed = true;
+            }
+            Symbol::Pid { kp, .. } => {
+                inst.kind = Symbol::Gain(*kp);
+                changed = true;
+            }
+            Symbol::SecondOrderFilter { b0, .. } => {
+                inst.kind = Symbol::FirstOrderFilter(b0.abs().clamp(0.05, 0.95));
+                changed = true;
+            }
+            _ => {}
+        }
+    }
+    if !changed {
+        return None;
+    }
+    Some(validated(name, instances))
+}
+
+/// Fault-handling law: the nominal law plus out-of-range monitors on up
+/// to two float outputs — a `> 1e6` comparator debounced over two cycles,
+/// latched to a `<output>_fl` boolean flag. Returns `None` when the law
+/// has no float outputs to monitor.
+pub fn fault_handling(name: &str, nominal: &Node) -> Option<Node> {
+    let mut instances: Vec<SymbolInstance> = nominal.instances().to_vec();
+    let monitored: Vec<(SymId, String)> = instances
+        .iter()
+        .filter_map(|inst| match &inst.kind {
+            Symbol::Output(out) => Some((inst.inputs[0], out.clone())),
+            _ => None,
+        })
+        .take(2)
+        .collect();
+    if monitored.is_empty() {
+        return None;
+    }
+    for (wire, out) in monitored {
+        let cmp = SymId(instances.len());
+        instances.push(SymbolInstance {
+            kind: Symbol::CmpConst(Cmp::Gt, 1e6),
+            inputs: vec![wire],
+        });
+        let confirmed = SymId(instances.len());
+        instances.push(SymbolInstance {
+            kind: Symbol::Debounce(2),
+            inputs: vec![cmp],
+        });
+        instances.push(SymbolInstance {
+            kind: Symbol::OutputB(format!("{out}_fl")),
+            inputs: vec![confirmed],
+        });
+    }
+    Some(validated(name, instances))
+}
+
+fn validated(name: &str, instances: Vec<SymbolInstance>) -> Node {
+    Node::validated(name.to_owned(), instances).expect("variant derivation preserves node validity")
+}

@@ -1,7 +1,8 @@
-//! Parallel, cached sweep compilation of the paper-analog 26-node fleet.
+//! Parallel, cached sweep compilation of the paper-analog 26-node fleet —
+//! and of generated multi-rate scenarios with schedulability verdicts.
 //!
 //! ```text
-//! cargo run --release -p vericomp-pipeline --bin compile_fleet -- \
+//! cargo run --release -p vericomp --bin compile_fleet -- \
 //!     --jobs 8 --cache-dir target/vericomp-cache \
 //!     --configs pattern-O0,verified,opt-full --machines mpc755,tiny-caches
 //! ```
@@ -12,6 +13,14 @@
 //! run's [`vericomp_pipeline::PipelineStats`] and the sweep output digest
 //! (bit-identical runs print identical digests — the CI smoke compares
 //! them across job counts and cache states).
+//!
+//! With `--scenario SEED` the node axis comes from the testkit scenario
+//! suite instead of the curated fleet: a generated multi-rate cyclic
+//! executive with nominal/degraded/fault-handling modes, lowered through
+//! `Scenario::to_sweep_spec` and joined back into a schedulability report
+//! whose `sched:` lines and digest are bit-identical across `--jobs`
+//! counts. (The binary lives in the root crate because the scenario suite
+//! sits in `vericomp-testkit`, which itself builds on the pipeline.)
 
 use std::process::ExitCode;
 
@@ -19,6 +28,7 @@ use vericomp_arch::MachineConfig;
 use vericomp_core::OptLevel;
 use vericomp_dataflow::fleet;
 use vericomp_pipeline::{Pipeline, PipelineOptions, SearchSpec, SweepSpec};
+use vericomp_testkit::scenario::{Scenario, ScenarioConfig};
 
 struct Args {
     jobs: usize,
@@ -30,11 +40,18 @@ struct Args {
     search: bool,
     trace: Option<String>,
     profile: bool,
+    scenario: Option<u64>,
+    scenario_tasks: usize,
+    scenario_frames: usize,
+    scenario_overbudget: Option<String>,
+    require_feasible: bool,
 }
 
 const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--configs LIST]
                      [--machines LIST] [--nodes N] [--min-hit-rate F] [--search]
-                     [--trace FILE] [--profile]
+                     [--trace FILE] [--profile] [--scenario SEED]
+                     [--scenario-tasks N] [--scenario-frames N]
+                     [--scenario-overbudget MODE] [--require-feasible]
   --jobs N          worker threads (default: available parallelism)
   --cache-dir DIR   persistent artifact cache (default: in-memory only)
   --configs LIST    comma-separated config axis out of
@@ -51,6 +68,15 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
                     (load in Perfetto / chrome://tracing)
   --profile         print the per-stage / per-pass profile table; its
                     counter digest is identical across --jobs values
+  --scenario SEED   sweep a generated multi-rate scenario (testkit scenario
+                    suite) instead of the curated fleet, and print its
+                    schedulability report + digest (excludes --search/--nodes)
+  --scenario-tasks N    periodic tasks in the scenario (default 12)
+  --scenario-frames N   minor frames per major cycle, power of two (default 4)
+  --scenario-overbudget MODE
+                    force MODE's frame budget to 1 cycle — every non-empty
+                    frame of that mode reports OVER (negative-test hook)
+  --require-feasible    exit nonzero when any frame verdict is over budget
 
 environment overrides (used when the corresponding flag is absent):
   VERICOMP_JOBS       default for --jobs
@@ -79,8 +105,14 @@ fn parse_args() -> Result<Args, String> {
         search: false,
         trace: None,
         profile: false,
+        scenario: None,
+        scenario_tasks: 12,
+        scenario_frames: 4,
+        scenario_overbudget: None,
+        require_feasible: false,
     };
     let mut jobs_set = false;
+    let mut scenario_flags = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -124,6 +156,33 @@ fn parse_args() -> Result<Args, String> {
             "--search" => args.search = true,
             "--trace" => args.trace = Some(value("--trace")?),
             "--profile" => args.profile = true,
+            "--scenario" => {
+                args.scenario = Some(
+                    value("--scenario")?
+                        .parse()
+                        .map_err(|_| "--scenario needs a u64 seed".to_string())?,
+                );
+            }
+            "--scenario-tasks" => {
+                args.scenario_tasks = value("--scenario-tasks")?
+                    .parse()
+                    .map_err(|_| "--scenario-tasks needs a number".to_string())?;
+                scenario_flags = true;
+            }
+            "--scenario-frames" => {
+                args.scenario_frames = value("--scenario-frames")?
+                    .parse()
+                    .map_err(|_| "--scenario-frames needs a number".to_string())?;
+                scenario_flags = true;
+            }
+            "--scenario-overbudget" => {
+                args.scenario_overbudget = Some(value("--scenario-overbudget")?);
+                scenario_flags = true;
+            }
+            "--require-feasible" => {
+                args.require_feasible = true;
+                scenario_flags = true;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -145,6 +204,15 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.search && !args.configs.is_empty() {
         return Err("--search seeds its own config frontier; drop --configs/--level".to_string());
+    }
+    if args.scenario.is_some() && args.search {
+        return Err("--scenario sweeps a fixed config axis; drop --search".to_string());
+    }
+    if args.scenario.is_some() && args.nodes.is_some() {
+        return Err("--scenario sizes itself via --scenario-tasks; drop --nodes".to_string());
+    }
+    if scenario_flags && args.scenario.is_none() {
+        return Err("--scenario-* flags and --require-feasible need --scenario SEED".to_string());
     }
     if args.configs.is_empty() {
         args.configs.push(OptLevel::Verified);
@@ -185,6 +253,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.scenario.is_some() {
+        return run_scenario(&pipeline, &args);
+    }
 
     let mut nodes = fleet::named_suite();
     if let Some(n) = args.nodes {
@@ -252,6 +324,98 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--scenario SEED`: generate a multi-rate scenario, sweep its
+/// deduplicated task variants through the pipeline, and join the WCET
+/// bounds back into a schedulability report. Every `scenario:` / `sched:`
+/// line and both digests are pure functions of (seed, flags, axes) — the
+/// CI smoke compares them across job counts.
+fn run_scenario(pipeline: &Pipeline, args: &Args) -> ExitCode {
+    let seed = args.scenario.expect("run_scenario needs --scenario");
+    let mut builder = ScenarioConfig::builder()
+        .name("cli")
+        .tasks(args.scenario_tasks)
+        .frames(args.scenario_frames)
+        .seed(seed);
+    if let Some(mode) = &args.scenario_overbudget {
+        builder = builder.override_budget(mode, 1);
+    }
+    let config = match builder.build() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match Scenario::generate(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("compile_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "scenario: {} seed={seed} tasks={} frames={} modes={} units={} symbols={}",
+        config.name,
+        scenario.tasks().len(),
+        config.minor_frames,
+        config.modes.len(),
+        scenario.units().len(),
+        scenario.total_symbols(),
+    );
+
+    let mut spec = scenario.to_sweep_spec();
+    for level in &args.configs {
+        spec = spec.level(*level);
+    }
+    for name in &args.machines {
+        spec = spec.machine(name, &parse_machine(name).expect("validated at parse time"));
+    }
+    println!(
+        "compile_fleet: {} units × {} configs × {} machines = {} cells on {} workers, cache {}",
+        scenario.units().len(),
+        args.configs.len(),
+        args.machines.len(),
+        spec.cell_count(),
+        pipeline.jobs(),
+        args.cache_dir.as_deref().unwrap_or("(memory)"),
+    );
+
+    let result = match pipeline.run_sweep(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("compile_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", result.stats.render());
+    println!("fleet digest: {}", result.digest());
+
+    let report = scenario.check(&result);
+    print!("{}", report.render());
+    println!("sched digest: {}", report.digest());
+    if let Err(code) = export_trace(result.trace(), args) {
+        return code;
+    }
+
+    if let Some(min) = args.min_hit_rate {
+        if result.stats.hit_rate() < min {
+            eprintln!(
+                "compile_fleet: hit rate {:.3} below required {min:.3}",
+                result.stats.hit_rate()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if args.require_feasible && !report.feasible() {
+        eprintln!(
+            "compile_fleet: {} frame verdicts over budget",
+            report.infeasible_count()
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -20,7 +20,10 @@
 //! * [`pipeline`] — the parallel compilation service: std-only
 //!   work-stealing job pool, content-addressed artifact cache (keyed on
 //!   source, passes, machine config and toolchain stamps; populated only
-//!   after translation validators accept), and incremental fleet rebuilds.
+//!   after translation validators accept), and incremental fleet rebuilds,
+//! * [`testkit`] — hermetic test infrastructure, including the scenario
+//!   suite: generated multi-rate cyclic executives with operating modes
+//!   and declarative per-frame WCET-budget properties.
 //!
 //! The [`harness`] module glues these into the experiment pipelines used by
 //! the examples, integration tests and benchmarks.
@@ -58,6 +61,7 @@ pub use vericomp_dataflow as dataflow;
 pub use vericomp_mach as mach;
 pub use vericomp_minic as minic;
 pub use vericomp_pipeline as pipeline;
+pub use vericomp_testkit as testkit;
 pub use vericomp_wcet as wcet;
 
 pub mod harness {
@@ -334,6 +338,57 @@ pub mod harness {
             search: node,
             trace,
         })
+    }
+
+    /// Result of [`compile_scenario`] / [`compile_scenario_with`]: the
+    /// sweep over the scenario's deduplicated task variants joined with
+    /// its schedulability report.
+    #[derive(Debug)]
+    pub struct ScenarioBuild {
+        /// The full sweep result (artifacts, verdicts, WCET bounds, stats,
+        /// trace) of every (unit × config × machine) cell.
+        pub sweep: crate::pipeline::SweepResult,
+        /// The joint property verdicts: one per (mode, frame, config,
+        /// machine), with a digest that is bit-identical across job counts.
+        pub report: crate::testkit::scenario::SchedReport,
+    }
+
+    /// Front-door compilation of a generated scenario on default axes
+    /// (the `verified` config on the default machine): lowers the scenario
+    /// through [`Scenario::to_sweep_spec`], runs the sweep on the parallel
+    /// pipeline, and joins the analyzed WCET bounds back against the
+    /// scenario's frame budgets.
+    ///
+    /// [`Scenario::to_sweep_spec`]: crate::testkit::scenario::Scenario::to_sweep_spec
+    ///
+    /// # Errors
+    ///
+    /// Any [`PipelineError`](crate::pipeline::PipelineError).
+    pub fn compile_scenario(
+        scenario: &crate::testkit::scenario::Scenario,
+        options: &crate::pipeline::PipelineOptions,
+    ) -> Result<ScenarioBuild, crate::pipeline::PipelineError> {
+        let pipeline = crate::pipeline::Pipeline::new(options)?;
+        compile_scenario_with(&pipeline, scenario, scenario.to_sweep_spec())
+    }
+
+    /// [`compile_scenario`] with an explicit pipeline and sweep spec —
+    /// the spec must come from [`Scenario::to_sweep_spec`] (extra config /
+    /// machine axes welcome; dropping units is not).
+    ///
+    /// [`Scenario::to_sweep_spec`]: crate::testkit::scenario::Scenario::to_sweep_spec
+    ///
+    /// # Errors
+    ///
+    /// Any [`PipelineError`](crate::pipeline::PipelineError).
+    pub fn compile_scenario_with(
+        pipeline: &crate::pipeline::Pipeline,
+        scenario: &crate::testkit::scenario::Scenario,
+        spec: crate::pipeline::SweepSpec,
+    ) -> Result<ScenarioBuild, crate::pipeline::PipelineError> {
+        let sweep = pipeline.run_sweep(&spec)?;
+        let report = scenario.check(&sweep);
+        Ok(ScenarioBuild { sweep, report })
     }
 
     /// Whether a machine annotation trace equals a source-level trace

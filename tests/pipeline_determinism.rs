@@ -9,6 +9,7 @@ use vericomp::arch::MachineConfig;
 use vericomp::core::{Compiler, OptLevel};
 use vericomp::dataflow::fleet;
 use vericomp::pipeline::{Pipeline, PipelineOptions, SearchSpec, SpanKind, SweepSpec};
+use vericomp::testkit::scenario::{Scenario, ScenarioConfig};
 
 fn pipeline_with_jobs(jobs: usize) -> Pipeline {
     Pipeline::new(
@@ -230,6 +231,69 @@ fn trace_profile_counters_are_deterministic_across_job_counts() {
     assert_eq!(rt.count_of(SpanKind::Stage, "cache-lookup"), 26);
     assert_eq!(rt.count_of(SpanKind::Stage, "compile"), 0);
     assert_eq!(rt.count_of(SpanKind::Pass, "lower"), 0);
+}
+
+#[test]
+fn scenario_verdicts_are_bit_identical_across_job_counts() {
+    // a generated multi-rate scenario through the same gate: both the
+    // sweep digest and the schedulability report (verdict order, frame
+    // WCETs, rendering, digest) must be pure functions of the spec
+    let scn = Scenario::generate(
+        &ScenarioConfig::builder()
+            .name("det")
+            .tasks(8)
+            .symbols(6, 20)
+            .frames(4)
+            .seed(0xD17E)
+            .build()
+            .expect("valid config"),
+    )
+    .expect("generates");
+    let spec = scn
+        .to_sweep_spec()
+        .levels([OptLevel::Verified, OptLevel::OptFull]);
+
+    let one = pipeline_with_jobs(1)
+        .run_sweep(&spec)
+        .expect("jobs=1 sweep");
+    let eight = pipeline_with_jobs(8)
+        .run_sweep(&spec)
+        .expect("jobs=8 sweep");
+    assert_eq!(
+        one.digest(),
+        eight.digest(),
+        "scenario sweep diverges across job counts"
+    );
+    let report_one = scn.check(&one);
+    let report_eight = scn.check(&eight);
+    assert_eq!(
+        report_one.digest(),
+        report_eight.digest(),
+        "schedulability digests diverge across job counts"
+    );
+    assert_eq!(report_one.render(), report_eight.render());
+    assert!(report_one.feasible(), "derived budgets must fit:\n{}", {
+        report_one.render()
+    });
+
+    // warm replay serves every scenario cell from the cache: zero compile
+    // stage spans, zero pass spans, and the same verdicts
+    let pipeline = pipeline_with_jobs(8);
+    pipeline.run_sweep(&spec).expect("cold prewarm");
+    let replay = pipeline.run_sweep(&spec).expect("warm sweep");
+    assert_eq!(replay.stats.jobs_cached, spec.cell_count() as u64);
+    let rt = replay.trace();
+    assert_eq!(
+        rt.count_of(SpanKind::Stage, "cache-lookup"),
+        spec.cell_count() as u64
+    );
+    assert_eq!(rt.count_of(SpanKind::Stage, "compile"), 0);
+    assert_eq!(rt.count_of(SpanKind::Pass, "lower"), 0);
+    assert_eq!(
+        scn.check(&replay).digest(),
+        report_one.digest(),
+        "replayed verdicts diverge from the cold build"
+    );
 }
 
 #[test]
