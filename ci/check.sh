@@ -174,4 +174,95 @@ if cargo run --release --offline -p vericomp --bin compile_fleet -- \
     exit 1
 fi
 
+echo "==> daemon smoke: shared bounded store, two clients, eviction, clean shutdown"
+DAEMON_SOCK=target/vericomp-ci-daemon.sock
+rm -f "$DAEMON_SOCK"
+cargo run --release --offline -p vericomp --bin vericomp_serve -- \
+    --socket "$DAEMON_SOCK" --shards 4 --store-bytes 120000 \
+    > target/vericomp-ci-daemon.txt 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$DAEMON_SOCK" ] && break
+    sleep 0.1
+done
+if [ ! -S "$DAEMON_SOCK" ]; then
+    echo "daemon smoke FAILED: socket never appeared" >&2
+    cat target/vericomp-ci-daemon.txt >&2
+    exit 1
+fi
+# client 1: a scenario through the daemon — sweep digest, every sched
+# verdict line, and the sched digest must match the solo run
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --connect "$DAEMON_SOCK" \
+    --scenario 3051 --scenario-tasks 16 --scenario-frames 4 \
+    | tee target/vericomp-ci-daemon-scenario.txt
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --scenario 3051 --scenario-tasks 16 --scenario-frames 4 \
+    | tee target/vericomp-ci-daemon-scenario-solo.txt
+grep '^sched\|^fleet digest:' target/vericomp-ci-daemon-scenario.txt \
+    > target/vericomp-ci-daemon-sched-lines.txt
+grep '^sched\|^fleet digest:' target/vericomp-ci-daemon-scenario-solo.txt \
+    > target/vericomp-ci-daemon-sched-solo-lines.txt
+if ! cmp -s target/vericomp-ci-daemon-sched-lines.txt \
+        target/vericomp-ci-daemon-sched-solo-lines.txt; then
+    echo "daemon smoke FAILED: served scenario differs from solo" >&2
+    diff target/vericomp-ci-daemon-sched-lines.txt \
+        target/vericomp-ci-daemon-sched-solo-lines.txt >&2 || true
+    exit 1
+fi
+# client 2: the named fleet through the daemon must print the digest a
+# solo run of the same request prints; this batch also pushes the store
+# past its byte bound, evicting the older scenario batch
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --connect "$DAEMON_SOCK" --nodes 6 --configs verified,opt-full \
+    | tee target/vericomp-ci-daemon-fleet.txt
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --nodes 6 --configs verified,opt-full \
+    | tee target/vericomp-ci-daemon-fleet-solo.txt
+daemon_fleet_digest=$(grep '^fleet digest:' target/vericomp-ci-daemon-fleet.txt)
+solo_fleet_digest=$(grep '^fleet digest:' target/vericomp-ci-daemon-fleet-solo.txt)
+if [ "$daemon_fleet_digest" != "$solo_fleet_digest" ]; then
+    echo "daemon smoke FAILED: served fleet digest differs from solo" >&2
+    echo "  daemon: $daemon_fleet_digest" >&2
+    echo "  solo:   $solo_fleet_digest" >&2
+    exit 1
+fi
+# warm rerun of the most recent batch against the daemon's resident
+# store: >=90% hits enforced client-side, same digest
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --connect "$DAEMON_SOCK" --nodes 6 --configs verified,opt-full \
+    --min-hit-rate 0.9 | tee target/vericomp-ci-daemon-warm.txt
+warm_daemon_digest=$(grep '^fleet digest:' target/vericomp-ci-daemon-warm.txt)
+cold_daemon_digest=$(grep '^fleet digest:' target/vericomp-ci-daemon-fleet.txt)
+if [ "$warm_daemon_digest" != "$cold_daemon_digest" ]; then
+    echo "daemon smoke FAILED: warm daemon rerun not bit-identical" >&2
+    exit 1
+fi
+# the byte bound must have evicted least-recent batches by now
+cargo run --release --offline -p vericomp --bin vericomp_serve -- \
+    --stats-of "$DAEMON_SOCK" | tee target/vericomp-ci-daemon-stats.txt
+evictions=$(sed -n 's/^server: store .* evictions \([0-9]*\)$/\1/p' \
+    target/vericomp-ci-daemon-stats.txt)
+if [ -z "$evictions" ] || [ "$evictions" -eq 0 ]; then
+    echo "daemon smoke FAILED: store bound forced no evictions" >&2
+    exit 1
+fi
+# clean shutdown: ack, daemon exits 0, socket file removed
+cargo run --release --offline -p vericomp --bin vericomp_serve -- \
+    --shutdown "$DAEMON_SOCK"
+if ! wait $DAEMON_PID; then
+    echo "daemon smoke FAILED: daemon exited non-zero" >&2
+    cat target/vericomp-ci-daemon.txt >&2
+    exit 1
+fi
+if ! grep -q '^vericomp_serve: clean shutdown$' target/vericomp-ci-daemon.txt; then
+    echo "daemon smoke FAILED: no clean-shutdown line in daemon log" >&2
+    cat target/vericomp-ci-daemon.txt >&2
+    exit 1
+fi
+if [ -e "$DAEMON_SOCK" ]; then
+    echo "daemon smoke FAILED: socket file survived shutdown" >&2
+    exit 1
+fi
+
 echo "==> all checks passed"

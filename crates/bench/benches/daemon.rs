@@ -1,0 +1,182 @@
+//! E11 — the compile service: client latency and batching throughput
+//! against a live `vericomp-serve` daemon. Emits `BENCH_daemon.json`.
+//!
+//! One in-process server (4 shards, unbounded store) serves every regime
+//! over its Unix socket, exactly the deployment shape of
+//! `vericomp_serve` + `compile_fleet --connect`:
+//!
+//! * `fleet26/cold_client` — one-shot (recorded in the `latency` note):
+//!   first request of the 26-node suite against an empty store, the full
+//!   cold path over the wire;
+//! * `fleet26/warm_client` — the same request replayed from the warm
+//!   shared store, protocol + replay cost only;
+//! * `batch4/concurrent_clients` — four clients submit overlapping
+//!   4-node specs (plus one never-seen dirty node each) at once; the
+//!   server coalesces them into batched sweeps;
+//! * `batch4/serial_client` — the identical four specs one after another
+//!   on a single connection, the unbatched baseline.
+//!
+//! The soak: the E10 5 000-task scenario (10k+ units) through the
+//! daemon, digest-checked against a solo `run_sweep` of the same spec,
+//! then replayed warm (asserted 100% hits). The daemon's own
+//! [`ServerStats`] ride along in the summary under the `server` note, so
+//! `BENCH_daemon.json` records hit rate, evictions, queue depth and
+//! per-stage nanos next to the timings.
+//!
+//! Acceptance bar asserted below: the warm served request is at least 5x
+//! faster than the cold one, and all digests equal the solo runs.
+
+use std::path::Path;
+use std::time::Instant;
+
+use vericomp_arch::MachineConfig;
+use vericomp_bench::pipeline::dirty_node;
+use vericomp_core::OptLevel;
+use vericomp_dataflow::fleet;
+use vericomp_pipeline::{normalize_spec, Client, Pipeline, Server, ServerOptions, SweepSpec};
+use vericomp_testkit::bench::Bench;
+use vericomp_testkit::scenario::{Scenario, ScenarioConfig};
+
+fn soak_config() -> ScenarioConfig {
+    ScenarioConfig::builder()
+        .name("scn10k")
+        .tasks(5_000)
+        .symbols(10, 28)
+        .frames(8)
+        .seed(0x10_000)
+        .build()
+        .expect("valid config")
+}
+
+fn main() {
+    let socket = std::env::temp_dir().join(format!("vericomp-bench-{}.sock", std::process::id()));
+    let server = Server::new(&ServerOptions::new(&socket)).expect("binds");
+    let handle = std::thread::spawn(move || server.run().expect("serves"));
+
+    let suite = fleet::named_suite();
+    let spec = normalize_spec(
+        &SweepSpec::new().nodes(&suite).level(OptLevel::Verified),
+        &MachineConfig::mpc755(),
+    );
+    let solo = Pipeline::in_memory().run_sweep(&spec).expect("solo sweep");
+
+    // cold latency is a one-shot: the store is only empty once
+    let mut client = Client::connect(&socket).expect("connects");
+    let t = Instant::now();
+    let cold = client.run_sweep(&spec).expect("cold request");
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(cold.digest, solo.digest(), "cold served digest != solo");
+
+    let mut g = Bench::group("daemon");
+    g.bench("fleet26/warm_client", || {
+        let r = client.run_sweep(&spec).expect("warm request");
+        assert_eq!(r.digest, solo.digest(), "warm served digest != solo");
+        r.stats.jobs_cached
+    });
+    let warm_ns = g.results()[0].mean_ns;
+    println!(
+        "daemon: fleet26 cold {cold_ms:.1} ms, warm {:.1} ms over the socket",
+        warm_ns / 1e6
+    );
+
+    // four overlapping specs; each iteration dirties one never-seen node
+    // per client so every round carries 4 genuine compiles
+    let batch_specs = |revision: u32| -> Vec<SweepSpec> {
+        (0..4u32)
+            .map(|i| {
+                let lo = (i as usize) * 4;
+                let mut nodes = suite[lo..lo + 4].to_vec();
+                nodes.push(dirty_node(revision * 4 + i));
+                normalize_spec(
+                    &SweepSpec::new().nodes(&nodes).level(OptLevel::Verified),
+                    &MachineConfig::mpc755(),
+                )
+            })
+            .collect()
+    };
+
+    let mut revision = 0u32;
+    let mut pool: Vec<Client> = (0..4)
+        .map(|_| Client::connect(&socket).expect("connects"))
+        .collect();
+    g.bench("batch4/concurrent_clients", || {
+        let specs = batch_specs(revision);
+        revision += 1;
+        std::thread::scope(|s| {
+            let joins: Vec<_> = pool
+                .iter_mut()
+                .zip(&specs)
+                .map(|(c, spec)| s.spawn(move || c.run_sweep(spec).expect("served").cells.len()))
+                .collect();
+            joins
+                .into_iter()
+                .map(|j| j.join().expect("client thread"))
+                .sum::<usize>()
+        })
+    });
+    g.bench("batch4/serial_client", || {
+        let specs = batch_specs(revision);
+        revision += 1;
+        specs
+            .iter()
+            .map(|spec| client.run_sweep(spec).expect("served").cells.len())
+            .sum::<usize>()
+    });
+
+    // the E10 soak: the 5k-task scenario (10k+ units) through the daemon,
+    // bit-identical to a solo run of the same lowered spec
+    let scenario = Scenario::generate(&soak_config()).expect("generates");
+    let units = scenario.units().len();
+    assert!(units >= 10_000, "soak workload shrank to {units} units");
+    let soak_spec = normalize_spec(&scenario.to_sweep_spec(), &MachineConfig::mpc755());
+    let solo_soak = Pipeline::in_memory()
+        .run_sweep(&soak_spec)
+        .expect("solo soak");
+    let t = Instant::now();
+    let served_soak = client.run_sweep(&soak_spec).expect("soak request");
+    let soak_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        served_soak.digest,
+        solo_soak.digest(),
+        "soak served digest != solo"
+    );
+    let t = Instant::now();
+    let warm_soak = client.run_sweep(&soak_spec).expect("warm soak");
+    let soak_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(warm_soak.stats.jobs_cached, units as u64, "soak not warm");
+    println!(
+        "daemon: scenario soak {units} units cold {soak_ms:.0} ms, \
+         warm {soak_warm_ms:.0} ms, digest {}",
+        served_soak.digest
+    );
+
+    let server_stats = client.server_stats().expect("stats");
+    g.note(
+        "latency",
+        &format!(
+            "{{\"fleet26_cold_ms\":{cold_ms:.2},\"fleet26_warm_ms\":{:.2},\
+             \"soak_units\":{units},\"soak_cold_ms\":{soak_ms:.1},\
+             \"soak_warm_ms\":{soak_warm_ms:.1}}}",
+            warm_ns / 1e6
+        ),
+    );
+    g.note("server", &server_stats.to_json());
+    g.note("stats", &warm_soak.stats.to_json());
+
+    let mut admin = Client::connect(&socket).expect("connects");
+    admin.shutdown().expect("acknowledged");
+    let final_stats = handle.join().expect("clean run");
+    assert!(!socket.exists(), "socket must be removed on shutdown");
+    assert!(final_stats.requests > 0);
+
+    println!("{}", g.render());
+    let path = g.write_json(Path::new(".")).expect("writes summary");
+    println!("wrote {}", path.display());
+
+    let speedup = cold_ms * 1e6 / warm_ns;
+    println!("warm served request speedup vs cold: {speedup:.1}x (bar: 5x)");
+    assert!(
+        speedup >= 5.0,
+        "warm daemon replay regressed below 5x vs cold: {speedup:.2}x"
+    );
+}

@@ -1,0 +1,155 @@
+//! The compile-service client: a blocking request/response connection
+//! over a Unix domain socket.
+//!
+//! One [`Client`] is one connection. Requests are serialized with
+//! [`proto::encode_request`](crate::proto::encode_request), written
+//! whole, and the response document is read back line-by-line until its
+//! `end` terminator — the same framing discipline the server's reader
+//! threads use, so either side can be tested against the other with
+//! nothing but a socket pair.
+//!
+//! The client re-verifies every sweep response's digest against its
+//! cells ([`SweepResponse::verify`]); a server (or transport) that
+//! corrupts a cell is detected at the edge, not downstream.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use crate::proto::{
+    decode_response, encode_request, ProtoError, Request, Response, ServerStats, SweepResponse,
+};
+use crate::sweep::SweepSpec;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, early EOF).
+    Io(io::Error),
+    /// The peer sent a malformed document.
+    Proto(ProtoError),
+    /// The server understood the request and rejected it.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Proto(e) => write!(f, "{e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Proto(e)
+    }
+}
+
+/// One connection to a running `vericomp_serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<UnixStream>,
+}
+
+impl Client {
+    /// Connects to the daemon's socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (no daemon, stale socket, …).
+    pub fn connect(path: impl AsRef<Path>) -> io::Result<Client> {
+        let stream = UnixStream::connect(path)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Reads one line-framed document (through its `end` line).
+    fn read_document(&mut self) -> Result<String, ClientError> {
+        let mut doc = String::new();
+        loop {
+            let start = doc.len();
+            let n = self.reader.read_line(&mut doc)?;
+            if n == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                )));
+            }
+            if doc[start..].trim_end_matches('\n') == "end" {
+                return Ok(doc);
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let text = encode_request(request)?;
+        let stream = self.reader.get_mut();
+        stream.write_all(text.as_bytes())?;
+        stream.flush()?;
+        let doc = self.read_document()?;
+        match decode_response(&doc)? {
+            Response::Error(msg) => Err(ClientError::Server(msg)),
+            other => Ok(other),
+        }
+    }
+
+    /// Submits a sweep and waits for the served result. The spec's axes
+    /// must be explicit — run it through
+    /// [`normalize_spec`](crate::proto::normalize_spec) first so defaults
+    /// match a solo `run_sweep`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure, malformed peer output
+    /// (including a digest that does not match the cells), or a
+    /// server-side rejection.
+    pub fn run_sweep(&mut self, spec: &SweepSpec) -> Result<SweepResponse, ClientError> {
+        match self.roundtrip(&Request::Sweep(spec.clone()))? {
+            Response::Sweep(sweep) => Ok(sweep),
+            _ => Err(ClientError::Proto(ProtoError(
+                "expected a sweep response".into(),
+            ))),
+        }
+    }
+
+    /// Fetches a [`ServerStats`] snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or malformed peer output.
+    pub fn server_stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(ClientError::Proto(ProtoError(
+                "expected a stats response".into(),
+            ))),
+        }
+    }
+
+    /// Asks the daemon to drain its queue and stop.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or malformed peer output.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            _ => Err(ClientError::Proto(ProtoError(
+                "expected an ok response".into(),
+            ))),
+        }
+    }
+}

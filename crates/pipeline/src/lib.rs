@@ -29,7 +29,14 @@
 //! * [`trace`] — structured run telemetry: every sweep and search records
 //!   per-job stage spans, nested per-pass spans and search provenance
 //!   events into a [`RunTrace`], exportable as Chrome trace-event JSON
-//!   (Perfetto-loadable) or a deterministic text [`Profile`].
+//!   (Perfetto-loadable) or a deterministic text [`Profile`];
+//! * [`proto`] / [`server`] / [`client`] — the compile service: a
+//!   line-oriented `.vcart`-style wire protocol over a Unix socket, a
+//!   long-lived [`Server`] daemon owning one warm sharded
+//!   [`ArtifactStore`] (size-bounded, deterministic eviction) that
+//!   batches concurrent client requests into sweeps, and the blocking
+//!   [`Client`] — every served response digest is bit-identical to a
+//!   solo [`Pipeline::run_sweep`] of the same request.
 //!
 //! ## Correctness story
 //!
@@ -64,26 +71,37 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod client;
 pub mod hash;
 pub mod pool;
+pub mod proto;
 pub mod search;
+pub mod server;
 pub mod service;
 pub mod stats;
 pub mod store;
 pub mod sweep;
 pub mod trace;
 
+pub use client::{Client, ClientError};
 pub use hash::{Digest, Hasher};
 pub use pool::{JobGraph, JobId, ThreadPool};
+pub use proto::{
+    cells_digest, normalize_spec, CellSummary, ProtoError, Request, Response, ServerStats,
+    SweepResponse, PROTO_VERSION,
+};
 pub use search::{
     bits_config, config_bits, describe_bits, NodeSearch, ProbedConfig, PrunedFlag, SearchResult,
     SearchSpec, LATTICE_FLAGS, LATTICE_SIZE,
 };
+pub use server::{Server, ServerOptions};
 pub use service::{
     CompileUnit, CompileUnitBuilder, FleetResult, OptionsError, Pipeline, PipelineError,
     PipelineOptions, PipelineOptionsBuilder, UnitOutcome, MAX_JOBS,
 };
 pub use stats::{saturating_nanos, PipelineStats, StatsCell};
-pub use store::{artifact_key, machine_digest, Artifact, ArtifactStore, Verdict, FORMAT_VERSION};
+pub use store::{
+    artifact_key, machine_digest, Artifact, ArtifactStore, StoreConfig, Verdict, FORMAT_VERSION,
+};
 pub use sweep::{SweepCell, SweepResult, SweepSpec, SweepUnit};
 pub use trace::{Profile, ProfileRow, RunTrace, Span, SpanKind, TraceSink, STAGE_NAMES};

@@ -1,0 +1,1088 @@
+//! Wire protocol of the compile service: the `.vcart` discipline on a
+//! socket.
+//!
+//! Requests and responses are plain line-oriented text documents — the
+//! same format family as the artifact store's `.vcart` files: a versioned
+//! header line, one `tag operands…` line per field, an `end` terminator.
+//! No serde, no external deps, and every document is printable, which
+//! makes the protocol greppable in transcripts and trivially testable.
+//!
+//! **Framing.** One message = the lines from its header through its `end`
+//! line inclusive. Readers consume lines until `end`; a closed connection
+//! mid-message is a protocol error, never a partial result.
+//!
+//! **Grammar** (one message per block):
+//!
+//! ```text
+//! request  := "vericomp-request 1" NL body "end" NL
+//! body     := sweep | "stats" NL | "shutdown" NL
+//! sweep    := "sweep" NL unit* config+ machine+
+//! unit     := "unit" entry nlines name NL <nlines source lines>
+//! config   := "config" label bits10 NL        ; PassConfig, key-order bits
+//! machine  := "machine" label u32{24} NL      ; machine_digest field order
+//!
+//! response := "vericomp-response 1" NL rbody "end" NL
+//! rbody    := rsweep | rstats | "ok" NL | "error" message NL
+//! rsweep   := "sweep" nunits nconfigs nmachines NL label-lines cell* stats digest
+//! cell     := "cell" unit config machine wcet cached vbits3 hex32 NL
+//! stats    := "stats" jobs_run jobs_cached compile_ns analyze_ns store_ns wall_ns NL
+//! digest   := "digest" hex32 NL
+//! ```
+//!
+//! Unit sources travel as pretty-printed MiniC and are re-parsed server
+//! side; the parser/pretty round-trip is identity on ASTs (gated by
+//! `tests/parser_roundtrip.rs`), so the server derives **the same cache
+//! keys** a local run would — a client's cells hit the daemon's warm
+//! store exactly when a solo run would hit its own.
+//!
+//! Names and axis labels must be non-empty and whitespace-free — enforced
+//! at encode *and* decode time, so a malformed peer cannot smuggle a
+//! misframed document through.
+
+use std::fmt;
+
+use vericomp_arch::config::CacheConfig;
+use vericomp_arch::MachineConfig;
+use vericomp_core::{OptLevel, PassConfig};
+use vericomp_minic::parse::parse;
+use vericomp_minic::pretty::program_to_c;
+
+use crate::hash::{Digest, Hasher};
+use crate::stats::PipelineStats;
+use crate::store::Verdict;
+use crate::sweep::{SweepResult, SweepSpec, SweepUnit};
+
+/// Protocol version. Bump on any grammar change — mismatched peers fail
+/// loudly at the header instead of misparsing bodies.
+pub const PROTO_VERSION: u32 = 1;
+
+const REQUEST_HEADER: &str = "vericomp-request 1";
+const RESPONSE_HEADER: &str = "vericomp-response 1";
+
+/// A malformed or out-of-protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ProtoError> {
+    Err(ProtoError(msg.into()))
+}
+
+/// Checks a name/label operand: non-empty, no whitespace (they are
+/// space-separated operands on the wire).
+fn check_word(kind: &str, word: &str) -> Result<(), ProtoError> {
+    if word.is_empty() {
+        return err(format!("empty {kind}"));
+    }
+    if word.chars().any(char::is_whitespace) {
+        return err(format!("{kind} `{word}` contains whitespace"));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// field codecs
+// ---------------------------------------------------------------------------
+
+/// `PassConfig` as ten `0`/`1` characters in cache-key order.
+#[must_use]
+pub fn passes_to_bits(p: &PassConfig) -> String {
+    [
+        p.mem2reg,
+        p.constprop,
+        p.cse,
+        p.dce,
+        p.tunnel,
+        p.strength,
+        p.schedule,
+        p.sda,
+        p.full_palette,
+        p.validators,
+    ]
+    .iter()
+    .map(|&b| if b { '1' } else { '0' })
+    .collect()
+}
+
+/// Parses the ten-bit `PassConfig` encoding.
+pub fn passes_from_bits(bits: &str) -> Result<PassConfig, ProtoError> {
+    let b: Vec<bool> = bits
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            _ => err(format!("bad pass bit `{c}`")),
+        })
+        .collect::<Result<_, _>>()?;
+    if b.len() != 10 {
+        return err(format!("expected 10 pass bits, got {}", b.len()));
+    }
+    Ok(PassConfig {
+        mem2reg: b[0],
+        constprop: b[1],
+        cse: b[2],
+        dce: b[3],
+        tunnel: b[4],
+        strength: b[5],
+        schedule: b[6],
+        sda: b[7],
+        full_palette: b[8],
+        validators: b[9],
+    })
+}
+
+/// The 24 `u32` fields of a machine model, in `machine_digest` order.
+fn machine_fields(m: &MachineConfig) -> [u32; 24] {
+    [
+        m.icache.size_bytes,
+        m.icache.ways,
+        m.icache.line_bytes,
+        m.dcache.size_bytes,
+        m.dcache.ways,
+        m.dcache.line_bytes,
+        m.mem_latency,
+        m.fetch_latency,
+        m.io_latency,
+        m.text_base,
+        m.data_base,
+        m.stack_top,
+        m.io_base,
+        m.io_size,
+        m.lat_int,
+        m.lat_mul,
+        m.lat_div,
+        m.lat_fp,
+        m.lat_fmadd,
+        m.lat_fdiv,
+        m.lat_fmove,
+        m.lat_conv,
+        m.lat_load,
+        m.branch_penalty,
+    ]
+}
+
+/// `MachineConfig` as 24 space-separated `u32`s in `machine_digest` order.
+#[must_use]
+pub fn machine_to_fields(m: &MachineConfig) -> String {
+    machine_fields(m)
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Parses the 24-field machine encoding.
+pub fn machine_from_fields(text: &str) -> Result<MachineConfig, ProtoError> {
+    let f: Vec<u32> = text
+        .split(' ')
+        .map(|w| {
+            w.parse()
+                .map_err(|_| ProtoError(format!("bad machine field `{w}`")))
+        })
+        .collect::<Result<_, _>>()?;
+    if f.len() != 24 {
+        return err(format!("expected 24 machine fields, got {}", f.len()));
+    }
+    Ok(MachineConfig {
+        icache: CacheConfig {
+            size_bytes: f[0],
+            ways: f[1],
+            line_bytes: f[2],
+        },
+        dcache: CacheConfig {
+            size_bytes: f[3],
+            ways: f[4],
+            line_bytes: f[5],
+        },
+        mem_latency: f[6],
+        fetch_latency: f[7],
+        io_latency: f[8],
+        text_base: f[9],
+        data_base: f[10],
+        stack_top: f[11],
+        io_base: f[12],
+        io_size: f[13],
+        lat_int: f[14],
+        lat_mul: f[15],
+        lat_div: f[16],
+        lat_fp: f[17],
+        lat_fmadd: f[18],
+        lat_fdiv: f[19],
+        lat_fmove: f[20],
+        lat_conv: f[21],
+        lat_load: f[22],
+        branch_penalty: f[23],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// requests
+// ---------------------------------------------------------------------------
+
+/// One client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile a sweep matrix. Axes must be explicit (use
+    /// [`normalize_spec`] client-side so wire specs carry the same labels
+    /// a solo `run_sweep` would default to).
+    Sweep(SweepSpec),
+    /// Fetch a [`ServerStats`] snapshot.
+    Stats,
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+/// Makes a spec's implicit axes explicit with **the same defaults
+/// `Pipeline::run_sweep` applies**: an empty config axis becomes the
+/// single `verified` preset, an empty machine axis becomes `machine`
+/// under the label `default`. Sending a normalized spec guarantees the
+/// response's labels — and therefore its digest — match a solo run.
+#[must_use]
+pub fn normalize_spec(spec: &SweepSpec, machine: &MachineConfig) -> SweepSpec {
+    let mut out = SweepSpec::new();
+    for unit in spec.units() {
+        out = out.unit(unit.clone());
+    }
+    if spec.configs().is_empty() {
+        out = out.level(OptLevel::Verified);
+    } else {
+        for (label, passes) in spec.configs() {
+            out = out.config(label, passes);
+        }
+    }
+    if spec.machines().is_empty() {
+        out = out.machine("default", machine);
+    } else {
+        for (label, m) in spec.machines() {
+            out = out.machine(label, m);
+        }
+    }
+    out
+}
+
+/// Serializes a request document.
+///
+/// # Errors
+///
+/// [`ProtoError`] when a sweep has empty config/machine axes (normalize
+/// first) or a name/label is empty or contains whitespace.
+pub fn encode_request(request: &Request) -> Result<String, ProtoError> {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{REQUEST_HEADER}");
+    match request {
+        Request::Stats => s.push_str("stats\n"),
+        Request::Shutdown => s.push_str("shutdown\n"),
+        Request::Sweep(spec) => {
+            if spec.configs().is_empty() || spec.machines().is_empty() {
+                return err("sweep request must have explicit config and machine axes");
+            }
+            s.push_str("sweep\n");
+            for unit in spec.units() {
+                check_word("unit name", &unit.name)?;
+                check_word("entry", &unit.entry)?;
+                let source = program_to_c(&unit.source);
+                let nlines = source.lines().count();
+                let _ = writeln!(s, "unit {} {} {}", unit.entry, nlines, unit.name);
+                for line in source.lines() {
+                    let _ = writeln!(s, "{line}");
+                }
+            }
+            for (label, passes) in spec.configs() {
+                check_word("config label", label)?;
+                let _ = writeln!(s, "config {} {}", label, passes_to_bits(passes));
+            }
+            for (label, machine) in spec.machines() {
+                check_word("machine label", label)?;
+                let _ = writeln!(s, "machine {} {}", label, machine_to_fields(machine));
+            }
+        }
+    }
+    s.push_str("end\n");
+    Ok(s)
+}
+
+/// Parses a request document (header through `end`).
+///
+/// # Errors
+///
+/// [`ProtoError`] on any malformation — including MiniC sources the
+/// parser rejects; the server maps that to an `error` response, never a
+/// crash.
+pub fn decode_request(text: &str) -> Result<Request, ProtoError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(REQUEST_HEADER) => {}
+        Some(other) => return err(format!("bad request header `{other}`")),
+        None => return err("empty request"),
+    }
+    let body = match lines.next() {
+        Some("stats") => Request::Stats,
+        Some("shutdown") => Request::Shutdown,
+        Some("sweep") => {
+            let mut spec = SweepSpec::new();
+            loop {
+                let line = match lines.next() {
+                    Some(l) => l,
+                    None => return err("request truncated before `end`"),
+                };
+                let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+                match tag {
+                    "unit" => {
+                        let mut it = rest.splitn(3, ' ');
+                        let entry = it.next().unwrap_or("");
+                        let nlines: usize = it
+                            .next()
+                            .and_then(|w| w.parse().ok())
+                            .ok_or_else(|| ProtoError("bad unit line count".into()))?;
+                        let name = it.next().unwrap_or("");
+                        check_word("unit name", name)?;
+                        check_word("entry", entry)?;
+                        let mut source = String::new();
+                        for _ in 0..nlines {
+                            let line = lines
+                                .next()
+                                .ok_or_else(|| ProtoError("unit source truncated".into()))?;
+                            source.push_str(line);
+                            source.push('\n');
+                        }
+                        let program = parse(&source).map_err(|e| {
+                            ProtoError(format!("unit `{name}` does not parse: {e}"))
+                        })?;
+                        spec = spec.unit(SweepUnit::from_source(name, program, entry));
+                    }
+                    "config" => {
+                        let (label, bits) = rest
+                            .split_once(' ')
+                            .ok_or_else(|| ProtoError("bad config line".into()))?;
+                        check_word("config label", label)?;
+                        spec = spec.config(label, &passes_from_bits(bits)?);
+                    }
+                    "machine" => {
+                        let (label, fields) = rest
+                            .split_once(' ')
+                            .ok_or_else(|| ProtoError("bad machine line".into()))?;
+                        check_word("machine label", label)?;
+                        spec = spec.machine(label, &machine_from_fields(fields)?);
+                    }
+                    "end" => break,
+                    _ => return err(format!("unknown request tag `{tag}`")),
+                }
+            }
+            if spec.configs().is_empty() || spec.machines().is_empty() {
+                return err("sweep request lacks config or machine axis");
+            }
+            return Ok(Request::Sweep(spec));
+        }
+        Some(other) => return err(format!("unknown request kind `{other}`")),
+        None => return err("request lacks a body"),
+    };
+    match lines.next() {
+        Some("end") => Ok(body),
+        _ => err("request not terminated by `end`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// responses
+// ---------------------------------------------------------------------------
+
+/// One cell of a sweep response — the response-side projection of a
+/// `SweepCell`: labels, the WCET bound, cache provenance, the validator
+/// verdict, and the full output digest (everything the determinism gates
+/// compare, without shipping the binary back).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSummary {
+    /// Unit-axis label.
+    pub unit: String,
+    /// Config-axis label.
+    pub config: String,
+    /// Machine-axis label.
+    pub machine: String,
+    /// The cell's WCET bound, in cycles.
+    pub wcet: u64,
+    /// Whether the artifact was served from the warm store.
+    pub cached: bool,
+    /// The translation-validation verdict the artifact carries.
+    pub verdict: Verdict,
+    /// [`Artifact::output_digest`](crate::store::Artifact::output_digest).
+    pub output_digest: Digest,
+}
+
+/// The digest of a cell sequence, **bit-compatible with
+/// [`SweepResult::digest`]**: cells in flattening order, each hashed as
+/// (labels, output-digest halves). Client and server both recompute it;
+/// the determinism gates compare it against solo runs.
+#[must_use]
+pub fn cells_digest(cells: &[CellSummary]) -> Digest {
+    let mut h = Hasher::new();
+    for cell in cells {
+        h.str(&cell.unit).str(&cell.config).str(&cell.machine);
+        h.u64(cell.output_digest.0 as u64)
+            .u64((cell.output_digest.0 >> 64) as u64);
+    }
+    h.finish()
+}
+
+/// A served sweep: axis labels, cells in flattening order, the request's
+/// share of pipeline stats, and the digest.
+#[derive(Debug, Clone)]
+pub struct SweepResponse {
+    /// Unit-axis labels, in request order.
+    pub units: Vec<String>,
+    /// Config-axis labels, in request order.
+    pub configs: Vec<String>,
+    /// Machine-axis labels, in request order.
+    pub machines: Vec<String>,
+    /// Cells in flattening order (unit-major, config, machine).
+    pub cells: Vec<CellSummary>,
+    /// This request's stats (cache hits count per-request, so a shared
+    /// cell shows as a hit for every requester after the first).
+    pub stats: PipelineStats,
+    /// [`cells_digest`] as the server computed it. [`verify`](SweepResponse::verify)
+    /// recomputes client-side.
+    pub digest: Digest,
+}
+
+impl SweepResponse {
+    /// Projects a complete solo [`SweepResult`] to its wire form — the
+    /// reference the determinism gates compare daemon responses against.
+    #[must_use]
+    pub fn from_result(result: &SweepResult) -> SweepResponse {
+        let cells: Vec<CellSummary> = result
+            .cells()
+            .iter()
+            .map(|c| CellSummary {
+                unit: c.unit.clone(),
+                config: c.config.clone(),
+                machine: c.machine.clone(),
+                wcet: c.wcet(),
+                cached: c.outcome.cached,
+                verdict: c.outcome.artifact.verdict,
+                output_digest: c.outcome.artifact.output_digest(),
+            })
+            .collect();
+        let digest = cells_digest(&cells);
+        debug_assert_eq!(digest, result.digest());
+        SweepResponse {
+            units: result.unit_labels().to_vec(),
+            configs: result.config_labels().to_vec(),
+            machines: result.machine_labels().to_vec(),
+            cells,
+            stats: result.stats.clone(),
+            digest,
+        }
+    }
+
+    /// Recomputes the digest from the cells and checks it against the
+    /// transmitted one.
+    #[must_use]
+    pub fn verify(&self) -> bool {
+        cells_digest(&self.cells) == self.digest
+    }
+
+    /// The cell at labeled coordinates (first occurrence per axis).
+    #[must_use]
+    pub fn get(&self, unit: &str, config: &str, machine: &str) -> Option<&CellSummary> {
+        self.cells
+            .iter()
+            .find(|c| c.unit == unit && c.config == config && c.machine == machine)
+    }
+}
+
+/// Server-side aggregate metrics, served to `stats` requests and
+/// embedded in `BENCH_daemon.json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Sweep requests served (stats/shutdown requests not counted).
+    pub requests: u64,
+    /// Batches executed (one `run_sweep` each).
+    pub batches: u64,
+    /// Cells across all batches, after cross-request dedup.
+    pub batched_cells: u64,
+    /// Cells compiled fresh.
+    pub jobs_run: u64,
+    /// Cells served from the warm store.
+    pub jobs_cached: u64,
+    /// Store entries evicted over the server's lifetime.
+    pub evictions: u64,
+    /// Store entries resident at snapshot time.
+    pub resident: u64,
+    /// Store resident bytes at snapshot time.
+    pub store_bytes: u64,
+    /// Store shard count.
+    pub shards: u64,
+    /// Requests queued at snapshot time.
+    pub queue_depth: u64,
+    /// Peak queued requests observed.
+    pub queue_peak: u64,
+    /// Batches deferred by admission control (queue head would have
+    /// exceeded the in-flight cell bound while a batch ran).
+    pub deferred: u64,
+    /// Summed compile-stage nanos across batches.
+    pub compile_ns: u64,
+    /// Summed analyze-stage nanos across batches.
+    pub analyze_ns: u64,
+    /// Summed store-stage nanos across batches.
+    pub store_ns: u64,
+    /// Summed batch wall-clock nanos.
+    pub wall_ns: u64,
+    /// Configured hit-rate SLO in thousandths (`900` = 0.900); `0` means
+    /// no SLO configured.
+    pub slo_per_mille: u64,
+}
+
+impl ServerStats {
+    /// Lifetime cache hit rate over batched cells; `0.0` before any cell.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.jobs_run + self.jobs_cached;
+        if total == 0 {
+            0.0
+        } else {
+            self.jobs_cached as f64 / total as f64
+        }
+    }
+
+    /// Whether the lifetime hit rate meets the configured SLO (vacuously
+    /// true without one).
+    #[must_use]
+    pub fn slo_met(&self) -> bool {
+        self.slo_per_mille == 0 || self.hit_rate() * 1000.0 >= self.slo_per_mille as f64
+    }
+
+    /// Greppable text rendering — `server:`-prefixed lines, the SLO
+    /// verdict last.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "server: requests {} batches {} cells {} queue {} (peak {}) deferred {}",
+            self.requests,
+            self.batches,
+            self.batched_cells,
+            self.queue_depth,
+            self.queue_peak,
+            self.deferred,
+        );
+        let _ = writeln!(
+            s,
+            "server: store resident {} bytes {} shards {} evictions {}",
+            self.resident, self.store_bytes, self.shards, self.evictions,
+        );
+        let _ = writeln!(
+            s,
+            "server: jobs run {} cached {} hit-rate {:.3}",
+            self.jobs_run,
+            self.jobs_cached,
+            self.hit_rate(),
+        );
+        let _ = writeln!(
+            s,
+            "server: stage compile {}ns analyze {}ns store {}ns wall {}ns",
+            self.compile_ns, self.analyze_ns, self.store_ns, self.wall_ns,
+        );
+        if self.slo_per_mille > 0 {
+            let _ = writeln!(
+                s,
+                "server: hit-rate SLO {:.3}: {}",
+                self.slo_per_mille as f64 / 1000.0,
+                if self.slo_met() { "met" } else { "MISSED" },
+            );
+        }
+        s
+    }
+
+    /// Single-line JSON object (for `BENCH_daemon.json` embedding).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"requests\":{},\"batches\":{},\"batched_cells\":{},",
+                "\"jobs_run\":{},\"jobs_cached\":{},\"hit_rate\":{:.6},",
+                "\"evictions\":{},\"resident\":{},\"store_bytes\":{},\"shards\":{},",
+                "\"queue_depth\":{},\"queue_peak\":{},\"deferred\":{},",
+                "\"compile_ns\":{},\"analyze_ns\":{},\"store_ns\":{},\"wall_ns\":{},",
+                "\"slo_per_mille\":{},\"slo_met\":{}}}"
+            ),
+            self.requests,
+            self.batches,
+            self.batched_cells,
+            self.jobs_run,
+            self.jobs_cached,
+            self.hit_rate(),
+            self.evictions,
+            self.resident,
+            self.store_bytes,
+            self.shards,
+            self.queue_depth,
+            self.queue_peak,
+            self.deferred,
+            self.compile_ns,
+            self.analyze_ns,
+            self.store_ns,
+            self.wall_ns,
+            self.slo_per_mille,
+            self.slo_met(),
+        )
+    }
+
+    fn fields(&self) -> [(&'static str, u64); 17] {
+        [
+            ("requests", self.requests),
+            ("batches", self.batches),
+            ("batched_cells", self.batched_cells),
+            ("jobs_run", self.jobs_run),
+            ("jobs_cached", self.jobs_cached),
+            ("evictions", self.evictions),
+            ("resident", self.resident),
+            ("store_bytes", self.store_bytes),
+            ("shards", self.shards),
+            ("queue_depth", self.queue_depth),
+            ("queue_peak", self.queue_peak),
+            ("deferred", self.deferred),
+            ("compile_ns", self.compile_ns),
+            ("analyze_ns", self.analyze_ns),
+            ("store_ns", self.store_ns),
+            ("wall_ns", self.wall_ns),
+            ("slo_per_mille", self.slo_per_mille),
+        ]
+    }
+
+    fn set_field(&mut self, name: &str, value: u64) -> bool {
+        let slot = match name {
+            "requests" => &mut self.requests,
+            "batches" => &mut self.batches,
+            "batched_cells" => &mut self.batched_cells,
+            "jobs_run" => &mut self.jobs_run,
+            "jobs_cached" => &mut self.jobs_cached,
+            "evictions" => &mut self.evictions,
+            "resident" => &mut self.resident,
+            "store_bytes" => &mut self.store_bytes,
+            "shards" => &mut self.shards,
+            "queue_depth" => &mut self.queue_depth,
+            "queue_peak" => &mut self.queue_peak,
+            "deferred" => &mut self.deferred,
+            "compile_ns" => &mut self.compile_ns,
+            "analyze_ns" => &mut self.analyze_ns,
+            "store_ns" => &mut self.store_ns,
+            "wall_ns" => &mut self.wall_ns,
+            "slo_per_mille" => &mut self.slo_per_mille,
+            _ => return false,
+        };
+        *slot = value;
+        true
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// A served sweep.
+    Sweep(SweepResponse),
+    /// A stats snapshot.
+    Stats(ServerStats),
+    /// Acknowledgement (shutdown).
+    Ok,
+    /// The request was understood as a frame but rejected (parse error,
+    /// pipeline error). The connection stays usable.
+    Error(String),
+}
+
+/// Serializes a response document.
+#[must_use]
+pub fn encode_response(response: &Response) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{RESPONSE_HEADER}");
+    match response {
+        Response::Ok => s.push_str("ok\n"),
+        Response::Error(msg) => {
+            let one_line = msg.replace('\n', " ");
+            let _ = writeln!(s, "error {one_line}");
+        }
+        Response::Stats(stats) => {
+            s.push_str("server-stats\n");
+            for (name, value) in stats.fields() {
+                let _ = writeln!(s, "{name} {value}");
+            }
+        }
+        Response::Sweep(sweep) => {
+            let _ = writeln!(
+                s,
+                "sweep {} {} {}",
+                sweep.units.len(),
+                sweep.configs.len(),
+                sweep.machines.len()
+            );
+            for u in &sweep.units {
+                let _ = writeln!(s, "axis-unit {u}");
+            }
+            for c in &sweep.configs {
+                let _ = writeln!(s, "axis-config {c}");
+            }
+            for m in &sweep.machines {
+                let _ = writeln!(s, "axis-machine {m}");
+            }
+            for cell in &sweep.cells {
+                let _ = writeln!(
+                    s,
+                    "cell {} {} {} {} {} {}{}{} {}",
+                    cell.unit,
+                    cell.config,
+                    cell.machine,
+                    cell.wcet,
+                    u8::from(cell.cached),
+                    u8::from(cell.verdict.allocation_checked),
+                    u8::from(cell.verdict.tunnel_validated),
+                    u8::from(cell.verdict.schedule_validated),
+                    cell.output_digest,
+                );
+            }
+            let st = &sweep.stats;
+            let _ = writeln!(
+                s,
+                "stats {} {} {} {} {} {}",
+                st.jobs_run, st.jobs_cached, st.compile_ns, st.analyze_ns, st.store_ns, st.wall_ns,
+            );
+            let _ = writeln!(s, "digest {}", sweep.digest);
+        }
+    }
+    s.push_str("end\n");
+    s
+}
+
+/// Parses a response document (header through `end`).
+///
+/// # Errors
+///
+/// [`ProtoError`] on any malformation.
+pub fn decode_response(text: &str) -> Result<Response, ProtoError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(RESPONSE_HEADER) => {}
+        Some(other) => return err(format!("bad response header `{other}`")),
+        None => return err("empty response"),
+    }
+    let first = match lines.next() {
+        Some(l) => l,
+        None => return err("response lacks a body"),
+    };
+    let (tag, rest) = first.split_once(' ').unwrap_or((first, ""));
+    let body = match tag {
+        "ok" => Response::Ok,
+        "error" => Response::Error(rest.to_owned()),
+        "server-stats" => {
+            let mut stats = ServerStats::default();
+            loop {
+                let line = match lines.next() {
+                    Some(l) => l,
+                    None => return err("stats response truncated"),
+                };
+                if line == "end" {
+                    return Ok(Response::Stats(stats));
+                }
+                let (name, value) = line
+                    .split_once(' ')
+                    .ok_or_else(|| ProtoError(format!("bad stats line `{line}`")))?;
+                let value: u64 = value
+                    .parse()
+                    .map_err(|_| ProtoError(format!("bad stats value `{value}`")))?;
+                if !stats.set_field(name, value) {
+                    return err(format!("unknown stats field `{name}`"));
+                }
+            }
+        }
+        "sweep" => {
+            let mut it = rest.split(' ');
+            let nu: usize = it
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| ProtoError("bad sweep axis counts".into()))?;
+            let nc: usize = it
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| ProtoError("bad sweep axis counts".into()))?;
+            let nm: usize = it
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| ProtoError("bad sweep axis counts".into()))?;
+            let mut axis = |kind: &str, n: usize| -> Result<Vec<String>, ProtoError> {
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let line = lines
+                        .next()
+                        .ok_or_else(|| ProtoError(format!("{kind} axis truncated")))?;
+                    let label = line
+                        .strip_prefix(&format!("axis-{kind} "))
+                        .ok_or_else(|| ProtoError(format!("bad {kind} axis line `{line}`")))?;
+                    check_word(&format!("{kind} label"), label)?;
+                    out.push(label.to_owned());
+                }
+                Ok(out)
+            };
+            let units = axis("unit", nu)?;
+            let configs = axis("config", nc)?;
+            let machines = axis("machine", nm)?;
+            let mut cells = Vec::with_capacity(nu * nc * nm);
+            let mut stats = PipelineStats::default();
+            let mut digest = None;
+            loop {
+                let line = match lines.next() {
+                    Some(l) => l,
+                    None => return err("sweep response truncated"),
+                };
+                let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+                match tag {
+                    "cell" => {
+                        let w: Vec<&str> = rest.split(' ').collect();
+                        if w.len() != 7 {
+                            return err(format!("bad cell line `{line}`"));
+                        }
+                        let vbits: Vec<char> = w[5].chars().collect();
+                        if vbits.len() != 3 || vbits.iter().any(|&c| c != '0' && c != '1') {
+                            return err(format!("bad verdict bits `{}`", w[5]));
+                        }
+                        cells.push(CellSummary {
+                            unit: w[0].to_owned(),
+                            config: w[1].to_owned(),
+                            machine: w[2].to_owned(),
+                            wcet: w[3]
+                                .parse()
+                                .map_err(|_| ProtoError(format!("bad wcet `{}`", w[3])))?,
+                            cached: w[4] == "1",
+                            verdict: Verdict {
+                                allocation_checked: vbits[0] == '1',
+                                tunnel_validated: vbits[1] == '1',
+                                schedule_validated: vbits[2] == '1',
+                            },
+                            output_digest: Digest::from_hex(w[6])
+                                .ok_or_else(|| ProtoError(format!("bad digest `{}`", w[6])))?,
+                        });
+                    }
+                    "stats" => {
+                        let v: Vec<u64> = rest
+                            .split(' ')
+                            .map(|w| {
+                                w.parse()
+                                    .map_err(|_| ProtoError(format!("bad stats value `{w}`")))
+                            })
+                            .collect::<Result<_, _>>()?;
+                        if v.len() != 6 {
+                            return err(format!("bad stats line `{line}`"));
+                        }
+                        stats.jobs_run = v[0];
+                        stats.jobs_cached = v[1];
+                        stats.compile_ns = v[2];
+                        stats.analyze_ns = v[3];
+                        stats.store_ns = v[4];
+                        stats.wall_ns = v[5];
+                    }
+                    "digest" => {
+                        digest = Some(
+                            Digest::from_hex(rest)
+                                .ok_or_else(|| ProtoError(format!("bad digest `{rest}`")))?,
+                        );
+                    }
+                    "end" => break,
+                    _ => return err(format!("unknown response tag `{tag}`")),
+                }
+            }
+            if cells.len() != nu * nc * nm {
+                return err(format!(
+                    "expected {} cells, got {}",
+                    nu * nc * nm,
+                    cells.len()
+                ));
+            }
+            let response = SweepResponse {
+                units,
+                configs,
+                machines,
+                cells,
+                stats,
+                digest: digest.ok_or_else(|| ProtoError("sweep response lacks digest".into()))?,
+            };
+            if !response.verify() {
+                return err("sweep response digest does not match its cells");
+            }
+            return Ok(Response::Sweep(response));
+        }
+        _ => return err(format!("unknown response kind `{tag}`")),
+    };
+    match lines.next() {
+        Some("end") => Ok(body),
+        _ => err("response not terminated by `end`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vericomp_core::OptLevel;
+    use vericomp_dataflow::fleet;
+
+    fn sample_spec() -> SweepSpec {
+        let nodes = fleet::named_suite();
+        SweepSpec::new()
+            .nodes(&nodes[..2])
+            .levels([OptLevel::Verified, OptLevel::OptFull])
+            .machine("mpc755", &MachineConfig::mpc755())
+            .machine("tiny", &MachineConfig::tiny_caches())
+    }
+
+    #[test]
+    fn passes_bits_roundtrip_all_presets() {
+        for level in [
+            OptLevel::PatternO0,
+            OptLevel::OptNoRegalloc,
+            OptLevel::Verified,
+            OptLevel::OptFull,
+        ] {
+            let p = PassConfig::for_level(level);
+            let bits = passes_to_bits(&p);
+            assert_eq!(bits.len(), 10);
+            assert_eq!(passes_from_bits(&bits).expect("parses"), p);
+        }
+        assert!(passes_from_bits("11111").is_err());
+        assert!(passes_from_bits("111111111x").is_err());
+    }
+
+    #[test]
+    fn machine_fields_roundtrip_and_reject_malformation() {
+        for m in [MachineConfig::mpc755(), MachineConfig::tiny_caches()] {
+            let text = machine_to_fields(&m);
+            assert_eq!(machine_from_fields(&text).expect("parses"), m);
+        }
+        assert!(machine_from_fields("1 2 3").is_err());
+        assert!(machine_from_fields(&"x ".repeat(24).trim_end()).is_err());
+    }
+
+    #[test]
+    fn sweep_request_roundtrips_with_identical_cache_keys() {
+        let spec = sample_spec();
+        let text = encode_request(&Request::Sweep(spec.clone())).expect("encodes");
+        let Request::Sweep(back) = decode_request(&text).expect("decodes") else {
+            panic!("wrong request kind");
+        };
+        assert_eq!(back.units().len(), spec.units().len());
+        assert_eq!(back.configs(), spec.configs());
+        assert_eq!(back.machines(), spec.machines());
+        // the round-tripped sources derive the same cache keys — the
+        // property that makes the daemon's store useful to remote clients
+        for (a, b) in spec.units().iter().zip(back.units()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.entry, b.entry);
+            let verified = PassConfig::for_level(OptLevel::Verified);
+            let m = MachineConfig::mpc755();
+            assert_eq!(
+                crate::store::artifact_key(&program_to_c(&a.source), &a.entry, &verified, &m),
+                crate::store::artifact_key(&program_to_c(&b.source), &b.entry, &verified, &m),
+                "unit `{}` changed key over the wire",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn stats_shutdown_ok_and_error_roundtrip() {
+        for req in [Request::Stats, Request::Shutdown] {
+            let text = encode_request(&req).expect("encodes");
+            let back = decode_request(&text).expect("decodes");
+            assert_eq!(std::mem::discriminant(&back), std::mem::discriminant(&req));
+        }
+        let ok = decode_response(&encode_response(&Response::Ok)).expect("ok");
+        assert!(matches!(ok, Response::Ok));
+        let err_resp = decode_response(&encode_response(&Response::Error(
+            "multi\nline message".into(),
+        )))
+        .expect("error");
+        let Response::Error(msg) = err_resp else {
+            panic!("wrong response kind");
+        };
+        assert_eq!(msg, "multi line message");
+    }
+
+    #[test]
+    fn server_stats_roundtrip_render_and_slo() {
+        let stats = ServerStats {
+            requests: 7,
+            batches: 3,
+            batched_cells: 42,
+            jobs_run: 10,
+            jobs_cached: 32,
+            evictions: 5,
+            resident: 37,
+            store_bytes: 123_456,
+            shards: 4,
+            queue_depth: 1,
+            queue_peak: 6,
+            deferred: 2,
+            compile_ns: 111,
+            analyze_ns: 222,
+            store_ns: 333,
+            wall_ns: 999,
+            slo_per_mille: 700,
+        };
+        let back = decode_response(&encode_response(&Response::Stats(stats.clone())));
+        let Response::Stats(back) = back.expect("decodes") else {
+            panic!("wrong response kind");
+        };
+        assert_eq!(back, stats);
+        assert!((stats.hit_rate() - 32.0 / 42.0).abs() < 1e-12);
+        assert!(stats.slo_met());
+        let render = stats.render();
+        assert!(render.contains("hit-rate 0.762"));
+        assert!(render.contains("SLO 0.700: met"));
+        let missed = ServerStats {
+            slo_per_mille: 990,
+            ..stats.clone()
+        };
+        assert!(!missed.slo_met());
+        assert!(missed.render().contains("SLO 0.990: MISSED"));
+        // json embeds the rate and the verdict
+        assert!(stats.to_json().contains("\"hit_rate\":0.761905"));
+        assert!(stats.to_json().contains("\"slo_met\":true"));
+    }
+
+    #[test]
+    fn malformed_documents_are_errors_not_panics() {
+        assert!(decode_request("").is_err());
+        assert!(decode_request("vericomp-request 99\nstats\nend\n").is_err());
+        assert!(decode_request("vericomp-request 1\nstats\n").is_err()); // no end
+        assert!(decode_request("vericomp-request 1\nsweep\nunit f 1 n\nint bad(\nend\n").is_err());
+        assert!(decode_response("vericomp-response 1\nsweep 1 1 1\nend\n").is_err());
+        // whitespace in labels rejected at encode time
+        let spec = SweepSpec::new()
+            .level(OptLevel::Verified)
+            .machine("two words", &MachineConfig::mpc755());
+        assert!(encode_request(&Request::Sweep(spec)).is_err());
+    }
+
+    #[test]
+    fn normalize_matches_run_sweep_defaults() {
+        let m = MachineConfig::mpc755();
+        let spec = SweepSpec::new();
+        let n = normalize_spec(&spec, &m);
+        assert_eq!(n.configs().len(), 1);
+        assert_eq!(n.configs()[0].0, "verified");
+        assert_eq!(n.configs()[0].1, PassConfig::for_level(OptLevel::Verified));
+        assert_eq!(n.machines().len(), 1);
+        assert_eq!(n.machines()[0].0, "default");
+        assert_eq!(n.machines()[0].1, m);
+        // explicit axes pass through untouched
+        let spec = sample_spec();
+        let n = normalize_spec(&spec, &m);
+        assert_eq!(n.configs(), spec.configs());
+        assert_eq!(n.machines(), spec.machines());
+    }
+}

@@ -1,0 +1,668 @@
+//! The compile-as-a-service daemon: one warm, sharded, evicting
+//! [`ArtifactStore`] serving many concurrent clients.
+//!
+//! **Architecture.** One acceptor thread takes connections on a Unix
+//! socket and spawns a reader thread per connection. Readers parse
+//! [`proto`](crate::proto) documents; `stats` and `shutdown` are
+//! answered inline, sweep requests are queued for the **batcher** — the
+//! [`Server::run`] thread — which drains the queue in admission-bounded,
+//! round-robin-fair batches, merges compatible requests into single
+//! [`SweepSpec`]s, runs them on the one shared [`Pipeline`], and mails
+//! each request its response.
+//!
+//! **Batching.** Requests whose config and machine axes are identical
+//! (same labels, same values — the *axis signature*) merge into one
+//! sweep: their unit axes concatenate, deduplicated by (source text,
+//! entry), so a cell requested by several clients at once compiles
+//! exactly once. Each response is then assembled positionally from the
+//! merged result using the request's own axis labels, which makes the
+//! response digest **bit-identical to a solo `run_sweep`** of the same
+//! request — the property the determinism gates assert across job
+//! counts, shard counts, restarts and eviction.
+//!
+//! **Fairness and admission.** The batcher cycles over clients in
+//! arrival order (rotating the starting client each batch) and admits
+//! one request per client per cycle until the in-flight cell budget
+//! (`max_inflight_cells`) is spent; at least one request is always
+//! admitted so an oversized sweep cannot wedge the queue. Whatever
+//! remains queued is counted as a deferral and leads the next batch.
+//!
+//! **Eviction.** The store's epoch advances once per batch and
+//! [`ArtifactStore::enforce_bounds`] runs after it, so recency is
+//! batch-granular and the evicted set is a pure function of the batch
+//! history — concurrent arrival order inside a batch cannot change the
+//! post-eviction store digest.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use vericomp_arch::MachineConfig;
+use vericomp_minic::pretty::program_to_c;
+
+use crate::proto::{
+    cells_digest, decode_request, encode_response, machine_to_fields, passes_to_bits, CellSummary,
+    Request, Response, ServerStats, SweepResponse,
+};
+use crate::service::{Pipeline, PipelineOptions};
+use crate::stats::{saturating_nanos, PipelineStats};
+use crate::store::{ArtifactStore, StoreConfig};
+use crate::sweep::{SweepResult, SweepSpec};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Path of the Unix socket to listen on (a stale file is replaced).
+    pub socket: PathBuf,
+    /// Worker threads of the shared pipeline (`0` = machine parallelism).
+    pub jobs: usize,
+    /// `.vcart` persistence directory of the store (`None` = memory only).
+    pub cache_dir: Option<PathBuf>,
+    /// Store shard count.
+    pub shards: usize,
+    /// Store resident-byte bound (`None` = unbounded, no eviction).
+    pub max_bytes: Option<u64>,
+    /// Admission bound: max sweep cells in flight per batch.
+    pub max_inflight_cells: usize,
+    /// Hit-rate SLO in thousandths (`900` = 0.900); `0` disables the line.
+    pub slo_per_mille: u64,
+    /// Default target machine of the shared pipeline (requests always
+    /// carry explicit machines; this only parameterizes the pipeline).
+    pub machine: MachineConfig,
+}
+
+impl ServerOptions {
+    /// Defaults: machine parallelism, memory-only store, 4 shards,
+    /// unbounded, 4096-cell admission, 0.900 SLO, MPC755.
+    #[must_use]
+    pub fn new(socket: impl Into<PathBuf>) -> ServerOptions {
+        ServerOptions {
+            socket: socket.into(),
+            jobs: 0,
+            cache_dir: None,
+            shards: 4,
+            max_bytes: None,
+            max_inflight_cells: 4096,
+            slo_per_mille: 900,
+            machine: MachineConfig::mpc755(),
+        }
+    }
+}
+
+/// One queued sweep request: who sent it, what it asks for, where the
+/// response goes.
+struct Queued {
+    client: u64,
+    spec: SweepSpec,
+    respond: mpsc::Sender<Response>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    items: VecDeque<Queued>,
+    /// Rotates the round-robin starting client.
+    cursor: u64,
+    /// Set by the batcher on its way out: late requests are refused
+    /// instead of queued into nowhere.
+    closed: bool,
+}
+
+/// Monotonic server counters (see [`ServerStats`] for meanings).
+#[derive(Default)]
+struct Metrics {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    batched_cells: AtomicU64,
+    jobs_run: AtomicU64,
+    jobs_cached: AtomicU64,
+    queue_peak: AtomicU64,
+    deferred: AtomicU64,
+    compile_ns: AtomicU64,
+    analyze_ns: AtomicU64,
+    store_ns: AtomicU64,
+    wall_ns: AtomicU64,
+}
+
+impl Metrics {
+    fn add(counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn raise(counter: &AtomicU64, v: u64) {
+        counter.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// State shared between the acceptor, the readers and the batcher.
+struct Shared {
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    metrics: Metrics,
+    store: Arc<ArtifactStore>,
+    socket: PathBuf,
+    slo_per_mille: u64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServerStats {
+        let m = &self.metrics;
+        ServerStats {
+            requests: m.requests.load(Ordering::Relaxed),
+            batches: m.batches.load(Ordering::Relaxed),
+            batched_cells: m.batched_cells.load(Ordering::Relaxed),
+            jobs_run: m.jobs_run.load(Ordering::Relaxed),
+            jobs_cached: m.jobs_cached.load(Ordering::Relaxed),
+            evictions: self.store.evictions(),
+            resident: self.store.resident() as u64,
+            store_bytes: self.store.len_bytes(),
+            shards: self.store.shard_count() as u64,
+            queue_depth: self.queue.lock().expect("queue lock").items.len() as u64,
+            queue_peak: m.queue_peak.load(Ordering::Relaxed),
+            deferred: m.deferred.load(Ordering::Relaxed),
+            compile_ns: m.compile_ns.load(Ordering::Relaxed),
+            analyze_ns: m.analyze_ns.load(Ordering::Relaxed),
+            store_ns: m.store_ns.load(Ordering::Relaxed),
+            wall_ns: m.wall_ns.load(Ordering::Relaxed),
+            slo_per_mille: self.slo_per_mille,
+        }
+    }
+}
+
+/// The compile service. [`Server::run`] blocks until a client sends
+/// `shutdown`, then drains and returns the final [`ServerStats`].
+pub struct Server {
+    listener: UnixListener,
+    pipeline: Pipeline,
+    shared: Arc<Shared>,
+    max_inflight_cells: usize,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("socket", &self.shared.socket)
+            .field("jobs", &self.pipeline.jobs())
+            .field("store", &self.shared.store)
+            .field("max_inflight_cells", &self.max_inflight_cells)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds the socket and builds the warm store + shared pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Socket-bind or store-directory failures.
+    pub fn new(options: &ServerOptions) -> io::Result<Server> {
+        let store = Arc::new(ArtifactStore::with_config(StoreConfig {
+            dir: options.cache_dir.clone(),
+            shards: options.shards,
+            max_bytes: options.max_bytes,
+        })?);
+        let pipeline_options = PipelineOptions::builder()
+            .jobs(options.jobs)
+            .machine(options.machine.clone())
+            .build()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let pipeline = Pipeline::with_store(&pipeline_options, Arc::clone(&store));
+        // a stale socket file (crashed predecessor) would fail the bind
+        let _ = std::fs::remove_file(&options.socket);
+        let listener = UnixListener::bind(&options.socket)?;
+        Ok(Server {
+            listener,
+            pipeline,
+            shared: Arc::new(Shared {
+                queue: Mutex::new(QueueState::default()),
+                ready: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                metrics: Metrics::default(),
+                store,
+                socket: options.socket.clone(),
+                slo_per_mille: options.slo_per_mille,
+            }),
+            max_inflight_cells: options.max_inflight_cells.max(1),
+        })
+    }
+
+    /// The store the server owns (tests inspect digests and eviction).
+    #[must_use]
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.shared.store
+    }
+
+    /// Serves until shutdown, then drains the queue and returns the final
+    /// stats. The socket file is removed on the way out.
+    ///
+    /// # Errors
+    ///
+    /// Thread-spawn failures; per-connection I/O errors only drop that
+    /// connection.
+    pub fn run(self) -> io::Result<ServerStats> {
+        let shared = Arc::clone(&self.shared);
+        let listener = self.listener.try_clone()?;
+        let acceptor = thread::Builder::new()
+            .name("vericomp-accept".into())
+            .spawn(move || accept_loop(&listener, &shared))?;
+
+        loop {
+            let batch = {
+                let mut q = self.shared.queue.lock().expect("queue lock");
+                loop {
+                    if !q.items.is_empty() {
+                        break;
+                    }
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        q.closed = true;
+                        drop(q);
+                        // wake the acceptor out of its blocking accept
+                        let _ = UnixStream::connect(&self.shared.socket);
+                        let _ = acceptor.join();
+                        let _ = std::fs::remove_file(&self.shared.socket);
+                        return Ok(self.shared.snapshot());
+                    }
+                    q = self.shared.ready.wait(q).expect("queue lock");
+                }
+                self.select_batch(&mut q)
+            };
+            self.execute_batch(batch);
+        }
+    }
+
+    /// Round-robin admission: one request per client per cycle, clients
+    /// in arrival order rotated by the batch cursor, until the in-flight
+    /// cell budget is spent. Always admits at least one request.
+    fn select_batch(&self, q: &mut QueueState) -> Vec<Queued> {
+        let mut clients: Vec<u64> = Vec::new();
+        for item in &q.items {
+            if !clients.contains(&item.client) {
+                clients.push(item.client);
+            }
+        }
+        let rot = (q.cursor as usize) % clients.len();
+        clients.rotate_left(rot);
+        q.cursor = q.cursor.wrapping_add(1);
+
+        let mut selected = Vec::new();
+        let mut budget = self.max_inflight_cells;
+        'cycles: loop {
+            let mut advanced = false;
+            for &client in &clients {
+                let Some(pos) = q.items.iter().position(|it| it.client == client) else {
+                    continue;
+                };
+                let cells = q.items[pos].spec.cell_count();
+                if !selected.is_empty() && cells > budget {
+                    break 'cycles;
+                }
+                let item = q.items.remove(pos).expect("present");
+                budget = budget.saturating_sub(cells);
+                selected.push(item);
+                advanced = true;
+                if budget == 0 {
+                    break 'cycles;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+        if !q.items.is_empty() {
+            Metrics::add(&self.shared.metrics.deferred, 1);
+        }
+        selected
+    }
+
+    /// Runs one admitted batch: group by axis signature, merge unit axes
+    /// (dedup by source + entry), one `run_sweep` per group, responses
+    /// assembled per request. The store epoch advances first and bounds
+    /// are enforced after — the daemon's two batch-boundary hooks.
+    fn execute_batch(&self, batch: Vec<Queued>) {
+        let m = &self.shared.metrics;
+        self.shared.store.advance_epoch();
+        Metrics::add(&m.batches, 1);
+        Metrics::add(&m.requests, batch.len() as u64);
+
+        // group requests by axis signature, preserving arrival order
+        let mut groups: Vec<(String, Vec<Queued>)> = Vec::new();
+        for item in batch {
+            let sig = axis_signature(&item.spec);
+            match groups.iter_mut().find(|(s, _)| *s == sig) {
+                Some((_, members)) => members.push(item),
+                None => groups.push((sig, vec![item])),
+            }
+        }
+
+        for (_, members) in groups {
+            let started = Instant::now();
+            // merged unit axis, deduplicated by (source text, entry)
+            let mut merged = SweepSpec::new();
+            let mut index: HashMap<(String, String), usize> = HashMap::new();
+            let mut maps: Vec<Vec<usize>> = Vec::with_capacity(members.len());
+            let mut count = 0usize;
+            for item in &members {
+                let mut map = Vec::with_capacity(item.spec.units().len());
+                for unit in item.spec.units() {
+                    let key = (program_to_c(&unit.source), unit.entry.clone());
+                    let slot = *index.entry(key).or_insert_with(|| {
+                        merged = std::mem::take(&mut merged).unit(unit.clone());
+                        count += 1;
+                        count - 1
+                    });
+                    map.push(slot);
+                }
+                maps.push(map);
+            }
+            // all members share the signature; copy the axes from the first
+            for (label, passes) in members[0].spec.configs() {
+                merged = merged.config(label, passes);
+            }
+            for (label, machine) in members[0].spec.machines() {
+                merged = merged.machine(label, machine);
+            }
+            Metrics::add(&m.batched_cells, merged.cell_count() as u64);
+
+            match self.pipeline.run_sweep(&merged) {
+                Ok(sweep) => {
+                    Metrics::add(&m.jobs_run, sweep.stats.jobs_run);
+                    Metrics::add(&m.jobs_cached, sweep.stats.jobs_cached);
+                    Metrics::add(&m.compile_ns, sweep.stats.compile_ns);
+                    Metrics::add(&m.analyze_ns, sweep.stats.analyze_ns);
+                    Metrics::add(&m.store_ns, sweep.stats.store_ns);
+                    for (item, map) in members.iter().zip(&maps) {
+                        let response = project_response(&item.spec, map, &sweep);
+                        let _ = item.respond.send(Response::Sweep(response));
+                    }
+                }
+                Err(e) => {
+                    for item in &members {
+                        let _ = item.respond.send(Response::Error(e.to_string()));
+                    }
+                }
+            }
+            Metrics::add(&m.wall_ns, saturating_nanos(started.elapsed()));
+        }
+
+        self.shared.store.enforce_bounds();
+    }
+}
+
+/// The batching key: two requests merge exactly when their config and
+/// machine axes are identical (labels *and* values).
+fn axis_signature(spec: &SweepSpec) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for (label, passes) in spec.configs() {
+        let _ = write!(s, "c {label} {};", passes_to_bits(passes));
+    }
+    for (label, machine) in spec.machines() {
+        let _ = write!(s, "m {label} {};", machine_to_fields(machine));
+    }
+    s
+}
+
+/// Assembles one request's response from the merged sweep result:
+/// positional lookup through the unit map, the request's own labels, the
+/// digest recomputed in the request's flattening order — bit-identical
+/// to what a solo `run_sweep` of the request would digest.
+fn project_response(spec: &SweepSpec, unit_map: &[usize], sweep: &SweepResult) -> SweepResponse {
+    let mut cells = Vec::with_capacity(spec.cell_count());
+    let mut stats = PipelineStats::default();
+    for (ui, unit) in spec.units().iter().enumerate() {
+        for (ci, (config_label, _)) in spec.configs().iter().enumerate() {
+            for (mi, (machine_label, _)) in spec.machines().iter().enumerate() {
+                let cell = sweep
+                    .cell_at(unit_map[ui], ci, mi)
+                    .expect("merged sweep covers every request cell");
+                cells.push(CellSummary {
+                    unit: unit.name.clone(),
+                    config: config_label.clone(),
+                    machine: machine_label.clone(),
+                    wcet: cell.wcet(),
+                    cached: cell.outcome.cached,
+                    verdict: cell.outcome.artifact.verdict,
+                    output_digest: cell.outcome.artifact.output_digest(),
+                });
+                stats.merge(&cell.stats);
+            }
+        }
+    }
+    let digest = cells_digest(&cells);
+    SweepResponse {
+        units: spec.units().iter().map(|u| u.name.clone()).collect(),
+        configs: spec.configs().iter().map(|(l, _)| l.clone()).collect(),
+        machines: spec.machines().iter().map(|(l, _)| l.clone()).collect(),
+        cells,
+        stats,
+        digest,
+    }
+}
+
+fn accept_loop(listener: &UnixListener, shared: &Arc<Shared>) {
+    let mut next_client = 0u64;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let client = next_client;
+        next_client += 1;
+        let shared = Arc::clone(shared);
+        let _ = thread::Builder::new()
+            .name(format!("vericomp-client-{client}"))
+            .spawn(move || connection_loop(stream, client, &shared));
+    }
+}
+
+/// Reads one line-framed document (through its `end` line); `Ok(None)`
+/// on clean EOF at a frame boundary.
+fn read_document(reader: &mut BufReader<UnixStream>) -> io::Result<Option<String>> {
+    let mut doc = String::new();
+    loop {
+        let start = doc.len();
+        let n = reader.read_line(&mut doc)?;
+        if n == 0 {
+            return if doc.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-request",
+                ))
+            };
+        }
+        if doc[start..].trim_end_matches('\n') == "end" {
+            return Ok(Some(doc));
+        }
+    }
+}
+
+fn connection_loop(stream: UnixStream, client: u64, shared: &Arc<Shared>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        let doc = match read_document(&mut reader) {
+            Ok(Some(doc)) => doc,
+            Ok(None) | Err(_) => return,
+        };
+        let response = match decode_request(&doc) {
+            Err(e) => Response::Error(e.to_string()),
+            Ok(Request::Stats) => Response::Stats(shared.snapshot()),
+            Ok(Request::Shutdown) => {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                shared.ready.notify_all();
+                let text = encode_response(&Response::Ok);
+                let _ = reader.get_mut().write_all(text.as_bytes());
+                // unblock the acceptor so it can observe the flag
+                let _ = UnixStream::connect(&shared.socket);
+                return;
+            }
+            Ok(Request::Sweep(spec)) => {
+                let (tx, rx) = mpsc::channel();
+                let queued = {
+                    let mut q = shared.queue.lock().expect("queue lock");
+                    if q.closed {
+                        false
+                    } else {
+                        q.items.push_back(Queued {
+                            client,
+                            spec,
+                            respond: tx,
+                        });
+                        Metrics::raise(&shared.metrics.queue_peak, q.items.len() as u64);
+                        true
+                    }
+                };
+                if queued {
+                    shared.ready.notify_all();
+                    match rx.recv() {
+                        Ok(response) => response,
+                        Err(_) => Response::Error("server dropped the request".into()),
+                    }
+                } else {
+                    Response::Error("server is shutting down".into())
+                }
+            }
+        };
+        let text = encode_response(&response);
+        if reader.get_mut().write_all(text.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::proto::normalize_spec;
+    use vericomp_core::OptLevel;
+    use vericomp_dataflow::fleet;
+
+    fn socket_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("vericomp-{tag}-{}.sock", std::process::id()))
+    }
+
+    fn spec_of(nodes: std::ops::Range<usize>) -> SweepSpec {
+        let suite = fleet::named_suite();
+        let spec = SweepSpec::new()
+            .nodes(&suite[nodes])
+            .levels([OptLevel::Verified, OptLevel::OptFull]);
+        normalize_spec(&spec, &MachineConfig::mpc755())
+    }
+
+    #[test]
+    fn daemon_serves_solo_identical_sweeps_and_shuts_down_cleanly() {
+        let socket = socket_path("server-basic");
+        let server = Server::new(&ServerOptions::new(&socket)).expect("binds");
+        let handle = thread::spawn(move || server.run().expect("serves"));
+
+        let spec = spec_of(0..3);
+        let solo = Pipeline::in_memory().run_sweep(&spec).expect("solo");
+
+        let mut client = Client::connect(&socket).expect("connects");
+        let served = client.run_sweep(&spec).expect("served");
+        assert!(served.verify());
+        assert_eq!(served.digest, solo.digest(), "daemon digest ≠ solo digest");
+        // a second submission replays entirely from the warm store
+        let warm = client.run_sweep(&spec).expect("warm");
+        assert_eq!(warm.digest, solo.digest());
+        assert!(warm.cells.iter().all(|c| c.cached));
+        let stats = client.server_stats().expect("stats");
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.jobs_cached, spec.cell_count() as u64);
+        assert!(stats.hit_rate() > 0.0);
+
+        client.shutdown().expect("acknowledged");
+        let final_stats = handle.join().expect("run returns");
+        assert_eq!(final_stats.requests, 2);
+        assert!(!socket.exists(), "socket file must be removed on shutdown");
+    }
+
+    #[test]
+    fn malformed_frames_get_error_responses_and_the_connection_survives() {
+        let socket = socket_path("server-err");
+        let server = Server::new(&ServerOptions::new(&socket)).expect("binds");
+        let handle = thread::spawn(move || server.run().expect("serves"));
+
+        // hand-rolled garbage frame on a raw stream
+        let mut stream = UnixStream::connect(&socket).expect("connects");
+        stream
+            .write_all(b"vericomp-request 1\nnonsense\nend\n")
+            .expect("writes");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let doc = read_document(&mut reader).expect("reads").expect("frame");
+        assert!(doc.contains("error "), "garbage must yield an error frame");
+        // the same connection still serves a real request afterwards
+        let spec = spec_of(0..1);
+        let text = crate::proto::encode_request(&Request::Sweep(spec.clone())).expect("encodes");
+        stream.write_all(text.as_bytes()).expect("writes");
+        let doc = read_document(&mut reader).expect("reads").expect("frame");
+        let Response::Sweep(served) = crate::proto::decode_response(&doc).expect("decodes") else {
+            panic!("expected sweep response");
+        };
+        assert_eq!(
+            served.digest,
+            Pipeline::in_memory()
+                .run_sweep(&spec)
+                .expect("solo")
+                .digest()
+        );
+
+        let mut client = Client::connect(&socket).expect("connects");
+        client.shutdown().expect("acknowledged");
+        handle.join().expect("run returns");
+    }
+
+    #[test]
+    fn concurrent_overlapping_clients_batch_and_stay_deterministic() {
+        let socket = socket_path("server-overlap");
+        let mut options = ServerOptions::new(&socket);
+        options.shards = 4;
+        let server = Server::new(&options).expect("binds");
+        let handle = thread::spawn(move || server.run().expect("serves"));
+
+        // overlapping unit ranges: cells 2..4 are shared between clients
+        let spec_a = spec_of(0..4);
+        let spec_b = spec_of(2..6);
+        let solo_a = Pipeline::in_memory().run_sweep(&spec_a).expect("solo a");
+        let solo_b = Pipeline::in_memory().run_sweep(&spec_b).expect("solo b");
+
+        let sock_a = socket.clone();
+        let sa = spec_a.clone();
+        let ta = thread::spawn(move || {
+            let mut c = Client::connect(&sock_a).expect("connects");
+            c.run_sweep(&sa).expect("served")
+        });
+        let sock_b = socket.clone();
+        let sb = spec_b.clone();
+        let tb = thread::spawn(move || {
+            let mut c = Client::connect(&sock_b).expect("connects");
+            c.run_sweep(&sb).expect("served")
+        });
+        let served_a = ta.join().expect("client a");
+        let served_b = tb.join().expect("client b");
+        assert_eq!(served_a.digest, solo_a.digest());
+        assert_eq!(served_b.digest, solo_b.digest());
+
+        let mut client = Client::connect(&socket).expect("connects");
+        let stats = client.server_stats().expect("stats");
+        assert_eq!(stats.requests, 2);
+        // shared cells compiled at most once per store lifetime: total
+        // fresh compiles can't exceed the union of the two specs
+        let union_cells = spec_of(0..6).cell_count() as u64;
+        assert!(
+            stats.jobs_run <= union_cells,
+            "shared cells recompiled: {} fresh > {} union",
+            stats.jobs_run,
+            union_cells
+        );
+        client.shutdown().expect("acknowledged");
+        handle.join().expect("run returns");
+    }
+}

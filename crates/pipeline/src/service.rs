@@ -445,6 +445,18 @@ impl Pipeline {
         })
     }
 
+    /// Builds a pipeline over a caller-owned store. The daemon uses this
+    /// to run every batch against its one warm, sharded store;
+    /// `options.cache_dir` is ignored (the store decides persistence).
+    #[must_use]
+    pub fn with_store(options: &PipelineOptions, store: Arc<ArtifactStore>) -> Pipeline {
+        Pipeline {
+            pool: ThreadPool::new(options.jobs),
+            store,
+            machine: options.machine.clone(),
+        }
+    }
+
     /// An in-memory pipeline with default parallelism (the drop-in for
     /// drivers that previously compiled serially).
     #[must_use]

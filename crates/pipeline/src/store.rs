@@ -28,6 +28,7 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use vericomp_arch::program::{
@@ -172,6 +173,14 @@ pub struct Artifact {
 }
 
 impl Artifact {
+    /// The artifact's size in bytes in the `.vcart` wire/disk encoding —
+    /// the unit of the store's byte accounting. Deterministic: the
+    /// encoding is a pure function of the artifact.
+    #[must_use]
+    pub fn encoded_len(&self) -> u64 {
+        encode_artifact(self).len() as u64
+    }
+
     /// A digest of the artifact's *outputs* (encoded text, annotation
     /// table, WCET bound) — used by determinism gates to compare serial
     /// and parallel builds bit-for-bit.
@@ -196,18 +205,74 @@ impl Artifact {
     }
 }
 
-/// The artifact store: an in-memory map, optionally backed by a cache
-/// directory so repeated runs are warm.
+/// Construction parameters of an [`ArtifactStore`].
+///
+/// The defaults reproduce the historical store exactly: one shard, no
+/// size bound, no persistence.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Cache directory for `.vcart` persistence (`None` = memory only).
+    pub dir: Option<PathBuf>,
+    /// Number of shards the key space is split into (clamped to ≥ 1).
+    /// Shard selection uses the top byte of the key digest, so a uniform
+    /// content-addressed key population spreads evenly.
+    pub shards: usize,
+    /// Total resident-byte bound across all shards (`None` = unbounded).
+    /// Enforced by [`ArtifactStore::enforce_bounds`], not inline on
+    /// insert — callers pick the batch boundaries at which eviction may
+    /// run, which keeps eviction order deterministic under concurrency.
+    pub max_bytes: Option<u64>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            dir: None,
+            shards: 1,
+            max_bytes: None,
+        }
+    }
+}
+
+/// One resident artifact plus its accounting metadata.
+struct Entry {
+    artifact: Arc<Artifact>,
+    /// Size in the `.vcart` encoding ([`Artifact::encoded_len`]).
+    bytes: u64,
+    /// Epoch stamp of the last touch (lookup hit or insert). All touches
+    /// within one batch carry the same stamp, so eviction order is
+    /// invariant to thread interleaving inside the batch.
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct ShardMap {
+    entries: BTreeMap<u128, Entry>,
+    bytes: u64,
+}
+
+/// The artifact store: sharded in-memory maps, optionally backed by a
+/// cache directory so repeated runs are warm, optionally size-bounded
+/// with deterministic LRU-style eviction.
 pub struct ArtifactStore {
     dir: Option<PathBuf>,
-    mem: Mutex<BTreeMap<u128, Arc<Artifact>>>,
+    shards: Vec<Mutex<ShardMap>>,
+    max_bytes: Option<u64>,
+    /// Batch-granular logical clock: callers advance it once per batch
+    /// (the daemon does so before every `run_sweep`), and every touch in
+    /// between is stamped with the same value.
+    epoch: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl fmt::Debug for ArtifactStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ArtifactStore")
             .field("dir", &self.dir)
-            .field("entries", &self.mem.lock().expect("store lock").len())
+            .field("shards", &self.shards.len())
+            .field("entries", &self.resident())
+            .field("bytes", &self.len_bytes())
+            .field("max_bytes", &self.max_bytes)
             .finish()
     }
 }
@@ -216,10 +281,7 @@ impl ArtifactStore {
     /// A store without disk persistence (process-lifetime cache).
     #[must_use]
     pub fn in_memory() -> ArtifactStore {
-        ArtifactStore {
-            dir: None,
-            mem: Mutex::new(BTreeMap::new()),
-        }
+        ArtifactStore::with_config(StoreConfig::default()).expect("memory store cannot fail")
     }
 
     /// A store persisted under `dir` (created if missing).
@@ -228,11 +290,30 @@ impl ArtifactStore {
     ///
     /// Propagates directory-creation failures.
     pub fn persistent(dir: impl Into<PathBuf>) -> io::Result<ArtifactStore> {
-        let dir = dir.into();
-        fs::create_dir_all(&dir)?;
+        ArtifactStore::with_config(StoreConfig {
+            dir: Some(dir.into()),
+            ..StoreConfig::default()
+        })
+    }
+
+    /// A store built from explicit [`StoreConfig`] parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures when persistent.
+    pub fn with_config(config: StoreConfig) -> io::Result<ArtifactStore> {
+        if let Some(dir) = &config.dir {
+            fs::create_dir_all(dir)?;
+        }
+        let shards = config.shards.max(1);
         Ok(ArtifactStore {
-            dir: Some(dir),
-            mem: Mutex::new(BTreeMap::new()),
+            dir: config.dir,
+            shards: (0..shards)
+                .map(|_| Mutex::new(ShardMap::default()))
+                .collect(),
+            max_bytes: config.max_bytes,
+            epoch: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         })
     }
 
@@ -242,10 +323,108 @@ impl ArtifactStore {
         self.dir.as_deref()
     }
 
+    /// Number of shards the key space is split into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured resident-byte bound, if any.
+    #[must_use]
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
+    }
+
     /// Number of artifacts currently resident in memory.
     #[must_use]
     pub fn resident(&self) -> usize {
-        self.mem.lock().expect("store lock").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store lock").entries.len())
+            .sum()
+    }
+
+    /// Total resident size in `.vcart`-encoded bytes.
+    #[must_use]
+    pub fn len_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("store lock").bytes)
+            .sum()
+    }
+
+    /// Number of entries evicted over the store's lifetime.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Advances the batch epoch. Call at a batch boundary (e.g. before
+    /// each daemon `run_sweep`): every lookup hit and insert until the
+    /// next call is stamped with the new epoch, so recency is counted
+    /// per *batch*, not per thread-interleaved touch — the precondition
+    /// for deterministic eviction order.
+    pub fn advance_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A digest of the resident key set, independent of shard count and
+    /// of the order entries were touched within any batch. Two stores
+    /// that hold the same artifacts agree, whatever their layout.
+    #[must_use]
+    pub fn store_digest(&self) -> Digest {
+        let mut keys: Vec<u128> = Vec::with_capacity(self.resident());
+        for shard in &self.shards {
+            keys.extend(shard.lock().expect("store lock").entries.keys().copied());
+        }
+        keys.sort_unstable();
+        let mut h = Hasher::new();
+        h.u64(keys.len() as u64);
+        for k in keys {
+            h.u64(k as u64).u64((k >> 64) as u64);
+        }
+        h.finish()
+    }
+
+    /// Evicts entries until every shard fits its share of `max_bytes`
+    /// (total bound divided evenly across shards). Within a shard the
+    /// eviction order is ascending `(stamp, key)` — least-recent batch
+    /// first, key order breaking ties — which is a pure function of the
+    /// resident set and its stamps, so the post-eviction store digest is
+    /// reproducible. Evicted entries also lose their `.vcart` file (a
+    /// later request recompiles, and the determinism gates prove it
+    /// recompiles to the identical digest). Returns the number evicted;
+    /// a no-op without a configured bound.
+    pub fn enforce_bounds(&self) -> u64 {
+        let Some(max_bytes) = self.max_bytes else {
+            return 0;
+        };
+        let budget = max_bytes / self.shards.len() as u64;
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut map = shard.lock().expect("store lock");
+            while map.bytes > budget && !map.entries.is_empty() {
+                let victim = map
+                    .entries
+                    .iter()
+                    .min_by_key(|(key, e)| (e.stamp, **key))
+                    .map(|(key, _)| *key)
+                    .expect("non-empty shard");
+                let entry = map.entries.remove(&victim).expect("victim resident");
+                map.bytes -= entry.bytes;
+                if let Some(path) = self.path_of(Digest(victim)) {
+                    let _ = fs::remove_file(path);
+                }
+                evicted += 1;
+            }
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    fn shard_of(&self, key: Digest) -> &Mutex<ShardMap> {
+        let idx = ((key.0 >> 120) as usize) % self.shards.len();
+        &self.shards[idx]
     }
 
     fn path_of(&self, key: Digest) -> Option<PathBuf> {
@@ -255,11 +434,16 @@ impl ArtifactStore {
     /// Looks an artifact up by key: memory first, then the cache
     /// directory. `config` rebuilds the program container on a disk hit
     /// and is checked against the stored machine digest; any mismatch or
-    /// parse failure is a miss.
+    /// parse failure is a miss. A hit refreshes the entry's epoch stamp.
     #[must_use]
     pub fn lookup(&self, key: Digest, config: &MachineConfig) -> Option<Arc<Artifact>> {
-        if let Some(hit) = self.mem.lock().expect("store lock").get(&key.0) {
-            return Some(Arc::clone(hit));
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        {
+            let mut map = self.shard_of(key).lock().expect("store lock");
+            if let Some(entry) = map.entries.get_mut(&key.0) {
+                entry.stamp = epoch;
+                return Some(Arc::clone(&entry.artifact));
+            }
         }
         let path = self.path_of(key)?;
         let text = fs::read_to_string(path).ok()?;
@@ -267,11 +451,18 @@ impl ArtifactStore {
         if artifact.key != key {
             return None;
         }
+        let bytes = text.len() as u64;
         let artifact = Arc::new(artifact);
-        self.mem
-            .lock()
-            .expect("store lock")
-            .insert(key.0, Arc::clone(&artifact));
+        let mut map = self.shard_of(key).lock().expect("store lock");
+        let entry = Entry {
+            artifact: Arc::clone(&artifact),
+            bytes,
+            stamp: epoch,
+        };
+        if let Some(old) = map.entries.insert(key.0, entry) {
+            map.bytes -= old.bytes;
+        }
+        map.bytes += bytes;
         Some(artifact)
     }
 
@@ -289,13 +480,23 @@ impl ArtifactStore {
     pub fn insert(&self, artifact: Artifact) -> io::Result<Arc<Artifact>> {
         debug_assert!(artifact.verdict.allocation_checked);
         let key = artifact.key;
+        let text = encode_artifact(&artifact);
+        let bytes = text.len() as u64;
+        let epoch = self.epoch.load(Ordering::Relaxed);
         let artifact = Arc::new(artifact);
-        self.mem
-            .lock()
-            .expect("store lock")
-            .insert(key.0, Arc::clone(&artifact));
+        {
+            let mut map = self.shard_of(key).lock().expect("store lock");
+            let entry = Entry {
+                artifact: Arc::clone(&artifact),
+                bytes,
+                stamp: epoch,
+            };
+            if let Some(old) = map.entries.insert(key.0, entry) {
+                map.bytes -= old.bytes;
+            }
+            map.bytes += bytes;
+        }
         if let Some(path) = self.path_of(key) {
-            let text = encode_artifact(&artifact);
             // Write-then-rename keeps concurrent readers (other build
             // processes sharing the directory) away from torn files.
             let tmp = path.with_extension(format!("tmp{}", std::process::id()));
@@ -702,6 +903,160 @@ mod tests {
         fs::write(&path, "garbage").expect("overwrite");
         let store = ArtifactStore::persistent(&dir).expect("opens dir");
         assert!(store.lookup(key, &config).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A distinct artifact per index: entry name and source both vary,
+    /// so keys, encodings and sizes differ.
+    fn artifact_named(i: usize) -> Artifact {
+        let gf = |name: &str| Global {
+            name: name.into(),
+            def: GlobalDef::ScalarF64(None),
+        };
+        let entry = format!("step{i}");
+        let src = Src {
+            globals: (0..=i % 3)
+                .map(|g| gf(&format!("in{g}")))
+                .chain([gf("out")])
+                .collect(),
+            functions: vec![Function {
+                name: entry.clone(),
+                params: vec![],
+                ret: None,
+                locals: vec![],
+                body: vec![Stmt::Assign(
+                    "out".into(),
+                    Expr::binop(Binop::AddF, Expr::var("in0"), Expr::var("in0")),
+                )],
+            }],
+        };
+        let passes = PassConfig::for_level(OptLevel::Verified);
+        let config = MachineConfig::mpc755();
+        let program = Compiler::new(OptLevel::Verified)
+            .compile(&src, &entry)
+            .expect("compiles");
+        let report = vericomp_wcet::analyze(&program, &entry).expect("analyzes");
+        let source = vericomp_minic::pretty::program_to_c(&src);
+        Artifact {
+            key: artifact_key(&source, &entry, &passes, &config),
+            entry,
+            label: "verified".into(),
+            program,
+            verdict: Verdict::from_passes(&passes),
+            report,
+        }
+    }
+
+    #[test]
+    fn byte_accounting_matches_encoded_sizes() {
+        let store = ArtifactStore::in_memory();
+        assert_eq!(store.len_bytes(), 0);
+        let mut expected = 0u64;
+        for i in 0..4 {
+            let a = artifact_named(i);
+            expected += a.encoded_len();
+            store.insert(a).expect("inserts");
+        }
+        assert_eq!(store.resident(), 4);
+        assert_eq!(store.len_bytes(), expected);
+        // re-inserting an existing key replaces, never double-counts
+        store.insert(artifact_named(2)).expect("re-inserts");
+        assert_eq!(store.resident(), 4);
+        assert_eq!(store.len_bytes(), expected);
+    }
+
+    #[test]
+    fn byte_accounting_counts_disk_reloads() {
+        let dir = std::env::temp_dir().join(format!("vericomp-store-bytes-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let a = artifact_named(0);
+        let (key, size) = (a.key, a.encoded_len());
+        {
+            let store = ArtifactStore::persistent(&dir).expect("creates dir");
+            store.insert(a).expect("writes");
+        }
+        let store = ArtifactStore::persistent(&dir).expect("opens dir");
+        assert_eq!(store.len_bytes(), 0);
+        store
+            .lookup(key, &MachineConfig::mpc755())
+            .expect("disk hit");
+        assert_eq!(store.len_bytes(), size);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_digest_is_shard_count_invariant() {
+        let artifacts: Vec<Artifact> = (0..6).map(artifact_named).collect();
+        let mut digests = Vec::new();
+        for shards in [1usize, 4] {
+            let store = ArtifactStore::with_config(StoreConfig {
+                shards,
+                ..StoreConfig::default()
+            })
+            .expect("memory store");
+            for a in &artifacts {
+                store.insert(a.clone()).expect("inserts");
+            }
+            assert_eq!(store.shard_count(), shards);
+            assert_eq!(store.resident(), artifacts.len());
+            digests.push(store.store_digest());
+        }
+        assert_eq!(digests[0], digests[1]);
+    }
+
+    #[test]
+    fn eviction_is_deterministic_and_order_invariant() {
+        let artifacts: Vec<Artifact> = (0..6).map(artifact_named).collect();
+        let bound = artifacts.iter().map(Artifact::encoded_len).sum::<u64>() / 2;
+        let build = |order: &[usize]| {
+            let store = ArtifactStore::with_config(StoreConfig {
+                max_bytes: Some(bound),
+                ..StoreConfig::default()
+            })
+            .expect("memory store");
+            // first batch: artifacts 0..3; second batch: 3..6 — the
+            // insertion order *within* a batch must not matter.
+            for &i in order.iter().filter(|&&i| i < 3) {
+                store.insert(artifacts[i].clone()).expect("inserts");
+            }
+            store.advance_epoch();
+            for &i in order.iter().filter(|&&i| i >= 3) {
+                store.insert(artifacts[i].clone()).expect("inserts");
+            }
+            let evicted = store.enforce_bounds();
+            assert!(evicted > 0, "bound at half the total must evict");
+            assert_eq!(store.evictions(), evicted);
+            assert!(store.len_bytes() <= bound);
+            store.store_digest()
+        };
+        let a = build(&[0, 1, 2, 3, 4, 5]);
+        let b = build(&[2, 0, 1, 5, 3, 4]);
+        assert_eq!(a, b, "post-eviction digest depends only on batches");
+    }
+
+    #[test]
+    fn eviction_prefers_older_batches_and_clears_disk() {
+        let dir = std::env::temp_dir().join(format!("vericomp-store-evict-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let old = artifact_named(0);
+        let fresh = artifact_named(1);
+        let bound = old.encoded_len() + fresh.encoded_len() - 1;
+        let store = ArtifactStore::with_config(StoreConfig {
+            dir: Some(dir.clone()),
+            max_bytes: Some(bound),
+            ..StoreConfig::default()
+        })
+        .expect("creates dir");
+        store.insert(old.clone()).expect("inserts");
+        store.advance_epoch();
+        store.insert(fresh.clone()).expect("inserts");
+        assert_eq!(store.enforce_bounds(), 1);
+        let config = MachineConfig::mpc755();
+        // the older batch's entry is gone — memory *and* disk
+        assert!(store.lookup(old.key, &config).is_none());
+        assert!(!dir.join(format!("{}.vcart", old.key)).exists());
+        // the fresh entry survives
+        assert!(store.lookup(fresh.key, &config).is_some());
         let _ = fs::remove_dir_all(&dir);
     }
 

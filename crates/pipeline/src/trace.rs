@@ -354,9 +354,25 @@ impl Profile {
         h.finish()
     }
 
-    /// The aligned text table, one `profile:`-prefixed line per row plus
-    /// the counter-digest footer — greppable the same way the
-    /// `pipeline:`/`search:` lines are.
+    /// The store hit rate derivable from the counters: every job performs
+    /// one `cache-lookup` stage, and only misses go on to a `compile`
+    /// stage, so `(lookups - compiles) / lookups` is the fraction served
+    /// from the artifact store. `None` when the trace has no lookups (an
+    /// empty run, or a trace of search events only).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let lookups = self.count_of(SpanKind::Stage, "cache-lookup");
+        if lookups == 0 {
+            return None;
+        }
+        let compiles = self.count_of(SpanKind::Stage, "compile");
+        Some((lookups.saturating_sub(compiles)) as f64 / lookups as f64)
+    }
+
+    /// The aligned text table, one `profile:`-prefixed line per row, then
+    /// the derived hit-rate line, then the counter-digest footer (always
+    /// last — the CI smoke greps for it as the final `profile:` line) —
+    /// greppable the same way the `pipeline:`/`search:` lines are.
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -370,6 +386,9 @@ impl Profile {
                 row.count,
                 ms,
             );
+        }
+        if let Some(rate) = self.cache_hit_rate() {
+            let _ = writeln!(out, "profile: cache hit rate: {:.1}%", rate * 100.0);
         }
         let _ = writeln!(out, "profile: counter digest: {}", self.counter_digest());
         out
@@ -396,7 +415,9 @@ impl Profile {
         }
         let _ = write!(
             out,
-            "], \"counter_digest\": \"{}\"}}",
+            "], \"cache_hit_rate\": {}, \"counter_digest\": \"{}\"}}",
+            self.cache_hit_rate()
+                .map_or("null".to_owned(), |r| format!("{r:.6}")),
             self.counter_digest()
         );
         out
@@ -559,11 +580,38 @@ mod tests {
         }
         assert!(text.contains("profile: pass  lower"));
         assert!(text.contains("profile: event search:admitted"));
-        assert!(text
-            .lines()
-            .last()
-            .expect("footer")
-            .starts_with("profile: counter digest: "));
+        assert!(text.contains("profile: cache hit rate: 0.0%"), "{text}");
+        assert!(
+            text.lines()
+                .last()
+                .expect("footer")
+                .starts_with("profile: counter digest: "),
+            "counter digest must stay the last profile line"
+        );
+    }
+
+    #[test]
+    fn cache_hit_rate_is_lookups_minus_compiles_over_lookups() {
+        // the sample trace is one cold job: 1 lookup, 1 compile -> 0%
+        let cold = sample_trace().profile();
+        assert_eq!(cold.cache_hit_rate(), Some(0.0));
+
+        // two more lookups that never reach compile are hits: 2/3
+        let mut warm = sample_trace();
+        warm.push(Span::stage("cache-lookup", 1, 0, 10, "unit=b"));
+        warm.push(Span::stage("cache-lookup", 2, 0, 10, "unit=c"));
+        let rate = warm.profile().cache_hit_rate().expect("rate");
+        assert!((rate - 2.0 / 3.0).abs() < 1e-12, "{rate}");
+        assert!(warm
+            .profile()
+            .render()
+            .contains("profile: cache hit rate: 66.7%"));
+
+        // no lookups at all -> no rate, no line
+        let empty = RunTrace::new().profile();
+        assert_eq!(empty.cache_hit_rate(), None);
+        assert!(!empty.render().contains("cache hit rate"));
+        assert!(empty.to_json().contains("\"cache_hit_rate\": null"));
     }
 
     #[test]
@@ -571,6 +619,7 @@ mod tests {
         let json = sample_trace().profile().to_json();
         assert!(!json.contains('\n'));
         assert!(json.contains("\"counter_digest\": \""));
+        assert!(json.contains("\"cache_hit_rate\": 0.000000"));
         assert!(json.contains("{\"kind\": \"stage\", \"name\": \"compile\""));
         assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
     }

@@ -596,24 +596,47 @@ impl Scenario {
     /// it was not produced from [`Scenario::to_sweep_spec`].
     #[must_use]
     pub fn check(&self, sweep: &SweepResult) -> SchedReport {
+        self.check_bounds(sweep.config_labels(), sweep.machine_labels(), |u, c, m| {
+            sweep.get(u, c, m).map(vericomp_pipeline::SweepCell::wcet)
+        })
+    }
+
+    /// [`check`](Scenario::check) against an arbitrary WCET source: the
+    /// same verdicts, fed by a `(unit, config, machine) → wcet` lookup
+    /// instead of a local [`SweepResult`]. This is how a remote client
+    /// rebuilds the schedulability report from a compile-service response
+    /// (which carries per-cell bounds, not artifacts) — the resulting
+    /// `sched:` lines and digest are bit-identical to the local path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the lookup is missing one of the scenario's units for
+    /// a requested (config, machine).
+    #[must_use]
+    pub fn check_bounds(
+        &self,
+        configs: &[String],
+        machines: &[String],
+        mut wcet_of: impl FnMut(&str, &str, &str) -> Option<u64>,
+    ) -> SchedReport {
         let mut verdicts = Vec::new();
         for (mi, mode) in self.config.modes.iter().enumerate() {
             for frame in 0..self.config.minor_frames {
                 let task_ids = self.frame_tasks(mi, frame);
-                for config in sweep.config_labels() {
-                    for machine in sweep.machine_labels() {
+                for config in configs {
+                    for machine in machines {
                         let mut wcet = EXEC_OVERHEAD;
                         for &ti in &task_ids {
                             let ui = self.tasks[ti].unit_for_mode[mi]
                                 .expect("frame_tasks filters shed tasks");
                             let unit = &self.units[ui].name;
-                            let cell = sweep.get(unit, config, machine).unwrap_or_else(|| {
+                            let bound = wcet_of(unit, config, machine).unwrap_or_else(|| {
                                 panic!(
                                     "unit `{unit}` missing from sweep ({config}/{machine}); \
                                      run the spec from Scenario::to_sweep_spec"
                                 )
                             });
-                            wcet += DISPATCH_OVERHEAD + cell.wcet();
+                            wcet += DISPATCH_OVERHEAD + bound;
                         }
                         verdicts.push(SchedVerdict {
                             mode: mode.name.clone(),

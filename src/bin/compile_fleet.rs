@@ -27,7 +27,7 @@ use std::process::ExitCode;
 use vericomp_arch::MachineConfig;
 use vericomp_core::OptLevel;
 use vericomp_dataflow::fleet;
-use vericomp_pipeline::{Pipeline, PipelineOptions, SearchSpec, SweepSpec};
+use vericomp_pipeline::{normalize_spec, Client, Pipeline, PipelineOptions, SearchSpec, SweepSpec};
 use vericomp_testkit::scenario::{Scenario, ScenarioConfig};
 
 struct Args {
@@ -45,6 +45,7 @@ struct Args {
     scenario_frames: usize,
     scenario_overbudget: Option<String>,
     require_feasible: bool,
+    connect: Option<String>,
 }
 
 const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--configs LIST]
@@ -52,6 +53,7 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
                      [--trace FILE] [--profile] [--scenario SEED]
                      [--scenario-tasks N] [--scenario-frames N]
                      [--scenario-overbudget MODE] [--require-feasible]
+                     [--connect SOCK]
   --jobs N          worker threads (default: available parallelism)
   --cache-dir DIR   persistent artifact cache (default: in-memory only)
   --configs LIST    comma-separated config axis out of
@@ -77,6 +79,11 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
                     force MODE's frame budget to 1 cycle — every non-empty
                     frame of that mode reports OVER (negative-test hook)
   --require-feasible    exit nonzero when any frame verdict is over budget
+  --connect SOCK    submit the sweep to a running vericomp_serve daemon at
+                    SOCK instead of compiling locally; the served digests
+                    are bit-identical to a solo run's (excludes --search,
+                    --trace, --profile, --jobs and --cache-dir — those
+                    configure the server, not the client)
 
 environment overrides (used when the corresponding flag is absent):
   VERICOMP_JOBS       default for --jobs
@@ -110,8 +117,10 @@ fn parse_args() -> Result<Args, String> {
         scenario_frames: 4,
         scenario_overbudget: None,
         require_feasible: false,
+        connect: None,
     };
     let mut jobs_set = false;
+    let mut cache_dir_set = false;
     let mut scenario_flags = false;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -125,7 +134,10 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--jobs needs a number".to_string())?;
                 jobs_set = true;
             }
-            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--cache-dir" => {
+                args.cache_dir = Some(value("--cache-dir")?);
+                cache_dir_set = true;
+            }
             "--configs" | "--level" => {
                 for v in value(&flag)?.split(',') {
                     args.configs.push(
@@ -183,6 +195,7 @@ fn parse_args() -> Result<Args, String> {
                 args.require_feasible = true;
                 scenario_flags = true;
             }
+            "--connect" => args.connect = Some(value("--connect")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -200,6 +213,25 @@ fn parse_args() -> Result<Args, String> {
             if !v.is_empty() {
                 args.cache_dir = Some(v);
             }
+        }
+    }
+    if args.connect.is_some() {
+        if args.search {
+            return Err("--connect submits fixed sweeps; the search runs locally".to_string());
+        }
+        if args.trace.is_some() || args.profile {
+            return Err(
+                "--trace/--profile read local run telemetry; with --connect use \
+                 `vericomp_serve --stats-of` for server metrics"
+                    .to_string(),
+            );
+        }
+        if jobs_set || cache_dir_set {
+            return Err(
+                "--jobs/--cache-dir configure the server, not the client; drop them with \
+                 --connect"
+                    .to_string(),
+            );
         }
     }
     if args.search && !args.configs.is_empty() {
@@ -234,6 +266,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if args.connect.is_some() {
+        return run_connected(&args);
+    }
 
     let mut builder = PipelineOptions::builder().jobs(args.jobs);
     if let Some(dir) = &args.cache_dir {
@@ -328,13 +364,11 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `--scenario SEED`: generate a multi-rate scenario, sweep its
-/// deduplicated task variants through the pipeline, and join the WCET
-/// bounds back into a schedulability report. Every `scenario:` / `sched:`
-/// line and both digests are pure functions of (seed, flags, axes) — the
-/// CI smoke compares them across job counts.
-fn run_scenario(pipeline: &Pipeline, args: &Args) -> ExitCode {
-    let seed = args.scenario.expect("run_scenario needs --scenario");
+/// Scenario construction shared by the local and `--connect` paths:
+/// builds the seeded config, generates the scenario, prints the
+/// deterministic `scenario:` header line.
+fn build_scenario(args: &Args) -> Result<(ScenarioConfig, Scenario), String> {
+    let seed = args.scenario.expect("build_scenario needs --scenario");
     let mut builder = ScenarioConfig::builder()
         .name("cli")
         .tasks(args.scenario_tasks)
@@ -343,20 +377,8 @@ fn run_scenario(pipeline: &Pipeline, args: &Args) -> ExitCode {
     if let Some(mode) = &args.scenario_overbudget {
         builder = builder.override_budget(mode, 1);
     }
-    let config = match builder.build() {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("compile_fleet: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let scenario = match Scenario::generate(&config) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("compile_fleet: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let config = builder.build().map_err(|e| e.to_string())?;
+    let scenario = Scenario::generate(&config).map_err(|e| e.to_string())?;
     println!(
         "scenario: {} seed={seed} tasks={} frames={} modes={} units={} symbols={}",
         config.name,
@@ -366,6 +388,22 @@ fn run_scenario(pipeline: &Pipeline, args: &Args) -> ExitCode {
         scenario.units().len(),
         scenario.total_symbols(),
     );
+    Ok((config, scenario))
+}
+
+/// `--scenario SEED`: generate a multi-rate scenario, sweep its
+/// deduplicated task variants through the pipeline, and join the WCET
+/// bounds back into a schedulability report. Every `scenario:` / `sched:`
+/// line and both digests are pure functions of (seed, flags, axes) — the
+/// CI smoke compares them across job counts.
+fn run_scenario(pipeline: &Pipeline, args: &Args) -> ExitCode {
+    let (_config, scenario) = match build_scenario(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("compile_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let mut spec = scenario.to_sweep_spec();
     for level in &args.configs {
@@ -416,6 +454,126 @@ fn run_scenario(pipeline: &Pipeline, args: &Args) -> ExitCode {
             report.infeasible_count()
         );
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--connect SOCK`: submit the sweep (fleet or scenario) to a running
+/// `vericomp_serve` daemon and render the served response in the solo
+/// run's output shape — same per-cell table, same `fleet digest:` /
+/// `sched digest:` lines, and by the service determinism guarantee, the
+/// same digest values a local run of the identical request prints.
+fn run_connected(args: &Args) -> ExitCode {
+    let sock = args
+        .connect
+        .as_deref()
+        .expect("run_connected needs --connect");
+    let mut client = match Client::connect(sock) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile_fleet: connecting {sock}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenario = if args.scenario.is_some() {
+        match build_scenario(args) {
+            Ok((_, scenario)) => Some(scenario),
+            Err(e) => {
+                eprintln!("compile_fleet: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let (mut spec, unit_count) = match &scenario {
+        Some(s) => (s.to_sweep_spec(), s.units().len()),
+        None => {
+            let mut nodes = fleet::named_suite();
+            if let Some(n) = args.nodes {
+                nodes.truncate(n);
+            }
+            let count = nodes.len();
+            (SweepSpec::new().nodes(&nodes), count)
+        }
+    };
+    for level in &args.configs {
+        spec = spec.level(*level);
+    }
+    for name in &args.machines {
+        spec = spec.machine(name, &parse_machine(name).expect("validated at parse time"));
+    }
+    let spec = normalize_spec(&spec, &MachineConfig::mpc755());
+    println!(
+        "compile_fleet: {} units × {} configs × {} machines = {} cells via daemon at {sock}",
+        unit_count,
+        spec.configs().len(),
+        spec.machines().len(),
+        spec.cell_count(),
+    );
+
+    let response = match client.run_sweep(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("compile_fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(scenario) = &scenario {
+        println!("{}", response.stats.render());
+        println!("fleet digest: {}", response.digest);
+        let report = scenario.check_bounds(&response.configs, &response.machines, |u, c, m| {
+            response.get(u, c, m).map(|cell| cell.wcet)
+        });
+        print!("{}", report.render());
+        println!("sched digest: {}", report.digest());
+        if args.require_feasible && !report.feasible() {
+            eprintln!(
+                "compile_fleet: {} frame verdicts over budget",
+                report.infeasible_count()
+            );
+            return ExitCode::FAILURE;
+        }
+    } else {
+        println!(
+            "{:<24} {:<16} {:<12} {:>8} {:>9}  verdict",
+            "node", "config", "machine", "WCET", "source"
+        );
+        for cell in &response.cells {
+            println!(
+                "{:<24} {:<16} {:<12} {:>8} {:>9}  {}",
+                cell.unit,
+                cell.config,
+                cell.machine,
+                cell.wcet,
+                if cell.cached { "cache" } else { "compiled" },
+                cell.verdict.describe(),
+            );
+        }
+        println!(
+            "sweep {} units × {} configs × {} machines = {} cells ({} run, {} cached)",
+            response.units.len(),
+            response.configs.len(),
+            response.machines.len(),
+            response.cells.len(),
+            response.stats.jobs_run,
+            response.stats.jobs_cached,
+        );
+        println!("{}", response.stats.render());
+        println!("fleet digest: {}", response.digest);
+    }
+
+    if let Some(min) = args.min_hit_rate {
+        if response.stats.hit_rate() < min {
+            eprintln!(
+                "compile_fleet: hit rate {:.3} below required {min:.3}",
+                response.stats.hit_rate()
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

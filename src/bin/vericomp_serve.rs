@@ -1,0 +1,207 @@
+//! The compile-as-a-service daemon.
+//!
+//! ```text
+//! # terminal 1 — start the service
+//! cargo run --release -p vericomp --bin vericomp_serve -- \
+//!     --socket target/vericomp.sock --shards 4 --store-bytes 4000000
+//!
+//! # terminal 2 — any number of clients
+//! cargo run --release -p vericomp --bin compile_fleet -- \
+//!     --connect target/vericomp.sock --configs verified,opt-full
+//! ```
+//!
+//! The daemon owns one warm, sharded, size-bounded artifact store and
+//! batches concurrently arriving sweep requests into single pipeline
+//! runs. Every response digest is bit-identical to what a solo
+//! `compile_fleet` run of the same request prints — the determinism
+//! gates and the CI daemon smoke compare exactly that.
+//!
+//! `--stats-of SOCK` and `--shutdown SOCK` run one-shot admin requests
+//! against an already-running daemon instead of starting one.
+
+use std::process::ExitCode;
+
+use vericomp_pipeline::{Client, Server, ServerOptions};
+
+const USAGE: &str = "usage: vericomp_serve --socket PATH [--jobs N] [--cache-dir DIR]
+                     [--shards N] [--store-bytes N] [--max-inflight-cells N]
+                     [--slo F]
+       vericomp_serve --stats-of PATH | --shutdown PATH
+  --socket PATH     Unix socket to listen on (stale files are replaced)
+  --jobs N          worker threads (default: available parallelism)
+  --cache-dir DIR   persistent .vcart store directory (default: memory only)
+  --shards N        store shards by digest prefix (default 4)
+  --store-bytes N   resident store bound in bytes; exceeding it evicts
+                    least-recent batches first, deterministically
+                    (default: unbounded)
+  --max-inflight-cells N
+                    admission bound: max sweep cells per batch (default 4096)
+  --slo F           hit-rate SLO in 0..1 printed with the stats (default 0.9;
+                    0 disables the line)
+  --stats-of PATH   print a running daemon's stats and exit
+  --shutdown PATH   ask a running daemon to drain and stop, then exit";
+
+enum Mode {
+    Serve(ServerOptions),
+    StatsOf(String),
+    Shutdown(String),
+}
+
+fn parse_args() -> Result<Mode, String> {
+    let mut socket: Option<String> = None;
+    let mut stats_of: Option<String> = None;
+    let mut shutdown: Option<String> = None;
+    let mut jobs = 0usize;
+    let mut cache_dir: Option<String> = None;
+    let mut shards = 4usize;
+    let mut max_bytes: Option<u64> = None;
+    let mut max_inflight = 4096usize;
+    let mut slo = 0.9f64;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs an argument"))
+        };
+        match flag.as_str() {
+            "--socket" => socket = Some(value("--socket")?),
+            "--stats-of" => stats_of = Some(value("--stats-of")?),
+            "--shutdown" => shutdown = Some(value("--shutdown")?),
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a number".to_string())?;
+            }
+            "--cache-dir" => cache_dir = Some(value("--cache-dir")?),
+            "--shards" => {
+                shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards needs a number".to_string())?;
+            }
+            "--store-bytes" => {
+                max_bytes = Some(
+                    value("--store-bytes")?
+                        .parse()
+                        .map_err(|_| "--store-bytes needs a number".to_string())?,
+                );
+            }
+            "--max-inflight-cells" => {
+                max_inflight = value("--max-inflight-cells")?
+                    .parse()
+                    .map_err(|_| "--max-inflight-cells needs a number".to_string())?;
+            }
+            "--slo" => {
+                slo = value("--slo")?
+                    .parse()
+                    .map_err(|_| "--slo needs a number in 0..1".to_string())?;
+                if !(0.0..=1.0).contains(&slo) {
+                    return Err("--slo needs a number in 0..1".to_string());
+                }
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+
+    if let Some(path) = stats_of {
+        return Ok(Mode::StatsOf(path));
+    }
+    if let Some(path) = shutdown {
+        return Ok(Mode::Shutdown(path));
+    }
+    let socket = socket.ok_or_else(|| format!("--socket is required\n{USAGE}"))?;
+    let mut options = ServerOptions::new(socket);
+    options.jobs = jobs;
+    options.cache_dir = cache_dir.map(Into::into);
+    options.shards = shards;
+    options.max_bytes = max_bytes;
+    options.max_inflight_cells = max_inflight;
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    {
+        options.slo_per_mille = (slo * 1000.0).round() as u64;
+    }
+    Ok(Mode::Serve(options))
+}
+
+fn main() -> ExitCode {
+    let mode = match parse_args() {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mode {
+        Mode::StatsOf(path) => {
+            let mut client = match Client::connect(&path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("vericomp_serve: connecting {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match client.server_stats() {
+                Ok(stats) => {
+                    print!("{}", stats.render());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("vericomp_serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::Shutdown(path) => {
+            let mut client = match Client::connect(&path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("vericomp_serve: connecting {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match client.shutdown() {
+                Ok(()) => {
+                    println!("vericomp_serve: shutdown acknowledged");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("vericomp_serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::Serve(options) => {
+            let server = match Server::new(&options) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("vericomp_serve: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "vericomp_serve: listening on {} ({} shards, {}, admission {} cells, cache {})",
+                options.socket.display(),
+                options.shards,
+                options
+                    .max_bytes
+                    .map_or("unbounded".to_string(), |b| format!("{b} byte bound")),
+                options.max_inflight_cells,
+                options
+                    .cache_dir
+                    .as_ref()
+                    .map_or("(memory)".to_string(), |d| d.display().to_string()),
+            );
+            match server.run() {
+                Ok(stats) => {
+                    print!("{}", stats.render());
+                    println!("vericomp_serve: clean shutdown");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("vericomp_serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

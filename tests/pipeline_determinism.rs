@@ -315,3 +315,203 @@ fn warm_replay_is_bit_identical_to_the_cold_build() {
         assert!(cell.outcome.artifact.verdict.schedule_validated);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Daemon determinism gates: a sweep served by `vericomp_serve` must be
+// bit-identical to a solo `run_sweep` of the same spec — across job counts,
+// shard counts, server restarts, forced eviction, and concurrent clients.
+// ---------------------------------------------------------------------------
+
+use vericomp::pipeline::{normalize_spec, Client, Server, ServerOptions};
+
+fn daemon_socket(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("vericomp-det-{tag}-{}.sock", std::process::id()))
+}
+
+fn daemon_spec(nodes: std::ops::Range<usize>) -> SweepSpec {
+    let suite = fleet::named_suite();
+    let spec = SweepSpec::new()
+        .nodes(&suite[nodes])
+        .levels([OptLevel::Verified, OptLevel::OptFull]);
+    normalize_spec(&spec, &MachineConfig::mpc755())
+}
+
+#[test]
+fn daemon_response_is_bit_identical_to_solo_across_jobs_and_shards() {
+    let spec = daemon_spec(0..4);
+    let solo = pipeline_with_jobs(1).run_sweep(&spec).expect("solo sweep");
+
+    let mut store_digests = Vec::new();
+    for (jobs, shards) in [(1usize, 1usize), (4, 1), (1, 4), (4, 8)] {
+        let socket = daemon_socket(&format!("axes-{jobs}-{shards}"));
+        let mut options = ServerOptions::new(&socket);
+        options.jobs = jobs;
+        options.shards = shards;
+        let server = Server::new(&options).expect("binds");
+        let store = server.store().clone();
+        let handle = std::thread::spawn(move || server.run().expect("serves"));
+
+        let mut client = Client::connect(&socket).expect("connects");
+        let served = client.run_sweep(&spec).expect("served");
+        assert!(served.verify(), "jobs={jobs} shards={shards}: bad frame");
+        assert_eq!(
+            served.digest,
+            solo.digest(),
+            "jobs={jobs} shards={shards}: daemon digest diverges from solo"
+        );
+        store_digests.push(store.store_digest());
+        client.shutdown().expect("acknowledged");
+        handle.join().expect("clean run");
+    }
+    // the resident key set is a pure function of the work: the store
+    // digest must not depend on worker count or shard layout
+    assert!(
+        store_digests.windows(2).all(|w| w[0] == w[1]),
+        "store digest varies with jobs/shards: {store_digests:?}"
+    );
+}
+
+#[test]
+fn daemon_restart_mid_suite_preserves_digests() {
+    let socket = daemon_socket("restart");
+    let cache =
+        std::env::temp_dir().join(format!("vericomp-det-restart-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache);
+
+    let first_half = daemon_spec(0..3);
+    let full = daemon_spec(0..6);
+    let solo_half = pipeline_with_jobs(1).run_sweep(&first_half).expect("solo");
+    let solo_full = pipeline_with_jobs(1).run_sweep(&full).expect("solo");
+
+    // first server lifetime: compile the first half, then stop
+    {
+        let mut options = ServerOptions::new(&socket);
+        options.cache_dir = Some(cache.clone());
+        let server = Server::new(&options).expect("binds");
+        let handle = std::thread::spawn(move || server.run().expect("serves"));
+        let mut client = Client::connect(&socket).expect("connects");
+        let served = client.run_sweep(&first_half).expect("served");
+        assert_eq!(served.digest, solo_half.digest());
+        client.shutdown().expect("acknowledged");
+        handle.join().expect("clean run");
+        assert!(!socket.exists(), "socket must be removed between lifetimes");
+    }
+
+    // second lifetime on the same socket + store dir: the first half
+    // replays from disk, the rest compiles fresh — same digest as solo
+    {
+        let mut options = ServerOptions::new(&socket);
+        options.cache_dir = Some(cache.clone());
+        let server = Server::new(&options).expect("re-binds");
+        let handle = std::thread::spawn(move || server.run().expect("serves"));
+        let mut client = Client::connect(&socket).expect("connects");
+        let served = client.run_sweep(&full).expect("served");
+        assert_eq!(
+            served.digest,
+            solo_full.digest(),
+            "digest diverges across a server restart"
+        );
+        let replayed = served.cells.iter().filter(|c| c.cached).count();
+        assert!(
+            replayed >= first_half.cell_count(),
+            "restart must replay the persisted half ({replayed} cached)"
+        );
+        client.shutdown().expect("acknowledged");
+        handle.join().expect("clean run");
+    }
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+#[test]
+fn daemon_eviction_recompiles_to_identical_digests() {
+    let socket = daemon_socket("evict");
+    let mut options = ServerOptions::new(&socket);
+    options.shards = 1;
+    // sized to hold one six-cell sweep but not two: the second sweep
+    // evicts the first's batch, the third forces recompiles
+    options.max_bytes = Some(16_000);
+    let server = Server::new(&options).expect("binds");
+    let store = server.store().clone();
+    let handle = std::thread::spawn(move || server.run().expect("serves"));
+
+    let spec_a = daemon_spec(0..3);
+    let spec_b = daemon_spec(3..6);
+    let solo_a = pipeline_with_jobs(1).run_sweep(&spec_a).expect("solo a");
+    let solo_b = pipeline_with_jobs(1).run_sweep(&spec_b).expect("solo b");
+
+    let mut client = Client::connect(&socket).expect("connects");
+    let first = client.run_sweep(&spec_a).expect("cold a");
+    assert_eq!(first.digest, solo_a.digest());
+    let second = client.run_sweep(&spec_b).expect("cold b");
+    assert_eq!(second.digest, solo_b.digest());
+
+    client.shutdown().expect("acknowledged");
+    let stats = handle.join().expect("clean run");
+    assert!(
+        stats.evictions > 0,
+        "the byte bound must have forced evictions (resident {} bytes {})",
+        stats.resident,
+        stats.store_bytes
+    );
+    drop(store);
+
+    // a fresh server on the same socket: the evicted cells recompile
+    // from scratch to the exact same digest
+    let server = Server::new(&options).expect("re-binds");
+    let handle = std::thread::spawn(move || server.run().expect("serves"));
+    let mut client = Client::connect(&socket).expect("connects");
+    let again = client.run_sweep(&spec_a).expect("recompiled a");
+    assert_eq!(
+        again.digest,
+        solo_a.digest(),
+        "evicted cells recompile to a different digest"
+    );
+    client.shutdown().expect("acknowledged");
+    handle.join().expect("clean run");
+}
+
+#[test]
+fn daemon_concurrent_clients_match_solo_and_store_digest_ignores_arrival_order() {
+    let spec_a = daemon_spec(0..4);
+    let spec_b = daemon_spec(2..6); // overlaps a on nodes 2..4
+    let solo_a = pipeline_with_jobs(1).run_sweep(&spec_a).expect("solo a");
+    let solo_b = pipeline_with_jobs(1).run_sweep(&spec_b).expect("solo b");
+
+    let mut store_digests = Vec::new();
+    for (tag, first_a) in [("order-ab", true), ("order-ba", false)] {
+        let socket = daemon_socket(tag);
+        let server = Server::new(&ServerOptions::new(&socket)).expect("binds");
+        let store = server.store().clone();
+        let handle = std::thread::spawn(move || server.run().expect("serves"));
+
+        // two live connections; submission order flips between the runs
+        let mut one = Client::connect(&socket).expect("connects");
+        let mut two = Client::connect(&socket).expect("connects");
+        let (ra, rb) = if first_a {
+            let ra = std::thread::scope(|s| {
+                let ja = s.spawn(|| one.run_sweep(&spec_a).expect("served a"));
+                let jb = s.spawn(|| two.run_sweep(&spec_b).expect("served b"));
+                (ja.join().expect("a"), jb.join().expect("b"))
+            });
+            ra
+        } else {
+            let rb = std::thread::scope(|s| {
+                let jb = s.spawn(|| two.run_sweep(&spec_b).expect("served b"));
+                let ja = s.spawn(|| one.run_sweep(&spec_a).expect("served a"));
+                (ja.join().expect("a"), jb.join().expect("b"))
+            });
+            rb
+        };
+        assert_eq!(ra.digest, solo_a.digest(), "{tag}: client a diverges");
+        assert_eq!(rb.digest, solo_b.digest(), "{tag}: client b diverges");
+        store_digests.push(store.store_digest());
+
+        let mut admin = Client::connect(&socket).expect("connects");
+        admin.shutdown().expect("acknowledged");
+        handle.join().expect("clean run");
+    }
+    assert_eq!(
+        store_digests[0], store_digests[1],
+        "resident store digest depends on request arrival order"
+    );
+}
