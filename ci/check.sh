@@ -174,6 +174,55 @@ if cargo run --release --offline -p vericomp --bin compile_fleet -- \
     exit 1
 fi
 
+echo "==> analyzer smoke: warm-session reuse, analyze-span budget, digests stable across jobs"
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --scenario 3051 --scenario-tasks 16 --scenario-frames 4 \
+    --configs verified,opt-full --jobs 8 --reanalyze --profile \
+    | tee target/vericomp-ci-analyzer.txt
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --scenario 3051 --scenario-tasks 16 --scenario-frames 4 \
+    --configs verified,opt-full --jobs 1 --reanalyze --profile \
+    | tee target/vericomp-ci-analyzer-serial.txt
+# the audit re-derives every unique artifact through the session analyzer
+# that just ran the sweep: everything must replay from the fact cache
+reanalyze_line=$(grep '^reanalyze:' target/vericomp-ci-analyzer.txt)
+case "$reanalyze_line" in
+    *" functions_analyzed=0") : ;;
+    *)
+        echo "analyzer smoke FAILED: warm audit re-ran fixpoints: $reanalyze_line" >&2
+        exit 1
+        ;;
+esac
+reuse_spans=$(awk '$2 == "event" && $3 == "analyze:reuse" { print $4 }' \
+    target/vericomp-ci-analyzer.txt)
+if [ -z "$reuse_spans" ] || [ "$reuse_spans" -eq 0 ]; then
+    echo "analyzer smoke FAILED: no analyze:reuse spans in the profile" >&2
+    exit 1
+fi
+# the sparse worklist analyzer bounds this scenario's analyze stage in the
+# low hundreds of ms (~276 ms at jobs 8 when recorded); 3000 ms is >10x
+# headroom and still far under what the dense-iteration analyzer spent
+analyze_ms=$(awk '$2 == "stage" && $3 == "analyze" { print $6 }' \
+    target/vericomp-ci-analyzer.txt)
+if ! awk -v ms="$analyze_ms" 'BEGIN { exit !(ms + 0 < 3000) }'; then
+    echo "analyzer smoke FAILED: analyze stage took ${analyze_ms} ms (bound 3000)" >&2
+    exit 1
+fi
+# sched verdicts, sweep digest and profile counters must be identical
+# whatever the job count (analyze:* event counts are excluded from the
+# counter digest by design — cache hits are scheduling-dependent)
+grep '^sched\|^fleet digest:\|^profile: counter digest:' \
+    target/vericomp-ci-analyzer.txt > target/vericomp-ci-analyzer-lines.txt
+grep '^sched\|^fleet digest:\|^profile: counter digest:' \
+    target/vericomp-ci-analyzer-serial.txt > target/vericomp-ci-analyzer-serial-lines.txt
+if ! cmp -s target/vericomp-ci-analyzer-lines.txt \
+        target/vericomp-ci-analyzer-serial-lines.txt; then
+    echo "analyzer smoke FAILED: --jobs 8 run differs from --jobs 1" >&2
+    diff target/vericomp-ci-analyzer-lines.txt \
+        target/vericomp-ci-analyzer-serial-lines.txt >&2 || true
+    exit 1
+fi
+
 echo "==> daemon smoke: shared bounded store, two clients, eviction, clean shutdown"
 DAEMON_SOCK=target/vericomp-ci-daemon.sock
 rm -f "$DAEMON_SOCK"

@@ -418,14 +418,26 @@ impl Inst {
     /// `r0`-as-zero operands of `addi`/`addis` and displacement-form memory
     /// instructions are *not* reported as uses.
     pub fn uses(&self) -> Vec<Reg> {
+        let (buf, n) = self.uses_array();
+        buf[..n as usize].to_vec()
+    }
+
+    /// [`Inst::uses`] without the allocation: an inline buffer and the
+    /// number of registers filled in (at most 3; padding is arbitrary).
+    pub fn uses_array(&self) -> ([Reg; 3], u8) {
         use Inst::*;
-        fn base(ra: Gpr) -> Vec<Reg> {
+        const PAD: Reg = Reg::Lr;
+        let none = ([PAD, PAD, PAD], 0);
+        let one = |a: Reg| ([a, PAD, PAD], 1);
+        let two = |a: Reg, b: Reg| ([a, b, PAD], 2);
+        let three = |a: Reg, b: Reg, c: Reg| ([a, b, c], 3);
+        let base = |ra: Gpr| {
             if ra == Gpr::R0 {
-                vec![]
+                none
             } else {
-                vec![Reg::G(ra)]
+                one(Reg::G(ra))
             }
-        }
+        };
         match *self {
             Addi { ra, .. } | Addis { ra, .. } => base(ra),
             Mulli { ra, .. }
@@ -434,7 +446,7 @@ impl Inst {
             | Xori { ra, .. }
             | Neg { ra, .. }
             | Srawi { ra, .. }
-            | Rlwinm { ra, .. } => vec![Reg::G(ra)],
+            | Rlwinm { ra, .. } => one(Reg::G(ra)),
             Add { ra, rb, .. }
             | Subf { ra, rb, .. }
             | Mullw { ra, rb, .. }
@@ -447,45 +459,55 @@ impl Inst {
             | Srw { ra, rb, .. }
             | Sraw { ra, rb, .. } => {
                 if ra == rb {
-                    vec![Reg::G(ra)]
+                    one(Reg::G(ra))
                 } else {
-                    vec![Reg::G(ra), Reg::G(rb)]
+                    two(Reg::G(ra), Reg::G(rb))
                 }
             }
             Lwz { ra, .. } | Lfd { ra, .. } => base(ra),
             Stw { rs, ra, .. } | Stwu { rs, ra, .. } => {
-                let mut v = vec![Reg::G(rs)];
-                v.extend(base(ra));
-                v
+                if ra == Gpr::R0 {
+                    one(Reg::G(rs))
+                } else {
+                    two(Reg::G(rs), Reg::G(ra))
+                }
             }
             Stfd { fs, ra, .. } => {
-                let mut v = vec![Reg::F(fs)];
-                v.extend(base(ra));
-                v
+                if ra == Gpr::R0 {
+                    one(Reg::F(fs))
+                } else {
+                    two(Reg::F(fs), Reg::G(ra))
+                }
             }
-            Lwzx { ra, rb, .. } | Lfdx { ra, rb, .. } => vec![Reg::G(ra), Reg::G(rb)],
-            Stwx { rs, ra, rb } => vec![Reg::G(rs), Reg::G(ra), Reg::G(rb)],
-            Stfdx { fs, ra, rb } => vec![Reg::F(fs), Reg::G(ra), Reg::G(rb)],
+            Lwzx { ra, rb, .. } | Lfdx { ra, rb, .. } => two(Reg::G(ra), Reg::G(rb)),
+            Stwx { rs, ra, rb } => three(Reg::G(rs), Reg::G(ra), Reg::G(rb)),
+            Stfdx { fs, ra, rb } => three(Reg::F(fs), Reg::G(ra), Reg::G(rb)),
             Fadd { fa, fb, .. } | Fsub { fa, fb, .. } | Fdiv { fa, fb, .. } => {
-                vec![Reg::F(fa), Reg::F(fb)]
+                two(Reg::F(fa), Reg::F(fb))
             }
-            Fmul { fa, fc, .. } => vec![Reg::F(fa), Reg::F(fc)],
-            Fmadd { fa, fc, fb, .. } => vec![Reg::F(fa), Reg::F(fc), Reg::F(fb)],
-            Fneg { fa, .. } | Fabs { fa, .. } | Fmr { fa, .. } => vec![Reg::F(fa)],
-            Cmpw { ra, rb, .. } => vec![Reg::G(ra), Reg::G(rb)],
-            Cmpwi { ra, .. } => vec![Reg::G(ra)],
-            Fcmpu { fa, fb, .. } => vec![Reg::F(fa), Reg::F(fb)],
-            B { .. } | Bl { .. } | Nop | Annot { .. } | Mflr { .. } => vec![],
-            Bc { cr, .. } => vec![Reg::C(cr)],
-            Blr => vec![Reg::Lr],
-            Mtlr { rs } => vec![Reg::G(rs)],
-            Itof { ra, .. } => vec![Reg::G(ra)],
-            Ftoi { fa, .. } => vec![Reg::F(fa)],
+            Fmul { fa, fc, .. } => two(Reg::F(fa), Reg::F(fc)),
+            Fmadd { fa, fc, fb, .. } => three(Reg::F(fa), Reg::F(fc), Reg::F(fb)),
+            Fneg { fa, .. } | Fabs { fa, .. } | Fmr { fa, .. } => one(Reg::F(fa)),
+            Cmpw { ra, rb, .. } => two(Reg::G(ra), Reg::G(rb)),
+            Cmpwi { ra, .. } => one(Reg::G(ra)),
+            Fcmpu { fa, fb, .. } => two(Reg::F(fa), Reg::F(fb)),
+            B { .. } | Bl { .. } | Nop | Annot { .. } | Mflr { .. } => none,
+            Bc { cr, .. } => one(Reg::C(cr)),
+            Blr => one(Reg::Lr),
+            Mtlr { rs } => one(Reg::G(rs)),
+            Itof { ra, .. } => one(Reg::G(ra)),
+            Ftoi { fa, .. } => one(Reg::F(fa)),
         }
     }
 
     /// The registers this instruction writes.
     pub fn defs(&self) -> Vec<Reg> {
+        self.def().into_iter().collect()
+    }
+
+    /// The single register this instruction writes, if any (no modeled
+    /// instruction writes more than one).
+    pub fn def(&self) -> Option<Reg> {
         use Inst::*;
         match *self {
             Addi { rd, .. }
@@ -511,9 +533,7 @@ impl Inst {
             | Lwz { rd, .. }
             | Lwzx { rd, .. }
             | Mflr { rd }
-            | Ftoi { rd, .. } => {
-                vec![Reg::G(rd)]
-            }
+            | Ftoi { rd, .. } => Some(Reg::G(rd)),
             Lfd { fd, .. }
             | Lfdx { fd, .. }
             | Fadd { fd, .. }
@@ -524,12 +544,12 @@ impl Inst {
             | Fneg { fd, .. }
             | Fabs { fd, .. }
             | Fmr { fd, .. }
-            | Itof { fd, .. } => vec![Reg::F(fd)],
-            Stwu { ra, .. } => vec![Reg::G(ra)],
-            Stw { .. } | Stfd { .. } | Stwx { .. } | Stfdx { .. } => vec![],
-            Cmpw { cr, .. } | Cmpwi { cr, .. } | Fcmpu { cr, .. } => vec![Reg::C(cr)],
-            B { .. } | Bc { .. } | Blr | Nop | Annot { .. } => vec![],
-            Bl { .. } | Mtlr { .. } => vec![Reg::Lr],
+            | Itof { fd, .. } => Some(Reg::F(fd)),
+            Stwu { ra, .. } => Some(Reg::G(ra)),
+            Stw { .. } | Stfd { .. } | Stwx { .. } | Stfdx { .. } => None,
+            Cmpw { cr, .. } | Cmpwi { cr, .. } | Fcmpu { cr, .. } => Some(Reg::C(cr)),
+            B { .. } | Bc { .. } | Blr | Nop | Annot { .. } => None,
+            Bl { .. } | Mtlr { .. } => Some(Reg::Lr),
         }
     }
 

@@ -47,8 +47,6 @@
 //! assert_eq!(issued, u64::from(cfg.lat_fp)); // b waits for a's result
 //! ```
 
-use std::collections::BTreeMap;
-
 use crate::config::MachineConfig;
 use crate::inst::{Inst, Reg, Unit};
 
@@ -61,6 +59,40 @@ const RESIDUAL_CAP: u64 = 4096;
 
 /// Number of distinct execution-unit *instances*.
 const UNIT_INSTANCES: usize = 6;
+
+/// Number of timed register slots: 32 GPRs, 32 FPRs, 8 CR fields, LR.
+pub const NREGS: usize = 73;
+
+/// Dense slot of a register in [`RegResiduals`].
+#[must_use]
+pub fn reg_slot(r: Reg) -> usize {
+    match r {
+        Reg::G(g) => g.index() as usize,
+        Reg::F(f) => 32 + f.index() as usize,
+        Reg::C(c) => 64 + c.index() as usize,
+        Reg::Lr => 72,
+    }
+}
+
+/// Per-register residual delays, dense by [`reg_slot`]; `0` means nothing
+/// in flight. Dense storage keeps the pipeline fixpoint's clone/join/eq
+/// operations at a flat 73-word sweep instead of tree traversals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegResiduals(pub [u64; NREGS]);
+
+impl Default for RegResiduals {
+    fn default() -> Self {
+        RegResiduals([0; NREGS])
+    }
+}
+
+impl RegResiduals {
+    /// Every register at the same residual delay.
+    #[must_use]
+    pub fn uniform(d: u64) -> RegResiduals {
+        RegResiduals([d; NREGS])
+    }
+}
 
 fn unit_instance_range(unit: Unit) -> std::ops::Range<usize> {
     match unit {
@@ -87,13 +119,105 @@ pub struct PipeState {
     fetch_ready: u64,
     /// Latest issue time observed (the makespan lower bound).
     makespan: u64,
-    /// Cycle at which each register's latest value becomes readable.
-    reg_ready: BTreeMap<Reg, u64>,
+    /// Cycle at which each register's latest value becomes readable
+    /// (dense by [`reg_slot`]; `0` = readable immediately).
+    reg_ready: [u64; NREGS],
     /// Cycle at which each unit instance becomes free.
     unit_free: [u64; UNIT_INSTANCES],
     /// Issue time of the last instruction dispatched to each unit instance:
     /// its single reservation-station entry frees at that cycle.
     station_free: [u64; UNIT_INSTANCES],
+}
+
+/// One instruction's timing inputs, resolved once from the instruction,
+/// machine configuration, and cache classification. [`PipeState::advance`]
+/// derives these on every call; the WCET pipeline fixpoint precomputes them
+/// per block so that worklist revisits replay only the arithmetic
+/// ([`PipeState::advance_op`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MicroOp {
+    /// First unit instance the instruction may issue to.
+    unit_lo: u8,
+    /// One past the last unit instance.
+    unit_hi: u8,
+    /// Source register slots ([`reg_slot`]), `nuses` of them valid.
+    uses: [u8; 3],
+    /// Number of valid entries in `uses`.
+    nuses: u8,
+    /// Destination register slot, or [`MicroOp::NO_DEF`].
+    def: u8,
+    /// Instruction-fetch penalty in cycles.
+    fetch_extra: u64,
+    /// Result latency, cache/I-O penalty for loads already folded in.
+    latency: u64,
+    /// Whether the instruction occupies its unit until completion.
+    blocking: bool,
+    /// Whether the instruction retires through the store queue.
+    is_store: bool,
+    /// `1 + branch_penalty` for a taken redirect, `0` for none.
+    redirect_after: u64,
+}
+
+impl MicroOp {
+    /// Sentinel for "writes no register".
+    const NO_DEF: u8 = u8::MAX;
+
+    /// Precomputes the descriptor; `None` for the pro-forma
+    /// [`Inst::Annot`], which consumes no resources and no time.
+    ///
+    /// The parameters mirror [`PipeState::advance`].
+    #[must_use]
+    pub fn new(
+        cfg: &MachineConfig,
+        inst: &Inst,
+        fetch_extra: u32,
+        mem_extra: u32,
+        taken: bool,
+    ) -> Option<MicroOp> {
+        if matches!(inst, Inst::Annot { .. }) {
+            return None;
+        }
+        let range = unit_instance_range(inst.unit());
+        let (ubuf, un) = inst.uses_array();
+        let mut uses = [0u8; 3];
+        for (slot, &r) in uses.iter_mut().zip(&ubuf[..un as usize]) {
+            *slot = reg_slot(r) as u8;
+        }
+        // The cache/I-O penalty delays *load results*; a store's penalty is
+        // absorbed by the store queue and must not delay the store's
+        // register side effects (`stwu`'s stack-pointer update is plain
+        // ALU work).
+        let is_load = matches!(inst.mem_access(), Some(crate::inst::MemAccess::Load { .. }));
+        let latency =
+            u64::from(cfg.result_latency(inst)) + if is_load { u64::from(mem_extra) } else { 0 };
+        // Divides/conversions block their unit; so does any load that
+        // leaves the L1 (the 750's LSU has no hit-under-miss, and uncached
+        // acquisition reads serialize on the bus).
+        let blocking = cfg.is_blocking(inst) || (mem_extra > 0 && is_load);
+        // Stores retire through the 750's store queue: they leave the
+        // reservation station at dispatch and only consume LSU throughput,
+        // so later independent work is not gated on the stored value.
+        let is_store = matches!(
+            inst.mem_access(),
+            Some(crate::inst::MemAccess::Store { .. })
+        );
+        Some(MicroOp {
+            unit_lo: range.start as u8,
+            unit_hi: range.end as u8,
+            uses,
+            nuses: un,
+            def: inst.def().map_or(MicroOp::NO_DEF, |r| reg_slot(r) as u8),
+            fetch_extra: u64::from(fetch_extra),
+            latency,
+            blocking,
+            is_store,
+            redirect_after: if taken && inst.is_terminator() {
+                1 + u64::from(cfg.branch_penalty)
+            } else {
+                0
+            },
+        })
+    }
 }
 
 impl PipeState {
@@ -104,7 +228,7 @@ impl PipeState {
             dispatched_this_cycle: 0,
             fetch_ready: 0,
             makespan: 0,
-            reg_ready: BTreeMap::new(),
+            reg_ready: [0; NREGS],
             unit_free: [0; UNIT_INSTANCES],
             station_free: [0; UNIT_INSTANCES],
         }
@@ -123,7 +247,7 @@ impl PipeState {
 
     /// The cycle by which everything in flight has completed.
     pub fn drain_time(&self) -> u64 {
-        let regs = self.reg_ready.values().copied().max().unwrap_or(0);
+        let regs = self.reg_ready.iter().copied().max().unwrap_or(0);
         let units = self.unit_free.iter().copied().max().unwrap_or(0);
         let stations = self.station_free.iter().copied().max().unwrap_or(0);
         self.dispatch
@@ -151,21 +275,28 @@ impl PipeState {
         mem_extra: u32,
         taken: bool,
     ) -> u64 {
-        if matches!(inst, Inst::Annot { .. }) {
-            return self.makespan; // pro-forma effect: no resources, no time
+        match MicroOp::new(cfg, inst, fetch_extra, mem_extra, taken) {
+            None => self.makespan, // pro-forma effect: no resources, no time
+            Some(op) => self.advance_op(&op),
         }
+    }
 
+    /// Advances the state over one precomputed [`MicroOp`].
+    ///
+    /// Equivalent to [`PipeState::advance`] on the instruction the op was
+    /// built from; the WCET fixpoint precomputes ops once per block so that
+    /// worklist revisits replay only the timing arithmetic.
+    pub fn advance_op(&mut self, op: &MicroOp) -> u64 {
         // ---- dispatch (in order, 2 per cycle, stalls while the target
         // unit's reservation station is occupied) ----
-        let unit = inst.unit();
-        let slot = unit_instance_range(unit)
+        let slot = (op.unit_lo as usize..op.unit_hi as usize)
             .min_by_key(|&u| (self.station_free[u], self.unit_free[u]))
             .expect("every timed instruction has a unit");
         let mut d = self
             .dispatch
             .max(self.fetch_ready)
             .max(self.station_free[slot])
-            + u64::from(fetch_extra);
+            + op.fetch_extra;
         if d == self.dispatch && self.dispatched_this_cycle >= 2 {
             d += 1;
         }
@@ -178,41 +309,20 @@ impl PipeState {
 
         // ---- issue (when the sources are ready and the unit is free) ----
         let mut t = d;
-        for r in inst.uses() {
-            if let Some(&ready) = self.reg_ready.get(&r) {
-                t = t.max(ready);
-            }
+        for &r in &op.uses[..op.nuses as usize] {
+            t = t.max(self.reg_ready[r as usize]);
         }
         t = t.max(self.unit_free[slot]);
 
-        // The cache/I-O penalty delays *load results*; a store's penalty is
-        // absorbed by the store queue and must not delay the store's
-        // register side effects (`stwu`'s stack-pointer update is plain
-        // ALU work).
-        let is_load = matches!(inst.mem_access(), Some(crate::inst::MemAccess::Load { .. }));
-        let latency =
-            u64::from(cfg.result_latency(inst)) + if is_load { u64::from(mem_extra) } else { 0 };
-        // Divides/conversions block their unit; so does any load that
-        // leaves the L1 (the 750's LSU has no hit-under-miss, and uncached
-        // acquisition reads serialize on the bus).
-        let blocking = cfg.is_blocking(inst) || (mem_extra > 0 && is_load);
-        self.unit_free[slot] = if blocking { t + latency } else { t + 1 };
-        // Stores retire through the 750's store queue: they leave the
-        // reservation station at dispatch and only consume LSU throughput,
-        // so later independent work is not gated on the stored value.
-        let is_store = matches!(
-            inst.mem_access(),
-            Some(crate::inst::MemAccess::Store { .. })
-        );
-        self.station_free[slot] = if is_store { d } else { t };
-        for r in inst.defs() {
-            self.reg_ready
-                .insert(r, (t + latency).min(t + RESIDUAL_CAP));
+        self.unit_free[slot] = if op.blocking { t + op.latency } else { t + 1 };
+        self.station_free[slot] = if op.is_store { d } else { t };
+        if op.def != MicroOp::NO_DEF {
+            self.reg_ready[op.def as usize] = (t + op.latency).min(t + RESIDUAL_CAP);
         }
         self.makespan = self.makespan.max(t);
-        if taken && inst.is_terminator() {
+        if op.redirect_after != 0 {
             // fetch redirect: dispatch resumes after the branch executes
-            self.fetch_ready = t + 1 + u64::from(cfg.branch_penalty);
+            self.fetch_ready = t + op.redirect_after;
         }
         t
     }
@@ -222,14 +332,10 @@ impl PipeState {
     pub fn residuals(&self) -> PipeResiduals {
         let base = self.dispatch;
         PipeResiduals {
-            regs: self
-                .reg_ready
-                .iter()
-                .filter_map(|(&r, &t)| {
-                    let d = t.saturating_sub(base);
-                    (d > 0).then_some((r, d.min(RESIDUAL_CAP)))
-                })
-                .collect(),
+            regs: RegResiduals(
+                self.reg_ready
+                    .map(|t| t.saturating_sub(base).min(RESIDUAL_CAP)),
+            ),
             units: self
                 .unit_free
                 .map(|t| t.saturating_sub(base).min(RESIDUAL_CAP)),
@@ -249,7 +355,7 @@ impl PipeState {
             dispatched_this_cycle: r.dispatched_this_cycle,
             fetch_ready: r.fetch,
             makespan: r.makespan,
-            reg_ready: r.regs.iter().map(|(&reg, &d)| (reg, d)).collect(),
+            reg_ready: r.regs.0,
             unit_free: r.units,
             station_free: r.stations,
         }
@@ -267,7 +373,7 @@ impl Default for PipeState {
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PipeResiduals {
     /// Remaining cycles until each register's in-flight value is ready.
-    pub regs: BTreeMap<Reg, u64>,
+    pub regs: RegResiduals,
     /// Remaining busy cycles for each unit instance.
     pub units: [u64; UNIT_INSTANCES],
     /// Remaining reservation-station occupancy for each unit instance.
@@ -284,9 +390,8 @@ impl PipeResiduals {
     /// Pointwise maximum — a sound join because every field is a
     /// "not-before" bound and the timing transfer function is monotone.
     pub fn join(&self, other: &PipeResiduals) -> PipeResiduals {
-        let mut regs = self.regs.clone();
-        for (&r, &d) in &other.regs {
-            let e = regs.entry(r).or_insert(0);
+        let mut regs = self.regs;
+        for (e, &d) in regs.0.iter_mut().zip(&other.regs.0) {
             *e = (*e).max(d);
         }
         let mut units = [0u64; UNIT_INSTANCES];
@@ -308,9 +413,7 @@ impl PipeResiduals {
     /// Partial-order test: `self` is covered by `other` (every residual of
     /// `self` is ≤ the corresponding residual of `other`).
     pub fn le(&self, other: &PipeResiduals) -> bool {
-        self.regs
-            .iter()
-            .all(|(r, &d)| other.regs.get(r).copied().unwrap_or(0) >= d)
+        self.regs.0.iter().zip(&other.regs.0).all(|(&d, &o)| d <= o)
             && (0..UNIT_INSTANCES).all(|i| self.units[i] <= other.units[i])
             && (0..UNIT_INSTANCES).all(|i| self.stations[i] <= other.stations[i])
             && self.fetch <= other.fetch

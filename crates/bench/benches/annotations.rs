@@ -9,7 +9,17 @@ use vericomp_core::{Compiler, OptLevel};
 use vericomp_dataflow::NodeBuilder;
 use vericomp_testkit::bench::Bench;
 use vericomp_wcet::annot::AnnotationFile;
-use vericomp_wcet::{analyze_with, AnalysisOptions};
+use vericomp_wcet::{Analysis, AnalysisOptions, AnalysisRequest, Analyzer};
+
+fn analyze_with(
+    program: &vericomp_arch::Program,
+    func: &str,
+    opts: &AnalysisOptions,
+) -> Result<vericomp_wcet::WcetReport, vericomp_wcet::AnalysisError> {
+    Analyzer::new(*opts)
+        .analyze(&AnalysisRequest::new(program, func))
+        .map(Analysis::into_report)
+}
 
 fn scan_node_binary() -> vericomp_arch::Program {
     let mut b = NodeBuilder::new("annot");

@@ -22,7 +22,9 @@ fn benches() -> Bench {
             .compile(&src, "step")
             .expect("compiles");
         g.bench(&format!("wcet_analyze/{level}"), || {
-            vericomp_wcet::analyze(&bin, "step").expect("analyzable")
+            vericomp_wcet::Analyzer::default()
+                .analyze(&vericomp_wcet::AnalysisRequest::new(&bin, "step"))
+                .expect("analyzable")
         });
     }
     g

@@ -34,7 +34,9 @@ fn benches() -> Bench {
             let bin = compiler
                 .compile(&node.to_minic(), "step")
                 .expect("compiles");
-            vericomp_wcet::analyze(&bin, "step").expect("analyzes");
+            vericomp_wcet::Analyzer::default()
+                .analyze(&vericomp_wcet::AnalysisRequest::new(&bin, "step"))
+                .expect("analyzes");
         }
     });
 

@@ -15,7 +15,20 @@ use std::collections::BTreeMap;
 
 use vericomp_core::{Compiler, OptLevel};
 use vericomp_dataflow::NodeBuilder;
-use vericomp_wcet::{analyze_with, annot::AnnotationFile, AnalysisError, AnalysisOptions};
+use vericomp_wcet::{
+    annot::AnnotationFile, Analysis, AnalysisError, AnalysisOptions, AnalysisRequest, Analyzer,
+    WcetReport,
+};
+
+fn analyze_with(
+    program: &vericomp_arch::Program,
+    func: &str,
+    opts: &AnalysisOptions,
+) -> Result<WcetReport, AnalysisError> {
+    Analyzer::new(*opts)
+        .analyze(&AnalysisRequest::new(program, func))
+        .map(Analysis::into_report)
+}
 
 /// Outcome for one compiler configuration.
 #[derive(Debug, Clone)]

@@ -75,7 +75,9 @@ pub fn run(jobs: usize) -> PipelineBench {
         let bin = compiler
             .compile(&node.to_minic(), "step")
             .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
-        vericomp_wcet::analyze(&bin, "step").unwrap_or_else(|e| panic!("{}: {e}", node.name()));
+        vericomp_wcet::Analyzer::default()
+            .analyze(&vericomp_wcet::AnalysisRequest::new(&bin, "step"))
+            .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
     }
     let serial_ns = t0.elapsed().as_nanos() as u64;
 

@@ -103,5 +103,5 @@ pub use stats::{saturating_nanos, PipelineStats, StatsCell};
 pub use store::{
     artifact_key, machine_digest, Artifact, ArtifactStore, StoreConfig, Verdict, FORMAT_VERSION,
 };
-pub use sweep::{SweepCell, SweepResult, SweepSpec, SweepUnit};
+pub use sweep::{ReanalysisAudit, SweepCell, SweepResult, SweepSpec, SweepUnit};
 pub use trace::{Profile, ProfileRow, RunTrace, Span, SpanKind, TraceSink, STAGE_NAMES};

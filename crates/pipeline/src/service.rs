@@ -200,55 +200,9 @@ impl CompileUnit {
             passes: PassConfig::for_level(OptLevel::Verified),
         }
     }
-
-    /// The unit compiling `node` at an [`OptLevel`] preset.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use CompileUnit::builder().node(..).level(..)"
-    )]
-    #[must_use]
-    pub fn for_node(node: &Node, level: OptLevel) -> CompileUnit {
-        CompileUnit::builder().node(node).level(level).build()
-    }
-
-    /// The unit compiling `node` under an explicit pass selection.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use CompileUnit::builder().node(..).passes(..).label(..)"
-    )]
-    #[must_use]
-    pub fn node_with_passes(node: &Node, passes: &PassConfig, label: &str) -> CompileUnit {
-        CompileUnit::builder()
-            .node(node)
-            .passes(passes)
-            .label(label)
-            .build()
-    }
-
-    /// The unit compiling a whole linked [`Application`] image.
-    ///
-    /// # Errors
-    ///
-    /// [`ApplicationError`] from linking the application's translation unit.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use CompileUnit::builder().application(..)?.passes(..).label(..)"
-    )]
-    pub fn for_application(
-        app: &Application,
-        passes: &PassConfig,
-        label: &str,
-    ) -> Result<CompileUnit, ApplicationError> {
-        Ok(CompileUnit::builder()
-            .application(app)?
-            .passes(passes)
-            .label(label)
-            .build())
-    }
 }
 
-/// Builder unifying the old `for_node` / `node_with_passes` /
-/// `for_application` constructors: pick a source, a pass selection, and a
+/// Builder for [`CompileUnit`]: pick a source, a pass selection, and a
 /// label, in any order.
 #[derive(Debug, Clone)]
 pub struct CompileUnitBuilder {
@@ -425,6 +379,10 @@ pub struct Pipeline {
     pool: ThreadPool,
     store: Arc<ArtifactStore>,
     machine: MachineConfig,
+    /// One WCET analyzer session shared by every run: its hash-cons arena
+    /// pool and per-function fact cache stay warm across batches (the
+    /// daemon keeps one `Pipeline` alive per store for exactly this).
+    analyzer: Arc<vericomp_wcet::Analyzer>,
 }
 
 impl Pipeline {
@@ -442,6 +400,7 @@ impl Pipeline {
             pool: ThreadPool::new(options.jobs),
             store: Arc::new(store),
             machine: options.machine.clone(),
+            analyzer: Arc::new(vericomp_wcet::Analyzer::default()),
         })
     }
 
@@ -454,6 +413,7 @@ impl Pipeline {
             pool: ThreadPool::new(options.jobs),
             store,
             machine: options.machine.clone(),
+            analyzer: Arc::new(vericomp_wcet::Analyzer::default()),
         }
     }
 
@@ -482,39 +442,12 @@ impl Pipeline {
         &self.machine
     }
 
-    /// Compiles a batch of units, overlapping independent units' stages on
-    /// the pool and serving unchanged units from the artifact cache.
-    /// Outcomes come back in submission order regardless of scheduling.
-    ///
-    /// Prefer [`Pipeline::run_sweep`] — it expresses the node × config ×
-    /// machine shape every driver actually wants and subsumes this call
-    /// (a batch is a degenerate sweep). This shim stays for callers with
-    /// genuinely heterogeneous unit lists.
-    ///
-    /// # Errors
-    ///
-    /// The first [`PipelineError`] any unit hit.
-    ///
-    /// # Panics
-    ///
-    /// Re-raises panics from compiler/analyzer internals (toolchain bugs).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Pipeline::run_sweep with a SweepSpec request"
-    )]
-    pub fn compile_units(&self, units: Vec<CompileUnit>) -> Result<FleetResult, PipelineError> {
-        let cells = units
-            .into_iter()
-            .map(|unit| CellSpec {
-                unit,
-                machine: self.machine.clone(),
-            })
-            .collect();
-        let (outcomes, stats, _trace) = self.run_cells(cells, Instant::now())?;
-        Ok(FleetResult {
-            outcomes: outcomes.into_iter().map(|c| c.outcome).collect(),
-            stats,
-        })
+    /// The WCET analyzer session backing this pipeline. Its cumulative
+    /// [`vericomp_wcet::AnalyzerStats`] expose fact-cache reuse across
+    /// every run this pipeline executed.
+    #[must_use]
+    pub fn analyzer(&self) -> &vericomp_wcet::Analyzer {
+        &self.analyzer
     }
 
     /// Runs a set of fully-specified cells (unit + target machine) on the
@@ -655,6 +588,7 @@ impl Pipeline {
             let outcomes2 = Arc::clone(&outcomes);
             let errs2 = Arc::clone(&first_error);
             let store2 = Arc::clone(&self.store);
+            let analyzer2 = Arc::clone(&self.analyzer);
             // Stage 2: WCET analysis + cache insert (fresh units only).
             // Insertion happens strictly after stage 1 succeeded, i.e.
             // after the translation validators accepted the compilation.
@@ -683,18 +617,41 @@ impl Pipeline {
                     },
                     Stage1::Fresh(key, program) => {
                         let t = Instant::now();
-                        let analyzed = vericomp_wcet::analyze(&program, &unit.entry);
+                        let analyzed = analyzer2
+                            .analyze(&vericomp_wcet::AnalysisRequest::new(&program, &unit.entry));
                         let took = t.elapsed();
                         stats2[i].add_analyze(took);
+                        let base = since_epoch(t);
                         sinks2[i].push(Span::stage(
                             "analyze",
                             job,
-                            since_epoch(t),
+                            base,
                             saturating_nanos(took),
                             &detail,
                         ));
                         let report = match analyzed {
-                            Ok(report) => report,
+                            Ok(analysis) => {
+                                // one provenance event per function body the
+                                // session analyzer ran its fixpoints on, and
+                                // one per body replayed from the fact cache
+                                for _ in 0..analysis.functions_analyzed {
+                                    sinks2[i].push(Span::event(
+                                        "analyze:fixpoint",
+                                        job,
+                                        base,
+                                        &detail,
+                                    ));
+                                }
+                                for _ in 0..analysis.functions_reused {
+                                    sinks2[i].push(Span::event(
+                                        "analyze:reuse",
+                                        job,
+                                        base,
+                                        &detail,
+                                    ));
+                                }
+                                analysis.into_report()
+                            }
                             Err(error) => {
                                 errs2.lock().expect("error lock").get_or_insert(
                                     PipelineError::Analyze {
@@ -785,36 +742,6 @@ impl Pipeline {
         }
         Ok((cell_outcomes, aggregate, trace))
     }
-
-    /// Compiles every node of a fleet under one pass selection.
-    ///
-    /// # Errors
-    ///
-    /// The first [`PipelineError`] any node hit.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use Pipeline::run_sweep with SweepSpec::new().nodes(..).config(..)"
-    )]
-    pub fn compile_fleet(
-        &self,
-        nodes: &[Node],
-        passes: &PassConfig,
-        label: &str,
-    ) -> Result<FleetResult, PipelineError> {
-        #[allow(deprecated)]
-        self.compile_units(
-            nodes
-                .iter()
-                .map(|n| {
-                    CompileUnit::builder()
-                        .node(n)
-                        .passes(passes)
-                        .label(label)
-                        .build()
-                })
-                .collect(),
-        )
-    }
 }
 
 /// One fully-specified engine cell: a unit and the machine it targets.
@@ -863,57 +790,45 @@ mod tests {
                 serial.encode_text(),
                 cell.outcome.artifact.program.encode_text()
             );
-            let report = vericomp_wcet::analyze(&serial, "step").expect("serial analyzes");
+            let report = vericomp_wcet::Analyzer::default()
+                .analyze(&vericomp_wcet::AnalysisRequest::new(&serial, "step"))
+                .expect("serial analyzes")
+                .report;
             assert_eq!(report.wcet, cell.outcome.artifact.report.wcet);
         }
     }
 
-    /// The deprecated entry points must stay working shims: same outputs,
-    /// same cache behavior as the sweep path.
+    /// The session analyzer is shared across runs: its fact cache warms up,
+    /// and bounds stay identical to a cold analyzer session's.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_compile_fleets_and_hit_cache() {
+    fn session_analyzer_reuses_facts_without_changing_bounds() {
         let nodes = suite_prefix(5);
         let pipeline = Pipeline::in_memory();
         let passes = PassConfig::for_level(OptLevel::OptFull);
-        let cold = pipeline
-            .compile_fleet(&nodes, &passes, "opt-full")
-            .expect("cold run");
-        let warm = pipeline
-            .compile_fleet(&nodes, &passes, "opt-full")
-            .expect("warm run");
+        let spec = crate::sweep::SweepSpec::new()
+            .nodes(&nodes)
+            .config("opt-full", &passes);
+        let cold = pipeline.run_sweep(&spec).expect("cold run");
         assert_eq!(cold.stats.jobs_run, nodes.len() as u64);
+        let after_cold = pipeline.analyzer().stats();
+        assert!(after_cold.functions_analyzed > 0);
+        assert!(after_cold.facts_cached > 0, "facts must persist");
+        // the warm run is all store hits — the analyzer never runs
+        let warm = pipeline.run_sweep(&spec).expect("warm run");
         assert_eq!(warm.stats.jobs_cached, nodes.len() as u64);
-        assert_eq!(warm.stats.jobs_run, 0);
-        assert!((warm.stats.hit_rate() - 1.0).abs() < 1e-12);
         assert_eq!(cold.digest(), warm.digest());
-        for o in &warm.outcomes {
-            assert!(o.cached);
-            assert!(o.artifact.verdict.allocation_checked);
-        }
-        // the old constructors build the same units as the builder
-        let old = CompileUnit::for_node(&nodes[0], OptLevel::Verified);
-        let new = CompileUnit::builder()
-            .node(&nodes[0])
-            .level(OptLevel::Verified)
-            .build();
-        assert_eq!(old.name, new.name);
-        assert_eq!(old.label, new.label);
-        assert_eq!(old.entry, new.entry);
-        assert_eq!(old.passes, new.passes);
-        // and the sweep result agrees with the fleet shim bit-for-bit
-        let sweep = pipeline
-            .run_sweep(
-                &crate::sweep::SweepSpec::new()
-                    .nodes(&nodes)
-                    .config("opt-full", &passes),
-            )
-            .expect("sweep");
-        for (o, cell) in warm.outcomes.iter().zip(sweep.cells()) {
-            assert_eq!(
-                o.artifact.output_digest(),
-                cell.outcome.artifact.output_digest()
-            );
+        assert_eq!(pipeline.analyzer().stats(), after_cold);
+        // re-analyzing the artifacts through the warm session must replay
+        // every function from the fact cache, bit-identically
+        for cell in cold.cells() {
+            let a = &cell.outcome.artifact;
+            let again = pipeline
+                .analyzer()
+                .analyze(&vericomp_wcet::AnalysisRequest::new(&a.program, &a.entry))
+                .expect("re-analysis");
+            assert_eq!(again.report.wcet, a.report.wcet);
+            assert_eq!(again.functions_analyzed, 0, "all facts cached");
+            assert!(again.functions_reused >= 1);
         }
     }
 

@@ -834,7 +834,10 @@ mod tests {
         let program = Compiler::new(OptLevel::Verified)
             .compile(&src, "step")
             .expect("compiles");
-        let report = vericomp_wcet::analyze(&program, "step").expect("analyzes");
+        let report = vericomp_wcet::Analyzer::default()
+            .analyze(&vericomp_wcet::AnalysisRequest::new(&program, "step"))
+            .expect("analyzes")
+            .report;
         let source = vericomp_minic::pretty::program_to_c(&src);
         Artifact {
             key: artifact_key(&source, "step", &passes, &config),
@@ -935,7 +938,10 @@ mod tests {
         let program = Compiler::new(OptLevel::Verified)
             .compile(&src, &entry)
             .expect("compiles");
-        let report = vericomp_wcet::analyze(&program, &entry).expect("analyzes");
+        let report = vericomp_wcet::Analyzer::default()
+            .analyze(&vericomp_wcet::AnalysisRequest::new(&program, &entry))
+            .expect("analyzes")
+            .report;
         let source = vericomp_minic::pretty::program_to_c(&src);
         Artifact {
             key: artifact_key(&source, &entry, &passes, &config),

@@ -53,7 +53,7 @@ use vericomp_minic::ast::Program as SrcProgram;
 use crate::hash::{Digest, Hasher};
 use crate::service::{CellSpec, CompileUnit, Pipeline, PipelineError, UnitOutcome};
 use crate::stats::PipelineStats;
-use crate::trace::RunTrace;
+use crate::trace::{RunTrace, Span};
 
 /// One entry of the sweep's unit axis: a named translation unit with its
 /// entry point. Unlike [`CompileUnit`] it carries **no pass selection** —
@@ -539,6 +539,82 @@ impl Pipeline {
             stats,
         })
     }
+
+    /// Audits a finished sweep against the pipeline's warm session
+    /// analyzer: every unique artifact is re-analyzed through the shared
+    /// fact cache and the re-derived bound compared with the stored
+    /// report. On a sweep this pipeline just ran, every function replays
+    /// from cache (`functions_reused` > 0, `functions_analyzed` = 0) —
+    /// the CI analyzer smoke asserts exactly that. One `analyze:reuse` /
+    /// `analyze:fixpoint` event per replayed / re-run function is appended
+    /// to the sweep's trace (job = cell index), so `--profile` output
+    /// shows the audit.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Analyze`] if a re-analysis fails outright.
+    /// Bound mismatches are reported in the audit, not as errors — the
+    /// caller decides whether a disagreement is fatal.
+    pub fn reanalyze_sweep(
+        &self,
+        sweep: &mut SweepResult,
+    ) -> Result<ReanalysisAudit, PipelineError> {
+        let mut audit = ReanalysisAudit::default();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..sweep.cells.len() {
+            let cell = &sweep.cells[i];
+            let artifact = std::sync::Arc::clone(&cell.outcome.artifact);
+            let unit = cell.unit.clone();
+            let detail = format!("unit={} config={}", unit, cell.config);
+            if !seen.insert(artifact.key) {
+                continue;
+            }
+            let analysis = self
+                .analyzer()
+                .analyze(&vericomp_wcet::AnalysisRequest::new(
+                    &artifact.program,
+                    &artifact.entry,
+                ))
+                .map_err(|error| PipelineError::Analyze { unit, error })?;
+            audit.artifacts += 1;
+            audit.functions_reused += analysis.functions_reused;
+            audit.functions_analyzed += analysis.functions_analyzed;
+            if analysis.report.wcet != artifact.report.wcet {
+                audit.mismatches.push(format!(
+                    "{detail}: re-derived {} vs stored {}",
+                    analysis.report.wcet, artifact.report.wcet
+                ));
+            }
+            let job = i as u32;
+            for _ in 0..analysis.functions_analyzed {
+                sweep
+                    .trace
+                    .push(Span::event("analyze:fixpoint", job, 0, &detail));
+            }
+            for _ in 0..analysis.functions_reused {
+                sweep
+                    .trace
+                    .push(Span::event("analyze:reuse", job, 0, &detail));
+            }
+        }
+        Ok(audit)
+    }
+}
+
+/// Result of [`Pipeline::reanalyze_sweep`]: how much of the audit was
+/// served from the session analyzer's fact cache, and any bound
+/// disagreements found.
+#[derive(Debug, Clone, Default)]
+pub struct ReanalysisAudit {
+    /// Unique artifacts re-analyzed (cells deduplicated by artifact key).
+    pub artifacts: u64,
+    /// Function bodies replayed from the session fact cache.
+    pub functions_reused: u64,
+    /// Function bodies whose fixpoints had to re-run.
+    pub functions_analyzed: u64,
+    /// Human-readable descriptions of bound disagreements (empty on a
+    /// healthy audit).
+    pub mismatches: Vec<String>,
 }
 
 #[cfg(test)]
@@ -570,7 +646,7 @@ mod tests {
     }
 
     #[test]
-    fn sweep_matches_nested_compile_units_loops_bit_exactly() {
+    fn sweep_matches_nested_single_axis_sweeps_bit_exactly() {
         let nodes = suite_prefix(3);
         let spec = small_spec(&nodes);
         let sweep = Pipeline::in_memory()
@@ -588,15 +664,14 @@ mod tests {
             )
             .expect("pipeline");
             for (config_label, passes) in spec.configs() {
-                #[allow(deprecated)]
                 let fleet = pipeline
-                    .compile_fleet(&nodes, passes, config_label)
+                    .run_sweep(&SweepSpec::new().nodes(&nodes).config(config_label, passes))
                     .expect("fleet compiles");
-                for (node, outcome) in nodes.iter().zip(&fleet.outcomes) {
+                for (node, single) in nodes.iter().zip(fleet.cells()) {
                     let cell = &sweep[(node.name(), config_label.as_str(), machine_label.as_str())];
                     assert_eq!(
                         cell.outcome.artifact.output_digest(),
-                        outcome.artifact.output_digest(),
+                        single.outcome.artifact.output_digest(),
                         "{} × {config_label} × {machine_label} diverges from the nested loop",
                         node.name()
                     );

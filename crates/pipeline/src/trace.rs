@@ -345,10 +345,18 @@ impl Profile {
     /// identical digest at any `--jobs` value and cache temperature *of
     /// the same cache state*; the determinism gates and the CI trace smoke
     /// compare exactly this.
+    ///
+    /// `analyze:*` event rows are excluded: they count session-analyzer
+    /// fact-cache hits and misses, and which parallel cell first analyzes
+    /// a shared callee is a scheduling outcome, not a property of the
+    /// work. The rows still render and export; they just don't gate.
     #[must_use]
     pub fn counter_digest(&self) -> Digest {
         let mut h = Hasher::new();
         for row in &self.rows {
+            if row.kind == SpanKind::Event && row.name.starts_with("analyze:") {
+                continue;
+            }
             h.str(row.kind.cat()).str(&row.name).u64(row.count);
         }
         h.finish()
@@ -566,6 +574,26 @@ mod tests {
         );
         // one extra span must change it
         b.push(Span::stage("compile", 1, 0, 1, ""));
+        assert_ne!(a.profile().counter_digest(), b.profile().counter_digest());
+    }
+
+    #[test]
+    fn counter_digest_ignores_analyzer_reuse_events_but_renders_them() {
+        let a = sample_trace();
+        let mut b = sample_trace();
+        // fact-cache reuse counts depend on cell scheduling; they must
+        // not perturb the determinism gate...
+        b.push(Span::event("analyze:reuse", 0, 1700, "unit=a"));
+        b.push(Span::event("analyze:fixpoint", 0, 1700, "unit=a"));
+        assert_eq!(a.profile().counter_digest(), b.profile().counter_digest());
+        // ...but they still show up in the rendered profile and JSON
+        assert!(b
+            .profile()
+            .render()
+            .contains("profile: event analyze:reuse"));
+        assert!(b.profile().to_json().contains("analyze:fixpoint"));
+        // a non-analyze event still gates
+        b.push(Span::event("search:pruned", 0, 1700, ""));
         assert_ne!(a.profile().counter_digest(), b.profile().counter_digest());
     }
 

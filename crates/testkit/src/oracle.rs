@@ -297,7 +297,10 @@ pub fn run_case(case_seed: u64, cfg: &OracleConfig) -> Result<OracleStats, Oracl
         stats.roundtrips += 1;
 
         // layer: WCET bound
-        let report = match wcet::analyze(&binary, node.step_name()) {
+        let analyzed = wcet::Analyzer::default()
+            .analyze(&wcet::AnalysisRequest::new(&binary, node.step_name()))
+            .map(wcet::Analysis::into_report);
+        let report = match analyzed {
             Ok(r) => r,
             Err(e) => {
                 return Err(OracleFailure::Analysis {

@@ -32,7 +32,7 @@ fn replay(
     block: u32,
     upto: usize,
 ) -> AbsState {
-    let mut s = va.at_entry.get(&block).cloned().unwrap_or_default();
+    let mut s = va.at(cfg, block).cloned().unwrap_or_default();
     for inst in cfg.blocks[&block].insts.iter().take(upto) {
         transfer(&mut s, inst, machine, annots);
     }
@@ -42,7 +42,7 @@ fn replay(
 fn loc_interval(state: &AbsState, loc: Loc) -> Interval {
     match loc {
         Loc::Reg(r) => state.reg(r),
-        Loc::Cell(a) => state.cells.get(&a).copied().unwrap_or_else(Interval::top),
+        Loc::Cell(a) => state.cell(a),
     }
 }
 
@@ -363,19 +363,41 @@ fn entry_interval(
 ///
 /// [`AnalysisError::UnboundedLoop`] naming the loop header when no witness
 /// can bound a loop.
+pub fn compute(
+    cfg: &Cfg,
+    va: &ValueAnalysis,
+    machine: &MachineConfig,
+    annots: Option<&AnnotationFile>,
+) -> Result<BTreeMap<u32, u64>, AnalysisError> {
+    compute_with_facts(cfg, va, machine, annots).map(|(b, _)| b)
+}
+
+/// Deprecated name for [`compute`].
+#[deprecated(since = "0.1.0", note = "use `bounds::compute`")]
 pub fn loop_bounds(
     cfg: &Cfg,
     va: &ValueAnalysis,
     machine: &MachineConfig,
     annots: Option<&AnnotationFile>,
 ) -> Result<BTreeMap<u32, u64>, AnalysisError> {
-    loop_bounds_with_facts(cfg, va, machine, annots).map(|(b, _)| b)
+    compute(cfg, va, machine, annots)
 }
 
-/// Like [`loop_bounds`], additionally returning the induction-variable
+/// Deprecated name for [`compute_with_facts`].
+#[deprecated(since = "0.1.0", note = "use `bounds::compute_with_facts`")]
+pub fn loop_bounds_with_facts(
+    cfg: &Cfg,
+    va: &ValueAnalysis,
+    machine: &MachineConfig,
+    annots: Option<&AnnotationFile>,
+) -> Result<(BTreeMap<u32, u64>, Vec<HeaderFact>), AnalysisError> {
+    compute_with_facts(cfg, va, machine, annots)
+}
+
+/// Like [`compute`], additionally returning the induction-variable
 /// window facts to feed back into the value analysis
 /// ([`crate::value::analyze_with_facts`]).
-pub fn loop_bounds_with_facts(
+pub fn compute_with_facts(
     cfg: &Cfg,
     va: &ValueAnalysis,
     machine: &MachineConfig,

@@ -26,13 +26,23 @@ use vericomp_arch::MachineConfig;
 
 use crate::annot::AnnotationFile;
 use crate::cfg::{Cfg, NaturalLoop};
-use crate::value::{access_addr, transfer, AbsState, AccessAddr, ValueAnalysis};
+use crate::value::{access_addr, transfer, AccessAddr, ValueAnalysis};
 
-/// Abstract must-cache: per set, resident lines with maximal LRU age.
+/// Abstract must-cache: resident lines with maximal LRU age, in one flat
+/// list sorted by line number (a line's set is `line % nsets`, computed on
+/// demand). A function touches a handful of lines, so every operation is
+/// proportional to the resident population instead of the configured set
+/// count — the dense `Vec<BTreeMap>`-per-set layout cloned and joined 128
+/// mostly-empty sets per block visit and dominated the analyzer profile.
+/// The sorted-vec backing makes the fixpoint's dominant operations (clone
+/// at every block visit, join at every merge point) flat memcpys and
+/// two-pointer merges.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MustCache {
     ways: u8,
-    sets: Vec<BTreeMap<u32, u8>>,
+    nsets: u32,
+    /// `(line, max LRU age)`, strictly ascending by line.
+    lines: Vec<(u32, u8)>,
 }
 
 impl MustCache {
@@ -40,49 +50,75 @@ impl MustCache {
     pub fn new(config: &CacheConfig) -> MustCache {
         MustCache {
             ways: config.ways as u8,
-            sets: vec![BTreeMap::new(); config.sets() as usize],
+            nsets: config.sets(),
+            lines: Vec::new(),
         }
     }
 
-    fn set_of(&self, line: u32) -> usize {
-        (line as usize) % self.sets.len()
+    fn set_of(&self, line: u32) -> u32 {
+        line % self.nsets
     }
 
     /// Whether an access to `line` is a guaranteed hit.
     pub fn contains(&self, line: u32) -> bool {
-        self.sets[self.set_of(line)].contains_key(&line)
+        self.lines.binary_search_by_key(&line, |&(l, _)| l).is_ok()
     }
 
-    /// LRU update for a definite access to `line`.
-    pub fn access(&mut self, line: u32) {
+    /// LRU update for a definite access to `line`; returns whether the
+    /// access was a guaranteed hit (the line was present beforehand).
+    pub fn access(&mut self, line: u32) -> bool {
         let ways = self.ways;
         let si = self.set_of(line);
-        let set = &mut self.sets[si];
-        let old_age = set.get(&line).copied().unwrap_or(ways);
-        set.retain(|_, age| {
-            if *age < old_age {
-                *age += 1;
+        let (hit, old_age) = match self.lines.binary_search_by_key(&line, |&(l, _)| l) {
+            Ok(i) => {
+                if self.lines[i].1 == 0 {
+                    // most recently used already: the update is a no-op
+                    return true;
+                }
+                (true, self.lines[i].1)
             }
-            *age < ways
+            Err(_) => (false, ways),
+        };
+        let nsets = self.nsets;
+        self.lines.retain_mut(|(l, age)| {
+            if *l % nsets == si {
+                if *age < old_age {
+                    *age += 1;
+                }
+                *age < ways
+            } else {
+                true
+            }
         });
-        set.insert(line, 0);
+        match self.lines.binary_search_by_key(&line, |&(l, _)| l) {
+            Ok(i) => self.lines[i].1 = 0,
+            Err(i) => self.lines.insert(i, (line, 0)),
+        }
+        hit
     }
 
-    /// Conservative update for an access that may touch any line of `set`.
-    pub fn age_set(&mut self, si: usize) {
+    /// Conservative update for an access that may touch any line of set
+    /// `si`.
+    pub fn age_set(&mut self, si: u32) {
         let ways = self.ways;
-        let set = &mut self.sets[si];
-        set.retain(|_, age| {
-            *age += 1;
-            *age < ways
+        let nsets = self.nsets;
+        self.lines.retain_mut(|(l, age)| {
+            if *l % nsets == si {
+                *age += 1;
+                *age < ways
+            } else {
+                true
+            }
         });
     }
 
     /// Conservative update for an access with a completely unknown address.
     pub fn age_all(&mut self) {
-        for si in 0..self.sets.len() {
-            self.age_set(si);
-        }
+        let ways = self.ways;
+        self.lines.retain_mut(|(_, age)| {
+            *age += 1;
+            *age < ways
+        });
     }
 
     /// Applies a possibly-imprecise data access.
@@ -95,12 +131,11 @@ impl MustCache {
             AccessAddr::Range { lo, hi } => {
                 let first = config.line_of(lo);
                 let last = config.line_of(hi + bytes - 1);
-                let nsets = self.sets.len() as u32;
-                if last - first + 1 >= nsets {
+                if last - first + 1 >= self.nsets {
                     self.age_all();
                 } else {
-                    let affected: BTreeSet<usize> =
-                        (first..=last).map(|l| (l % nsets) as usize).collect();
+                    let nsets = self.nsets;
+                    let affected: BTreeSet<u32> = (first..=last).map(|l| l % nsets).collect();
                     for si in affected {
                         self.age_set(si);
                     }
@@ -110,22 +145,66 @@ impl MustCache {
         }
     }
 
-    /// Join: intersect domains, take the maximum age.
+    /// Join: intersect domains, take the maximum age (two-pointer merge
+    /// over the sorted backings).
     pub fn join(&self, other: &MustCache) -> MustCache {
-        let sets = self
-            .sets
-            .iter()
-            .zip(&other.sets)
-            .map(|(a, b)| {
-                a.iter()
-                    .filter_map(|(&l, &age)| b.get(&l).map(|&bg| (l, age.max(bg))))
-                    .collect()
-            })
-            .collect();
+        let mut lines = Vec::with_capacity(self.lines.len().min(other.lines.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < self.lines.len() && j < other.lines.len() {
+            let (la, aa) = self.lines[i];
+            let (lb, ab) = other.lines[j];
+            match la.cmp(&lb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    lines.push((la, aa.max(ab)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
         MustCache {
             ways: self.ways,
-            sets,
+            nsets: self.nsets,
+            lines,
         }
+    }
+
+    /// Copies `src` into `self`, reusing the backing allocation.
+    fn copy_from(&mut self, src: &MustCache) {
+        self.ways = src.ways;
+        self.nsets = src.nsets;
+        self.lines.clear();
+        self.lines.extend_from_slice(&src.lines);
+    }
+
+    /// [`MustCache::join`] into a reused buffer; returns whether the result
+    /// differs from `self` (the fixpoint's change test).
+    fn join_changes(&self, other: &MustCache, buf: &mut Vec<(u32, u8)>) -> bool {
+        buf.clear();
+        let (mut i, mut j) = (0, 0);
+        let mut changed = false;
+        while i < self.lines.len() && j < other.lines.len() {
+            let (la, aa) = self.lines[i];
+            let (lb, ab) = other.lines[j];
+            match la.cmp(&lb) {
+                std::cmp::Ordering::Less => {
+                    // a line of `self` left the intersection
+                    changed = true;
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let age = aa.max(ab);
+                    changed |= age != aa;
+                    buf.push((la, age));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        changed |= i < self.lines.len();
+        changed
     }
 }
 
@@ -144,10 +223,9 @@ pub enum DataClass {
 /// Result of the combined I/D cache analysis.
 #[derive(Debug, Clone)]
 pub struct CacheClassification {
-    /// Guaranteed-hit instruction fetches, by instruction address.
-    pub fetch_hit: BTreeSet<u32>,
-    /// Data-access classification by instruction address.
-    pub data: BTreeMap<u32, DataClass>,
+    /// Per-block classification, indexed by RPO position; one entry per
+    /// instruction, in order: `(address, guaranteed fetch hit, data class)`.
+    pub per_block: Vec<Vec<(u32, bool, Option<DataClass>)>>,
     /// Instruction addresses whose access (fetch and/or data) is persistent
     /// in its innermost loop.
     pub persistent_fetch: BTreeSet<u32>,
@@ -166,6 +244,46 @@ fn data_bytes(inst: &Inst) -> u32 {
     }
 }
 
+/// One instruction's cache-relevant facts, precomputed per block: the
+/// access addresses depend only on the (already fixed) value state at
+/// block entry, so the value transfer is replayed exactly once per block
+/// instead of on every fixpoint revisit.
+struct Site {
+    addr: u32,
+    iline: u32,
+    /// `(address, bytes)` of a data access, if the instruction makes one.
+    access: Option<(AccessAddr, u32)>,
+    is_call: bool,
+}
+
+fn block_sites(
+    cfg: &Cfg,
+    machine: &MachineConfig,
+    va: &ValueAnalysis,
+    annots: Option<&AnnotationFile>,
+    block: u32,
+) -> Vec<Site> {
+    let blk = &cfg.blocks[&block];
+    let mut vs = va.at(cfg, block).cloned().unwrap_or_default();
+    let mut addr = blk.start;
+    let mut sites = Vec::with_capacity(blk.insts.len());
+    for inst in &blk.insts {
+        let access = inst.mem_access().map(|_| {
+            let a = access_addr(&vs, inst).expect("mem instruction has an address");
+            (a, data_bytes(inst))
+        });
+        sites.push(Site {
+            addr,
+            iline: machine.icache.line_of(addr),
+            access,
+            is_call: matches!(inst, Inst::Bl { .. }),
+        });
+        transfer(&mut vs, inst, machine, annots);
+        addr += 4;
+    }
+    sites
+}
+
 /// Runs the cache analyses over one function.
 pub fn analyze(
     cfg: &Cfg,
@@ -173,72 +291,78 @@ pub fn analyze(
     va: &ValueAnalysis,
     annots: Option<&AnnotationFile>,
 ) -> CacheClassification {
-    // ---- must-analysis fixpoint ----
-    let mut at_entry: BTreeMap<u32, (MustCache, MustCache)> = BTreeMap::new();
-    at_entry.insert(
-        cfg.entry,
-        (
-            MustCache::new(&machine.icache),
-            MustCache::new(&machine.dcache),
-        ),
-    );
+    // Dense indexing by RPO position: every per-block table is a Vec, so
+    // the fixpoint's inner loop does no tree lookups at all. The index
+    // tables are computed once at CFG reconstruction and shared here.
     let rpo = cfg.rpo();
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for &b in &rpo {
-            let Some((mut ic, mut dc)) = at_entry.get(&b).cloned() else {
+    let index_of = cfg.index_of();
+    let sites: Vec<Vec<Site>> = rpo
+        .iter()
+        .map(|&b| block_sites(cfg, machine, va, annots, b))
+        .collect();
+    let succ_idx = cfg.succ_idx();
+
+    // ---- must-analysis fixpoint ----
+    let mut at_entry: Vec<Option<(MustCache, MustCache)>> = vec![None; rpo.len()];
+    at_entry[0] = Some((
+        MustCache::new(&machine.icache),
+        MustCache::new(&machine.dcache),
+    ));
+    // Sparse round-based RPO worklist; the must-cache join is a monotone
+    // idempotent intersection, so revisiting only changed-input blocks
+    // reaches the same (unique) least fixpoint as the dense sweep.
+    // classifications are recorded during the fixpoint itself: every
+    // input change re-queues the block, so the vector written at its last
+    // visit is exactly what a post-fixpoint re-walk would produce
+    let mut classified: Vec<Vec<(u32, bool, Option<DataClass>)>> = vec![Vec::new(); rpo.len()];
+    let mut work = crate::share::Worklist::seeded(0);
+    // scratch states reused across visits: the walk works on copies of the
+    // entry pair, and joins land in reused buffers, so the steady-state
+    // loop does not allocate at all
+    let mut ic = MustCache::new(&machine.icache);
+    let mut dc = MustCache::new(&machine.dcache);
+    let mut buf_i: Vec<(u32, u8)> = Vec::new();
+    let mut buf_d: Vec<(u32, u8)> = Vec::new();
+    while let Some(i) = work.pop() {
+        {
+            let Some((eic, edc)) = &at_entry[i as usize] else {
                 continue;
             };
-            let mut vs = va.at_entry.get(&b).cloned().unwrap_or_default();
-            walk_block(
-                cfg,
-                machine,
-                b,
-                &mut ic,
-                &mut dc,
-                &mut vs,
-                annots,
-                |_, _, _| {},
-            );
-            for &succ in &cfg.blocks[&b].succs {
-                let merged = match at_entry.get(&succ) {
-                    None => (ic.clone(), dc.clone()),
-                    Some((oi, od)) => (oi.join(&ic), od.join(&dc)),
-                };
-                if at_entry.get(&succ) != Some(&merged) {
-                    at_entry.insert(succ, merged);
-                    changed = true;
+            ic.copy_from(eic);
+            dc.copy_from(edc);
+        }
+        let cls = &mut classified[i as usize];
+        cls.clear();
+        walk_block(
+            machine,
+            &sites[i as usize],
+            &mut ic,
+            &mut dc,
+            |addr, fetch, dclass| {
+                cls.push((addr, fetch, dclass));
+            },
+        );
+        for &si in &succ_idx[i as usize] {
+            match &mut at_entry[si as usize] {
+                None => {
+                    at_entry[si as usize] = Some((ic.clone(), dc.clone()));
+                    work.push(si);
+                }
+                Some((oi, od)) => {
+                    let ci = oi.join_changes(&ic, &mut buf_i);
+                    let cd = od.join_changes(&dc, &mut buf_d);
+                    if ci || cd {
+                        if ci {
+                            std::mem::swap(&mut oi.lines, &mut buf_i);
+                        }
+                        if cd {
+                            std::mem::swap(&mut od.lines, &mut buf_d);
+                        }
+                        work.push(si);
+                    }
                 }
             }
         }
-    }
-
-    // ---- classification pass ----
-    let mut fetch_hit = BTreeSet::new();
-    let mut data = BTreeMap::new();
-    for &b in &rpo {
-        let Some((mut ic, mut dc)) = at_entry.get(&b).cloned() else {
-            continue;
-        };
-        let mut vs = va.at_entry.get(&b).cloned().unwrap_or_default();
-        walk_block(
-            cfg,
-            machine,
-            b,
-            &mut ic,
-            &mut dc,
-            &mut vs,
-            annots,
-            |addr, fetch, dclass| {
-                if fetch {
-                    fetch_hit.insert(addr);
-                }
-                if let Some(d) = dclass {
-                    data.insert(addr, d);
-                }
-            },
-        );
     }
 
     // ---- persistence per innermost loop ----
@@ -253,46 +377,36 @@ pub fn analyze(
         if !is_innermost {
             continue;
         }
-        let (pf, pd, penalty) = loop_persistence(cfg, machine, va, annots, l);
+        let (pf, pd, penalty) = loop_persistence(machine, &sites, &index_of, l);
         persistent_fetch.extend(pf);
         persistent_data.extend(pd);
         loop_fill_penalty.insert(l.header, penalty);
     }
 
     CacheClassification {
-        fetch_hit,
-        data,
+        per_block: classified,
         persistent_fetch,
         persistent_data,
         loop_fill_penalty,
     }
 }
 
-/// Walks one block, updating cache and value states and reporting
-/// per-instruction classifications through `report(addr, fetch_hit,
-/// data_class)`.
-#[allow(clippy::too_many_arguments)]
+/// Walks one block's precomputed sites, updating cache states and
+/// reporting per-instruction classifications through `report(addr,
+/// fetch_hit, data_class)`.
 fn walk_block(
-    cfg: &Cfg,
     machine: &MachineConfig,
-    block: u32,
+    sites: &[Site],
     ic: &mut MustCache,
     dc: &mut MustCache,
-    vs: &mut AbsState,
-    annots: Option<&AnnotationFile>,
     mut report: impl FnMut(u32, bool, Option<DataClass>),
 ) {
-    let blk = &cfg.blocks[&block];
-    let mut addr = blk.start;
-    for inst in &blk.insts {
+    for site in sites {
         // fetch
-        let line = machine.icache.line_of(addr);
-        let f_hit = ic.contains(line);
-        ic.access(line);
+        let f_hit = ic.access(site.iline);
         // data
         let mut dclass = None;
-        if inst.mem_access().is_some() {
-            let a = access_addr(vs, inst).expect("mem instruction has an address");
+        if let Some((a, bytes)) = site.access {
             let io = match a {
                 AccessAddr::Exact(x) => machine.is_io(x),
                 AccessAddr::Range { lo, hi } => {
@@ -306,22 +420,22 @@ fn walk_block(
                 dclass = Some(DataClass::Io);
             } else {
                 let hit = match a {
-                    AccessAddr::Exact(x) => dc.contains(machine.dcache.line_of(x)),
-                    _ => false,
+                    // aligned accesses never straddle a line
+                    AccessAddr::Exact(x) => dc.access(machine.dcache.line_of(x)),
+                    _ => {
+                        dc.apply(&machine.dcache, a, bytes);
+                        false
+                    }
                 };
-                dc.apply(&machine.dcache, a, data_bytes(inst));
                 dclass = Some(if hit { DataClass::Hit } else { DataClass::Miss });
             }
         }
-        report(addr, f_hit, dclass);
-        // value state last (so the access used the pre-state)
-        transfer(vs, inst, machine, annots);
-        if matches!(inst, Inst::Bl { .. }) {
+        report(site.addr, f_hit, dclass);
+        if site.is_call {
             // the callee may touch anything: caches are unknown afterwards
             *ic = MustCache::new(&machine.icache);
             *dc = MustCache::new(&machine.dcache);
         }
-        addr += 4;
     }
 }
 
@@ -329,10 +443,9 @@ fn walk_block(
 /// addresses, persistent data-access addresses, and the flat per-entry fill
 /// penalty.
 fn loop_persistence(
-    cfg: &Cfg,
     machine: &MachineConfig,
-    va: &ValueAnalysis,
-    annots: Option<&AnnotationFile>,
+    sites: &[Vec<Site>],
+    index_of: &BTreeMap<u32, u32>,
     l: &NaturalLoop,
 ) -> (BTreeSet<u32>, BTreeSet<u32>, u64) {
     let insets = machine.icache.sets();
@@ -348,33 +461,30 @@ fn loop_persistence(
     let mut data_sites: Vec<(u32, Vec<u32>)> = Vec::new(); // (inst addr, lines)
 
     for &baddr in &l.blocks {
-        let blk = &cfg.blocks[&baddr];
-        let mut vs = va.at_entry.get(&baddr).cloned().unwrap_or_default();
-        let mut addr = baddr;
-        for inst in &blk.insts {
-            if matches!(inst, Inst::Bl { .. }) {
+        for site in &sites[index_of[&baddr] as usize] {
+            if site.is_call {
                 all_overflow = true; // callee pollutes both caches
             }
-            let line = machine.icache.line_of(addr);
+            let line = site.iline;
             ilines.entry(line % insets).or_default().insert(line);
-            fetch_sites.push((addr, line));
-            if inst.mem_access().is_some() {
-                match access_addr(&vs, inst).expect("mem instruction has an address") {
+            fetch_sites.push((site.addr, line));
+            if let Some((a, bytes)) = site.access {
+                match a {
                     AccessAddr::Exact(x) if !machine.is_io(x) => {
                         let line = machine.dcache.line_of(x);
                         dlines.entry(line % dsets).or_default().insert(line);
-                        data_sites.push((addr, vec![line]));
+                        data_sites.push((site.addr, vec![line]));
                     }
                     AccessAddr::Exact(_) => {}
                     AccessAddr::Range { lo, hi } if !machine.is_io(lo) => {
                         let first = machine.dcache.line_of(lo);
-                        let last = machine.dcache.line_of(hi + data_bytes(inst) - 1);
+                        let last = machine.dcache.line_of(hi + bytes - 1);
                         if last - first < 2 * machine.dcache.ways {
                             let lines: Vec<u32> = (first..=last).collect();
                             for &li in &lines {
                                 dlines.entry(li % dsets).or_default().insert(li);
                             }
-                            data_sites.push((addr, lines));
+                            data_sites.push((site.addr, lines));
                         } else {
                             for li in first..=last.min(first + dsets) {
                                 d_overflow.insert(li % dsets);
@@ -386,8 +496,6 @@ fn loop_persistence(
                     }
                 }
             }
-            transfer(&mut vs, inst, machine, annots);
-            addr += 4;
         }
     }
 

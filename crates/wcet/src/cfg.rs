@@ -52,6 +52,13 @@ pub struct Cfg {
     pub blocks: BTreeMap<u32, Block>,
     /// Natural loops, innermost last (sorted by increasing block count).
     pub loops: Vec<NaturalLoop>,
+    /// Reverse post-order from the entry, computed once at reconstruction
+    /// (every analysis phase iterates it).
+    rpo: Vec<u32>,
+    /// RPO position of each reachable block address.
+    index_of: BTreeMap<u32, u32>,
+    /// Successor RPO positions of each block, indexed by RPO position.
+    succ_idx: Vec<Vec<u32>>,
 }
 
 impl Cfg {
@@ -67,26 +74,19 @@ impl Cfg {
     }
 
     /// Reverse post-order of block addresses from the entry.
-    pub fn rpo(&self) -> Vec<u32> {
-        let mut visited = BTreeSet::new();
-        let mut post = Vec::new();
-        let mut stack = vec![(self.entry, 0usize)];
-        visited.insert(self.entry);
-        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
-            let succs = &self.blocks[&b].succs;
-            if *i < succs.len() {
-                let s = succs[*i];
-                *i += 1;
-                if visited.insert(s) {
-                    stack.push((s, 0));
-                }
-            } else {
-                post.push(b);
-                stack.pop();
-            }
-        }
-        post.reverse();
-        post
+    pub fn rpo(&self) -> &[u32] {
+        &self.rpo
+    }
+
+    /// RPO position of each reachable block address.
+    pub fn index_of(&self) -> &BTreeMap<u32, u32> {
+        &self.index_of
+    }
+
+    /// Successor RPO positions of each block, indexed by RPO position.
+    /// Shared by every fixpoint phase so the dense tables are built once.
+    pub fn succ_idx(&self) -> &[Vec<u32>] {
+        &self.succ_idx
     }
 
     /// The innermost loop containing `addr`, if any.
@@ -106,25 +106,42 @@ impl Cfg {
 /// [`AnalysisError`] on unknown functions, decode failures, control flow
 /// leaving the function, or irreducible loops.
 pub fn reconstruct(program: &Program, func: &str) -> Result<Cfg, AnalysisError> {
+    let words = program.encode_text();
+    reconstruct_with_words(program, func, &words)
+}
+
+/// Like [`reconstruct`], but decoding from a caller-provided encoding of the
+/// program text. The session analyzer encodes once per request and
+/// reconstructs every function from the same words, instead of re-encoding
+/// the whole program per function.
+pub fn reconstruct_with_words(
+    program: &Program,
+    func: &str,
+    words: &[u32],
+) -> Result<Cfg, AnalysisError> {
     let sym = program
         .function(func)
         .ok_or_else(|| AnalysisError::UnknownFunction(func.to_owned()))?;
     let lo = sym.entry;
     let hi = sym.entry + 4 * sym.len_words;
 
-    // Decode from the binary words.
-    let words = program.encode_text();
-    let decode_at = |addr: u32| -> Result<Inst, AnalysisError> {
-        let idx = ((addr - program.config.text_base) / 4) as usize;
-        vericomp_arch::encode::decode(words[idx], addr).map_err(AnalysisError::Decode)
-    };
+    // Decode each word of the function exactly once.
+    let base = ((lo - program.config.text_base) / 4) as usize;
+    let mut decoded = Vec::with_capacity(sym.len_words as usize);
+    for i in 0..sym.len_words as usize {
+        let addr = lo + 4 * i as u32;
+        decoded.push(
+            vericomp_arch::encode::decode(words[base + i], addr).map_err(AnalysisError::Decode)?,
+        );
+    }
+    let decode_at = |addr: u32| -> &Inst { &decoded[((addr - lo) / 4) as usize] };
 
     // Pass 1: leaders.
     let mut leaders: BTreeSet<u32> = BTreeSet::new();
     leaders.insert(lo);
     let mut addr = lo;
     while addr < hi {
-        let inst = decode_at(addr)?;
+        let inst = decode_at(addr);
         match inst.control_flow() {
             ControlFlow::Jump(t) => {
                 in_range(t, lo, hi, addr)?;
@@ -150,9 +167,13 @@ pub fn reconstruct(program: &Program, func: &str) -> Result<Cfg, AnalysisError> 
         addr += 4;
     }
 
-    // Pass 2: blocks.
+    // Pass 2: blocks, built in ascending leader order so every later
+    // table can address them by ordinal (binary search on the sorted
+    // leader list) instead of through tree lookups.
     let leader_list: Vec<u32> = leaders.iter().copied().collect();
-    let mut blocks = BTreeMap::new();
+    let nblocks = leader_list.len();
+    let ord_of = |addr: u32| -> usize { leader_list.binary_search(&addr).expect("is a leader") };
+    let mut blocks_vec: Vec<Block> = Vec::with_capacity(nblocks);
     for (i, &start) in leader_list.iter().enumerate() {
         let end = leader_list.get(i + 1).copied().unwrap_or(hi);
         let mut insts = Vec::with_capacity(((end - start) / 4) as usize);
@@ -161,7 +182,7 @@ pub fn reconstruct(program: &Program, func: &str) -> Result<Cfg, AnalysisError> 
         let mut is_return = false;
         let mut a = start;
         while a < end {
-            let inst = decode_at(a)?;
+            let inst = decode_at(a).clone();
             match inst.control_flow() {
                 ControlFlow::Call(t) => {
                     let callee = program
@@ -193,21 +214,64 @@ pub fn reconstruct(program: &Program, func: &str) -> Result<Cfg, AnalysisError> 
         {
             succs.push(end);
         }
-        blocks.insert(
+        blocks_vec.push(Block {
             start,
-            Block {
-                start,
-                insts,
-                succs,
-                calls,
-                is_return,
-            },
-        );
+            insts,
+            succs,
+            calls,
+            is_return,
+        });
     }
 
+    // Depth-first post-order over block ordinals; identical traversal (and
+    // so identical RPO) to a walk over the address-keyed map, since the
+    // ordinal order is the ascending address order.
+    let mut visited = vec![false; nblocks];
+    let mut post: Vec<u32> = Vec::with_capacity(nblocks);
+    let mut stack: Vec<(u32, u32)> = vec![(0, 0)];
+    visited[0] = true; // the entry is the lowest leader
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = &blocks_vec[b as usize].succs;
+        if (*i as usize) < succs.len() {
+            let so = ord_of(succs[*i as usize]) as u32;
+            *i += 1;
+            if !visited[so as usize] {
+                visited[so as usize] = true;
+                stack.push((so, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    let ord_rpo: Vec<u32> = post.into_iter().rev().collect();
+    let rpo: Vec<u32> = ord_rpo.iter().map(|&o| leader_list[o as usize]).collect();
+    let mut rpo_of_ord = vec![u32::MAX; nblocks];
+    for (ri, &o) in ord_rpo.iter().enumerate() {
+        rpo_of_ord[o as usize] = ri as u32;
+    }
+    let index_of: BTreeMap<u32, u32> = rpo
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (b, i as u32))
+        .collect();
+    let succ_idx: Vec<Vec<u32>> = ord_rpo
+        .iter()
+        .map(|&o| {
+            blocks_vec[o as usize]
+                .succs
+                .iter()
+                .map(|&s| rpo_of_ord[ord_of(s)])
+                .collect()
+        })
+        .collect();
+    let blocks: BTreeMap<u32, Block> = leader_list.iter().copied().zip(blocks_vec).collect();
     let mut cfg = Cfg {
         name: func.to_owned(),
         entry: lo,
+        rpo,
+        index_of,
+        succ_idx,
         blocks,
         loops: Vec::new(),
     };
@@ -222,128 +286,177 @@ fn in_range(t: u32, lo: u32, hi: u32, at: u32) -> Result<(), AnalysisError> {
     Ok(())
 }
 
-/// Computes immediate dominators (Cooper–Harvey–Kennedy).
-pub fn dominators(cfg: &Cfg) -> BTreeMap<u32, u32> {
-    let rpo = cfg.rpo();
-    let index: BTreeMap<u32, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
-    let preds = cfg.predecessors();
-    let mut idom: BTreeMap<u32, u32> = BTreeMap::new();
-    idom.insert(cfg.entry, cfg.entry);
+/// Per-function index tables: RPO position per reachable block, and the
+/// reachable predecessors of each reachable block (ascending address, the
+/// order [`Cfg::predecessors`] produces).
+struct Indexed {
+    pred_off: Vec<u32>,
+    pred_dat: Vec<u32>,
+}
+
+impl Indexed {
+    fn preds(&self, b: usize) -> &[u32] {
+        &self.pred_dat[self.pred_off[b] as usize..self.pred_off[b + 1] as usize]
+    }
+}
+
+fn index_cfg(cfg: &Cfg) -> Indexed {
+    let n = cfg.rpo().len();
+    let mut pred_off = vec![0u32; n + 1];
+    for succs in cfg.succ_idx() {
+        for &si in succs {
+            pred_off[si as usize + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        pred_off[i + 1] += pred_off[i];
+    }
+    let mut cursor = pred_off.clone();
+    let mut pred_dat = vec![0u32; pred_off[n] as usize];
+    // iterate predecessors in ascending address order (unreachable blocks
+    // never gain a dominator, so skipping them changes nothing)
+    for &ai in cfg.index_of().values() {
+        for &si in &cfg.succ_idx()[ai as usize] {
+            let c = &mut cursor[si as usize];
+            pred_dat[*c as usize] = ai;
+            *c += 1;
+        }
+    }
+    Indexed { pred_off, pred_dat }
+}
+
+/// Index-based immediate dominators (Cooper–Harvey–Kennedy); entry maps to
+/// itself, unreachable blocks are absent.
+fn dominators_idx(ix: &Indexed, n: usize) -> Vec<u32> {
+    let mut idom: Vec<Option<u32>> = vec![None; n];
+    idom[0] = Some(0);
     let mut changed = true;
     while changed {
         changed = false;
-        for &b in rpo.iter().skip(1) {
+        for b in 1..n {
             let mut new_idom: Option<u32> = None;
-            for &p in preds.get(&b).into_iter().flatten() {
-                if !idom.contains_key(&p) {
+            for &p in ix.preds(b) {
+                if idom[p as usize].is_none() {
                     continue;
                 }
                 new_idom = Some(match new_idom {
                     None => p,
-                    Some(cur) => intersect(p, cur, &idom, &index),
+                    Some(cur) => intersect(p, cur, &idom),
                 });
             }
             if let Some(ni) = new_idom {
-                if idom.get(&b) != Some(&ni) {
-                    idom.insert(b, ni);
+                if idom[b] != Some(ni) {
+                    idom[b] = Some(ni);
                     changed = true;
                 }
             }
         }
     }
-    idom
+    idom.into_iter().map(|d| d.unwrap_or(0)).collect()
 }
 
-fn intersect(
-    mut a: u32,
-    mut b: u32,
-    idom: &BTreeMap<u32, u32>,
-    index: &BTreeMap<u32, usize>,
-) -> u32 {
+/// Computes immediate dominators (Cooper–Harvey–Kennedy).
+pub fn dominators(cfg: &Cfg) -> BTreeMap<u32, u32> {
+    let rpo = cfg.rpo();
+    let ix = index_cfg(cfg);
+    let idom = dominators_idx(&ix, rpo.len());
+    rpo.iter()
+        .enumerate()
+        .map(|(i, &b)| (b, rpo[idom[i] as usize]))
+        .collect()
+}
+
+/// RPO indices make the walk-up comparison direct: a block's dominator
+/// always precedes it in RPO.
+fn intersect(mut a: u32, mut b: u32, idom: &[Option<u32>]) -> u32 {
     while a != b {
-        while index[&a] > index[&b] {
-            a = idom[&a];
+        while a > b {
+            a = idom[a as usize].expect("processed earlier in RPO");
         }
-        while index[&b] > index[&a] {
-            b = idom[&b];
+        while b > a {
+            b = idom[b as usize].expect("processed earlier in RPO");
         }
     }
     a
 }
 
-/// Whether `a` dominates `b`.
-fn dominates(a: u32, mut b: u32, idom: &BTreeMap<u32, u32>, entry: u32) -> bool {
+/// Whether RPO index `a` dominates index `b`.
+fn dominates_idx(a: u32, mut b: u32, idom: &[u32]) -> bool {
     loop {
         if a == b {
             return true;
         }
-        if b == entry {
+        if b == 0 {
             return false;
         }
-        b = idom[&b];
+        b = idom[b as usize];
     }
 }
 
 fn find_loops(cfg: &Cfg) -> Result<Vec<NaturalLoop>, AnalysisError> {
-    let idom = dominators(cfg);
-    let reachable: BTreeSet<u32> = cfg.rpo().into_iter().collect();
-    let mut loops: BTreeMap<u32, NaturalLoop> = BTreeMap::new();
+    let rpo = cfg.rpo();
+    let n = rpo.len();
+    let ix = index_cfg(cfg);
+    let idom = dominators_idx(&ix, n);
+    // Loops keyed by header ordinal: body membership bitmap + latch ordinals.
+    let mut found: Vec<(u32, Vec<bool>, Vec<u32>)> = Vec::new();
+    let mut loop_of_header: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut stack: Vec<u32> = Vec::new();
 
-    for &b in &reachable {
-        for &s in &cfg.blocks[&b].succs {
-            if !reachable.contains(&s) {
-                continue;
-            }
+    for bi in 0..n as u32 {
+        for &si in &cfg.succ_idx()[bi as usize] {
             // back edge b -> s?
-            if dominates(s, b, &idom, cfg.entry) {
-                let entry_loop = loops.entry(s).or_insert_with(|| NaturalLoop {
-                    header: s,
-                    blocks: BTreeSet::from([s]),
-                    latches: BTreeSet::new(),
-                    exits: BTreeSet::new(),
+            if dominates_idx(si, bi, &idom) {
+                let li = *loop_of_header.entry(si).or_insert_with(|| {
+                    let mut body = vec![false; n];
+                    body[si as usize] = true;
+                    found.push((si, body, Vec::new()));
+                    found.len() - 1
                 });
-                entry_loop.latches.insert(b);
+                let (_, body, latches) = &mut found[li];
+                latches.push(bi);
                 // natural loop body: reverse reachability from latch to header
-                let mut stack = vec![b];
+                stack.push(bi);
                 while let Some(x) = stack.pop() {
-                    if !loops.get_mut(&s).expect("just inserted").blocks.insert(x) {
+                    if body[x as usize] {
                         continue;
                     }
-                    for (&p, blk) in &cfg.blocks {
-                        if blk.succs.contains(&x) && x != s {
-                            let _ = p;
-                            stack.push(p);
-                        }
-                    }
+                    body[x as usize] = true;
+                    stack.extend_from_slice(ix.preds(x as usize));
                 }
-            } else if retreats(s, b, cfg) {
-                return Err(AnalysisError::IrreducibleLoop { at: s });
+            } else if si <= bi {
+                // a retreating edge whose target does not dominate the
+                // source: irreducible region
+                return Err(AnalysisError::IrreducibleLoop {
+                    at: rpo[si as usize],
+                });
             }
         }
     }
 
-    let mut result: Vec<NaturalLoop> = loops.into_values().collect();
-    for l in &mut result {
-        for &b in &l.blocks {
-            if cfg.blocks[&b].succs.iter().any(|s| !l.blocks.contains(s)) {
-                l.exits.insert(b);
+    // Header-address order first so the final size sort (stable) breaks ties
+    // the same way the address-keyed map used to.
+    found.sort_by_key(|&(hi, _, _)| rpo[hi as usize]);
+    let mut result: Vec<NaturalLoop> = found
+        .into_iter()
+        .map(|(hi, body, latches)| {
+            let mut exits = BTreeSet::new();
+            for i in 0..n {
+                if body[i] && cfg.succ_idx()[i].iter().any(|&s| !body[s as usize]) {
+                    exits.insert(rpo[i]);
+                }
             }
-        }
-    }
+            NaturalLoop {
+                header: rpo[hi as usize],
+                blocks: (0..n).filter(|&i| body[i]).map(|i| rpo[i]).collect(),
+                latches: latches.iter().map(|&l| rpo[l as usize]).collect(),
+                exits,
+            }
+        })
+        .collect();
     // sort outermost (largest) first
     result.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
     Ok(result)
-}
-
-/// Detects a retreating edge that is not a back edge (irreducibility hint):
-/// target appears before source in RPO but does not dominate it.
-fn retreats(target: u32, source: u32, cfg: &Cfg) -> bool {
-    let rpo = cfg.rpo();
-    let pos: BTreeMap<u32, usize> = rpo.iter().enumerate().map(|(i, &b)| (b, i)).collect();
-    match (pos.get(&target), pos.get(&source)) {
-        (Some(t), Some(s)) => t <= s,
-        _ => false,
-    }
 }
 
 #[cfg(test)]

@@ -20,8 +20,6 @@
 //!   live stack region above the current `r1`.
 //! * **Widening** at loop headers guarantees termination.
 
-use std::collections::BTreeMap;
-
 use vericomp_arch::inst::Inst;
 use vericomp_arch::program::{ArgLoc, Program};
 use vericomp_arch::reg::Gpr;
@@ -29,6 +27,7 @@ use vericomp_arch::MachineConfig;
 
 use crate::annot::AnnotationFile;
 use crate::cfg::Cfg;
+use crate::share::{Arena, PMap, Worklist};
 
 const I32MIN: i64 = i32::MIN as i64;
 const I32MAX: i64 = i32::MAX as i64;
@@ -130,13 +129,69 @@ impl Interval {
     }
 }
 
+/// The abstract register file: one interval per GPR, ⊤ stored explicitly.
+///
+/// The register domain is fixed and tiny (32 GPRs), so a flat array beats
+/// any tree: clones are a memcpy, joins are 32 pointwise operations, and
+/// equality is a flat compare. ⊤ is an ordinary element here, which is
+/// observationally identical to the absent-means-⊤ convention of the cell
+/// map — [`RegFile::get`] reports an explicit ⊤ as absent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegFile([Interval; 32]);
+
+impl Default for RegFile {
+    fn default() -> RegFile {
+        RegFile([Interval::top(); 32])
+    }
+}
+
+impl RegFile {
+    /// The interval bound to register index `k`, if informative.
+    #[must_use]
+    pub fn get(&self, k: u32) -> Option<Interval> {
+        let v = self.0[k as usize];
+        if v.is_top() {
+            None
+        } else {
+            Some(v)
+        }
+    }
+
+    /// Binds register index `k`.
+    pub fn insert(&mut self, k: u32, v: Interval) {
+        self.0[k as usize] = v;
+    }
+
+    /// Resets register index `k` to ⊤.
+    pub fn remove(&mut self, k: u32) {
+        self.0[k as usize] = Interval::top();
+    }
+
+    /// Pointwise merge (⊤ entries participate as ordinary elements; both
+    /// `join` and `widen` fix ⊤, so this matches the intersection-merge
+    /// semantics of the cell map exactly).
+    #[must_use]
+    pub fn merge(&self, other: &RegFile, f: impl Fn(Interval, Interval) -> Interval) -> RegFile {
+        let mut out = *self;
+        for (o, b) in out.0.iter_mut().zip(&other.0) {
+            *o = f(*o, *b);
+        }
+        out
+    }
+}
+
 /// Abstract machine state: register and memory-cell intervals.
+///
+/// Registers live in a flat [`RegFile`]; memory cells in a persistent
+/// canonical map ([`PMap`]) — cloning a state is `O(1)` on the cell side,
+/// and joins/widenings of mostly-equal cell maps touch only the differing
+/// entries thanks to structural sharing.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AbsState {
-    /// GPR intervals; absent = ⊤.
-    pub regs: BTreeMap<u8, Interval>,
+    /// GPR intervals by register index; ⊤ = no information.
+    pub regs: RegFile,
     /// 32-bit memory cells by absolute address; absent = ⊤.
-    pub cells: BTreeMap<u32, Interval>,
+    pub cells: PMap,
 }
 
 impl AbsState {
@@ -156,8 +211,7 @@ impl AbsState {
     /// instructions where it holds).
     pub fn reg(&self, r: Gpr) -> Interval {
         self.regs
-            .get(&r.index())
-            .copied()
+            .get(u32::from(r.index()))
             .unwrap_or_else(Interval::top)
     }
 
@@ -169,70 +223,44 @@ impl AbsState {
         }
     }
 
-    fn set(&mut self, r: Gpr, v: Interval) {
+    /// Sets a register interval (⊤ clears the entry).
+    pub fn set(&mut self, r: Gpr, v: Interval) {
         if v.is_top() {
-            self.regs.remove(&r.index());
+            self.regs.remove(u32::from(r.index()));
         } else {
-            self.regs.insert(r.index(), v);
+            self.regs.insert(u32::from(r.index()), v);
         }
     }
 
-    fn cell(&self, addr: u32) -> Interval {
-        self.cells.get(&addr).copied().unwrap_or_else(Interval::top)
+    /// The interval of a 32-bit memory cell (absent = ⊤).
+    pub fn cell(&self, addr: u32) -> Interval {
+        self.cells.get(addr).unwrap_or_else(Interval::top)
     }
 
-    fn set_cell(&mut self, addr: u32, v: Interval) {
+    /// Sets a memory-cell interval (⊤ clears the entry).
+    pub fn set_cell(&mut self, addr: u32, v: Interval) {
         if v.is_top() {
-            self.cells.remove(&addr);
+            self.cells.remove(addr);
         } else {
             self.cells.insert(addr, v);
         }
     }
 
     /// Join with another state (pointwise hull; missing keys are ⊤).
+    /// Shared cell subtrees are recognized by pointer and reused wholesale.
     pub fn join(&self, other: &AbsState) -> AbsState {
-        let mut regs = BTreeMap::new();
-        for (&k, &a) in &self.regs {
-            if let Some(&b) = other.regs.get(&k) {
-                let j = a.join(b);
-                if !j.is_top() {
-                    regs.insert(k, j);
-                }
-            }
+        AbsState {
+            regs: self.regs.merge(&other.regs, Interval::join),
+            cells: self.cells.merge_shared(&other.cells, Interval::join),
         }
-        let mut cells = BTreeMap::new();
-        for (&k, &a) in &self.cells {
-            if let Some(&b) = other.cells.get(&k) {
-                let j = a.join(b);
-                if !j.is_top() {
-                    cells.insert(k, j);
-                }
-            }
-        }
-        AbsState { regs, cells }
     }
 
     /// Widening against a newer state.
     pub fn widen(&self, newer: &AbsState) -> AbsState {
-        let mut regs = BTreeMap::new();
-        for (&k, &a) in &self.regs {
-            if let Some(&b) = newer.regs.get(&k) {
-                let w = a.widen(b);
-                if !w.is_top() {
-                    regs.insert(k, w);
-                }
-            }
+        AbsState {
+            regs: self.regs.merge(&newer.regs, Interval::widen),
+            cells: self.cells.merge_shared(&newer.cells, Interval::widen),
         }
-        let mut cells = BTreeMap::new();
-        for (&k, &a) in &self.cells {
-            if let Some(&b) = newer.cells.get(&k) {
-                let w = a.widen(b);
-                if !w.is_top() {
-                    cells.insert(k, w);
-                }
-            }
-        }
-        AbsState { regs, cells }
     }
 }
 
@@ -465,16 +493,15 @@ pub fn transfer(
         | Mtlr { .. } => {}
         Bl { .. } => {
             // volatile registers die
-            for r in [0u8, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12] {
-                state.regs.remove(&r);
+            for r in [0u32, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12] {
+                state.regs.remove(r);
             }
             // the callee may write any global and its own (lower) frames;
             // only cells in the live stack above the current r1 survive
             let sp = state.reg(Gpr::SP).as_exact().map(|v| v as u32);
             match sp {
                 Some(sp) => {
-                    let stack_top = cfg.stack_top;
-                    state.cells.retain(|&a, _| a >= sp && a < stack_top);
+                    state.cells.range_restrict(sp, cfg.stack_top);
                 }
                 None => state.cells.clear(),
             }
@@ -523,7 +550,7 @@ fn store_cell(state: &mut AbsState, addr: Interval, value: Option<Interval>, byt
                 Some(v) if bytes == 4 => state.set_cell(a, v),
                 _ => {
                     for k in 0..bytes / 4 {
-                        state.cells.remove(&(a + 4 * k));
+                        state.cells.remove(a + 4 * k);
                     }
                 }
             }
@@ -535,7 +562,8 @@ fn store_cell(state: &mut AbsState, addr: Interval, value: Option<Interval>, byt
             } else {
                 let lo = addr.lo as u32;
                 let hi = addr.hi as u32 + bytes;
-                state.cells.retain(|&a, _| a + 4 <= lo || a >= hi);
+                // a word at `a` overlaps [lo, hi) iff a + 4 > lo && a < hi
+                state.cells.range_remove(lo.saturating_sub(3), hi);
             }
         }
     }
@@ -544,8 +572,18 @@ fn store_cell(state: &mut AbsState, addr: Interval, value: Option<Interval>, byt
 /// Result of the value analysis: the abstract state at entry to every block.
 #[derive(Debug, Clone)]
 pub struct ValueAnalysis {
-    /// Block-entry states by block address.
-    pub at_entry: BTreeMap<u32, AbsState>,
+    /// Block-entry states, indexed by RPO position in the CFG the analysis
+    /// ran over (`None` only for blocks the fixpoint never reached, which
+    /// cannot happen for blocks in the RPO).
+    pub at_entry: Vec<Option<AbsState>>,
+}
+
+impl ValueAnalysis {
+    /// The entry state of the block starting at `addr`, if reachable.
+    pub fn at(&self, cfg_graph: &Cfg, addr: u32) -> Option<&AbsState> {
+        let &i = cfg_graph.index_of().get(&addr)?;
+        self.at_entry.get(i as usize)?.as_ref()
+    }
 }
 
 /// Runs the fixpoint over a function CFG.
@@ -572,6 +610,30 @@ pub fn analyze_with_facts(
     annots: Option<&AnnotationFile>,
     facts: &[HeaderFact],
 ) -> ValueAnalysis {
+    let mut arena = Arena::new();
+    analyze_with_facts_in(&mut arena, cfg_graph, machine, program, sp, annots, facts)
+}
+
+/// The sparse fixpoint, threading a caller-owned hash-consing [`Arena`] so
+/// a session can share interned states across many functions and calls.
+///
+/// Iteration is a round-based reverse-postorder worklist ([`Worklist`]):
+/// within a round blocks run in ascending RPO position, and a block is
+/// revisited only when a predecessor changed its entry state. This is the
+/// dense sweep's visit order restricted to productive visits, so widening
+/// fires at exactly the same joins and the result is bit-identical to the
+/// historical dense analyzer. Stored states are canonized in the arena,
+/// making the convergence comparison a pointer check on everything seen
+/// before.
+pub fn analyze_with_facts_in(
+    arena: &mut Arena,
+    cfg_graph: &Cfg,
+    machine: &MachineConfig,
+    program: &Program,
+    sp: u32,
+    annots: Option<&AnnotationFile>,
+    facts: &[HeaderFact],
+) -> ValueAnalysis {
     let apply_facts = |block: u32, state: &mut AbsState| {
         for f in facts.iter().filter(|f| f.header == block) {
             match f.loc {
@@ -586,43 +648,55 @@ pub fn analyze_with_facts(
             }
         }
     };
-    let mut at_entry: BTreeMap<u32, AbsState> = BTreeMap::new();
-    at_entry.insert(cfg_graph.entry, AbsState::entry(sp, program));
-    let headers: std::collections::BTreeSet<u32> =
-        cfg_graph.loops.iter().map(|l| l.header).collect();
+    let canonize = |arena: &mut Arena, s: &AbsState| AbsState {
+        regs: s.regs,
+        cells: arena.canonize(&s.cells),
+    };
+    // Dense indexing by RPO position: every per-block table is a Vec, so
+    // the inner loop does no tree lookups at all. The index tables are
+    // computed once at CFG reconstruction and shared by every phase.
     let rpo = cfg_graph.rpo();
-    let mut visits: BTreeMap<u32, u32> = BTreeMap::new();
+    let blocks: Vec<&crate::cfg::Block> = rpo.iter().map(|&b| &cfg_graph.blocks[&b]).collect();
+    let succ_idx = cfg_graph.succ_idx();
+    let mut is_header = vec![false; rpo.len()];
+    for l in &cfg_graph.loops {
+        if let Some(&i) = cfg_graph.index_of().get(&l.header) {
+            is_header[i as usize] = true;
+        }
+    }
 
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for &b in &rpo {
-            let Some(in_state) = at_entry.get(&b).cloned() else {
-                continue;
-            };
-            let mut s = in_state;
-            for inst in &cfg_graph.blocks[&b].insts {
-                transfer(&mut s, inst, machine, annots);
-            }
-            for &succ in &cfg_graph.blocks[&b].succs {
-                let mut merged = match at_entry.get(&succ) {
-                    None => s.clone(),
-                    Some(old) => {
-                        let joined = old.join(&s);
-                        let v = visits.entry(succ).or_insert(0);
-                        if headers.contains(&succ) && *v >= 2 {
-                            old.widen(&joined)
-                        } else {
-                            joined
-                        }
+    let mut at_entry: Vec<Option<AbsState>> = vec![None; rpo.len()];
+    at_entry[0] = Some(canonize(arena, &AbsState::entry(sp, program)));
+    let mut visits = vec![0u32; rpo.len()];
+    let mut work = Worklist::seeded(0);
+
+    while let Some(i) = work.pop() {
+        let Some(in_state) = at_entry[i as usize].clone() else {
+            continue;
+        };
+        let mut s = in_state;
+        for inst in &blocks[i as usize].insts {
+            transfer(&mut s, inst, machine, annots);
+        }
+        for &si in &succ_idx[i as usize] {
+            let succ = rpo[si as usize];
+            let mut merged = match &at_entry[si as usize] {
+                None => s.clone(),
+                Some(old) => {
+                    let joined = old.join(&s);
+                    if is_header[si as usize] && visits[si as usize] >= 2 {
+                        old.widen(&joined)
+                    } else {
+                        joined
                     }
-                };
-                apply_facts(succ, &mut merged);
-                if at_entry.get(&succ) != Some(&merged) {
-                    *visits.entry(succ).or_insert(0) += 1;
-                    at_entry.insert(succ, merged);
-                    changed = true;
                 }
+            };
+            apply_facts(succ, &mut merged);
+            let merged = canonize(arena, &merged);
+            if at_entry[si as usize].as_ref() != Some(&merged) {
+                visits[si as usize] += 1;
+                at_entry[si as usize] = Some(merged);
+                work.push(si);
             }
         }
     }

@@ -6,13 +6,20 @@
 use vericomp_core::{Compiler, OptLevel};
 use vericomp_mach::Simulator;
 use vericomp_minic::parse;
+use vericomp_wcet::{Analysis, AnalysisError, AnalysisRequest, Analyzer, WcetReport};
+
+fn analyze(bin: &vericomp_arch::program::Program, func: &str) -> Result<WcetReport, AnalysisError> {
+    Analyzer::default()
+        .analyze(&AnalysisRequest::new(bin, func))
+        .map(Analysis::into_report)
+}
 
 fn wcet_and_bound(src: &str, level: OptLevel) -> (u64, Vec<u64>) {
     let prog = parse::parse(src).expect("parses");
     let bin = Compiler::new(level)
         .compile(&prog, "step")
         .expect("compiles");
-    let report = vericomp_wcet::analyze(&bin, "step").expect("bounded");
+    let report = analyze(&bin, "step").expect("bounded");
     // the bound must also be sound vs. a real run
     let mut sim = Simulator::new(bin);
     let out = sim.run(10_000_000).expect("runs");
@@ -152,7 +159,7 @@ fn early_exit_only_tightens() {
         let bin = Compiler::new(level)
             .compile(&prog, "step")
             .expect("compiles");
-        match vericomp_wcet::analyze(&bin, "step") {
+        match analyze(&bin, "step") {
             Ok(report) => {
                 let mut sim = Simulator::new(bin);
                 sim.set_global_i32("stop", 0, 1000).expect("global");

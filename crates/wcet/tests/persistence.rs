@@ -6,6 +6,16 @@
 use vericomp_core::{Compiler, OptLevel};
 use vericomp_mach::Simulator;
 use vericomp_minic::parse;
+use vericomp_wcet::{Analysis, AnalysisRequest, Analyzer, WcetReport};
+
+fn analyze(
+    bin: &vericomp_arch::program::Program,
+    func: &str,
+) -> Result<WcetReport, vericomp_wcet::AnalysisError> {
+    Analyzer::default()
+        .analyze(&AnalysisRequest::new(bin, func))
+        .map(Analysis::into_report)
+}
 
 #[test]
 fn repeated_global_load_in_loop_charged_once() {
@@ -26,7 +36,7 @@ fn repeated_global_load_in_loop_charged_once() {
             .compile(&prog, "step")
             .expect("compiles");
         let mem_latency = u64::from(bin.config.mem_latency);
-        let report = vericomp_wcet::analyze(&bin, "step").expect("bounded");
+        let report = analyze(&bin, "step").expect("bounded");
         // soundness first
         let mut sim = Simulator::new(bin);
         let out = sim.run(10_000_000).expect("runs");
@@ -70,7 +80,7 @@ fn table_scan_loop_stays_tight() {
     let bin = Compiler::new(OptLevel::Verified)
         .compile(&prog, "step")
         .expect("compiles");
-    let report = vericomp_wcet::analyze(&bin, "step").expect("bounded");
+    let report = analyze(&bin, "step").expect("bounded");
     let mut sim = Simulator::new(bin);
     let out = sim.run(10_000_000).expect("runs");
     assert!(report.wcet >= out.stats.cycles);
@@ -101,7 +111,7 @@ fn io_in_loop_is_never_persistent() {
         .compile(&prog, "step")
         .expect("compiles");
     let io = u64::from(bin.config.io_latency);
-    let report = vericomp_wcet::analyze(&bin, "step").expect("bounded");
+    let report = analyze(&bin, "step").expect("bounded");
     let mut sim = Simulator::new(bin);
     let out = sim.run(10_000_000).expect("runs");
     assert!(report.wcet >= out.stats.cycles);

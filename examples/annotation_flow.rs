@@ -17,7 +17,17 @@ use vericomp::dataflow::NodeBuilder;
 use vericomp::harness;
 use vericomp::minic::pretty;
 use vericomp::wcet::annot::AnnotationFile;
-use vericomp::wcet::{analyze_with, AnalysisOptions};
+use vericomp::wcet::{Analysis, AnalysisOptions, AnalysisRequest, Analyzer};
+
+fn analyze_with(
+    program: &vericomp::arch::Program,
+    func: &str,
+    opts: &AnalysisOptions,
+) -> Result<vericomp::wcet::WcetReport, vericomp::wcet::AnalysisError> {
+    Analyzer::new(*opts)
+        .analyze(&AnalysisRequest::new(program, func))
+        .map(Analysis::into_report)
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut b = NodeBuilder::new("annot");

@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut baseline = None;
         for level in OptLevel::all() {
             let binary = harness::compile_node(&node, level)?;
-            let report = vericomp::wcet::analyze(&binary, "step")?;
+            let report = vericomp::harness::analyze_wcet(&binary, "step")?;
             // one differential activation guards against miscompilation
             harness::differential_run(&node, level, 2, |step, k| {
                 f64::from(step * 5 + k) * 0.73 - 2.0

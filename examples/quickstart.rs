@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 5. Bound the WCET statically from the binary.
-    let report = vericomp::wcet::analyze(&binary, "step")?;
+    let report = vericomp::harness::analyze_wcet(&binary, "step")?;
     println!("── WCET analysis ──────────────────────────────────────────");
     println!(
         "WCET bound    : {} cycles (measured: {})",

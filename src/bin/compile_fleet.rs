@@ -45,6 +45,7 @@ struct Args {
     scenario_frames: usize,
     scenario_overbudget: Option<String>,
     require_feasible: bool,
+    reanalyze: bool,
     connect: Option<String>,
 }
 
@@ -53,7 +54,7 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
                      [--trace FILE] [--profile] [--scenario SEED]
                      [--scenario-tasks N] [--scenario-frames N]
                      [--scenario-overbudget MODE] [--require-feasible]
-                     [--connect SOCK]
+                     [--reanalyze] [--connect SOCK]
   --jobs N          worker threads (default: available parallelism)
   --cache-dir DIR   persistent artifact cache (default: in-memory only)
   --configs LIST    comma-separated config axis out of
@@ -79,6 +80,11 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
                     force MODE's frame budget to 1 cycle — every non-empty
                     frame of that mode reports OVER (negative-test hook)
   --require-feasible    exit nonzero when any frame verdict is over budget
+  --reanalyze       after the sweep, re-derive every unique artifact's WCET
+                    through the warm session analyzer and check it against
+                    the stored bound; prints a `reanalyze:` audit line and
+                    appends analyze:reuse / analyze:fixpoint events to the
+                    trace (exits nonzero on any bound mismatch)
   --connect SOCK    submit the sweep to a running vericomp_serve daemon at
                     SOCK instead of compiling locally; the served digests
                     are bit-identical to a solo run's (excludes --search,
@@ -117,6 +123,7 @@ fn parse_args() -> Result<Args, String> {
         scenario_frames: 4,
         scenario_overbudget: None,
         require_feasible: false,
+        reanalyze: false,
         connect: None,
     };
     let mut jobs_set = false;
@@ -195,6 +202,7 @@ fn parse_args() -> Result<Args, String> {
                 args.require_feasible = true;
                 scenario_flags = true;
             }
+            "--reanalyze" => args.reanalyze = true,
             "--connect" => args.connect = Some(value("--connect")?),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
@@ -218,6 +226,11 @@ fn parse_args() -> Result<Args, String> {
     if args.connect.is_some() {
         if args.search {
             return Err("--connect submits fixed sweeps; the search runs locally".to_string());
+        }
+        if args.reanalyze {
+            return Err(
+                "--reanalyze audits the local session analyzer; drop it with --connect".to_string(),
+            );
         }
         if args.trace.is_some() || args.profile {
             return Err(
@@ -318,7 +331,7 @@ fn main() -> ExitCode {
         args.cache_dir.as_deref().unwrap_or("(memory)"),
     );
 
-    let result = match pipeline.run_sweep(&spec) {
+    let mut result = match pipeline.run_sweep(&spec) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("compile_fleet: {e}");
@@ -348,6 +361,11 @@ fn main() -> ExitCode {
     println!("{result}");
     println!("{}", result.stats.render());
     println!("fleet digest: {}", result.digest());
+    if args.reanalyze {
+        if let Err(code) = run_reanalyze(&pipeline, &mut result) {
+            return code;
+        }
+    }
     if let Err(code) = export_trace(result.trace(), &args) {
         return code;
     }
@@ -362,6 +380,35 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `--reanalyze`: audit the sweep through the warm session analyzer and
+/// print the greppable `reanalyze:` line (functions_reused counts cache
+/// replays — the CI analyzer smoke asserts it is positive on a sweep the
+/// same pipeline just ran). A bound mismatch is a correctness failure.
+fn run_reanalyze(
+    pipeline: &Pipeline,
+    result: &mut vericomp_pipeline::SweepResult,
+) -> Result<(), ExitCode> {
+    let audit = match pipeline.reanalyze_sweep(result) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("compile_fleet: {e}");
+            return Err(ExitCode::FAILURE);
+        }
+    };
+    println!(
+        "reanalyze: artifacts={} functions_reused={} functions_analyzed={}",
+        audit.artifacts, audit.functions_reused, audit.functions_analyzed
+    );
+    for m in &audit.mismatches {
+        eprintln!("compile_fleet: reanalysis mismatch: {m}");
+    }
+    if audit.mismatches.is_empty() {
+        Ok(())
+    } else {
+        Err(ExitCode::FAILURE)
+    }
 }
 
 /// Scenario construction shared by the local and `--connect` paths:
@@ -422,7 +469,7 @@ fn run_scenario(pipeline: &Pipeline, args: &Args) -> ExitCode {
         args.cache_dir.as_deref().unwrap_or("(memory)"),
     );
 
-    let result = match pipeline.run_sweep(&spec) {
+    let mut result = match pipeline.run_sweep(&spec) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("compile_fleet: {e}");
@@ -435,6 +482,11 @@ fn run_scenario(pipeline: &Pipeline, args: &Args) -> ExitCode {
     let report = scenario.check(&result);
     print!("{}", report.render());
     println!("sched digest: {}", report.digest());
+    if args.reanalyze {
+        if let Err(code) = run_reanalyze(pipeline, &mut result) {
+            return code;
+        }
+    }
     if let Err(code) = export_trace(result.trace(), args) {
         return code;
     }

@@ -48,7 +48,7 @@
 //! let mut sim = vericomp::mach::Simulator::new(binary.clone());
 //! sim.set_io_f64(0, 3.5);
 //! let outcome = sim.run(1_000_000)?;
-//! let report = vericomp::wcet::analyze(&binary, "step")?;
+//! let report = harness::analyze_wcet(&binary, "step")?;
 //! assert!(report.wcet >= outcome.stats.cycles);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -83,6 +83,23 @@ pub mod harness {
     /// Any [`CompileError`].
     pub fn compile_node(node: &Node, level: OptLevel) -> Result<Program, CompileError> {
         Compiler::new(level).compile(&node.to_minic(), node.step_name())
+    }
+
+    /// Bounds the WCET of `func` in `program` with a one-shot
+    /// [`Analyzer`](crate::wcet::Analyzer) session. Drivers analyzing many
+    /// related binaries should hold one `Analyzer` instead, so the
+    /// session's fact cache and hash-cons arena amortize across calls.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AnalysisError`].
+    pub fn analyze_wcet(
+        program: &Program,
+        func: &str,
+    ) -> Result<crate::wcet::WcetReport, AnalysisError> {
+        crate::wcet::Analyzer::default()
+            .analyze(&crate::wcet::AnalysisRequest::new(program, func))
+            .map(crate::wcet::Analysis::into_report)
     }
 
     /// Error of the WCET-driven compilation driver.

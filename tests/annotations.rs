@@ -6,7 +6,19 @@ use vericomp::core::{Compiler, OptLevel};
 use vericomp::dataflow::NodeBuilder;
 use vericomp::harness;
 use vericomp::wcet::annot::AnnotationFile;
-use vericomp::wcet::{analyze_with, AnalysisError, AnalysisOptions};
+use vericomp::wcet::{
+    Analysis, AnalysisError, AnalysisOptions, AnalysisRequest, Analyzer, WcetReport,
+};
+
+fn analyze_with(
+    program: &vericomp::arch::Program,
+    func: &str,
+    opts: &AnalysisOptions,
+) -> Result<WcetReport, AnalysisError> {
+    Analyzer::new(*opts)
+        .analyze(&AnalysisRequest::new(program, func))
+        .map(Analysis::into_report)
+}
 
 fn scan_node() -> vericomp::dataflow::Node {
     let mut b = NodeBuilder::new("annot");
@@ -133,7 +145,9 @@ fn wider_scan_configuration_raises_the_wcet() {
         let bin = Compiler::new(OptLevel::Verified)
             .compile(&node.to_minic(), "step")
             .expect("compiles");
-        vericomp::wcet::analyze(&bin, "step").expect("bounded").wcet
+        vericomp::harness::analyze_wcet(&bin, "step")
+            .expect("bounded")
+            .wcet
     };
     assert!(wcet(&big) > wcet(&small));
 }

@@ -56,7 +56,7 @@ fn application_wcet_is_interprocedural_and_sound() {
     let binary = Compiler::new(OptLevel::Verified)
         .compile(&src, "step")
         .expect("compiles");
-    let report = vericomp::wcet::analyze(&binary, "step").expect("analyzable");
+    let report = vericomp::harness::analyze_wcet(&binary, "step").expect("analyzable");
 
     // every node's step function was analyzed as a callee
     assert_eq!(report.callees.len(), app.nodes().len());
@@ -92,7 +92,7 @@ fn application_wcet_splits_by_node() {
     let binary = Compiler::new(OptLevel::Verified)
         .compile(&src, "step")
         .expect("compiles");
-    let report = vericomp::wcet::analyze(&binary, "step").expect("analyzable");
+    let report = vericomp::harness::analyze_wcet(&binary, "step").expect("analyzable");
     let acquisition = report
         .callees
         .get("airdata_acquisition_step")

@@ -44,7 +44,7 @@ fn fleet_build_is_bit_identical_across_job_counts_and_vs_serial() {
         let serial = compiler
             .compile(&node.to_minic(), "step")
             .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
-        let report = vericomp::wcet::analyze(&serial, "step")
+        let report = vericomp::harness::analyze_wcet(&serial, "step")
             .unwrap_or_else(|e| panic!("{}: {e}", node.name()));
         let artifact = &cell.outcome.artifact;
         assert_eq!(
@@ -125,7 +125,7 @@ fn sweep_matrix_is_bit_identical_across_job_counts_and_vs_serial() {
                 let serial = Compiler::with_config(OptLevel::Verified, mc.clone())
                     .compile_with_passes(&node.to_minic(), "step", passes)
                     .unwrap_or_else(|e| panic!("{}/{config}/{machine}: {e}", node.name()));
-                let report = vericomp::wcet::analyze(&serial, "step")
+                let report = vericomp::harness::analyze_wcet(&serial, "step")
                     .unwrap_or_else(|e| panic!("{}/{config}/{machine}: {e}", node.name()));
                 assert_eq!(
                     serial.encode_text(),
@@ -171,7 +171,7 @@ fn lattice_search_is_bit_identical_across_job_counts_and_vs_serial() {
             let serial = compiler
                 .compile_with_passes(&src, "step", &probe.passes)
                 .unwrap_or_else(|e| panic!("{}/{}: {e}", node.name(), probe.label));
-            let report = vericomp::wcet::analyze(&serial, "step")
+            let report = vericomp::harness::analyze_wcet(&serial, "step")
                 .unwrap_or_else(|e| panic!("{}/{}: {e}", node.name(), probe.label));
             assert_eq!(
                 report.wcet,

@@ -42,7 +42,7 @@ fn winner_beats_every_fixed_candidate_on_every_suite_node() {
             let bin = compiler
                 .compile_with_passes(&node.to_minic(), "step", &passes)
                 .unwrap_or_else(|e| panic!("{}/{name}: {e}", node.name()));
-            let wcet = vericomp::wcet::analyze(&bin, "step")
+            let wcet = vericomp::harness::analyze_wcet(&bin, "step")
                 .unwrap_or_else(|e| panic!("{}/{name}: {e}", node.name()))
                 .wcet;
             assert!(

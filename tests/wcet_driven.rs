@@ -70,7 +70,7 @@ fn search_driver_pins_the_serial_candidate_loop_tie_break() {
             let bin = compiler
                 .compile_with_passes(&src, "step", passes)
                 .unwrap_or_else(|e| panic!("{}/{name}: {e}", node.name()));
-            let wcet = vericomp::wcet::analyze(&bin, "step")
+            let wcet = vericomp::harness::analyze_wcet(&bin, "step")
                 .unwrap_or_else(|e| panic!("{}/{name}: {e}", node.name()))
                 .wcet;
             assert_eq!(evaluated.name, *name, "{}", node.name());
@@ -80,7 +80,7 @@ fn search_driver_pins_the_serial_candidate_loop_tie_break() {
             }
         }
         let (serial_wcet, serial_text) = serial_best.expect("six candidates");
-        let best_wcet = vericomp::wcet::analyze(&best, "step")
+        let best_wcet = vericomp::harness::analyze_wcet(&best, "step")
             .expect("analyzable")
             .wcet;
         assert!(
@@ -105,12 +105,12 @@ fn driver_never_worse_than_verified() {
         let src = node.to_minic();
         let (best, report) =
             compile_wcet_driven(&src, "step").unwrap_or_else(|e| panic!("{}: {e}", node.name()));
-        let best_wcet = vericomp::wcet::analyze(&best, "step")
+        let best_wcet = vericomp::harness::analyze_wcet(&best, "step")
             .expect("analyzable")
             .wcet;
 
         let verified = compile_node(&node, OptLevel::Verified).expect("compiles");
-        let verified_wcet = vericomp::wcet::analyze(&verified, "step")
+        let verified_wcet = vericomp::harness::analyze_wcet(&verified, "step")
             .expect("analyzable")
             .wcet;
 

@@ -4,9 +4,8 @@
 
 use vericomp::core::OptLevel;
 use vericomp::dataflow::fleet;
-use vericomp::harness::compile_node;
+use vericomp::harness::{analyze_wcet, compile_node};
 use vericomp::mach::Simulator;
-use vericomp::wcet;
 use vericomp_testkit::fleet as rfleet;
 
 #[test]
@@ -15,7 +14,7 @@ fn wcet_dominates_simulation_on_named_suite() {
         for level in OptLevel::all() {
             let binary = compile_node(&node, level)
                 .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
-            let report = wcet::analyze(&binary, "step")
+            let report = analyze_wcet(&binary, "step")
                 .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
             let mut sim = Simulator::new(binary);
             // several activations with varied inputs; caches warm up, the
@@ -51,7 +50,7 @@ fn wcet_dominates_simulation_on_random_fleet() {
         for level in [OptLevel::PatternO0, OptLevel::Verified] {
             let binary = compile_node(&node, level)
                 .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
-            let report = wcet::analyze(&binary, "step")
+            let report = analyze_wcet(&binary, "step")
                 .unwrap_or_else(|e| panic!("{} at {level}: {e}", node.name()));
             let mut sim = Simulator::new(binary);
             for step in 0..3u32 {
@@ -95,7 +94,7 @@ fn wcet_not_absurdly_loose_on_straightline_nodes() {
             continue;
         }
         let binary = compile_node(&node, OptLevel::Verified).expect("compiles");
-        let report = wcet::analyze(&binary, "step").expect("analyzable");
+        let report = analyze_wcet(&binary, "step").expect("analyzable");
         let mut sim = Simulator::new(binary);
         let outcome = sim.run(10_000_000).expect("runs");
         assert!(
