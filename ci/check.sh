@@ -296,6 +296,50 @@ if [ -z "$evictions" ] || [ "$evictions" -eq 0 ]; then
     echo "daemon smoke FAILED: store bound forced no evictions" >&2
     exit 1
 fi
+# v2 content negotiation: a second scenario client replays the first
+# client's scenario from a fresh connection — every unit digest is
+# already in the daemon's parse cache, so the request must upload zero
+# unit bodies and resolve >=90% of its units as parse-cache hits
+cargo run --release --offline -p vericomp --bin vericomp_serve -- \
+    --stats-of "$DAEMON_SOCK" > target/vericomp-ci-daemon-stats-before.txt
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --connect "$DAEMON_SOCK" \
+    --scenario 3051 --scenario-tasks 16 --scenario-frames 4 \
+    | tee target/vericomp-ci-daemon-scenario-warm.txt
+grep '^sched\|^fleet digest:' target/vericomp-ci-daemon-scenario-warm.txt \
+    > target/vericomp-ci-daemon-sched-warm-lines.txt
+if ! cmp -s target/vericomp-ci-daemon-sched-warm-lines.txt \
+        target/vericomp-ci-daemon-sched-solo-lines.txt; then
+    echo "daemon smoke FAILED: warm scenario client differs from solo" >&2
+    diff target/vericomp-ci-daemon-sched-warm-lines.txt \
+        target/vericomp-ci-daemon-sched-solo-lines.txt >&2 || true
+    exit 1
+fi
+cargo run --release --offline -p vericomp --bin vericomp_serve -- \
+    --stats-of "$DAEMON_SOCK" > target/vericomp-ci-daemon-stats-after.txt
+uploaded_before=$(awk '$2 == "wire" { print $10 }' \
+    target/vericomp-ci-daemon-stats-before.txt)
+uploaded_after=$(awk '$2 == "wire" { print $10 }' \
+    target/vericomp-ci-daemon-stats-after.txt)
+if [ -z "$uploaded_before" ] || [ -z "$uploaded_after" ] \
+        || [ "$uploaded_after" -ne "$uploaded_before" ]; then
+    echo "daemon smoke FAILED: warm scenario client uploaded unit bodies" >&2
+    echo "  uploaded before: ${uploaded_before:-?}, after: ${uploaded_after:-?}" >&2
+    exit 1
+fi
+parse_rate=$(awk '
+    $2 == "parse-cache" && FNR == NR { hb = $4; mb = $6 }
+    $2 == "parse-cache" && FNR != NR {
+        h = $4 - hb; m = $6 - mb
+        if (h + m > 0) printf "%.3f", h / (h + m); else print "0.000"
+    }' target/vericomp-ci-daemon-stats-before.txt \
+        target/vericomp-ci-daemon-stats-after.txt)
+if ! awk -v r="$parse_rate" 'BEGIN { exit !(r + 0 >= 0.9) }'; then
+    echo "daemon smoke FAILED: warm scenario parse-cache hit rate ${parse_rate:-?} < 0.9" >&2
+    cat target/vericomp-ci-daemon-stats-after.txt >&2
+    exit 1
+fi
+echo "daemon smoke: warm scenario client negotiated 0 uploads, parse hit rate $parse_rate"
 # clean shutdown: ack, daemon exits 0, socket file removed
 cargo run --release --offline -p vericomp --bin vericomp_serve -- \
     --shutdown "$DAEMON_SOCK"

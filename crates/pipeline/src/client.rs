@@ -1,24 +1,38 @@
 //! The compile-service client: a blocking request/response connection
-//! over a Unix domain socket.
+//! over a Unix domain socket, with digest-negotiated unit upload.
 //!
 //! One [`Client`] is one connection. Requests are serialized with
 //! [`proto::encode_request`](crate::proto::encode_request), written
-//! whole, and the response document is read back line-by-line until its
-//! `end` terminator — the same framing discipline the server's reader
-//! threads use, so either side can be tested against the other with
-//! nothing but a socket pair.
+//! whole, and the response frame is read back with
+//! [`proto::read_frame`](crate::proto::read_frame) — the same framing
+//! the server's reader threads use, so either side can be tested against
+//! the other with nothing but a socket pair.
+//!
+//! **Negotiation.** [`run_sweep`](Client::run_sweep) never uploads a
+//! unit body the server already holds: digests the server has not yet
+//! acknowledged on this connection go through a `have`/`need` exchange,
+//! and only the `need`ed bodies travel. Digests acknowledged earlier on
+//! the same connection skip the exchange entirely — a warm repeat
+//! request is a single roundtrip carrying `unit-ref` lines and **zero
+//! bodies**. If the server evicted a digest between negotiation and
+//! execution (its `unknown unit digest` error), the client retries once
+//! with every body attached — correctness never depends on the server's
+//! cache state.
 //!
 //! The client re-verifies every sweep response's digest against its
 //! cells ([`SweepResponse::verify`]); a server (or transport) that
 //! corrupts a cell is detected at the edge, not downstream.
 
+use std::collections::HashSet;
 use std::fmt;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::Path;
 
+use crate::hash::Digest;
 use crate::proto::{
-    decode_response, encode_request, ProtoError, Request, Response, ServerStats, SweepResponse,
+    decode_response, encode_request, read_frame, ProtoError, Request, Response, ServerStats,
+    SweepResponse, WireSweep,
 };
 use crate::sweep::SweepSpec;
 
@@ -61,6 +75,10 @@ impl From<ProtoError> for ClientError {
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<UnixStream>,
+    /// Source digests the server has acknowledged holding (negotiated
+    /// `have` answers and successfully served sweeps). Purely an upload
+    /// optimization: a stale entry costs one retry, never correctness.
+    acknowledged: HashSet<u128>,
 }
 
 impl Client {
@@ -73,24 +91,19 @@ impl Client {
         let stream = UnixStream::connect(path)?;
         Ok(Client {
             reader: BufReader::new(stream),
+            acknowledged: HashSet::new(),
         })
     }
 
-    /// Reads one line-framed document (through its `end` line).
+    /// Reads one response frame as text.
     fn read_document(&mut self) -> Result<String, ClientError> {
-        let mut doc = String::new();
-        loop {
-            let start = doc.len();
-            let n = self.reader.read_line(&mut doc)?;
-            if n == 0 {
-                return Err(ClientError::Io(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-response",
-                )));
-            }
-            if doc[start..].trim_end_matches('\n') == "end" {
-                return Ok(doc);
-            }
+        match read_frame(&mut self.reader)? {
+            Some(frame) => String::from_utf8(frame)
+                .map_err(|_| ClientError::Proto(ProtoError("frame is not valid UTF-8".into()))),
+            None => Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before the response",
+            ))),
         }
     }
 
@@ -106,8 +119,30 @@ impl Client {
         }
     }
 
-    /// Submits a sweep and waits for the served result. The spec's axes
-    /// must be explicit — run it through
+    /// One sweep submission with a given upload set.
+    fn submit(
+        &mut self,
+        spec: &SweepSpec,
+        upload: impl Fn(Digest) -> bool,
+    ) -> Result<SweepResponse, ClientError> {
+        let wire = WireSweep::from_spec(spec, upload);
+        match self.roundtrip(&Request::Sweep(wire))? {
+            Response::Sweep(sweep) => {
+                // a served sweep implies every digest is now cached
+                for unit in spec.units() {
+                    self.acknowledged.insert(unit.source_digest().0);
+                }
+                Ok(sweep)
+            }
+            _ => Err(ClientError::Proto(ProtoError(
+                "expected a sweep response".into(),
+            ))),
+        }
+    }
+
+    /// Submits a sweep and waits for the served result, negotiating unit
+    /// upload by digest (see the module docs). The spec's axes must be
+    /// explicit — run it through
     /// [`normalize_spec`](crate::proto::normalize_spec) first so defaults
     /// match a solo `run_sweep`.
     ///
@@ -117,11 +152,47 @@ impl Client {
     /// (including a digest that does not match the cells), or a
     /// server-side rejection.
     pub fn run_sweep(&mut self, spec: &SweepSpec) -> Result<SweepResponse, ClientError> {
-        match self.roundtrip(&Request::Sweep(spec.clone()))? {
-            Response::Sweep(sweep) => Ok(sweep),
-            _ => Err(ClientError::Proto(ProtoError(
-                "expected a sweep response".into(),
-            ))),
+        // negotiate only the digests this connection has not yet seen
+        // acknowledged; a fully-warm request skips the extra roundtrip
+        let mut offer: Vec<Digest> = Vec::new();
+        let mut offered: HashSet<u128> = HashSet::new();
+        for unit in spec.units() {
+            let d = unit.source_digest();
+            if !self.acknowledged.contains(&d.0) && offered.insert(d.0) {
+                offer.push(d);
+            }
+        }
+        let need: HashSet<u128> = if offer.is_empty() {
+            HashSet::new()
+        } else {
+            match self.roundtrip(&Request::Have(offer.clone()))? {
+                Response::Need(need) => {
+                    // digests offered but not needed are already cached
+                    for d in &offer {
+                        if !need.contains(d) {
+                            self.acknowledged.insert(d.0);
+                        }
+                    }
+                    need.into_iter().map(|d| d.0).collect()
+                }
+                _ => {
+                    return Err(ClientError::Proto(ProtoError(
+                        "expected a need response".into(),
+                    )))
+                }
+            }
+        };
+
+        match self.submit(spec, |d| need.contains(&d.0)) {
+            // the server can evict a digest between our negotiation and
+            // the sweep landing; one full re-upload always resolves it
+            Err(ClientError::Server(msg)) if msg.contains("unknown unit digest") => {
+                for unit in spec.units() {
+                    self.acknowledged.remove(&unit.source_digest().0);
+                }
+                self.submit(spec, |_| true)
+            }
+            other => other,
         }
     }
 

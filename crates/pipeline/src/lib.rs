@@ -31,12 +31,16 @@
 //!   events into a [`RunTrace`], exportable as Chrome trace-event JSON
 //!   (Perfetto-loadable) or a deterministic text [`Profile`];
 //! * [`proto`] / [`server`] / [`client`] — the compile service: a
-//!   line-oriented `.vcart`-style wire protocol over a Unix socket, a
-//!   long-lived [`Server`] daemon owning one warm sharded
-//!   [`ArtifactStore`] (size-bounded, deterministic eviction) that
-//!   batches concurrent client requests into sweeps, and the blocking
-//!   [`Client`] — every served response digest is bit-identical to a
-//!   solo [`Pipeline::run_sweep`] of the same request.
+//!   content-negotiated `.vcart`-style wire protocol over a Unix socket
+//!   (units travel by [`source_digest`] through a `have`/`need`
+//!   exchange; bodies and the big sweep payload ride in length-prefixed
+//!   blobs), a long-lived [`Server`] daemon owning one warm sharded
+//!   [`ArtifactStore`] (size-bounded, deterministic eviction) plus a
+//!   bounded digest-addressed parse cache — each distinct unit parses
+//!   once per digest across requests, batches and clients — and the
+//!   blocking [`Client`], whose warm repeat requests ship zero unit
+//!   bodies. Every served response digest is bit-identical to a solo
+//!   [`Pipeline::run_sweep`] of the same request.
 //!
 //! ## Correctness story
 //!
@@ -87,8 +91,8 @@ pub use client::{Client, ClientError};
 pub use hash::{Digest, Hasher};
 pub use pool::{JobGraph, JobId, ThreadPool};
 pub use proto::{
-    cells_digest, normalize_spec, CellSummary, ProtoError, Request, Response, ServerStats,
-    SweepResponse, PROTO_VERSION,
+    cells_digest, frame_text, normalize_spec, read_frame, CellSummary, ProtoError, Request,
+    Response, ServerStats, SweepResponse, WireSweep, WireUnit, MAX_BLOB_BYTES, PROTO_VERSION,
 };
 pub use search::{
     bits_config, config_bits, describe_bits, NodeSearch, ProbedConfig, PrunedFlag, SearchResult,
@@ -101,7 +105,8 @@ pub use service::{
 };
 pub use stats::{saturating_nanos, PipelineStats, StatsCell};
 pub use store::{
-    artifact_key, machine_digest, Artifact, ArtifactStore, StoreConfig, Verdict, FORMAT_VERSION,
+    artifact_key, machine_digest, source_digest, Artifact, ArtifactStore, ParsedUnit, StoreConfig,
+    Verdict, FORMAT_VERSION,
 };
 pub use sweep::{ReanalysisAudit, SweepCell, SweepResult, SweepSpec, SweepUnit};
 pub use trace::{Profile, ProfileRow, RunTrace, Span, SpanKind, TraceSink, STAGE_NAMES};

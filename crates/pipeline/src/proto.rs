@@ -1,63 +1,95 @@
 //! Wire protocol of the compile service: the `.vcart` discipline on a
-//! socket.
+//! socket, content-negotiated.
 //!
-//! Requests and responses are plain line-oriented text documents — the
-//! same format family as the artifact store's `.vcart` files: a versioned
-//! header line, one `tag operands…` line per field, an `end` terminator.
-//! No serde, no external deps, and every document is printable, which
-//! makes the protocol greppable in transcripts and trivially testable.
+//! Control frames are plain line-oriented text — the same format family
+//! as the artifact store's `.vcart` files: a versioned header line, one
+//! `tag operands…` line per field, an `end` terminator. Bulk payloads
+//! (unit source bodies, the sweep-response cell table) travel as
+//! **length-prefixed blobs** inside the frame, so the 10k-unit response
+//! path is one `read_exact`, not ten thousand line scans. No serde, no
+//! external deps, and every control line is printable, which keeps the
+//! protocol greppable in transcripts and trivially testable.
 //!
 //! **Framing.** One message = the lines from its header through its `end`
-//! line inclusive. Readers consume lines until `end`; a closed connection
-//! mid-message is a protocol error, never a partial result.
+//! line inclusive. A `blob <nbytes>` line is followed by exactly `nbytes`
+//! raw bytes and a newline; [`read_frame`] consumes blobs by length, so
+//! blob contents may contain anything — including a line reading `end` —
+//! without confusing the framing. A closed connection mid-message is a
+//! protocol error, never a partial result.
+//!
+//! **Content negotiation.** Unit sources are identified by the digest of
+//! their canonical (pretty-printed) text ([`source_digest`]). A client
+//! first sends a `have` frame listing its digests; the server answers
+//! `need` with the subset it has never parsed. Only those bodies travel —
+//! a fully warm request ships **zero unit bodies**, just `unit-ref`
+//! lines. The server keeps a bounded, LRU-evicting parse cache (digest →
+//! parsed AST + canonical text) so each distinct unit is parsed once per
+//! digest across requests, batches and clients; an evicted digest simply
+//! turns up in `need` again (or, if it races a sweep, yields an
+//! `unknown unit digest` error the client answers by re-uploading).
 //!
 //! **Grammar** (one message per block):
 //!
 //! ```text
-//! request  := "vericomp-request 1" NL body "end" NL
-//! body     := sweep | "stats" NL | "shutdown" NL
+//! blob     := "blob" nbytes NL <nbytes raw bytes> NL
+//!
+//! request  := "vericomp-request 2" NL body "end" NL
+//! body     := sweep | have | "stats" NL | "shutdown" NL
+//! have     := "have" n NL ("digest" hex32 NL){n}      ; which do you need?
 //! sweep    := "sweep" NL unit* config+ machine+
-//! unit     := "unit" entry nlines name NL <nlines source lines>
+//! unit     := "unit-ref" entry hex32 name NL          ; body already server-side
+//!           | "unit" entry hex32 name NL blob         ; blob = canonical source
 //! config   := "config" label bits10 NL        ; PassConfig, key-order bits
 //! machine  := "machine" label u32{24} NL      ; machine_digest field order
 //!
-//! response := "vericomp-response 1" NL rbody "end" NL
-//! rbody    := rsweep | rstats | "ok" NL | "error" message NL
-//! rsweep   := "sweep" nunits nconfigs nmachines NL label-lines cell* stats digest
+//! response := "vericomp-response 2" NL rbody "end" NL
+//! rbody    := rsweep | need | rstats | "ok" NL | "error" message NL
+//! need     := "need" n NL ("digest" hex32 NL){n}      ; never-seen subset
+//! rsweep   := "sweep" NL blob                         ; blob = payload
+//! payload  := "axes" nunits nconfigs nmachines NL label-lines cell* stats digest
 //! cell     := "cell" unit config machine wcet cached vbits3 hex32 NL
 //! stats    := "stats" jobs_run jobs_cached compile_ns analyze_ns store_ns wall_ns NL
 //! digest   := "digest" hex32 NL
 //! ```
 //!
-//! Unit sources travel as pretty-printed MiniC and are re-parsed server
-//! side; the parser/pretty round-trip is identity on ASTs (gated by
-//! `tests/parser_roundtrip.rs`), so the server derives **the same cache
-//! keys** a local run would — a client's cells hit the daemon's warm
-//! store exactly when a solo run would hit its own.
+//! Uploaded bodies are canonical pretty-printed MiniC and are verified
+//! against their declared digest at decode time, then parsed once into
+//! the server's parse cache; the parser/pretty round-trip is identity on
+//! ASTs (gated by `tests/parser_roundtrip.rs`), so the server derives
+//! **the same cache keys** a local run would — a client's cells hit the
+//! daemon's warm store exactly when a solo run would hit its own. The
+//! determinism gates assert that digest-negotiated requests produce
+//! responses bit-identical to solo `run_sweep` runs.
 //!
 //! Names and axis labels must be non-empty and whitespace-free — enforced
 //! at encode *and* decode time, so a malformed peer cannot smuggle a
 //! misframed document through.
 
 use std::fmt;
+use std::io::{self, BufRead, Read};
+use std::sync::Arc;
 
 use vericomp_arch::config::CacheConfig;
 use vericomp_arch::MachineConfig;
 use vericomp_core::{OptLevel, PassConfig};
-use vericomp_minic::parse::parse;
-use vericomp_minic::pretty::program_to_c;
 
 use crate::hash::{Digest, Hasher};
 use crate::stats::PipelineStats;
-use crate::store::Verdict;
-use crate::sweep::{SweepResult, SweepSpec, SweepUnit};
+use crate::store::{source_digest, Verdict};
+use crate::sweep::{SweepResult, SweepSpec};
 
 /// Protocol version. Bump on any grammar change — mismatched peers fail
 /// loudly at the header instead of misparsing bodies.
-pub const PROTO_VERSION: u32 = 1;
+pub const PROTO_VERSION: u32 = 2;
 
-const REQUEST_HEADER: &str = "vericomp-request 1";
-const RESPONSE_HEADER: &str = "vericomp-response 1";
+const REQUEST_WORD: &str = "vericomp-request";
+const RESPONSE_WORD: &str = "vericomp-response";
+const REQUEST_HEADER: &str = "vericomp-request 2";
+const RESPONSE_HEADER: &str = "vericomp-response 2";
+
+/// Upper bound on a single `blob` payload. A peer declaring more is
+/// rejected at the framing layer before any allocation of that size.
+pub const MAX_BLOB_BYTES: u64 = 1 << 30;
 
 /// A malformed or out-of-protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +117,175 @@ fn check_word(kind: &str, word: &str) -> Result<(), ProtoError> {
         return err(format!("{kind} `{word}` contains whitespace"));
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// framing
+// ---------------------------------------------------------------------------
+
+/// Reads one frame (header through its `end` line) off a buffered stream,
+/// honoring `blob <nbytes>` length prefixes: blob contents are consumed
+/// by exact length, never scanned for `end`. Returns `Ok(None)` on a
+/// clean EOF at a frame boundary; EOF mid-frame (including mid-blob) is
+/// an [`io::ErrorKind::UnexpectedEof`] error.
+///
+/// Both the client and the server's connection readers frame with this
+/// one function, so either side can be tested against the other with
+/// nothing but a socket pair.
+///
+/// # Errors
+///
+/// I/O errors from the stream; `InvalidData` for a blob declared larger
+/// than [`MAX_BLOB_BYTES`].
+pub fn read_frame<R: BufRead>(reader: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut frame: Vec<u8> = Vec::new();
+    loop {
+        let start = frame.len();
+        let n = reader.read_until(b'\n', &mut frame)?;
+        if n == 0 {
+            return if frame.is_empty() {
+                Ok(None)
+            } else {
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            };
+        }
+        let line = &frame[start..];
+        let line = line.strip_suffix(b"\n").unwrap_or(line);
+        if line == b"end" {
+            return Ok(Some(frame));
+        }
+        if let Some(count) = line.strip_prefix(b"blob ") {
+            // an unparseable count falls through to line scanning; the
+            // decoder reports the malformation, framing stays safe
+            let Some(nbytes) = std::str::from_utf8(count)
+                .ok()
+                .and_then(|w| w.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            if nbytes > MAX_BLOB_BYTES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("blob of {nbytes} bytes exceeds the {MAX_BLOB_BYTES} byte cap"),
+                ));
+            }
+            let before = frame.len();
+            reader.take(nbytes).read_to_end(&mut frame)?;
+            if (frame.len() - before) as u64 != nbytes {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-blob",
+                ));
+            }
+        }
+    }
+}
+
+/// Views a raw frame as text. Frames are UTF-8 by construction on the
+/// encode side; a peer sending arbitrary bytes gets a protocol error,
+/// never a panic.
+///
+/// # Errors
+///
+/// [`ProtoError`] when the frame is not valid UTF-8.
+pub fn frame_text(frame: &[u8]) -> Result<&str, ProtoError> {
+    std::str::from_utf8(frame).map_err(|_| ProtoError("frame is not valid UTF-8".into()))
+}
+
+/// A byte-offset cursor over a frame: line-at-a-time like the v1 decoder,
+/// plus exact-length blob extraction that never confuses blob contents
+/// with control lines.
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor { s, pos: 0 }
+    }
+
+    /// The next line (without its newline), or `None` at end of frame.
+    fn line(&mut self) -> Option<&'a str> {
+        if self.pos >= self.s.len() {
+            return None;
+        }
+        let rest = &self.s[self.pos..];
+        match rest.find('\n') {
+            Some(i) => {
+                self.pos += i + 1;
+                Some(&rest[..i])
+            }
+            None => {
+                self.pos = self.s.len();
+                Some(rest)
+            }
+        }
+    }
+
+    /// Exactly `nbytes` of blob content followed by its newline. Errors
+    /// when the blob runs past the frame or splits a UTF-8 boundary (a
+    /// hostile count can land mid-character; `str::get` refuses).
+    fn blob(&mut self, nbytes: usize) -> Result<&'a str, ProtoError> {
+        let end = self
+            .pos
+            .checked_add(nbytes)
+            .ok_or_else(|| ProtoError("blob length overflows".into()))?;
+        let content = self
+            .s
+            .get(self.pos..end)
+            .ok_or_else(|| ProtoError("blob extends past the frame".into()))?;
+        if self.s.as_bytes().get(end) != Some(&b'\n') {
+            return err("blob not newline-terminated");
+        }
+        self.pos = end + 1;
+        Ok(content)
+    }
+}
+
+/// Parses a `blob <nbytes>` control line.
+fn blob_line(line: Option<&str>) -> Result<usize, ProtoError> {
+    let line = line.ok_or_else(|| ProtoError("frame truncated before blob".into()))?;
+    let count = line
+        .strip_prefix("blob ")
+        .ok_or_else(|| ProtoError(format!("expected a blob line, got `{line}`")))?;
+    let nbytes: u64 = count
+        .parse()
+        .map_err(|_| ProtoError(format!("bad blob length `{count}`")))?;
+    if nbytes > MAX_BLOB_BYTES {
+        return err(format!("blob of {nbytes} bytes exceeds the cap"));
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    Ok(nbytes as usize)
+}
+
+/// Checks a `vericomp-request N` / `vericomp-response N` header line,
+/// naming both versions on a mismatch so a skewed peer sees exactly what
+/// to upgrade.
+fn check_header(line: Option<&str>, word: &str) -> Result<(), ProtoError> {
+    let Some(line) = line else {
+        return err(format!("empty frame (expected `{word} {PROTO_VERSION}`)"));
+    };
+    let Some(rest) = line.strip_prefix(word) else {
+        return err(format!(
+            "bad header `{line}` (expected `{word} {PROTO_VERSION}`)"
+        ));
+    };
+    let Some(version) = rest.strip_prefix(' ') else {
+        return err(format!(
+            "bad header `{line}` (expected `{word} {PROTO_VERSION}`)"
+        ));
+    };
+    match version.parse::<u32>() {
+        Ok(v) if v == PROTO_VERSION => Ok(()),
+        Ok(v) => err(format!(
+            "unsupported protocol version {v}: this peer speaks `{word} {PROTO_VERSION}`"
+        )),
+        Err(_) => err(format!("bad header `{line}`")),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -226,13 +427,68 @@ pub fn machine_from_fields(text: &str) -> Result<MachineConfig, ProtoError> {
 // requests
 // ---------------------------------------------------------------------------
 
+/// One unit of a wire sweep: identity (name, entry, canonical-source
+/// digest) plus, when the server `need`ed it, the canonical body itself.
+#[derive(Debug, Clone)]
+pub struct WireUnit {
+    /// Axis label of the unit.
+    pub name: String,
+    /// Entry-point function.
+    pub entry: String,
+    /// [`source_digest`] of the canonical pretty-printed source.
+    pub digest: Digest,
+    /// The canonical source body — `Some` exactly when uploaded.
+    pub body: Option<Arc<String>>,
+}
+
+/// The wire form of a sweep request: units by digest (bodies attached
+/// only where negotiated), explicit config and machine axes.
+#[derive(Debug, Clone)]
+pub struct WireSweep {
+    /// Unit axis, in request order.
+    pub units: Vec<WireUnit>,
+    /// Config axis (label, passes).
+    pub configs: Vec<(String, PassConfig)>,
+    /// Machine axis (label, machine).
+    pub machines: Vec<(String, MachineConfig)>,
+}
+
+impl WireSweep {
+    /// Projects a (normalized) [`SweepSpec`] to its wire form, attaching
+    /// a body to every unit `upload` selects — the client passes the
+    /// server's `need` answer here.
+    #[must_use]
+    pub fn from_spec(spec: &SweepSpec, upload: impl Fn(Digest) -> bool) -> WireSweep {
+        WireSweep {
+            units: spec
+                .units()
+                .iter()
+                .map(|u| {
+                    let digest = u.source_digest();
+                    WireUnit {
+                        name: u.name.clone(),
+                        entry: u.entry.clone(),
+                        digest,
+                        body: upload(digest).then(|| Arc::clone(u.canonical())),
+                    }
+                })
+                .collect(),
+            configs: spec.configs().to_vec(),
+            machines: spec.machines().to_vec(),
+        }
+    }
+}
+
 /// One client request.
 #[derive(Debug, Clone)]
 pub enum Request {
     /// Compile a sweep matrix. Axes must be explicit (use
     /// [`normalize_spec`] client-side so wire specs carry the same labels
     /// a solo `run_sweep` would default to).
-    Sweep(SweepSpec),
+    Sweep(WireSweep),
+    /// Digest negotiation: which of these canonical-source digests does
+    /// the server still need bodies for?
+    Have(Vec<Digest>),
     /// Fetch a [`ServerStats`] snapshot.
     Stats,
     /// Drain and stop the server.
@@ -280,26 +536,38 @@ pub fn encode_request(request: &Request) -> Result<String, ProtoError> {
     match request {
         Request::Stats => s.push_str("stats\n"),
         Request::Shutdown => s.push_str("shutdown\n"),
-        Request::Sweep(spec) => {
-            if spec.configs().is_empty() || spec.machines().is_empty() {
+        Request::Have(digests) => {
+            let _ = writeln!(s, "have {}", digests.len());
+            for d in digests {
+                let _ = writeln!(s, "digest {d}");
+            }
+        }
+        Request::Sweep(sweep) => {
+            if sweep.configs.is_empty() || sweep.machines.is_empty() {
                 return err("sweep request must have explicit config and machine axes");
             }
             s.push_str("sweep\n");
-            for unit in spec.units() {
+            for unit in &sweep.units {
                 check_word("unit name", &unit.name)?;
                 check_word("entry", &unit.entry)?;
-                let source = program_to_c(&unit.source);
-                let nlines = source.lines().count();
-                let _ = writeln!(s, "unit {} {} {}", unit.entry, nlines, unit.name);
-                for line in source.lines() {
-                    let _ = writeln!(s, "{line}");
+                match &unit.body {
+                    None => {
+                        let _ =
+                            writeln!(s, "unit-ref {} {} {}", unit.entry, unit.digest, unit.name);
+                    }
+                    Some(body) => {
+                        let _ = writeln!(s, "unit {} {} {}", unit.entry, unit.digest, unit.name);
+                        let _ = writeln!(s, "blob {}", body.len());
+                        s.push_str(body);
+                        s.push('\n');
+                    }
                 }
             }
-            for (label, passes) in spec.configs() {
+            for (label, passes) in &sweep.configs {
                 check_word("config label", label)?;
                 let _ = writeln!(s, "config {} {}", label, passes_to_bits(passes));
             }
-            for (label, machine) in spec.machines() {
+            for (label, machine) in &sweep.machines {
                 check_word("machine label", label)?;
                 let _ = writeln!(s, "machine {} {}", label, machine_to_fields(machine));
             }
@@ -309,82 +577,130 @@ pub fn encode_request(request: &Request) -> Result<String, ProtoError> {
     Ok(s)
 }
 
+/// Parses the `entry digest name` operands shared by `unit` and
+/// `unit-ref` lines.
+fn unit_operands(rest: &str) -> Result<(String, Digest, String), ProtoError> {
+    let mut it = rest.splitn(3, ' ');
+    let entry = it.next().unwrap_or("");
+    let digest = it
+        .next()
+        .and_then(Digest::from_hex)
+        .ok_or_else(|| ProtoError("bad unit digest".into()))?;
+    let name = it.next().unwrap_or("");
+    check_word("unit name", name)?;
+    check_word("entry", entry)?;
+    Ok((entry.to_owned(), digest, name.to_owned()))
+}
+
+/// Parses `n` `digest hex32` lines followed by `end`.
+fn decode_digest_list(cursor: &mut Cursor<'_>, n: usize) -> Result<Vec<Digest>, ProtoError> {
+    let mut out = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let line = cursor
+            .line()
+            .ok_or_else(|| ProtoError("digest list truncated".into()))?;
+        let hex = line
+            .strip_prefix("digest ")
+            .ok_or_else(|| ProtoError(format!("bad digest line `{line}`")))?;
+        out.push(Digest::from_hex(hex).ok_or_else(|| ProtoError(format!("bad digest `{hex}`")))?);
+    }
+    match cursor.line() {
+        Some("end") => Ok(out),
+        _ => err("digest list not terminated by `end`"),
+    }
+}
+
 /// Parses a request document (header through `end`).
 ///
 /// # Errors
 ///
-/// [`ProtoError`] on any malformation — including MiniC sources the
-/// parser rejects; the server maps that to an `error` response, never a
-/// crash.
+/// [`ProtoError`] on any malformation — including an uploaded body whose
+/// content does not hash to its declared digest (which would otherwise
+/// poison the digest-addressed parse cache); the server maps every such
+/// error to an `error` response, never a crash.
 pub fn decode_request(text: &str) -> Result<Request, ProtoError> {
-    let mut lines = text.lines();
-    match lines.next() {
-        Some(REQUEST_HEADER) => {}
-        Some(other) => return err(format!("bad request header `{other}`")),
-        None => return err("empty request"),
-    }
-    let body = match lines.next() {
-        Some("stats") => Request::Stats,
-        Some("shutdown") => Request::Shutdown,
-        Some("sweep") => {
-            let mut spec = SweepSpec::new();
+    let mut cursor = Cursor::new(text);
+    check_header(cursor.line(), REQUEST_WORD)?;
+    let first = match cursor.line() {
+        Some(l) => l,
+        None => return err("request lacks a body"),
+    };
+    let (tag, rest) = first.split_once(' ').unwrap_or((first, ""));
+    let body = match (tag, rest) {
+        ("stats", "") => Request::Stats,
+        ("shutdown", "") => Request::Shutdown,
+        ("have", n) => {
+            let n: usize = n
+                .parse()
+                .map_err(|_| ProtoError(format!("bad have count `{n}`")))?;
+            return Ok(Request::Have(decode_digest_list(&mut cursor, n)?));
+        }
+        ("sweep", "") => {
+            let mut units = Vec::new();
+            let mut configs = Vec::new();
+            let mut machines = Vec::new();
             loop {
-                let line = match lines.next() {
+                let line = match cursor.line() {
                     Some(l) => l,
                     None => return err("request truncated before `end`"),
                 };
                 let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
                 match tag {
+                    "unit-ref" => {
+                        let (entry, digest, name) = unit_operands(rest)?;
+                        units.push(WireUnit {
+                            name,
+                            entry,
+                            digest,
+                            body: None,
+                        });
+                    }
                     "unit" => {
-                        let mut it = rest.splitn(3, ' ');
-                        let entry = it.next().unwrap_or("");
-                        let nlines: usize = it
-                            .next()
-                            .and_then(|w| w.parse().ok())
-                            .ok_or_else(|| ProtoError("bad unit line count".into()))?;
-                        let name = it.next().unwrap_or("");
-                        check_word("unit name", name)?;
-                        check_word("entry", entry)?;
-                        let mut source = String::new();
-                        for _ in 0..nlines {
-                            let line = lines
-                                .next()
-                                .ok_or_else(|| ProtoError("unit source truncated".into()))?;
-                            source.push_str(line);
-                            source.push('\n');
+                        let (entry, digest, name) = unit_operands(rest)?;
+                        let nbytes = blob_line(cursor.line())?;
+                        let body = cursor.blob(nbytes)?;
+                        if source_digest(body) != digest {
+                            return err(format!(
+                                "unit `{name}` body does not hash to its declared digest"
+                            ));
                         }
-                        let program = parse(&source).map_err(|e| {
-                            ProtoError(format!("unit `{name}` does not parse: {e}"))
-                        })?;
-                        spec = spec.unit(SweepUnit::from_source(name, program, entry));
+                        units.push(WireUnit {
+                            name,
+                            entry,
+                            digest,
+                            body: Some(Arc::new(body.to_owned())),
+                        });
                     }
                     "config" => {
                         let (label, bits) = rest
                             .split_once(' ')
                             .ok_or_else(|| ProtoError("bad config line".into()))?;
                         check_word("config label", label)?;
-                        spec = spec.config(label, &passes_from_bits(bits)?);
+                        configs.push((label.to_owned(), passes_from_bits(bits)?));
                     }
                     "machine" => {
                         let (label, fields) = rest
                             .split_once(' ')
                             .ok_or_else(|| ProtoError("bad machine line".into()))?;
                         check_word("machine label", label)?;
-                        spec = spec.machine(label, &machine_from_fields(fields)?);
+                        machines.push((label.to_owned(), machine_from_fields(fields)?));
                     }
                     "end" => break,
                     _ => return err(format!("unknown request tag `{tag}`")),
                 }
             }
-            if spec.configs().is_empty() || spec.machines().is_empty() {
+            if configs.is_empty() || machines.is_empty() {
                 return err("sweep request lacks config or machine axis");
             }
-            return Ok(Request::Sweep(spec));
+            return Ok(Request::Sweep(WireSweep {
+                units,
+                configs,
+                machines,
+            }));
         }
-        Some(other) => return err(format!("unknown request kind `{other}`")),
-        None => return err("request lacks a body"),
+        _ => return err(format!("unknown request kind `{first}`")),
     };
-    match lines.next() {
+    match cursor.line() {
         Some("end") => Ok(body),
         _ => err("request not terminated by `end`"),
     }
@@ -537,6 +853,24 @@ pub struct ServerStats {
     /// Configured hit-rate SLO in thousandths (`900` = 0.900); `0` means
     /// no SLO configured.
     pub slo_per_mille: u64,
+    /// Request bytes received off the wire (all frames, all connections).
+    pub bytes_rx: u64,
+    /// Response bytes written to the wire.
+    pub bytes_tx: u64,
+    /// Unit digests offered through `have` negotiation.
+    pub units_offered: u64,
+    /// Unit bodies actually uploaded in sweep requests.
+    pub units_uploaded: u64,
+    /// Sweep units resolved from the parse cache without parsing.
+    pub parse_hits: u64,
+    /// Sweep units that had to be parsed (first sighting of a digest).
+    pub parse_misses: u64,
+    /// Parse-cache entries evicted over the server's lifetime.
+    pub parse_evictions: u64,
+    /// Parse-cache entries resident at snapshot time.
+    pub parse_resident: u64,
+    /// Parse-cache resident bytes (canonical text) at snapshot time.
+    pub parse_bytes: u64,
 }
 
 impl ServerStats {
@@ -548,6 +882,18 @@ impl ServerStats {
             0.0
         } else {
             self.jobs_cached as f64 / total as f64
+        }
+    }
+
+    /// Lifetime parse-cache hit rate over resolved sweep units; `0.0`
+    /// before any unit.
+    #[must_use]
+    pub fn parse_hit_rate(&self) -> f64 {
+        let total = self.parse_hits + self.parse_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.parse_hits as f64 / total as f64
         }
     }
 
@@ -581,6 +927,21 @@ impl ServerStats {
         );
         let _ = writeln!(
             s,
+            "server: wire rx {} tx {} offered {} uploaded {}",
+            self.bytes_rx, self.bytes_tx, self.units_offered, self.units_uploaded,
+        );
+        let _ = writeln!(
+            s,
+            "server: parse-cache hits {} misses {} evictions {} resident {} bytes {} hit-rate {:.3}",
+            self.parse_hits,
+            self.parse_misses,
+            self.parse_evictions,
+            self.parse_resident,
+            self.parse_bytes,
+            self.parse_hit_rate(),
+        );
+        let _ = writeln!(
+            s,
             "server: jobs run {} cached {} hit-rate {:.3}",
             self.jobs_run,
             self.jobs_cached,
@@ -594,9 +955,11 @@ impl ServerStats {
         if self.slo_per_mille > 0 {
             let _ = writeln!(
                 s,
-                "server: hit-rate SLO {:.3}: {}",
+                "server: hit-rate SLO {:.3}: {} (store {:.3} parse {:.3})",
                 self.slo_per_mille as f64 / 1000.0,
                 if self.slo_met() { "met" } else { "MISSED" },
+                self.hit_rate(),
+                self.parse_hit_rate(),
             );
         }
         s
@@ -612,6 +975,10 @@ impl ServerStats {
                 "\"evictions\":{},\"resident\":{},\"store_bytes\":{},\"shards\":{},",
                 "\"queue_depth\":{},\"queue_peak\":{},\"deferred\":{},",
                 "\"compile_ns\":{},\"analyze_ns\":{},\"store_ns\":{},\"wall_ns\":{},",
+                "\"bytes_rx\":{},\"bytes_tx\":{},",
+                "\"units_offered\":{},\"units_uploaded\":{},",
+                "\"parse_hits\":{},\"parse_misses\":{},\"parse_hit_rate\":{:.6},",
+                "\"parse_evictions\":{},\"parse_resident\":{},\"parse_bytes\":{},",
                 "\"slo_per_mille\":{},\"slo_met\":{}}}"
             ),
             self.requests,
@@ -631,12 +998,22 @@ impl ServerStats {
             self.analyze_ns,
             self.store_ns,
             self.wall_ns,
+            self.bytes_rx,
+            self.bytes_tx,
+            self.units_offered,
+            self.units_uploaded,
+            self.parse_hits,
+            self.parse_misses,
+            self.parse_hit_rate(),
+            self.parse_evictions,
+            self.parse_resident,
+            self.parse_bytes,
             self.slo_per_mille,
             self.slo_met(),
         )
     }
 
-    fn fields(&self) -> [(&'static str, u64); 17] {
+    fn fields(&self) -> [(&'static str, u64); 26] {
         [
             ("requests", self.requests),
             ("batches", self.batches),
@@ -655,6 +1032,15 @@ impl ServerStats {
             ("store_ns", self.store_ns),
             ("wall_ns", self.wall_ns),
             ("slo_per_mille", self.slo_per_mille),
+            ("bytes_rx", self.bytes_rx),
+            ("bytes_tx", self.bytes_tx),
+            ("units_offered", self.units_offered),
+            ("units_uploaded", self.units_uploaded),
+            ("parse_hits", self.parse_hits),
+            ("parse_misses", self.parse_misses),
+            ("parse_evictions", self.parse_evictions),
+            ("parse_resident", self.parse_resident),
+            ("parse_bytes", self.parse_bytes),
         ]
     }
 
@@ -677,6 +1063,15 @@ impl ServerStats {
             "store_ns" => &mut self.store_ns,
             "wall_ns" => &mut self.wall_ns,
             "slo_per_mille" => &mut self.slo_per_mille,
+            "bytes_rx" => &mut self.bytes_rx,
+            "bytes_tx" => &mut self.bytes_tx,
+            "units_offered" => &mut self.units_offered,
+            "units_uploaded" => &mut self.units_uploaded,
+            "parse_hits" => &mut self.parse_hits,
+            "parse_misses" => &mut self.parse_misses,
+            "parse_evictions" => &mut self.parse_evictions,
+            "parse_resident" => &mut self.parse_resident,
+            "parse_bytes" => &mut self.parse_bytes,
             _ => return false,
         };
         *slot = value;
@@ -689,6 +1084,8 @@ impl ServerStats {
 pub enum Response {
     /// A served sweep.
     Sweep(SweepResponse),
+    /// The subset of a `have` offer the server needs bodies for.
+    Need(Vec<Digest>),
     /// A stats snapshot.
     Stats(ServerStats),
     /// Acknowledgement (shutdown).
@@ -696,6 +1093,51 @@ pub enum Response {
     /// The request was understood as a frame but rejected (parse error,
     /// pipeline error). The connection stays usable.
     Error(String),
+}
+
+/// The line-oriented sweep payload carried inside the response blob.
+fn encode_sweep_payload(sweep: &SweepResponse) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "axes {} {} {}",
+        sweep.units.len(),
+        sweep.configs.len(),
+        sweep.machines.len()
+    );
+    for u in &sweep.units {
+        let _ = writeln!(s, "axis-unit {u}");
+    }
+    for c in &sweep.configs {
+        let _ = writeln!(s, "axis-config {c}");
+    }
+    for m in &sweep.machines {
+        let _ = writeln!(s, "axis-machine {m}");
+    }
+    for cell in &sweep.cells {
+        let _ = writeln!(
+            s,
+            "cell {} {} {} {} {} {}{}{} {}",
+            cell.unit,
+            cell.config,
+            cell.machine,
+            cell.wcet,
+            u8::from(cell.cached),
+            u8::from(cell.verdict.allocation_checked),
+            u8::from(cell.verdict.tunnel_validated),
+            u8::from(cell.verdict.schedule_validated),
+            cell.output_digest,
+        );
+    }
+    let st = &sweep.stats;
+    let _ = writeln!(
+        s,
+        "stats {} {} {} {} {} {}",
+        st.jobs_run, st.jobs_cached, st.compile_ns, st.analyze_ns, st.store_ns, st.wall_ns,
+    );
+    let _ = write!(s, "digest {}", sweep.digest);
+    s
 }
 
 /// Serializes a response document.
@@ -710,6 +1152,12 @@ pub fn encode_response(response: &Response) -> String {
             let one_line = msg.replace('\n', " ");
             let _ = writeln!(s, "error {one_line}");
         }
+        Response::Need(digests) => {
+            let _ = writeln!(s, "need {}", digests.len());
+            for d in digests {
+                let _ = writeln!(s, "digest {d}");
+            }
+        }
         Response::Stats(stats) => {
             s.push_str("server-stats\n");
             for (name, value) in stats.fields() {
@@ -717,48 +1165,130 @@ pub fn encode_response(response: &Response) -> String {
             }
         }
         Response::Sweep(sweep) => {
-            let _ = writeln!(
-                s,
-                "sweep {} {} {}",
-                sweep.units.len(),
-                sweep.configs.len(),
-                sweep.machines.len()
-            );
-            for u in &sweep.units {
-                let _ = writeln!(s, "axis-unit {u}");
-            }
-            for c in &sweep.configs {
-                let _ = writeln!(s, "axis-config {c}");
-            }
-            for m in &sweep.machines {
-                let _ = writeln!(s, "axis-machine {m}");
-            }
-            for cell in &sweep.cells {
-                let _ = writeln!(
-                    s,
-                    "cell {} {} {} {} {} {}{}{} {}",
-                    cell.unit,
-                    cell.config,
-                    cell.machine,
-                    cell.wcet,
-                    u8::from(cell.cached),
-                    u8::from(cell.verdict.allocation_checked),
-                    u8::from(cell.verdict.tunnel_validated),
-                    u8::from(cell.verdict.schedule_validated),
-                    cell.output_digest,
-                );
-            }
-            let st = &sweep.stats;
-            let _ = writeln!(
-                s,
-                "stats {} {} {} {} {} {}",
-                st.jobs_run, st.jobs_cached, st.compile_ns, st.analyze_ns, st.store_ns, st.wall_ns,
-            );
-            let _ = writeln!(s, "digest {}", sweep.digest);
+            let payload = encode_sweep_payload(sweep);
+            s.push_str("sweep\n");
+            let _ = writeln!(s, "blob {}", payload.len());
+            s.push_str(&payload);
+            s.push('\n');
         }
     }
     s.push_str("end\n");
     s
+}
+
+/// Parses the sweep payload (the blob's contents).
+fn decode_sweep_payload(payload: &str) -> Result<SweepResponse, ProtoError> {
+    let mut lines = payload.lines();
+    let first = lines
+        .next()
+        .ok_or_else(|| ProtoError("empty sweep payload".into()))?;
+    let counts = first
+        .strip_prefix("axes ")
+        .ok_or_else(|| ProtoError(format!("bad axes line `{first}`")))?;
+    let mut it = counts.split(' ');
+    let mut count = || -> Result<usize, ProtoError> {
+        it.next()
+            .and_then(|w| w.parse().ok())
+            .ok_or_else(|| ProtoError("bad sweep axis counts".into()))
+    };
+    let nu = count()?;
+    let nc = count()?;
+    let nm = count()?;
+    let mut axis = |kind: &str, n: usize| -> Result<Vec<String>, ProtoError> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = lines
+                .next()
+                .ok_or_else(|| ProtoError(format!("{kind} axis truncated")))?;
+            let label = line
+                .strip_prefix(&format!("axis-{kind} "))
+                .ok_or_else(|| ProtoError(format!("bad {kind} axis line `{line}`")))?;
+            check_word(&format!("{kind} label"), label)?;
+            out.push(label.to_owned());
+        }
+        Ok(out)
+    };
+    let units = axis("unit", nu)?;
+    let configs = axis("config", nc)?;
+    let machines = axis("machine", nm)?;
+    let mut cells = Vec::with_capacity(nu * nc * nm);
+    let mut stats = PipelineStats::default();
+    let mut digest = None;
+    for line in lines {
+        let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
+        match tag {
+            "cell" => {
+                let w: Vec<&str> = rest.split(' ').collect();
+                if w.len() != 7 {
+                    return err(format!("bad cell line `{line}`"));
+                }
+                let vbits: Vec<char> = w[5].chars().collect();
+                if vbits.len() != 3 || vbits.iter().any(|&c| c != '0' && c != '1') {
+                    return err(format!("bad verdict bits `{}`", w[5]));
+                }
+                cells.push(CellSummary {
+                    unit: w[0].to_owned(),
+                    config: w[1].to_owned(),
+                    machine: w[2].to_owned(),
+                    wcet: w[3]
+                        .parse()
+                        .map_err(|_| ProtoError(format!("bad wcet `{}`", w[3])))?,
+                    cached: w[4] == "1",
+                    verdict: Verdict {
+                        allocation_checked: vbits[0] == '1',
+                        tunnel_validated: vbits[1] == '1',
+                        schedule_validated: vbits[2] == '1',
+                    },
+                    output_digest: Digest::from_hex(w[6])
+                        .ok_or_else(|| ProtoError(format!("bad digest `{}`", w[6])))?,
+                });
+            }
+            "stats" => {
+                let v: Vec<u64> = rest
+                    .split(' ')
+                    .map(|w| {
+                        w.parse()
+                            .map_err(|_| ProtoError(format!("bad stats value `{w}`")))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if v.len() != 6 {
+                    return err(format!("bad stats line `{line}`"));
+                }
+                stats.jobs_run = v[0];
+                stats.jobs_cached = v[1];
+                stats.compile_ns = v[2];
+                stats.analyze_ns = v[3];
+                stats.store_ns = v[4];
+                stats.wall_ns = v[5];
+            }
+            "digest" => {
+                digest = Some(
+                    Digest::from_hex(rest)
+                        .ok_or_else(|| ProtoError(format!("bad digest `{rest}`")))?,
+                );
+            }
+            _ => return err(format!("unknown payload tag `{tag}`")),
+        }
+    }
+    if cells.len() != nu * nc * nm {
+        return err(format!(
+            "expected {} cells, got {}",
+            nu * nc * nm,
+            cells.len()
+        ));
+    }
+    let response = SweepResponse {
+        units,
+        configs,
+        machines,
+        cells,
+        stats,
+        digest: digest.ok_or_else(|| ProtoError("sweep response lacks digest".into()))?,
+    };
+    if !response.verify() {
+        return err("sweep response digest does not match its cells");
+    }
+    Ok(response)
 }
 
 /// Parses a response document (header through `end`).
@@ -767,13 +1297,9 @@ pub fn encode_response(response: &Response) -> String {
 ///
 /// [`ProtoError`] on any malformation.
 pub fn decode_response(text: &str) -> Result<Response, ProtoError> {
-    let mut lines = text.lines();
-    match lines.next() {
-        Some(RESPONSE_HEADER) => {}
-        Some(other) => return err(format!("bad response header `{other}`")),
-        None => return err("empty response"),
-    }
-    let first = match lines.next() {
+    let mut cursor = Cursor::new(text);
+    check_header(cursor.line(), RESPONSE_WORD)?;
+    let first = match cursor.line() {
         Some(l) => l,
         None => return err("response lacks a body"),
     };
@@ -781,10 +1307,16 @@ pub fn decode_response(text: &str) -> Result<Response, ProtoError> {
     let body = match tag {
         "ok" => Response::Ok,
         "error" => Response::Error(rest.to_owned()),
+        "need" => {
+            let n: usize = rest
+                .parse()
+                .map_err(|_| ProtoError(format!("bad need count `{rest}`")))?;
+            return Ok(Response::Need(decode_digest_list(&mut cursor, n)?));
+        }
         "server-stats" => {
             let mut stats = ServerStats::default();
             loop {
-                let line = match lines.next() {
+                let line = match cursor.line() {
                     Some(l) => l,
                     None => return err("stats response truncated"),
                 };
@@ -803,123 +1335,17 @@ pub fn decode_response(text: &str) -> Result<Response, ProtoError> {
             }
         }
         "sweep" => {
-            let mut it = rest.split(' ');
-            let nu: usize = it
-                .next()
-                .and_then(|w| w.parse().ok())
-                .ok_or_else(|| ProtoError("bad sweep axis counts".into()))?;
-            let nc: usize = it
-                .next()
-                .and_then(|w| w.parse().ok())
-                .ok_or_else(|| ProtoError("bad sweep axis counts".into()))?;
-            let nm: usize = it
-                .next()
-                .and_then(|w| w.parse().ok())
-                .ok_or_else(|| ProtoError("bad sweep axis counts".into()))?;
-            let mut axis = |kind: &str, n: usize| -> Result<Vec<String>, ProtoError> {
-                let mut out = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let line = lines
-                        .next()
-                        .ok_or_else(|| ProtoError(format!("{kind} axis truncated")))?;
-                    let label = line
-                        .strip_prefix(&format!("axis-{kind} "))
-                        .ok_or_else(|| ProtoError(format!("bad {kind} axis line `{line}`")))?;
-                    check_word(&format!("{kind} label"), label)?;
-                    out.push(label.to_owned());
-                }
-                Ok(out)
+            let nbytes = blob_line(cursor.line())?;
+            let payload = cursor.blob(nbytes)?;
+            let response = decode_sweep_payload(payload)?;
+            return match cursor.line() {
+                Some("end") => Ok(Response::Sweep(response)),
+                _ => err("response not terminated by `end`"),
             };
-            let units = axis("unit", nu)?;
-            let configs = axis("config", nc)?;
-            let machines = axis("machine", nm)?;
-            let mut cells = Vec::with_capacity(nu * nc * nm);
-            let mut stats = PipelineStats::default();
-            let mut digest = None;
-            loop {
-                let line = match lines.next() {
-                    Some(l) => l,
-                    None => return err("sweep response truncated"),
-                };
-                let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
-                match tag {
-                    "cell" => {
-                        let w: Vec<&str> = rest.split(' ').collect();
-                        if w.len() != 7 {
-                            return err(format!("bad cell line `{line}`"));
-                        }
-                        let vbits: Vec<char> = w[5].chars().collect();
-                        if vbits.len() != 3 || vbits.iter().any(|&c| c != '0' && c != '1') {
-                            return err(format!("bad verdict bits `{}`", w[5]));
-                        }
-                        cells.push(CellSummary {
-                            unit: w[0].to_owned(),
-                            config: w[1].to_owned(),
-                            machine: w[2].to_owned(),
-                            wcet: w[3]
-                                .parse()
-                                .map_err(|_| ProtoError(format!("bad wcet `{}`", w[3])))?,
-                            cached: w[4] == "1",
-                            verdict: Verdict {
-                                allocation_checked: vbits[0] == '1',
-                                tunnel_validated: vbits[1] == '1',
-                                schedule_validated: vbits[2] == '1',
-                            },
-                            output_digest: Digest::from_hex(w[6])
-                                .ok_or_else(|| ProtoError(format!("bad digest `{}`", w[6])))?,
-                        });
-                    }
-                    "stats" => {
-                        let v: Vec<u64> = rest
-                            .split(' ')
-                            .map(|w| {
-                                w.parse()
-                                    .map_err(|_| ProtoError(format!("bad stats value `{w}`")))
-                            })
-                            .collect::<Result<_, _>>()?;
-                        if v.len() != 6 {
-                            return err(format!("bad stats line `{line}`"));
-                        }
-                        stats.jobs_run = v[0];
-                        stats.jobs_cached = v[1];
-                        stats.compile_ns = v[2];
-                        stats.analyze_ns = v[3];
-                        stats.store_ns = v[4];
-                        stats.wall_ns = v[5];
-                    }
-                    "digest" => {
-                        digest = Some(
-                            Digest::from_hex(rest)
-                                .ok_or_else(|| ProtoError(format!("bad digest `{rest}`")))?,
-                        );
-                    }
-                    "end" => break,
-                    _ => return err(format!("unknown response tag `{tag}`")),
-                }
-            }
-            if cells.len() != nu * nc * nm {
-                return err(format!(
-                    "expected {} cells, got {}",
-                    nu * nc * nm,
-                    cells.len()
-                ));
-            }
-            let response = SweepResponse {
-                units,
-                configs,
-                machines,
-                cells,
-                stats,
-                digest: digest.ok_or_else(|| ProtoError("sweep response lacks digest".into()))?,
-            };
-            if !response.verify() {
-                return err("sweep response digest does not match its cells");
-            }
-            return Ok(Response::Sweep(response));
         }
         _ => return err(format!("unknown response kind `{tag}`")),
     };
-    match lines.next() {
+    match cursor.line() {
         Some("end") => Ok(body),
         _ => err("response not terminated by `end`"),
     }
@@ -930,6 +1356,7 @@ mod tests {
     use super::*;
     use vericomp_core::OptLevel;
     use vericomp_dataflow::fleet;
+    use vericomp_minic::pretty::program_to_c;
 
     fn sample_spec() -> SweepSpec {
         let nodes = fleet::named_suite();
@@ -970,27 +1397,123 @@ mod tests {
     #[test]
     fn sweep_request_roundtrips_with_identical_cache_keys() {
         let spec = sample_spec();
-        let text = encode_request(&Request::Sweep(spec.clone())).expect("encodes");
+        // uploading everything carries every body with its digest
+        let wire = WireSweep::from_spec(&spec, |_| true);
+        let text = encode_request(&Request::Sweep(wire)).expect("encodes");
         let Request::Sweep(back) = decode_request(&text).expect("decodes") else {
             panic!("wrong request kind");
         };
-        assert_eq!(back.units().len(), spec.units().len());
-        assert_eq!(back.configs(), spec.configs());
-        assert_eq!(back.machines(), spec.machines());
-        // the round-tripped sources derive the same cache keys — the
+        assert_eq!(back.units.len(), spec.units().len());
+        assert_eq!(back.configs, spec.configs());
+        assert_eq!(back.machines, spec.machines());
+        // the round-tripped bodies derive the same cache keys — the
         // property that makes the daemon's store useful to remote clients
-        for (a, b) in spec.units().iter().zip(back.units()) {
+        for (a, b) in spec.units().iter().zip(&back.units) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.entry, b.entry);
+            assert_eq!(a.source_digest(), b.digest);
+            let body = b.body.as_ref().expect("uploaded");
+            assert_eq!(source_digest(body), b.digest);
             let verified = PassConfig::for_level(OptLevel::Verified);
             let m = MachineConfig::mpc755();
             assert_eq!(
                 crate::store::artifact_key(&program_to_c(&a.source), &a.entry, &verified, &m),
-                crate::store::artifact_key(&program_to_c(&b.source), &b.entry, &verified, &m),
+                crate::store::artifact_key(body, &b.entry, &verified, &m),
                 "unit `{}` changed key over the wire",
                 a.name
             );
         }
+    }
+
+    #[test]
+    fn unit_refs_travel_without_bodies() {
+        let spec = sample_spec();
+        let wire = WireSweep::from_spec(&spec, |_| false);
+        let text = encode_request(&Request::Sweep(wire)).expect("encodes");
+        assert!(!text.contains("blob "), "unit-ref requests carry no blobs");
+        let Request::Sweep(back) = decode_request(&text).expect("decodes") else {
+            panic!("wrong request kind");
+        };
+        for (a, b) in spec.units().iter().zip(&back.units) {
+            assert_eq!(a.source_digest(), b.digest);
+            assert!(b.body.is_none());
+        }
+    }
+
+    #[test]
+    fn have_and_need_roundtrip() {
+        let digests: Vec<Digest> = sample_spec()
+            .units()
+            .iter()
+            .map(crate::sweep::SweepUnit::source_digest)
+            .collect();
+        let text = encode_request(&Request::Have(digests.clone())).expect("encodes");
+        let Request::Have(back) = decode_request(&text).expect("decodes") else {
+            panic!("wrong request kind");
+        };
+        assert_eq!(back, digests);
+        let Response::Need(back) =
+            decode_response(&encode_response(&Response::Need(digests.clone()))).expect("decodes")
+        else {
+            panic!("wrong response kind");
+        };
+        assert_eq!(back, digests);
+        // empty lists survive too
+        let Response::Need(empty) =
+            decode_response(&encode_response(&Response::Need(Vec::new()))).expect("decodes")
+        else {
+            panic!("wrong response kind");
+        };
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn blob_framing_survives_end_lines_and_verifies_digests() {
+        // a body containing a line reading `end` must not close the frame
+        let body = "int f(void)\n{\nend\n}\n".to_owned();
+        let digest = source_digest(&body);
+        let wire = WireSweep {
+            units: vec![WireUnit {
+                name: "tricky".into(),
+                entry: "f".into(),
+                digest,
+                body: Some(Arc::new(body.clone())),
+            }],
+            configs: vec![("verified".into(), PassConfig::for_level(OptLevel::Verified))],
+            machines: vec![("default".into(), MachineConfig::mpc755())],
+        };
+        let text = encode_request(&Request::Sweep(wire)).expect("encodes");
+        // the frame reader consumes the blob by length, not by scanning
+        let mut reader = std::io::BufReader::new(text.as_bytes());
+        let frame = read_frame(&mut reader).expect("reads").expect("one frame");
+        assert_eq!(frame, text.as_bytes());
+        assert!(read_frame(&mut reader).expect("eof").is_none());
+        let Request::Sweep(back) = decode_request(&text).expect("decodes") else {
+            panic!("wrong request kind");
+        };
+        assert_eq!(
+            back.units[0].body.as_deref().map(String::as_str),
+            Some(body.as_str())
+        );
+        // a body that does not hash to its declared digest is rejected —
+        // the parse cache is digest-addressed, so this gate is load-bearing
+        let tampered = text.replace("{\nend\n}", "{\nEND\n}");
+        assert!(decode_request(&tampered).is_err());
+    }
+
+    #[test]
+    fn version_mismatch_is_a_clean_versioned_error() {
+        let v1 = "vericomp-request 1\nstats\nend\n";
+        let e = decode_request(v1).expect_err("v1 header must be rejected");
+        assert!(
+            e.0.contains("version 1") && e.0.contains("vericomp-request 2"),
+            "error must name both versions: {e}"
+        );
+        let e = decode_response("vericomp-response 1\nok\nend\n")
+            .expect_err("v1 response header must be rejected");
+        assert!(e.0.contains("version 1") && e.0.contains("vericomp-response 2"));
+        let e = decode_request("vericomp-request 99\nstats\nend\n").expect_err("future version");
+        assert!(e.0.contains("version 99"));
     }
 
     #[test]
@@ -1032,6 +1555,15 @@ mod tests {
             store_ns: 333,
             wall_ns: 999,
             slo_per_mille: 700,
+            bytes_rx: 4_096,
+            bytes_tx: 8_192,
+            units_offered: 20,
+            units_uploaded: 6,
+            parse_hits: 14,
+            parse_misses: 6,
+            parse_evictions: 1,
+            parse_resident: 5,
+            parse_bytes: 2_048,
         };
         let back = decode_response(&encode_response(&Response::Stats(stats.clone())));
         let Response::Stats(back) = back.expect("decodes") else {
@@ -1039,33 +1571,90 @@ mod tests {
         };
         assert_eq!(back, stats);
         assert!((stats.hit_rate() - 32.0 / 42.0).abs() < 1e-12);
+        assert!((stats.parse_hit_rate() - 0.7).abs() < 1e-12);
         assert!(stats.slo_met());
         let render = stats.render();
         assert!(render.contains("hit-rate 0.762"));
         assert!(render.contains("SLO 0.700: met"));
+        assert!(render.contains("wire rx 4096 tx 8192 offered 20 uploaded 6"));
+        assert!(render.contains(
+            "parse-cache hits 14 misses 6 evictions 1 resident 5 bytes 2048 hit-rate 0.700"
+        ));
         let missed = ServerStats {
             slo_per_mille: 990,
             ..stats.clone()
         };
         assert!(!missed.slo_met());
         assert!(missed.render().contains("SLO 0.990: MISSED"));
-        // json embeds the rate and the verdict
+        // json embeds the rates and the verdict
         assert!(stats.to_json().contains("\"hit_rate\":0.761905"));
+        assert!(stats.to_json().contains("\"parse_hit_rate\":0.700000"));
+        assert!(stats.to_json().contains("\"units_uploaded\":6"));
         assert!(stats.to_json().contains("\"slo_met\":true"));
+    }
+
+    #[test]
+    fn sweep_response_roundtrips_through_the_blob() {
+        let spec = SweepSpec::new()
+            .nodes(&fleet::named_suite()[..2])
+            .level(OptLevel::Verified);
+        let spec = normalize_spec(&spec, &MachineConfig::mpc755());
+        let result = crate::service::Pipeline::in_memory()
+            .run_sweep(&spec)
+            .expect("solo");
+        let response = SweepResponse::from_result(&result);
+        let text = encode_response(&Response::Sweep(response.clone()));
+        let Response::Sweep(back) = decode_response(&text).expect("decodes") else {
+            panic!("wrong response kind");
+        };
+        assert_eq!(back.digest, response.digest);
+        assert_eq!(back.cells, response.cells);
+        assert_eq!(back.units, response.units);
+        assert!(back.verify());
     }
 
     #[test]
     fn malformed_documents_are_errors_not_panics() {
         assert!(decode_request("").is_err());
         assert!(decode_request("vericomp-request 99\nstats\nend\n").is_err());
-        assert!(decode_request("vericomp-request 1\nstats\n").is_err()); // no end
-        assert!(decode_request("vericomp-request 1\nsweep\nunit f 1 n\nint bad(\nend\n").is_err());
-        assert!(decode_response("vericomp-response 1\nsweep 1 1 1\nend\n").is_err());
+        assert!(decode_request("vericomp-request 2\nstats\n").is_err()); // no end
+        assert!(decode_request("vericomp-request 2\nsweep\nunit f 0 n\nend\n").is_err());
+        // blob length lies: runs past the frame
+        assert!(decode_request(
+            "vericomp-request 2\nsweep\nunit f 00000000000000000000000000000000 n\nblob 999\nint\nend\n"
+        )
+        .is_err());
+        // blob length splitting a UTF-8 boundary must not panic
+        let mut doc = String::from("vericomp-request 2\nsweep\nunit f ");
+        doc.push_str(&format!("{}", source_digest("é")));
+        doc.push_str(" n\nblob 1\né\nend\n");
+        assert!(decode_request(&doc).is_err());
+        assert!(decode_response("vericomp-response 2\nsweep\nblob 4\nxyzw\nend\n").is_err());
+        assert!(decode_response("vericomp-response 2\nneed 3\ndigest zz\nend\n").is_err());
         // whitespace in labels rejected at encode time
         let spec = SweepSpec::new()
             .level(OptLevel::Verified)
             .machine("two words", &MachineConfig::mpc755());
-        assert!(encode_request(&Request::Sweep(spec)).is_err());
+        let wire = WireSweep::from_spec(&spec, |_| true);
+        assert!(encode_request(&Request::Sweep(wire)).is_err());
+    }
+
+    #[test]
+    fn read_frame_reports_truncation_and_oversized_blobs() {
+        use std::io::BufReader;
+        // clean EOF at a boundary
+        let mut r = BufReader::new(&b""[..]);
+        assert!(read_frame(&mut r).expect("clean").is_none());
+        // EOF mid-frame
+        let mut r = BufReader::new(&b"vericomp-request 2\nstats\n"[..]);
+        assert!(read_frame(&mut r).is_err());
+        // EOF mid-blob
+        let mut r = BufReader::new(&b"vericomp-request 2\nsweep\nblob 100\nshort"[..]);
+        assert!(read_frame(&mut r).is_err());
+        // oversized blob declaration rejected before allocation
+        let doc = format!("vericomp-request 2\nsweep\nblob {}\n", MAX_BLOB_BYTES + 1);
+        let mut r = BufReader::new(doc.as_bytes());
+        assert!(read_frame(&mut r).is_err());
     }
 
     #[test]

@@ -2,17 +2,22 @@
 //! [`ArtifactStore`] serving many concurrent clients.
 //!
 //! **Architecture.** One acceptor thread takes connections on a Unix
-//! socket and spawns a reader thread per connection. Readers parse
-//! [`proto`](crate::proto) documents; `stats` and `shutdown` are
-//! answered inline, sweep requests are queued for the **batcher** — the
+//! socket and spawns a reader thread per connection. Readers frame and
+//! parse [`proto`](crate::proto) documents; `stats`, `shutdown` and
+//! `have` negotiation are answered inline, sweep requests are resolved
+//! through the store's **parse cache** (digest → parsed AST + canonical
+//! text — each distinct unit parses once per digest across requests,
+//! batches and clients) and then queued for the **batcher** — the
 //! [`Server::run`] thread — which drains the queue in admission-bounded,
 //! round-robin-fair batches, merges compatible requests into single
 //! [`SweepSpec`]s, runs them on the one shared [`Pipeline`], and mails
-//! each request its response.
+//! each request its response. A request whose units don't all resolve
+//! (unknown digest, parse failure) is answered with `error` before
+//! queueing — no partial batch is ever admitted.
 //!
 //! **Batching.** Requests whose config and machine axes are identical
 //! (same labels, same values — the *axis signature*) merge into one
-//! sweep: their unit axes concatenate, deduplicated by (source text,
+//! sweep: their unit axes concatenate, deduplicated by (source digest,
 //! entry), so a cell requested by several clients at once compiles
 //! exactly once. Each response is then assembled positionally from the
 //! merged result using the request's own axis labels, which makes the
@@ -34,7 +39,7 @@
 //! post-eviction store digest.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -43,16 +48,15 @@ use std::thread;
 use std::time::Instant;
 
 use vericomp_arch::MachineConfig;
-use vericomp_minic::pretty::program_to_c;
 
 use crate::proto::{
-    cells_digest, decode_request, encode_response, machine_to_fields, passes_to_bits, CellSummary,
-    Request, Response, ServerStats, SweepResponse,
+    cells_digest, decode_request, encode_response, frame_text, machine_to_fields, passes_to_bits,
+    read_frame, CellSummary, Request, Response, ServerStats, SweepResponse, WireSweep,
 };
 use crate::service::{Pipeline, PipelineOptions};
 use crate::stats::{saturating_nanos, PipelineStats};
-use crate::store::{ArtifactStore, StoreConfig};
-use crate::sweep::{SweepResult, SweepSpec};
+use crate::store::{ArtifactStore, ParsedUnit, StoreConfig};
+use crate::sweep::{SweepResult, SweepSpec, SweepUnit};
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -67,6 +71,8 @@ pub struct ServerOptions {
     pub shards: usize,
     /// Store resident-byte bound (`None` = unbounded, no eviction).
     pub max_bytes: Option<u64>,
+    /// Parse-cache resident-byte bound (`None` = unbounded).
+    pub parse_bytes: Option<u64>,
     /// Admission bound: max sweep cells in flight per batch.
     pub max_inflight_cells: usize,
     /// Hit-rate SLO in thousandths (`900` = 0.900); `0` disables the line.
@@ -78,7 +84,8 @@ pub struct ServerOptions {
 
 impl ServerOptions {
     /// Defaults: machine parallelism, memory-only store, 4 shards,
-    /// unbounded, 4096-cell admission, 0.900 SLO, MPC755.
+    /// unbounded artifacts, 64 MiB parse cache, 4096-cell admission,
+    /// 0.900 SLO, MPC755.
     #[must_use]
     pub fn new(socket: impl Into<PathBuf>) -> ServerOptions {
         ServerOptions {
@@ -87,6 +94,7 @@ impl ServerOptions {
             cache_dir: None,
             shards: 4,
             max_bytes: None,
+            parse_bytes: Some(StoreConfig::DEFAULT_PARSE_BYTES),
             max_inflight_cells: 4096,
             slo_per_mille: 900,
             machine: MachineConfig::mpc755(),
@@ -126,6 +134,12 @@ struct Metrics {
     analyze_ns: AtomicU64,
     store_ns: AtomicU64,
     wall_ns: AtomicU64,
+    bytes_rx: AtomicU64,
+    bytes_tx: AtomicU64,
+    units_offered: AtomicU64,
+    units_uploaded: AtomicU64,
+    parse_hits: AtomicU64,
+    parse_misses: AtomicU64,
 }
 
 impl Metrics {
@@ -170,6 +184,15 @@ impl Shared {
             store_ns: m.store_ns.load(Ordering::Relaxed),
             wall_ns: m.wall_ns.load(Ordering::Relaxed),
             slo_per_mille: self.slo_per_mille,
+            bytes_rx: m.bytes_rx.load(Ordering::Relaxed),
+            bytes_tx: m.bytes_tx.load(Ordering::Relaxed),
+            units_offered: m.units_offered.load(Ordering::Relaxed),
+            units_uploaded: m.units_uploaded.load(Ordering::Relaxed),
+            parse_hits: m.parse_hits.load(Ordering::Relaxed),
+            parse_misses: m.parse_misses.load(Ordering::Relaxed),
+            parse_evictions: self.store.parse_evictions(),
+            parse_resident: self.store.parse_resident() as u64,
+            parse_bytes: self.store.parse_len_bytes(),
         }
     }
 }
@@ -205,6 +228,7 @@ impl Server {
             dir: options.cache_dir.clone(),
             shards: options.shards,
             max_bytes: options.max_bytes,
+            parse_bytes: options.parse_bytes,
         })?);
         let pipeline_options = PipelineOptions::builder()
             .jobs(options.jobs)
@@ -341,15 +365,17 @@ impl Server {
 
         for (_, members) in groups {
             let started = Instant::now();
-            // merged unit axis, deduplicated by (source text, entry)
+            // merged unit axis, deduplicated by (source digest, entry) —
+            // the digest is memoized on the unit, so dedup costs no
+            // pretty-printing
             let mut merged = SweepSpec::new();
-            let mut index: HashMap<(String, String), usize> = HashMap::new();
+            let mut index: HashMap<(u128, String), usize> = HashMap::new();
             let mut maps: Vec<Vec<usize>> = Vec::with_capacity(members.len());
             let mut count = 0usize;
             for item in &members {
                 let mut map = Vec::with_capacity(item.spec.units().len());
                 for unit in item.spec.units() {
-                    let key = (program_to_c(&unit.source), unit.entry.clone());
+                    let key = (unit.source_digest().0, unit.entry.clone());
                     let slot = *index.entry(key).or_insert_with(|| {
                         merged = std::mem::take(&mut merged).unit(unit.clone());
                         count += 1;
@@ -460,76 +486,127 @@ fn accept_loop(listener: &UnixListener, shared: &Arc<Shared>) {
     }
 }
 
-/// Reads one line-framed document (through its `end` line); `Ok(None)`
-/// on clean EOF at a frame boundary.
-fn read_document(reader: &mut BufReader<UnixStream>) -> io::Result<Option<String>> {
-    let mut doc = String::new();
-    loop {
-        let start = doc.len();
-        let n = reader.read_line(&mut doc)?;
-        if n == 0 {
-            return if doc.is_empty() {
-                Ok(None)
-            } else {
-                Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "connection closed mid-request",
-                ))
-            };
+/// Resolves a wire sweep into a runnable [`SweepSpec`] through the parse
+/// cache: a known digest replays its cached AST + canonical text without
+/// touching the body, a fresh digest parses its (digest-verified)
+/// uploaded body exactly once and caches it, and a fresh digest without
+/// a body is an error the client answers by re-uploading — nothing
+/// reaches the batch queue unless *every* unit resolved, so a failed
+/// request never admits a partial batch.
+fn resolve_sweep(wire: &WireSweep, shared: &Shared) -> Result<SweepSpec, String> {
+    let m = &shared.metrics;
+    let mut spec = SweepSpec::new();
+    for unit in &wire.units {
+        if unit.body.is_some() {
+            Metrics::add(&m.units_uploaded, 1);
         }
-        if doc[start..].trim_end_matches('\n') == "end" {
-            return Ok(Some(doc));
-        }
+        let resolved = match shared.store.parse_lookup(unit.digest) {
+            Some(parsed) => {
+                Metrics::add(&m.parse_hits, 1);
+                parsed
+            }
+            None => match &unit.body {
+                Some(body) => {
+                    Metrics::add(&m.parse_misses, 1);
+                    let ast = vericomp_minic::parse::parse(body)
+                        .map_err(|e| format!("unit `{}` failed to parse: {e}", unit.name))?;
+                    let parsed = ParsedUnit {
+                        canonical: Arc::clone(body),
+                        ast: Arc::new(ast),
+                    };
+                    shared.store.parse_insert(unit.digest, parsed.clone());
+                    parsed
+                }
+                None => {
+                    return Err(format!(
+                        "unknown unit digest {} for unit `{}` (re-upload required)",
+                        unit.digest, unit.name
+                    ))
+                }
+            },
+        };
+        spec = spec.unit(SweepUnit::from_parsed(
+            &unit.name,
+            Arc::clone(&resolved.ast),
+            &unit.entry,
+            Arc::clone(&resolved.canonical),
+        ));
     }
+    for (label, passes) in &wire.configs {
+        spec = spec.config(label, passes);
+    }
+    for (label, machine) in &wire.machines {
+        spec = spec.machine(label, machine);
+    }
+    Ok(spec)
 }
 
 fn connection_loop(stream: UnixStream, client: u64, shared: &Arc<Shared>) {
     let mut reader = BufReader::new(stream);
     loop {
-        let doc = match read_document(&mut reader) {
-            Ok(Some(doc)) => doc,
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
             Ok(None) | Err(_) => return,
         };
-        let response = match decode_request(&doc) {
+        Metrics::add(&shared.metrics.bytes_rx, frame.len() as u64);
+        let request = frame_text(&frame).and_then(decode_request);
+        let response = match request {
             Err(e) => Response::Error(e.to_string()),
             Ok(Request::Stats) => Response::Stats(shared.snapshot()),
+            Ok(Request::Have(digests)) => {
+                Metrics::add(&shared.metrics.units_offered, digests.len() as u64);
+                // `parse_contains` stamps hits with the current epoch, so
+                // a just-negotiated digest is maximally recent when its
+                // sweep arrives
+                Response::Need(
+                    digests
+                        .into_iter()
+                        .filter(|d| !shared.store.parse_contains(*d))
+                        .collect(),
+                )
+            }
             Ok(Request::Shutdown) => {
                 shared.shutdown.store(true, Ordering::SeqCst);
                 shared.ready.notify_all();
                 let text = encode_response(&Response::Ok);
+                Metrics::add(&shared.metrics.bytes_tx, text.len() as u64);
                 let _ = reader.get_mut().write_all(text.as_bytes());
                 // unblock the acceptor so it can observe the flag
                 let _ = UnixStream::connect(&shared.socket);
                 return;
             }
-            Ok(Request::Sweep(spec)) => {
-                let (tx, rx) = mpsc::channel();
-                let queued = {
-                    let mut q = shared.queue.lock().expect("queue lock");
-                    if q.closed {
-                        false
+            Ok(Request::Sweep(wire)) => match resolve_sweep(&wire, shared) {
+                Err(msg) => Response::Error(msg),
+                Ok(spec) => {
+                    let (tx, rx) = mpsc::channel();
+                    let queued = {
+                        let mut q = shared.queue.lock().expect("queue lock");
+                        if q.closed {
+                            false
+                        } else {
+                            q.items.push_back(Queued {
+                                client,
+                                spec,
+                                respond: tx,
+                            });
+                            Metrics::raise(&shared.metrics.queue_peak, q.items.len() as u64);
+                            true
+                        }
+                    };
+                    if queued {
+                        shared.ready.notify_all();
+                        match rx.recv() {
+                            Ok(response) => response,
+                            Err(_) => Response::Error("server dropped the request".into()),
+                        }
                     } else {
-                        q.items.push_back(Queued {
-                            client,
-                            spec,
-                            respond: tx,
-                        });
-                        Metrics::raise(&shared.metrics.queue_peak, q.items.len() as u64);
-                        true
+                        Response::Error("server is shutting down".into())
                     }
-                };
-                if queued {
-                    shared.ready.notify_all();
-                    match rx.recv() {
-                        Ok(response) => response,
-                        Err(_) => Response::Error("server dropped the request".into()),
-                    }
-                } else {
-                    Response::Error("server is shutting down".into())
                 }
-            }
+            },
         };
         let text = encode_response(&response);
+        Metrics::add(&shared.metrics.bytes_tx, text.len() as u64);
         if reader.get_mut().write_all(text.as_bytes()).is_err() {
             return;
         }
@@ -584,6 +661,12 @@ mod tests {
         assert!(!socket.exists(), "socket file must be removed on shutdown");
     }
 
+    /// Reads one response frame off a raw test stream as text.
+    fn read_text(reader: &mut BufReader<UnixStream>) -> Option<String> {
+        let frame = read_frame(reader).expect("reads")?;
+        Some(String::from_utf8(frame).expect("utf-8 frame"))
+    }
+
     #[test]
     fn malformed_frames_get_error_responses_and_the_connection_survives() {
         let socket = socket_path("server-err");
@@ -593,16 +676,17 @@ mod tests {
         // hand-rolled garbage frame on a raw stream
         let mut stream = UnixStream::connect(&socket).expect("connects");
         stream
-            .write_all(b"vericomp-request 1\nnonsense\nend\n")
+            .write_all(b"vericomp-request 2\nnonsense\nend\n")
             .expect("writes");
         let mut reader = BufReader::new(stream.try_clone().expect("clone"));
-        let doc = read_document(&mut reader).expect("reads").expect("frame");
+        let doc = read_text(&mut reader).expect("frame");
         assert!(doc.contains("error "), "garbage must yield an error frame");
         // the same connection still serves a real request afterwards
         let spec = spec_of(0..1);
-        let text = crate::proto::encode_request(&Request::Sweep(spec.clone())).expect("encodes");
+        let wire = WireSweep::from_spec(&spec, |_| true);
+        let text = crate::proto::encode_request(&Request::Sweep(wire)).expect("encodes");
         stream.write_all(text.as_bytes()).expect("writes");
-        let doc = read_document(&mut reader).expect("reads").expect("frame");
+        let doc = read_text(&mut reader).expect("frame");
         let Response::Sweep(served) = crate::proto::decode_response(&doc).expect("decodes") else {
             panic!("expected sweep response");
         };
@@ -616,6 +700,91 @@ mod tests {
 
         let mut client = Client::connect(&socket).expect("connects");
         client.shutdown().expect("acknowledged");
+        handle.join().expect("run returns");
+    }
+
+    #[test]
+    fn version_mismatch_is_refused_cleanly_with_no_partial_batch() {
+        let socket = socket_path("server-version");
+        let server = Server::new(&ServerOptions::new(&socket)).expect("binds");
+        let handle = thread::spawn(move || server.run().expect("serves"));
+
+        // a v1 peer's hello: old header, old sweep body shape
+        let mut stream = UnixStream::connect(&socket).expect("connects");
+        stream
+            .write_all(b"vericomp-request 1\nsweep\nconfig verified 1111111011\nend\n")
+            .expect("writes");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let doc = read_text(&mut reader).expect("frame");
+        assert!(
+            doc.contains("error ")
+                && doc.contains("version 1")
+                && doc.contains("vericomp-request 2"),
+            "v1 hello must get a clean versioned error: {doc}"
+        );
+        // the connection survived: a v2 request on the same stream works
+        let spec = spec_of(0..1);
+        let wire = WireSweep::from_spec(&spec, |_| true);
+        let text = crate::proto::encode_request(&Request::Sweep(wire)).expect("encodes");
+        stream.write_all(text.as_bytes()).expect("writes");
+        let doc = read_text(&mut reader).expect("frame");
+        assert!(
+            matches!(crate::proto::decode_response(&doc), Ok(Response::Sweep(_))),
+            "connection must survive the version mismatch"
+        );
+
+        // the other direction: a v2 client decoding a v1 server's
+        // response header gets the same clean versioned error
+        let e = crate::proto::decode_response("vericomp-response 1\nok\nend\n")
+            .expect_err("v1 response header");
+        assert!(e.0.contains("version 1") && e.0.contains("vericomp-response 2"));
+
+        let mut client = Client::connect(&socket).expect("connects");
+        let stats = client.server_stats().expect("stats");
+        // exactly the one good sweep was admitted — the refused v1 frame
+        // queued nothing
+        assert_eq!(stats.requests, 1);
+        client.shutdown().expect("acknowledged");
+        handle.join().expect("run returns");
+    }
+
+    #[test]
+    fn negotiated_unit_refs_serve_identical_sweeps_with_zero_uploads() {
+        let socket = socket_path("server-need");
+        let server = Server::new(&ServerOptions::new(&socket)).expect("binds");
+        let handle = thread::spawn(move || server.run().expect("serves"));
+
+        let spec = spec_of(0..3);
+        let solo = Pipeline::in_memory().run_sweep(&spec).expect("solo");
+
+        // client A seeds the parse cache
+        let mut a = Client::connect(&socket).expect("connects");
+        assert_eq!(a.run_sweep(&spec).expect("served").digest, solo.digest());
+        let after_a = a.server_stats().expect("stats");
+        assert_eq!(after_a.units_uploaded, spec.units().len() as u64);
+
+        // a *fresh* connection negotiates, gets an empty need set, and
+        // ships zero bodies — yet its digest is still solo-identical
+        let mut b = Client::connect(&socket).expect("connects");
+        assert_eq!(b.run_sweep(&spec).expect("served").digest, solo.digest());
+        let after_b = b.server_stats().expect("stats");
+        assert_eq!(
+            after_b.units_uploaded, after_a.units_uploaded,
+            "warm client must upload zero unit bodies"
+        );
+        assert_eq!(
+            after_b.units_offered,
+            after_a.units_offered + spec.units().len() as u64,
+            "fresh connection negotiates every digest once"
+        );
+        assert_eq!(
+            after_b.parse_hits,
+            after_a.parse_hits + spec.units().len() as u64
+        );
+        assert!(after_b.parse_hit_rate() > 0.0);
+        assert!(after_b.bytes_rx > 0 && after_b.bytes_tx > 0);
+
+        b.shutdown().expect("acknowledged");
         handle.join().expect("run returns");
     }
 

@@ -27,7 +27,6 @@ use vericomp_arch::MachineConfig;
 use vericomp_core::{CompileError, Compiler, OptLevel, PassConfig};
 use vericomp_dataflow::{Application, ApplicationError, Node};
 use vericomp_minic::ast::Program as SrcProgram;
-use vericomp_minic::pretty::program_to_c;
 use vericomp_wcet::AnalysisError;
 
 use crate::hash::{Digest, Hasher};
@@ -165,8 +164,9 @@ pub struct CompileUnit {
     pub name: String,
     /// Configuration label (e.g. `verified`), part of the artifact.
     pub label: String,
-    /// The MiniC translation unit.
-    pub source: SrcProgram,
+    /// The MiniC translation unit (shared — sweeps cross one unit with
+    /// many configs and machines without cloning the AST).
+    pub source: Arc<SrcProgram>,
     /// Entry-point function.
     pub entry: String,
     /// Pass selection the unit compiles under.
@@ -291,7 +291,7 @@ impl CompileUnitBuilder {
         CompileUnit {
             name: self.name.expect("source selection sets the name"),
             label: self.label.unwrap_or_else(|| "verified".to_owned()),
-            source,
+            source: Arc::new(source),
             entry: self.entry.expect("source selection sets the entry"),
             passes: self.passes,
         }
@@ -496,7 +496,11 @@ impl Pipeline {
 
         let mut graph = JobGraph::new();
         for (i, cell) in cells.into_iter().enumerate() {
-            let CellSpec { unit, machine } = cell;
+            let CellSpec {
+                unit,
+                canonical,
+                machine,
+            } = cell;
             let detail = format!("unit={} config={}", unit.name, unit.label);
             let unit = Arc::new(unit);
             let store = Arc::clone(&self.store);
@@ -519,8 +523,9 @@ impl Pipeline {
                     saturating_nanos(job_start.saturating_duration_since(submitted)),
                     &detail1,
                 ));
-                let source = program_to_c(&unit1.source);
-                let key = artifact_key(&source, &unit1.entry, &unit1.passes, &machine);
+                // the memoized canonical text *is* the key material: no
+                // per-cell pretty-print on either the hit or miss path
+                let key = artifact_key(&canonical, &unit1.entry, &unit1.passes, &machine);
                 let t = Instant::now();
                 let hit = store.lookup(key, &machine);
                 let looked = t.elapsed();
@@ -744,10 +749,13 @@ impl Pipeline {
     }
 }
 
-/// One fully-specified engine cell: a unit and the machine it targets.
+/// One fully-specified engine cell: a unit, its memoized canonical
+/// source text (the cache-key material — computed once per unit, shared
+/// across every cell the unit appears in), and the machine it targets.
 #[derive(Debug, Clone)]
 pub(crate) struct CellSpec {
     pub(crate) unit: CompileUnit,
+    pub(crate) canonical: Arc<String>,
     pub(crate) machine: MachineConfig,
 }
 

@@ -37,6 +37,7 @@ use vericomp_arch::program::{
 use vericomp_arch::reg::{Fpr, Gpr};
 use vericomp_arch::MachineConfig;
 use vericomp_core::PassConfig;
+use vericomp_minic::ast::Program as MinicProgram;
 use vericomp_wcet::WcetReport;
 
 use crate::hash::{Digest, Hasher};
@@ -108,6 +109,37 @@ pub fn artifact_key(
         .u64(machine_digest(config).0 as u64)
         .u64((machine_digest(config).0 >> 64) as u64);
     h.finish()
+}
+
+/// The content identity of one canonical (pretty-printed) MiniC source
+/// text — the unit of the wire protocol's `have`/`need` negotiation and
+/// the address of the store's parse cache.
+///
+/// Deliberately keyed on the text alone (no entry, passes or machine):
+/// one parsed AST serves every cell the unit appears in, whatever the
+/// other axes say.
+#[must_use]
+pub fn source_digest(canonical: &str) -> Digest {
+    let mut h = Hasher::new();
+    h.str(canonical);
+    h.finish()
+}
+
+/// One parse-cache entry: the canonical source text and the AST parsed
+/// from it, both shared.
+///
+/// Invariant: `ast` is exactly `parse(&canonical)` and — because
+/// parse∘pretty is identity on ASTs (`tests/parser_roundtrip.rs`) —
+/// `program_to_c(&ast) == *canonical`. That makes `canonical` valid
+/// [`artifact_key`] material for any cell built from `ast`, which is
+/// what lets the daemon skip both the parse and the pretty-print on
+/// warm requests without perturbing a single cache key.
+#[derive(Debug, Clone)]
+pub struct ParsedUnit {
+    /// The canonical pretty-printed source (the digest preimage).
+    pub canonical: Arc<String>,
+    /// The AST parsed from `canonical`.
+    pub ast: Arc<MinicProgram>,
 }
 
 /// The translation-validation verdict an artifact was accepted under.
@@ -222,6 +254,16 @@ pub struct StoreConfig {
     /// insert — callers pick the batch boundaries at which eviction may
     /// run, which keeps eviction order deterministic under concurrency.
     pub max_bytes: Option<u64>,
+    /// Resident-byte bound of the parse cache (canonical source text is
+    /// what gets accounted — the AST rides along, so this is a proxy
+    /// bound, documented as such). `None` = unbounded; the default keeps
+    /// a long-lived daemon from growing without limit.
+    pub parse_bytes: Option<u64>,
+}
+
+impl StoreConfig {
+    /// Default parse-cache bound: 64 MiB of canonical source text.
+    pub const DEFAULT_PARSE_BYTES: u64 = 64 << 20;
 }
 
 impl Default for StoreConfig {
@@ -230,6 +272,7 @@ impl Default for StoreConfig {
             dir: None,
             shards: 1,
             max_bytes: None,
+            parse_bytes: Some(StoreConfig::DEFAULT_PARSE_BYTES),
         }
     }
 }
@@ -251,6 +294,22 @@ struct ShardMap {
     bytes: u64,
 }
 
+/// One resident parse-cache entry plus its accounting metadata. Same
+/// stamp discipline as artifact [`Entry`]s — the parse cache shares the
+/// store's batch epoch, so its eviction order is deterministic too.
+struct ParseEntry {
+    unit: ParsedUnit,
+    /// Accounted size: the canonical text length (AST size rides along).
+    bytes: u64,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct ParseShard {
+    entries: BTreeMap<u128, ParseEntry>,
+    bytes: u64,
+}
+
 /// The artifact store: sharded in-memory maps, optionally backed by a
 /// cache directory so repeated runs are warm, optionally size-bounded
 /// with deterministic LRU-style eviction.
@@ -258,11 +317,17 @@ pub struct ArtifactStore {
     dir: Option<PathBuf>,
     shards: Vec<Mutex<ShardMap>>,
     max_bytes: Option<u64>,
+    /// Digest-addressed parsed-source cache (the daemon's "parse once
+    /// per digest" store), sharded like the artifact maps and stamped by
+    /// the same epoch.
+    parse_shards: Vec<Mutex<ParseShard>>,
+    parse_max_bytes: Option<u64>,
     /// Batch-granular logical clock: callers advance it once per batch
     /// (the daemon does so before every `run_sweep`), and every touch in
     /// between is stamped with the same value.
     epoch: AtomicU64,
     evictions: AtomicU64,
+    parse_evictions: AtomicU64,
 }
 
 impl fmt::Debug for ArtifactStore {
@@ -312,8 +377,13 @@ impl ArtifactStore {
                 .map(|_| Mutex::new(ShardMap::default()))
                 .collect(),
             max_bytes: config.max_bytes,
+            parse_shards: (0..shards)
+                .map(|_| Mutex::new(ParseShard::default()))
+                .collect(),
+            parse_max_bytes: config.parse_bytes,
             epoch: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            parse_evictions: AtomicU64::new(0),
         })
     }
 
@@ -396,6 +466,12 @@ impl ArtifactStore {
     /// recompiles to the identical digest). Returns the number evicted;
     /// a no-op without a configured bound.
     pub fn enforce_bounds(&self) -> u64 {
+        let evicted = self.enforce_artifact_bounds();
+        self.enforce_parse_bounds();
+        evicted
+    }
+
+    fn enforce_artifact_bounds(&self) -> u64 {
         let Some(max_bytes) = self.max_bytes else {
             return 0;
         };
@@ -420,6 +496,116 @@ impl ArtifactStore {
         }
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         evicted
+    }
+
+    /// Same ascending `(stamp, key)` discipline for the parse cache.
+    /// Purely in-memory — nothing on disk to clean up — and counted
+    /// separately: [`evictions`](ArtifactStore::evictions) keeps meaning
+    /// artifact evictions only.
+    fn enforce_parse_bounds(&self) -> u64 {
+        let Some(max_bytes) = self.parse_max_bytes else {
+            return 0;
+        };
+        let budget = max_bytes / self.parse_shards.len() as u64;
+        let mut evicted = 0;
+        for shard in &self.parse_shards {
+            let mut map = shard.lock().expect("parse lock");
+            while map.bytes > budget && !map.entries.is_empty() {
+                let victim = map
+                    .entries
+                    .iter()
+                    .min_by_key(|(key, e)| (e.stamp, **key))
+                    .map(|(key, _)| *key)
+                    .expect("non-empty shard");
+                let entry = map.entries.remove(&victim).expect("victim resident");
+                map.bytes -= entry.bytes;
+                evicted += 1;
+            }
+        }
+        self.parse_evictions.fetch_add(evicted, Ordering::Relaxed);
+        evicted
+    }
+
+    fn parse_shard_of(&self, digest: Digest) -> &Mutex<ParseShard> {
+        let idx = ((digest.0 >> 120) as usize) % self.parse_shards.len();
+        &self.parse_shards[idx]
+    }
+
+    /// Looks a parsed unit up by source digest, stamping the entry with
+    /// the current epoch on a hit (a parse hit is a touch — entries in
+    /// active use survive eviction pressure).
+    #[must_use]
+    pub fn parse_lookup(&self, digest: Digest) -> Option<ParsedUnit> {
+        let mut map = self.parse_shard_of(digest).lock().expect("parse lock");
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        map.entries.get_mut(&digest.0).map(|e| {
+            e.stamp = epoch;
+            e.unit.clone()
+        })
+    }
+
+    /// Whether a source digest is resident, stamping it on a hit — the
+    /// server answers `have` negotiation with this, and the stamp keeps a
+    /// just-negotiated digest from being evicted before its sweep runs
+    /// (it can still lose the race under pressure; the protocol's
+    /// re-upload path covers that).
+    #[must_use]
+    pub fn parse_contains(&self, digest: Digest) -> bool {
+        let mut map = self.parse_shard_of(digest).lock().expect("parse lock");
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        match map.entries.get_mut(&digest.0) {
+            Some(e) => {
+                e.stamp = epoch;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a parsed unit under its source digest. The caller must
+    /// guarantee `digest == source_digest(&unit.canonical)` — the wire
+    /// decoder verifies uploaded bodies against their declared digest
+    /// before anything reaches here.
+    pub fn parse_insert(&self, digest: Digest, unit: ParsedUnit) {
+        debug_assert_eq!(digest, source_digest(&unit.canonical));
+        let bytes = unit.canonical.len() as u64;
+        let mut map = self.parse_shard_of(digest).lock().expect("parse lock");
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        match map.entries.insert(
+            digest.0,
+            ParseEntry {
+                unit,
+                bytes,
+                stamp: epoch,
+            },
+        ) {
+            Some(old) => map.bytes = map.bytes - old.bytes + bytes,
+            None => map.bytes += bytes,
+        }
+    }
+
+    /// Number of parsed units currently resident.
+    #[must_use]
+    pub fn parse_resident(&self) -> usize {
+        self.parse_shards
+            .iter()
+            .map(|s| s.lock().expect("parse lock").entries.len())
+            .sum()
+    }
+
+    /// Resident parse-cache size (canonical text bytes).
+    #[must_use]
+    pub fn parse_len_bytes(&self) -> u64 {
+        self.parse_shards
+            .iter()
+            .map(|s| s.lock().expect("parse lock").bytes)
+            .sum()
+    }
+
+    /// Parse-cache entries evicted over the store's lifetime.
+    #[must_use]
+    pub fn parse_evictions(&self) -> u64 {
+        self.parse_evictions.load(Ordering::Relaxed)
     }
 
     fn shard_of(&self, key: Digest) -> &Mutex<ShardMap> {
@@ -1082,5 +1268,62 @@ mod tests {
         assert_ne!(base, artifact_key(&src2, "step", &verified, &m755));
         // and the same inputs agree across calls
         assert_eq!(base, artifact_key(&src, "step", &verified, &m755));
+    }
+
+    fn parsed_unit_named(i: usize) -> (Digest, ParsedUnit) {
+        // distinct single-function programs with canonical = pretty(ast)
+        let text = format!("int g{i};\nvoid f{i}() {{ g{i} = {i}; }}");
+        let ast = vericomp_minic::parse::parse(&text).expect("parses");
+        let canonical = Arc::new(vericomp_minic::pretty::program_to_c(&ast));
+        let digest = source_digest(&canonical);
+        (
+            digest,
+            ParsedUnit {
+                canonical,
+                ast: Arc::new(ast),
+            },
+        )
+    }
+
+    #[test]
+    fn parse_cache_hits_touches_and_evicts_by_batch() {
+        let units: Vec<(Digest, ParsedUnit)> = (0..4).map(parsed_unit_named).collect();
+        let bytes: Vec<u64> = units
+            .iter()
+            .map(|(_, u)| u.canonical.len() as u64)
+            .collect();
+        // bound that holds the two most recent units but not all four
+        let store = ArtifactStore::with_config(StoreConfig {
+            parse_bytes: Some(bytes[2] + bytes[3]),
+            ..StoreConfig::default()
+        })
+        .expect("memory store");
+        assert!(store.parse_lookup(units[0].0).is_none());
+        assert!(!store.parse_contains(units[0].0));
+
+        // batch 1: all four resident, byte accounting exact
+        for (d, u) in &units {
+            store.parse_insert(*d, u.clone());
+        }
+        assert_eq!(store.parse_resident(), 4);
+        assert_eq!(store.parse_len_bytes(), bytes.iter().sum::<u64>());
+        let hit = store.parse_lookup(units[1].0).expect("hit");
+        assert_eq!(*hit.canonical, *units[1].1.canonical);
+        // re-insert of a resident digest must not double-count
+        store.parse_insert(units[1].0, units[1].1.clone());
+        assert_eq!(store.parse_len_bytes(), bytes.iter().sum::<u64>());
+
+        // batch 2 touches units 2 and 3; eviction then prefers batch 1
+        store.advance_epoch();
+        assert!(store.parse_contains(units[2].0));
+        assert!(store.parse_lookup(units[3].0).is_some());
+        store.enforce_bounds();
+        assert_eq!(store.parse_evictions(), 2);
+        assert!(store.parse_lookup(units[0].0).is_none());
+        assert!(store.parse_lookup(units[1].0).is_none());
+        assert!(store.parse_lookup(units[2].0).is_some());
+        assert!(store.parse_lookup(units[3].0).is_some());
+        // artifact-side counters unaffected
+        assert_eq!(store.evictions(), 0);
     }
 }

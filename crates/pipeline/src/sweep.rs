@@ -43,41 +43,66 @@
 
 use std::fmt;
 use std::ops::Index;
+use std::sync::Arc;
 use std::time::Instant;
 
 use vericomp_arch::MachineConfig;
 use vericomp_core::{OptLevel, PassConfig};
 use vericomp_dataflow::{Application, ApplicationError, Node};
 use vericomp_minic::ast::Program as SrcProgram;
+use vericomp_minic::pretty::program_to_c;
 
 use crate::hash::{Digest, Hasher};
 use crate::service::{CellSpec, CompileUnit, Pipeline, PipelineError, UnitOutcome};
 use crate::stats::PipelineStats;
+use crate::store::source_digest;
 use crate::trace::{RunTrace, Span};
 
 /// One entry of the sweep's unit axis: a named translation unit with its
 /// entry point. Unlike [`CompileUnit`] it carries **no pass selection** —
 /// configs are their own axis.
+///
+/// Construction pretty-prints the AST **once** and memoizes the canonical
+/// text plus its [`source_digest`]; every cell key derivation, wire
+/// negotiation and dedup downstream reuses the memo instead of
+/// re-rendering the program per cell (on a 10k-unit sweep the old
+/// per-cell `program_to_c` dominated warm-path time). The AST itself is
+/// shared by `Arc`, so cloning a unit across the cross product is
+/// pointer-cheap.
 #[derive(Debug, Clone)]
 pub struct SweepUnit {
     /// Axis label (node or application name) — the `unit` coordinate in
     /// lookups.
     pub name: String,
     /// The MiniC translation unit.
-    pub source: SrcProgram,
+    pub source: Arc<SrcProgram>,
     /// Entry-point function.
     pub entry: String,
+    canonical: Arc<String>,
+    digest: Digest,
 }
 
 impl SweepUnit {
+    fn from_ast(name: String, source: Arc<SrcProgram>, entry: String) -> SweepUnit {
+        let canonical = Arc::new(program_to_c(&source));
+        let digest = source_digest(&canonical);
+        SweepUnit {
+            name,
+            source,
+            entry,
+            canonical,
+            digest,
+        }
+    }
+
     /// The unit axis entry for a dataflow node.
     #[must_use]
     pub fn from_node(node: &Node) -> SweepUnit {
-        SweepUnit {
-            name: node.name().to_owned(),
-            source: node.to_minic(),
-            entry: node.step_name().to_owned(),
-        }
+        SweepUnit::from_ast(
+            node.name().to_owned(),
+            Arc::new(node.to_minic()),
+            node.step_name().to_owned(),
+        )
     }
 
     /// The unit axis entry for a whole linked [`Application`] image.
@@ -87,21 +112,60 @@ impl SweepUnit {
     /// [`ApplicationError`] from linking the application's translation
     /// unit.
     pub fn from_application(app: &Application) -> Result<SweepUnit, ApplicationError> {
-        Ok(SweepUnit {
-            name: app.name().to_owned(),
-            source: app.to_minic()?,
-            entry: app.step_name().to_owned(),
-        })
+        Ok(SweepUnit::from_ast(
+            app.name().to_owned(),
+            Arc::new(app.to_minic()?),
+            app.step_name().to_owned(),
+        ))
     }
 
     /// The unit axis entry for a raw MiniC translation unit.
     #[must_use]
     pub fn from_source(name: &str, source: SrcProgram, entry: &str) -> SweepUnit {
+        SweepUnit::from_ast(name.to_owned(), Arc::new(source), entry.to_owned())
+    }
+
+    /// The unit axis entry for an already-parsed unit whose canonical
+    /// text is known — the server's parse cache builds specs this way,
+    /// skipping both the parse *and* the pretty-print.
+    ///
+    /// `canonical` must be exactly `program_to_c(&source)`; the parse
+    /// cache guarantees it by construction (it stores the text it
+    /// parsed, and parse∘pretty is identity on ASTs).
+    #[must_use]
+    pub fn from_parsed(
+        name: &str,
+        source: Arc<SrcProgram>,
+        entry: &str,
+        canonical: Arc<String>,
+    ) -> SweepUnit {
+        debug_assert_eq!(
+            program_to_c(&source),
+            *canonical,
+            "canonical text out of sync with AST for unit `{name}`"
+        );
+        let digest = source_digest(&canonical);
         SweepUnit {
             name: name.to_owned(),
             source,
             entry: entry.to_owned(),
+            canonical,
+            digest,
         }
+    }
+
+    /// The canonical pretty-printed source — the exact text cell cache
+    /// keys hash and the wire protocol uploads.
+    #[must_use]
+    pub fn canonical(&self) -> &Arc<String> {
+        &self.canonical
+    }
+
+    /// [`source_digest`] of the canonical text — the unit's identity in
+    /// wire negotiation and the server's parse cache.
+    #[must_use]
+    pub fn source_digest(&self) -> Digest {
+        self.digest
     }
 }
 
@@ -500,10 +564,11 @@ impl Pipeline {
                         unit: CompileUnit {
                             name: unit.name.clone(),
                             label: config_label.clone(),
-                            source: unit.source.clone(),
+                            source: Arc::clone(&unit.source),
                             entry: unit.entry.clone(),
                             passes: *passes,
                         },
+                        canonical: Arc::clone(&unit.canonical),
                         machine: machine.clone(),
                     });
                 }

@@ -70,7 +70,11 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
   --trace FILE      write the run's span trace as Chrome trace-event JSON
                     (load in Perfetto / chrome://tracing)
   --profile         print the per-stage / per-pass profile table; its
-                    counter digest is identical across --jobs values
+                    counter digest is identical across --jobs values.
+                    With --connect the table is server-derived instead:
+                    lifetime per-stage nanos, store and parse-cache hit
+                    rates and wire byte counters from the daemon's
+                    ServerStats snapshot
   --scenario SEED   sweep a generated multi-rate scenario (testkit scenario
                     suite) instead of the curated fleet, and print its
                     schedulability report + digest (excludes --search/--nodes)
@@ -88,8 +92,8 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
   --connect SOCK    submit the sweep to a running vericomp_serve daemon at
                     SOCK instead of compiling locally; the served digests
                     are bit-identical to a solo run's (excludes --search,
-                    --trace, --profile, --jobs and --cache-dir — those
-                    configure the server, not the client)
+                    --trace, --jobs and --cache-dir — those configure the
+                    server, not the client)
 
 environment overrides (used when the corresponding flag is absent):
   VERICOMP_JOBS       default for --jobs
@@ -232,10 +236,10 @@ fn parse_args() -> Result<Args, String> {
                 "--reanalyze audits the local session analyzer; drop it with --connect".to_string(),
             );
         }
-        if args.trace.is_some() || args.profile {
+        if args.trace.is_some() {
             return Err(
-                "--trace/--profile read local run telemetry; with --connect use \
-                 `vericomp_serve --stats-of` for server metrics"
+                "--trace reads local span telemetry; with --connect use --profile \
+                 or `vericomp_serve --stats-of` for server metrics"
                     .to_string(),
             );
         }
@@ -618,6 +622,16 @@ fn run_connected(args: &Args) -> ExitCode {
         println!("fleet digest: {}", response.digest);
     }
 
+    if args.profile {
+        match client.server_stats() {
+            Ok(stats) => print_server_profile(&stats),
+            Err(e) => {
+                eprintln!("compile_fleet: fetching server stats: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     if let Some(min) = args.min_hit_rate {
         if response.stats.hit_rate() < min {
             eprintln!(
@@ -628,6 +642,42 @@ fn run_connected(args: &Args) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `--connect --profile`: the daemon has no span trace to export, but its
+/// [`vericomp_pipeline::ServerStats`] carries lifetime per-stage nanos and
+/// both cache hit rates — render them in the local profile's line shape so
+/// the same `profile:` greps work against either path.
+fn print_server_profile(stats: &vericomp_pipeline::ServerStats) {
+    #[allow(clippy::cast_precision_loss)]
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!(
+        "profile: stage compile {:>12.2} ms (server lifetime)",
+        ms(stats.compile_ns)
+    );
+    println!(
+        "profile: stage analyze {:>12.2} ms (server lifetime)",
+        ms(stats.analyze_ns)
+    );
+    println!(
+        "profile: stage store   {:>12.2} ms (server lifetime)",
+        ms(stats.store_ns)
+    );
+    println!(
+        "profile: batch wall    {:>12.2} ms ({} batches, {} cells)",
+        ms(stats.wall_ns),
+        stats.batches,
+        stats.batched_cells,
+    );
+    println!("profile: cache hit rate: {:.1}%", stats.hit_rate() * 100.0);
+    println!(
+        "profile: parse-cache hit rate: {:.1}%",
+        stats.parse_hit_rate() * 100.0
+    );
+    println!(
+        "profile: wire rx {} tx {} bytes, units offered {} uploaded {}",
+        stats.bytes_rx, stats.bytes_tx, stats.units_offered, stats.units_uploaded,
+    );
 }
 
 /// `--trace` / `--profile` handling shared by the sweep and search paths:

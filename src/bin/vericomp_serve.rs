@@ -24,8 +24,8 @@ use std::process::ExitCode;
 use vericomp_pipeline::{Client, Server, ServerOptions};
 
 const USAGE: &str = "usage: vericomp_serve --socket PATH [--jobs N] [--cache-dir DIR]
-                     [--shards N] [--store-bytes N] [--max-inflight-cells N]
-                     [--slo F]
+                     [--shards N] [--store-bytes N] [--parse-bytes N]
+                     [--max-inflight-cells N] [--slo F]
        vericomp_serve --stats-of PATH | --shutdown PATH
   --socket PATH     Unix socket to listen on (stale files are replaced)
   --jobs N          worker threads (default: available parallelism)
@@ -34,6 +34,9 @@ const USAGE: &str = "usage: vericomp_serve --socket PATH [--jobs N] [--cache-dir
   --store-bytes N   resident store bound in bytes; exceeding it evicts
                     least-recent batches first, deterministically
                     (default: unbounded)
+  --parse-bytes N   parse-cache bound in bytes (canonical source text);
+                    0 empties the cache at every batch boundary, so
+                    cold clients re-upload every body (default 67108864)
   --max-inflight-cells N
                     admission bound: max sweep cells per batch (default 4096)
   --slo F           hit-rate SLO in 0..1 printed with the stats (default 0.9;
@@ -55,6 +58,7 @@ fn parse_args() -> Result<Mode, String> {
     let mut cache_dir: Option<String> = None;
     let mut shards = 4usize;
     let mut max_bytes: Option<u64> = None;
+    let mut parse_bytes: Option<u64> = None;
     let mut max_inflight = 4096usize;
     let mut slo = 0.9f64;
 
@@ -83,6 +87,13 @@ fn parse_args() -> Result<Mode, String> {
                     value("--store-bytes")?
                         .parse()
                         .map_err(|_| "--store-bytes needs a number".to_string())?,
+                );
+            }
+            "--parse-bytes" => {
+                parse_bytes = Some(
+                    value("--parse-bytes")?
+                        .parse()
+                        .map_err(|_| "--parse-bytes needs a number".to_string())?,
                 );
             }
             "--max-inflight-cells" => {
@@ -115,6 +126,9 @@ fn parse_args() -> Result<Mode, String> {
     options.cache_dir = cache_dir.map(Into::into);
     options.shards = shards;
     options.max_bytes = max_bytes;
+    if let Some(bytes) = parse_bytes {
+        options.parse_bytes = Some(bytes);
+    }
     options.max_inflight_cells = max_inflight;
     #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
     {

@@ -515,3 +515,50 @@ fn daemon_concurrent_clients_match_solo_and_store_digest_ignores_arrival_order()
         "resident store digest depends on request arrival order"
     );
 }
+
+#[test]
+fn daemon_parse_cached_client_uploads_nothing_and_matches_solo() {
+    let spec = daemon_spec(0..5);
+    let solo = pipeline_with_jobs(1).run_sweep(&spec).expect("solo sweep");
+
+    let socket = daemon_socket("parse-warm");
+    let server = Server::new(&ServerOptions::new(&socket)).expect("binds");
+    let handle = std::thread::spawn(move || server.run().expect("serves"));
+
+    // client one seeds the parse cache by uploading every unit body
+    let mut one = Client::connect(&socket).expect("connects");
+    let seeded = one.run_sweep(&spec).expect("seed sweep");
+    assert_eq!(seeded.digest, solo.digest(), "seeding sweep diverges");
+    let after_seed = one.server_stats().expect("stats");
+    assert_eq!(after_seed.units_uploaded, spec.units().len() as u64);
+
+    // client two has never spoken to this daemon, but every digest it
+    // offers is already parse-cached: its sweep must negotiate down to
+    // zero uploaded bodies and still serve the solo digest bit for bit
+    let mut two = Client::connect(&socket).expect("connects");
+    let served = two.run_sweep(&spec).expect("negotiated sweep");
+    assert!(served.verify(), "bad negotiated frame");
+    assert_eq!(
+        served.digest,
+        solo.digest(),
+        "a parse-cached client's sweep diverges from solo"
+    );
+    let after = two.server_stats().expect("stats");
+    assert_eq!(
+        after.units_uploaded, after_seed.units_uploaded,
+        "fully parse-cached client still uploaded unit bodies"
+    );
+    assert_eq!(
+        after.units_offered,
+        after_seed.units_offered + spec.units().len() as u64,
+        "fresh connection must negotiate its digests"
+    );
+    assert!(
+        after.parse_hits >= spec.units().len() as u64,
+        "negotiated units must resolve from the parse cache"
+    );
+
+    let mut admin = Client::connect(&socket).expect("connects");
+    admin.shutdown().expect("acknowledged");
+    handle.join().expect("clean run");
+}
