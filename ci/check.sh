@@ -358,4 +358,137 @@ if [ -e "$DAEMON_SOCK" ]; then
     exit 1
 fi
 
+echo "==> telemetry smoke: merged wire trace, metrics + recorder admin, p99 SLO"
+TELEM_SOCK=target/vericomp-ci-telemetry.sock
+METRICS_JSON=target/vericomp-ci-metrics.json
+MERGED_TRACE=target/vericomp-ci-merged-trace.json
+rm -f "$TELEM_SOCK" "$METRICS_JSON" "$MERGED_TRACE"
+cargo run --release --offline -p vericomp --bin vericomp_serve -- \
+    --socket "$TELEM_SOCK" --metrics-json "$METRICS_JSON" --slo-p99-ms 600000 \
+    > target/vericomp-ci-telemetry-daemon.txt 2>&1 &
+TELEM_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$TELEM_SOCK" ] && break
+    sleep 0.1
+done
+if [ ! -S "$TELEM_SOCK" ]; then
+    echo "telemetry smoke FAILED: socket never appeared" >&2
+    cat target/vericomp-ci-telemetry-daemon.txt >&2
+    exit 1
+fi
+# a traced scenario through the daemon: --connect --trace now works and
+# writes one merged Chrome trace — client rows under pid 1, the server's
+# rows for the same request (tagged with its trace id) under pid 2
+cargo run --release --offline -p vericomp --bin compile_fleet -- \
+    --connect "$TELEM_SOCK" --trace "$MERGED_TRACE" \
+    --scenario 3051 --scenario-tasks 16 --scenario-frames 4 \
+    | tee target/vericomp-ci-telemetry-traced.txt
+if ! grep -q '^trace: .* server-side, trace id ' \
+        target/vericomp-ci-telemetry-traced.txt; then
+    echo "telemetry smoke FAILED: traced connect run printed no trace line" >&2
+    exit 1
+fi
+python3 - "$MERGED_TRACE" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "merged trace has no events"
+pids = {e["pid"] for e in events}
+assert 1 in pids, "no client-side rows (pid 1) in the merged trace"
+assert 2 in pids, "no server-side rows (pid 2) in the merged trace"
+server_names = {e["name"] for e in events if e["pid"] == 2}
+for stage in ("queue-wait", "cache-lookup", "compile", "analyze", "store"):
+    assert stage in server_names, f"server rows are missing stage `{stage}`"
+client_names = {e["name"] for e in events if e["pid"] == 1}
+assert "connect" in client_names and "request" in client_names, \
+    f"client rows incomplete: {sorted(client_names)}"
+server = [e for e in events if e["pid"] == 2]
+assert all("trace=" in e["args"]["detail"] for e in server), \
+    "a server span lost its trace tag"
+tags = {d.split()[0] for d in (e["args"]["detail"] for e in server)
+        for d in [d[d.index("trace="):]]}
+assert len(tags) == 1, f"server spans carry mixed trace ids: {tags}"
+print(f"telemetry smoke: merged trace has {len(events)} events, "
+      f"{len(server)} server-side, one trace id")
+EOF
+# mid-run admin: the metrics registry and the flight-recorder ring are
+# queryable without stopping the daemon, and both are valid JSON
+cargo run --release --offline -p vericomp --bin vericomp_serve -- \
+    --metrics-of "$TELEM_SOCK" > target/vericomp-ci-telemetry-metrics.txt
+cargo run --release --offline -p vericomp --bin vericomp_serve -- \
+    --recorder-of "$TELEM_SOCK" > target/vericomp-ci-telemetry-recorder.txt
+python3 - target/vericomp-ci-telemetry-metrics.txt \
+    target/vericomp-ci-telemetry-recorder.txt <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+assert m["counters"].get("requests", 0) >= 1, "no requests counted"
+assert m["counters"].get("batches", 0) >= 1, "no batches counted"
+for hist in ("request_wall_ns", "batch_cells", "queue_depth"):
+    h = m["histograms"].get(hist)
+    assert h and h["count"] >= 1, f"histogram `{hist}` missing or empty"
+    assert h["p50"] <= h["p99"], f"histogram `{hist}` quantiles disordered"
+assert len(m["counter_digest"]) == 32, "malformed metrics counter digest"
+r = json.load(open(sys.argv[2]))
+kinds = {e["kind"] for e in r["events"]}
+for kind in ("accept", "request", "batch-join", "sweep-start", "sweep-end"):
+    assert kind in kinds, f"recorder has no `{kind}` events ({sorted(kinds)})"
+traced = [e for e in r["events"] if e["trace"] != "0" * 16]
+assert traced, "the traced request never reached the flight recorder"
+print(f"telemetry smoke: {len(r['events'])} recorder events, "
+      f"kinds {sorted(kinds)}")
+EOF
+# the stats snapshot now reports request-latency percentiles and judges
+# the p99 SLO (600 s here, so it must come back `met`)
+cargo run --release --offline -p vericomp --bin vericomp_serve -- \
+    --stats-of "$TELEM_SOCK" | tee target/vericomp-ci-telemetry-stats.txt
+if ! grep -q '^server: latency request p50 ' \
+        target/vericomp-ci-telemetry-stats.txt; then
+    echo "telemetry smoke FAILED: stats missing the request-latency line" >&2
+    exit 1
+fi
+if ! grep -q '^server: p99 SLO .*: met (p99 ' target/vericomp-ci-telemetry-stats.txt; then
+    echo "telemetry smoke FAILED: p99 SLO line missing or MISSED" >&2
+    exit 1
+fi
+# clean shutdown persists the registry to --metrics-json
+cargo run --release --offline -p vericomp --bin vericomp_serve -- \
+    --shutdown "$TELEM_SOCK"
+if ! wait $TELEM_PID; then
+    echo "telemetry smoke FAILED: daemon exited non-zero" >&2
+    cat target/vericomp-ci-telemetry-daemon.txt >&2
+    exit 1
+fi
+python3 - "$METRICS_JSON" target/vericomp-ci-telemetry-metrics.txt <<'EOF'
+import json, sys
+final = json.load(open(sys.argv[1]))
+mid = json.load(open(sys.argv[2]))
+assert final["counters"]["requests"] >= mid["counters"]["requests"], \
+    "persisted registry lost requests recorded mid-run"
+assert len(final["counter_digest"]) == 32
+print("telemetry smoke: registry persisted at shutdown")
+EOF
+
+echo "==> daemon bench: E10 soak, recorder overhead < 3%, latency in BENCH_daemon.json"
+cargo bench --offline -p vericomp-bench --bench daemon \
+    | tee target/vericomp-ci-bench-daemon.txt
+if ! grep -q '^daemon: recorder overhead on warm soak' \
+        target/vericomp-ci-bench-daemon.txt; then
+    echo "daemon bench FAILED: no recorder-overhead line (gate not exercised)" >&2
+    exit 1
+fi
+python3 - crates/bench/BENCH_daemon.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+notes = doc["notes"]
+metrics = notes["metrics"]
+for hist in ("request_wall_ns", "batch_cells", "queue_depth"):
+    assert metrics["histograms"][hist]["count"] >= 1, f"`{hist}` empty in BENCH_daemon.json"
+server = notes["server"]
+assert server["request_p50_ns"] >= 1 and server["request_p99_ns"] >= server["request_p50_ns"], \
+    "request latency percentiles missing from the server stats note"
+recorder = notes["recorder"]
+assert recorder["warm_on_ns"] >= 1 and recorder["warm_off_ns"] >= 1
+print("daemon bench: BENCH_daemon.json carries latency percentiles + histograms")
+EOF
+
 echo "==> all checks passed"

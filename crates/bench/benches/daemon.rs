@@ -24,14 +24,19 @@
 //! to negotiate `have`/`need` first (also zero uploads). The daemon's
 //! own [`ServerStats`] ride along in the summary under the `server`
 //! note, so `BENCH_daemon.json` records hit rate, evictions, wire
-//! bytes, parse-cache traffic and per-stage nanos next to the timings.
+//! bytes, parse-cache traffic and per-stage nanos next to the timings —
+//! and the full metrics registry (per-request latency, batch-size and
+//! queue-depth histograms with p50/p90/p99, plus its counter digest)
+//! rides under the `metrics` note.
 //!
 //! Acceptance bars asserted below: the warm served request is at least
 //! 5x faster than the cold one, the warm soak beats the recorded v1
 //! line-protocol soak by ≥3x at matched machine speed (same
 //! compile-span calibration as the E12 analyzer bar — the compile
 //! stage is byte-identical code between the recording and this bench),
-//! and all digests equal the solo runs.
+//! the flight recorder costs < 3% on the warm soak vs a `--no-recorder`
+//! daemon (best-of-3 each, 25 ms absolute noise floor), and all digests
+//! equal the solo runs.
 
 use std::path::Path;
 use std::time::Instant;
@@ -209,6 +214,14 @@ fn main() {
     );
 
     let server_stats = client.server_stats().expect("stats");
+    println!(
+        "daemon: request latency p50 {:.1} ms p99 {:.1} ms over {} requests \
+         (proto 2.{})",
+        server_stats.request_p50_ns as f64 / 1e6,
+        server_stats.request_p99_ns as f64 / 1e6,
+        server_stats.requests,
+        server_stats.proto_minor,
+    );
     // E12-style machine calibration: the recorded 5.4 s warm soak came
     // with a recorded solo compile span; the same compile code just ran
     // in this process, so the span ratio is this host's speed factor
@@ -241,12 +254,68 @@ fn main() {
     );
     g.note("server", &server_stats.to_json());
     g.note("stats", &warm_soak.stats.to_json());
+    g.note("metrics", &client.server_metrics().expect("metrics"));
+
+    // recorder overhead on the warm soak: best-of-3 against the main
+    // daemon (recorder on, store already warm), then best-of-3 against a
+    // fresh --no-recorder daemon warmed by one cold soak of the same spec
+    let best_of_warm = |c: &mut Client, runs: u32| -> u64 {
+        let mut best = u64::MAX;
+        for _ in 0..runs {
+            let t = Instant::now();
+            let r = c.run_sweep(&soak_spec).expect("warm soak");
+            assert_eq!(r.digest, solo_soak.digest(), "warm soak != solo");
+            best = best.min(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        best
+    };
+    let rec_on_ns = best_of_warm(&mut client, 3);
 
     let mut admin = Client::connect(&socket).expect("connects");
     admin.shutdown().expect("acknowledged");
     let final_stats = handle.join().expect("clean run");
     assert!(!socket.exists(), "socket must be removed on shutdown");
     assert!(final_stats.requests > 0);
+
+    let off_socket =
+        std::env::temp_dir().join(format!("vericomp-bench-norec-{}.sock", std::process::id()));
+    let mut off_options = ServerOptions::new(&off_socket);
+    off_options.recorder = false;
+    let off_server = Server::new(&off_options).expect("binds");
+    let off_handle = std::thread::spawn(move || off_server.run().expect("serves"));
+    let mut off_client = Client::connect(&off_socket).expect("connects");
+    let warmed = off_client.run_sweep(&soak_spec).expect("cold soak");
+    assert_eq!(
+        warmed.digest,
+        solo_soak.digest(),
+        "no-recorder soak != solo"
+    );
+    let rec_off_ns = best_of_warm(&mut off_client, 3);
+    off_client.shutdown().expect("acknowledged");
+    off_handle.join().expect("clean run");
+
+    #[allow(clippy::cast_precision_loss)]
+    let rec_overhead = rec_on_ns as f64 / rec_off_ns as f64 - 1.0;
+    println!(
+        "daemon: recorder overhead on warm soak {:+.2}% (on {:.0} ms, off {:.0} ms; bar < 3%)",
+        rec_overhead * 100.0,
+        rec_on_ns as f64 / 1e6,
+        rec_off_ns as f64 / 1e6,
+    );
+    g.note(
+        "recorder",
+        &format!(
+            "{{\"warm_on_ns\":{rec_on_ns},\"warm_off_ns\":{rec_off_ns},\
+             \"overhead\":{rec_overhead:.4}}}"
+        ),
+    );
+    // 25 ms absolute noise floor keeps sub-second denominators from
+    // turning scheduler jitter into a spurious percentage failure
+    assert!(
+        rec_on_ns <= rec_off_ns + rec_off_ns * 3 / 100 + 25_000_000,
+        "flight recorder costs more than 3% on the warm soak:          on {rec_on_ns} ns vs off {rec_off_ns} ns ({:+.2}%)",
+        rec_overhead * 100.0,
+    );
 
     println!("{}", g.render());
     let path = g.write_json(Path::new(".")).expect("writes summary");

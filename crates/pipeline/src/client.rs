@@ -32,7 +32,7 @@ use std::path::Path;
 use crate::hash::Digest;
 use crate::proto::{
     decode_response, encode_request, read_frame, ProtoError, Request, Response, ServerStats,
-    SweepResponse, WireSweep,
+    SweepResponse, WireSweep, PROTO_MINOR, PROTO_VERSION,
 };
 use crate::sweep::SweepSpec;
 
@@ -119,13 +119,14 @@ impl Client {
         }
     }
 
-    /// One sweep submission with a given upload set.
+    /// One sweep submission with a given upload set and trace id.
     fn submit(
         &mut self,
         spec: &SweepSpec,
+        trace: u64,
         upload: impl Fn(Digest) -> bool,
     ) -> Result<SweepResponse, ClientError> {
-        let wire = WireSweep::from_spec(spec, upload);
+        let wire = WireSweep::from_spec(spec, upload).with_trace(trace);
         match self.roundtrip(&Request::Sweep(wire))? {
             Response::Sweep(sweep) => {
                 // a served sweep implies every digest is now cached
@@ -152,6 +153,45 @@ impl Client {
     /// (including a digest that does not match the cells), or a
     /// server-side rejection.
     pub fn run_sweep(&mut self, spec: &SweepSpec) -> Result<SweepResponse, ClientError> {
+        self.run_sweep_traced(spec, 0)
+    }
+
+    /// Like [`run_sweep`](Client::run_sweep), additionally tagging the
+    /// request with a nonzero trace id (proto 2.1): the response then
+    /// carries the server-side spans of exactly this request, each
+    /// tagged `trace=<id>`, for merging onto the client's timeline. A
+    /// server without trace support (proto 2.0) is reported as a clear
+    /// versioned error instead of its raw `unknown request tag`.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_sweep`](Client::run_sweep), plus the versioned
+    /// capability error described above.
+    pub fn run_sweep_traced(
+        &mut self,
+        spec: &SweepSpec,
+        trace: u64,
+    ) -> Result<SweepResponse, ClientError> {
+        let result = self.run_sweep_inner(spec, trace);
+        if trace != 0 {
+            if let Err(ClientError::Server(msg)) = &result {
+                if msg.contains("unknown request tag `trace`") {
+                    return Err(ClientError::Server(format!(
+                        "server speaks protocol {PROTO_VERSION}.0 without trace support; \
+                         tracing needs {PROTO_VERSION}.{PROTO_MINOR} — upgrade the daemon \
+                         or retry without --trace"
+                    )));
+                }
+            }
+        }
+        result
+    }
+
+    fn run_sweep_inner(
+        &mut self,
+        spec: &SweepSpec,
+        trace: u64,
+    ) -> Result<SweepResponse, ClientError> {
         // negotiate only the digests this connection has not yet seen
         // acknowledged; a fully-warm request skips the extra roundtrip
         let mut offer: Vec<Digest> = Vec::new();
@@ -183,14 +223,14 @@ impl Client {
             }
         };
 
-        match self.submit(spec, |d| need.contains(&d.0)) {
+        match self.submit(spec, trace, |d| need.contains(&d.0)) {
             // the server can evict a digest between our negotiation and
             // the sweep landing; one full re-upload always resolves it
             Err(ClientError::Server(msg)) if msg.contains("unknown unit digest") => {
                 for unit in spec.units() {
                     self.acknowledged.remove(&unit.source_digest().0);
                 }
-                self.submit(spec, |_| true)
+                self.submit(spec, trace, |_| true)
             }
             other => other,
         }
@@ -206,6 +246,38 @@ impl Client {
             Response::Stats(stats) => Ok(stats),
             _ => Err(ClientError::Proto(ProtoError(
                 "expected a stats response".into(),
+            ))),
+        }
+    }
+
+    /// Fetches the server's metrics registry as its JSON rendering
+    /// (proto 2.1; see [`Registry::to_json`](crate::metrics::Registry::to_json)
+    /// for the schema).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure or malformed peer output.
+    pub fn server_metrics(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(json) => Ok(json),
+            _ => Err(ClientError::Proto(ProtoError(
+                "expected a metrics response".into(),
+            ))),
+        }
+    }
+
+    /// Fetches the server's flight-recorder ring as JSON (proto 2.1).
+    /// A `--no-recorder` daemon answers with a server error.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on transport failure, malformed peer output, or
+    /// a disabled recorder.
+    pub fn recorder_dump(&mut self) -> Result<String, ClientError> {
+        match self.roundtrip(&Request::RecorderDump)? {
+            Response::Recorder(json) => Ok(json),
+            _ => Err(ClientError::Proto(ProtoError(
+                "expected a recorder response".into(),
             ))),
         }
     }

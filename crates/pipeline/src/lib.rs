@@ -77,8 +77,10 @@
 
 pub mod client;
 pub mod hash;
+pub mod metrics;
 pub mod pool;
 pub mod proto;
+pub mod recorder;
 pub mod search;
 pub mod server;
 pub mod service;
@@ -89,11 +91,14 @@ pub mod trace;
 
 pub use client::{Client, ClientError};
 pub use hash::{Digest, Hasher};
+pub use metrics::{bucket_index, bucket_upper, Histogram, Registry, HIST_BUCKETS};
 pub use pool::{JobGraph, JobId, ThreadPool};
 pub use proto::{
     cells_digest, frame_text, normalize_spec, read_frame, CellSummary, ProtoError, Request,
-    Response, ServerStats, SweepResponse, WireSweep, WireUnit, MAX_BLOB_BYTES, PROTO_VERSION,
+    Response, ServerStats, SweepResponse, WireSweep, WireUnit, MAX_BLOB_BYTES, PROTO_MINOR,
+    PROTO_VERSION,
 };
+pub use recorder::{FlightRecorder, RecorderEvent, DEFAULT_RECORDER_CAP};
 pub use search::{
     bits_config, config_bits, describe_bits, NodeSearch, ProbedConfig, PrunedFlag, SearchResult,
     SearchSpec, LATTICE_FLAGS, LATTICE_SIZE,

@@ -35,8 +35,10 @@
 //!
 //! request  := "vericomp-request 2" NL body "end" NL
 //! body     := sweep | have | "stats" NL | "shutdown" NL
+//!           | "metrics" NL | "recorder-dump" NL      ; admin (proto 2.1)
 //! have     := "have" n NL ("digest" hex32 NL){n}      ; which do you need?
-//! sweep    := "sweep" NL unit* config+ machine+
+//! sweep    := "sweep" NL trace? unit* config+ machine+
+//! trace    := "trace" hex16 NL                ; client trace id (2.1)
 //! unit     := "unit-ref" entry hex32 name NL          ; body already server-side
 //!           | "unit" entry hex32 name NL blob         ; blob = canonical source
 //! config   := "config" label bits10 NL        ; PassConfig, key-order bits
@@ -44,10 +46,12 @@
 //!
 //! response := "vericomp-response 2" NL rbody "end" NL
 //! rbody    := rsweep | need | rstats | "ok" NL | "error" message NL
+//!           | "metrics" NL blob | "recorder" NL blob  ; JSON admin payloads
 //! need     := "need" n NL ("digest" hex32 NL){n}      ; never-seen subset
 //! rsweep   := "sweep" NL blob                         ; blob = payload
-//! payload  := "axes" nunits nconfigs nmachines NL label-lines cell* stats digest
+//! payload  := "axes" nunits nconfigs nmachines NL label-lines cell* span* stats digest
 //! cell     := "cell" unit config machine wcet cached vbits3 hex32 NL
+//! span     := "span" cat job ts_ns dur_ns name detail? NL   ; traced requests (2.1)
 //! stats    := "stats" jobs_run jobs_cached compile_ns analyze_ns store_ns wall_ns NL
 //! digest   := "digest" hex32 NL
 //! ```
@@ -77,10 +81,20 @@ use crate::hash::{Digest, Hasher};
 use crate::stats::PipelineStats;
 use crate::store::{source_digest, Verdict};
 use crate::sweep::{SweepResult, SweepSpec};
+use crate::trace::{Span, SpanKind};
 
 /// Protocol version. Bump on any grammar change — mismatched peers fail
 /// loudly at the header instead of misparsing bodies.
 pub const PROTO_VERSION: u32 = 2;
+
+/// Protocol **minor** (capability level) within version 2, additive only.
+/// Minor 1 adds: the optional `trace` line on sweep requests, `span`
+/// lines in the sweep-response payload, and the `metrics` /
+/// `recorder-dump` admin requests. Servers advertise theirs in
+/// [`ServerStats::proto_minor`]; a client that needs tracing checks it
+/// (and maps the older server's `unknown request tag` error to a clear
+/// versioned message either way).
+pub const PROTO_MINOR: u32 = 1;
 
 const REQUEST_WORD: &str = "vericomp-request";
 const RESPONSE_WORD: &str = "vericomp-response";
@@ -451,6 +465,11 @@ pub struct WireSweep {
     pub configs: Vec<(String, PassConfig)>,
     /// Machine axis (label, machine).
     pub machines: Vec<(String, MachineConfig)>,
+    /// Client-chosen trace id (0 = untraced). A traced sweep's response
+    /// carries the server-side spans of exactly this request, each
+    /// tagged `trace=<id>` — how `compile_fleet --connect --trace`
+    /// correlates the two processes' timelines.
+    pub trace: u64,
 }
 
 impl WireSweep {
@@ -475,7 +494,15 @@ impl WireSweep {
                 .collect(),
             configs: spec.configs().to_vec(),
             machines: spec.machines().to_vec(),
+            trace: 0,
         }
+    }
+
+    /// Tags the sweep with a trace id (builder-style).
+    #[must_use]
+    pub fn with_trace(mut self, trace: u64) -> WireSweep {
+        self.trace = trace;
+        self
     }
 }
 
@@ -491,6 +518,10 @@ pub enum Request {
     Have(Vec<Digest>),
     /// Fetch a [`ServerStats`] snapshot.
     Stats,
+    /// Fetch the server's metrics registry as JSON (proto 2.1).
+    Metrics,
+    /// Fetch the server's flight-recorder ring as JSON (proto 2.1).
+    RecorderDump,
     /// Drain and stop the server.
     Shutdown,
 }
@@ -535,6 +566,8 @@ pub fn encode_request(request: &Request) -> Result<String, ProtoError> {
     let _ = writeln!(s, "{REQUEST_HEADER}");
     match request {
         Request::Stats => s.push_str("stats\n"),
+        Request::Metrics => s.push_str("metrics\n"),
+        Request::RecorderDump => s.push_str("recorder-dump\n"),
         Request::Shutdown => s.push_str("shutdown\n"),
         Request::Have(digests) => {
             let _ = writeln!(s, "have {}", digests.len());
@@ -547,6 +580,9 @@ pub fn encode_request(request: &Request) -> Result<String, ProtoError> {
                 return err("sweep request must have explicit config and machine axes");
             }
             s.push_str("sweep\n");
+            if sweep.trace != 0 {
+                let _ = writeln!(s, "trace {:016x}", sweep.trace);
+            }
             for unit in &sweep.units {
                 check_word("unit name", &unit.name)?;
                 check_word("entry", &unit.entry)?;
@@ -628,6 +664,8 @@ pub fn decode_request(text: &str) -> Result<Request, ProtoError> {
     let (tag, rest) = first.split_once(' ').unwrap_or((first, ""));
     let body = match (tag, rest) {
         ("stats", "") => Request::Stats,
+        ("metrics", "") => Request::Metrics,
+        ("recorder-dump", "") => Request::RecorderDump,
         ("shutdown", "") => Request::Shutdown,
         ("have", n) => {
             let n: usize = n
@@ -639,6 +677,7 @@ pub fn decode_request(text: &str) -> Result<Request, ProtoError> {
             let mut units = Vec::new();
             let mut configs = Vec::new();
             let mut machines = Vec::new();
+            let mut trace = 0u64;
             loop {
                 let line = match cursor.line() {
                     Some(l) => l,
@@ -646,6 +685,10 @@ pub fn decode_request(text: &str) -> Result<Request, ProtoError> {
                 };
                 let (tag, rest) = line.split_once(' ').unwrap_or((line, ""));
                 match tag {
+                    "trace" => {
+                        trace = u64::from_str_radix(rest, 16)
+                            .map_err(|_| ProtoError(format!("bad trace id `{rest}`")))?;
+                    }
                     "unit-ref" => {
                         let (entry, digest, name) = unit_operands(rest)?;
                         units.push(WireUnit {
@@ -696,6 +739,7 @@ pub fn decode_request(text: &str) -> Result<Request, ProtoError> {
                 units,
                 configs,
                 machines,
+                trace,
             }));
         }
         _ => return err(format!("unknown request kind `{first}`")),
@@ -762,6 +806,11 @@ pub struct SweepResponse {
     /// This request's stats (cache hits count per-request, so a shared
     /// cell shows as a hit for every requester after the first).
     pub stats: PipelineStats,
+    /// Server-side spans of this request (traced sweeps only, proto
+    /// 2.1): stage/pass spans re-projected to the request's own cell
+    /// indices, timestamps on the **server's** batch timeline. Not part
+    /// of [`cells_digest`] — spans are timing, the digest is work.
+    pub spans: Vec<Span>,
     /// [`cells_digest`] as the server computed it. [`verify`](SweepResponse::verify)
     /// recomputes client-side.
     pub digest: Digest,
@@ -793,6 +842,7 @@ impl SweepResponse {
             machines: result.machine_labels().to_vec(),
             cells,
             stats: result.stats.clone(),
+            spans: Vec::new(),
             digest,
         }
     }
@@ -871,6 +921,14 @@ pub struct ServerStats {
     pub parse_resident: u64,
     /// Parse-cache resident bytes (canonical text) at snapshot time.
     pub parse_bytes: u64,
+    /// p50 per-request wall latency (ns) from the server's histogram.
+    pub request_p50_ns: u64,
+    /// p99 per-request wall latency (ns) from the server's histogram.
+    pub request_p99_ns: u64,
+    /// Configured p99 latency SLO in ns; `0` means none configured.
+    pub slo_p99_ns: u64,
+    /// The server's [`PROTO_MINOR`] capability level.
+    pub proto_minor: u64,
 }
 
 impl ServerStats {
@@ -901,7 +959,10 @@ impl ServerStats {
     /// true without one).
     #[must_use]
     pub fn slo_met(&self) -> bool {
-        self.slo_per_mille == 0 || self.hit_rate() * 1000.0 >= self.slo_per_mille as f64
+        let hit_ok =
+            self.slo_per_mille == 0 || self.hit_rate() * 1000.0 >= self.slo_per_mille as f64;
+        let p99_ok = self.slo_p99_ns == 0 || self.request_p99_ns <= self.slo_p99_ns;
+        hit_ok && p99_ok
     }
 
     /// Greppable text rendering — `server:`-prefixed lines, the SLO
@@ -952,6 +1013,24 @@ impl ServerStats {
             "server: stage compile {}ns analyze {}ns store {}ns wall {}ns",
             self.compile_ns, self.analyze_ns, self.store_ns, self.wall_ns,
         );
+        let _ = writeln!(
+            s,
+            "server: latency request p50 {}ns p99 {}ns proto {}.{}",
+            self.request_p50_ns, self.request_p99_ns, PROTO_VERSION, self.proto_minor,
+        );
+        if self.slo_p99_ns > 0 {
+            let _ = writeln!(
+                s,
+                "server: p99 SLO {}ns: {} (p99 {}ns)",
+                self.slo_p99_ns,
+                if self.request_p99_ns <= self.slo_p99_ns {
+                    "met"
+                } else {
+                    "MISSED"
+                },
+                self.request_p99_ns,
+            );
+        }
         if self.slo_per_mille > 0 {
             let _ = writeln!(
                 s,
@@ -979,6 +1058,8 @@ impl ServerStats {
                 "\"units_offered\":{},\"units_uploaded\":{},",
                 "\"parse_hits\":{},\"parse_misses\":{},\"parse_hit_rate\":{:.6},",
                 "\"parse_evictions\":{},\"parse_resident\":{},\"parse_bytes\":{},",
+                "\"request_p50_ns\":{},\"request_p99_ns\":{},\"slo_p99_ns\":{},",
+                "\"proto_minor\":{},",
                 "\"slo_per_mille\":{},\"slo_met\":{}}}"
             ),
             self.requests,
@@ -1008,12 +1089,16 @@ impl ServerStats {
             self.parse_evictions,
             self.parse_resident,
             self.parse_bytes,
+            self.request_p50_ns,
+            self.request_p99_ns,
+            self.slo_p99_ns,
+            self.proto_minor,
             self.slo_per_mille,
             self.slo_met(),
         )
     }
 
-    fn fields(&self) -> [(&'static str, u64); 26] {
+    fn fields(&self) -> [(&'static str, u64); 30] {
         [
             ("requests", self.requests),
             ("batches", self.batches),
@@ -1041,6 +1126,10 @@ impl ServerStats {
             ("parse_evictions", self.parse_evictions),
             ("parse_resident", self.parse_resident),
             ("parse_bytes", self.parse_bytes),
+            ("request_p50_ns", self.request_p50_ns),
+            ("request_p99_ns", self.request_p99_ns),
+            ("slo_p99_ns", self.slo_p99_ns),
+            ("proto_minor", self.proto_minor),
         ]
     }
 
@@ -1072,6 +1161,10 @@ impl ServerStats {
             "parse_evictions" => &mut self.parse_evictions,
             "parse_resident" => &mut self.parse_resident,
             "parse_bytes" => &mut self.parse_bytes,
+            "request_p50_ns" => &mut self.request_p50_ns,
+            "request_p99_ns" => &mut self.request_p99_ns,
+            "slo_p99_ns" => &mut self.slo_p99_ns,
+            "proto_minor" => &mut self.proto_minor,
             _ => return false,
         };
         *slot = value;
@@ -1088,6 +1181,10 @@ pub enum Response {
     Need(Vec<Digest>),
     /// A stats snapshot.
     Stats(ServerStats),
+    /// The metrics registry as one JSON object (proto 2.1).
+    Metrics(String),
+    /// The flight-recorder ring as one JSON object (proto 2.1).
+    Recorder(String),
     /// Acknowledgement (shutdown).
     Ok,
     /// The request was understood as a frame but rejected (parse error,
@@ -1130,6 +1227,21 @@ fn encode_sweep_payload(sweep: &SweepResponse) -> String {
             cell.output_digest,
         );
     }
+    for span in &sweep.spans {
+        let _ = write!(
+            s,
+            "span {} {} {} {} {}",
+            span.kind.cat(),
+            span.job,
+            span.ts_ns,
+            span.dur_ns,
+            span.name,
+        );
+        if !span.detail.is_empty() {
+            let _ = write!(s, " {}", span.detail.replace('\n', " "));
+        }
+        s.push('\n');
+    }
     let st = &sweep.stats;
     let _ = writeln!(
         s,
@@ -1169,6 +1281,18 @@ pub fn encode_response(response: &Response) -> String {
             s.push_str("sweep\n");
             let _ = writeln!(s, "blob {}", payload.len());
             s.push_str(&payload);
+            s.push('\n');
+        }
+        Response::Metrics(json) => {
+            s.push_str("metrics\n");
+            let _ = writeln!(s, "blob {}", json.len());
+            s.push_str(json);
+            s.push('\n');
+        }
+        Response::Recorder(json) => {
+            s.push_str("recorder\n");
+            let _ = writeln!(s, "blob {}", json.len());
+            s.push_str(json);
             s.push('\n');
         }
     }
@@ -1212,6 +1336,7 @@ fn decode_sweep_payload(payload: &str) -> Result<SweepResponse, ProtoError> {
     let configs = axis("config", nc)?;
     let machines = axis("machine", nm)?;
     let mut cells = Vec::with_capacity(nu * nc * nm);
+    let mut spans = Vec::new();
     let mut stats = PipelineStats::default();
     let mut digest = None;
     for line in lines {
@@ -1241,6 +1366,30 @@ fn decode_sweep_payload(payload: &str) -> Result<SweepResponse, ProtoError> {
                     },
                     output_digest: Digest::from_hex(w[6])
                         .ok_or_else(|| ProtoError(format!("bad digest `{}`", w[6])))?,
+                });
+            }
+            "span" => {
+                let w: Vec<&str> = rest.splitn(5, ' ').collect();
+                if w.len() != 5 {
+                    return err(format!("bad span line `{line}`"));
+                }
+                let kind = SpanKind::from_cat(w[0])
+                    .ok_or_else(|| ProtoError(format!("bad span category `{}`", w[0])))?;
+                let num = |v: &str| -> Result<u64, ProtoError> {
+                    v.parse()
+                        .map_err(|_| ProtoError(format!("bad span number `{v}`")))
+                };
+                let (name, detail) = w[4].split_once(' ').unwrap_or((w[4], ""));
+                check_word("span name", name)?;
+                spans.push(Span {
+                    name: name.to_owned(),
+                    kind,
+                    #[allow(clippy::cast_possible_truncation)]
+                    job: num(w[1])? as u32,
+                    pid: 1,
+                    ts_ns: num(w[2])?,
+                    dur_ns: num(w[3])?,
+                    detail: detail.to_owned(),
                 });
             }
             "stats" => {
@@ -1283,6 +1432,7 @@ fn decode_sweep_payload(payload: &str) -> Result<SweepResponse, ProtoError> {
         machines,
         cells,
         stats,
+        spans,
         digest: digest.ok_or_else(|| ProtoError("sweep response lacks digest".into()))?,
     };
     if !response.verify() {
@@ -1340,6 +1490,19 @@ pub fn decode_response(text: &str) -> Result<Response, ProtoError> {
             let response = decode_sweep_payload(payload)?;
             return match cursor.line() {
                 Some("end") => Ok(Response::Sweep(response)),
+                _ => err("response not terminated by `end`"),
+            };
+        }
+        "metrics" | "recorder" => {
+            let nbytes = blob_line(cursor.line())?;
+            let payload = cursor.blob(nbytes)?.to_owned();
+            let response = if tag == "metrics" {
+                Response::Metrics(payload)
+            } else {
+                Response::Recorder(payload)
+            };
+            return match cursor.line() {
+                Some("end") => Ok(response),
                 _ => err("response not terminated by `end`"),
             };
         }
@@ -1481,6 +1644,7 @@ mod tests {
             }],
             configs: vec![("verified".into(), PassConfig::for_level(OptLevel::Verified))],
             machines: vec![("default".into(), MachineConfig::mpc755())],
+            trace: 0,
         };
         let text = encode_request(&Request::Sweep(wire)).expect("encodes");
         // the frame reader consumes the blob by length, not by scanning
@@ -1564,6 +1728,10 @@ mod tests {
             parse_evictions: 1,
             parse_resident: 5,
             parse_bytes: 2_048,
+            request_p50_ns: 1_000_000,
+            request_p99_ns: 8_000_000,
+            slo_p99_ns: 10_000_000,
+            proto_minor: u64::from(PROTO_MINOR),
         };
         let back = decode_response(&encode_response(&Response::Stats(stats.clone())));
         let Response::Stats(back) = back.expect("decodes") else {
@@ -1591,6 +1759,17 @@ mod tests {
         assert!(stats.to_json().contains("\"parse_hit_rate\":0.700000"));
         assert!(stats.to_json().contains("\"units_uploaded\":6"));
         assert!(stats.to_json().contains("\"slo_met\":true"));
+        assert!(render.contains("latency request p50 1000000ns p99 8000000ns proto 2.1"));
+        assert!(render.contains("p99 SLO 10000000ns: met (p99 8000000ns)"));
+        assert!(stats.to_json().contains("\"request_p99_ns\":8000000"));
+        assert!(stats.to_json().contains("\"proto_minor\":1"));
+        // a breached p99 SLO flips the joint verdict even with hits fine
+        let slow = ServerStats {
+            request_p99_ns: 20_000_000,
+            ..stats.clone()
+        };
+        assert!(!slow.slo_met());
+        assert!(slow.render().contains("p99 SLO 10000000ns: MISSED"));
     }
 
     #[test]
@@ -1673,5 +1852,85 @@ mod tests {
         let n = normalize_spec(&spec, &m);
         assert_eq!(n.configs(), spec.configs());
         assert_eq!(n.machines(), spec.machines());
+    }
+
+    #[test]
+    fn trace_id_and_admin_requests_roundtrip() {
+        let spec = sample_spec();
+        let wire = WireSweep::from_spec(&spec, |_| false).with_trace(0x00ab_cdef_0123_4567);
+        let text = encode_request(&Request::Sweep(wire)).expect("encodes");
+        assert!(text.contains("trace 00abcdef01234567\n"));
+        let Request::Sweep(back) = decode_request(&text).expect("decodes") else {
+            panic!("wrong request kind");
+        };
+        assert_eq!(back.trace, 0x00ab_cdef_0123_4567);
+        // untraced sweeps carry no trace line at all
+        let wire = WireSweep::from_spec(&spec, |_| false);
+        let text = encode_request(&Request::Sweep(wire)).expect("encodes");
+        assert!(!text.contains("trace "));
+        // admin requests
+        for (req, word) in [
+            (Request::Metrics, "metrics"),
+            (Request::RecorderDump, "recorder-dump"),
+        ] {
+            let text = encode_request(&req).expect("encodes");
+            assert!(text.contains(&format!("{word}\n")));
+            let back = decode_request(&text).expect("decodes");
+            assert_eq!(std::mem::discriminant(&back), std::mem::discriminant(&req));
+        }
+        assert!(decode_request("vericomp-request 2\nsweep\ntrace zz\nend\n").is_err());
+    }
+
+    #[test]
+    fn metrics_and_recorder_responses_carry_json_blobs() {
+        // bodies may contain `end` lines — the blob framing must hold
+        let json = "{\"counters\": {\"x\": 1}}\nend\n{}".to_owned();
+        for make in [Response::Metrics, Response::Recorder] {
+            let text = encode_response(&make(json.clone()));
+            let mut reader = std::io::BufReader::new(text.as_bytes());
+            let frame = read_frame(&mut reader).expect("reads").expect("one frame");
+            assert_eq!(frame, text.as_bytes());
+            let back = decode_response(&text).expect("decodes");
+            match back {
+                Response::Metrics(body) | Response::Recorder(body) => assert_eq!(body, json),
+                _ => panic!("wrong response kind"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_response_spans_roundtrip_outside_the_digest() {
+        let spec = SweepSpec::new()
+            .nodes(&fleet::named_suite()[..1])
+            .level(OptLevel::Verified);
+        let spec = normalize_spec(&spec, &MachineConfig::mpc755());
+        let result = crate::service::Pipeline::in_memory()
+            .run_sweep(&spec)
+            .expect("solo");
+        let mut response = SweepResponse::from_result(&result);
+        response.spans = vec![
+            Span::stage("compile", 0, 10, 20, "trace=00000000000000ab request=3"),
+            Span::pass("mem2reg", 0, 12, 4, ""),
+            Span::event("search:admitted", 1, 30, "flag=cse"),
+        ];
+        let text = encode_response(&Response::Sweep(response.clone()));
+        let Response::Sweep(back) = decode_response(&text).expect("decodes") else {
+            panic!("wrong response kind");
+        };
+        assert!(back.verify(), "spans must not perturb the cells digest");
+        assert_eq!(back.digest, response.digest);
+        assert_eq!(back.spans.len(), 3);
+        assert_eq!(back.spans[0].name, "compile");
+        assert_eq!(back.spans[0].kind, SpanKind::Stage);
+        assert_eq!(back.spans[0].detail, "trace=00000000000000ab request=3");
+        assert_eq!(back.spans[1].detail, "");
+        assert_eq!(back.spans[1].dur_ns, 4);
+        assert_eq!(back.spans[2].kind, SpanKind::Event);
+        assert_eq!(back.spans[2].job, 1);
+        // a hostile span line is an error, not a panic
+        assert!(decode_sweep_payload(
+            "axes 0 0 0\nspan bogus 0 0 0 x\ndigest 00000000000000000000000000000000"
+        )
+        .is_err());
     }
 }

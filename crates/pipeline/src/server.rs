@@ -49,14 +49,17 @@ use std::time::Instant;
 
 use vericomp_arch::MachineConfig;
 
+use crate::metrics::Registry;
 use crate::proto::{
     cells_digest, decode_request, encode_response, frame_text, machine_to_fields, passes_to_bits,
-    read_frame, CellSummary, Request, Response, ServerStats, SweepResponse, WireSweep,
+    read_frame, CellSummary, Request, Response, ServerStats, SweepResponse, WireSweep, PROTO_MINOR,
 };
+use crate::recorder::{FlightRecorder, DEFAULT_RECORDER_CAP};
 use crate::service::{Pipeline, PipelineOptions};
 use crate::stats::{saturating_nanos, PipelineStats};
 use crate::store::{ArtifactStore, ParsedUnit, StoreConfig};
 use crate::sweep::{SweepResult, SweepSpec, SweepUnit};
+use crate::trace::Span;
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -77,6 +80,15 @@ pub struct ServerOptions {
     pub max_inflight_cells: usize,
     /// Hit-rate SLO in thousandths (`900` = 0.900); `0` disables the line.
     pub slo_per_mille: u64,
+    /// p99 per-request wall-latency SLO in nanoseconds; `0` disables it.
+    pub slo_p99_ns: u64,
+    /// Whether the flight recorder runs (`--no-recorder` disables it;
+    /// the `recorder-dump` request is then refused with an error).
+    pub recorder: bool,
+    /// Flight-recorder ring capacity in events.
+    pub recorder_cap: usize,
+    /// Persist the metrics registry JSON here at clean shutdown.
+    pub metrics_json: Option<PathBuf>,
     /// Default target machine of the shared pipeline (requests always
     /// carry explicit machines; this only parameterizes the pipeline).
     pub machine: MachineConfig,
@@ -85,7 +97,8 @@ pub struct ServerOptions {
 impl ServerOptions {
     /// Defaults: machine parallelism, memory-only store, 4 shards,
     /// unbounded artifacts, 64 MiB parse cache, 4096-cell admission,
-    /// 0.900 SLO, MPC755.
+    /// 0.900 SLO (no p99 SLO), flight recorder on at
+    /// [`DEFAULT_RECORDER_CAP`] events, MPC755.
     #[must_use]
     pub fn new(socket: impl Into<PathBuf>) -> ServerOptions {
         ServerOptions {
@@ -97,6 +110,10 @@ impl ServerOptions {
             parse_bytes: Some(StoreConfig::DEFAULT_PARSE_BYTES),
             max_inflight_cells: 4096,
             slo_per_mille: 900,
+            slo_p99_ns: 0,
+            recorder: true,
+            recorder_cap: DEFAULT_RECORDER_CAP,
+            metrics_json: None,
             machine: MachineConfig::mpc755(),
         }
     }
@@ -106,6 +123,11 @@ impl ServerOptions {
 /// response goes.
 struct Queued {
     client: u64,
+    /// Server-assigned request id (1-based; recorder and span tags).
+    request: u64,
+    /// Client-supplied trace id (0 = untraced; traced requests get
+    /// their server-side spans projected into the response).
+    trace: u64,
     spec: SweepSpec,
     respond: mpsc::Sender<Response>,
 }
@@ -158,12 +180,37 @@ struct Shared {
     ready: Condvar,
     shutdown: AtomicBool,
     metrics: Metrics,
+    /// Lifetime metrics registry, served by the `metrics` request. The
+    /// [`Metrics`] atomics above stay authoritative for [`ServerStats`];
+    /// the registry mirrors the deterministic counters and adds the
+    /// latency/batch/queue histograms the snapshot quantiles come from.
+    registry: Registry,
+    /// The flight recorder (`None` under `--no-recorder`).
+    recorder: Option<FlightRecorder>,
+    /// Server-assigned sweep request ids, 1-based.
+    next_request: AtomicU64,
     store: Arc<ArtifactStore>,
     socket: PathBuf,
     slo_per_mille: u64,
+    slo_p99_ns: u64,
 }
 
 impl Shared {
+    /// Records a flight-recorder event; the detail closure only runs
+    /// when the recorder is enabled, so `--no-recorder` pays no
+    /// formatting cost on the hot path.
+    fn record(
+        &self,
+        request: u64,
+        trace: u64,
+        kind: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record(request, trace, kind, detail());
+        }
+    }
+
     fn snapshot(&self) -> ServerStats {
         let m = &self.metrics;
         ServerStats {
@@ -193,6 +240,10 @@ impl Shared {
             parse_evictions: self.store.parse_evictions(),
             parse_resident: self.store.parse_resident() as u64,
             parse_bytes: self.store.parse_len_bytes(),
+            request_p50_ns: self.registry.quantile("request_wall_ns", 0.50).unwrap_or(0),
+            request_p99_ns: self.registry.quantile("request_wall_ns", 0.99).unwrap_or(0),
+            slo_p99_ns: self.slo_p99_ns,
+            proto_minor: u64::from(PROTO_MINOR),
         }
     }
 }
@@ -204,6 +255,7 @@ pub struct Server {
     pipeline: Pipeline,
     shared: Arc<Shared>,
     max_inflight_cells: usize,
+    metrics_json: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for Server {
@@ -247,11 +299,18 @@ impl Server {
                 ready: Condvar::new(),
                 shutdown: AtomicBool::new(false),
                 metrics: Metrics::default(),
+                registry: Registry::new(),
+                recorder: options
+                    .recorder
+                    .then(|| FlightRecorder::new(options.recorder_cap)),
+                next_request: AtomicU64::new(0),
                 store,
                 socket: options.socket.clone(),
                 slo_per_mille: options.slo_per_mille,
+                slo_p99_ns: options.slo_p99_ns,
             }),
             max_inflight_cells: options.max_inflight_cells.max(1),
+            metrics_json: options.metrics_json.clone(),
         })
     }
 
@@ -289,6 +348,15 @@ impl Server {
                         let _ = UnixStream::connect(&self.shared.socket);
                         let _ = acceptor.join();
                         let _ = std::fs::remove_file(&self.shared.socket);
+                        self.shared.record(0, 0, "shutdown", || {
+                            format!(
+                                "requests={}",
+                                self.shared.metrics.requests.load(Ordering::Relaxed)
+                            )
+                        });
+                        if let Some(path) = &self.metrics_json {
+                            let _ = std::fs::write(path, self.shared.registry.to_json());
+                        }
                         return Ok(self.shared.snapshot());
                     }
                     q = self.shared.ready.wait(q).expect("queue lock");
@@ -349,9 +417,18 @@ impl Server {
     /// are enforced after — the daemon's two batch-boundary hooks.
     fn execute_batch(&self, batch: Vec<Queued>) {
         let m = &self.shared.metrics;
+        let reg = &self.shared.registry;
         self.shared.store.advance_epoch();
         Metrics::add(&m.batches, 1);
         Metrics::add(&m.requests, batch.len() as u64);
+        reg.incr("batches", 1);
+        reg.incr("requests", batch.len() as u64);
+        for item in &batch {
+            self.shared
+                .record(item.request, item.trace, "batch-join", || {
+                    format!("client={} cells={}", item.client, item.spec.cell_count())
+                });
+        }
 
         // group requests by axis signature, preserving arrival order
         let mut groups: Vec<(String, Vec<Queued>)> = Vec::new();
@@ -393,6 +470,11 @@ impl Server {
                 merged = merged.machine(label, machine);
             }
             Metrics::add(&m.batched_cells, merged.cell_count() as u64);
+            reg.incr("batched_cells", merged.cell_count() as u64);
+            reg.observe("batch_cells", merged.cell_count() as u64);
+            self.shared.record(0, 0, "sweep-start", || {
+                format!("members={} cells={}", members.len(), merged.cell_count())
+            });
 
             match self.pipeline.run_sweep(&merged) {
                 Ok(sweep) => {
@@ -401,13 +483,28 @@ impl Server {
                     Metrics::add(&m.compile_ns, sweep.stats.compile_ns);
                     Metrics::add(&m.analyze_ns, sweep.stats.analyze_ns);
                     Metrics::add(&m.store_ns, sweep.stats.store_ns);
+                    reg.incr("jobs_run", sweep.stats.jobs_run);
+                    reg.incr("jobs_cached", sweep.stats.jobs_cached);
+                    self.shared.record(0, 0, "sweep-end", || {
+                        format!(
+                            "run={} cached={}",
+                            sweep.stats.jobs_run, sweep.stats.jobs_cached
+                        )
+                    });
                     for (item, map) in members.iter().zip(&maps) {
-                        let response = project_response(&item.spec, map, &sweep);
+                        let mut response = project_response(&item.spec, map, &sweep);
+                        if item.trace != 0 {
+                            response.spans =
+                                project_spans(&item.spec, map, &sweep, item.trace, item.request);
+                        }
                         let _ = item.respond.send(Response::Sweep(response));
                     }
                 }
                 Err(e) => {
+                    reg.incr("errors", members.len() as u64);
                     for item in &members {
+                        self.shared
+                            .record(item.request, item.trace, "error", || e.to_string());
                         let _ = item.respond.send(Response::Error(e.to_string()));
                     }
                 }
@@ -416,6 +513,31 @@ impl Server {
         }
 
         self.shared.store.enforce_bounds();
+        self.bump_eviction_counters();
+    }
+
+    /// Mirrors the store's lifetime eviction counters into the registry
+    /// (as deltas, so registry == store at every batch boundary) and
+    /// records eviction events when a bound actually fired.
+    fn bump_eviction_counters(&self) {
+        let reg = &self.shared.registry;
+        let store = &self.shared.store;
+        let ev = store.evictions();
+        let prev = reg.counter("evictions");
+        if ev > prev {
+            reg.incr("evictions", ev - prev);
+            self.shared.record(0, 0, "store-evict", || {
+                format!("evicted={} resident={}", ev - prev, store.resident())
+            });
+        }
+        let pev = store.parse_evictions();
+        let prev = reg.counter("parse_evictions");
+        if pev > prev {
+            reg.incr("parse_evictions", pev - prev);
+            self.shared.record(0, 0, "parse-evict", || {
+                format!("evicted={} resident={}", pev - prev, store.parse_resident())
+            });
+        }
     }
 }
 
@@ -466,8 +588,56 @@ fn project_response(spec: &SweepSpec, unit_map: &[usize], sweep: &SweepResult) -
         machines: spec.machines().iter().map(|(l, _)| l.clone()).collect(),
         cells,
         stats,
+        spans: Vec::new(),
         digest,
     }
+}
+
+/// Projects the merged sweep's spans down to one traced request: only
+/// spans of cells the request asked for survive, re-numbered to the
+/// request's own flattening order and tagged `trace=<id> request=<id>`
+/// in the detail — how the client's merged timeline attributes
+/// server-side work to its own request. Timestamps stay on the server's
+/// batch timeline; the client offsets them onto its epoch.
+fn project_spans(
+    spec: &SweepSpec,
+    unit_map: &[usize],
+    sweep: &SweepResult,
+    trace: u64,
+    request: u64,
+) -> Vec<Span> {
+    let nc = spec.configs().len();
+    let nm = spec.machines().len();
+    // merged flat cell index → request-local flat cell index (first
+    // occurrence wins if a request lists the same unit twice)
+    let mut back: HashMap<u32, u32> = HashMap::new();
+    for (ui, &mu) in unit_map.iter().enumerate() {
+        for ci in 0..nc {
+            for mi in 0..nm {
+                #[allow(clippy::cast_possible_truncation)]
+                back.entry((mu * nc * nm + ci * nm + mi) as u32)
+                    .or_insert((ui * nc * nm + ci * nm + mi) as u32);
+            }
+        }
+    }
+    let tag = format!("trace={trace:016x} request={request}");
+    sweep
+        .trace()
+        .spans()
+        .iter()
+        .filter_map(|s| {
+            back.get(&s.job).map(|&local| {
+                let mut out = s.clone();
+                out.job = local;
+                out.detail = if out.detail.is_empty() {
+                    tag.clone()
+                } else {
+                    format!("{} {}", out.detail, tag)
+                };
+                out
+            })
+        })
+        .collect()
 }
 
 fn accept_loop(listener: &UnixListener, shared: &Arc<Shared>) {
@@ -499,15 +669,18 @@ fn resolve_sweep(wire: &WireSweep, shared: &Shared) -> Result<SweepSpec, String>
     for unit in &wire.units {
         if unit.body.is_some() {
             Metrics::add(&m.units_uploaded, 1);
+            shared.registry.incr("units_uploaded", 1);
         }
         let resolved = match shared.store.parse_lookup(unit.digest) {
             Some(parsed) => {
                 Metrics::add(&m.parse_hits, 1);
+                shared.registry.incr("parse_hits", 1);
                 parsed
             }
             None => match &unit.body {
                 Some(body) => {
                     Metrics::add(&m.parse_misses, 1);
+                    shared.registry.incr("parse_misses", 1);
                     let ast = vericomp_minic::parse::parse(body)
                         .map_err(|e| format!("unit `{}` failed to parse: {e}", unit.name))?;
                     let parsed = ParsedUnit {
@@ -543,6 +716,7 @@ fn resolve_sweep(wire: &WireSweep, shared: &Shared) -> Result<SweepSpec, String>
 
 fn connection_loop(stream: UnixStream, client: u64, shared: &Arc<Shared>) {
     let mut reader = BufReader::new(stream);
+    shared.record(0, 0, "accept", || format!("client={client}"));
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(Some(frame)) => frame,
@@ -551,10 +725,20 @@ fn connection_loop(stream: UnixStream, client: u64, shared: &Arc<Shared>) {
         Metrics::add(&shared.metrics.bytes_rx, frame.len() as u64);
         let request = frame_text(&frame).and_then(decode_request);
         let response = match request {
-            Err(e) => Response::Error(e.to_string()),
+            Err(e) => {
+                shared.registry.incr("errors", 1);
+                shared.record(0, 0, "error", || e.to_string());
+                Response::Error(e.to_string())
+            }
             Ok(Request::Stats) => Response::Stats(shared.snapshot()),
+            Ok(Request::Metrics) => Response::Metrics(shared.registry.to_json()),
+            Ok(Request::RecorderDump) => match &shared.recorder {
+                Some(recorder) => Response::Recorder(recorder.dump_json()),
+                None => Response::Error("flight recorder disabled (--no-recorder)".into()),
+            },
             Ok(Request::Have(digests)) => {
                 Metrics::add(&shared.metrics.units_offered, digests.len() as u64);
+                shared.registry.incr("units_offered", digests.len() as u64);
                 // `parse_contains` stamps hits with the current epoch, so
                 // a just-negotiated digest is maximally recent when its
                 // sweep arrives
@@ -575,35 +759,56 @@ fn connection_loop(stream: UnixStream, client: u64, shared: &Arc<Shared>) {
                 let _ = UnixStream::connect(&shared.socket);
                 return;
             }
-            Ok(Request::Sweep(wire)) => match resolve_sweep(&wire, shared) {
-                Err(msg) => Response::Error(msg),
-                Ok(spec) => {
-                    let (tx, rx) = mpsc::channel();
-                    let queued = {
-                        let mut q = shared.queue.lock().expect("queue lock");
-                        if q.closed {
-                            false
-                        } else {
-                            q.items.push_back(Queued {
-                                client,
-                                spec,
-                                respond: tx,
-                            });
-                            Metrics::raise(&shared.metrics.queue_peak, q.items.len() as u64);
-                            true
-                        }
-                    };
-                    if queued {
-                        shared.ready.notify_all();
-                        match rx.recv() {
-                            Ok(response) => response,
-                            Err(_) => Response::Error("server dropped the request".into()),
-                        }
-                    } else {
-                        Response::Error("server is shutting down".into())
+            Ok(Request::Sweep(wire)) => {
+                let started = Instant::now();
+                let request = shared.next_request.fetch_add(1, Ordering::Relaxed) + 1;
+                let trace = wire.trace;
+                shared.record(request, trace, "request", || {
+                    format!("client={client} units={}", wire.units.len())
+                });
+                let response = match resolve_sweep(&wire, shared) {
+                    Err(msg) => {
+                        shared.registry.incr("errors", 1);
+                        shared.record(request, trace, "error", || msg.clone());
+                        Response::Error(msg)
                     }
-                }
-            },
+                    Ok(spec) => {
+                        let (tx, rx) = mpsc::channel();
+                        let queued = {
+                            let mut q = shared.queue.lock().expect("queue lock");
+                            if q.closed {
+                                false
+                            } else {
+                                q.items.push_back(Queued {
+                                    client,
+                                    request,
+                                    trace,
+                                    spec,
+                                    respond: tx,
+                                });
+                                let depth = q.items.len() as u64;
+                                Metrics::raise(&shared.metrics.queue_peak, depth);
+                                shared.registry.observe("queue_depth", depth);
+                                shared.registry.raise_gauge("queue_peak", depth);
+                                true
+                            }
+                        };
+                        if queued {
+                            shared.ready.notify_all();
+                            match rx.recv() {
+                                Ok(response) => response,
+                                Err(_) => Response::Error("server dropped the request".into()),
+                            }
+                        } else {
+                            Response::Error("server is shutting down".into())
+                        }
+                    }
+                };
+                shared
+                    .registry
+                    .observe("request_wall_ns", saturating_nanos(started.elapsed()));
+                response
+            }
         };
         let text = encode_response(&response);
         Metrics::add(&shared.metrics.bytes_tx, text.len() as u64);

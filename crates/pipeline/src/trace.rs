@@ -64,6 +64,18 @@ impl SpanKind {
             SpanKind::Event => "event",
         }
     }
+
+    /// Parses a category string back into the kind — the inverse of
+    /// [`cat`](SpanKind::cat), used when spans travel over the wire.
+    #[must_use]
+    pub fn from_cat(cat: &str) -> Option<SpanKind> {
+        match cat {
+            "stage" => Some(SpanKind::Stage),
+            "pass" => Some(SpanKind::Pass),
+            "event" => Some(SpanKind::Event),
+            _ => None,
+        }
+    }
 }
 
 /// One recorded interval (or instantaneous event) of a run. Timestamps are
@@ -77,6 +89,11 @@ pub struct Span {
     pub kind: SpanKind,
     /// The cell index the span belongs to (the Chrome `tid` track).
     pub job: u32,
+    /// The process row the span renders under (the Chrome `pid` track):
+    /// 1 for spans recorded in this process (the constructors' default),
+    /// 2 for server-side spans a client received over the wire — so a
+    /// merged `--connect --trace` timeline shows both processes.
+    pub pid: u32,
     /// Start, nanoseconds since the run epoch.
     pub ts_ns: u64,
     /// Duration in nanoseconds (0 for [`SpanKind::Event`]).
@@ -95,6 +112,7 @@ impl Span {
             job,
             ts_ns,
             dur_ns,
+            pid: 1,
             detail: detail.to_owned(),
         }
     }
@@ -108,6 +126,7 @@ impl Span {
             job,
             ts_ns,
             dur_ns,
+            pid: 1,
             detail: detail.to_owned(),
         }
     }
@@ -121,6 +140,7 @@ impl Span {
             job,
             ts_ns,
             dur_ns: 0,
+            pid: 1,
             detail: detail.to_owned(),
         }
     }
@@ -213,7 +233,9 @@ impl RunTrace {
     /// Serializes the trace as Chrome trace-event JSON — an object with a
     /// `traceEvents` array of complete (`"ph": "X"`) events, timestamps in
     /// microseconds. Load the file in Perfetto or `chrome://tracing`;
-    /// cells render as `tid` tracks under one process.
+    /// cells render as `tid` tracks grouped under each span's `pid`
+    /// process row (1 = this process, 2 = server-side spans a client
+    /// merged in from a `--connect --trace` run).
     #[must_use]
     pub fn to_chrome_json(&self) -> String {
         let us = |ns: u64| ns as f64 / 1e3;
@@ -226,11 +248,12 @@ impl RunTrace {
             let _ = write!(
                 out,
                 "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\
-                 \"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"detail\":\"{}\"}}}}",
+                 \"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"detail\":\"{}\"}}}}",
                 escape_json(&s.name),
                 s.kind.cat(),
                 us(s.ts_ns),
                 us(s.dur_ns),
+                s.pid,
                 s.job,
                 escape_json(&s.detail),
             );
@@ -435,7 +458,7 @@ impl Profile {
 /// Minimal JSON string escaping for the hand-rolled exports (names and
 /// details are internal ASCII identifiers; quotes/backslashes/control
 /// bytes are escaped defensively).
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -372,28 +372,6 @@ pub fn compute(
     compute_with_facts(cfg, va, machine, annots).map(|(b, _)| b)
 }
 
-/// Deprecated name for [`compute`].
-#[deprecated(since = "0.1.0", note = "use `bounds::compute`")]
-pub fn loop_bounds(
-    cfg: &Cfg,
-    va: &ValueAnalysis,
-    machine: &MachineConfig,
-    annots: Option<&AnnotationFile>,
-) -> Result<BTreeMap<u32, u64>, AnalysisError> {
-    compute(cfg, va, machine, annots)
-}
-
-/// Deprecated name for [`compute_with_facts`].
-#[deprecated(since = "0.1.0", note = "use `bounds::compute_with_facts`")]
-pub fn loop_bounds_with_facts(
-    cfg: &Cfg,
-    va: &ValueAnalysis,
-    machine: &MachineConfig,
-    annots: Option<&AnnotationFile>,
-) -> Result<(BTreeMap<u32, u64>, Vec<HeaderFact>), AnalysisError> {
-    compute_with_facts(cfg, va, machine, annots)
-}
-
 /// Like [`compute`], additionally returning the induction-variable
 /// window facts to feed back into the value analysis
 /// ([`crate::value::analyze_with_facts`]).

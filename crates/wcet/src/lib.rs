@@ -187,40 +187,6 @@ impl fmt::Display for AnalysisError {
 
 impl std::error::Error for AnalysisError {}
 
-/// Analyzes a function with default options (annotations enabled).
-///
-/// # Errors
-///
-/// Any [`AnalysisError`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use Analyzer::default().analyze(&AnalysisRequest::new(program, func))"
-)]
-pub fn analyze(program: &Program, func: &str) -> Result<WcetReport, AnalysisError> {
-    Analyzer::default()
-        .analyze(&AnalysisRequest::new(program, func))
-        .map(Analysis::into_report)
-}
-
-/// Analyzes a function with explicit options.
-///
-/// # Errors
-///
-/// Any [`AnalysisError`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use Analyzer::new(*opts).analyze(&AnalysisRequest::new(program, func))"
-)]
-pub fn analyze_with(
-    program: &Program,
-    func: &str,
-    opts: &AnalysisOptions,
-) -> Result<WcetReport, AnalysisError> {
-    Analyzer::new(*opts)
-        .analyze(&AnalysisRequest::new(program, func))
-        .map(Analysis::into_report)
-}
-
 /// One analysis request: which function of which program to bound.
 /// Mirrors the pipeline's `CompileUnit::builder()` shape.
 #[derive(Debug, Clone, Copy)]
@@ -991,8 +957,8 @@ mod tests {
         Gpr::new(i)
     }
 
-    /// Session-API counterpart of the deprecated free `analyze`; shadows the
-    /// glob import so the tests exercise the supported entry point.
+    /// One-shot convenience over the `Analyzer` session API — the only
+    /// entry point since the deprecated free wrappers were removed.
     fn analyze(program: &Program, func: &str) -> Result<WcetReport, AnalysisError> {
         Analyzer::default()
             .analyze(&AnalysisRequest::new(program, func))

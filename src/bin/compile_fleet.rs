@@ -27,7 +27,9 @@ use std::process::ExitCode;
 use vericomp_arch::MachineConfig;
 use vericomp_core::OptLevel;
 use vericomp_dataflow::fleet;
-use vericomp_pipeline::{normalize_spec, Client, Pipeline, PipelineOptions, SearchSpec, SweepSpec};
+use vericomp_pipeline::{
+    normalize_spec, Client, Pipeline, PipelineOptions, RunTrace, SearchSpec, Span, SweepSpec,
+};
 use vericomp_testkit::scenario::{Scenario, ScenarioConfig};
 
 struct Args {
@@ -68,7 +70,11 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
                     of a fixed-config sweep (single machine; --configs is
                     rejected — the search seeds its own frontier)
   --trace FILE      write the run's span trace as Chrome trace-event JSON
-                    (load in Perfetto / chrome://tracing)
+                    (load in Perfetto / chrome://tracing). With --connect
+                    the sweep request carries a trace id and the daemon
+                    returns its server-side spans for that request; the
+                    file then holds one merged timeline — client spans as
+                    pid 1, server spans as pid 2
   --profile         print the per-stage / per-pass profile table; its
                     counter digest is identical across --jobs values.
                     With --connect the table is server-derived instead:
@@ -92,8 +98,8 @@ const USAGE: &str = "usage: compile_fleet [--jobs N] [--cache-dir DIR] [--config
   --connect SOCK    submit the sweep to a running vericomp_serve daemon at
                     SOCK instead of compiling locally; the served digests
                     are bit-identical to a solo run's (excludes --search,
-                    --trace, --jobs and --cache-dir — those configure the
-                    server, not the client)
+                    --jobs and --cache-dir — those configure the server,
+                    not the client)
 
 environment overrides (used when the corresponding flag is absent):
   VERICOMP_JOBS       default for --jobs
@@ -234,13 +240,6 @@ fn parse_args() -> Result<Args, String> {
         if args.reanalyze {
             return Err(
                 "--reanalyze audits the local session analyzer; drop it with --connect".to_string(),
-            );
-        }
-        if args.trace.is_some() {
-            return Err(
-                "--trace reads local span telemetry; with --connect use --profile \
-                 or `vericomp_serve --stats-of` for server metrics"
-                    .to_string(),
             );
         }
         if jobs_set || cache_dir_set {
@@ -514,16 +513,45 @@ fn run_scenario(pipeline: &Pipeline, args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// A fresh nonzero trace id for a `--connect --trace` run: wall-clock
+/// nanos folded with the pid. Uniqueness only has to hold across the
+/// requests one daemon is concurrently serving — the id exists so the
+/// server can tag the spans of *this* request, not as a digest input.
+fn fresh_trace_id() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| {
+            u64::try_from(d.as_nanos() & u128::from(u64::MAX)).unwrap_or(0)
+        });
+    (nanos ^ u64::from(std::process::id()).rotate_left(32)).max(1)
+}
+
 /// `--connect SOCK`: submit the sweep (fleet or scenario) to a running
 /// `vericomp_serve` daemon and render the served response in the solo
 /// run's output shape — same per-cell table, same `fleet digest:` /
 /// `sched digest:` lines, and by the service determinism guarantee, the
 /// same digest values a local run of the identical request prints.
+///
+/// With `--trace FILE` the request carries a fresh trace id; the daemon
+/// answers with the server-side spans of exactly this request, which are
+/// shifted onto the client's epoch timeline (anchored at the request
+/// send) and written alongside the client's own connection/request spans
+/// as one Chrome trace — client rows under pid 1, server rows under pid 2.
 fn run_connected(args: &Args) -> ExitCode {
     let sock = args
         .connect
         .as_deref()
         .expect("run_connected needs --connect");
+    let trace_id = if args.trace.is_some() {
+        fresh_trace_id()
+    } else {
+        0
+    };
+    let epoch = std::time::Instant::now();
+    let nanos_since =
+        |e: &std::time::Instant| u64::try_from(e.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let mut client_spans: Vec<Span> = Vec::new();
+
     let mut client = match Client::connect(sock) {
         Ok(c) => c,
         Err(e) => {
@@ -531,6 +559,15 @@ fn run_connected(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if trace_id != 0 {
+        client_spans.push(Span::stage(
+            "connect",
+            0,
+            0,
+            nanos_since(&epoch),
+            &format!("sock={sock}"),
+        ));
+    }
 
     let scenario = if args.scenario.is_some() {
         match build_scenario(args) {
@@ -570,13 +607,28 @@ fn run_connected(args: &Args) -> ExitCode {
         spec.cell_count(),
     );
 
-    let response = match client.run_sweep(&spec) {
+    let request_start = nanos_since(&epoch);
+    let result = if trace_id == 0 {
+        client.run_sweep(&spec)
+    } else {
+        client.run_sweep_traced(&spec, trace_id)
+    };
+    let response = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("compile_fleet: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if trace_id != 0 {
+        client_spans.push(Span::stage(
+            "request",
+            0,
+            request_start,
+            nanos_since(&epoch).saturating_sub(request_start),
+            &format!("trace={trace_id:016x} cells={}", spec.cell_count()),
+        ));
+    }
 
     if let Some(scenario) = &scenario {
         println!("{}", response.stats.render());
@@ -630,6 +682,30 @@ fn run_connected(args: &Args) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if let Some(path) = &args.trace {
+        let mut merged = RunTrace::new();
+        for span in client_spans {
+            merged.push(span);
+        }
+        let server_spans = response.spans.len();
+        for mut span in response.spans.clone() {
+            // server span timestamps are relative to the server-side sweep
+            // start; anchor them at the moment this client sent the request
+            // so both processes share one Perfetto timeline
+            span.ts_ns = span.ts_ns.saturating_add(request_start);
+            span.pid = 2;
+            merged.push(span);
+        }
+        if let Err(e) = std::fs::write(path, merged.to_chrome_json()) {
+            eprintln!("compile_fleet: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "trace: {} spans written to {path} ({server_spans} server-side, trace id {trace_id:016x})",
+            merged.len(),
+        );
     }
 
     if let Some(min) = args.min_hit_rate {

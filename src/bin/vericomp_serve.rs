@@ -16,8 +16,9 @@
 //! `compile_fleet` run of the same request prints — the determinism
 //! gates and the CI daemon smoke compare exactly that.
 //!
-//! `--stats-of SOCK` and `--shutdown SOCK` run one-shot admin requests
-//! against an already-running daemon instead of starting one.
+//! `--stats-of SOCK`, `--metrics-of SOCK`, `--recorder-of SOCK` and
+//! `--shutdown SOCK` run one-shot admin requests against an
+//! already-running daemon instead of starting one.
 
 use std::process::ExitCode;
 
@@ -25,8 +26,10 @@ use vericomp_pipeline::{Client, Server, ServerOptions};
 
 const USAGE: &str = "usage: vericomp_serve --socket PATH [--jobs N] [--cache-dir DIR]
                      [--shards N] [--store-bytes N] [--parse-bytes N]
-                     [--max-inflight-cells N] [--slo F]
-       vericomp_serve --stats-of PATH | --shutdown PATH
+                     [--max-inflight-cells N] [--slo F] [--slo-p99-ms N]
+                     [--metrics-json FILE] [--no-recorder] [--recorder-cap N]
+       vericomp_serve --stats-of PATH | --metrics-of PATH
+                    | --recorder-of PATH | --shutdown PATH
   --socket PATH     Unix socket to listen on (stale files are replaced)
   --jobs N          worker threads (default: available parallelism)
   --cache-dir DIR   persistent .vcart store directory (default: memory only)
@@ -41,12 +44,26 @@ const USAGE: &str = "usage: vericomp_serve --socket PATH [--jobs N] [--cache-dir
                     admission bound: max sweep cells per batch (default 4096)
   --slo F           hit-rate SLO in 0..1 printed with the stats (default 0.9;
                     0 disables the line)
+  --slo-p99-ms N    p99 per-request wall-latency SLO in milliseconds, judged
+                    against the request_wall_ns histogram and printed with
+                    the stats (default 0: disabled)
+  --metrics-json FILE
+                    persist the metrics registry as JSON to FILE at clean
+                    shutdown
+  --no-recorder     disable the flight recorder (recorder-dump requests
+                    then answer with an error)
+  --recorder-cap N  flight-recorder ring capacity in events (default 4096)
   --stats-of PATH   print a running daemon's stats and exit
+  --metrics-of PATH print a running daemon's metrics registry JSON and exit
+  --recorder-of PATH
+                    print a running daemon's flight-recorder dump and exit
   --shutdown PATH   ask a running daemon to drain and stop, then exit";
 
 enum Mode {
     Serve(ServerOptions),
     StatsOf(String),
+    MetricsOf(String),
+    RecorderOf(String),
     Shutdown(String),
 }
 
@@ -61,6 +78,12 @@ fn parse_args() -> Result<Mode, String> {
     let mut parse_bytes: Option<u64> = None;
     let mut max_inflight = 4096usize;
     let mut slo = 0.9f64;
+    let mut slo_p99_ms = 0u64;
+    let mut metrics_json: Option<String> = None;
+    let mut recorder = true;
+    let mut recorder_cap: Option<usize> = None;
+    let mut metrics_of: Option<String> = None;
+    let mut recorder_of: Option<String> = None;
 
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -70,6 +93,8 @@ fn parse_args() -> Result<Mode, String> {
         match flag.as_str() {
             "--socket" => socket = Some(value("--socket")?),
             "--stats-of" => stats_of = Some(value("--stats-of")?),
+            "--metrics-of" => metrics_of = Some(value("--metrics-of")?),
+            "--recorder-of" => recorder_of = Some(value("--recorder-of")?),
             "--shutdown" => shutdown = Some(value("--shutdown")?),
             "--jobs" => {
                 jobs = value("--jobs")?
@@ -109,6 +134,20 @@ fn parse_args() -> Result<Mode, String> {
                     return Err("--slo needs a number in 0..1".to_string());
                 }
             }
+            "--slo-p99-ms" => {
+                slo_p99_ms = value("--slo-p99-ms")?
+                    .parse()
+                    .map_err(|_| "--slo-p99-ms needs a number".to_string())?;
+            }
+            "--metrics-json" => metrics_json = Some(value("--metrics-json")?),
+            "--no-recorder" => recorder = false,
+            "--recorder-cap" => {
+                recorder_cap = Some(
+                    value("--recorder-cap")?
+                        .parse()
+                        .map_err(|_| "--recorder-cap needs a number".to_string())?,
+                );
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -116,6 +155,12 @@ fn parse_args() -> Result<Mode, String> {
 
     if let Some(path) = stats_of {
         return Ok(Mode::StatsOf(path));
+    }
+    if let Some(path) = metrics_of {
+        return Ok(Mode::MetricsOf(path));
+    }
+    if let Some(path) = recorder_of {
+        return Ok(Mode::RecorderOf(path));
     }
     if let Some(path) = shutdown {
         return Ok(Mode::Shutdown(path));
@@ -133,6 +178,12 @@ fn parse_args() -> Result<Mode, String> {
     #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
     {
         options.slo_per_mille = (slo * 1000.0).round() as u64;
+    }
+    options.slo_p99_ns = slo_p99_ms.saturating_mul(1_000_000);
+    options.metrics_json = metrics_json.map(Into::into);
+    options.recorder = recorder;
+    if let Some(cap) = recorder_cap {
+        options.recorder_cap = cap;
     }
     Ok(Mode::Serve(options))
 }
@@ -157,6 +208,44 @@ fn main() -> ExitCode {
             match client.server_stats() {
                 Ok(stats) => {
                     print!("{}", stats.render());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("vericomp_serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::MetricsOf(path) => {
+            let mut client = match Client::connect(&path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("vericomp_serve: connecting {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match client.server_metrics() {
+                Ok(json) => {
+                    print!("{json}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("vericomp_serve: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Mode::RecorderOf(path) => {
+            let mut client = match Client::connect(&path) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("vericomp_serve: connecting {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match client.recorder_dump() {
+                Ok(json) => {
+                    print!("{json}");
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

@@ -562,3 +562,96 @@ fn daemon_parse_cached_client_uploads_nothing_and_matches_solo() {
     admin.shutdown().expect("acknowledged");
     handle.join().expect("clean run");
 }
+
+/// Extracts the `counter_digest` value from a metrics-registry JSON blob.
+fn metrics_digest(json: &str) -> String {
+    let tag = "\"counter_digest\": \"";
+    let at = json
+        .find(tag)
+        .expect("metrics JSON carries a counter digest");
+    let rest = &json[at + tag.len()..];
+    rest[..rest.find('"').expect("closing quote")].to_owned()
+}
+
+/// The metrics registry obeys the repo's digest discipline: for one serial
+/// client replaying the identical request sequence, `counter_digest` is a
+/// pure function of the workload — invariant across worker counts, shard
+/// layouts, and a daemon restart (fresh lifetime, same requests). Wall
+/// latencies differ wildly across those axes; only identities and counts
+/// are hashed.
+#[test]
+fn daemon_metrics_counter_digest_is_invariant_across_jobs_shards_and_restart() {
+    let first = daemon_spec(0..3);
+    let second = daemon_spec(0..5);
+
+    let mut digests = Vec::new();
+    // (jobs, shards) axes plus a repeat of the first configuration — the
+    // repeat is the "restart" leg: a fresh memory-only lifetime serving
+    // the same requests must reproduce the digest bit for bit
+    for (tag, jobs, shards) in [
+        ("m1", 1usize, 1usize),
+        ("m2", 8, 1),
+        ("m3", 1, 4),
+        ("m4", 8, 8),
+        ("m5", 1, 1),
+    ] {
+        let socket = daemon_socket(&format!("metrics-{tag}"));
+        let mut options = ServerOptions::new(&socket);
+        options.jobs = jobs;
+        options.shards = shards;
+        let server = Server::new(&options).expect("binds");
+        let handle = std::thread::spawn(move || server.run().expect("serves"));
+
+        let mut client = Client::connect(&socket).expect("connects");
+        client.run_sweep(&first).expect("served");
+        client.run_sweep(&second).expect("served");
+        let json = client.server_metrics().expect("metrics");
+        digests.push((tag, metrics_digest(&json)));
+        client.shutdown().expect("acknowledged");
+        handle.join().expect("clean run");
+    }
+    assert!(
+        digests.windows(2).all(|w| w[0].1 == w[1].1),
+        "metrics counter digest varies with jobs/shards/restart: {digests:?}"
+    );
+}
+
+/// A traced sweep (proto 2.1) returns the server-side spans of exactly
+/// that request: stage rows covering every cell, each tagged with the
+/// trace id the client chose — and the spans ride outside the response
+/// digest, so a traced response stays bit-identical to an untraced one.
+#[test]
+fn daemon_traced_sweep_returns_tagged_spans_without_changing_the_digest() {
+    let spec = daemon_spec(0..3);
+    let solo = pipeline_with_jobs(1).run_sweep(&spec).expect("solo sweep");
+
+    let socket = daemon_socket("traced");
+    let server = Server::new(&ServerOptions::new(&socket)).expect("binds");
+    let handle = std::thread::spawn(move || server.run().expect("serves"));
+
+    let mut client = Client::connect(&socket).expect("connects");
+    let trace_id = 0x00c0_ffee_0000_0042u64;
+    let traced = client.run_sweep_traced(&spec, trace_id).expect("served");
+    assert!(traced.verify(), "bad traced frame");
+    assert_eq!(traced.digest, solo.digest(), "trace id leaked into digest");
+    assert!(!traced.spans.is_empty(), "traced response carries no spans");
+    let tag = format!("trace={trace_id:016x}");
+    assert!(
+        traced.spans.iter().all(|s| s.detail.contains(&tag)),
+        "server span missing its trace tag"
+    );
+    for stage in ["compile", "analyze", "store"] {
+        assert!(
+            traced.spans.iter().any(|s| s.name == stage),
+            "traced response lacks a `{stage}` stage span"
+        );
+    }
+
+    // an untraced request on the same connection gets no spans back
+    let untraced = client.run_sweep(&spec).expect("served");
+    assert!(untraced.spans.is_empty(), "untraced response carries spans");
+    assert_eq!(untraced.digest, solo.digest());
+
+    client.shutdown().expect("acknowledged");
+    handle.join().expect("clean run");
+}
